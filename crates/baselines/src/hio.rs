@@ -1,0 +1,571 @@
+//! HIO baseline (Wang et al., SIGMOD 2019; §3.1 of the FELIP paper).
+//!
+//! HIO builds, for each attribute, a hierarchy of intervals with branching
+//! factor `b`: level 0 is the root (the whole domain), level `j` has `b^j`
+//! near-equal intervals, and the leaf level has one value per interval.
+//! Categorical attributes get exactly two levels (root, leaves). A *k-dim
+//! level* is one choice of level per attribute; users are divided uniformly
+//! over all `∏(h_i + 1)` k-dim levels, and each user reports — through OLH —
+//! which k-dim interval of its level combination contains its record.
+//!
+//! A query is answered by expanding it to all `k` attributes (unconstrained
+//! attributes take the root interval), covering each attribute's constraint
+//! with the minimal set of hierarchy intervals, and summing the estimated
+//! frequencies of every combination of cover intervals; each combination
+//! lives at one k-dim level and is estimated from that level's user group.
+//!
+//! The group count grows as `(h+1)^k`, which is exactly the curse of
+//! dimensionality the paper's Figures 3–5 expose: with large domains or many
+//! attributes each group holds a handful of users and the estimates drown in
+//! noise.
+
+use std::collections::HashMap;
+
+
+use rand::{Rng, RngCore};
+
+use felip_common::hash::{mix64, universal_hash};
+use felip_common::rng::{derive_seed, seeded_rng};
+use felip_common::{AttrKind, Dataset, Error, Predicate, PredicateTarget, Query, Result, Schema};
+use felip_grid::Binning;
+
+/// OLH over a `u64` interval domain. The k-dim level domains of HIO can
+/// exceed `u32` (e.g. the all-leaves level of four 256-value attributes has
+/// 256⁴ ≈ 4.3·10⁹ intervals), so HIO carries its own minimal OLH instead of
+/// reusing `felip_fo::Olh`: support counting is lazy (per queried interval),
+/// so the domain size never needs to be enumerated or even representable in
+/// memory.
+#[derive(Debug, Clone, Copy)]
+struct Olh64 {
+    /// Hash range `g = ⌈e^ε⌉ + 1`.
+    g: u32,
+    /// GRR keep-probability over the hashed domain.
+    p: f64,
+}
+
+impl Olh64 {
+    fn new(epsilon: f64) -> Self {
+        let g = (epsilon.exp().ceil() as u32).saturating_add(1).max(2);
+        let e = epsilon.exp();
+        Olh64 { g, p: e / (e + g as f64 - 1.0) }
+    }
+
+    /// Hashes a 64-bit interval index into `0..g` under `seed`.
+    #[inline]
+    fn hash(&self, seed: u64, value: u64) -> u32 {
+        universal_hash(seed ^ mix64(value >> 32), value as u32, self.g)
+    }
+
+    /// Client-side perturbation: `⟨seed, GRR_g(H_seed(v))⟩`.
+    fn perturb(&self, value: u64, rng: &mut dyn RngCore) -> (u64, u32) {
+        let seed: u64 = rng.gen();
+        let h = self.hash(seed, value);
+        let out = if rng.gen_bool(self.p) {
+            h
+        } else {
+            let mut v = rng.gen_range(0..self.g - 1);
+            if v >= h {
+                v += 1;
+            }
+            v
+        };
+        (seed, out)
+    }
+
+    /// De-biased frequency of `value` from `support` matching reports out
+    /// of `n`.
+    fn estimate(&self, support: usize, n: usize) -> f64 {
+        let inv_g = 1.0 / self.g as f64;
+        (support as f64 / n as f64 - inv_g) / (self.p - inv_g)
+    }
+}
+
+/// One per-attribute interval hierarchy.
+#[derive(Debug, Clone)]
+struct Hierarchy {
+    /// Binning of each level; `levels[0]` is the root (one cell),
+    /// `levels.last()` the leaves (one value per cell).
+    levels: Vec<Binning>,
+}
+
+impl Hierarchy {
+    fn numerical(domain: u32, b: u32) -> Self {
+        let mut levels = Vec::new();
+        let mut cells = 1u32;
+        loop {
+            levels.push(Binning::equal(domain, cells.min(domain)).expect("valid binning"));
+            if cells >= domain {
+                break;
+            }
+            cells = cells.saturating_mul(b);
+        }
+        Hierarchy { levels }
+    }
+
+    fn categorical(domain: u32) -> Self {
+        let mut levels = vec![Binning::equal(domain, 1).expect("valid binning")];
+        if domain > 1 {
+            levels.push(Binning::identity(domain).expect("valid binning"));
+        }
+        Hierarchy { levels }
+    }
+
+    fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Minimal exact cover of the inclusive value range `[lo, hi]` by
+    /// hierarchy intervals, greedy longest-first. Returns `(level, index)`
+    /// pairs. Works for non-nesting level boundaries too because the leaf
+    /// level always provides single-value fallback intervals.
+    fn cover_range(&self, lo: u32, hi: u32) -> Vec<(usize, u32)> {
+        let mut out = Vec::new();
+        let mut at = lo;
+        while at <= hi {
+            let mut best: Option<(usize, u32, u32)> = None; // (level, idx, end)
+            for (lvl, bin) in self.levels.iter().enumerate() {
+                let idx = bin.cell_of(at);
+                let (s, e) = bin.cell_range(idx); // [s, e)
+                if s == at && e <= hi + 1
+                    && best.is_none_or(|(_, _, be)| e > be) {
+                        best = Some((lvl, idx, e));
+                    }
+            }
+            let (lvl, idx, end) =
+                best.expect("leaf level always provides an aligned single-value interval");
+            out.push((lvl, idx));
+            at = end;
+        }
+        out
+    }
+
+    /// Cover of a categorical predicate: the root when the whole domain is
+    /// selected, otherwise one leaf per selected value.
+    fn cover_set(&self, values: &[u32], domain: u32) -> Vec<(usize, u32)> {
+        if values.len() as u32 == domain {
+            vec![(0, 0)]
+        } else {
+            let leaf = self.num_levels() - 1;
+            values.iter().map(|&v| (leaf, v)).collect()
+        }
+    }
+}
+
+/// The HIO mechanism configuration plus per-attribute hierarchies.
+#[derive(Debug, Clone)]
+pub struct Hio {
+    schema: Schema,
+    epsilon: f64,
+    hierarchies: Vec<Hierarchy>,
+    /// Mixed-radix strides over per-attribute level counts; the k-dim level
+    /// tuple `(l_1..l_k)` flattens to `Σ l_i · stride_i`.
+    level_strides: Vec<u64>,
+    /// Total number of k-dim levels (= user groups), `∏(h_i + 1)`.
+    num_groups: u64,
+}
+
+impl Hio {
+    /// Builds HIO over `schema` with branching factor `b` (the paper's
+    /// evaluation uses `b = 4`).
+    ///
+    /// Fails when the group count `∏(h_i + 1)` overflows a sane bound
+    /// (2³²) — at that point every group would be empty anyway.
+    pub fn new(schema: &Schema, epsilon: f64, b: u32) -> Result<Self> {
+        // `!(x > 0.0)` (rather than `x <= 0.0`) also rejects NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(epsilon > 0.0) {
+            return Err(Error::InvalidParameter("epsilon must be positive".into()));
+        }
+        if b < 2 {
+            return Err(Error::InvalidParameter("branching factor must be at least 2".into()));
+        }
+        let hierarchies: Vec<Hierarchy> = schema
+            .attrs()
+            .iter()
+            .map(|a| match a.kind {
+                AttrKind::Numerical => Hierarchy::numerical(a.domain, b),
+                AttrKind::Categorical => Hierarchy::categorical(a.domain),
+            })
+            .collect();
+        let mut strides = vec![0u64; hierarchies.len()];
+        let mut total: u64 = 1;
+        for (i, h) in hierarchies.iter().enumerate().rev() {
+            strides[i] = total;
+            total = total.checked_mul(h.num_levels() as u64).ok_or_else(|| {
+                Error::InvalidParameter("HIO k-dim level count overflows".into())
+            })?;
+        }
+        if total > u32::MAX as u64 {
+            return Err(Error::InvalidParameter(format!(
+                "HIO would need {total} user groups; refusing (> 2^32)"
+            )));
+        }
+        Ok(Hio {
+            schema: schema.clone(),
+            epsilon,
+            hierarchies,
+            level_strides: strides,
+            num_groups: total,
+        })
+    }
+
+    /// Number of user groups (k-dim levels).
+    pub fn num_groups(&self) -> u64 {
+        self.num_groups
+    }
+
+    /// Decodes a flat group id into the per-attribute level tuple.
+    fn levels_of_group(&self, group: u64) -> Vec<usize> {
+        let mut rem = group;
+        self.level_strides
+            .iter()
+            .zip(&self.hierarchies)
+            .map(|(&stride, h)| {
+                let l = (rem / stride) as usize;
+                rem %= stride;
+                debug_assert!(l < h.num_levels());
+                l
+            })
+            .collect()
+    }
+
+    /// The OLH domain size of a level tuple: the number of k-dim intervals.
+    /// Can exceed `u32` (hence `u64` — see [`Olh64`]). Support counting is
+    /// lazy, so production code never needs this; tests use it to bound
+    /// projected interval indices.
+    #[cfg(test)]
+    fn domain_of_levels(&self, levels: &[usize]) -> u64 {
+        levels
+            .iter()
+            .zip(&self.hierarchies)
+            .map(|(&l, h)| h.levels[l].cells() as u64)
+            .product()
+    }
+
+    /// Flattens a record into its k-dim interval index at a level tuple.
+    fn interval_of_record(&self, levels: &[usize], record: &[u32]) -> u64 {
+        let mut idx = 0u64;
+        for ((&l, h), &v) in levels.iter().zip(&self.hierarchies).zip(record) {
+            let bin = &h.levels[l];
+            idx = idx * bin.cells() as u64 + bin.cell_of(v) as u64;
+        }
+        idx
+    }
+
+    /// Flattens per-attribute interval indices into the k-dim index.
+    fn interval_of_parts(&self, levels: &[usize], parts: &[u32]) -> u64 {
+        let mut idx = 0u64;
+        for ((&l, h), &p) in levels.iter().zip(&self.hierarchies).zip(parts) {
+            idx = idx * h.levels[l].cells() as u64 + p as u64;
+        }
+        idx
+    }
+
+    /// Runs the collection phase over `dataset` (each record = one user) and
+    /// returns the query-answering estimator.
+    pub fn collect(&self, dataset: &Dataset, seed: u64) -> Result<HioEstimator> {
+        if dataset.schema() != &self.schema {
+            return Err(Error::InvalidParameter("dataset schema does not match HIO schema".into()));
+        }
+        if dataset.is_empty() {
+            return Err(Error::InvalidParameter("cannot collect from an empty dataset".into()));
+        }
+        let mut groups: HashMap<u64, GroupReports> = HashMap::new();
+        let mut rng = seeded_rng(derive_seed(seed, 0x810));
+        let assign_seed = derive_seed(seed, 0x851);
+        let olh = Olh64::new(self.epsilon);
+        for (u, record) in dataset.rows().enumerate() {
+            let group = mix64(assign_seed ^ (u as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                % self.num_groups;
+            let levels = self.levels_of_group(group);
+            let value = self.interval_of_record(&levels, record);
+            let (seed, bucket) = olh.perturb(value, &mut rng);
+            groups.entry(group).or_default().reports.push((seed, bucket));
+        }
+        Ok(HioEstimator { hio: self.clone(), groups })
+    }
+}
+
+/// Raw OLH reports of one group, kept for lazy support counting.
+#[derive(Debug, Clone, Default)]
+struct GroupReports {
+    reports: Vec<(u64, u32)>,
+}
+
+/// HIO's aggregator-side state: per-group OLH reports, estimated lazily per
+/// queried k-dim interval (support counting over the group's reports).
+#[derive(Debug, Clone)]
+pub struct HioEstimator {
+    hio: Hio,
+    groups: HashMap<u64, GroupReports>,
+}
+
+impl HioEstimator {
+    /// Estimates the answer of `query` (§3.1: expand to all `k` attributes,
+    /// cover each constraint, sum every cover combination's interval
+    /// frequency). The result is clamped to `[0, 1]`.
+    ///
+    /// The naive cartesian expansion over covers is `∏ |cover_a|`
+    /// combinations, which explodes for high-λ queries (the λ = 10 point of
+    /// Figure 4 would need > 10⁸ combinations). We instead iterate over the
+    /// *non-empty* groups only: a combination at level tuple `T` is
+    /// estimated from group `T`'s reports, and empty groups estimate 0, so
+    /// only tuples that actually received users — at most `min(n, ∏(h+1))`
+    /// of them — can contribute. Within one group, only the cover entries
+    /// at that group's exact levels combine, which is a tiny product
+    /// (ranges contribute ≤ 2(b−1) intervals per level).
+    pub fn answer(&self, query: &Query) -> Result<f64> {
+        let query = Query::new(&self.hio.schema, query.predicates().to_vec())?;
+        let k = self.hio.schema.len();
+        // Per-attribute covers; unconstrained attributes use the root.
+        let covers: Vec<Vec<(usize, u32)>> = (0..k)
+            .map(|a| match query.predicate_on(a) {
+                None => vec![(0usize, 0u32)],
+                Some(Predicate { target: PredicateTarget::Range { lo, hi }, .. }) => {
+                    self.hio.hierarchies[a].cover_range(*lo, *hi)
+                }
+                Some(Predicate { target: PredicateTarget::Set(vals), .. }) => {
+                    self.hio.hierarchies[a].cover_set(vals, self.hio.schema.domain(a))
+                }
+            })
+            .collect();
+        // Regroup cover entries by hierarchy level per attribute.
+        let cover_by_level: Vec<Vec<Vec<u32>>> = covers
+            .iter()
+            .enumerate()
+            .map(|(a, cover)| {
+                let mut per = vec![Vec::new(); self.hio.hierarchies[a].num_levels()];
+                for &(lvl, idx) in cover {
+                    per[lvl].push(idx);
+                }
+                per
+            })
+            .collect();
+
+        let olh = Olh64::new(self.hio.epsilon);
+        let mut total = 0.0;
+        let mut entries: Vec<&[u32]> = Vec::with_capacity(k);
+        let mut parts = vec![0u32; k];
+        'groups: for (&group, reports) in &self.groups {
+            let n = reports.reports.len();
+            if n == 0 {
+                continue;
+            }
+            let levels = self.hio.levels_of_group(group);
+            entries.clear();
+            for (a, &lvl) in levels.iter().enumerate() {
+                let es = &cover_by_level[a][lvl];
+                if es.is_empty() {
+                    continue 'groups; // no cover interval at this group's level
+                }
+                entries.push(es);
+            }
+            // Cartesian product over this group's (small) entry lists.
+            let mut idx = vec![0usize; k];
+            loop {
+                for a in 0..k {
+                    parts[a] = entries[a][idx[a]];
+                }
+                let value = self.hio.interval_of_parts(&levels, &parts);
+                // The group is a uniform random sample of the population, so
+                // its local frequency estimate is already an unbiased
+                // estimate of the population frequency.
+                let support =
+                    reports.reports.iter().filter(|(s, x)| olh.hash(*s, value) == *x).count();
+                total += olh.estimate(support, n);
+                let mut a = k;
+                loop {
+                    if a == 0 {
+                        continue 'groups;
+                    }
+                    a -= 1;
+                    idx[a] += 1;
+                    if idx[a] < entries[a].len() {
+                        break;
+                    }
+                    idx[a] = 0;
+                }
+            }
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+
+
+    /// Answers a batch of queries.
+    pub fn answer_all(&self, queries: &[Query]) -> Result<Vec<f64>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+}
+
+/// Convenience: build + collect in one call (branching factor 4, the
+/// evaluation's setting).
+pub fn run_hio(dataset: &Dataset, epsilon: f64, seed: u64) -> Result<HioEstimator> {
+    Hio::new(dataset.schema(), epsilon, 4)?.collect(dataset, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felip_common::Attribute;
+    use rand::Rng;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("x", 64),
+            Attribute::numerical("y", 64),
+            Attribute::categorical("c", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn hierarchy_level_structure() {
+        let h = Hierarchy::numerical(64, 4);
+        // 1, 4, 16, 64 cells.
+        assert_eq!(h.num_levels(), 4);
+        assert_eq!(h.levels[0].cells(), 1);
+        assert_eq!(h.levels[1].cells(), 4);
+        assert_eq!(h.levels[3].cells(), 64);
+        let hc = Hierarchy::categorical(4);
+        assert_eq!(hc.num_levels(), 2);
+        assert_eq!(hc.levels[1].cells(), 4);
+    }
+
+    #[test]
+    fn hierarchy_non_power_domain() {
+        let h = Hierarchy::numerical(100, 4);
+        // 1, 4, 16, 64, 100 cells (the 256-cell level clamps to leaves).
+        assert_eq!(h.levels.last().unwrap().cells(), 100);
+        for lvl in &h.levels {
+            assert_eq!(lvl.domain(), 100);
+        }
+    }
+
+    #[test]
+    fn cover_is_exact_and_minimal_for_aligned_ranges() {
+        let h = Hierarchy::numerical(64, 4);
+        // [0, 15] is exactly level-1 interval 0.
+        assert_eq!(h.cover_range(0, 15), vec![(1, 0)]);
+        // [0, 63] is the root.
+        assert_eq!(h.cover_range(0, 63), vec![(0, 0)]);
+        // [16, 31] is level-1 interval 1.
+        assert_eq!(h.cover_range(16, 31), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn cover_tiles_arbitrary_ranges() {
+        let h = Hierarchy::numerical(100, 4);
+        for (lo, hi) in [(0u32, 99u32), (3, 97), (50, 50), (10, 11), (37, 81)] {
+            let cover = h.cover_range(lo, hi);
+            // The cover must tile [lo, hi] exactly.
+            let mut at = lo;
+            for &(lvl, idx) in &cover {
+                let (s, e) = h.levels[lvl].cell_range(idx);
+                assert_eq!(s, at, "gap or overlap at {at}");
+                at = e;
+            }
+            assert_eq!(at, hi + 1, "cover does not reach hi");
+        }
+    }
+
+    #[test]
+    fn categorical_cover() {
+        let h = Hierarchy::categorical(4);
+        assert_eq!(h.cover_set(&[0, 1, 2, 3], 4), vec![(0, 0)]);
+        assert_eq!(h.cover_set(&[1, 3], 4), vec![(1, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn group_count() {
+        let hio = Hio::new(&schema(), 1.0, 4).unwrap();
+        // x, y: 4 levels each (1,4,16,64); c: 2 levels → 4·4·2 = 32 groups.
+        assert_eq!(hio.num_groups(), 32);
+    }
+
+    #[test]
+    fn level_tuple_round_trip() {
+        let hio = Hio::new(&schema(), 1.0, 4).unwrap();
+        for g in 0..hio.num_groups() {
+            let levels = hio.levels_of_group(g);
+            let back: u64 =
+                levels.iter().zip(&hio.level_strides).map(|(&l, &s)| l as u64 * s).sum();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn record_projection_consistency() {
+        let hio = Hio::new(&schema(), 1.0, 4).unwrap();
+        let record = [37u32, 5, 2];
+        for g in 0..hio.num_groups() {
+            let levels = hio.levels_of_group(g);
+            let v = hio.interval_of_record(&levels, &record);
+            assert!(v < hio.domain_of_levels(&levels));
+            // Projection must agree with part-wise flattening.
+            let parts: Vec<u32> = levels
+                .iter()
+                .zip(&hio.hierarchies)
+                .zip(&record)
+                .map(|((&l, h), &x)| h.levels[l].cell_of(x))
+                .collect();
+            assert_eq!(v, hio.interval_of_parts(&levels, &parts));
+        }
+    }
+
+    #[test]
+    fn end_to_end_accuracy_on_small_schema() {
+        // Small schema so each of the 32 groups gets thousands of users.
+        let s = schema();
+        let n = 80_000;
+        let mut rng = seeded_rng(4);
+        let mut data = Dataset::empty(s.clone());
+        for _ in 0..n {
+            let x = rng.gen_range(0..32u32); // lower half only
+            let y = rng.gen_range(0..64u32);
+            let c = if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..4u32) };
+            data.push(&[x, y, c]).unwrap();
+        }
+        let est = run_hio(&data, 1.0, 9).unwrap();
+        let q = Query::new(
+            &s,
+            vec![Predicate::between(0, 0, 31), Predicate::in_set(2, vec![0])],
+        )
+        .unwrap();
+        let truth = q.true_answer(&data); // ≈ 0.6
+        let got = est.answer(&q).unwrap();
+        assert!((got - truth).abs() < 0.25, "HIO {got} vs truth {truth}");
+    }
+
+    #[test]
+    fn unconstrained_query_uses_root() {
+        let s = schema();
+        let data = {
+            let mut rng = seeded_rng(5);
+            let mut d = Dataset::empty(s.clone());
+            for _ in 0..20_000 {
+                d.push(&[rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..4)])
+                    .unwrap();
+            }
+            d
+        };
+        let est = run_hio(&data, 1.0, 10).unwrap();
+        // Full-domain range on x: answer ≈ 1.
+        let q = Query::new(&s, vec![Predicate::between(0, 0, 63)]).unwrap();
+        let got = est.answer(&q).unwrap();
+        assert!(got > 0.7, "full-domain query answered {got}");
+    }
+
+    #[test]
+    fn rejects_mismatched_dataset() {
+        let hio = Hio::new(&schema(), 1.0, 4).unwrap();
+        let other = Schema::new(vec![Attribute::numerical("z", 8)]).unwrap();
+        let ds = Dataset::empty(other);
+        assert!(hio.collect(&ds, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Hio::new(&schema(), 0.0, 4).is_err());
+        assert!(Hio::new(&schema(), 1.0, 1).is_err());
+    }
+}

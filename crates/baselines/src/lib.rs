@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Baseline LDP mechanisms FELIP is evaluated against.
+//!
+//! All three baselines are re-implemented from their published descriptions
+//! (quoted in §3 of the FELIP paper):
+//!
+//! * [`hio`] — **HIO** (Wang et al., SIGMOD'19): per-attribute interval
+//!   hierarchies with branching factor `b`; users are divided over all
+//!   `∏(h_i + 1)` k-dim levels and report their k-dim interval through OLH.
+//!   The evaluation's main comparator for point+range queries.
+//! * [`tdg`] — **TDG** (Yang et al., VLDB'21): one 2-D grid per attribute
+//!   pair, a single global granularity `g₂` rounded to a power of two,
+//!   OLH everywhere, in-cell uniformity when answering.
+//! * `hdg` (in [`tdg`]) — **HDG** (same source): TDG plus 1-D grids of one global
+//!   granularity `g₁`, combined through response matrices.
+//!
+//! TDG and HDG deliberately reuse the FELIP pipeline (collection,
+//! post-processing, response matrices, λ-D fitting) with their own sizing
+//! rules injected via [`felip::CollectionPlan::from_specs`] — the paper's
+//! comparison isolates exactly that difference (§5.8).
+
+pub mod hio;
+pub mod tdg;
+
+pub use hio::{run_hio, Hio, HioEstimator};
+pub use tdg::{closest_power_of_two, run_hdg, run_tdg, GridBaseline};

@@ -1,0 +1,59 @@
+//! End-to-end pipeline benchmarks: a full FELIP collection (plan → perturb
+//! every user → aggregate → post-process) and query answering, at several
+//! population sizes — the numbers a deployment would size capacity with.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use felip::{simulate, FelipConfig, Strategy};
+use felip_datasets::{generate_queries, GenOptions, DatasetKind, WorkloadOptions};
+
+fn opts(n: usize) -> GenOptions {
+    GenOptions {
+        n,
+        numerical: 3,
+        categorical: 3,
+        numerical_domain: 64,
+        categorical_domain: 8,
+        seed: 11,
+    }
+}
+
+fn bench_collection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collection");
+    g.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let data = DatasetKind::IpumsLike.generate(opts(n));
+        g.throughput(Throughput::Elements(n as u64));
+        for strategy in [Strategy::Oug, Strategy::Ohg] {
+            let cfg = FelipConfig::new(1.0).with_strategy(strategy);
+            g.bench_with_input(BenchmarkId::new(format!("{strategy}"), n), &n, |b, _| {
+                b.iter(|| simulate(black_box(&data), &cfg, 3).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_query_answering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("answer");
+    g.sample_size(10);
+    let data = DatasetKind::IpumsLike.generate(opts(50_000));
+    let cfg = FelipConfig::new(1.0).with_strategy(Strategy::Ohg);
+    let est = simulate(&data, &cfg, 3).unwrap();
+    for &lambda in &[2usize, 4, 6] {
+        let queries = generate_queries(
+            data.schema(),
+            WorkloadOptions { lambda, selectivity: 0.5, count: 10, seed: 5, range_only: false },
+        )
+        .unwrap();
+        // Warm the response-matrix cache so the bench isolates fitting cost.
+        est.answer_all(&queries).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
+            b.iter(|| est.answer_all(black_box(&queries)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collection, bench_query_answering);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the frequency-oracle hot paths: client perturbation
+//! and server aggregation for GRR, OLH and OUE. OLH aggregation (support
+//! counting, |reports| × d hash evaluations) dominates the whole system's
+//! server cost, which is why its throughput matters.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use felip_common::rng::seeded_rng;
+use felip_fo::{FrequencyOracle, Grr, Olh, Oue};
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perturb");
+    let eps = 1.0;
+    for &d in &[16u32, 256, 1024] {
+        g.throughput(Throughput::Elements(1));
+        let mut rng = seeded_rng(1);
+        let grr = Grr::new(eps, d);
+        g.bench_with_input(BenchmarkId::new("grr", d), &d, |b, _| {
+            b.iter(|| grr.perturb(black_box(3), &mut rng))
+        });
+        let olh = Olh::new(eps, d);
+        g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
+            b.iter(|| olh.perturb(black_box(3), &mut rng))
+        });
+        let oue = Oue::new(eps, d);
+        g.bench_with_input(BenchmarkId::new("oue", d), &d, |b, _| {
+            b.iter(|| oue.perturb(black_box(3), &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aggregate");
+    g.sample_size(10);
+    let eps = 1.0;
+    let n = 10_000usize;
+    for &d in &[64u32, 512] {
+        g.throughput(Throughput::Elements(n as u64));
+        let mut rng = seeded_rng(2);
+        let grr = Grr::new(eps, d);
+        let grr_reports: Vec<_> = (0..n).map(|i| grr.perturb(i as u32 % d, &mut rng)).collect();
+        g.bench_with_input(BenchmarkId::new("grr", d), &d, |b, _| {
+            b.iter(|| grr.aggregate(black_box(&grr_reports)))
+        });
+        let olh = Olh::new(eps, d);
+        let olh_reports: Vec<_> = (0..n).map(|i| olh.perturb(i as u32 % d, &mut rng)).collect();
+        g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
+            b.iter(|| olh.aggregate(black_box(&olh_reports)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_accumulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accumulate_one_report");
+    let eps = 1.0;
+    for &d in &[64u32, 512, 2048] {
+        let mut rng = seeded_rng(3);
+        let olh = Olh::new(eps, d);
+        let report = olh.perturb(1, &mut rng);
+        let mut counts = vec![0u64; d as usize];
+        g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
+            b.iter(|| olh.accumulate(black_box(&report), &mut counts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_aggregate, bench_streaming_accumulate);
+criterion_main!(benches);

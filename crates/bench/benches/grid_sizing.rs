@@ -1,0 +1,70 @@
+//! Benchmarks of the grid-size optimiser (§5.2): the per-grid cost the
+//! aggregator pays at plan time, for each grid kind and protocol.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use felip_common::AttrKind;
+use felip_fo::FoKind;
+use felip_grid::optimize::{optimize_grid, AxisInput, SizingInput};
+
+fn input(kind_x: AttrKind, kind_y: Option<AttrKind>, d: u32) -> SizingInput {
+    let axis = |k: AttrKind| AxisInput { domain: d, kind: k, selectivity: 0.5 };
+    SizingInput {
+        n: 1_000_000,
+        m: 21,
+        epsilon: 1.0,
+        alpha1: 0.7,
+        alpha2: 0.03,
+        x: axis(kind_x),
+        y: kind_y.map(axis),
+    }
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_sizing");
+    for &d in &[64u32, 1024] {
+        for fo in [FoKind::Grr, FoKind::Olh] {
+            g.bench_with_input(BenchmarkId::new(format!("num1d_{fo}"), d), &d, |b, _| {
+                b.iter(|| optimize_grid(black_box(input(AttrKind::Numerical, None, d)), fo))
+            });
+            g.bench_with_input(BenchmarkId::new(format!("numnum_{fo}"), d), &d, |b, _| {
+                b.iter(|| {
+                    optimize_grid(
+                        black_box(input(AttrKind::Numerical, Some(AttrKind::Numerical), d)),
+                        fo,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_full_plan(c: &mut Criterion) {
+    use felip::{CollectionPlan, FelipConfig, Strategy};
+    use felip_common::{Attribute, Schema};
+
+    let mut g = c.benchmark_group("collection_plan");
+    for &k in &[4usize, 6, 10] {
+        let schema = Schema::new(
+            (0..k)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Attribute::numerical(format!("n{i}"), 256)
+                    } else {
+                        Attribute::categorical(format!("c{i}"), 8)
+                    }
+                })
+                .collect(),
+        )
+        .unwrap();
+        let cfg = FelipConfig::new(1.0).with_strategy(Strategy::Ohg);
+        g.bench_with_input(BenchmarkId::new("ohg", k), &k, |b, _| {
+            b.iter(|| CollectionPlan::build(black_box(&schema), 1_000_000, &cfg, 7).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sizing, bench_full_plan);
+criterion_main!(benches);

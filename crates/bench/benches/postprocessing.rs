@@ -1,0 +1,82 @@
+//! Benchmarks of the post-processing stage (§5.4): norm-sub and the
+//! cross-grid consistency pass.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use felip_common::rng::seeded_rng;
+use felip_common::{Attribute, Schema};
+use felip_fo::FoKind;
+use felip_grid::postprocess::{enforce_consistency, norm_sub, post_process};
+use felip_grid::{EstimatedGrid, GridSpec};
+use rand::Rng;
+
+fn noisy(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut v: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() / len as f64).collect();
+    // Sprinkle negatives the way raw FO estimates have them.
+    for i in (0..len).step_by(7) {
+        v[i] = -v[i];
+    }
+    v
+}
+
+fn bench_norm_sub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("norm_sub");
+    for &len in &[64usize, 1024, 16_384] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter_batched(
+                || noisy(len, 1),
+                |mut f| norm_sub(black_box(&mut f), 1.0),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn make_grids(d: u32) -> (Vec<EstimatedGrid>, Vec<f64>) {
+    let schema = Schema::new(vec![
+        Attribute::numerical("x", d),
+        Attribute::numerical("y", d),
+    ])
+    .unwrap();
+    let g1 = GridSpec::one_dim(&schema, 0, (d / 8).max(2), FoKind::Olh).unwrap();
+    let g2 = GridSpec::two_dim(&schema, 0, 1, (d / 16).max(2), (d / 16).max(2), FoKind::Olh).unwrap();
+    let f1 = noisy(g1.num_cells() as usize, 2);
+    let f2 = noisy(g2.num_cells() as usize, 3);
+    (
+        vec![EstimatedGrid::new(g1, f1), EstimatedGrid::new(g2, f2)],
+        vec![1e-5, 2e-5],
+    )
+}
+
+fn bench_consistency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consistency");
+    for &d in &[128u32, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || make_grids(d),
+                |(mut grids, vars)| enforce_consistency(black_box(&mut grids), 0, &vars),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_post_process(c: &mut Criterion) {
+    let mut g = c.benchmark_group("post_process");
+    for &d in &[128u32, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || make_grids(d),
+                |(mut grids, vars)| post_process(black_box(&mut grids), 2, &vars, 2),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_norm_sub, bench_consistency, bench_full_post_process);
+criterion_main!(benches);

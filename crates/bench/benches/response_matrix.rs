@@ -1,0 +1,72 @@
+//! Benchmarks of Algorithm 3 (response-matrix construction) and Algorithm 4
+//! (λ-D fitting) — the query-time costs of the aggregator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use felip_common::rng::seeded_rng;
+use felip_common::{Attribute, Schema};
+use felip_fo::FoKind;
+use felip_grid::lambda::{fit_lambda, PairAnswer};
+use felip_grid::response::ResponseMatrix;
+use felip_grid::{EstimatedGrid, GridSpec};
+use rand::Rng;
+
+fn distribution(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = seeded_rng(seed);
+    let mut v: Vec<f64> = (0..len).map(|_| rng.gen::<f64>()).collect();
+    let s: f64 = v.iter().sum();
+    v.iter_mut().for_each(|x| *x /= s);
+    v
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("response_matrix_build");
+    g.sample_size(10);
+    for &d in &[64u32, 256, 1024] {
+        let schema = Schema::new(vec![
+            Attribute::numerical("x", d),
+            Attribute::numerical("y", d),
+        ])
+        .unwrap();
+        let lx = (d / 16).max(2);
+        let g2 = EstimatedGrid::new(
+            GridSpec::two_dim(&schema, 0, 1, lx, lx, FoKind::Olh).unwrap(),
+            distribution((lx * lx) as usize, 1),
+        );
+        let l1 = (d / 4).max(2);
+        let g1a = EstimatedGrid::new(
+            GridSpec::one_dim(&schema, 0, l1, FoKind::Olh).unwrap(),
+            distribution(l1 as usize, 2),
+        );
+        let g1b = EstimatedGrid::new(
+            GridSpec::one_dim(&schema, 1, l1, FoKind::Olh).unwrap(),
+            distribution(l1 as usize, 3),
+        );
+        g.bench_with_input(BenchmarkId::new("hybrid", d), &d, |b, _| {
+            b.iter(|| {
+                ResponseMatrix::build(0, 1, d, d, black_box(&[&g2, &g1a, &g1b]), 1e-6)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lambda_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lambda_fit");
+    for &lambda in &[3usize, 6, 10] {
+        let mut rng = seeded_rng(4);
+        let mut pairs = Vec::new();
+        for s in 0..lambda {
+            for t in (s + 1)..lambda {
+                pairs.push(PairAnswer { s, t, answer: rng.gen::<f64>() * 0.3 });
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {
+            b.iter(|| fit_lambda(black_box(lambda), &pairs, 1e-6))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lambda_fit);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 of the FELIP paper. See `bench::figures::fig1`.
+
+fn main() -> std::io::Result<()> {
+    let profile = bench::Profile::from_args(std::env::args().skip(1));
+    bench::figures::fig1(&profile)
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 of the FELIP paper. See `bench::figures::fig2`.
+
+fn main() -> std::io::Result<()> {
+    let profile = bench::Profile::from_args(std::env::args().skip(1));
+    bench::figures::fig2(&profile)
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 of the FELIP paper. See `bench::figures::fig3`.
+
+fn main() -> std::io::Result<()> {
+    let profile = bench::Profile::from_args(std::env::args().skip(1));
+    bench::figures::fig3(&profile)
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 of the FELIP paper. See `bench::figures::fig4`.
+
+fn main() -> std::io::Result<()> {
+    let profile = bench::Profile::from_args(std::env::args().skip(1));
+    bench::figures::fig4(&profile)
+}

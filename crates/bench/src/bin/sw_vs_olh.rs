@@ -1,0 +1,6 @@
+//! Ablation study. See `bench::ablations::sw_vs_olh`.
+
+fn main() -> std::io::Result<()> {
+    let profile = bench::Profile::from_args(std::env::args().skip(1));
+    bench::ablations::sw_vs_olh(&profile)
+}

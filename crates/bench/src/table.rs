@@ -1,0 +1,71 @@
+//! CSV emission for experiment series.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Writes experiment rows to stdout and, optionally, a CSV file.
+#[derive(Debug)]
+pub struct CsvSink {
+    header: String,
+    file: Option<fs::File>,
+}
+
+impl CsvSink {
+    /// Creates a sink for one figure. When `out_dir` is set the rows are
+    /// also appended to `<out_dir>/<name>.csv` (directory created as
+    /// needed).
+    pub fn new(name: &str, header: &str, out_dir: Option<&str>) -> std::io::Result<Self> {
+        let file = match out_dir {
+            Some(dir) => {
+                fs::create_dir_all(dir)?;
+                let mut path = PathBuf::from(dir);
+                path.push(format!("{name}.csv"));
+                let mut f = fs::File::create(path)?;
+                writeln!(f, "{header}")?;
+                Some(f)
+            }
+            None => None,
+        };
+        println!("{header}");
+        Ok(CsvSink { header: header.to_string(), file })
+    }
+
+    /// Emits one row.
+    pub fn row(&mut self, row: &str) -> std::io::Result<()> {
+        debug_assert_eq!(
+            row.split(',').count(),
+            self.header.split(',').count(),
+            "row arity must match header"
+        );
+        println!("{row}");
+        if let Some(f) = &mut self.file {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_file_when_out_dir_given() {
+        let dir = std::env::temp_dir().join(format!("felip-csv-test-{}", std::process::id()));
+        let dirs = dir.to_str().unwrap().to_string();
+        let mut sink = CsvSink::new("t", "a,b", Some(&dirs)).unwrap();
+        sink.row("1,2").unwrap();
+        sink.row("3,4").unwrap();
+        drop(sink);
+        let content = fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stdout_only_without_out_dir() {
+        let mut sink = CsvSink::new("t", "a,b", None).unwrap();
+        sink.row("1,2").unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! `felip` — end-to-end command line for the FELIP reproduction.
+//!
+//! ```text
+//! felip plan    --attrs n:256,n:256,c:8 --n 100000 --epsilon 1.0 [--strategy ohg]
+//! felip run     --dataset ipums --n 100000 --epsilon 1.0 --lambda 2 --queries 10
+//! felip compare --dataset normal --n 100000 --epsilon 1.0 --lambda 3
+//! felip query   --csv data.csv --columns age:n:16,edu:c:8 --epsilon 1.0 \
+//!               --where "age BETWEEN 4 AND 11 AND edu IN (0, 1)"
+//! ```
+//!
+//! * `plan` prints the collection plan FELIP would use for a schema: every
+//!   grid, its size, and the protocol the adaptive oracle picked — useful to
+//!   understand what the optimiser does before any data is collected.
+//! * `run` generates a synthetic dataset, runs one FELIP collection under
+//!   ε-LDP, answers a random query workload, and reports per-query estimates
+//!   plus the MAE, as JSON.
+//! * `compare` runs OUG, OHG and HIO on the same dataset/workload and
+//!   reports their MAEs side by side.
+//! * `query` loads a real CSV file, discretises it, collects it once under
+//!   ε-LDP, and answers a SQL-`WHERE`-style query — the full adoption path.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", args::USAGE);
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "plan" => commands::plan(rest),
+        "run" => commands::run(rest),
+        "compare" => commands::compare(rest),
+        "query" => commands::query(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! In-memory row store of user records.
+//!
+//! Records are stored in one flat `Vec<u32>` with a stride of `k` values per
+//! row, which keeps scans over a single pair of attributes cache-friendly and
+//! avoids one allocation per record (10⁷-record sweeps are routine in the
+//! evaluation).
+
+use crate::attr::Schema;
+use crate::error::{Error, Result};
+
+/// A dataset of `n` user records over a [`Schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    /// Row-major values, `len == n * schema.len()`.
+    values: Vec<u32>,
+}
+
+impl Dataset {
+    /// An empty dataset over `schema`.
+    pub fn empty(schema: Schema) -> Self {
+        Dataset { schema, values: Vec::new() }
+    }
+
+    /// Builds a dataset from row-major flat storage.
+    ///
+    /// `values.len()` must be a multiple of the schema width and every value
+    /// must be inside its attribute's domain.
+    pub fn from_flat(schema: Schema, values: Vec<u32>) -> Result<Self> {
+        let k = schema.len();
+        if !values.len().is_multiple_of(k) {
+            return Err(Error::InvalidRecord(format!(
+                "flat storage of {} values is not a multiple of schema width {k}",
+                values.len()
+            )));
+        }
+        for row in values.chunks_exact(k) {
+            schema.check_record(row)?;
+        }
+        Ok(Dataset { schema, values })
+    }
+
+    /// Builds a dataset from individual rows.
+    pub fn from_rows(schema: Schema, rows: impl IntoIterator<Item = Vec<u32>>) -> Result<Self> {
+        let mut ds = Dataset::empty(schema);
+        for row in rows {
+            ds.push(&row)?;
+        }
+        Ok(ds)
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &[u32]) -> Result<()> {
+        self.schema.check_record(record)?;
+        self.values.extend_from_slice(record);
+        Ok(())
+    }
+
+    /// Appends one record without validating it.
+    ///
+    /// Intended for trusted generators (the `felip-datasets` crate) on hot
+    /// paths; `debug_assert!`s still fire in debug builds.
+    pub fn push_unchecked(&mut self, record: &[u32]) {
+        debug_assert!(self.schema.check_record(record).is_ok());
+        self.values.extend_from_slice(record);
+    }
+
+    /// The schema shared by all records.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records `n`.
+    pub fn len(&self) -> usize {
+        if self.schema.is_empty() {
+            0
+        } else {
+            self.values.len() / self.schema.len()
+        }
+    }
+
+    /// `true` when the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The record at `row` as a slice of `k` values.
+    ///
+    /// # Panics
+    /// Panics when `row >= self.len()`.
+    pub fn row(&self, row: usize) -> &[u32] {
+        let k = self.schema.len();
+        &self.values[row * k..(row + 1) * k]
+    }
+
+    /// The value of attribute `attr` in record `row`.
+    pub fn value(&self, row: usize, attr: usize) -> u32 {
+        self.values[row * self.schema.len() + attr]
+    }
+
+    /// Iterator over all records.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.values.chunks_exact(self.schema.len())
+    }
+
+    /// Raw flat storage (row-major, stride `k`).
+    pub fn flat(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// A new dataset holding only the first `n` records (or all records if
+    /// fewer). Used by the evaluation when sweeping the population size.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let k = self.schema.len();
+        let keep = n.min(self.len()) * k;
+        Dataset { schema: self.schema.clone(), values: self.values[..keep].to_vec() }
+    }
+
+    /// Exact marginal distribution of attribute `attr` (fractions summing to
+    /// 1 for a non-empty dataset). Useful for tests and ground-truth checks.
+    pub fn marginal(&self, attr: usize) -> Vec<f64> {
+        let d = self.schema.domain(attr) as usize;
+        let mut counts = vec![0u64; d];
+        let k = self.schema.len();
+        for row in self.values.chunks_exact(k) {
+            counts[row[attr] as usize] += 1;
+        }
+        let n = self.len().max(1) as f64;
+        counts.into_iter().map(|c| c as f64 / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::numerical("a", 10), Attribute::categorical("b", 3)]).unwrap()
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut ds = Dataset::empty(schema());
+        ds.push(&[4, 2]).unwrap();
+        ds.push(&[9, 0]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0), &[4, 2]);
+        assert_eq!(ds.value(1, 0), 9);
+        assert_eq!(ds.rows().count(), 2);
+    }
+
+    #[test]
+    fn push_validates_domain() {
+        let mut ds = Dataset::empty(schema());
+        assert!(ds.push(&[10, 0]).is_err());
+        assert!(ds.push(&[0, 3]).is_err());
+        assert!(ds.push(&[0]).is_err());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn from_flat_checks_stride() {
+        assert!(Dataset::from_flat(schema(), vec![1, 2, 3]).is_err());
+        let ds = Dataset::from_flat(schema(), vec![1, 2, 3, 0]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let ds = Dataset::from_rows(schema(), vec![vec![1, 1], vec![2, 2]]).unwrap();
+        assert_eq!(ds.row(1), &[2, 2]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let ds = Dataset::from_rows(schema(), vec![vec![1, 1], vec![2, 2], vec![3, 0]]).unwrap();
+        let t = ds.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.row(1), &[2, 2]);
+        // Truncating beyond the length is a no-op.
+        assert_eq!(ds.truncated(10).len(), 3);
+    }
+
+    #[test]
+    fn marginal_sums_to_one() {
+        let ds = Dataset::from_rows(schema(), vec![vec![1, 1], vec![1, 2], vec![3, 1], vec![1, 0]])
+            .unwrap();
+        let m = ds.marginal(0);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[1] - 0.75).abs() < 1e-12);
+        let mb = ds.marginal(1);
+        assert!((mb[1] - 0.5).abs() < 1e-12);
+    }
+}

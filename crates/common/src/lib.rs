@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Shared data model for the FELIP reproduction.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`Attribute`] / [`Schema`] — the multidimensional schema (categorical and
+//!   numerical attributes with per-attribute domain sizes, as in §4 of the
+//!   paper);
+//! * [`Dataset`] — a cache-friendly row store of user records;
+//! * [`Query`] / [`Predicate`] — λ-dimensional counting queries with `IN`
+//!   (point/set) and `BETWEEN` (range) constraints, plus exact ground-truth
+//!   evaluation;
+//! * [`metrics`] — the error measures used in the evaluation (MAE, RMSE);
+//! * [`hash`] — the seeded universal hash family used by Optimized Local
+//!   Hashing.
+//!
+//! Values of every attribute are represented as `u32` indices in
+//! `0..domain_size`. Numerical attributes are assumed to be pre-discretised
+//! ordinal values (exactly the setting of the paper, where each numerical
+//! attribute has an ordered domain `[d]`).
+
+pub mod attr;
+pub mod dataset;
+pub mod error;
+pub mod hash;
+pub mod metrics;
+pub mod parse;
+pub mod query;
+pub mod rng;
+
+pub use attr::{AttrKind, Attribute, Schema};
+pub use dataset::Dataset;
+pub use error::{Error, Result};
+pub use parse::parse_query;
+pub use query::{Predicate, PredicateTarget, Query};

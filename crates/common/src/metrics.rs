@@ -1,0 +1,87 @@
+//! Error measures used by the evaluation (§6.1).
+
+/// Mean Absolute Error between estimated and true answers:
+/// `MAE = (1/|Q|) Σ |f_q − f̄_q|`.
+///
+/// # Panics
+/// Panics when the slices have different lengths or are empty — a malformed
+/// experiment, not a runtime condition.
+pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
+    assert!(!estimated.is_empty(), "MAE of an empty query set");
+    estimated.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>() / estimated.len() as f64
+}
+
+/// Root Mean Squared Error. Punishes outliers more than [`mae`]; reported in
+/// some ablations.
+pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
+    assert!(!estimated.is_empty(), "RMSE of an empty query set");
+    let mse = estimated.iter().zip(truth).map(|(e, t)| (e - t) * (e - t)).sum::<f64>()
+        / estimated.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean of a slice (0 for empty input). Convenience for aggregating repeated
+/// experiment trials.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample variance (unbiased, n−1 denominator). Returns 0 for fewer than two
+/// samples.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert!((mae(&[0.1, 0.5], &[0.2, 0.3]) - 0.15).abs() < 1e-12);
+        assert_eq!(mae(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        // errors 0.1 and 0.2 → mse 0.025 → rmse ~0.1581
+        assert!((rmse(&[0.1, 0.5], &[0.2, 0.3]) - 0.025f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let e = [0.1, 0.4, 0.9, 0.0];
+        let t = [0.2, 0.2, 0.5, 0.05];
+        assert!(rmse(&e, &t) >= mae(&e, &t));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mae_rejects_mismatched_lengths() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mae_rejects_empty() {
+        mae(&[], &[]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        assert!((sample_variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! A small parser for SQL-`WHERE`-style query strings.
+//!
+//! Grammar (keywords case-insensitive, attribute names resolved against the
+//! schema):
+//!
+//! ```text
+//! query  :=  pred ( AND pred )*
+//! pred   :=  attr BETWEEN n AND n
+//!          | attr IN ( n , n , ... )
+//!          | attr =  n
+//!          | attr <= n   | attr < n      (numerical only)
+//!          | attr >= n   | attr > n      (numerical only)
+//! ```
+//!
+//! Comparison sugar expands to ranges: `salary <= 80` is
+//! `salary BETWEEN 0 AND 80`. This is the paper's query class (§4) in the
+//! notation of its motivating example.
+
+use crate::attr::{AttrKind, Schema};
+use crate::error::{Error, Result};
+use crate::query::{Predicate, Query};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    LParen,
+    RParen,
+    Comma,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eq,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Le);
+                } else {
+                    out.push(Token::Lt);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut num = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '_' {
+                        if d != '_' {
+                            num.push(d);
+                        }
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v = num
+                    .parse()
+                    .map_err(|_| Error::InvalidQuery(format!("number `{num}` out of range")))?;
+                out.push(Token::Number(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(ident));
+            }
+            other => {
+                return Err(Error::InvalidQuery(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    at: usize,
+    schema: &'a Schema,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.at)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.at)
+            .cloned()
+            .ok_or_else(|| Error::InvalidQuery("unexpected end of query".into()))?;
+        self.at += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Token::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::InvalidQuery(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        match self.next()? {
+            Token::Number(v) => Ok(v),
+            other => Err(Error::InvalidQuery(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let name = match self.next()? {
+            Token::Ident(w) => w,
+            other => {
+                return Err(Error::InvalidQuery(format!(
+                    "expected an attribute name, found {other:?}"
+                )))
+            }
+        };
+        let attr = self
+            .schema
+            .index_of(&name)
+            .ok_or_else(|| Error::InvalidQuery(format!("unknown attribute `{name}`")))?;
+        let domain = self.schema.domain(attr);
+        let is_num = self.schema.attr(attr).kind == AttrKind::Numerical;
+        let require_num = |ok: bool, op: &str| {
+            if ok {
+                Ok(())
+            } else {
+                Err(Error::InvalidQuery(format!(
+                    "operator `{op}` needs a numerical attribute, `{name}` is categorical"
+                )))
+            }
+        };
+        match self.next()? {
+            Token::Ident(w) if w.eq_ignore_ascii_case("between") => {
+                require_num(is_num, "BETWEEN")?;
+                let lo = self.number()?;
+                self.keyword("and")?;
+                let hi = self.number()?;
+                Ok(Predicate::between(attr, lo, hi))
+            }
+            Token::Ident(w) if w.eq_ignore_ascii_case("in") => {
+                match self.next()? {
+                    Token::LParen => {}
+                    other => {
+                        return Err(Error::InvalidQuery(format!(
+                            "expected `(` after IN, found {other:?}"
+                        )))
+                    }
+                }
+                let mut vals = vec![self.number()?];
+                loop {
+                    match self.next()? {
+                        Token::Comma => vals.push(self.number()?),
+                        Token::RParen => break,
+                        other => {
+                            return Err(Error::InvalidQuery(format!(
+                                "expected `,` or `)`, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Predicate::in_set(attr, vals))
+            }
+            Token::Eq => Ok(Predicate::equals(attr, self.number()?)),
+            Token::Le => {
+                require_num(is_num, "<=")?;
+                Ok(Predicate::between(attr, 0, self.number()?))
+            }
+            Token::Lt => {
+                require_num(is_num, "<")?;
+                let v = self.number()?;
+                if v == 0 {
+                    return Err(Error::InvalidQuery("`< 0` selects nothing".into()));
+                }
+                Ok(Predicate::between(attr, 0, v - 1))
+            }
+            Token::Ge => {
+                require_num(is_num, ">=")?;
+                Ok(Predicate::between(attr, self.number()?, domain - 1))
+            }
+            Token::Gt => {
+                require_num(is_num, ">")?;
+                let v = self.number()?;
+                Ok(Predicate::between(attr, v + 1, domain.saturating_sub(1)))
+            }
+            other => Err(Error::InvalidQuery(format!("expected an operator, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a `WHERE`-style conjunction into a validated [`Query`].
+///
+/// ```
+/// use felip_common::{Attribute, Schema};
+/// use felip_common::parse::parse_query;
+///
+/// let schema = Schema::new(vec![
+///     Attribute::numerical("age", 100),
+///     Attribute::categorical("edu", 5),
+/// ]).unwrap();
+/// let q = parse_query(&schema, "age BETWEEN 30 AND 60 AND edu IN (3, 4)").unwrap();
+/// assert_eq!(q.dim(), 2);
+/// ```
+pub fn parse_query(schema: &Schema, input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, at: 0, schema };
+    let mut preds = vec![p.predicate()?];
+    while p.peek().is_some() {
+        p.keyword("and")?;
+        preds.push(p.predicate()?);
+    }
+    Query::new(schema, preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::query::PredicateTarget;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("age", 100),
+            Attribute::categorical("edu", 5),
+            Attribute::numerical("salary", 200),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_example() {
+        let q = parse_query(
+            &schema(),
+            "age BETWEEN 30 AND 60 AND edu IN (3, 4) AND salary <= 80",
+        )
+        .unwrap();
+        assert_eq!(q.dim(), 3);
+        assert_eq!(
+            q.predicate_on(0).unwrap().target,
+            PredicateTarget::Range { lo: 30, hi: 60 }
+        );
+        assert_eq!(q.predicate_on(1).unwrap().target, PredicateTarget::Set(vec![3, 4]));
+        assert_eq!(
+            q.predicate_on(2).unwrap().target,
+            PredicateTarget::Range { lo: 0, hi: 80 }
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_query(&schema(), "age between 1 and 2").is_ok());
+        assert!(parse_query(&schema(), "age Between 1 AND 2 aNd edu = 0").is_ok());
+    }
+
+    #[test]
+    fn comparison_sugar() {
+        let q = parse_query(&schema(), "age >= 18 AND salary > 50").unwrap();
+        assert_eq!(
+            q.predicate_on(0).unwrap().target,
+            PredicateTarget::Range { lo: 18, hi: 99 }
+        );
+        assert_eq!(
+            q.predicate_on(2).unwrap().target,
+            PredicateTarget::Range { lo: 51, hi: 199 }
+        );
+        let lt = parse_query(&schema(), "age < 30").unwrap();
+        assert_eq!(
+            lt.predicate_on(0).unwrap().target,
+            PredicateTarget::Range { lo: 0, hi: 29 }
+        );
+    }
+
+    #[test]
+    fn equality_on_either_kind() {
+        let q = parse_query(&schema(), "edu = 2 AND age = 40").unwrap();
+        assert_eq!(q.predicate_on(1).unwrap().target, PredicateTarget::Set(vec![2]));
+        assert_eq!(q.predicate_on(0).unwrap().target, PredicateTarget::Set(vec![40]));
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        let q = parse_query(&schema(), "salary <= 1_99").unwrap();
+        assert_eq!(
+            q.predicate_on(2).unwrap().target,
+            PredicateTarget::Range { lo: 0, hi: 199 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let s = schema();
+        assert!(parse_query(&s, "").is_err());
+        assert!(parse_query(&s, "bogus = 1").is_err());
+        assert!(parse_query(&s, "age BETWEEN 1").is_err());
+        assert!(parse_query(&s, "age BETWEEN 1 OR 2").is_err());
+        assert!(parse_query(&s, "edu BETWEEN 1 AND 2").is_err(), "range on categorical");
+        assert!(parse_query(&s, "edu <= 3").is_err(), "comparison on categorical");
+        assert!(parse_query(&s, "age IN (").is_err());
+        assert!(parse_query(&s, "age IN ()").is_err());
+        assert!(parse_query(&s, "age = 40 age = 41").is_err(), "missing AND");
+        assert!(parse_query(&s, "age # 3").is_err(), "bad character");
+        assert!(parse_query(&s, "age < 0").is_err());
+        assert!(parse_query(&s, "age BETWEEN 30 AND 200").is_err(), "out of domain");
+        assert!(parse_query(&s, "age = 1 AND age = 2").is_err(), "duplicate attribute");
+    }
+
+    #[test]
+    fn parsed_queries_answer() {
+        use crate::dataset::Dataset;
+        let s = schema();
+        let data = Dataset::from_rows(
+            s.clone(),
+            vec![vec![29, 0, 60], vec![55, 4, 100], vec![48, 3, 80]],
+        )
+        .unwrap();
+        let q = parse_query(&s, "age BETWEEN 30 AND 60 AND edu IN (3, 4) AND salary <= 80")
+            .unwrap();
+        assert!((q.true_answer(&data) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the shared data model.
+
+use proptest::prelude::*;
+
+use felip_common::hash::{mix64, universal_hash};
+use felip_common::metrics::{mae, mean, rmse, sample_variance};
+use felip_common::{Attribute, Dataset, Predicate, Query, Schema};
+
+fn small_schema(dn: u32, dc: u32) -> Schema {
+    Schema::new(vec![
+        Attribute::numerical("x", dn),
+        Attribute::categorical("c", dc),
+    ])
+    .expect("valid schema")
+}
+
+proptest! {
+    /// The universal hash always lands in range and is deterministic.
+    #[test]
+    fn hash_in_range(seed in any::<u64>(), v in any::<u32>(), g in 1u32..10_000) {
+        let h = universal_hash(seed, v, g);
+        prop_assert!(h < g);
+        prop_assert_eq!(h, universal_hash(seed, v, g));
+    }
+
+    /// mix64 is a bijection-ish mixer: distinct inputs we generate rarely
+    /// collide, and zero is not a fixed point family (sanity).
+    #[test]
+    fn mix64_no_trivial_collisions(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(mix64(a), mix64(b));
+    }
+
+    /// A query's true answer equals the fraction of matching rows computed
+    /// naively, and is monotone under predicate strengthening.
+    #[test]
+    fn true_answer_matches_naive(
+        dn in 2u32..64,
+        dc in 2u32..8,
+        rows in proptest::collection::vec((0u32..64, 0u32..8), 1..200),
+        lo in 0u32..64,
+        hi in 0u32..64,
+    ) {
+        let schema = small_schema(dn, dc);
+        let rows: Vec<Vec<u32>> =
+            rows.into_iter().map(|(x, c)| vec![x % dn, c % dc]).collect();
+        let data = Dataset::from_rows(schema.clone(), rows.clone()).unwrap();
+        let (lo, hi) = ((lo % dn).min(hi % dn), (lo % dn).max(hi % dn));
+        let q = Query::new(&schema, vec![Predicate::between(0, lo, hi)]).unwrap();
+        let naive = rows.iter().filter(|r| lo <= r[0] && r[0] <= hi).count() as f64
+            / rows.len() as f64;
+        prop_assert!((q.true_answer(&data) - naive).abs() < 1e-12);
+
+        // Strengthened query can only shrink the answer.
+        let q2 = Query::new(
+            &schema,
+            vec![Predicate::between(0, lo, hi), Predicate::equals(1, 0)],
+        ).unwrap();
+        prop_assert!(q2.true_answer(&data) <= q.true_answer(&data) + 1e-12);
+    }
+
+    /// Predicate selectivity is `selected / domain` and in (0, 1].
+    #[test]
+    fn selectivity_bounds(dn in 2u32..256, a in 0u32..256, b in 0u32..256) {
+        let schema = small_schema(dn, 4);
+        let (lo, hi) = ((a % dn).min(b % dn), (a % dn).max(b % dn));
+        let p = Predicate::between(0, lo, hi);
+        let s = p.selectivity(&schema);
+        prop_assert!(s > 0.0 && s <= 1.0);
+        prop_assert!((s - (hi - lo + 1) as f64 / dn as f64).abs() < 1e-12);
+    }
+
+    /// Metric identities: MAE ≤ RMSE, both zero iff vectors equal; mean and
+    /// variance behave on constants.
+    #[test]
+    fn metric_identities(xs in proptest::collection::vec(0.0f64..1.0, 1..50)) {
+        let zeros = vec![0.0; xs.len()];
+        prop_assert!(mae(&xs, &xs) < 1e-15);
+        prop_assert!(rmse(&xs, &xs) < 1e-15);
+        prop_assert!(mae(&xs, &zeros) <= rmse(&xs, &zeros) + 1e-12);
+        let c = vec![0.7; xs.len()];
+        prop_assert!((mean(&c) - 0.7).abs() < 1e-12);
+        prop_assert!(sample_variance(&c) < 1e-12);
+    }
+
+    /// Dataset flat storage and row access agree; truncation keeps prefixes.
+    #[test]
+    fn dataset_storage_roundtrip(
+        rows in proptest::collection::vec((0u32..16, 0u32..4), 1..100),
+        keep in 0usize..120,
+    ) {
+        let schema = small_schema(16, 4);
+        let rows: Vec<Vec<u32>> = rows.into_iter().map(|(x, c)| vec![x, c]).collect();
+        let data = Dataset::from_rows(schema, rows.clone()).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(data.row(i), r.as_slice());
+        }
+        let t = data.truncated(keep);
+        prop_assert_eq!(t.len(), keep.min(rows.len()));
+        for i in 0..t.len() {
+            prop_assert_eq!(t.row(i), data.row(i));
+        }
+        // Marginals are distributions.
+        let m = data.marginal(0);
+        prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

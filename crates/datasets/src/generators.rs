@@ -1,0 +1,435 @@
+//! The four evaluation dataset generators.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Normal};
+
+use felip_common::rng::seeded_rng;
+use felip_common::{Attribute, Dataset, Schema};
+
+/// Shared generator parameterisation, mirroring the §6.2 sweeps:
+/// attribute count 3–10, numerical domains 2⁴–2¹⁰ (and up to 1600),
+/// categorical domains 2–8, population 10⁴–10⁷.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Number of records (users) `n`.
+    pub n: usize,
+    /// Number of numerical attributes `k_n`.
+    pub numerical: usize,
+    /// Number of categorical attributes `k_c`.
+    pub categorical: usize,
+    /// Domain size of every numerical attribute.
+    pub numerical_domain: u32,
+    /// Domain size of every categorical attribute.
+    pub categorical_domain: u32,
+    /// Master seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl GenOptions {
+    /// The paper's default configuration: 6 attributes (3 numerical + 3
+    /// categorical), numerical domain 256, categorical domain 8, n = 10⁶.
+    /// Callers usually shrink `n` for quick runs.
+    pub fn paper_default() -> Self {
+        GenOptions {
+            n: 1_000_000,
+            numerical: 3,
+            categorical: 3,
+            numerical_domain: 256,
+            categorical_domain: 8,
+            seed: 0xFE11_F001,
+        }
+    }
+
+    /// Total attribute count `k`.
+    pub fn attrs(&self) -> usize {
+        self.numerical + self.categorical
+    }
+
+    /// Builds the schema: numerical attributes `n0..`, then categorical
+    /// `c0..`.
+    pub fn schema(&self) -> Schema {
+        let mut attrs = Vec::with_capacity(self.attrs());
+        for i in 0..self.numerical {
+            attrs.push(Attribute::numerical(format!("n{i}"), self.numerical_domain));
+        }
+        for i in 0..self.categorical {
+            attrs.push(Attribute::categorical(format!("c{i}"), self.categorical_domain));
+        }
+        Schema::new(attrs).expect("generated schema is valid")
+    }
+}
+
+/// Which of the four evaluation datasets to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// All values i.i.d. uniform over each attribute's domain.
+    Uniform,
+    /// Values from a (discretised, clipped) normal centred mid-domain.
+    Normal,
+    /// Census-shaped synthetic stand-in for the IPUMS USA extract.
+    IpumsLike,
+    /// Lending-shaped synthetic stand-in for the Lending-Club extract.
+    LoanLike,
+}
+
+impl DatasetKind {
+    /// Generates the dataset.
+    pub fn generate(self, opts: GenOptions) -> Dataset {
+        match self {
+            DatasetKind::Uniform => uniform(opts),
+            DatasetKind::Normal => normal(opts),
+            DatasetKind::IpumsLike => ipums_like(opts),
+            DatasetKind::LoanLike => loan_like(opts),
+        }
+    }
+
+    /// All four kinds, in the order the paper's figures list them.
+    pub fn all() -> [DatasetKind; 4] {
+        [DatasetKind::Uniform, DatasetKind::Normal, DatasetKind::IpumsLike, DatasetKind::LoanLike]
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetKind::Uniform => write!(f, "uniform"),
+            DatasetKind::Normal => write!(f, "normal"),
+            DatasetKind::IpumsLike => write!(f, "ipums"),
+            DatasetKind::LoanLike => write!(f, "loan"),
+        }
+    }
+}
+
+/// Uniform synthetic dataset: every attribute value i.i.d. uniform.
+pub fn uniform(opts: GenOptions) -> Dataset {
+    let schema = opts.schema();
+    let mut rng = seeded_rng(opts.seed);
+    let mut data = Dataset::empty(schema.clone());
+    let mut row = vec![0u32; schema.len()];
+    for _ in 0..opts.n {
+        for (slot, attr) in row.iter_mut().zip(schema.attrs()) {
+            *slot = rng.gen_range(0..attr.domain);
+        }
+        data.push_unchecked(&row);
+    }
+    data
+}
+
+/// Normal synthetic dataset (§6.1): each attribute drawn from a normal with
+/// mean at the middle of the domain and the distribution "set to cover all
+/// the domain" (σ = d/6 puts ±3σ at the domain edges), discretised and
+/// clipped. Applies to categorical attributes as well, giving them skewed
+/// category masses.
+pub fn normal(opts: GenOptions) -> Dataset {
+    let schema = opts.schema();
+    let mut rng = seeded_rng(opts.seed);
+    let mut data = Dataset::empty(schema.clone());
+    let dists: Vec<Normal<f64>> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            let d = a.domain as f64;
+            Normal::new(d / 2.0, (d / 6.0).max(0.5)).expect("valid normal parameters")
+        })
+        .collect();
+    let mut row = vec![0u32; schema.len()];
+    for _ in 0..opts.n {
+        for ((slot, dist), attr) in row.iter_mut().zip(&dists).zip(schema.attrs()) {
+            *slot = clip(dist.sample(&mut rng), attr.domain);
+        }
+        data.push_unchecked(&row);
+    }
+    data
+}
+
+/// Census-shaped synthetic dataset standing in for IPUMS USA (§6.1).
+///
+/// Shape properties reproduced from the census extract:
+/// * a latent "person profile" couples age, income, education and the
+///   categorical attributes (the mechanisms' consistency and response-matrix
+///   stages only react to such cross-attribute correlation);
+/// * numerical marginals alternate between a bimodal age-like shape, a
+///   right-skewed log-normal income-like shape, and a plateau shape;
+/// * categorical masses are strongly non-uniform (Zipf-ish), as census
+///   race/class-of-worker fields are.
+pub fn ipums_like(opts: GenOptions) -> Dataset {
+    let schema = opts.schema();
+    let mut rng = seeded_rng(opts.seed);
+    let mut data = Dataset::empty(schema.clone());
+    let income_dist = LogNormal::new(0.0, 0.6).expect("valid log-normal");
+    let mut row = vec![0u32; schema.len()];
+    for _ in 0..opts.n {
+        // Latent socioeconomic factor in [0, 1].
+        let z: f64 = rng.gen::<f64>();
+        // `i` selects the marginal *shape* (i % 3), not just the slot.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..opts.numerical {
+            let d = opts.numerical_domain as f64;
+            let v = match i % 3 {
+                // Age-like: two bumps (young adults / middle age) tied to z.
+                0 => {
+                    let centre = if z < 0.45 { 0.3 } else { 0.55 };
+                    d * (centre + 0.12 * rng.sample::<f64, _>(rand_distr::StandardNormal))
+                }
+                // Income-like: right-skewed, scaled by the latent factor.
+                1 => d * 0.25 * (0.4 + z) * income_dist.sample(&mut rng),
+                // Hours-worked-like plateau: uniform core with soft edges.
+                _ => d * (0.1 + 0.8 * rng.gen::<f64>() * (0.5 + 0.5 * z)),
+            };
+            row[i] = clip(v, opts.numerical_domain);
+        }
+        for i in 0..opts.categorical {
+            let d = opts.categorical_domain;
+            let v = match i % 3 {
+                // Sex-like: nearly balanced binary-ish split over d.
+                0 => {
+                    if rng.gen_bool(0.51) {
+                        0
+                    } else {
+                        1 + rng.gen_range(0..d.max(2) - 1)
+                    }
+                }
+                // Education-like: correlated with the latent factor.
+                1 => clip(z * d as f64 + rng.sample::<f64, _>(rand_distr::StandardNormal), d),
+                // Race-like: Zipf-ish heavy head.
+                _ => zipf_like(&mut rng, d),
+            };
+            row[opts.numerical + i] = v;
+        }
+        data.push_unchecked(&row);
+    }
+    data
+}
+
+/// Lending-shaped synthetic dataset standing in for Lending-Club (§6.1).
+///
+/// Shape properties: loan amounts cluster at round figures (spiky marginal),
+/// interest rate anti-correlates with a credit-grade latent, credit scores
+/// are high and left-skewed, and loan grade/purpose categoricals have heavy
+/// heads.
+pub fn loan_like(opts: GenOptions) -> Dataset {
+    let schema = opts.schema();
+    let mut rng = seeded_rng(opts.seed);
+    let mut data = Dataset::empty(schema.clone());
+    let amount_dist = LogNormal::new(0.0, 0.5).expect("valid log-normal");
+    let mut row = vec![0u32; schema.len()];
+    for _ in 0..opts.n {
+        // Latent creditworthiness in [0, 1]; most borrowers are mid-to-good.
+        let credit: f64 = 1.0 - rng.gen::<f64>() * rng.gen::<f64>();
+        // `i` selects the marginal *shape* (i % 3), not just the slot.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..opts.numerical {
+            let d = opts.numerical_domain as f64;
+            let v = match i % 3 {
+                // Loan-amount-like: log-normal snapped towards round values.
+                0 => {
+                    let raw = d * 0.3 * amount_dist.sample(&mut rng);
+                    let snap = (d / 16.0).max(1.0);
+                    if rng.gen_bool(0.4) {
+                        (raw / snap).round() * snap
+                    } else {
+                        raw
+                    }
+                }
+                // Interest-rate-like: anti-correlated with credit.
+                1 => d * (0.75 - 0.6 * credit) + d * 0.06 * rng.sample::<f64, _>(rand_distr::StandardNormal),
+                // Credit-score-like: high, left-skewed.
+                _ => d * (0.35 + 0.65 * credit.powf(0.7))
+                    + d * 0.04 * rng.sample::<f64, _>(rand_distr::StandardNormal),
+            };
+            row[i] = clip(v, opts.numerical_domain);
+        }
+        for i in 0..opts.categorical {
+            let d = opts.categorical_domain;
+            let v = match i % 3 {
+                // Grade-like: tied to credit.
+                0 => clip((1.0 - credit) * d as f64, d),
+                // Term-like: two dominant values.
+                1 => {
+                    if rng.gen_bool(0.7) {
+                        0
+                    } else {
+                        1.min(d - 1)
+                    }
+                }
+                // Purpose-like: heavy-headed.
+                _ => zipf_like(&mut rng, d),
+            };
+            row[opts.numerical + i] = v;
+        }
+        data.push_unchecked(&row);
+    }
+    data
+}
+
+/// Clips a real sample into the discrete domain `0..d`.
+fn clip(v: f64, d: u32) -> u32 {
+    if !v.is_finite() || v < 0.0 {
+        return 0;
+    }
+    (v as u32).min(d - 1)
+}
+
+/// Zipf-ish categorical sampler: value `v` has mass ∝ 1/(v+1).
+fn zipf_like(rng: &mut impl Rng, d: u32) -> u32 {
+    let h: f64 = (1..=d).map(|i| 1.0 / i as f64).sum();
+    let mut u = rng.gen::<f64>() * h;
+    for v in 0..d {
+        u -= 1.0 / (v + 1) as f64;
+        if u <= 0.0 {
+            return v;
+        }
+    }
+    d - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenOptions {
+        GenOptions {
+            n: 20_000,
+            numerical: 3,
+            categorical: 3,
+            numerical_domain: 64,
+            categorical_domain: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_kinds_generate_valid_data() {
+        for kind in DatasetKind::all() {
+            let ds = kind.generate(small());
+            assert_eq!(ds.len(), 20_000, "{kind}");
+            assert_eq!(ds.schema().len(), 6);
+            // Dataset::push_unchecked debug-asserts ranges; re-check here.
+            for row in ds.rows().take(500) {
+                ds.schema().check_record(row).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ipums_like(small());
+        let b = ipums_like(small());
+        assert_eq!(a.flat(), b.flat());
+        let mut other = small();
+        other.seed = 8;
+        let c = ipums_like(other);
+        assert_ne!(a.flat(), c.flat());
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let ds = uniform(small());
+        let m = ds.marginal(0);
+        let expect = 1.0 / 64.0;
+        for (v, &f) in m.iter().enumerate() {
+            assert!((f - expect).abs() < 0.01, "value {v}: {f}");
+        }
+    }
+
+    #[test]
+    fn normal_peaks_mid_domain() {
+        let ds = normal(small());
+        let m = ds.marginal(0);
+        let centre: f64 = m[24..40].iter().sum();
+        let edge: f64 = m[..8].iter().sum::<f64>() + m[56..].iter().sum::<f64>();
+        assert!(centre > 0.5, "centre mass {centre}");
+        assert!(edge < 0.1, "edge mass {edge}");
+    }
+
+    #[test]
+    fn ipums_like_is_skewed_and_correlated() {
+        let ds = ipums_like(small());
+        // Numerical marginal 1 (income-like) is right-skewed: median below
+        // the midpoint.
+        let m = ds.marginal(1);
+        let low: f64 = m[..32].iter().sum();
+        assert!(low > 0.6, "income-like low-half mass {low}");
+        // Education-like categorical (index numerical+1) correlates with the
+        // income-like numerical: check a crude correlation over records.
+        let (mut sum_xy, mut sum_x, mut sum_y) = (0.0f64, 0.0f64, 0.0f64);
+        let n = ds.len() as f64;
+        for row in ds.rows() {
+            let x = row[1] as f64;
+            let y = row[4] as f64;
+            sum_xy += x * y;
+            sum_x += x;
+            sum_y += y;
+        }
+        let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+        assert!(cov > 0.0, "expected positive income↔education covariance, got {cov}");
+    }
+
+    #[test]
+    fn loan_like_rate_anticorrelates_with_score() {
+        let ds = loan_like(small());
+        // attr 1 = interest-rate-like, attr 2 = credit-score-like.
+        let (mut sum_xy, mut sum_x, mut sum_y) = (0.0f64, 0.0f64, 0.0f64);
+        let n = ds.len() as f64;
+        for row in ds.rows() {
+            let x = row[1] as f64;
+            let y = row[2] as f64;
+            sum_xy += x * y;
+            sum_x += x;
+            sum_y += y;
+        }
+        let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+        assert!(cov < 0.0, "expected negative rate↔score covariance, got {cov}");
+    }
+
+    #[test]
+    fn categorical_masses_nonuniform_on_real_like() {
+        let ds = ipums_like(small());
+        // Race-like attribute (numerical + 2) must have a heavy head.
+        let m = ds.marginal(5);
+        assert!(m[0] > 2.0 * m[4], "head {} vs tail {}", m[0], m[4]);
+    }
+
+    #[test]
+    fn schema_layout() {
+        let s = small().schema();
+        assert_eq!(s.numerical_indices(), vec![0, 1, 2]);
+        assert_eq!(s.categorical_indices(), vec![3, 4, 5]);
+        assert_eq!(s.attr(0).name, "n0");
+        assert_eq!(s.attr(3).name, "c0");
+    }
+
+    #[test]
+    fn domain_sweep_shapes() {
+        // The generators must stay valid across the fig-3 domain sweep.
+        for d in [16u32, 25, 100, 1024] {
+            let mut o = small();
+            o.numerical_domain = d;
+            o.n = 2_000;
+            for kind in DatasetKind::all() {
+                let ds = kind.generate(o);
+                for row in ds.rows().take(200) {
+                    ds.schema().check_record(row).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_in_range() {
+        let mut rng = seeded_rng(1);
+        for _ in 0..1000 {
+            assert!(zipf_like(&mut rng, 5) < 5);
+        }
+        // Degenerate domain of one.
+        assert_eq!(zipf_like(&mut rng, 1), 0);
+    }
+
+    #[test]
+    fn clip_handles_pathological_input() {
+        assert_eq!(clip(f64::NAN, 10), 0);
+        assert_eq!(clip(-3.0, 10), 0);
+        assert_eq!(clip(1e12, 10), 9);
+        assert_eq!(clip(4.7, 10), 4);
+    }
+}

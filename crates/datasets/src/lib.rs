@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Dataset generators and query workloads for the FELIP evaluation (§6.1).
+//!
+//! The paper evaluates on two synthetic datasets (Uniform, Normal) and two
+//! real ones (IPUMS census microdata, Lending-Club loans). The real datasets
+//! are not redistributable, so this crate ships *shape-preserving synthetic
+//! equivalents* ([`ipums_like`], [`loan_like`]): generators reproducing the
+//! properties the mechanisms are sensitive to — marginal skew, heterogeneous
+//! categorical masses, and cross-attribute correlation — as documented in
+//! DESIGN.md. All four generators share one parameterisation
+//! ([`GenOptions`]) so the evaluation can sweep the attribute count, domain
+//! sizes, and population size exactly as §6.2 does.
+//!
+//! [`workload`] generates the random λ-dimensional query sets with
+//! controlled per-attribute selectivity used by every experiment.
+
+pub mod csv;
+pub mod generators;
+pub mod workload;
+
+pub use csv::{load_csv_str, CodeBook, ColumnCodes, ColumnSpec};
+pub use generators::{
+    ipums_like, loan_like, normal, uniform, DatasetKind, GenOptions,
+};
+pub use workload::{generate_queries, WorkloadOptions};

@@ -1,0 +1,208 @@
+//! Random query workload generation (§6.2).
+//!
+//! Every experiment evaluates a set `Q` of random λ-dimensional queries with
+//! a controlled per-attribute selectivity `s`: for a numerical attribute the
+//! predicate is a random interval covering `s·d` values; for a categorical
+//! attribute it is a random `IN` set of `max(1, round(s·d))` categories.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use felip_common::rng::seeded_rng;
+use felip_common::{AttrKind, Error, Predicate, Query, Result, Schema};
+
+/// Parameters of a query workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadOptions {
+    /// Query dimension λ (number of predicates per query).
+    pub lambda: usize,
+    /// Per-attribute selectivity `s ∈ (0, 1]`.
+    pub selectivity: f64,
+    /// Number of queries |Q|.
+    pub count: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// When `true`, only numerical attributes are queried (the range-only
+    /// setting of §6.3 used for the TDG/HDG comparison).
+    pub range_only: bool,
+}
+
+impl WorkloadOptions {
+    /// The paper's defaults: λ = 2, s = 0.5, |Q| = 10.
+    pub fn paper_default() -> Self {
+        WorkloadOptions { lambda: 2, selectivity: 0.5, count: 10, seed: 0xC0FFEE, range_only: false }
+    }
+}
+
+/// Generates `opts.count` random λ-D queries over `schema`.
+///
+/// Returns an error when λ exceeds the number of eligible attributes or the
+/// selectivity is out of range.
+pub fn generate_queries(schema: &Schema, opts: WorkloadOptions) -> Result<Vec<Query>> {
+    if !(opts.selectivity > 0.0 && opts.selectivity <= 1.0) {
+        return Err(Error::InvalidParameter(format!(
+            "selectivity {} outside (0, 1]",
+            opts.selectivity
+        )));
+    }
+    if opts.lambda == 0 {
+        return Err(Error::InvalidParameter("query dimension must be positive".into()));
+    }
+    let eligible: Vec<usize> = if opts.range_only {
+        schema.numerical_indices()
+    } else {
+        (0..schema.len()).collect()
+    };
+    if opts.lambda > eligible.len() {
+        return Err(Error::InvalidParameter(format!(
+            "query dimension {} exceeds the {} eligible attributes",
+            opts.lambda,
+            eligible.len()
+        )));
+    }
+    let mut rng = seeded_rng(opts.seed);
+    let mut queries = Vec::with_capacity(opts.count);
+    for _ in 0..opts.count {
+        let mut attrs = eligible.clone();
+        attrs.shuffle(&mut rng);
+        attrs.truncate(opts.lambda);
+        let preds = attrs
+            .into_iter()
+            .map(|a| random_predicate(schema, a, opts.selectivity, &mut rng))
+            .collect();
+        queries.push(Query::new(schema, preds)?);
+    }
+    Ok(queries)
+}
+
+/// One random predicate on `attr` with selectivity `s`.
+fn random_predicate(schema: &Schema, attr: usize, s: f64, rng: &mut impl Rng) -> Predicate {
+    let a = schema.attr(attr);
+    let d = a.domain;
+    let width = (((d as f64) * s).round() as u32).clamp(1, d);
+    match a.kind {
+        AttrKind::Numerical => {
+            let lo = rng.gen_range(0..=(d - width));
+            Predicate::between(attr, lo, lo + width - 1)
+        }
+        AttrKind::Categorical => {
+            let mut vals: Vec<u32> = (0..d).collect();
+            vals.shuffle(rng);
+            vals.truncate(width as usize);
+            Predicate::in_set(attr, vals)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felip_common::{Attribute, PredicateTarget};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("x", 100),
+            Attribute::numerical("y", 50),
+            Attribute::categorical("c", 8),
+            Attribute::categorical("e", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_and_dimension() {
+        let qs = generate_queries(
+            &schema(),
+            WorkloadOptions { lambda: 3, selectivity: 0.5, count: 25, seed: 1, range_only: false },
+        )
+        .unwrap();
+        assert_eq!(qs.len(), 25);
+        assert!(qs.iter().all(|q| q.dim() == 3));
+    }
+
+    #[test]
+    fn selectivity_is_respected() {
+        let qs = generate_queries(
+            &schema(),
+            WorkloadOptions { lambda: 2, selectivity: 0.3, count: 50, seed: 2, range_only: false },
+        )
+        .unwrap();
+        for q in &qs {
+            for p in q.predicates() {
+                let sel = p.selectivity(&schema());
+                // round(s·d)/d is within one value of s.
+                let d = schema().domain(p.attr) as f64;
+                assert!((sel - 0.3).abs() <= 0.5 / d + 1e-9, "sel {sel} on attr {}", p.attr);
+            }
+        }
+    }
+
+    #[test]
+    fn range_only_restricts_to_numerical() {
+        let qs = generate_queries(
+            &schema(),
+            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 20, seed: 3, range_only: true },
+        )
+        .unwrap();
+        for q in &qs {
+            for p in q.predicates() {
+                assert!(p.attr < 2, "range-only query used attribute {}", p.attr);
+                assert!(matches!(p.target, PredicateTarget::Range { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_predicates_are_sets() {
+        let qs = generate_queries(
+            &schema(),
+            WorkloadOptions { lambda: 4, selectivity: 0.5, count: 10, seed: 4, range_only: false },
+        )
+        .unwrap();
+        for q in &qs {
+            for p in q.predicates() {
+                match schema().attr(p.attr).kind {
+                    AttrKind::Numerical => assert!(matches!(p.target, PredicateTarget::Range { .. })),
+                    AttrKind::Categorical => {
+                        let PredicateTarget::Set(vals) = &p.target else {
+                            panic!("categorical predicate must be a set");
+                        };
+                        let d = schema().domain(p.attr);
+                        assert_eq!(vals.len() as u32, (d as f64 * 0.5).round() as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_selectivity_yields_singletons() {
+        let qs = generate_queries(
+            &schema(),
+            WorkloadOptions { lambda: 1, selectivity: 0.001, count: 20, seed: 5, range_only: false },
+        )
+        .unwrap();
+        for q in &qs {
+            assert_eq!(q.predicates()[0].target.selected_count(), 1);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let o = WorkloadOptions { lambda: 2, selectivity: 0.5, count: 5, seed: 9, range_only: false };
+        assert_eq!(generate_queries(&schema(), o), generate_queries(&schema(), o));
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let s = schema();
+        let base = WorkloadOptions::paper_default();
+        assert!(generate_queries(&s, WorkloadOptions { selectivity: 0.0, ..base }).is_err());
+        assert!(generate_queries(&s, WorkloadOptions { selectivity: 1.5, ..base }).is_err());
+        assert!(generate_queries(&s, WorkloadOptions { lambda: 0, ..base }).is_err());
+        assert!(generate_queries(&s, WorkloadOptions { lambda: 5, ..base }).is_err());
+        assert!(
+            generate_queries(&s, WorkloadOptions { lambda: 3, range_only: true, ..base }).is_err()
+        );
+    }
+}

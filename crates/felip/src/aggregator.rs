@@ -1,0 +1,244 @@
+//! Server-side aggregation: streaming ingestion of user reports, frequency
+//! estimation, and post-processing.
+
+use felip_common::{Error, Result};
+use felip_fo::afo::make_oracle;
+use felip_fo::FrequencyOracle;
+use felip_grid::postprocess::post_process;
+use felip_grid::EstimatedGrid;
+
+use crate::answer::Estimator;
+use crate::client::UserReport;
+use crate::plan::CollectionPlan;
+
+/// The aggregator: ingests perturbed reports group by group, then estimates
+/// every grid and post-processes (§5, aggregator side).
+///
+/// Ingestion is *streaming*: each report is folded into per-grid support
+/// counts immediately (GRR: one counter bump; OLH: one hash evaluation per
+/// grid cell), so the aggregator's memory is `O(Σ grid cells)` regardless of
+/// the population size.
+pub struct Aggregator {
+    plan: CollectionPlan,
+    oracles: Vec<Box<dyn FrequencyOracle>>,
+    counts: Vec<Vec<u64>>,
+    group_sizes: Vec<usize>,
+}
+
+impl std::fmt::Debug for Aggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aggregator")
+            .field("groups", &self.plan.num_groups())
+            .field("reports", &self.reports_ingested())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Aggregator {
+    /// An empty aggregator for `plan`.
+    pub fn new(plan: CollectionPlan) -> Self {
+        let oracles: Vec<Box<dyn FrequencyOracle>> = plan
+            .grids()
+            .iter()
+            .map(|g| make_oracle(g.fo, plan.config().epsilon, g.num_cells()))
+            .collect();
+        let counts = plan.grids().iter().map(|g| vec![0u64; g.num_cells() as usize]).collect();
+        let group_sizes = vec![0; plan.num_groups()];
+        Aggregator { plan, oracles, counts, group_sizes }
+    }
+
+    /// The plan this aggregator collects for.
+    pub fn plan(&self) -> &CollectionPlan {
+        &self.plan
+    }
+
+    /// Number of reports ingested so far.
+    pub fn reports_ingested(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// Reports ingested per group.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Folds one user report into the group's support counts.
+    pub fn ingest(&mut self, report: &UserReport) -> Result<()> {
+        let g = report.group;
+        if g >= self.plan.num_groups() {
+            return Err(Error::InvalidReport(format!(
+                "group {g} out of range 0..{}",
+                self.plan.num_groups()
+            )));
+        }
+        self.oracles[g].accumulate(&report.report, &mut self.counts[g]);
+        self.group_sizes[g] += 1;
+        Ok(())
+    }
+
+    /// Merges another aggregator built from the *same plan* (used to combine
+    /// per-shard aggregators after parallel ingestion).
+    ///
+    /// # Panics
+    /// Panics when the two aggregators have different group structures.
+    pub fn merge(&mut self, other: &Aggregator) {
+        assert_eq!(self.counts.len(), other.counts.len(), "plans differ");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            assert_eq!(mine.len(), theirs.len(), "grid shapes differ");
+            for (a, b) in mine.iter_mut().zip(theirs) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.group_sizes.iter_mut().zip(&other.group_sizes) {
+            *a += b;
+        }
+    }
+
+    /// Estimates every grid's cell frequencies, runs post-processing
+    /// (consistency + non-negativity, §5.4), and returns the query-answering
+    /// [`Estimator`].
+    pub fn estimate(&self) -> Result<Estimator> {
+        if self.reports_ingested() == 0 {
+            return Err(Error::InvalidParameter("no reports ingested".into()));
+        }
+        let mut grids: Vec<EstimatedGrid> = self
+            .plan
+            .grids()
+            .iter()
+            .zip(&self.oracles)
+            .zip(&self.counts)
+            .zip(&self.group_sizes)
+            .map(|(((spec, oracle), counts), &size)| {
+                let freqs = oracle.estimate_from_counts(counts, size);
+                EstimatedGrid::new(spec.clone(), freqs)
+            })
+            .collect();
+        let variances = self.plan.cell_variances();
+        post_process(
+            &mut grids,
+            self.plan.schema().len(),
+            &variances,
+            self.plan.config().postprocess_rounds,
+        );
+        Ok(Estimator::new(self.plan.clone(), grids))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::respond;
+    use crate::config::{FelipConfig, Strategy};
+    use felip_common::rng::seeded_rng;
+    use felip_common::{Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("a", 32),
+            Attribute::categorical("c", 3),
+        ])
+        .unwrap()
+    }
+
+    fn collected(n: usize, seed: u64) -> Aggregator {
+        let cfg = FelipConfig::new(1.0).with_strategy(Strategy::Ohg);
+        let plan = CollectionPlan::build(&schema(), n, &cfg, seed).unwrap();
+        let mut agg = Aggregator::new(plan.clone());
+        let mut rng = seeded_rng(seed);
+        for u in 0..n {
+            // Deterministic synthetic population: a in the lower half,
+            // c biased to 0.
+            let a = (u % 16) as u32;
+            let c = if u % 4 == 0 { 1 } else { 0 };
+            let r = respond(&plan, u, &[a, c], &mut rng).unwrap();
+            agg.ingest(&r).unwrap();
+        }
+        agg
+    }
+
+    #[test]
+    fn ingest_counts_by_group() {
+        let agg = collected(5_000, 1);
+        assert_eq!(agg.reports_ingested(), 5_000);
+        assert!(agg.group_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn estimate_produces_valid_grids() {
+        let est = collected(20_000, 2).estimate().unwrap();
+        for g in est.grids() {
+            assert!(g.freqs().iter().all(|&f| f >= 0.0));
+            assert!((g.total() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn estimates_reflect_the_data() {
+        // All mass in a ∈ [0, 16): the 1-D grid for attribute 0 must put
+        // (nearly) everything in the lower half.
+        let est = collected(40_000, 3).estimate().unwrap();
+        let g = est
+            .grids()
+            .iter()
+            .find(|g| g.spec().id() == felip_grid::GridId::One(0))
+            .expect("OHG has a 1-D grid for attr 0");
+        let lower: f64 = g
+            .freqs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let (lo, _) = g.spec().axes()[0].binning.cell_range(*i as u32);
+                lo < 16
+            })
+            .map(|(_, f)| f)
+            .sum();
+        assert!(lower > 0.8, "lower-half mass {lower}");
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let cfg = FelipConfig::new(1.0);
+        let plan = CollectionPlan::build(&schema(), 1_000, &cfg, 9).unwrap();
+        let mut rng = seeded_rng(9);
+        let reports: Vec<_> =
+            (0..1_000).map(|u| respond(&plan, u, &[(u % 32) as u32, 0], &mut rng).unwrap()).collect();
+
+        let mut whole = Aggregator::new(plan.clone());
+        for r in &reports {
+            whole.ingest(r).unwrap();
+        }
+        let mut left = Aggregator::new(plan.clone());
+        let mut right = Aggregator::new(plan.clone());
+        for r in &reports[..500] {
+            left.ingest(r).unwrap();
+        }
+        for r in &reports[500..] {
+            right.ingest(r).unwrap();
+        }
+        left.merge(&right);
+        assert_eq!(left.reports_ingested(), whole.reports_ingested());
+        assert_eq!(left.group_sizes(), whole.group_sizes());
+        // Identical counts → identical estimates.
+        let a = left.estimate().unwrap();
+        let b = whole.estimate().unwrap();
+        for (ga, gb) in a.grids().iter().zip(b.grids()) {
+            assert_eq!(ga.freqs(), gb.freqs());
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_group() {
+        let cfg = FelipConfig::new(1.0);
+        let plan = CollectionPlan::build(&schema(), 100, &cfg, 0).unwrap();
+        let mut agg = Aggregator::new(plan);
+        let bad = UserReport { group: 999, report: felip_fo::Report::Grr(0) };
+        assert!(agg.ingest(&bad).is_err());
+    }
+
+    #[test]
+    fn estimate_requires_reports() {
+        let cfg = FelipConfig::new(1.0);
+        let plan = CollectionPlan::build(&schema(), 100, &cfg, 0).unwrap();
+        assert!(Aggregator::new(plan).estimate().is_err());
+    }
+}

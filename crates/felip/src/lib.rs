@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+
+//! FELIP: locally differentially private frequency estimation on
+//! multidimensional datasets (Costa Filho & Machado, EDBT 2023).
+//!
+//! FELIP answers λ-dimensional counting queries — conjunctions of `IN`
+//! predicates on categorical attributes and `BETWEEN` predicates on
+//! numerical ones — over data that every user perturbs locally under ε-LDP
+//! before it ever reaches the aggregator.
+//!
+//! # Pipeline
+//!
+//! 1. **Plan** ([`CollectionPlan::build`]): the aggregator enumerates the
+//!    grids (2-D per attribute pair; OHG adds 1-D per numerical attribute),
+//!    sizes each grid individually by minimising its bias/variance error
+//!    (§5.2), picks the better of GRR/OLH per grid (the Adaptive Frequency
+//!    Oracle, §5.3), and divides users into one group per grid (§5.1).
+//! 2. **Collect** ([`client::respond`] → [`Aggregator::ingest`]): each user
+//!    projects their record onto their group's grid and reports the
+//!    perturbed cell through the grid's oracle.
+//! 3. **Estimate** ([`Aggregator::estimate`]): per-cell frequencies are
+//!    de-biased, then post-processed — non-negativity (Algorithm 1) and
+//!    cross-grid consistency (Algorithm 2), alternated (§5.4).
+//! 4. **Answer** ([`Estimator::answer`]): 2-D queries are answered from
+//!    per-pair response matrices (Algorithm 3, §5.5); λ-D queries are fitted
+//!    from their `C(λ,2)` associated 2-D answers (Algorithm 4, §5.6).
+//!
+//! # Quick start
+//!
+//! ```
+//! use felip::{FelipConfig, Strategy, simulate};
+//! use felip_common::{Attribute, Dataset, Predicate, Query, Schema};
+//! use felip_common::rng::seeded_rng;
+//! use rand::Rng;
+//!
+//! // A toy dataset: age (numerical, 0..64) × membership (categorical, 3).
+//! let schema = Schema::new(vec![
+//!     Attribute::numerical("age", 64),
+//!     Attribute::categorical("tier", 3),
+//! ]).unwrap();
+//! let mut rng = seeded_rng(1);
+//! let mut data = Dataset::empty(schema.clone());
+//! for _ in 0..20_000 {
+//!     let age = rng.gen_range(0..64u32);
+//!     let tier = rng.gen_range(0..3u32);
+//!     data.push(&[age, tier]).unwrap();
+//! }
+//!
+//! // Collect under ε = 1 LDP with the hybrid-grid strategy and answer.
+//! let config = FelipConfig::new(1.0).with_strategy(Strategy::Ohg);
+//! let estimator = simulate(&data, &config, 42).unwrap();
+//! let q = Query::new(&schema, vec![
+//!     Predicate::between(0, 16, 47),
+//!     Predicate::in_set(1, vec![0, 2]),
+//! ]).unwrap();
+//! let est = estimator.answer(&q).unwrap();
+//! let truth = q.true_answer(&data);
+//! assert!((est - truth).abs() < 0.2);
+//! ```
+
+pub mod aggregator;
+pub mod answer;
+pub mod client;
+pub mod config;
+pub mod plan;
+pub mod simulate;
+pub mod stats;
+pub mod twophase;
+
+pub use aggregator::Aggregator;
+pub use answer::Estimator;
+pub use client::{respond, UserReport};
+pub use config::{FelipConfig, SelectivityPrior, Strategy};
+pub use plan::CollectionPlan;
+pub use simulate::simulate;
+pub use stats::AnswerWithError;
+pub use twophase::simulate_two_phase;

@@ -1,0 +1,273 @@
+//! Derived statistics on top of query answering: analytic error bars and
+//! mean estimation.
+//!
+//! The paper's error analysis (§5.7) gives closed-form noise variances per
+//! grid cell; summing them over the cells a query touches yields an
+//! analytic standard error for the estimate — the number an analyst needs
+//! to decide whether a reported difference is signal or LDP noise. Mean
+//! estimation over a numerical attribute falls out of the 1-D marginal
+//! (bin midpoints weighted by estimated frequencies), a common companion
+//! query in LDP deployments.
+
+use felip_common::{AttrKind, Error, Query, Result};
+use felip_grid::GridId;
+
+use crate::answer::Estimator;
+
+/// A query answer with its analytic one-standard-deviation error bar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerWithError {
+    /// The frequency estimate, clamped to `[0, 1]`.
+    pub estimate: f64,
+    /// Analytic standard error from the noise model (§5.7). A first-order
+    /// bound: it accounts for FO noise over the touched cells of the
+    /// answering grids, not for non-uniformity bias or λ-D fitting error.
+    pub std_error: f64,
+}
+
+impl Estimator {
+    /// Answers `query` together with an analytic standard error.
+    ///
+    /// The error model follows §5.7: each grid cell contributes an
+    /// independent zero-mean noise term with the grid's per-cell variance
+    /// (`cell_variances` of the plan); a query that touches `c` cells of
+    /// grid `G` with selection weights `w_i` accumulates
+    /// `Σ w_i² · Var_G`. For λ ≥ 3 we report the error of the *largest*
+    /// associated 2-D answer — a conservative proxy, since Algorithm 4's
+    /// multiplicative updates only shrink mass.
+    pub fn answer_with_error(&self, query: &Query) -> Result<AnswerWithError> {
+        let estimate = self.answer(query)?;
+        let preds = query.predicates();
+        let variances = self.plan().cell_variances();
+
+        // Variance of answering a predicate set from one grid.
+        let grid_answer_variance = |grid_idx: usize, attrs: &[usize]| -> f64 {
+            let grid = &self.grids()[grid_idx];
+            let var0 = variances[grid_idx];
+            // Product over axes of Σ w², where w are the per-axis selection
+            // weights (1 for unconstrained axes).
+            let mut sum_sq = 1.0;
+            for axis in grid.spec().axes() {
+                if let Some(p) = preds.iter().find(|p| p.attr == axis.attr && attrs.contains(&p.attr))
+                {
+                    let w = grid.axis_selection_weights(axis.attr, p);
+                    sum_sq *= w.iter().map(|x| x * x).sum::<f64>();
+                } else {
+                    sum_sq *= axis.cells() as f64;
+                }
+            }
+            sum_sq * var0
+        };
+
+        let variance = match preds.len() {
+            0 => unreachable!("queries are non-empty"),
+            1 => {
+                let attr = preds[0].attr;
+                // Same grid choice as answer_single: finest covering grid.
+                let (idx, _) = self
+                    .grids()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.spec().id().covers(attr))
+                    .max_by_key(|(_, g)| g.spec().axis_for(attr).expect("covers").cells())
+                    .ok_or_else(|| {
+                        Error::InvalidQuery(format!("no grid covers attribute {attr}"))
+                    })?;
+                grid_answer_variance(idx, &[attr])
+            }
+            _ => {
+                // For every pair of query attributes with a planned 2-D
+                // grid, compute that grid's answer variance; report the
+                // worst (λ = 2 has exactly one).
+                let mut worst: f64 = 0.0;
+                for (a, pa) in preds.iter().enumerate() {
+                    for pb in preds.iter().skip(a + 1) {
+                        let (i, j) =
+                            (pa.attr.min(pb.attr), pa.attr.max(pb.attr));
+                        if let Some(idx) = self.plan().grid_index(GridId::Two(i, j)) {
+                            worst = worst.max(grid_answer_variance(idx, &[i, j]));
+                        }
+                    }
+                }
+                worst
+            }
+        };
+        Ok(AnswerWithError { estimate, std_error: variance.sqrt() })
+    }
+
+    /// Estimates the mean of a numerical attribute under the collected
+    /// data: `Σ midpoint(cell) · f̂(cell)` over the finest 1-D view of the
+    /// attribute (with in-cell uniformity, the midpoint is the conditional
+    /// mean).
+    pub fn mean(&self, attr: usize) -> Result<f64> {
+        let schema = self.plan().schema();
+        if attr >= schema.len() {
+            return Err(Error::InvalidQuery(format!(
+                "attribute {attr} outside the schema of {} attributes",
+                schema.len()
+            )));
+        }
+        if schema.attr(attr).kind != AttrKind::Numerical {
+            return Err(Error::InvalidQuery(format!(
+                "mean of categorical attribute `{}` is undefined",
+                schema.attr(attr).name
+            )));
+        }
+        let grid = self
+            .grids()
+            .iter()
+            .filter(|g| g.spec().id().covers(attr))
+            .max_by_key(|g| g.spec().axis_for(attr).expect("covers").cells())
+            .ok_or_else(|| Error::InvalidQuery(format!("no grid covers attribute {attr}")))?;
+        let axis = grid.spec().axis_for(attr).expect("covers");
+        let marginal = grid.marginal_along(attr);
+        let total: f64 = marginal.iter().sum();
+        if total <= 0.0 {
+            return Ok((schema.domain(attr) as f64 - 1.0) / 2.0);
+        }
+        let mut mean = 0.0;
+        for (cell, f) in marginal.iter().enumerate() {
+            let (lo, hi) = axis.binning.cell_range(cell as u32); // [lo, hi)
+            let midpoint = (lo as f64 + (hi - 1) as f64) / 2.0;
+            mean += midpoint * f;
+        }
+        Ok(mean / total)
+    }
+
+    /// Estimates the full distribution (histogram) of one attribute at
+    /// value granularity, spreading each cell's mass uniformly over its
+    /// values. Sums to ≈ 1.
+    pub fn histogram(&self, attr: usize) -> Result<Vec<f64>> {
+        let schema = self.plan().schema();
+        if attr >= schema.len() {
+            return Err(Error::InvalidQuery(format!(
+                "attribute {attr} outside the schema of {} attributes",
+                schema.len()
+            )));
+        }
+        let grid = self
+            .grids()
+            .iter()
+            .filter(|g| g.spec().id().covers(attr))
+            .max_by_key(|g| g.spec().axis_for(attr).expect("covers").cells())
+            .ok_or_else(|| Error::InvalidQuery(format!("no grid covers attribute {attr}")))?;
+        let axis = grid.spec().axis_for(attr).expect("covers");
+        let marginal = grid.marginal_along(attr);
+        let mut hist = vec![0.0; schema.domain(attr) as usize];
+        for (cell, f) in marginal.iter().enumerate() {
+            let (lo, hi) = axis.binning.cell_range(cell as u32);
+            let share = f / (hi - lo) as f64;
+            for slot in &mut hist[lo as usize..hi as usize] {
+                *slot = share;
+            }
+        }
+        Ok(hist)
+    }
+}
+
+/// Checks whether two estimates differ significantly at ~95% confidence
+/// given their analytic error bars (two-sigma rule on the difference).
+pub fn significantly_different(a: &AnswerWithError, b: &AnswerWithError) -> bool {
+    let combined = (a.std_error * a.std_error + b.std_error * b.std_error).sqrt();
+    (a.estimate - b.estimate).abs() > 2.0 * combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FelipConfig, Strategy};
+    use crate::simulate::{simulate, uniform_dataset};
+    use felip_common::{Attribute, Predicate, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("x", 64),
+            Attribute::numerical("y", 64),
+            Attribute::categorical("c", 4),
+        ])
+        .unwrap()
+    }
+
+    fn estimator(n: usize, seed: u64) -> (felip_common::Dataset, Estimator) {
+        let data = uniform_dataset(&schema(), n, seed);
+        let est = simulate(&data, &FelipConfig::new(1.0).with_strategy(Strategy::Ohg), seed)
+            .unwrap();
+        (data, est)
+    }
+
+    #[test]
+    fn error_bars_cover_the_truth_mostly() {
+        let (data, est) = estimator(40_000, 3);
+        let q = Query::new(&schema(), vec![Predicate::between(0, 0, 31)]).unwrap();
+        let a = est.answer_with_error(&q).unwrap();
+        let truth = q.true_answer(&data);
+        assert!(a.std_error > 0.0);
+        // Three-sigma check (loose; one seeded draw).
+        assert!(
+            (a.estimate - truth).abs() < 4.0 * a.std_error + 0.02,
+            "estimate {} ± {} vs truth {truth}",
+            a.estimate,
+            a.std_error
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_population() {
+        let (_, small) = estimator(5_000, 4);
+        let (_, large) = estimator(80_000, 4);
+        let q = Query::new(
+            &schema(),
+            vec![Predicate::between(0, 0, 31), Predicate::between(1, 0, 31)],
+        )
+        .unwrap();
+        let se_small = small.answer_with_error(&q).unwrap().std_error;
+        let se_large = large.answer_with_error(&q).unwrap().std_error;
+        assert!(se_large < se_small, "{se_large} !< {se_small}");
+    }
+
+    #[test]
+    fn mean_of_uniform_attribute_is_middle() {
+        let (_, est) = estimator(60_000, 5);
+        let m = est.mean(0).unwrap();
+        // Uniform over 0..64 → mean 31.5.
+        assert!((m - 31.5).abs() < 3.0, "mean {m}");
+    }
+
+    #[test]
+    fn mean_rejects_categorical_and_bad_attr() {
+        let (_, est) = estimator(2_000, 6);
+        assert!(est.mean(2).is_err());
+        assert!(est.mean(9).is_err());
+    }
+
+    #[test]
+    fn histogram_is_a_distribution() {
+        let (_, est) = estimator(30_000, 7);
+        let h = est.histogram(0).unwrap();
+        assert_eq!(h.len(), 64);
+        assert!(h.iter().all(|&f| f >= 0.0));
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        // Uniform data → roughly flat histogram.
+        let (min, max) = h.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+        assert!(max - min < 0.05, "uniform histogram spread {min}..{max}");
+    }
+
+    #[test]
+    fn histogram_of_categorical_attribute() {
+        let (_, est) = estimator(30_000, 8);
+        let h = est.histogram(2).unwrap();
+        assert_eq!(h.len(), 4);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn significance_test() {
+        let a = AnswerWithError { estimate: 0.5, std_error: 0.01 };
+        let b = AnswerWithError { estimate: 0.4, std_error: 0.01 };
+        let c = AnswerWithError { estimate: 0.49, std_error: 0.01 };
+        assert!(significantly_different(&a, &b));
+        assert!(!significantly_different(&a, &c));
+    }
+}

@@ -1,0 +1,254 @@
+//! Optimized Local Hashing (§2.2.2; Wang et al., USENIX Security 2017).
+
+use rand::{Rng, RngCore};
+use rayon::prelude::*;
+
+use felip_common::hash::universal_hash;
+
+use crate::report::Report;
+use crate::traits::FrequencyOracle;
+use crate::variance::olh_variance;
+
+/// Optimized Local Hashing over a domain of size `d`.
+///
+/// Each client draws a random member `H` of a universal hash family mapping
+/// the domain into `g = ⌈e^ε⌉ + 1` buckets, perturbs `H(v)` with GRR over
+/// `[g]`, and reports `⟨H, GRR(H(v))⟩`. The aggregator counts, for each
+/// domain value `v`, the reports that *support* it (`H_j(v) = x_j`) and
+/// de-biases: `Φ(v) = (C(v)/n − 1/g) / (p − 1/g)`.
+///
+/// The variance `4 e^ε / (n (e^ε − 1)²)` is independent of `d`, which makes
+/// OLH the protocol of choice for large domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Olh {
+    epsilon: f64,
+    domain: u32,
+    /// Hash range `g = ⌈e^ε⌉ + 1` (the variance-optimal choice).
+    g: u32,
+    /// GRR keep-probability over the hashed domain: `e^ε / (e^ε + g − 1)`.
+    p: f64,
+}
+
+impl Olh {
+    /// Creates an OLH oracle with the variance-optimal hash range
+    /// `g = ⌈e^ε⌉ + 1`.
+    ///
+    /// # Panics
+    /// Panics when `epsilon <= 0` or `domain == 0`.
+    pub fn new(epsilon: f64, domain: u32) -> Self {
+        let g = (epsilon.exp().ceil() as u32).saturating_add(1).max(2);
+        Self::with_hash_range(epsilon, domain, g)
+    }
+
+    /// Creates an OLH oracle with an explicit hash range `g ≥ 2`; exposed for
+    /// the ablation that sweeps `g` away from its optimum.
+    pub fn with_hash_range(epsilon: f64, domain: u32, g: u32) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        assert!(domain > 0, "domain must be non-empty");
+        assert!(g >= 2, "hash range must be at least 2, got {g}");
+        let e = epsilon.exp();
+        let p = e / (e + g as f64 - 1.0);
+        Olh { epsilon, domain, g, p }
+    }
+
+    /// The hash range `g`.
+    pub fn hash_range(&self) -> u32 {
+        self.g
+    }
+
+    /// GRR keep-probability over the hashed domain.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl FrequencyOracle for Olh {
+    fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report {
+        assert!(value < self.domain, "value {value} out of domain {}", self.domain);
+        let seed: u64 = rng.gen();
+        let h = universal_hash(seed, value, self.g);
+        // GRR over the hashed domain [g].
+        let out = if rng.gen_bool(self.p) {
+            h
+        } else {
+            let mut v = rng.gen_range(0..self.g - 1);
+            if v >= h {
+                v += 1;
+            }
+            v
+        };
+        Report::Olh { seed, value: out }
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> Vec<f64> {
+        let d = self.domain as usize;
+        if reports.is_empty() {
+            return vec![0.0; d];
+        }
+        // Support counting: C(v) = |{ j : H_j(v) = x_j }|. This is the hot
+        // loop of the whole system (|reports| × d hash evaluations), so we
+        // parallelise over reports and merge per-thread count vectors.
+        let counts = reports
+            .par_iter()
+            .fold(
+                || vec![0u64; d],
+                |mut acc, r| {
+                    self.accumulate(r, &mut acc);
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; d],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        self.estimate_from_counts(&counts, reports.len())
+    }
+
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) {
+        match report {
+            Report::Olh { seed, value } => {
+                assert!(*value < self.g, "OLH report value out of hash range");
+                for (v, slot) in counts.iter_mut().enumerate() {
+                    if universal_hash(*seed, v as u32, self.g) == *value {
+                        *slot += 1;
+                    }
+                }
+            }
+            other => panic!("OLH aggregator received non-OLH report {other:?}"),
+        }
+    }
+
+    fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
+        assert_eq!(counts.len(), self.domain as usize, "count vector width mismatch");
+        if n == 0 {
+            return vec![0.0; counts.len()];
+        }
+        let n = n as f64;
+        let inv_g = 1.0 / self.g as f64;
+        let denom = self.p - inv_g;
+        counts.iter().map(|&c| (c as f64 / n - inv_g) / denom).collect()
+    }
+
+    fn variance(&self, n: usize) -> f64 {
+        olh_variance(self.epsilon, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felip_common::rng::seeded_rng;
+
+    #[test]
+    fn optimal_hash_range() {
+        // g = ⌈e^ε⌉ + 1.
+        assert_eq!(Olh::new(1.0, 100).hash_range(), 4); // e ≈ 2.72 → 3 + 1
+        assert_eq!(Olh::new(2.0, 100).hash_range(), 9); // e² ≈ 7.39 → 8 + 1
+        assert_eq!(Olh::new(0.1, 100).hash_range(), 3); // 1.1 → 2 + 1
+    }
+
+    #[test]
+    fn estimates_are_unbiased_on_skewed_data() {
+        let d = 64u32;
+        let olh = Olh::new(1.0, d);
+        let n = 200_000usize;
+        let mut rng = seeded_rng(5);
+        let mut truth = vec![0.0f64; d as usize];
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            // 50% mass on value 0, rest uniform.
+            let v = if i % 2 == 0 { 0 } else { (i / 2 % (d as usize - 1) + 1) as u32 };
+            truth[v as usize] += 1.0;
+            reports.push(olh.perturb(v, &mut rng));
+        }
+        for t in &mut truth {
+            *t /= n as f64;
+        }
+        let est = olh.aggregate(&reports);
+        let sd = olh.variance(n).sqrt();
+        assert!((est[0] - truth[0]).abs() < 6.0 * sd, "{} vs {}", est[0], truth[0]);
+        assert!((est[17] - truth[17]).abs() < 6.0 * sd);
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        let d = 32u32;
+        let eps = 1.0;
+        let olh = Olh::new(eps, d);
+        let n = 2_000usize;
+        let runs = 300;
+        let mut rng = seeded_rng(13);
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let reports: Vec<_> = (0..n).map(|_| olh.perturb(1, &mut rng)).collect();
+            samples.push(olh.aggregate(&reports)[20]); // true frequency 0
+        }
+        let emp = felip_common::metrics::sample_variance(&samples);
+        let ana = olh.variance(n);
+        assert!(
+            (emp - ana).abs() / ana < 0.35,
+            "empirical {emp} vs analytical {ana}"
+        );
+    }
+
+    #[test]
+    fn variance_independent_of_domain() {
+        let a = Olh::new(1.0, 10).variance(1000);
+        let b = Olh::new(1.0, 10_000).variance(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hashed_grr_satisfies_ldp() {
+        // Over the *hashed* domain, keep-probability ratio must be e^ε.
+        let olh = Olh::new(1.5, 100);
+        let g = olh.hash_range() as f64;
+        let e = 1.5f64.exp();
+        let q = (1.0 - olh.p()) / (g - 1.0);
+        assert!((olh.p() / q - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reports_give_zeros() {
+        assert_eq!(Olh::new(1.0, 5).aggregate(&[]), vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-OLH")]
+    fn aggregate_rejects_foreign_reports() {
+        Olh::new(1.0, 4).aggregate(&[Report::Grr(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn perturb_rejects_out_of_domain() {
+        let olh = Olh::new(1.0, 4);
+        let mut rng = seeded_rng(0);
+        olh.perturb(4, &mut rng);
+    }
+
+    #[test]
+    fn custom_hash_range() {
+        let olh = Olh::with_hash_range(1.0, 50, 16);
+        assert_eq!(olh.hash_range(), 16);
+        let mut rng = seeded_rng(2);
+        if let Report::Olh { value, .. } = olh.perturb(10, &mut rng) {
+            assert!(value < 16);
+        } else {
+            panic!("wrong report type");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The wire format of a perturbed user report.
+
+/// One user's LDP report, as it travels from client to aggregator.
+///
+/// The enum mirrors what each protocol actually transmits:
+/// GRR sends one domain value; OLH sends the user's hash seed plus the
+/// perturbed hashed value; OUE sends a perturbed bit vector packed into
+/// 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Report {
+    /// GRR: a (possibly flipped) domain value.
+    Grr(u32),
+    /// OLH: the public hash seed and the GRR-perturbed hash bucket.
+    Olh {
+        /// Seed selecting the member of the universal hash family; chosen
+        /// uniformly by the client and sent in the clear.
+        seed: u64,
+        /// The perturbed value in `0..g`.
+        value: u32,
+    },
+    /// OUE: the perturbed unary encoding, little-endian bit packing,
+    /// `ceil(d / 64)` words.
+    Oue(Vec<u64>),
+}
+
+impl Report {
+    /// Approximate wire size in bytes; used by the communication-cost
+    /// ablation bench.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Report::Grr(_) => 4,
+            Report::Olh { .. } => 12,
+            Report::Oue(words) => words.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(Report::Grr(3).wire_bytes(), 4);
+        assert_eq!(Report::Olh { seed: 1, value: 2 }.wire_bytes(), 12);
+        assert_eq!(Report::Oue(vec![0, 0]).wire_bytes(), 16);
+    }
+}

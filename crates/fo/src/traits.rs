@@ -1,0 +1,52 @@
+//! The frequency-oracle abstraction shared by all protocols.
+
+use rand::RngCore;
+
+use crate::report::Report;
+
+/// A local-DP frequency oracle: client-side randomiser `Ψ` plus server-side
+/// estimator `Φ` (§2.2).
+///
+/// Implementations are cheap value types carrying only the protocol
+/// parameters (ε, domain size, derived probabilities); they hold no state
+/// across calls, so one instance can serve any number of users.
+pub trait FrequencyOracle: Send + Sync {
+    /// Domain size `|D|` the oracle operates over.
+    fn domain(&self) -> u32;
+
+    /// Privacy budget ε the randomiser satisfies.
+    fn epsilon(&self) -> f64;
+
+    /// Client side: perturbs the private `value ∈ 0..domain()`.
+    ///
+    /// # Panics
+    /// Panics when `value` is out of domain — the caller (the grid layer)
+    /// guarantees cell indices are valid, so an out-of-range value is a bug.
+    fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report;
+
+    /// Server side: unbiased frequency estimates (fractions of the reporting
+    /// population, one per domain value) from the collected reports.
+    ///
+    /// Estimates can be negative or exceed 1; post-processing handles that.
+    /// Returns all-zeros when `reports` is empty.
+    ///
+    /// # Panics
+    /// Panics when a report was produced by a different protocol or domain —
+    /// mixing reports across groups is a logic error upstream.
+    fn aggregate(&self, reports: &[Report]) -> Vec<f64>;
+
+    /// Streaming server side: folds one report into a per-value support
+    /// count vector of length `domain()`. Together with
+    /// [`FrequencyOracle::estimate_from_counts`] this lets an aggregator
+    /// process reports as they arrive without buffering them (the FELIP
+    /// engine's ingestion path).
+    fn accumulate(&self, report: &Report, counts: &mut [u64]);
+
+    /// Streaming server side: turns accumulated support counts for `n`
+    /// ingested reports into unbiased frequency estimates.
+    fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64>;
+
+    /// Analytical per-value estimation variance for a population of `n`
+    /// reporting users (the `Var[Φ(v)]` expressions of §2.2).
+    fn variance(&self, n: usize) -> f64;
+}

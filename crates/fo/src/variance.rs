@@ -1,0 +1,117 @@
+//! Closed-form estimation variances (§2.2, §5.1).
+//!
+//! These formulas drive two decisions in FELIP: the per-grid protocol choice
+//! of the Adaptive Frequency Oracle (§5.3) and the grid-size optimisation
+//! (§5.2), both of which compare GRR's domain-dependent variance against
+//! OLH's domain-free one.
+
+/// GRR per-value estimation variance for `n` reports over a domain of size
+/// `d` (Eq. 2): `(e^ε + d − 2) / (n (e^ε − 1)²)`.
+pub fn grr_variance(epsilon: f64, domain: u32, n: usize) -> f64 {
+    let e = epsilon.exp();
+    (e + domain as f64 - 2.0) / (n as f64 * (e - 1.0) * (e - 1.0))
+}
+
+/// OLH per-value estimation variance for `n` reports (domain-independent):
+/// `4 e^ε / (n (e^ε − 1)²)`.
+pub fn olh_variance(epsilon: f64, n: usize) -> f64 {
+    let e = epsilon.exp();
+    4.0 * e / (n as f64 * (e - 1.0) * (e - 1.0))
+}
+
+/// The population-partitioning variance of §5.1: when `n` users are divided
+/// into `m` groups, each grid is estimated from `n/m` reports, so the
+/// variance scales by `m`.
+pub fn grouped_variance(single_user_variance_factor: f64, n: usize, m: usize) -> f64 {
+    single_user_variance_factor * m as f64 / n as f64
+}
+
+/// Variance *factor* (the variance multiplied by `n`) for GRR — the quantity
+/// compared by AFO (Eq. 13): `(e^ε + L − 2) / (e^ε − 1)²`.
+pub fn grr_variance_factor(epsilon: f64, cells: u32) -> f64 {
+    let e = epsilon.exp();
+    (e + cells as f64 - 2.0) / ((e - 1.0) * (e - 1.0))
+}
+
+/// Variance factor for OLH: `4 e^ε / (e^ε − 1)²`.
+pub fn olh_variance_factor(epsilon: f64) -> f64 {
+    let e = epsilon.exp();
+    4.0 * e / ((e - 1.0) * (e - 1.0))
+}
+
+/// Variance of GRR when the privacy budget is *split* `ε/m` instead of the
+/// users being divided (the inferior alternative of Theorem 5.1). Exposed so
+/// tests and the partitioning ablation can verify the theorem.
+pub fn grr_variance_budget_split(epsilon: f64, cells: u32, n: usize, m: usize) -> f64 {
+    grr_variance(epsilon / m as f64, cells, n)
+}
+
+/// Variance of OLH under budget splitting (Theorem 5.1 comparison point).
+pub fn olh_variance_budget_split(epsilon: f64, n: usize, m: usize) -> f64 {
+    olh_variance(epsilon / m as f64, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grr_variance_linear_in_domain() {
+        let v1 = grr_variance(1.0, 10, 1000);
+        let v2 = grr_variance(1.0, 20, 1000);
+        // Increasing d by 10 adds 10/(n(e−1)²).
+        let e = 1f64.exp();
+        assert!((v2 - v1 - 10.0 / (1000.0 * (e - 1.0).powi(2))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn olh_beats_grr_for_large_domains() {
+        let eps = 1.0;
+        let n = 1000;
+        // Crossover at d = 3e^ε + 2 ≈ 10.15.
+        assert!(grr_variance(eps, 4, n) < olh_variance(eps, n));
+        assert!(grr_variance(eps, 100, n) > olh_variance(eps, n));
+    }
+
+    #[test]
+    fn crossover_point() {
+        // GRR factor == OLH factor exactly when L = 3e^ε + 2.
+        let eps: f64 = 1.3;
+        let l: f64 = 3.0 * eps.exp() + 2.0;
+        let g = grr_variance_factor(eps, l.round() as u32);
+        let o = olh_variance_factor(eps);
+        assert!((g - o).abs() / o < 0.05);
+    }
+
+    #[test]
+    fn theorem_5_1_dividing_users_beats_budget_split() {
+        // Var under user division: m × factor / n. Under budget split:
+        // factor(ε/m) / n. Theorem 5.1: the former is smaller for all m > 1.
+        for &eps in &[0.5, 1.0, 2.0] {
+            for &m in &[2usize, 5, 10, 28] {
+                for &cells in &[4u32, 64, 1024] {
+                    let n = 100_000;
+                    let div_users = grouped_variance(grr_variance_factor(eps, cells), n, m);
+                    let div_budget = grr_variance_budget_split(eps, cells, n, m);
+                    assert!(
+                        div_users < div_budget,
+                        "GRR: eps={eps} m={m} cells={cells}: {div_users} !< {div_budget}"
+                    );
+                    let div_users_olh = grouped_variance(olh_variance_factor(eps), n, m);
+                    let div_budget_olh = olh_variance_budget_split(eps, n, m);
+                    assert!(
+                        div_users_olh < div_budget_olh,
+                        "OLH: eps={eps} m={m}: {div_users_olh} !< {div_budget_olh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variance_decreases_with_epsilon_and_n() {
+        assert!(olh_variance(2.0, 1000) < olh_variance(1.0, 1000));
+        assert!(olh_variance(1.0, 2000) < olh_variance(1.0, 1000));
+        assert!(grr_variance(2.0, 16, 1000) < grr_variance(1.0, 16, 1000));
+    }
+}

@@ -1,0 +1,241 @@
+//! An estimated grid: a spec plus per-cell frequency estimates.
+
+use felip_common::{Predicate, PredicateTarget};
+
+use crate::spec::GridSpec;
+
+/// A grid together with the aggregator's frequency estimate for each cell
+/// (fractions of the population; ideally non-negative and summing to 1 after
+/// post-processing, but raw FO output may violate both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatedGrid {
+    spec: GridSpec,
+    freqs: Vec<f64>,
+}
+
+impl EstimatedGrid {
+    /// Wraps per-cell estimates for `spec`.
+    ///
+    /// # Panics
+    /// Panics when the estimate vector length does not match the cell count.
+    pub fn new(spec: GridSpec, freqs: Vec<f64>) -> Self {
+        assert_eq!(
+            freqs.len(),
+            spec.num_cells() as usize,
+            "estimate vector length must equal the cell count"
+        );
+        EstimatedGrid { spec, freqs }
+    }
+
+    /// The grid specification.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Per-cell frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Mutable per-cell frequencies (used by post-processing).
+    pub fn freqs_mut(&mut self) -> &mut [f64] {
+        &mut self.freqs
+    }
+
+    /// Frequency of one cell.
+    pub fn freq(&self, cell: u32) -> f64 {
+        self.freqs[cell as usize]
+    }
+
+    /// Marginal frequencies along the axis covering `attr` (summing out the
+    /// other axis for 2-D grids). Returns one entry per cell of that axis.
+    ///
+    /// # Panics
+    /// Panics when the grid does not cover `attr`.
+    pub fn marginal_along(&self, attr: usize) -> Vec<f64> {
+        let axes = self.spec.axes();
+        match axes {
+            [a] => {
+                assert_eq!(a.attr, attr, "grid does not cover attribute {attr}");
+                self.freqs.clone()
+            }
+            [a, b] => {
+                let lb = b.cells() as usize;
+                if a.attr == attr {
+                    self.freqs.chunks_exact(lb).map(|row| row.iter().sum()).collect()
+                } else {
+                    assert_eq!(b.attr, attr, "grid does not cover attribute {attr}");
+                    let mut out = vec![0.0; lb];
+                    for row in self.freqs.chunks_exact(lb) {
+                        for (o, f) in out.iter_mut().zip(row) {
+                            *o += f;
+                        }
+                    }
+                    out
+                }
+            }
+            _ => unreachable!("grids are 1-D or 2-D"),
+        }
+    }
+
+    /// Per-cell weights in `[0, 1]` describing how much of each cell along
+    /// the axis covering `attr` is selected by `pred`, under the in-cell
+    /// uniformity assumption. Ranges produce fractional edge weights; sets
+    /// on categorical axes produce 0/1 weights.
+    pub fn axis_selection_weights(&self, attr: usize, pred: &Predicate) -> Vec<f64> {
+        let axis = self.spec.axis_for(attr).expect("grid must cover the predicate attribute");
+        let l = axis.cells() as usize;
+        let mut w = vec![0.0; l];
+        match &pred.target {
+            PredicateTarget::Range { lo, hi } => {
+                for (cell, frac) in axis.binning.overlaps(*lo, *hi) {
+                    w[cell as usize] = frac;
+                }
+            }
+            PredicateTarget::Set(vals) => {
+                for &v in vals {
+                    let c = axis.binning.cell_of(v);
+                    // With identity binning each categorical value is its own
+                    // cell; a binned numerical axis accrues one value's share.
+                    w[c as usize] += 1.0 / axis.binning.width(c) as f64;
+                }
+                for x in &mut w {
+                    *x = x.min(1.0);
+                }
+            }
+        }
+        w
+    }
+
+    /// Answers a query touching only this grid's attributes, using the
+    /// uniformity assumption for partially covered cells. This is how OUG
+    /// answers 2-D sub-queries directly from a grid.
+    pub fn answer(&self, preds: &[&Predicate]) -> f64 {
+        let axes = self.spec.axes();
+        match axes {
+            [a] => {
+                let p = preds
+                    .iter()
+                    .find(|p| p.attr == a.attr)
+                    .expect("1-D grid answer needs a predicate on its attribute");
+                let w = self.axis_selection_weights(a.attr, p);
+                w.iter().zip(&self.freqs).map(|(w, f)| w * f).sum()
+            }
+            [a, b] => {
+                let ones = vec![1.0; a.cells() as usize];
+                let wa = preds
+                    .iter()
+                    .find(|p| p.attr == a.attr)
+                    .map(|p| self.axis_selection_weights(a.attr, p))
+                    .unwrap_or(ones);
+                let wb = preds
+                    .iter()
+                    .find(|p| p.attr == b.attr)
+                    .map(|p| self.axis_selection_weights(b.attr, p))
+                    .unwrap_or_else(|| vec![1.0; b.cells() as usize]);
+                let lb = b.cells() as usize;
+                let mut total = 0.0;
+                for (ix, wx) in wa.iter().enumerate() {
+                    if *wx == 0.0 {
+                        continue;
+                    }
+                    for (iy, wy) in wb.iter().enumerate() {
+                        if *wy != 0.0 {
+                            total += wx * wy * self.freqs[ix * lb + iy];
+                        }
+                    }
+                }
+                total
+            }
+            _ => unreachable!("grids are 1-D or 2-D"),
+        }
+    }
+
+    /// Sum of all cell frequencies (≈ 1 after post-processing).
+    pub fn total(&self) -> f64 {
+        self.freqs.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felip_common::{Attribute, Schema};
+    use felip_fo::FoKind;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("x", 100),
+            Attribute::categorical("c", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn marginals_of_2d_grid() {
+        // 2 × 4 grid over (x, c): freqs laid out row-major.
+        let spec = GridSpec::two_dim(&schema(), 0, 1, 2, 4, FoKind::Olh).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.1, 0.2, 0.0, 0.1, 0.05, 0.15, 0.3, 0.1]);
+        let mx = g.marginal_along(0);
+        assert_eq!(mx.len(), 2);
+        assert!((mx[0] - 0.4).abs() < 1e-12);
+        assert!((mx[1] - 0.6).abs() < 1e-12);
+        let mc = g.marginal_along(1);
+        assert_eq!(mc.len(), 4);
+        assert!((mc[0] - 0.15).abs() < 1e-12);
+        assert!((mc[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_full_cover_range() {
+        // 4-cell 1-D grid over x (cells of width 25).
+        let spec = GridSpec::one_dim(&schema(), 0, 4, FoKind::Olh).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.25, 0.25, 0.25, 0.25]);
+        let p = Predicate::between(0, 25, 74); // exactly cells 1 and 2
+        assert!((g.answer(&[&p]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_partial_cells_use_uniformity() {
+        let spec = GridSpec::one_dim(&schema(), 0, 4, FoKind::Olh).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.4, 0.2, 0.2, 0.2]);
+        // [0, 12] covers 13/25 of cell 0.
+        let p = Predicate::between(0, 0, 12);
+        assert!((g.answer(&[&p]) - 0.4 * 13.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_categorical_set() {
+        let spec = GridSpec::one_dim(&schema(), 1, 4, FoKind::Grr).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.1, 0.2, 0.3, 0.4]);
+        let p = Predicate::in_set(1, vec![1, 3]);
+        assert!((g.answer(&[&p]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_2d_mixed() {
+        let spec = GridSpec::two_dim(&schema(), 0, 1, 2, 4, FoKind::Olh).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.1, 0.2, 0.0, 0.1, 0.05, 0.15, 0.3, 0.1]);
+        // Full range on x, category 1 or 2 on c.
+        let px = Predicate::between(0, 0, 99);
+        let pc = Predicate::in_set(1, vec![1, 2]);
+        let expect = 0.2 + 0.0 + 0.15 + 0.3;
+        assert!((g.answer(&[&px, &pc]) - expect).abs() < 1e-12);
+        // Missing predicate on one axis = full axis.
+        assert!((g.answer(&[&pc]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_sums_cells() {
+        let spec = GridSpec::one_dim(&schema(), 1, 4, FoKind::Grr).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.1, 0.2, 0.3, 0.4]);
+        assert!((g.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn rejects_wrong_length() {
+        let spec = GridSpec::one_dim(&schema(), 1, 4, FoKind::Grr).unwrap();
+        EstimatedGrid::new(spec, vec![0.5; 3]);
+    }
+}

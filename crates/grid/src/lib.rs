@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Grid substrate for FELIP.
+//!
+//! This crate implements everything between the frequency oracles and the
+//! FELIP engine:
+//!
+//! * [`bins`] — variable-width binning of an attribute domain into `l` cells.
+//!   FELIP explicitly allows cells of different sizes so a grid can use the
+//!   *optimal* granularity even when it does not divide the domain (§3.2,
+//!   §5.8 — a limitation of TDG/HDG this design removes);
+//! * [`spec`] — 1-D and 2-D grid specifications over categorical and
+//!   numerical axes, with record → cell projection;
+//! * [`optimize`] — the per-grid granularity optimisation of §5.2, minimising
+//!   *non-uniformity² + noise·sampling error* for each of the five grid
+//!   kinds under either GRR or OLH;
+//! * [`estimate`] — an estimated grid: a spec plus per-cell frequencies;
+//! * [`postprocess`] — Algorithm 1 (non-negativity via norm-sub) and
+//!   Algorithm 2 (cross-grid consistency by inverse-variance weighted
+//!   averaging), alternated as §5.4 prescribes;
+//! * [`response`] — Algorithm 3: per-pair response matrices via iterative
+//!   weighted update;
+//! * [`lambda`] — Algorithm 4: λ-D query estimation from the associated 2-D
+//!   answers.
+
+pub mod bins;
+pub mod estimate;
+pub mod lambda;
+pub mod optimize;
+pub mod postprocess;
+pub mod response;
+pub mod spec;
+
+pub use bins::Binning;
+pub use estimate::EstimatedGrid;
+pub use optimize::{optimize_grid, ErrorModel, GridSize, SizingInput};
+pub use spec::{Axis, GridId, GridSpec};

@@ -1,0 +1,379 @@
+//! Response matrices via iterative weighted update (Algorithm 3, §5.5).
+//!
+//! For every attribute pair `(a_i, a_j)` the aggregator materialises a
+//! `d_i × d_j` matrix `M` whose entry `[x, y]` estimates the joint frequency
+//! of the 2-D value `(x, y)`. `M` is fitted against every *related grid*:
+//! the pair's 2-D grid and (in OHG) the finer 1-D grids of its numerical
+//! attributes. Each grid cell constrains the total mass of the rectangle of
+//! 2-D values it covers; the weighted-update sweep rescales each rectangle
+//! to match its cell's estimate, iterating until the total change falls
+//! below a threshold (`< 1/n` per the paper).
+//!
+//! When both attributes are categorical the pair's grid is already at value
+//! granularity and *is* the response matrix.
+
+use felip_common::{Predicate, PredicateTarget};
+
+use crate::estimate::EstimatedGrid;
+use crate::spec::GridId;
+
+/// Hard cap on weighted-update sweeps; convergence is typically ≤ 30.
+const MAX_SWEEPS: usize = 200;
+
+/// A dense `d_i × d_j` joint-frequency estimate for one attribute pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseMatrix {
+    attr_i: usize,
+    attr_j: usize,
+    di: u32,
+    dj: u32,
+    /// Row-major: `values[x * dj + y]`.
+    values: Vec<f64>,
+}
+
+impl ResponseMatrix {
+    /// Builds the response matrix for pair `(attr_i, attr_j)` from its
+    /// related grids `Γ` (Algorithm 3).
+    ///
+    /// `related` must contain the 2-D grid `G(i, j)` and may contain 1-D
+    /// grids `G(i)` and/or `G(j)`; every grid must cover only these two
+    /// attributes. `threshold` is the convergence bound on the summed
+    /// absolute per-sweep change (use `1/n`).
+    ///
+    /// # Panics
+    /// Panics when `related` is empty or contains a grid over a foreign
+    /// attribute.
+    pub fn build(
+        attr_i: usize,
+        attr_j: usize,
+        di: u32,
+        dj: u32,
+        related: &[&EstimatedGrid],
+        threshold: f64,
+    ) -> Self {
+        assert!(!related.is_empty(), "response matrix needs at least one related grid");
+        for g in related {
+            for a in g.spec().id().attrs() {
+                assert!(
+                    a == attr_i || a == attr_j,
+                    "related grid {} covers foreign attribute {a}",
+                    g.spec().id()
+                );
+            }
+        }
+        let (din, djn) = (di as usize, dj as usize);
+        let mut values = vec![1.0 / (din as f64 * djn as f64); din * djn];
+
+        // Precompute, per grid and cell, the value-rectangle it constrains.
+        struct Constraint {
+            /// Row range `[r0, r1)` of matrix rows (attr_i values).
+            rows: (u32, u32),
+            /// Column range `[c0, c1)`.
+            cols: (u32, u32),
+            /// Target mass: the cell's estimated frequency.
+            target: f64,
+        }
+        let mut constraints: Vec<Constraint> = Vec::new();
+        for g in related {
+            let spec = g.spec();
+            for cell in 0..spec.num_cells() {
+                let (ci, cj) = spec.cell_coords(cell);
+                let (rows, cols) = match spec.id() {
+                    GridId::One(a) if a == attr_i => {
+                        (spec.axes()[0].binning.cell_range(ci), (0, dj))
+                    }
+                    GridId::One(_) => ((0, di), spec.axes()[0].binning.cell_range(ci)),
+                    GridId::Two(a, _) => {
+                        let (rx, ry) = (
+                            spec.axes()[0].binning.cell_range(ci),
+                            spec.axes()[1].binning.cell_range(cj.expect("2-D cell")),
+                        );
+                        // Grid axes are ordered (min, max) attr; the matrix is
+                        // (attr_i rows, attr_j cols).
+                        if a == attr_i {
+                            (rx, ry)
+                        } else {
+                            (ry, rx)
+                        }
+                    }
+                };
+                constraints.push(Constraint { rows, cols, target: g.freq(cell) });
+            }
+        }
+
+        for _ in 0..MAX_SWEEPS {
+            let mut change = 0.0;
+            for c in &constraints {
+                let mut s = 0.0;
+                for x in c.rows.0..c.rows.1 {
+                    let row = &values[(x as usize) * djn..][..djn];
+                    for y in c.cols.0..c.cols.1 {
+                        s += row[y as usize];
+                    }
+                }
+                if s <= 0.0 {
+                    continue;
+                }
+                let scale = c.target / s;
+                if (scale - 1.0).abs() < 1e-15 {
+                    continue;
+                }
+                for x in c.rows.0..c.rows.1 {
+                    let row = &mut values[(x as usize) * djn..][..djn];
+                    for y in c.cols.0..c.cols.1 {
+                        let old = row[y as usize];
+                        let new = old * scale;
+                        change += (new - old).abs();
+                        row[y as usize] = new;
+                    }
+                }
+            }
+            if change < threshold {
+                break;
+            }
+        }
+
+        ResponseMatrix { attr_i, attr_j, di, dj, values }
+    }
+
+    /// Wraps a categorical × categorical grid, which is already at value
+    /// granularity (§5.5: "the estimated grid G(i,j) is already the response
+    /// matrix").
+    pub fn from_cat_cat_grid(grid: &EstimatedGrid) -> Self {
+        let spec = grid.spec();
+        let GridId::Two(i, j) = spec.id() else {
+            panic!("from_cat_cat_grid needs a 2-D grid");
+        };
+        let (di, dj) = (spec.axes()[0].cells(), spec.axes()[1].cells());
+        ResponseMatrix { attr_i: i, attr_j: j, di, dj, values: grid.freqs().to_vec() }
+    }
+
+    /// The attribute pair `(i, j)` this matrix describes.
+    pub fn attrs(&self) -> (usize, usize) {
+        (self.attr_i, self.attr_j)
+    }
+
+    /// Matrix dimensions `(d_i, d_j)`.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.di, self.dj)
+    }
+
+    /// Estimated joint frequency of value pair `(x, y)`.
+    pub fn get(&self, x: u32, y: u32) -> f64 {
+        self.values[(x as usize) * self.dj as usize + y as usize]
+    }
+
+    /// Total mass (≈ 1 when fitted against proper distributions).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Answers a 2-D query `(pred_i ∧ pred_j)` exactly from the matrix —
+    /// no uniformity assumption needed at value granularity. Either
+    /// predicate may be `None` (unconstrained axis).
+    pub fn answer(&self, pred_i: Option<&Predicate>, pred_j: Option<&Predicate>) -> f64 {
+        let sel_i = selection_mask(pred_i, self.di);
+        let sel_j = selection_mask(pred_j, self.dj);
+        let djn = self.dj as usize;
+        let mut total = 0.0;
+        for (x, keep_row) in sel_i.iter().enumerate() {
+            if !keep_row {
+                continue;
+            }
+            let row = &self.values[x * djn..][..djn];
+            for (y, keep_col) in sel_j.iter().enumerate() {
+                if *keep_col {
+                    total += row[y];
+                }
+            }
+        }
+        total
+    }
+
+    /// Marginal over rows (one entry per value of `attr_i`).
+    pub fn row_marginal(&self) -> Vec<f64> {
+        let djn = self.dj as usize;
+        self.values.chunks_exact(djn).map(|r| r.iter().sum()).collect()
+    }
+
+    /// Marginal over columns (one entry per value of `attr_j`).
+    pub fn col_marginal(&self) -> Vec<f64> {
+        let djn = self.dj as usize;
+        let mut out = vec![0.0; djn];
+        for row in self.values.chunks_exact(djn) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+fn selection_mask(pred: Option<&Predicate>, d: u32) -> Vec<bool> {
+    match pred {
+        None => vec![true; d as usize],
+        Some(p) => match &p.target {
+            PredicateTarget::Range { lo, hi } => {
+                (0..d).map(|v| *lo <= v && v <= *hi).collect()
+            }
+            PredicateTarget::Set(vals) => {
+                let mut m = vec![false; d as usize];
+                for &v in vals {
+                    m[v as usize] = true;
+                }
+                m
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GridSpec;
+    use felip_common::{Attribute, Schema};
+    use felip_fo::FoKind;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::numerical("x", 8),
+            Attribute::numerical("y", 8),
+            Attribute::categorical("c", 3),
+        ])
+        .unwrap()
+    }
+
+    /// With only a 2-D grid as constraint, the matrix spreads each cell's
+    /// mass uniformly over its rectangle.
+    #[test]
+    fn single_grid_uniform_spread() {
+        let s = schema();
+        let spec = GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap();
+        let g = EstimatedGrid::new(spec, vec![0.4, 0.1, 0.2, 0.3]);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+        // Cell (0,0) covers rows 0..4, cols 0..4 → each of 16 values = 0.4/16.
+        assert!((m.get(0, 0) - 0.4 / 16.0).abs() < 1e-9);
+        assert!((m.get(5, 2) - 0.2 / 16.0).abs() < 1e-9);
+        assert!((m.total() - 1.0).abs() < 1e-9);
+    }
+
+    /// Adding 1-D grids refines the within-cell distribution (the OHG
+    /// mechanism): the row marginal must match the 1-D grid.
+    #[test]
+    fn one_dim_grids_refine_marginals() {
+        let s = schema();
+        let g2 = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
+            vec![0.25, 0.25, 0.25, 0.25],
+        );
+        // Fine 1-D grid on x: heavily skewed inside the first half.
+        let g1 = EstimatedGrid::new(
+            GridSpec::one_dim(&s, 0, 8, FoKind::Olh).unwrap(),
+            vec![0.4, 0.1, 0.0, 0.0, 0.125, 0.125, 0.125, 0.125],
+        );
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-12);
+        let rows = m.row_marginal();
+        assert!((rows[0] - 0.4).abs() < 1e-6, "row 0 = {}", rows[0]);
+        assert!((rows[2] - 0.0).abs() < 1e-6);
+        // And the 2-D constraints still hold.
+        let q = m.answer(Some(&Predicate::between(0, 0, 3)), Some(&Predicate::between(1, 0, 3)));
+        assert!((q - 0.25).abs() < 1e-6, "quadrant = {q}");
+    }
+
+    #[test]
+    fn cat_cat_grid_is_matrix() {
+        let s = schema();
+        let sc = Schema::new(vec![
+            Attribute::categorical("a", 2),
+            Attribute::categorical("b", 3),
+        ])
+        .unwrap();
+        let _ = s;
+        let g = EstimatedGrid::new(
+            GridSpec::two_dim(&sc, 0, 1, 2, 3, FoKind::Grr).unwrap(),
+            vec![0.1, 0.2, 0.3, 0.15, 0.05, 0.2],
+        );
+        let m = ResponseMatrix::from_cat_cat_grid(&g);
+        assert_eq!(m.dims(), (2, 3));
+        assert!((m.get(1, 2) - 0.2).abs() < 1e-12);
+        assert!((m.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn answer_with_set_predicate() {
+        let s = schema();
+        let g = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 2, 4, 3, FoKind::Olh).unwrap(),
+            vec![
+                0.05, 0.05, 0.0, //
+                0.1, 0.0, 0.1, //
+                0.2, 0.1, 0.0, //
+                0.953 - 0.6, 0.03, 0.017,
+            ],
+        );
+        let m = ResponseMatrix::build(0, 2, 8, 3, &[&g], 1e-10);
+        // Categorical attr 2, set {0, 2}; numerical rows 0..8 full.
+        let a = m.answer(None, Some(&Predicate::in_set(2, vec![0, 2])));
+        let expect: f64 = 0.05 + 0.0 + 0.1 + 0.1 + 0.2 + 0.0 + (0.953 - 0.6) + 0.017;
+        assert!((a - expect).abs() < 1e-6, "{a} vs {expect}");
+    }
+
+    #[test]
+    fn unconstrained_answer_is_total() {
+        let s = schema();
+        let g = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
+            vec![0.25; 4],
+        );
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+        assert!((m.answer(None, None) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_sum_to_total() {
+        let s = schema();
+        let g = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 1, 4, 2, FoKind::Olh).unwrap(),
+            vec![0.1, 0.05, 0.2, 0.05, 0.15, 0.1, 0.25, 0.1],
+        );
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-10);
+        let r: f64 = m.row_marginal().iter().sum();
+        let c: f64 = m.col_marginal().iter().sum();
+        assert!((r - m.total()).abs() < 1e-9);
+        assert!((c - m.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_with_conflicting_constraints() {
+        // 1-D and 2-D grids that disagree: IPF must still terminate and
+        // produce a sensible compromise (total ≈ 1).
+        let s = schema();
+        let g2 = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
+            vec![0.5, 0.0, 0.0, 0.5],
+        );
+        let g1 = EstimatedGrid::new(
+            GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap(),
+            vec![0.3, 0.7],
+        );
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-9);
+        assert!(m.total() > 0.9 && m.total() < 1.1, "total {}", m.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign attribute")]
+    fn rejects_foreign_grid() {
+        let s = schema();
+        let g = EstimatedGrid::new(
+            GridSpec::one_dim(&s, 2, 3, FoKind::Grr).unwrap(),
+            vec![0.3, 0.3, 0.4],
+        );
+        ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_related_set() {
+        ResponseMatrix::build(0, 1, 8, 8, &[], 1e-9);
+    }
+}

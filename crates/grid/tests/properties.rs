@@ -1,0 +1,229 @@
+//! Property-based tests for the grid substrate's core data structures.
+
+use proptest::prelude::*;
+
+use felip_grid::bins::Binning;
+use felip_grid::lambda::{fit_lambda, PairAnswer};
+use felip_grid::postprocess::norm_sub;
+use felip_grid::response::ResponseMatrix;
+use felip_grid::{EstimatedGrid, GridSpec};
+
+use felip_common::{Attribute, Schema};
+use felip_fo::FoKind;
+
+proptest! {
+    /// A binning always partitions the domain exactly: cells tile `0..d`
+    /// with widths differing by at most one, and `cell_of` inverts
+    /// `cell_range` for every value.
+    #[test]
+    fn binning_partitions_domain(d in 1u32..500, raw_l in 1u32..500) {
+        let l = raw_l.min(d);
+        let b = Binning::equal(d, l).unwrap();
+        prop_assert_eq!(b.cells(), l);
+        prop_assert_eq!(b.domain(), d);
+        let widths: Vec<u32> = (0..l).map(|i| b.width(i)).collect();
+        prop_assert_eq!(widths.iter().sum::<u32>(), d);
+        let (min, max) = (widths.iter().min().unwrap(), widths.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+        for v in (0..d).step_by((d as usize / 64).max(1)) {
+            let c = b.cell_of(v);
+            let (lo, hi) = b.cell_range(c);
+            prop_assert!(lo <= v && v < hi);
+        }
+    }
+
+    /// Overlap fractions of any range are in (0, 1], cover exactly the
+    /// cells intersecting the range, and weight-sum to the range length.
+    #[test]
+    fn binning_overlaps_measure_range(d in 2u32..300, raw_l in 1u32..300, a in 0u32..300, b in 0u32..300) {
+        let l = raw_l.min(d);
+        let (lo, hi) = (a.min(b) % d, (a.max(b)) % d);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let bin = Binning::equal(d, l).unwrap();
+        let overlaps = bin.overlaps(lo, hi);
+        prop_assert!(!overlaps.is_empty());
+        let mut measured = 0.0;
+        for &(c, frac) in &overlaps {
+            prop_assert!(frac > 0.0 && frac <= 1.0 + 1e-12);
+            measured += frac * bin.width(c) as f64;
+        }
+        prop_assert!((measured - (hi - lo + 1) as f64).abs() < 1e-9);
+    }
+
+    /// norm-sub always yields a non-negative vector summing to the target.
+    #[test]
+    fn norm_sub_yields_distribution(
+        mut freqs in proptest::collection::vec(-1.0f64..2.0, 1..200),
+    ) {
+        norm_sub(&mut freqs, 1.0);
+        prop_assert!(freqs.iter().all(|&f| f >= 0.0), "{freqs:?}");
+        prop_assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    /// norm-sub is idempotent: applying it to a valid distribution is a
+    /// no-op (up to float noise).
+    #[test]
+    fn norm_sub_idempotent(mut freqs in proptest::collection::vec(-1.0f64..2.0, 1..100)) {
+        norm_sub(&mut freqs, 1.0);
+        let once = freqs.clone();
+        norm_sub(&mut freqs, 1.0);
+        for (a, b) in once.iter().zip(&freqs) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// A response matrix built from a proper-distribution grid is itself a
+    /// proper distribution, and its unconstrained answer is its total.
+    #[test]
+    fn response_matrix_conserves_mass(
+        d in 4u32..64,
+        raw_l in 2u32..16,
+        weights in proptest::collection::vec(0.0f64..1.0, 4..=256),
+    ) {
+        let l = raw_l.min(d);
+        let schema = Schema::new(vec![
+            Attribute::numerical("x", d),
+            Attribute::numerical("y", d),
+        ]).unwrap();
+        let spec = GridSpec::two_dim(&schema, 0, 1, l, l, FoKind::Olh).unwrap();
+        let cells = spec.num_cells() as usize;
+        prop_assume!(weights.len() >= cells);
+        let mut freqs: Vec<f64> = weights[..cells].to_vec();
+        let total: f64 = freqs.iter().sum();
+        prop_assume!(total > 1e-9);
+        freqs.iter_mut().for_each(|f| *f /= total);
+        let grid = EstimatedGrid::new(spec, freqs);
+        let m = ResponseMatrix::build(0, 1, d, d, &[&grid], 1e-7);
+        prop_assert!((m.total() - 1.0).abs() < 1e-4, "total {}", m.total());
+        prop_assert!((m.answer(None, None) - m.total()).abs() < 1e-9);
+        // Row/col marginals are consistent with the total.
+        prop_assert!((m.row_marginal().iter().sum::<f64>() - m.total()).abs() < 1e-9);
+    }
+
+    /// Algorithm-4 output is always a probability vector, even for
+    /// mutually *inconsistent* pairwise answers (raw noisy estimates).
+    #[test]
+    fn lambda_fit_is_distribution(
+        lambda in 2usize..6,
+        answers in proptest::collection::vec(-0.2f64..1.2, 15),
+    ) {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        for s in 0..lambda {
+            for t in (s + 1)..lambda {
+                pairs.push(PairAnswer { s, t, answer: answers[i % answers.len()] });
+                i += 1;
+            }
+        }
+        let z = fit_lambda(lambda, &pairs, 1e-9);
+        prop_assert_eq!(z.len(), 1 << lambda);
+        prop_assert!(z.iter().all(|&v| v >= -1e-12));
+        prop_assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    /// For *consistent* pairwise answers — derived from an actual joint
+    /// distribution — the fit satisfies every constraint, so the all-true
+    /// entry is bounded by every pairwise answer.
+    #[test]
+    fn lambda_fit_satisfies_consistent_constraints(
+        lambda in 2usize..5,
+        weights in proptest::collection::vec(0.01f64..1.0, 32),
+    ) {
+        let size = 1usize << lambda;
+        let mut joint: Vec<f64> = weights[..size].to_vec();
+        let total: f64 = joint.iter().sum();
+        joint.iter_mut().for_each(|w| *w /= total);
+        let mut pairs = Vec::new();
+        for s in 0..lambda {
+            for t in (s + 1)..lambda {
+                let mask = (1usize << s) | (1usize << t);
+                let answer: f64 = joint
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i & mask == mask)
+                    .map(|(_, v)| v)
+                    .sum();
+                pairs.push(PairAnswer { s, t, answer });
+            }
+        }
+        let z = fit_lambda(lambda, &pairs, 1e-12);
+        for p in &pairs {
+            let mask = (1usize << p.s) | (1usize << p.t);
+            let got: f64 = z
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & mask == mask)
+                .map(|(_, v)| v)
+                .sum();
+            prop_assert!((got - p.answer).abs() < 1e-4,
+                "pair ({}, {}): fitted {got} vs constraint {}", p.s, p.t, p.answer);
+        }
+        let all = z[size - 1];
+        let min_pair = pairs.iter().map(|p| p.answer).fold(f64::INFINITY, f64::min);
+        prop_assert!(all <= min_pair + 1e-4, "joint {all} exceeds min pair {min_pair}");
+    }
+
+    /// Equal-mass binning always yields a valid partition with exactly the
+    /// requested number of cells, and balances mass at least as well as a
+    /// trivial single-bin split.
+    #[test]
+    fn equal_mass_is_valid_partition(
+        weights in proptest::collection::vec(0.0f64..1.0, 2..120),
+        raw_cells in 1u32..40,
+    ) {
+        let d = weights.len() as u32;
+        let cells = raw_cells.min(d);
+        let b = Binning::equal_mass(&weights, cells).unwrap();
+        prop_assert_eq!(b.cells(), cells);
+        prop_assert_eq!(b.domain(), d);
+        // Edges strictly increasing and spanning the domain.
+        for w in b.edges().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Every value maps into a cell containing it.
+        for v in 0..d {
+            let c = b.cell_of(v);
+            let (lo, hi) = b.cell_range(c);
+            prop_assert!(lo <= v && v < hi);
+        }
+        // When mass exists, the heaviest bin never exceeds the mass of the
+        // heaviest single value plus one ideal share (greedy guarantee).
+        let total: f64 = weights.iter().sum();
+        if total > 1e-9 {
+            let max_w = weights.iter().cloned().fold(0.0, f64::max);
+            let heaviest_bin = (0..cells)
+                .map(|c| {
+                    let (lo, hi) = b.cell_range(c);
+                    weights[lo as usize..hi as usize].iter().sum::<f64>()
+                })
+                .fold(0.0, f64::max);
+            prop_assert!(
+                heaviest_bin <= total / cells as f64 + max_w + 1e-9,
+                "heaviest bin {heaviest_bin} vs ideal {} + max value {max_w}",
+                total / cells as f64
+            );
+        }
+    }
+
+    /// Record projection always lands inside the grid, for any record.
+    #[test]
+    fn projection_in_grid(
+        dx in 2u32..128,
+        dy in 2u32..16,
+        lx in 2u32..16,
+        vx in 0u32..128,
+        vy in 0u32..16,
+    ) {
+        let lx = lx.min(dx);
+        let schema = Schema::new(vec![
+            Attribute::numerical("x", dx),
+            Attribute::categorical("c", dy),
+        ]).unwrap();
+        let spec = GridSpec::two_dim(&schema, 0, 1, lx, dy, FoKind::Grr).unwrap();
+        let record = [vx % dx, vy % dy];
+        let cell = spec.cell_of_record(&record);
+        prop_assert!(cell < spec.num_cells());
+        let (cx, cy) = spec.cell_coords(cell);
+        prop_assert_eq!(spec.cell_index(cx, cy), cell);
+    }
+}

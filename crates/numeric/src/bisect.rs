@@ -1,0 +1,126 @@
+//! Bracketed bisection root finding.
+
+/// Finds a root of `f` inside `[lo, hi]` by bisection.
+///
+/// Requires `f(lo)` and `f(hi)` to have opposite signs (an endpoint that is
+/// exactly zero counts as a root). Converges unconditionally for continuous
+/// `f`; `tol` bounds the width of the final bracket.
+///
+/// Returns `None` when the bracket is invalid or the endpoint signs agree.
+pub fn bisect(mut lo: f64, mut hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> Option<f64> {
+    // `tol > 0.0` is false for NaN too, which must be rejected — hence the
+    // negated form instead of `tol <= 0.0`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi || !(tol > 0.0) {
+        return None;
+    }
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.is_nan() || fhi.is_nan() || flo.signum() == fhi.signum() {
+        return None;
+    }
+    // 200 halvings reduce any f64 bracket below any positive tolerance.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol {
+            return Some(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Bisection with automatic bracket handling for the monotone-derivative
+/// shapes that arise in grid-size optimisation.
+///
+/// The grid-size objectives are strictly convex in each coordinate on
+/// `(0, ∞)`: their derivative goes from −∞ (bias term dominates) to positive
+/// (noise term dominates). Three cases:
+///
+/// * sign change inside `[lo, hi]` → interior root via [`bisect`];
+/// * derivative ≥ 0 everywhere → the objective is increasing, minimum at `lo`;
+/// * derivative ≤ 0 everywhere → decreasing, minimum at `hi`.
+pub fn bisect_auto(lo: f64, hi: f64, tol: f64, mut df: impl FnMut(f64) -> f64) -> f64 {
+    debug_assert!(lo <= hi);
+    let dlo = df(lo);
+    let dhi = df(hi);
+    if dlo >= 0.0 {
+        return lo;
+    }
+    if dhi <= 0.0 {
+        return hi;
+    }
+    bisect(lo, hi, tol, df).unwrap_or(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_root() {
+        // x² − 2 on [0, 2] → √2.
+        let r = bisect(0.0, 2.0, 1e-12, |x| x * x - 2.0).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_cubic_root() {
+        // The 1-D GRR stationarity shape: -a/x³ + b + c·x.
+        let f = |x: f64| -2.0 / (x * x * x) + 0.001 + 0.0005 * x;
+        let r = bisect(0.1, 1000.0, 1e-10, f).unwrap();
+        assert!(f(r).abs() < 1e-6);
+    }
+
+    #[test]
+    fn endpoint_roots() {
+        assert_eq!(bisect(0.0, 1.0, 1e-9, |x| x), Some(0.0));
+        assert_eq!(bisect(-1.0, 0.0, 1e-9, |x| x), Some(0.0));
+    }
+
+    #[test]
+    fn rejects_same_sign_bracket() {
+        assert!(bisect(1.0, 2.0, 1e-9, |x| x).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(bisect(2.0, 1.0, 1e-9, |x| x).is_none());
+        assert!(bisect(f64::NAN, 1.0, 1e-9, |x| x).is_none());
+        assert!(bisect(0.0, 1.0, 0.0, |x| x - 0.5).is_none());
+        assert!(bisect(0.0, 1.0, 1e-9, |_| f64::NAN).is_none());
+    }
+
+    #[test]
+    fn auto_clamps_to_endpoints() {
+        // Strictly increasing derivative that is already positive at lo:
+        // minimum sits at lo.
+        assert_eq!(bisect_auto(1.0, 10.0, 1e-9, |x| x), 1.0);
+        // Derivative negative everywhere: minimum at hi.
+        assert_eq!(bisect_auto(1.0, 10.0, 1e-9, |_| -1.0), 10.0);
+    }
+
+    #[test]
+    fn auto_interior() {
+        let r = bisect_auto(0.1, 100.0, 1e-10, |x| x - 7.5);
+        assert!((r - 7.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tolerance_respected() {
+        let coarse = bisect(0.0, 4.0, 1e-2, |x| x - std::f64::consts::PI).unwrap();
+        assert!((coarse - std::f64::consts::PI).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden-section search for unimodal scalar minimisation.
+
+/// Inverse golden ratio, `(√5 − 1) / 2`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Minimises a unimodal `f` on `[lo, hi]` to within `tol` and returns the
+/// argmin.
+///
+/// Used as a derivative-free fallback by the grid-size optimiser: the error
+/// objectives are strictly unimodal in each coordinate, so golden-section is
+/// guaranteed to converge even when the derivative is awkward at the
+/// boundary (e.g. `l = 1` where the bias term degenerates).
+///
+/// # Panics
+/// Panics when `lo > hi` or `tol <= 0` (debug builds).
+pub fn minimize_unimodal(mut lo: f64, mut hi: f64, tol: f64, mut f: impl FnMut(f64) -> f64) -> f64 {
+    debug_assert!(lo <= hi && tol > 0.0);
+    if hi - lo <= tol {
+        return 0.5 * (lo + hi);
+    }
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    // Interval shrinks by INV_PHI per step; 300 steps cover any f64 range.
+    for _ in 0..300 {
+        if hi - lo <= tol {
+            break;
+        }
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let x = minimize_unimodal(-10.0, 10.0, 1e-10, |x| (x - 3.0) * (x - 3.0));
+        assert!((x - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        // Monotone increasing on the interval → argmin at lo.
+        let x = minimize_unimodal(2.0, 5.0, 1e-10, |x| x);
+        assert!((x - 2.0).abs() < 1e-8);
+        let y = minimize_unimodal(2.0, 5.0, 1e-10, |x| -x);
+        assert!((y - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn grid_error_shape() {
+        // α²/l² + c·l — the 1-D OLH objective. Analytic argmin (2α²/c)^(1/3).
+        let alpha2 = 0.49;
+        let c = 1e-4;
+        let x = minimize_unimodal(1.0, 10_000.0, 1e-8, |l| alpha2 / (l * l) + c * l);
+        let expect = (2.0 * alpha2 / c).powf(1.0 / 3.0);
+        assert!((x - expect).abs() / expect < 1e-5, "{x} vs {expect}");
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        assert_eq!(minimize_unimodal(4.0, 4.0, 1e-9, |x| x), 4.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Census analytics: the paper's motivating scenario (§1) on the
+//! IPUMS-shaped dataset — an analyst issues SQL-style counting queries with
+//! range and point constraints, e.g.
+//!
+//! `SELECT COUNT(*) FROM T WHERE Age BETWEEN 30 AND 60
+//!    AND Education IN ('Doctorate','Masters') AND Salary <= 80k`
+//!
+//! and FELIP answers them from ε-LDP reports only. The example also
+//! contrasts the OUG and OHG strategies on this skewed data.
+//!
+//! ```sh
+//! cargo run --release --example census_analytics
+//! ```
+
+use felip_repro::datasets::{ipums_like, GenOptions};
+use felip_repro::{simulate, FelipConfig, Predicate, Query, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // IPUMS-shaped population: n0..n2 numerical (age-like, income-like,
+    // hours-like, domain 256), c0..c2 categorical (sex-like, education-like,
+    // race-like, domain 8).
+    let opts = GenOptions { n: 150_000, seed: 2024, ..GenOptions::paper_default() };
+    let census = ipums_like(opts);
+    let schema = census.schema().clone();
+
+    // The paper's example query, mapped onto this schema: age band ∧
+    // education in a set ∧ income cap.
+    let paper_query = Query::new(
+        &schema,
+        vec![
+            Predicate::between(0, 77, 154),         // "age BETWEEN 30 AND 60" scaled to [0,256)
+            Predicate::in_set(4, vec![6, 7]),       // "education IN (Masters, Doctorate)"
+            Predicate::between(1, 0, 102),          // "salary <= 80k" scaled
+        ],
+    )?;
+    let marginals = [
+        ("working-age band", Query::new(&schema, vec![Predicate::between(0, 77, 154)])?),
+        ("top education levels", Query::new(&schema, vec![Predicate::in_set(4, vec![6, 7])])?),
+        (
+            "low income ∧ majority race group",
+            Query::new(&schema, vec![Predicate::between(1, 0, 64), Predicate::equals(5, 0)])?,
+        ),
+    ];
+
+    for strategy in [Strategy::Oug, Strategy::Ohg] {
+        let config = FelipConfig::new(1.0).with_strategy(strategy);
+        let estimator = simulate(&census, &config, 7)?;
+        println!("--- {strategy} (ε = 1.0, n = {}) ---", census.len());
+        let est = estimator.answer(&paper_query)?;
+        let truth = paper_query.true_answer(&census);
+        println!(
+            "{:<38} {est:>9.4} vs true {truth:>9.4} (err {:.4})",
+            "paper's example 3-D query",
+            (est - truth).abs()
+        );
+        for (label, q) in &marginals {
+            let est = estimator.answer(q)?;
+            let truth = q.true_answer(&census);
+            println!(
+                "{label:<38} {est:>9.4} vs true {truth:>9.4} (err {:.4})",
+                (est - truth).abs()
+            );
+        }
+        println!();
+    }
+    println!("OHG usually wins on skewed census-like data: its 1-D grids capture");
+    println!("the marginal shapes that OUG's uniformity assumption flattens.");
+    Ok(())
+}

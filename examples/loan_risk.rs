@@ -1,0 +1,51 @@
+//! Loan-portfolio analysis with an *informed selectivity prior* (§5.2's
+//! knob): the analyst knows their dashboard issues narrow queries
+//! (selectivity ≈ 0.2), so the aggregator sizes grids for that workload and
+//! beats the uninformed default.
+//!
+//! ```sh
+//! cargo run --release --example loan_risk
+//! ```
+
+use felip_repro::common::metrics::mae;
+use felip_repro::datasets::{generate_queries, loan_like, GenOptions, WorkloadOptions};
+use felip_repro::{simulate, FelipConfig, SelectivityPrior, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Lending-shaped data: n0 loan amount, n1 interest rate, n2 credit
+    // score (all domain 256), c0 grade, c1 term, c2 purpose (domain 8).
+    let opts = GenOptions { n: 150_000, seed: 5, ..GenOptions::paper_default() };
+    let portfolio = loan_like(opts);
+
+    // The dashboard workload: 2-D queries, narrow (20% of each domain).
+    let true_selectivity = 0.2;
+    let workload = generate_queries(
+        portfolio.schema(),
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: true_selectivity,
+            count: 20,
+            seed: 9,
+            range_only: false,
+        },
+    )?;
+    let truth: Vec<f64> = workload.iter().map(|q| q.true_answer(&portfolio)).collect();
+
+    println!("20 narrow 2-D risk queries (s = {true_selectivity}), ε = 1, n = {}:", portfolio.len());
+    println!("{:<34} {:>10}", "grid sizing prior", "MAE");
+    for (label, prior) in [
+        ("informed (r = 0.2, true)", 0.2),
+        ("uninformed default (r = 0.5)", 0.5),
+        ("misinformed (r = 0.8)", 0.8),
+    ] {
+        let config = FelipConfig::new(1.0)
+            .with_strategy(Strategy::Ohg)
+            .with_selectivity(SelectivityPrior::Uniform(prior));
+        let estimator = simulate(&portfolio, &config, 31)?;
+        let answers = estimator.answer_all(&workload)?;
+        println!("{label:<34} {:>10.5}", mae(&answers, &truth));
+    }
+    println!("\nNarrow queries touch few cells, so the informed prior affords finer");
+    println!("grids (less non-uniformity bias) at the same noise budget.");
+    Ok(())
+}

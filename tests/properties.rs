@@ -1,0 +1,141 @@
+//! Property-based integration tests (proptest): invariants that must hold
+//! for *arbitrary* schemas, datasets, queries and mechanism parameters.
+
+use proptest::prelude::*;
+
+use felip_repro::common::{AttrKind, Attribute, Dataset, Predicate, Query, Schema};
+use felip_repro::engine::{respond, CollectionPlan};
+use felip_repro::common::rng::seeded_rng;
+use felip_repro::{simulate, FelipConfig, Strategy as FelipStrategy};
+
+/// An arbitrary small schema: 2–4 attributes, mixed kinds, domains 2–32.
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec((any::<bool>(), 2u32..=32), 2..=4).prop_map(|specs| {
+        Schema::new(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (cat, d))| {
+                    if cat {
+                        Attribute::categorical(format!("c{i}"), d.min(8))
+                    } else {
+                        Attribute::numerical(format!("n{i}"), d)
+                    }
+                })
+                .collect(),
+        )
+        .expect("generated schema is valid")
+    })
+}
+
+/// A dataset of `n` records valid for `schema`, from a seed.
+fn make_dataset(schema: &Schema, n: usize, seed: u64) -> Dataset {
+    use rand::Rng;
+    let mut rng = seeded_rng(seed);
+    let mut ds = Dataset::empty(schema.clone());
+    let mut row = vec![0u32; schema.len()];
+    for _ in 0..n {
+        for (slot, a) in row.iter_mut().zip(schema.attrs()) {
+            // Mildly skewed so the data is not trivially uniform.
+            let r: f64 = rng.gen::<f64>() * rng.gen::<f64>();
+            *slot = ((r * a.domain as f64) as u32).min(a.domain - 1);
+        }
+        ds.push_unchecked(&row);
+    }
+    ds
+}
+
+/// A random valid query over `schema`, derived from a seed.
+fn make_query(schema: &Schema, seed: u64, dims: usize) -> Query {
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+    let mut rng = seeded_rng(seed);
+    let mut attrs: Vec<usize> = (0..schema.len()).collect();
+    attrs.shuffle(&mut rng);
+    attrs.truncate(dims.clamp(1, schema.len()));
+    let preds = attrs
+        .into_iter()
+        .map(|a| {
+            let d = schema.domain(a);
+            match schema.attr(a).kind {
+                AttrKind::Numerical => {
+                    let lo = rng.gen_range(0..d);
+                    let hi = rng.gen_range(lo..d);
+                    Predicate::between(a, lo, hi)
+                }
+                AttrKind::Categorical => {
+                    let count = rng.gen_range(1..=d);
+                    Predicate::in_set(a, (0..count).collect())
+                }
+            }
+        })
+        .collect();
+    Query::new(schema, preds).expect("generated query is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// True answers are frequencies, and conjunctions are monotone: adding a
+    /// predicate can only shrink the answer.
+    #[test]
+    fn ground_truth_invariants(schema in arb_schema(), seed in 0u64..1000) {
+        let data = make_dataset(&schema, 500, seed);
+        let q2 = make_query(&schema, seed, 2);
+        let t2 = q2.true_answer(&data);
+        prop_assert!((0.0..=1.0).contains(&t2));
+        if schema.len() >= 3 {
+            // Extend q2 by one more predicate → answer must not grow.
+            let q3 = make_query(&schema, seed, 3);
+            if q3.attrs().len() > q2.attrs().len()
+                && q2.attrs().iter().all(|a| q3.attrs().contains(a))
+            {
+                prop_assert!(q3.true_answer(&data) <= t2 + 1e-12);
+            }
+        }
+    }
+
+    /// The full pipeline never produces an out-of-range answer, for any
+    /// schema / strategy / seed combination.
+    #[test]
+    fn pipeline_answers_in_unit_interval(
+        schema in arb_schema(),
+        seed in 0u64..1000,
+        ohg in any::<bool>(),
+    ) {
+        let data = make_dataset(&schema, 2_000, seed);
+        let strategy = if ohg { FelipStrategy::Ohg } else { FelipStrategy::Oug };
+        let config = FelipConfig::new(1.0).with_strategy(strategy);
+        // Schemas with a single pair and tiny domains are all valid inputs.
+        let est = simulate(&data, &config, seed).unwrap();
+        for dims in 1..=schema.len().min(3) {
+            let q = make_query(&schema, seed.wrapping_add(dims as u64), dims);
+            let a = est.answer(&q).unwrap();
+            prop_assert!((0.0..=1.0).contains(&a), "answer {a} for dims {dims}");
+        }
+    }
+
+    /// Post-processed grids are always proper distributions.
+    #[test]
+    fn estimated_grids_are_distributions(schema in arb_schema(), seed in 0u64..1000) {
+        let data = make_dataset(&schema, 2_000, seed);
+        let est = simulate(&data, &FelipConfig::new(0.8), seed).unwrap();
+        for g in est.grids() {
+            prop_assert!(g.freqs().iter().all(|&f| f >= 0.0));
+            prop_assert!((g.total() - 1.0).abs() < 1e-6, "total {}", g.total());
+        }
+    }
+
+    /// Client reports are always valid for the user's assigned grid.
+    #[test]
+    fn client_reports_valid(schema in arb_schema(), seed in 0u64..1000, user in 0usize..500) {
+        let config = FelipConfig::new(1.0);
+        let plan = CollectionPlan::build(&schema, 1_000, &config, seed).unwrap();
+        let mut rng = seeded_rng(seed);
+        let record: Vec<u32> =
+            schema.attrs().iter().map(|a| (seed as u32).wrapping_mul(31) % a.domain).collect();
+        let r = respond(&plan, user, &record, &mut rng).unwrap();
+        prop_assert!(r.group < plan.num_groups());
+        prop_assert_eq!(r.group, plan.group_of(user));
+    }
+}
