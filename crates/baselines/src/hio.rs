@@ -21,7 +21,6 @@
 
 use std::collections::HashMap;
 
-
 use rand::{Rng, RngCore};
 
 use felip_common::hash::{mix64, universal_hash};
@@ -47,7 +46,10 @@ impl Olh64 {
     fn new(epsilon: f64) -> Self {
         let g = (epsilon.exp().ceil() as u32).saturating_add(1).max(2);
         let e = epsilon.exp();
-        Olh64 { g, p: e / (e + g as f64 - 1.0) }
+        Olh64 {
+            g,
+            p: e / (e + g as f64 - 1.0),
+        }
     }
 
     /// Hashes a 64-bit interval index into `0..g` under `seed`.
@@ -126,10 +128,9 @@ impl Hierarchy {
             for (lvl, bin) in self.levels.iter().enumerate() {
                 let idx = bin.cell_of(at);
                 let (s, e) = bin.cell_range(idx); // [s, e)
-                if s == at && e <= hi + 1
-                    && best.is_none_or(|(_, _, be)| e > be) {
-                        best = Some((lvl, idx, e));
-                    }
+                if s == at && e <= hi + 1 && best.is_none_or(|(_, _, be)| e > be) {
+                    best = Some((lvl, idx, e));
+                }
             }
             let (lvl, idx, end) =
                 best.expect("leaf level always provides an aligned single-value interval");
@@ -177,7 +178,9 @@ impl Hio {
             return Err(Error::InvalidParameter("epsilon must be positive".into()));
         }
         if b < 2 {
-            return Err(Error::InvalidParameter("branching factor must be at least 2".into()));
+            return Err(Error::InvalidParameter(
+                "branching factor must be at least 2".into(),
+            ));
         }
         let hierarchies: Vec<Hierarchy> = schema
             .attrs()
@@ -191,9 +194,9 @@ impl Hio {
         let mut total: u64 = 1;
         for (i, h) in hierarchies.iter().enumerate().rev() {
             strides[i] = total;
-            total = total.checked_mul(h.num_levels() as u64).ok_or_else(|| {
-                Error::InvalidParameter("HIO k-dim level count overflows".into())
-            })?;
+            total = total
+                .checked_mul(h.num_levels() as u64)
+                .ok_or_else(|| Error::InvalidParameter("HIO k-dim level count overflows".into()))?;
         }
         if total > u32::MAX as u64 {
             return Err(Error::InvalidParameter(format!(
@@ -265,10 +268,14 @@ impl Hio {
     /// returns the query-answering estimator.
     pub fn collect(&self, dataset: &Dataset, seed: u64) -> Result<HioEstimator> {
         if dataset.schema() != &self.schema {
-            return Err(Error::InvalidParameter("dataset schema does not match HIO schema".into()));
+            return Err(Error::InvalidParameter(
+                "dataset schema does not match HIO schema".into(),
+            ));
         }
         if dataset.is_empty() {
-            return Err(Error::InvalidParameter("cannot collect from an empty dataset".into()));
+            return Err(Error::InvalidParameter(
+                "cannot collect from an empty dataset".into(),
+            ));
         }
         let mut groups: HashMap<u64, GroupReports> = HashMap::new();
         let mut rng = seeded_rng(derive_seed(seed, 0x810));
@@ -280,9 +287,16 @@ impl Hio {
             let levels = self.levels_of_group(group);
             let value = self.interval_of_record(&levels, record);
             let (seed, bucket) = olh.perturb(value, &mut rng);
-            groups.entry(group).or_default().reports.push((seed, bucket));
+            groups
+                .entry(group)
+                .or_default()
+                .reports
+                .push((seed, bucket));
         }
-        Ok(HioEstimator { hio: self.clone(), groups })
+        Ok(HioEstimator {
+            hio: self.clone(),
+            groups,
+        })
     }
 }
 
@@ -321,12 +335,14 @@ impl HioEstimator {
         let covers: Vec<Vec<(usize, u32)>> = (0..k)
             .map(|a| match query.predicate_on(a) {
                 None => vec![(0usize, 0u32)],
-                Some(Predicate { target: PredicateTarget::Range { lo, hi }, .. }) => {
-                    self.hio.hierarchies[a].cover_range(*lo, *hi)
-                }
-                Some(Predicate { target: PredicateTarget::Set(vals), .. }) => {
-                    self.hio.hierarchies[a].cover_set(vals, self.hio.schema.domain(a))
-                }
+                Some(Predicate {
+                    target: PredicateTarget::Range { lo, hi },
+                    ..
+                }) => self.hio.hierarchies[a].cover_range(*lo, *hi),
+                Some(Predicate {
+                    target: PredicateTarget::Set(vals),
+                    ..
+                }) => self.hio.hierarchies[a].cover_set(vals, self.hio.schema.domain(a)),
             })
             .collect();
         // Regroup cover entries by hierarchy level per attribute.
@@ -370,8 +386,11 @@ impl HioEstimator {
                 // The group is a uniform random sample of the population, so
                 // its local frequency estimate is already an unbiased
                 // estimate of the population frequency.
-                let support =
-                    reports.reports.iter().filter(|(s, x)| olh.hash(*s, value) == *x).count();
+                let support = reports
+                    .reports
+                    .iter()
+                    .filter(|(s, x)| olh.hash(*s, value) == *x)
+                    .count();
                 total += olh.estimate(support, n);
                 let mut a = k;
                 loop {
@@ -389,7 +408,6 @@ impl HioEstimator {
         }
         Ok(total.clamp(0.0, 1.0))
     }
-
 
     /// Answers a batch of queries.
     pub fn answer_all(&self, queries: &[Query]) -> Result<Vec<f64>> {
@@ -487,8 +505,11 @@ mod tests {
         let hio = Hio::new(&schema(), 1.0, 4).unwrap();
         for g in 0..hio.num_groups() {
             let levels = hio.levels_of_group(g);
-            let back: u64 =
-                levels.iter().zip(&hio.level_strides).map(|(&l, &s)| l as u64 * s).sum();
+            let back: u64 = levels
+                .iter()
+                .zip(&hio.level_strides)
+                .map(|(&l, &s)| l as u64 * s)
+                .sum();
             assert_eq!(back, g);
         }
     }
@@ -522,7 +543,11 @@ mod tests {
         for _ in 0..n {
             let x = rng.gen_range(0..32u32); // lower half only
             let y = rng.gen_range(0..64u32);
-            let c = if rng.gen_bool(0.6) { 0 } else { rng.gen_range(1..4u32) };
+            let c = if rng.gen_bool(0.6) {
+                0
+            } else {
+                rng.gen_range(1..4u32)
+            };
             data.push(&[x, y, c]).unwrap();
         }
         let est = run_hio(&data, 1.0, 9).unwrap();
@@ -543,8 +568,12 @@ mod tests {
             let mut rng = seeded_rng(5);
             let mut d = Dataset::empty(s.clone());
             for _ in 0..20_000 {
-                d.push(&[rng.gen_range(0..64), rng.gen_range(0..64), rng.gen_range(0..4)])
-                    .unwrap();
+                d.push(&[
+                    rng.gen_range(0..64),
+                    rng.gen_range(0..64),
+                    rng.gen_range(0..4),
+                ])
+                .unwrap();
             }
             d
         };

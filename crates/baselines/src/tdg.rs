@@ -56,21 +56,32 @@ pub fn plan(
     epsilon: f64,
     seed: u64,
 ) -> Result<CollectionPlan> {
-    if schema.attrs().iter().any(|a| a.kind == AttrKind::Categorical) {
+    if schema
+        .attrs()
+        .iter()
+        .any(|a| a.kind == AttrKind::Categorical)
+    {
         return Err(Error::InvalidParameter(format!(
             "{which} supports numerical (range-query) attributes only"
         )));
     }
     let k = schema.len();
     if k < 2 {
-        return Err(Error::InvalidParameter("grid baselines need at least two attributes".into()));
+        return Err(Error::InvalidParameter(
+            "grid baselines need at least two attributes".into(),
+        ));
     }
     let pairs = schema.pairs();
     let m = match which {
         GridBaseline::Tdg => pairs.len(),
         GridBaseline::Hdg => k + pairs.len(),
     };
-    let d_max = schema.attrs().iter().map(|a| a.domain).max().expect("non-empty schema");
+    let d_max = schema
+        .attrs()
+        .iter()
+        .map(|a| a.domain)
+        .max()
+        .expect("non-empty schema");
 
     // The paper's constants (§6.3 uses the same α values for all systems).
     let config = FelipConfig::new(epsilon)
@@ -81,7 +92,11 @@ pub fn plan(
         .with_forced_fo(FoKind::Olh)
         .with_selectivity(SelectivityPrior::Uniform(0.5));
 
-    let axis = |d: u32| AxisInput { domain: d, kind: AttrKind::Numerical, selectivity: 0.5 };
+    let axis = |d: u32| AxisInput {
+        domain: d,
+        kind: AttrKind::Numerical,
+        selectivity: 0.5,
+    };
     // Global granularities from the FELIP error model at r = 0.5 (the
     // formulas of §5.2 reduce to the VLDB'21 ones under that assumption),
     // then power-of-two rounding — the §3.2 limitation.
@@ -120,7 +135,12 @@ pub fn plan(
     let mut grids = Vec::with_capacity(m);
     if which == GridBaseline::Hdg {
         for a in 0..k {
-            grids.push(GridSpec::one_dim(schema, a, g1.min(schema.domain(a)), FoKind::Olh)?);
+            grids.push(GridSpec::one_dim(
+                schema,
+                a,
+                g1.min(schema.domain(a)),
+                FoKind::Olh,
+            )?);
         }
     }
     for (i, j) in pairs {
@@ -161,7 +181,12 @@ mod tests {
     use rand::Rng;
 
     fn schema(k: usize, d: u32) -> Schema {
-        Schema::new((0..k).map(|i| Attribute::numerical(format!("a{i}"), d)).collect()).unwrap()
+        Schema::new(
+            (0..k)
+                .map(|i| Attribute::numerical(format!("a{i}"), d))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -194,11 +219,18 @@ mod tests {
         let s = schema(4, 64);
         let p = plan(GridBaseline::Hdg, &s, 100_000, 1.0, 1).unwrap();
         assert_eq!(p.num_groups(), 4 + 6);
-        let ones: Vec<_> = p.grids().iter().filter(|g| matches!(g.id(), GridId::One(_))).collect();
+        let ones: Vec<_> = p
+            .grids()
+            .iter()
+            .filter(|g| matches!(g.id(), GridId::One(_)))
+            .collect();
         assert_eq!(ones.len(), 4);
         let g1 = ones[0].axes()[0].cells();
         assert!(g1.is_power_of_two());
-        assert!(ones.iter().all(|g| g.axes()[0].cells() == g1), "g1 must be global");
+        assert!(
+            ones.iter().all(|g| g.axes()[0].cells() == g1),
+            "g1 must be global"
+        );
     }
 
     #[test]
@@ -226,7 +258,8 @@ mod tests {
         for _ in 0..n {
             // Skewed towards low values on attribute 0.
             let a = (rng.gen::<f64>() * rng.gen::<f64>() * 64.0) as u32;
-            data.push(&[a.min(63), rng.gen_range(0..64), rng.gen_range(0..64)]).unwrap();
+            data.push(&[a.min(63), rng.gen_range(0..64), rng.gen_range(0..64)])
+                .unwrap();
         }
         let q = Query::new(
             &s,

@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use felip::{simulate, FelipConfig, Strategy};
-use felip_datasets::{generate_queries, GenOptions, DatasetKind, WorkloadOptions};
+use felip_datasets::{generate_queries, DatasetKind, GenOptions, WorkloadOptions};
 
 fn opts(n: usize) -> GenOptions {
     GenOptions {
@@ -43,7 +43,13 @@ fn bench_query_answering(c: &mut Criterion) {
     for &lambda in &[2usize, 4, 6] {
         let queries = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda, selectivity: 0.5, count: 10, seed: 5, range_only: false },
+            WorkloadOptions {
+                lambda,
+                selectivity: 0.5,
+                count: 10,
+                seed: 5,
+                range_only: false,
+            },
         )
         .unwrap();
         // Warm the response-matrix cache so the bench isolates fitting cost.

@@ -39,12 +39,16 @@ fn bench_aggregate(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         let mut rng = seeded_rng(2);
         let grr = Grr::new(eps, d);
-        let grr_reports: Vec<_> = (0..n).map(|i| grr.perturb(i as u32 % d, &mut rng)).collect();
+        let grr_reports: Vec<_> = (0..n)
+            .map(|i| grr.perturb(i as u32 % d, &mut rng))
+            .collect();
         g.bench_with_input(BenchmarkId::new("grr", d), &d, |b, _| {
             b.iter(|| grr.aggregate(black_box(&grr_reports)))
         });
         let olh = Olh::new(eps, d);
-        let olh_reports: Vec<_> = (0..n).map(|i| olh.perturb(i as u32 % d, &mut rng)).collect();
+        let olh_reports: Vec<_> = (0..n)
+            .map(|i| olh.perturb(i as u32 % d, &mut rng))
+            .collect();
         g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
             b.iter(|| olh.aggregate(black_box(&olh_reports)))
         });
@@ -67,5 +71,10 @@ fn bench_streaming_accumulate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_perturb, bench_aggregate, bench_streaming_accumulate);
+criterion_group!(
+    benches,
+    bench_perturb,
+    bench_aggregate,
+    bench_streaming_accumulate
+);
 criterion_main!(benches);

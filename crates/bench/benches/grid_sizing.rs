@@ -8,7 +8,11 @@ use felip_fo::FoKind;
 use felip_grid::optimize::{optimize_grid, AxisInput, SizingInput};
 
 fn input(kind_x: AttrKind, kind_y: Option<AttrKind>, d: u32) -> SizingInput {
-    let axis = |k: AttrKind| AxisInput { domain: d, kind: k, selectivity: 0.5 };
+    let axis = |k: AttrKind| AxisInput {
+        domain: d,
+        kind: k,
+        selectivity: 0.5,
+    };
     SizingInput {
         n: 1_000_000,
         m: 21,

@@ -41,7 +41,8 @@ fn make_grids(d: u32) -> (Vec<EstimatedGrid>, Vec<f64>) {
     ])
     .unwrap();
     let g1 = GridSpec::one_dim(&schema, 0, (d / 8).max(2), FoKind::Olh).unwrap();
-    let g2 = GridSpec::two_dim(&schema, 0, 1, (d / 16).max(2), (d / 16).max(2), FoKind::Olh).unwrap();
+    let g2 =
+        GridSpec::two_dim(&schema, 0, 1, (d / 16).max(2), (d / 16).max(2), FoKind::Olh).unwrap();
     let f1 = noisy(g1.num_cells() as usize, 2);
     let f2 = noisy(g2.num_cells() as usize, 3);
     (
@@ -78,5 +79,10 @@ fn bench_full_post_process(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_norm_sub, bench_consistency, bench_full_post_process);
+criterion_group!(
+    benches,
+    bench_norm_sub,
+    bench_consistency,
+    bench_full_post_process
+);
 criterion_main!(benches);

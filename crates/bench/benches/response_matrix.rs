@@ -43,9 +43,7 @@ fn bench_build(c: &mut Criterion) {
             distribution(l1 as usize, 3),
         );
         g.bench_with_input(BenchmarkId::new("hybrid", d), &d, |b, _| {
-            b.iter(|| {
-                ResponseMatrix::build(0, 1, d, d, black_box(&[&g2, &g1a, &g1b]), 1e-6)
-            })
+            b.iter(|| ResponseMatrix::build(0, 1, d, d, black_box(&[&g2, &g1a, &g1b]), 1e-6))
         });
     }
     g.finish();
@@ -58,7 +56,11 @@ fn bench_lambda_fit(c: &mut Criterion) {
         let mut pairs = Vec::new();
         for s in 0..lambda {
             for t in (s + 1)..lambda {
-                pairs.push(PairAnswer { s, t, answer: rng.gen::<f64>() * 0.3 });
+                pairs.push(PairAnswer {
+                    s,
+                    t,
+                    answer: rng.gen::<f64>() * 0.3,
+                });
             }
         }
         g.bench_with_input(BenchmarkId::from_parameter(lambda), &lambda, |b, _| {

@@ -47,13 +47,20 @@ pub fn afo_crossover(profile: &Profile) -> std::io::Result<()> {
                 .collect();
             let grr = Grr::new(eps, cells);
             let olh = Olh::new(eps, cells);
-            for (name, oracle) in
-                [("GRR", &grr as &dyn FrequencyOracle), ("OLH", &olh as &dyn FrequencyOracle)]
-            {
-                let reports: Vec<_> = values.iter().map(|&v| oracle.perturb(v, &mut rng)).collect();
+            for (name, oracle) in [
+                ("GRR", &grr as &dyn FrequencyOracle),
+                ("OLH", &olh as &dyn FrequencyOracle),
+            ] {
+                let reports: Vec<_> = values
+                    .iter()
+                    .map(|&v| oracle.perturb(v, &mut rng))
+                    .collect();
                 let est = oracle.aggregate(&reports);
                 let m = mae(&est, &truth);
-                sink.row(&format!("{eps},{cells},{name},{m:.6},{:.3e}", oracle.variance(n)))?;
+                sink.row(&format!(
+                    "{eps},{cells},{name},{m:.6},{:.3e}",
+                    oracle.variance(n)
+                ))?;
             }
         }
     }
@@ -99,18 +106,26 @@ pub fn ablation_partitioning(profile: &Profile) -> std::io::Result<()> {
             };
             // Scheme A: divide users — the first n/m users report with full ε.
             let full = make(eps);
-            let reports: Vec<_> =
-                (0..n / m).map(|_| full.perturb(sample(&mut rng), &mut rng)).collect();
+            let reports: Vec<_> = (0..n / m)
+                .map(|_| full.perturb(sample(&mut rng), &mut rng))
+                .collect();
             let est = full.aggregate(&reports);
-            sink.row(&format!("{proto},{m},divide-users,{:.6}", mae(&est, &truth)))?;
+            sink.row(&format!(
+                "{proto},{m},divide-users,{:.6}",
+                mae(&est, &truth)
+            ))?;
             // Scheme B: split budget — all n users report with ε/m (one of
             // the m reports; by symmetry all m estimates are identically
             // distributed, so one representative grid suffices).
             let split = make(eps / m as f64);
-            let reports: Vec<_> =
-                (0..n).map(|_| split.perturb(sample(&mut rng), &mut rng)).collect();
+            let reports: Vec<_> = (0..n)
+                .map(|_| split.perturb(sample(&mut rng), &mut rng))
+                .collect();
             let est = split.aggregate(&reports);
-            sink.row(&format!("{proto},{m},split-budget,{:.6}", mae(&est, &truth)))?;
+            sink.row(&format!(
+                "{proto},{m},split-budget,{:.6}",
+                mae(&est, &truth)
+            ))?;
         }
     }
     Ok(())
@@ -180,12 +195,14 @@ pub fn ablation_selectivity(profile: &Profile) -> std::io::Result<()> {
                 .with_selectivity(SelectivityPrior::Uniform(prior));
             let est = simulate(&data, &config, profile.seed).expect("simulation succeeds");
             let answers = est.answer_all(&queries).expect("answering succeeds");
-            sink.row(&format!("{kind},{prior},{true_s},{:.6}", mae(&answers, &truth)))?;
+            sink.row(&format!(
+                "{kind},{prior},{true_s},{:.6}",
+                mae(&answers, &truth)
+            ))?;
         }
     }
     Ok(())
 }
-
 
 /// λ-D fit ablation: faithful pairs-only Algorithm 4 vs the
 /// marginal-augmented extension, across query dimensions.
@@ -221,7 +238,10 @@ pub fn ablation_marginals(profile: &Profile) -> std::io::Result<()> {
                     .with_lambda_marginals(marginals);
                 let est = simulate(&data, &config, profile.seed).expect("simulation succeeds");
                 let answers = est.answer_all(&queries).expect("answering succeeds");
-                sink.row(&format!("{kind},{lambda},{variant},{:.6}", mae(&answers, &truth)))?;
+                sink.row(&format!(
+                    "{kind},{lambda},{variant},{:.6}",
+                    mae(&answers, &truth)
+                ))?;
             }
         }
     }

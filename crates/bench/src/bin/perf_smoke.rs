@@ -1,0 +1,6 @@
+//! Ingestion/aggregation throughput smoke bench. See `bench::perf`.
+
+fn main() -> std::io::Result<()> {
+    let opts = bench::perf::PerfOptions::from_args(std::env::args().skip(1));
+    bench::perf::perf_smoke(&opts)
+}

@@ -36,8 +36,15 @@ fn average_mae(
 ) -> f64 {
     let maes: Vec<f64> = (0..profile.repeats.max(1))
         .map(|r| {
-            evaluate_mae(strategy, data, queries, epsilon, selectivity, point_seed ^ (r as u64) << 32)
-                .unwrap_or(f64::NAN)
+            evaluate_mae(
+                strategy,
+                data,
+                queries,
+                epsilon,
+                selectivity,
+                point_seed ^ (r as u64) << 32,
+            )
+            .unwrap_or(f64::NAN)
         })
         .filter(|m| m.is_finite())
         .collect();
@@ -85,8 +92,11 @@ pub fn fig1(profile: &Profile) -> std::io::Result<()> {
 pub fn fig2(profile: &Profile) -> std::io::Result<()> {
     let mut sink = CsvSink::new("fig2", HEADER, profile.out_dir.as_deref())?;
     let quick = profile.n < 200_000;
-    let sweep: Vec<f64> =
-        if quick { vec![0.1, 0.3, 0.5, 0.7, 0.9] } else { vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+    let sweep: Vec<f64> = if quick {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    } else {
+        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
     for kind in DatasetKind::all() {
         let data = kind.generate(profile.gen_options(0x02));
         for lambda in [2usize, 4] {
@@ -121,7 +131,15 @@ pub fn fig3(profile: &Profile) -> std::io::Result<()> {
     let sweep: Vec<(u32, u32)> = if quick {
         vec![(16, 2), (32, 3), (64, 4), (128, 6), (256, 8)]
     } else {
-        vec![(25, 2), (50, 3), (100, 4), (200, 5), (400, 6), (800, 7), (1600, 8)]
+        vec![
+            (25, 2),
+            (50, 3),
+            (100, 4),
+            (200, 5),
+            (400, 6),
+            (800, 7),
+            (1600, 8),
+        ]
     };
     for kind in DatasetKind::all() {
         for &(dn, dc) in &sweep {
@@ -158,9 +176,17 @@ pub fn fig3(profile: &Profile) -> std::io::Result<()> {
 pub fn fig4(profile: &Profile) -> std::io::Result<()> {
     let mut sink = CsvSink::new("fig4", HEADER, profile.out_dir.as_deref())?;
     let quick = profile.n < 200_000;
-    let lambdas: Vec<usize> = if quick { vec![2, 4, 6, 8, 10] } else { (2..=10).collect() };
+    let lambdas: Vec<usize> = if quick {
+        vec![2, 4, 6, 8, 10]
+    } else {
+        (2..=10).collect()
+    };
     for kind in DatasetKind::all() {
-        let opts = GenOptions { numerical: 5, categorical: 5, ..profile.gen_options(0x04) };
+        let opts = GenOptions {
+            numerical: 5,
+            categorical: 5,
+            ..profile.gen_options(0x04)
+        };
         let data = kind.generate(opts);
         for &lambda in &lambdas {
             let queries = generate_queries(
@@ -188,7 +214,11 @@ pub fn fig4(profile: &Profile) -> std::io::Result<()> {
 pub fn fig5(profile: &Profile) -> std::io::Result<()> {
     let mut sink = CsvSink::new("fig5", HEADER, profile.out_dir.as_deref())?;
     let quick = profile.n < 200_000;
-    let ks: Vec<usize> = if quick { vec![4, 6, 8, 10] } else { (4..=10).collect() };
+    let ks: Vec<usize> = if quick {
+        vec![4, 6, 8, 10]
+    } else {
+        (4..=10).collect()
+    };
     for kind in DatasetKind::all() {
         for &k in &ks {
             let opts = GenOptions {
@@ -237,7 +267,10 @@ pub fn fig6(profile: &Profile) -> std::io::Result<()> {
             base_sweep.clone()
         };
         let max_n = *sweep.last().expect("non-empty sweep");
-        let opts = GenOptions { n: max_n, ..profile.gen_options(0x06) };
+        let opts = GenOptions {
+            n: max_n,
+            ..profile.gen_options(0x06)
+        };
         let full = kind.generate(opts);
         for lambda in [2usize, 4] {
             let queries = generate_queries(
@@ -289,8 +322,9 @@ pub fn fig7(profile: &Profile) -> std::io::Result<()> {
         )
         .expect("all-numerical schema supports range-only queries");
         for eps in epsilon_sweep(quick) {
-            for strat in
-                StrategyUnderTest::fig7_uniform().into_iter().chain(StrategyUnderTest::fig7_hybrid())
+            for strat in StrategyUnderTest::fig7_uniform()
+                .into_iter()
+                .chain(StrategyUnderTest::fig7_hybrid())
             {
                 let m = average_mae(strat, &data, &queries, eps, 0.5, profile, profile.seed);
                 sink.row(&format!("fig7,{kind},3,{eps},{strat},{m:.6}"))?;

@@ -23,6 +23,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod perf;
 pub mod profile;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,258 @@
+//! `perf_smoke`: throughput measurement for the batched OLH ingestion path.
+//!
+//! Measures ingest + aggregate throughput (reports folded into support
+//! counts and de-biased, in reports/second) at `d ∈ {64, 1024, 16384}`,
+//! the domain sizes where OLH's `O(|reports| × d)` support counting goes
+//! from trivially cache-resident to several L1 blocks wide. With
+//! `--baseline-scalar` the same run also times the per-report scalar path
+//! ([`FrequencyOracle::accumulate`] in a loop) and reports the speedup of
+//! the cache-blocked batch kernel over it.
+//!
+//! Results are printed as a small table and written as JSON (default
+//! `BENCH_ingest.json` in the working directory — the repo root when run
+//! via `cargo run`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use felip_common::rng::seeded_rng;
+use felip_fo::{FrequencyOracle, Olh, Report};
+use serde_json::{json, Value};
+
+/// Domain sizes swept by the smoke bench.
+pub const DOMAINS: [u32; 3] = [64, 1024, 16_384];
+
+/// Privacy budget used for the bench oracles (g = 4, the paper's default ε).
+pub const EPSILON: f64 = 1.0;
+
+/// Options parsed from the `perf_smoke` command line.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Also time the per-report scalar path and report the speedup.
+    pub baseline_scalar: bool,
+    /// Output JSON path.
+    pub out: String,
+    /// Hash evaluations per measurement (`n = work / d` reports per point).
+    pub work: u64,
+    /// Timed repetitions per measurement (best of).
+    pub repeats: usize,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            baseline_scalar: false,
+            out: "BENCH_ingest.json".to_string(),
+            // 2^24 hash evaluations ≈ tens of ms per scalar pass: large
+            // enough for stable timing, small enough for a smoke bench.
+            work: 1 << 24,
+            repeats: 3,
+        }
+    }
+}
+
+impl PerfOptions {
+    /// Parses `perf_smoke` flags (`--baseline-scalar`, `--out PATH`,
+    /// `--work N`, `--repeats N`).
+    ///
+    /// # Panics
+    /// Panics on unknown flags or malformed values, printing usage.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut opts = PerfOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--baseline-scalar" => opts.baseline_scalar = true,
+                "--out" => {
+                    opts.out = args.next().expect("--out requires a path");
+                }
+                "--work" => {
+                    let v = args.next().expect("--work requires a number");
+                    opts.work = v.parse().expect("--work must be an integer");
+                }
+                "--repeats" => {
+                    let v = args.next().expect("--repeats requires a number");
+                    opts.repeats = v.parse().expect("--repeats must be an integer");
+                }
+                other => panic!(
+                    "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
+                     [--out PATH] [--work N] [--repeats N]"
+                ),
+            }
+        }
+        opts
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Domain size.
+    pub d: u32,
+    /// Reports per measurement.
+    pub n: usize,
+    /// Batched path: reports ingested + aggregated per second.
+    pub batched_reports_per_sec: f64,
+    /// Scalar path throughput (only with `--baseline-scalar`).
+    pub scalar_reports_per_sec: Option<f64>,
+}
+
+impl PerfPoint {
+    /// Batched-over-scalar speedup, when the baseline was measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.scalar_reports_per_sec
+            .map(|s| self.batched_reports_per_sec / s)
+    }
+}
+
+/// Best-of-`repeats` wall-clock seconds for `f`.
+fn best_seconds(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures one domain size: perturbs `n = work / d` reports once, then
+/// times ingest (support counting) + aggregate (de-biasing) through the
+/// batched kernel and, optionally, the per-report scalar path.
+pub fn measure_point(d: u32, opts: &PerfOptions) -> PerfPoint {
+    let olh = Olh::new(EPSILON, d);
+    let n = ((opts.work / d as u64).max(64)) as usize;
+    let mut rng = seeded_rng(0xBE2C ^ d as u64);
+    let reports: Vec<Report> = (0..n)
+        .map(|i| olh.perturb(i as u32 % d, &mut rng))
+        .collect();
+
+    let batched = best_seconds(opts.repeats, || {
+        let mut counts = vec![0u64; d as usize];
+        olh.accumulate_batch(black_box(&reports), &mut counts);
+        black_box(olh.estimate_from_counts(&counts, n));
+    });
+
+    let scalar = opts.baseline_scalar.then(|| {
+        best_seconds(opts.repeats, || {
+            let mut counts = vec![0u64; d as usize];
+            for r in black_box(&reports) {
+                olh.accumulate(r, &mut counts);
+            }
+            black_box(olh.estimate_from_counts(&counts, n));
+        })
+    });
+
+    PerfPoint {
+        d,
+        n,
+        batched_reports_per_sec: n as f64 / batched,
+        scalar_reports_per_sec: scalar.map(|s| n as f64 / s),
+    }
+}
+
+/// Renders the sweep as the `BENCH_ingest.json` document.
+pub fn to_json(points: &[PerfPoint], opts: &PerfOptions) -> Value {
+    let results: Vec<Value> = points
+        .iter()
+        .map(|p| {
+            let mut obj = serde_json::Map::new();
+            obj.insert("d".to_string(), json!(p.d));
+            obj.insert("n".to_string(), json!(p.n));
+            obj.insert(
+                "batched_reports_per_sec".to_string(),
+                json!(p.batched_reports_per_sec),
+            );
+            if let Some(s) = p.scalar_reports_per_sec {
+                obj.insert("scalar_reports_per_sec".to_string(), json!(s));
+            }
+            if let Some(x) = p.speedup() {
+                obj.insert("batched_speedup".to_string(), json!(x));
+            }
+            Value::Object(obj)
+        })
+        .collect();
+    json!({
+        "bench": "perf_smoke",
+        "oracle": "olh",
+        "epsilon": EPSILON,
+        "work_per_point": opts.work,
+        "repeats": opts.repeats,
+        "baseline_scalar": opts.baseline_scalar,
+        "results": results
+    })
+}
+
+/// Runs the sweep, prints a table, and writes the JSON report.
+pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
+    println!("perf_smoke: OLH ingest+aggregate throughput (ε = {EPSILON})");
+    let mut points = Vec::new();
+    for &d in &DOMAINS {
+        let p = measure_point(d, opts);
+        match p.speedup() {
+            Some(x) => println!(
+                "d = {:>6}  n = {:>7}  batched {:>12.0} rep/s  scalar {:>12.0} rep/s  speedup {:.2}x",
+                p.d,
+                p.n,
+                p.batched_reports_per_sec,
+                p.scalar_reports_per_sec.unwrap(),
+                x
+            ),
+            None => println!(
+                "d = {:>6}  n = {:>7}  batched {:>12.0} rep/s",
+                p.d, p.n, p.batched_reports_per_sec
+            ),
+        }
+        points.push(p);
+    }
+    let doc = to_json(&points, opts);
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )?;
+    println!("wrote {}", opts.out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse() {
+        let opts = PerfOptions::from_args(
+            [
+                "--baseline-scalar",
+                "--out",
+                "x.json",
+                "--work",
+                "1024",
+                "--repeats",
+                "2",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        assert!(opts.baseline_scalar);
+        assert_eq!(opts.out, "x.json");
+        assert_eq!(opts.work, 1024);
+        assert_eq!(opts.repeats, 2);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_sane_json() {
+        let opts = PerfOptions {
+            baseline_scalar: true,
+            work: 1 << 12,
+            repeats: 1,
+            ..PerfOptions::default()
+        };
+        let p = measure_point(64, &opts);
+        assert!(p.batched_reports_per_sec > 0.0);
+        assert!(p.speedup().unwrap() > 0.0);
+        let doc = to_json(&[p], &opts);
+        let results = doc.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].get("batched_speedup").is_some());
+    }
+}

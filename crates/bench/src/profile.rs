@@ -44,7 +44,11 @@ impl Profile {
     /// Paper-scale parameters (§6.2 defaults): n = 10⁶, domain 256, k = 6,
     /// |Q| = 10.
     pub fn full() -> Self {
-        Profile { n: 1_000_000, numerical_domain: 256, ..Profile::quick() }
+        Profile {
+            n: 1_000_000,
+            numerical_domain: 256,
+            ..Profile::quick()
+        }
     }
 
     /// Parses the shared flags: `--quick` (default), `--full`,
@@ -64,8 +68,18 @@ impl Profile {
                 })
             };
             match a.as_str() {
-                "--quick" => p = Profile { out_dir: p.out_dir.clone(), ..Profile::quick() },
-                "--full" => p = Profile { out_dir: p.out_dir.clone(), ..Profile::full() },
+                "--quick" => {
+                    p = Profile {
+                        out_dir: p.out_dir.clone(),
+                        ..Profile::quick()
+                    }
+                }
+                "--full" => {
+                    p = Profile {
+                        out_dir: p.out_dir.clone(),
+                        ..Profile::full()
+                    }
+                }
                 "--n" => p.n = parse(&take("--n")),
                 "--queries" => p.queries = parse(&take("--queries")),
                 "--repeats" => p.repeats = parse(&take("--repeats")),
@@ -110,7 +124,10 @@ mod tests {
     use super::*;
 
     fn args(s: &[&str]) -> std::vec::IntoIter<String> {
-        s.iter().map(|x| x.to_string()).collect::<Vec<_>>().into_iter()
+        s.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
     #[test]

@@ -29,17 +29,29 @@ pub enum StrategyUnderTest {
 impl StrategyUnderTest {
     /// Figure-1–6 contenders.
     pub fn main_contenders() -> [StrategyUnderTest; 3] {
-        [StrategyUnderTest::Oug, StrategyUnderTest::Ohg, StrategyUnderTest::Hio]
+        [
+            StrategyUnderTest::Oug,
+            StrategyUnderTest::Ohg,
+            StrategyUnderTest::Hio,
+        ]
     }
 
     /// Figure-7 uniform-grid panel.
     pub fn fig7_uniform() -> [StrategyUnderTest; 3] {
-        [StrategyUnderTest::Oug, StrategyUnderTest::OugOlh, StrategyUnderTest::Tdg]
+        [
+            StrategyUnderTest::Oug,
+            StrategyUnderTest::OugOlh,
+            StrategyUnderTest::Tdg,
+        ]
     }
 
     /// Figure-7 hybrid-grid panel.
     pub fn fig7_hybrid() -> [StrategyUnderTest; 3] {
-        [StrategyUnderTest::Ohg, StrategyUnderTest::OhgOlh, StrategyUnderTest::Hdg]
+        [
+            StrategyUnderTest::Ohg,
+            StrategyUnderTest::OhgOlh,
+            StrategyUnderTest::Hdg,
+        ]
     }
 }
 
@@ -74,7 +86,9 @@ pub fn evaluate_mae(
 ) -> Result<f64> {
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(dataset)).collect();
     let estimates: Vec<f64> = match strategy {
-        StrategyUnderTest::Oug | StrategyUnderTest::Ohg | StrategyUnderTest::OugOlh
+        StrategyUnderTest::Oug
+        | StrategyUnderTest::Ohg
+        | StrategyUnderTest::OugOlh
         | StrategyUnderTest::OhgOlh => {
             let base = match strategy {
                 StrategyUnderTest::Oug | StrategyUnderTest::OugOlh => Strategy::Oug,
@@ -83,7 +97,10 @@ pub fn evaluate_mae(
             let mut config = FelipConfig::new(epsilon)
                 .with_strategy(base)
                 .with_selectivity(SelectivityPrior::Uniform(selectivity_prior));
-            if matches!(strategy, StrategyUnderTest::OugOlh | StrategyUnderTest::OhgOlh) {
+            if matches!(
+                strategy,
+                StrategyUnderTest::OugOlh | StrategyUnderTest::OhgOlh
+            ) {
                 config = config.with_forced_fo(FoKind::Olh);
             }
             let est = simulate(dataset, &config, seed)?;
@@ -120,7 +137,13 @@ mod tests {
         let data = uniform(opts());
         let qs = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 4, seed: 2, range_only: false },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.5,
+                count: 4,
+                seed: 2,
+                range_only: false,
+            },
         )
         .unwrap();
         for s in [
@@ -141,7 +164,13 @@ mod tests {
         let data = uniform(opts()); // has a categorical attribute
         let qs = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 2, seed: 2, range_only: true },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.5,
+                count: 2,
+                seed: 2,
+                range_only: true,
+            },
         )
         .unwrap();
         assert!(evaluate_mae(StrategyUnderTest::Tdg, &data, &qs, 1.0, 0.5, 3).is_err());

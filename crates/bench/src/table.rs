@@ -28,7 +28,10 @@ impl CsvSink {
             None => None,
         };
         println!("{header}");
-        Ok(CsvSink { header: header.to_string(), file })
+        Ok(CsvSink {
+            header: header.to_string(),
+            file,
+        })
     }
 
     /// Emits one row.

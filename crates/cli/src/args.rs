@@ -40,7 +40,9 @@ impl Flags {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
-                return Err(Error::InvalidParameter(format!("unexpected argument `{a}`")));
+                return Err(Error::InvalidParameter(format!(
+                    "unexpected argument `{a}`"
+                )));
             };
             let value = it
                 .next()
@@ -52,7 +54,11 @@ impl Flags {
 
     /// The raw value of a flag, if present.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// A required, parsed flag.
@@ -68,9 +74,9 @@ impl Flags {
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| Error::InvalidParameter(format!("cannot parse --{key} value `{raw}`"))),
+            Some(raw) => raw.parse().map_err(|_| {
+                Error::InvalidParameter(format!("cannot parse --{key} value `{raw}`"))
+            }),
         }
     }
 }

@@ -12,7 +12,9 @@ fn parse_strategy(s: &str) -> Result<Strategy> {
     match s {
         "oug" | "OUG" => Ok(Strategy::Oug),
         "ohg" | "OHG" => Ok(Strategy::Ohg),
-        other => Err(Error::InvalidParameter(format!("unknown strategy `{other}`"))),
+        other => Err(Error::InvalidParameter(format!(
+            "unknown strategy `{other}`"
+        ))),
     }
 }
 
@@ -22,7 +24,9 @@ fn parse_dataset(s: &str) -> Result<DatasetKind> {
         "normal" => Ok(DatasetKind::Normal),
         "ipums" => Ok(DatasetKind::IpumsLike),
         "loan" => Ok(DatasetKind::LoanLike),
-        other => Err(Error::InvalidParameter(format!("unknown dataset `{other}`"))),
+        other => Err(Error::InvalidParameter(format!(
+            "unknown dataset `{other}`"
+        ))),
     }
 }
 
@@ -33,8 +37,8 @@ fn boxed(e: Error) -> Box<dyn std::error::Error> {
 /// `felip plan`: print the collection plan for a schema.
 pub fn plan(args: &[String]) -> std::result::Result<(), Box<dyn std::error::Error>> {
     let flags = Flags::parse(args).map_err(boxed)?;
-    let schema = parse_schema(flags.require::<String>("attrs").map_err(boxed)?.as_str())
-        .map_err(boxed)?;
+    let schema =
+        parse_schema(flags.require::<String>("attrs").map_err(boxed)?.as_str()).map_err(boxed)?;
     let n: usize = flags.require("n").map_err(boxed)?;
     let epsilon: f64 = flags.require("epsilon").map_err(boxed)?;
     let strategy = parse_strategy(&flags.get_or("strategy", "ohg".to_string()).map_err(boxed)?)
@@ -55,9 +59,22 @@ pub fn plan(args: &[String]) -> std::result::Result<(), Box<dyn std::error::Erro
         let dims: Vec<String> = g
             .axes()
             .iter()
-            .map(|a| format!("{}[{} cells/{} vals]", schema.attr(a.attr).name, a.cells(), schema.domain(a.attr)))
+            .map(|a| {
+                format!(
+                    "{}[{} cells/{} vals]",
+                    schema.attr(a.attr).name,
+                    a.cells(),
+                    schema.domain(a.attr)
+                )
+            })
             .collect();
-        println!("  group {i:>2}: {} {} via {} ({} cells)", g.id(), dims.join(" × "), g.fo, g.num_cells());
+        println!(
+            "  group {i:>2}: {} {} via {} ({} cells)",
+            g.id(),
+            dims.join(" × "),
+            g.fo,
+            g.num_cells()
+        );
     }
     Ok(())
 }
@@ -79,13 +96,29 @@ fn setup(flags: &Flags) -> Result<RunSetup> {
     let selectivity: f64 = flags.get_or("selectivity", 0.5)?;
     let seed: u64 = flags.get_or("seed", 42)?;
 
-    let data = kind.generate(GenOptions { n, seed, ..GenOptions::paper_default() });
+    let data = kind.generate(GenOptions {
+        n,
+        seed,
+        ..GenOptions::paper_default()
+    });
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda, selectivity, count, seed, range_only: false },
+        WorkloadOptions {
+            lambda,
+            selectivity,
+            count,
+            seed,
+            range_only: false,
+        },
     )?;
     let truth = queries.iter().map(|q| q.true_answer(&data)).collect();
-    Ok(RunSetup { data, queries, truth, epsilon, seed })
+    Ok(RunSetup {
+        data,
+        queries,
+        truth,
+        epsilon,
+        seed,
+    })
 }
 
 /// `felip run`: one FELIP collection + workload, JSON report.
@@ -137,7 +170,10 @@ pub fn compare(args: &[String]) -> std::result::Result<(), Box<dyn std::error::E
         let config = FelipConfig::new(s.epsilon).with_strategy(strategy);
         let est = simulate(&s.data, &config, s.seed).map_err(boxed)?;
         let answers = est.answer_all(&s.queries).map_err(boxed)?;
-        rows.insert(strategy.to_string(), serde_json::json!(mae(&answers, &s.truth)));
+        rows.insert(
+            strategy.to_string(),
+            serde_json::json!(mae(&answers, &s.truth)),
+        );
     }
     let hio = run_hio(&s.data, s.epsilon, s.seed).map_err(boxed)?;
     let answers = hio.answer_all(&s.queries).map_err(boxed)?;
@@ -174,7 +210,14 @@ mod tests {
     #[test]
     fn run_command_end_to_end() {
         let args: Vec<String> = [
-            "--dataset", "uniform", "--n", "5000", "--epsilon", "1.0", "--queries", "2",
+            "--dataset",
+            "uniform",
+            "--n",
+            "5000",
+            "--epsilon",
+            "1.0",
+            "--queries",
+            "2",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -184,11 +227,17 @@ mod tests {
 
     #[test]
     fn plan_command_end_to_end() {
-        let args: Vec<String> =
-            ["--attrs", "n:64,c:4,n:32", "--n", "10000", "--epsilon", "1.0"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let args: Vec<String> = [
+            "--attrs",
+            "n:64,c:4,n:32",
+            "--n",
+            "10000",
+            "--epsilon",
+            "1.0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         plan(&args).unwrap();
     }
 
@@ -234,8 +283,8 @@ fn parse_columns(spec: &str) -> Result<Vec<felip_datasets::ColumnSpec>> {
 pub fn query(args: &[String]) -> std::result::Result<(), Box<dyn std::error::Error>> {
     let flags = Flags::parse(args).map_err(boxed)?;
     let path: String = flags.require("csv").map_err(boxed)?;
-    let columns = parse_columns(&flags.require::<String>("columns").map_err(boxed)?)
-        .map_err(boxed)?;
+    let columns =
+        parse_columns(&flags.require::<String>("columns").map_err(boxed)?).map_err(boxed)?;
     let epsilon: f64 = flags.require("epsilon").map_err(boxed)?;
     let where_clause: String = flags.require("where").map_err(boxed)?;
     let strategy = parse_strategy(&flags.get_or("strategy", "ohg".to_string()).map_err(boxed)?)
@@ -274,10 +323,16 @@ mod query_tests {
     fn parse_columns_spec() {
         let cols = parse_columns("age:n:16,edu:c:8").unwrap();
         assert_eq!(cols.len(), 2);
-        assert!(matches!(cols[0], felip_datasets::ColumnSpec::Numerical { bins: 16, .. }));
+        assert!(matches!(
+            cols[0],
+            felip_datasets::ColumnSpec::Numerical { bins: 16, .. }
+        ));
         assert!(matches!(
             cols[1],
-            felip_datasets::ColumnSpec::Categorical { max_categories: 8, .. }
+            felip_datasets::ColumnSpec::Categorical {
+                max_categories: 8,
+                ..
+            }
         ));
         assert!(parse_columns("age:n").is_err());
         assert!(parse_columns("age:x:4").is_err());
@@ -292,7 +347,11 @@ mod query_tests {
         let path = dir.join("people.csv");
         let mut csv = String::from("age,edu\n");
         for i in 0..4000 {
-            csv.push_str(&format!("{},{}\n", 20 + i % 50, ["HS", "BSc", "MSc"][i % 3]));
+            csv.push_str(&format!(
+                "{},{}\n",
+                20 + i % 50,
+                ["HS", "BSc", "MSc"][i % 3]
+            ));
         }
         std::fs::write(&path, csv).unwrap();
         let args: Vec<String> = [

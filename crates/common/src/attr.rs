@@ -49,12 +49,20 @@ pub struct Attribute {
 impl Attribute {
     /// A numerical attribute with domain `0..domain`.
     pub fn numerical(name: impl Into<String>, domain: u32) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Numerical, domain }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numerical,
+            domain,
+        }
     }
 
     /// A categorical attribute with `domain` categories.
     pub fn categorical(name: impl Into<String>, domain: u32) -> Self {
-        Attribute { name: name.into(), kind: AttrKind::Categorical, domain }
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Categorical,
+            domain,
+        }
     }
 }
 
@@ -70,7 +78,9 @@ impl Schema {
     /// domain is non-empty.
     pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
         if attrs.is_empty() {
-            return Err(Error::InvalidSchema("schema must have at least one attribute".into()));
+            return Err(Error::InvalidSchema(
+                "schema must have at least one attribute".into(),
+            ));
         }
         for (i, a) in attrs.iter().enumerate() {
             if a.domain == 0 {
@@ -80,7 +90,10 @@ impl Schema {
                 )));
             }
             if attrs[..i].iter().any(|b| b.name == a.name) {
-                return Err(Error::InvalidSchema(format!("duplicate attribute name `{}`", a.name)));
+                return Err(Error::InvalidSchema(format!(
+                    "duplicate attribute name `{}`",
+                    a.name
+                )));
             }
         }
         Ok(Schema { attrs })
@@ -123,12 +136,16 @@ impl Schema {
 
     /// Indices of all numerical attributes, in schema order.
     pub fn numerical_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.attrs[i].kind.is_numerical()).collect()
+        (0..self.len())
+            .filter(|&i| self.attrs[i].kind.is_numerical())
+            .collect()
     }
 
     /// Indices of all categorical attributes, in schema order.
     pub fn categorical_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.attrs[i].kind.is_categorical()).collect()
+        (0..self.len())
+            .filter(|&i| self.attrs[i].kind.is_categorical())
+            .collect()
     }
 
     /// Number of numerical attributes (`k_n` in the paper).

@@ -19,7 +19,10 @@ pub struct Dataset {
 impl Dataset {
     /// An empty dataset over `schema`.
     pub fn empty(schema: Schema) -> Self {
-        Dataset { schema, values: Vec::new() }
+        Dataset {
+            schema,
+            values: Vec::new(),
+        }
     }
 
     /// Builds a dataset from row-major flat storage.
@@ -113,7 +116,10 @@ impl Dataset {
     pub fn truncated(&self, n: usize) -> Dataset {
         let k = self.schema.len();
         let keep = n.min(self.len()) * k;
-        Dataset { schema: self.schema.clone(), values: self.values[..keep].to_vec() }
+        Dataset {
+            schema: self.schema.clone(),
+            values: self.values[..keep].to_vec(),
+        }
     }
 
     /// Exact marginal distribution of attribute `attr` (fractions summing to
@@ -136,7 +142,11 @@ mod tests {
     use crate::attr::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numerical("a", 10), Attribute::categorical("b", 3)]).unwrap()
+        Schema::new(vec![
+            Attribute::numerical("a", 10),
+            Attribute::categorical("b", 3),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -184,8 +194,11 @@ mod tests {
 
     #[test]
     fn marginal_sums_to_one() {
-        let ds = Dataset::from_rows(schema(), vec![vec![1, 1], vec![1, 2], vec![3, 1], vec![1, 0]])
-            .unwrap();
+        let ds = Dataset::from_rows(
+            schema(),
+            vec![vec![1, 1], vec![1, 2], vec![3, 1], vec![1, 0]],
+        )
+        .unwrap();
         let m = ds.marginal(0);
         assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((m[1] - 0.75).abs() < 1e-12);

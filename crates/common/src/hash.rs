@@ -23,6 +23,63 @@ pub fn mix64(mut x: u64) -> u64 {
     x
 }
 
+/// Multiplier spreading domain values over the 64-bit seed space before
+/// mixing (the golden-ratio constant). Exposed so batched kernels can
+/// precompute `value_key(v)` once and reuse it across many seeds.
+pub const VALUE_KEY_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The per-value half of [`universal_hash`]: `v · VALUE_KEY_MUL`.
+///
+/// Batched OLH support counting evaluates `H_seed(v)` for many seeds at a
+/// fixed `v`; hoisting this multiply out of the seed loop leaves only
+/// `mix64(seed ^ key)` + reduction per (seed, value) pair.
+#[inline]
+pub fn value_key(value: u32) -> u64 {
+    (value as u64).wrapping_mul(VALUE_KEY_MUL)
+}
+
+/// [`universal_hash`] with the value already folded through [`value_key`].
+///
+/// Invariant: `universal_hash_keyed(s, value_key(v), g) == universal_hash(s, v, g)`
+/// for all inputs — the batched kernels rely on this to stay bit-identical
+/// to the scalar path.
+#[inline]
+pub fn universal_hash_keyed(seed: u64, key: u64, g: u32) -> u32 {
+    debug_assert!(g > 0, "hash range must be non-empty");
+    // Multiply-shift reduction avoids the modulo bias *and* the slow `%`.
+    let h = mix64(seed ^ key);
+    (((h >> 32).wrapping_mul(g as u64)) >> 32) as u32
+}
+
+/// The half-open interval of hash high words landing in bucket `target`:
+/// returns `(lo, width)` such that for every 32-bit `h32`,
+/// `((h32 as u64 * g as u64) >> 32) as u32 == target` exactly when
+/// `h32.wrapping_sub(lo) < width`.
+///
+/// The multiply-shift reduction of [`universal_hash_keyed`] maps
+/// `h32 = mix64(seed ^ key) >> 32` to bucket `⌊h32 · g / 2³²⌋`, so bucket
+/// membership is equivalent to `h32 ∈ [⌈target·2³²/g⌉, ⌈(target+1)·2³²/g⌉)`.
+/// Batched support counting precomputes these bounds once per report and
+/// replaces the per-value reduction multiply with one subtract-and-compare —
+/// bit-identical to comparing buckets, which the `interval_test` unit test
+/// and the fo property suite pin down.
+///
+/// # Panics
+/// Panics if `target >= g` (debug builds).
+#[inline]
+pub fn bucket_bounds(target: u32, g: u32) -> (u32, u32) {
+    debug_assert!(target < g, "bucket {target} out of hash range {g}");
+    let lo = ((target as u64) << 32).div_ceil(g as u64);
+    let hi = (((target as u64) + 1) << 32).div_ceil(g as u64);
+    // `hi` can be exactly 2³² (top bucket); the width still fits in u32
+    // because every bucket spans at most ⌈2³²/g⌉ ≤ 2³¹ values for g ≥ 2,
+    // and exactly 2³² only for g = 1, where lo = 0 and the wrapping
+    // comparison `h32.wrapping_sub(0) < 0` would be wrong — so g = 1 keeps
+    // the plain bucket comparison (OLH always has g ≥ 2).
+    debug_assert!(g >= 2, "bucket_bounds requires g >= 2, got {g}");
+    (lo as u32, (hi - lo) as u32)
+}
+
 /// Member `H_seed` of the universal family: hashes `value` into `0..g`.
 ///
 /// # Panics
@@ -30,10 +87,7 @@ pub fn mix64(mut x: u64) -> u64 {
 /// error upstream.
 #[inline]
 pub fn universal_hash(seed: u64, value: u32, g: u32) -> u32 {
-    debug_assert!(g > 0, "hash range must be non-empty");
-    // Multiply-shift reduction avoids the modulo bias *and* the slow `%`.
-    let h = mix64(seed ^ (value as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    (((h >> 32).wrapping_mul(g as u64)) >> 32) as u32
+    universal_hash_keyed(seed, value_key(value), g)
 }
 
 #[cfg(test)]
@@ -105,6 +159,53 @@ mod tests {
     fn g_of_one_maps_everything_to_zero() {
         for v in 0..100 {
             assert_eq!(universal_hash(99, v, 1), 0);
+        }
+    }
+
+    #[test]
+    fn keyed_form_matches_direct_form() {
+        // The batched kernels depend on this identity bit-for-bit.
+        for seed in [0u64, 1, 0xdead_beef, u64::MAX] {
+            for v in (0..50_000u32).step_by(97) {
+                for g in [2u32, 3, 9, 1024] {
+                    assert_eq!(
+                        universal_hash_keyed(seed, value_key(v), g),
+                        universal_hash(seed, v, g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_match_reduction_exactly() {
+        // Exhaustive-ish: for each (g, target), the interval test must agree
+        // with the multiply-shift reduction for a spread of hash words,
+        // including both interval endpoints.
+        for g in [2u32, 3, 4, 7, 9, 16, 1000, u32::MAX] {
+            for target in [0, 1, g / 2, g - 1] {
+                let (lo, width) = bucket_bounds(target, g);
+                let mut probes = vec![
+                    0u32,
+                    1,
+                    u32::MAX,
+                    lo,
+                    lo.wrapping_sub(1),
+                    lo.wrapping_add(width),
+                    lo.wrapping_add(width).wrapping_sub(1),
+                ];
+                for s in 0..64u64 {
+                    probes.push((mix64(s ^ g as u64 ^ target as u64) >> 32) as u32);
+                }
+                for h32 in probes {
+                    let bucket = ((h32 as u64).wrapping_mul(g as u64) >> 32) as u32;
+                    assert_eq!(
+                        h32.wrapping_sub(lo) < width,
+                        bucket == target,
+                        "h32 {h32}, g {g}, target {target}"
+                    );
+                }
+            }
         }
     }
 

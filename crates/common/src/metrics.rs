@@ -9,7 +9,12 @@
 pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
     assert!(!estimated.is_empty(), "MAE of an empty query set");
-    estimated.iter().zip(truth).map(|(e, t)| (e - t).abs()).sum::<f64>() / estimated.len() as f64
+    estimated
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimated.len() as f64
 }
 
 /// Root Mean Squared Error. Punishes outliers more than [`mae`]; reported in
@@ -17,7 +22,11 @@ pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
 pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
     assert!(!estimated.is_empty(), "RMSE of an empty query set");
-    let mse = estimated.iter().zip(truth).map(|(e, t)| (e - t) * (e - t)).sum::<f64>()
+    let mse = estimated
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
         / estimated.len() as f64;
     mse.sqrt()
 }

@@ -106,7 +106,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token::Ident(ident));
             }
             other => {
-                return Err(Error::InvalidQuery(format!("unexpected character `{other}`")));
+                return Err(Error::InvalidQuery(format!(
+                    "unexpected character `{other}`"
+                )));
             }
         }
     }
@@ -137,14 +139,18 @@ impl<'a> Parser<'a> {
     fn keyword(&mut self, kw: &str) -> Result<()> {
         match self.next()? {
             Token::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(Error::InvalidQuery(format!("expected `{kw}`, found {other:?}"))),
+            other => Err(Error::InvalidQuery(format!(
+                "expected `{kw}`, found {other:?}"
+            ))),
         }
     }
 
     fn number(&mut self) -> Result<u32> {
         match self.next()? {
             Token::Number(v) => Ok(v),
-            other => Err(Error::InvalidQuery(format!("expected a number, found {other:?}"))),
+            other => Err(Error::InvalidQuery(format!(
+                "expected a number, found {other:?}"
+            ))),
         }
     }
 
@@ -225,7 +231,9 @@ impl<'a> Parser<'a> {
                 let v = self.number()?;
                 Ok(Predicate::between(attr, v + 1, domain.saturating_sub(1)))
             }
-            other => Err(Error::InvalidQuery(format!("expected an operator, found {other:?}"))),
+            other => Err(Error::InvalidQuery(format!(
+                "expected an operator, found {other:?}"
+            ))),
         }
     }
 }
@@ -245,7 +253,11 @@ impl<'a> Parser<'a> {
 /// ```
 pub fn parse_query(schema: &Schema, input: &str) -> Result<Query> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, at: 0, schema };
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        schema,
+    };
     let mut preds = vec![p.predicate()?];
     while p.peek().is_some() {
         p.keyword("and")?;
@@ -281,7 +293,10 @@ mod tests {
             q.predicate_on(0).unwrap().target,
             PredicateTarget::Range { lo: 30, hi: 60 }
         );
-        assert_eq!(q.predicate_on(1).unwrap().target, PredicateTarget::Set(vec![3, 4]));
+        assert_eq!(
+            q.predicate_on(1).unwrap().target,
+            PredicateTarget::Set(vec![3, 4])
+        );
         assert_eq!(
             q.predicate_on(2).unwrap().target,
             PredicateTarget::Range { lo: 0, hi: 80 }
@@ -315,8 +330,14 @@ mod tests {
     #[test]
     fn equality_on_either_kind() {
         let q = parse_query(&schema(), "edu = 2 AND age = 40").unwrap();
-        assert_eq!(q.predicate_on(1).unwrap().target, PredicateTarget::Set(vec![2]));
-        assert_eq!(q.predicate_on(0).unwrap().target, PredicateTarget::Set(vec![40]));
+        assert_eq!(
+            q.predicate_on(1).unwrap().target,
+            PredicateTarget::Set(vec![2])
+        );
+        assert_eq!(
+            q.predicate_on(0).unwrap().target,
+            PredicateTarget::Set(vec![40])
+        );
     }
 
     #[test]
@@ -335,15 +356,27 @@ mod tests {
         assert!(parse_query(&s, "bogus = 1").is_err());
         assert!(parse_query(&s, "age BETWEEN 1").is_err());
         assert!(parse_query(&s, "age BETWEEN 1 OR 2").is_err());
-        assert!(parse_query(&s, "edu BETWEEN 1 AND 2").is_err(), "range on categorical");
-        assert!(parse_query(&s, "edu <= 3").is_err(), "comparison on categorical");
+        assert!(
+            parse_query(&s, "edu BETWEEN 1 AND 2").is_err(),
+            "range on categorical"
+        );
+        assert!(
+            parse_query(&s, "edu <= 3").is_err(),
+            "comparison on categorical"
+        );
         assert!(parse_query(&s, "age IN (").is_err());
         assert!(parse_query(&s, "age IN ()").is_err());
         assert!(parse_query(&s, "age = 40 age = 41").is_err(), "missing AND");
         assert!(parse_query(&s, "age # 3").is_err(), "bad character");
         assert!(parse_query(&s, "age < 0").is_err());
-        assert!(parse_query(&s, "age BETWEEN 30 AND 200").is_err(), "out of domain");
-        assert!(parse_query(&s, "age = 1 AND age = 2").is_err(), "duplicate attribute");
+        assert!(
+            parse_query(&s, "age BETWEEN 30 AND 200").is_err(),
+            "out of domain"
+        );
+        assert!(
+            parse_query(&s, "age = 1 AND age = 2").is_err(),
+            "duplicate attribute"
+        );
     }
 
     #[test]
@@ -355,8 +388,11 @@ mod tests {
             vec![vec![29, 0, 60], vec![55, 4, 100], vec![48, 3, 80]],
         )
         .unwrap();
-        let q = parse_query(&s, "age BETWEEN 30 AND 60 AND edu IN (3, 4) AND salary <= 80")
-            .unwrap();
+        let q = parse_query(
+            &s,
+            "age BETWEEN 30 AND 60 AND edu IN (3, 4) AND salary <= 80",
+        )
+        .unwrap();
         assert!((q.true_answer(&data) - 1.0 / 3.0).abs() < 1e-12);
     }
 }

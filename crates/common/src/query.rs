@@ -59,19 +59,28 @@ pub struct Predicate {
 impl Predicate {
     /// `attr BETWEEN lo AND hi` (inclusive).
     pub fn between(attr: usize, lo: u32, hi: u32) -> Self {
-        Predicate { attr, target: PredicateTarget::Range { lo, hi } }
+        Predicate {
+            attr,
+            target: PredicateTarget::Range { lo, hi },
+        }
     }
 
     /// `attr IN values`. Values are sorted and deduplicated.
     pub fn in_set(attr: usize, mut values: Vec<u32>) -> Self {
         values.sort_unstable();
         values.dedup();
-        Predicate { attr, target: PredicateTarget::Set(values) }
+        Predicate {
+            attr,
+            target: PredicateTarget::Set(values),
+        }
     }
 
     /// `attr = value`.
     pub fn equals(attr: usize, value: u32) -> Self {
-        Predicate { attr, target: PredicateTarget::Set(vec![value]) }
+        Predicate {
+            attr,
+            target: PredicateTarget::Set(vec![value]),
+        }
     }
 
     /// Fraction of the attribute's domain selected by this predicate —
@@ -96,7 +105,9 @@ impl Query {
     /// Predicates are stored sorted by attribute index.
     pub fn new(schema: &Schema, mut predicates: Vec<Predicate>) -> Result<Self> {
         if predicates.is_empty() {
-            return Err(Error::InvalidQuery("query must have at least one predicate".into()));
+            return Err(Error::InvalidQuery(
+                "query must have at least one predicate".into(),
+            ));
         }
         predicates.sort_by_key(|p| p.attr);
         for (i, p) in predicates.iter().enumerate() {
@@ -170,7 +181,9 @@ impl Query {
 
     /// `true` when the record satisfies all predicates.
     pub fn matches(&self, record: &[u32]) -> bool {
-        self.predicates.iter().all(|p| p.target.matches(record[p.attr]))
+        self.predicates
+            .iter()
+            .all(|p| p.target.matches(record[p.attr]))
     }
 
     /// Exact answer on a dataset: fraction of matching records.
@@ -185,7 +198,11 @@ impl Query {
 
     /// Geometric-mean selectivity across the query's dimensions.
     pub fn mean_selectivity(&self, schema: &Schema) -> f64 {
-        let prod: f64 = self.predicates.iter().map(|p| p.selectivity(schema)).product();
+        let prod: f64 = self
+            .predicates
+            .iter()
+            .map(|p| p.selectivity(schema))
+            .product();
         prod.powf(1.0 / self.predicates.len() as f64)
     }
 }

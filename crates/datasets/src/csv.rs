@@ -84,9 +84,7 @@ impl CodeBook {
     /// Encodes a raw numerical value into its bin for column `idx`.
     pub fn encode_numerical(&self, idx: usize, value: f64) -> Result<u32> {
         match &self.columns[idx] {
-            ColumnCodes::Numerical { min, max, bins } => {
-                Ok(bin_of(value, *min, *max, *bins))
-            }
+            ColumnCodes::Numerical { min, max, bins } => Ok(bin_of(value, *min, *max, *bins)),
             ColumnCodes::Categorical { .. } => {
                 Err(Error::InvalidQuery(format!("column {idx} is categorical")))
             }
@@ -165,9 +163,12 @@ pub fn load_csv_str(csv: &str, specs: &[ColumnSpec]) -> Result<(Dataset, CodeBoo
     let col_idx: Vec<usize> = specs
         .iter()
         .map(|s| {
-            header_fields.iter().position(|h| h.trim() == s.name()).ok_or_else(|| {
-                Error::InvalidParameter(format!("CSV has no column named `{}`", s.name()))
-            })
+            header_fields
+                .iter()
+                .position(|h| h.trim() == s.name())
+                .ok_or_else(|| {
+                    Error::InvalidParameter(format!("CSV has no column named `{}`", s.name()))
+                })
         })
         .collect::<Result<_>>()?;
 
@@ -209,9 +210,16 @@ pub fn load_csv_str(csv: &str, specs: &[ColumnSpec]) -> Result<(Dataset, CodeBoo
                         }
                     }
                 };
-                codes.push(ColumnCodes::Numerical { min, max, bins: *bins });
+                codes.push(ColumnCodes::Numerical {
+                    min,
+                    max,
+                    bins: *bins,
+                });
             }
-            ColumnSpec::Categorical { name, max_categories } => {
+            ColumnSpec::Categorical {
+                name,
+                max_categories,
+            } => {
                 if *max_categories < 2 {
                     return Err(Error::InvalidParameter(format!(
                         "column `{name}` needs at least two categories"
@@ -240,7 +248,13 @@ pub fn load_csv_str(csv: &str, specs: &[ColumnSpec]) -> Result<(Dataset, CodeBoo
         .zip(&codes)
         .map(|(spec, code)| match (spec, code) {
             (ColumnSpec::Numerical { name, bins, .. }, _) => Attribute::numerical(name, *bins),
-            (ColumnSpec::Categorical { name, max_categories }, ColumnCodes::Categorical { categories }) => {
+            (
+                ColumnSpec::Categorical {
+                    name,
+                    max_categories,
+                },
+                ColumnCodes::Categorical { categories },
+            ) => {
                 // The domain covers the dictionary plus an overflow slot when
                 // the cap was hit.
                 let d = (categories.len() as u32).min(*max_categories).max(2);
@@ -279,7 +293,9 @@ fn parse_field(row: &[String], ci: usize, name: &str, line: usize) -> Result<f64
         .get(ci)
         .ok_or_else(|| Error::InvalidRecord(format!("row {line} is missing column `{name}`")))?;
     raw.trim().parse().map_err(|_| {
-        Error::InvalidRecord(format!("row {line}, column `{name}`: `{raw}` is not a number"))
+        Error::InvalidRecord(format!(
+            "row {line}, column `{name}`: `{raw}` is not a number"
+        ))
     })
 }
 
@@ -298,9 +314,20 @@ age,education,income,city
 
     fn specs() -> Vec<ColumnSpec> {
         vec![
-            ColumnSpec::Numerical { name: "age".into(), bins: 8, range: Some((0.0, 80.0)) },
-            ColumnSpec::Categorical { name: "education".into(), max_categories: 8 },
-            ColumnSpec::Numerical { name: "income".into(), bins: 4, range: None },
+            ColumnSpec::Numerical {
+                name: "age".into(),
+                bins: 8,
+                range: Some((0.0, 80.0)),
+            },
+            ColumnSpec::Categorical {
+                name: "education".into(),
+                max_categories: 8,
+            },
+            ColumnSpec::Numerical {
+                name: "income".into(),
+                bins: 4,
+                range: None,
+            },
         ]
     }
 
@@ -329,7 +356,10 @@ age,education,income,city
 
     #[test]
     fn category_cap_creates_other_bucket() {
-        let specs = vec![ColumnSpec::Categorical { name: "education".into(), max_categories: 2 }];
+        let specs = vec![ColumnSpec::Categorical {
+            name: "education".into(),
+            max_categories: 2,
+        }];
         let (data, book) = load_csv_str(CSV, &specs).unwrap();
         assert_eq!(data.schema().domain(0), 2);
         // Bachelors = 0, Doctorate = 1, everything else overflows to 1.
@@ -360,27 +390,46 @@ age,education,income,city
         assert!(load_csv_str(CSV, &[]).is_err());
         assert!(load_csv_str(
             CSV,
-            &[ColumnSpec::Numerical { name: "missing".into(), bins: 4, range: None }]
+            &[ColumnSpec::Numerical {
+                name: "missing".into(),
+                bins: 4,
+                range: None
+            }]
         )
         .is_err());
         assert!(load_csv_str(
             "a\nnot_a_number\n",
-            &[ColumnSpec::Numerical { name: "a".into(), bins: 4, range: None }]
+            &[ColumnSpec::Numerical {
+                name: "a".into(),
+                bins: 4,
+                range: None
+            }]
         )
         .is_err());
         assert!(load_csv_str(
             CSV,
-            &[ColumnSpec::Numerical { name: "age".into(), bins: 0, range: None }]
+            &[ColumnSpec::Numerical {
+                name: "age".into(),
+                bins: 0,
+                range: None
+            }]
         )
         .is_err());
         assert!(load_csv_str(
             CSV,
-            &[ColumnSpec::Numerical { name: "age".into(), bins: 4, range: Some((5.0, 5.0)) }]
+            &[ColumnSpec::Numerical {
+                name: "age".into(),
+                bins: 4,
+                range: Some((5.0, 5.0))
+            }]
         )
         .is_err());
         assert!(load_csv_str(
             CSV,
-            &[ColumnSpec::Categorical { name: "education".into(), max_categories: 1 }]
+            &[ColumnSpec::Categorical {
+                name: "education".into(),
+                max_categories: 1
+            }]
         )
         .is_err());
     }
@@ -388,9 +437,15 @@ age,education,income,city
     #[test]
     fn constant_numerical_column() {
         let csv = "x\n7\n7\n7\n";
-        let (data, _) =
-            load_csv_str(csv, &[ColumnSpec::Numerical { name: "x".into(), bins: 4, range: None }])
-                .unwrap();
+        let (data, _) = load_csv_str(
+            csv,
+            &[ColumnSpec::Numerical {
+                name: "x".into(),
+                bins: 4,
+                range: None,
+            }],
+        )
+        .unwrap();
         assert_eq!(data.len(), 3);
         assert!(data.rows().all(|r| r[0] < 4));
     }
@@ -400,8 +455,7 @@ age,education,income,city
         // Smoke: the loaded dataset is a first-class Dataset (queries work).
         use felip_common::parse::parse_query;
         let (data, _) = load_csv_str(CSV, &specs()).unwrap();
-        let q = parse_query(data.schema(), "age BETWEEN 2 AND 5 AND education IN (0, 1)")
-            .unwrap();
+        let q = parse_query(data.schema(), "age BETWEEN 2 AND 5 AND education IN (0, 1)").unwrap();
         let t = q.true_answer(&data);
         assert!(t > 0.0 && t <= 1.0);
     }

@@ -53,7 +53,10 @@ impl GenOptions {
             attrs.push(Attribute::numerical(format!("n{i}"), self.numerical_domain));
         }
         for i in 0..self.categorical {
-            attrs.push(Attribute::categorical(format!("c{i}"), self.categorical_domain));
+            attrs.push(Attribute::categorical(
+                format!("c{i}"),
+                self.categorical_domain,
+            ));
         }
         Schema::new(attrs).expect("generated schema is valid")
     }
@@ -85,7 +88,12 @@ impl DatasetKind {
 
     /// All four kinds, in the order the paper's figures list them.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::Uniform, DatasetKind::Normal, DatasetKind::IpumsLike, DatasetKind::LoanLike]
+        [
+            DatasetKind::Uniform,
+            DatasetKind::Normal,
+            DatasetKind::IpumsLike,
+            DatasetKind::LoanLike,
+        ]
     }
 }
 
@@ -190,7 +198,10 @@ pub fn ipums_like(opts: GenOptions) -> Dataset {
                     }
                 }
                 // Education-like: correlated with the latent factor.
-                1 => clip(z * d as f64 + rng.sample::<f64, _>(rand_distr::StandardNormal), d),
+                1 => clip(
+                    z * d as f64 + rng.sample::<f64, _>(rand_distr::StandardNormal),
+                    d,
+                ),
                 // Race-like: Zipf-ish heavy head.
                 _ => zipf_like(&mut rng, d),
             };
@@ -232,10 +243,15 @@ pub fn loan_like(opts: GenOptions) -> Dataset {
                     }
                 }
                 // Interest-rate-like: anti-correlated with credit.
-                1 => d * (0.75 - 0.6 * credit) + d * 0.06 * rng.sample::<f64, _>(rand_distr::StandardNormal),
+                1 => {
+                    d * (0.75 - 0.6 * credit)
+                        + d * 0.06 * rng.sample::<f64, _>(rand_distr::StandardNormal)
+                }
                 // Credit-score-like: high, left-skewed.
-                _ => d * (0.35 + 0.65 * credit.powf(0.7))
-                    + d * 0.04 * rng.sample::<f64, _>(rand_distr::StandardNormal),
+                _ => {
+                    d * (0.35 + 0.65 * credit.powf(0.7))
+                        + d * 0.04 * rng.sample::<f64, _>(rand_distr::StandardNormal)
+                }
             };
             row[i] = clip(v, opts.numerical_domain);
         }
@@ -362,7 +378,10 @@ mod tests {
             sum_y += y;
         }
         let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
-        assert!(cov > 0.0, "expected positive income↔education covariance, got {cov}");
+        assert!(
+            cov > 0.0,
+            "expected positive income↔education covariance, got {cov}"
+        );
     }
 
     #[test]
@@ -379,7 +398,10 @@ mod tests {
             sum_y += y;
         }
         let cov = sum_xy / n - (sum_x / n) * (sum_y / n);
-        assert!(cov < 0.0, "expected negative rate↔score covariance, got {cov}");
+        assert!(
+            cov < 0.0,
+            "expected negative rate↔score covariance, got {cov}"
+        );
     }
 
     #[test]

@@ -20,7 +20,5 @@ pub mod generators;
 pub mod workload;
 
 pub use csv::{load_csv_str, CodeBook, ColumnCodes, ColumnSpec};
-pub use generators::{
-    ipums_like, loan_like, normal, uniform, DatasetKind, GenOptions,
-};
+pub use generators::{ipums_like, loan_like, normal, uniform, DatasetKind, GenOptions};
 pub use workload::{generate_queries, WorkloadOptions};

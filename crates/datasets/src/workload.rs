@@ -30,7 +30,13 @@ pub struct WorkloadOptions {
 impl WorkloadOptions {
     /// The paper's defaults: λ = 2, s = 0.5, |Q| = 10.
     pub fn paper_default() -> Self {
-        WorkloadOptions { lambda: 2, selectivity: 0.5, count: 10, seed: 0xC0FFEE, range_only: false }
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.5,
+            count: 10,
+            seed: 0xC0FFEE,
+            range_only: false,
+        }
     }
 }
 
@@ -46,7 +52,9 @@ pub fn generate_queries(schema: &Schema, opts: WorkloadOptions) -> Result<Vec<Qu
         )));
     }
     if opts.lambda == 0 {
-        return Err(Error::InvalidParameter("query dimension must be positive".into()));
+        return Err(Error::InvalidParameter(
+            "query dimension must be positive".into(),
+        ));
     }
     let eligible: Vec<usize> = if opts.range_only {
         schema.numerical_indices()
@@ -113,7 +121,13 @@ mod tests {
     fn generates_requested_count_and_dimension() {
         let qs = generate_queries(
             &schema(),
-            WorkloadOptions { lambda: 3, selectivity: 0.5, count: 25, seed: 1, range_only: false },
+            WorkloadOptions {
+                lambda: 3,
+                selectivity: 0.5,
+                count: 25,
+                seed: 1,
+                range_only: false,
+            },
         )
         .unwrap();
         assert_eq!(qs.len(), 25);
@@ -124,7 +138,13 @@ mod tests {
     fn selectivity_is_respected() {
         let qs = generate_queries(
             &schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.3, count: 50, seed: 2, range_only: false },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.3,
+                count: 50,
+                seed: 2,
+                range_only: false,
+            },
         )
         .unwrap();
         for q in &qs {
@@ -132,7 +152,11 @@ mod tests {
                 let sel = p.selectivity(&schema());
                 // round(s·d)/d is within one value of s.
                 let d = schema().domain(p.attr) as f64;
-                assert!((sel - 0.3).abs() <= 0.5 / d + 1e-9, "sel {sel} on attr {}", p.attr);
+                assert!(
+                    (sel - 0.3).abs() <= 0.5 / d + 1e-9,
+                    "sel {sel} on attr {}",
+                    p.attr
+                );
             }
         }
     }
@@ -141,7 +165,13 @@ mod tests {
     fn range_only_restricts_to_numerical() {
         let qs = generate_queries(
             &schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 20, seed: 3, range_only: true },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.5,
+                count: 20,
+                seed: 3,
+                range_only: true,
+            },
         )
         .unwrap();
         for q in &qs {
@@ -156,13 +186,21 @@ mod tests {
     fn categorical_predicates_are_sets() {
         let qs = generate_queries(
             &schema(),
-            WorkloadOptions { lambda: 4, selectivity: 0.5, count: 10, seed: 4, range_only: false },
+            WorkloadOptions {
+                lambda: 4,
+                selectivity: 0.5,
+                count: 10,
+                seed: 4,
+                range_only: false,
+            },
         )
         .unwrap();
         for q in &qs {
             for p in q.predicates() {
                 match schema().attr(p.attr).kind {
-                    AttrKind::Numerical => assert!(matches!(p.target, PredicateTarget::Range { .. })),
+                    AttrKind::Numerical => {
+                        assert!(matches!(p.target, PredicateTarget::Range { .. }))
+                    }
                     AttrKind::Categorical => {
                         let PredicateTarget::Set(vals) = &p.target else {
                             panic!("categorical predicate must be a set");
@@ -179,7 +217,13 @@ mod tests {
     fn tiny_selectivity_yields_singletons() {
         let qs = generate_queries(
             &schema(),
-            WorkloadOptions { lambda: 1, selectivity: 0.001, count: 20, seed: 5, range_only: false },
+            WorkloadOptions {
+                lambda: 1,
+                selectivity: 0.001,
+                count: 20,
+                seed: 5,
+                range_only: false,
+            },
         )
         .unwrap();
         for q in &qs {
@@ -189,20 +233,49 @@ mod tests {
 
     #[test]
     fn workload_is_deterministic() {
-        let o = WorkloadOptions { lambda: 2, selectivity: 0.5, count: 5, seed: 9, range_only: false };
-        assert_eq!(generate_queries(&schema(), o), generate_queries(&schema(), o));
+        let o = WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.5,
+            count: 5,
+            seed: 9,
+            range_only: false,
+        };
+        assert_eq!(
+            generate_queries(&schema(), o),
+            generate_queries(&schema(), o)
+        );
     }
 
     #[test]
     fn rejects_bad_options() {
         let s = schema();
         let base = WorkloadOptions::paper_default();
-        assert!(generate_queries(&s, WorkloadOptions { selectivity: 0.0, ..base }).is_err());
-        assert!(generate_queries(&s, WorkloadOptions { selectivity: 1.5, ..base }).is_err());
+        assert!(generate_queries(
+            &s,
+            WorkloadOptions {
+                selectivity: 0.0,
+                ..base
+            }
+        )
+        .is_err());
+        assert!(generate_queries(
+            &s,
+            WorkloadOptions {
+                selectivity: 1.5,
+                ..base
+            }
+        )
+        .is_err());
         assert!(generate_queries(&s, WorkloadOptions { lambda: 0, ..base }).is_err());
         assert!(generate_queries(&s, WorkloadOptions { lambda: 5, ..base }).is_err());
-        assert!(
-            generate_queries(&s, WorkloadOptions { lambda: 3, range_only: true, ..base }).is_err()
-        );
+        assert!(generate_queries(
+            &s,
+            WorkloadOptions {
+                lambda: 3,
+                range_only: true,
+                ..base
+            }
+        )
+        .is_err());
     }
 }

@@ -1,9 +1,11 @@
 //! Server-side aggregation: streaming ingestion of user reports, frequency
 //! estimation, and post-processing.
 
+use std::sync::Arc;
+
 use felip_common::{Error, Result};
 use felip_fo::afo::make_oracle;
-use felip_fo::FrequencyOracle;
+use felip_fo::{FrequencyOracle, Report};
 use felip_grid::postprocess::post_process;
 use felip_grid::EstimatedGrid;
 
@@ -11,16 +13,65 @@ use crate::answer::Estimator;
 use crate::client::UserReport;
 use crate::plan::CollectionPlan;
 
+/// One frequency oracle per grid of a [`CollectionPlan`], instantiated once
+/// and shared (`Arc`) across every aggregator collecting for that plan.
+///
+/// Oracles are stateless parameter bundles, but building one still walks the
+/// plan's grid specs; sharding a collection across many [`Aggregator`]s used
+/// to rebuild the full set per shard. Building the set once and handing
+/// clones of the `Arc` to [`Aggregator::with_oracles`] makes shard spin-up
+/// allocation-free apart from the count vectors.
+pub struct OracleSet {
+    oracles: Vec<Box<dyn FrequencyOracle>>,
+}
+
+impl OracleSet {
+    /// Instantiates the oracle for every grid in `plan`, in grid order.
+    pub fn build(plan: &CollectionPlan) -> Self {
+        let oracles = plan
+            .grids()
+            .iter()
+            .map(|g| make_oracle(g.fo, plan.config().epsilon, g.num_cells()))
+            .collect();
+        OracleSet { oracles }
+    }
+
+    /// The oracle serving group/grid `g`.
+    pub fn get(&self, g: usize) -> &dyn FrequencyOracle {
+        &*self.oracles[g]
+    }
+
+    /// Number of oracles (== the plan's number of grids).
+    pub fn len(&self) -> usize {
+        self.oracles.len()
+    }
+
+    /// Whether the set is empty (a plan always has at least one grid).
+    pub fn is_empty(&self) -> bool {
+        self.oracles.is_empty()
+    }
+}
+
+impl std::fmt::Debug for OracleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleSet")
+            .field("oracles", &self.oracles.len())
+            .finish()
+    }
+}
+
 /// The aggregator: ingests perturbed reports group by group, then estimates
 /// every grid and post-processes (§5, aggregator side).
 ///
 /// Ingestion is *streaming*: each report is folded into per-grid support
 /// counts immediately (GRR: one counter bump; OLH: one hash evaluation per
 /// grid cell), so the aggregator's memory is `O(Σ grid cells)` regardless of
-/// the population size.
+/// the population size. Batched ingestion ([`Aggregator::ingest_batch`] /
+/// [`Aggregator::ingest_group_batch`]) keeps the same state but routes whole
+/// report slices through the oracles' cache-blocked batch kernels.
 pub struct Aggregator {
-    plan: CollectionPlan,
-    oracles: Vec<Box<dyn FrequencyOracle>>,
+    plan: Arc<CollectionPlan>,
+    oracles: Arc<OracleSet>,
     counts: Vec<Vec<u64>>,
     group_sizes: Vec<usize>,
 }
@@ -35,21 +86,56 @@ impl std::fmt::Debug for Aggregator {
 }
 
 impl Aggregator {
-    /// An empty aggregator for `plan`.
-    pub fn new(plan: CollectionPlan) -> Self {
-        let oracles: Vec<Box<dyn FrequencyOracle>> = plan
+    /// An empty aggregator for `plan`, building its own oracle set.
+    ///
+    /// Accepts the plan by value or already wrapped in an `Arc`; when
+    /// spinning up many aggregators for one plan (sharded collection),
+    /// prefer [`Aggregator::with_oracles`] so the plan and oracles are
+    /// shared rather than rebuilt per shard.
+    pub fn new(plan: impl Into<Arc<CollectionPlan>>) -> Self {
+        let plan = plan.into();
+        let oracles = Arc::new(OracleSet::build(&plan));
+        Aggregator::with_oracles(plan, oracles)
+    }
+
+    /// An empty aggregator sharing an existing plan and oracle set.
+    ///
+    /// # Panics
+    /// Panics when `oracles` was not built for a plan with the same number
+    /// of grids.
+    pub fn with_oracles(plan: Arc<CollectionPlan>, oracles: Arc<OracleSet>) -> Self {
+        assert_eq!(
+            oracles.len(),
+            plan.grids().len(),
+            "oracle set does not match the plan's grids"
+        );
+        let counts = plan
             .grids()
             .iter()
-            .map(|g| make_oracle(g.fo, plan.config().epsilon, g.num_cells()))
+            .map(|g| vec![0u64; g.num_cells() as usize])
             .collect();
-        let counts = plan.grids().iter().map(|g| vec![0u64; g.num_cells() as usize]).collect();
         let group_sizes = vec![0; plan.num_groups()];
-        Aggregator { plan, oracles, counts, group_sizes }
+        Aggregator {
+            plan,
+            oracles,
+            counts,
+            group_sizes,
+        }
     }
 
     /// The plan this aggregator collects for.
     pub fn plan(&self) -> &CollectionPlan {
         &self.plan
+    }
+
+    /// The shared plan handle (cheap to clone across shards).
+    pub fn plan_handle(&self) -> Arc<CollectionPlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// The shared oracle set (cheap to clone across shards).
+    pub fn oracles(&self) -> Arc<OracleSet> {
+        Arc::clone(&self.oracles)
     }
 
     /// Number of reports ingested so far.
@@ -62,6 +148,13 @@ impl Aggregator {
         &self.group_sizes
     }
 
+    /// The raw per-grid support counts accumulated so far (one vector per
+    /// grid, indexed by cell) — exact `u64` tallies, so any two ingestion
+    /// orders of the same reports yield identical counts.
+    pub fn counts(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
     /// Folds one user report into the group's support counts.
     pub fn ingest(&mut self, report: &UserReport) -> Result<()> {
         let g = report.group;
@@ -71,8 +164,61 @@ impl Aggregator {
                 self.plan.num_groups()
             )));
         }
-        self.oracles[g].accumulate(&report.report, &mut self.counts[g]);
+        self.oracles
+            .get(g)
+            .accumulate(&report.report, &mut self.counts[g]);
         self.group_sizes[g] += 1;
+        Ok(())
+    }
+
+    /// Folds a slice of same-group reports into that group's support counts
+    /// with one batch-kernel call.
+    ///
+    /// This is the zero-copy hot path of the ingestion pipeline: callers
+    /// that already hold a group's reports contiguously (the sharded
+    /// collector buffers per group) hand the slice straight to the oracle's
+    /// [`FrequencyOracle::accumulate_batch`], which for OLH runs the
+    /// cache-blocked support-counting kernel. Bit-for-bit equivalent to
+    /// calling [`Aggregator::ingest`] once per report.
+    pub fn ingest_group_batch(&mut self, group: usize, reports: &[Report]) -> Result<()> {
+        if group >= self.plan.num_groups() {
+            return Err(Error::InvalidReport(format!(
+                "group {group} out of range 0..{}",
+                self.plan.num_groups()
+            )));
+        }
+        self.oracles
+            .get(group)
+            .accumulate_batch(reports, &mut self.counts[group]);
+        self.group_sizes[group] += reports.len();
+        Ok(())
+    }
+
+    /// Folds a mixed-group batch of user reports into the support counts,
+    /// bucketing by group and dispatching one batch-kernel call per grid.
+    ///
+    /// Validates every group index before touching any state, so a failed
+    /// call leaves the aggregator unchanged. Bucketing clones each report
+    /// once (cheap for GRR/OLH, one `Vec` copy for OUE); when reports are
+    /// already grouped contiguously, [`Aggregator::ingest_group_batch`]
+    /// avoids even that.
+    pub fn ingest_batch(&mut self, reports: &[UserReport]) -> Result<()> {
+        let num_groups = self.plan.num_groups();
+        if let Some(bad) = reports.iter().find(|r| r.group >= num_groups) {
+            return Err(Error::InvalidReport(format!(
+                "group {} out of range 0..{num_groups}",
+                bad.group
+            )));
+        }
+        let mut buckets: Vec<Vec<Report>> = vec![Vec::new(); num_groups];
+        for r in reports {
+            buckets[r.group].push(r.report.clone());
+        }
+        for (g, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                self.ingest_group_batch(g, bucket)?;
+            }
+        }
         Ok(())
     }
 
@@ -105,7 +251,7 @@ impl Aggregator {
             .plan
             .grids()
             .iter()
-            .zip(&self.oracles)
+            .zip(&self.oracles.oracles)
             .zip(&self.counts)
             .zip(&self.group_sizes)
             .map(|(((spec, oracle), counts), &size)| {
@@ -120,7 +266,7 @@ impl Aggregator {
             &variances,
             self.plan.config().postprocess_rounds,
         );
-        Ok(Estimator::new(self.plan.clone(), grids))
+        Ok(Estimator::new(Arc::clone(&self.plan), grids))
     }
 }
 
@@ -200,8 +346,9 @@ mod tests {
         let cfg = FelipConfig::new(1.0);
         let plan = CollectionPlan::build(&schema(), 1_000, &cfg, 9).unwrap();
         let mut rng = seeded_rng(9);
-        let reports: Vec<_> =
-            (0..1_000).map(|u| respond(&plan, u, &[(u % 32) as u32, 0], &mut rng).unwrap()).collect();
+        let reports: Vec<_> = (0..1_000)
+            .map(|u| respond(&plan, u, &[(u % 32) as u32, 0], &mut rng).unwrap())
+            .collect();
 
         let mut whole = Aggregator::new(plan.clone());
         for r in &reports {
@@ -231,7 +378,10 @@ mod tests {
         let cfg = FelipConfig::new(1.0);
         let plan = CollectionPlan::build(&schema(), 100, &cfg, 0).unwrap();
         let mut agg = Aggregator::new(plan);
-        let bad = UserReport { group: 999, report: felip_fo::Report::Grr(0) };
+        let bad = UserReport {
+            group: 999,
+            report: felip_fo::Report::Grr(0),
+        };
         assert!(agg.ingest(&bad).is_err());
     }
 

@@ -17,22 +17,29 @@ use crate::plan::CollectionPlan;
 /// use per attribute pair and shared thereafter (the cache is thread-safe;
 /// answering queries takes `&self`).
 pub struct Estimator {
-    plan: CollectionPlan,
+    plan: Arc<CollectionPlan>,
     grids: Vec<EstimatedGrid>,
     matrices: Mutex<HashMap<(usize, usize), Arc<ResponseMatrix>>>,
 }
 
 impl std::fmt::Debug for Estimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Estimator").field("grids", &self.grids.len()).finish_non_exhaustive()
+        f.debug_struct("Estimator")
+            .field("grids", &self.grids.len())
+            .finish_non_exhaustive()
     }
 }
 
 impl Estimator {
     /// Wraps post-processed grids (called by
-    /// [`crate::aggregator::Aggregator::estimate`]).
-    pub fn new(plan: CollectionPlan, grids: Vec<EstimatedGrid>) -> Self {
-        Estimator { plan, grids, matrices: Mutex::new(HashMap::new()) }
+    /// [`crate::aggregator::Aggregator::estimate`]). Accepts the plan by
+    /// value or as a shared `Arc` handle.
+    pub fn new(plan: impl Into<Arc<CollectionPlan>>, grids: Vec<EstimatedGrid>) -> Self {
+        Estimator {
+            plan: plan.into(),
+            grids,
+            matrices: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The plan behind this estimator.
@@ -54,9 +61,16 @@ impl Estimator {
     /// and caching it on first use (Algorithm 3).
     pub fn response_matrix(&self, i: usize, j: usize) -> Result<Arc<ResponseMatrix>> {
         if i >= j {
-            return Err(Error::InvalidQuery(format!("pair must satisfy i < j, got ({i}, {j})")));
+            return Err(Error::InvalidQuery(format!(
+                "pair must satisfy i < j, got ({i}, {j})"
+            )));
         }
-        if let Some(m) = self.matrices.lock().expect("matrix cache poisoned").get(&(i, j)) {
+        if let Some(m) = self
+            .matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .get(&(i, j))
+        {
             return Ok(Arc::clone(m));
         }
         let schema = self.plan.schema();
@@ -79,7 +93,14 @@ impl Estimator {
                     related.push(&self.grids[idx]);
                 }
             }
-            ResponseMatrix::build(i, j, schema.domain(i), schema.domain(j), &related, self.threshold())
+            ResponseMatrix::build(
+                i,
+                j,
+                schema.domain(i),
+                schema.domain(j),
+                &related,
+                self.threshold(),
+            )
         };
         let arc = Arc::new(matrix);
         self.matrices
@@ -188,7 +209,11 @@ mod tests {
             // x concentrated low, y uniform, c mostly category 0.
             let x = rng.gen_range(0..16u32);
             let y = rng.gen_range(0..32u32);
-            let c = if rng.gen_bool(0.7) { 0 } else { rng.gen_range(1..4u32) };
+            let c = if rng.gen_bool(0.7) {
+                0
+            } else {
+                rng.gen_range(1..4u32)
+            };
             data.push(&[x, y, c]).unwrap();
         }
         let cfg = FelipConfig::new(1.0).with_strategy(strategy);
@@ -196,7 +221,8 @@ mod tests {
         let mut agg = Aggregator::new(plan.clone());
         let mut prng = seeded_rng(seed ^ 0xabc);
         for (u, row) in data.rows().enumerate() {
-            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap()).unwrap();
+            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap())
+                .unwrap();
         }
         (data, agg.estimate().unwrap())
     }
@@ -251,15 +277,20 @@ mod tests {
         let mut rng = seeded_rng(19);
         let mut data = Dataset::empty(sch.clone());
         for _ in 0..n {
-            data.push(&[rng.gen_range(0..32), rng.gen_range(0..32), rng.gen_range(0..4)])
-                .unwrap();
+            data.push(&[
+                rng.gen_range(0..32),
+                rng.gen_range(0..32),
+                rng.gen_range(0..4),
+            ])
+            .unwrap();
         }
         let cfg = FelipConfig::new(1.0).with_strategy(Strategy::Oug);
         let plan = crate::plan::CollectionPlan::build(&sch, n, &cfg, 19).unwrap();
         let mut agg = Aggregator::new(plan.clone());
         let mut prng = seeded_rng(20);
         for (u, row) in data.rows().enumerate() {
-            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap()).unwrap();
+            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap())
+                .unwrap();
         }
         let est = agg.estimate().unwrap();
         let q = Query::new(
@@ -357,7 +388,8 @@ mod tests {
         let mut agg = Aggregator::new(plan.clone());
         let mut prng = seeded_rng(6);
         for (u, row) in data.rows().enumerate() {
-            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap()).unwrap();
+            agg.ingest(&respond(&plan, u, row, &mut prng).unwrap())
+                .unwrap();
         }
         let est = agg.estimate().unwrap();
         let q = Query::new(

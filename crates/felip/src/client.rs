@@ -2,7 +2,7 @@
 
 use rand::RngCore;
 
-use felip_common::{Result};
+use felip_common::Result;
 use felip_fo::afo::make_oracle;
 use felip_fo::Report;
 
@@ -36,7 +36,10 @@ pub fn respond(
     let grid = &plan.grids()[group];
     let cell = grid.cell_of_record(record);
     let oracle = make_oracle(grid.fo, plan.config().epsilon, grid.num_cells());
-    Ok(UserReport { group, report: oracle.perturb(cell, rng) })
+    Ok(UserReport {
+        group,
+        report: oracle.perturb(cell, rng),
+    })
 }
 
 #[cfg(test)]
@@ -98,8 +101,9 @@ mod tests {
         // users must not all produce identical reports.
         let p = plan();
         let mut rng = seeded_rng(9);
-        let reports: Vec<_> =
-            (0..40).map(|u| respond(&p, u, &[32, 32], &mut rng).unwrap().report).collect();
+        let reports: Vec<_> = (0..40)
+            .map(|u| respond(&p, u, &[32, 32], &mut rng).unwrap().report)
+            .collect();
         let first = &reports[0];
         assert!(reports.iter().any(|r| r != first));
     }

@@ -52,7 +52,9 @@ impl SelectivityPrior {
             if r > 0.0 && r <= 1.0 {
                 Ok(())
             } else {
-                Err(Error::InvalidParameter(format!("selectivity {r} outside (0, 1]")))
+                Err(Error::InvalidParameter(format!(
+                    "selectivity {r} outside (0, 1]"
+                )))
             }
         };
         match self {
@@ -164,7 +166,9 @@ impl FelipConfig {
         }
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.alpha1 > 0.0) || !(self.alpha2 > 0.0) {
-            return Err(Error::InvalidParameter("alpha constants must be positive".into()));
+            return Err(Error::InvalidParameter(
+                "alpha constants must be positive".into(),
+            ));
         }
         self.selectivity.validate(schema)
     }
@@ -176,7 +180,11 @@ mod tests {
     use felip_common::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![Attribute::numerical("a", 10), Attribute::numerical("b", 10)]).unwrap()
+        Schema::new(vec![
+            Attribute::numerical("a", 10),
+            Attribute::numerical("b", 10),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -211,7 +219,10 @@ mod tests {
     #[test]
     fn validation_rejects_bad_values() {
         assert!(FelipConfig::new(0.0).validate(&schema()).is_err());
-        assert!(FelipConfig::new(1.0).with_alphas(0.0, 0.03).validate(&schema()).is_err());
+        assert!(FelipConfig::new(1.0)
+            .with_alphas(0.0, 0.03)
+            .validate(&schema())
+            .is_err());
         assert!(FelipConfig::new(1.0)
             .with_selectivity(SelectivityPrior::Uniform(0.0))
             .validate(&schema())

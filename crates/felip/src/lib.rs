@@ -67,7 +67,7 @@ pub mod simulate;
 pub mod stats;
 pub mod twophase;
 
-pub use aggregator::Aggregator;
+pub use aggregator::{Aggregator, OracleSet};
 pub use answer::Estimator;
 pub use client::{respond, UserReport};
 pub use config::{FelipConfig, SelectivityPrior, Strategy};

@@ -141,7 +141,13 @@ impl CollectionPlan {
                 }
             }
         }
-        Ok(CollectionPlan { schema: schema.clone(), config: config.clone(), n, grids, assignment_seed })
+        Ok(CollectionPlan {
+            schema: schema.clone(),
+            config: config.clone(),
+            n,
+            grids,
+            assignment_seed,
+        })
     }
 
     /// The grid identifiers a strategy creates, in deterministic order:
@@ -226,7 +232,10 @@ impl CollectionPlan {
         match id {
             GridId::One(a) => GridSpec::from_axes(vec![make_axis(a, size.lx)?], fo),
             GridId::Two(i, j) => GridSpec::from_axes(
-                vec![make_axis(i, size.lx)?, make_axis(j, size.ly.expect("2-D size"))?],
+                vec![
+                    make_axis(i, size.lx)?,
+                    make_axis(j, size.ly.expect("2-D size"))?,
+                ],
                 fo,
             ),
         }
@@ -307,7 +316,10 @@ mod tests {
         let cfg = FelipConfig::new(1.0).with_strategy(Strategy::Oug);
         let plan = CollectionPlan::build(&schema(), 100_000, &cfg, 7).unwrap();
         assert_eq!(plan.num_groups(), 3); // C(3,2)
-        assert!(plan.grids().iter().all(|g| matches!(g.id(), GridId::Two(_, _))));
+        assert!(plan
+            .grids()
+            .iter()
+            .all(|g| matches!(g.id(), GridId::Two(_, _))));
     }
 
     #[test]
@@ -316,8 +328,11 @@ mod tests {
         let plan = CollectionPlan::build(&schema(), 100_000, &cfg, 7).unwrap();
         // k_n = 2 numerical 1-D grids + 3 pairs.
         assert_eq!(plan.num_groups(), 5);
-        let ones: Vec<_> =
-            plan.grids().iter().filter(|g| matches!(g.id(), GridId::One(_))).collect();
+        let ones: Vec<_> = plan
+            .grids()
+            .iter()
+            .filter(|g| matches!(g.id(), GridId::One(_)))
+            .collect();
         assert_eq!(ones.len(), 2);
         // No 1-D grid for the categorical attribute.
         assert!(plan.grid_index(GridId::One(2)).is_none());
@@ -405,7 +420,10 @@ mod tests {
 
     #[test]
     fn single_attribute_schema_degenerates_to_one_grid() {
-        for kind in [Attribute::numerical("only", 64), Attribute::categorical("only", 5)] {
+        for kind in [
+            Attribute::numerical("only", 64),
+            Attribute::categorical("only", 5),
+        ] {
             let s = Schema::new(vec![kind]).unwrap();
             for strategy in [Strategy::Oug, Strategy::Ohg] {
                 let cfg = FelipConfig::new(1.0).with_strategy(strategy);

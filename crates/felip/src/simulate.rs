@@ -1,16 +1,17 @@
 //! End-to-end simulation: runs the whole plan → collect → estimate pipeline
 //! over an in-memory dataset, standing in for a real fleet of devices.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rayon::prelude::*;
 
 use felip_common::rng::{derive_seed, seeded_rng};
 use felip_common::{Dataset, Result};
-use felip_fo::afo::make_oracle;
+use felip_fo::Report;
 
-use crate::aggregator::Aggregator;
+use crate::aggregator::{Aggregator, OracleSet};
 use crate::answer::Estimator;
-use crate::client::UserReport;
 use crate::config::FelipConfig;
 use crate::plan::CollectionPlan;
 
@@ -24,7 +25,12 @@ use crate::plan::CollectionPlan;
 /// aggregator; shards merge at the end, which
 /// [`Aggregator::merge`] makes exactly equivalent to sequential ingestion).
 pub fn simulate(dataset: &Dataset, config: &FelipConfig, seed: u64) -> Result<Estimator> {
-    let plan = CollectionPlan::build(dataset.schema(), dataset.len(), config, derive_seed(seed, 0))?;
+    let plan = CollectionPlan::build(
+        dataset.schema(),
+        dataset.len(),
+        config,
+        derive_seed(seed, 0),
+    )?;
     let agg = collect(dataset, &plan, derive_seed(seed, 1))?;
     agg.estimate()
 }
@@ -32,37 +38,47 @@ pub fn simulate(dataset: &Dataset, config: &FelipConfig, seed: u64) -> Result<Es
 /// Runs only the collection phase, returning the raw [`Aggregator`] (used by
 /// tests and ablations that inspect pre-post-processing state).
 pub fn collect(dataset: &Dataset, plan: &CollectionPlan, seed: u64) -> Result<Aggregator> {
-    // Pre-instantiate one oracle per grid; they are stateless and shared.
-    let oracles: Vec<_> = plan
-        .grids()
-        .iter()
-        .map(|g| make_oracle(g.fo, plan.config().epsilon, g.num_cells()))
-        .collect();
+    // One shared plan handle and one oracle set for the whole collection;
+    // every shard clones the `Arc`s instead of rebuilding either.
+    let plan = Arc::new(plan.clone());
+    let oracles = Arc::new(OracleSet::build(&plan));
 
     const SHARD: usize = 16_384;
     let n = dataset.len();
+    if n == 0 {
+        return Err(felip_common::Error::InvalidParameter(
+            "cannot collect from an empty dataset".into(),
+        ));
+    }
     let num_shards = n.div_ceil(SHARD);
     let mut shards: Vec<Aggregator> = (0..num_shards)
         .into_par_iter()
         .map(|s| {
-            let mut agg = Aggregator::new(plan.clone());
             let mut rng = seeded_rng(derive_seed(seed, s as u64));
             let lo = s * SHARD;
             let hi = ((s + 1) * SHARD).min(n);
+            // Perturb into per-group report buffers first (record order, so
+            // the RNG stream is identical to per-report ingestion), then
+            // hand each buffer to the batch kernel in one call per grid.
+            let mut buffers: Vec<Vec<Report>> = vec![Vec::new(); plan.num_groups()];
             for u in lo..hi {
                 let record = dataset.row(u);
                 let group = plan.group_of(u);
                 let grid = &plan.grids()[group];
                 let cell = grid.cell_of_record(record);
-                let report = oracles[group].perturb(cell, &mut rng);
-                agg.ingest(&UserReport { group, report }).expect("group index is valid");
+                buffers[group].push(oracles.get(group).perturb(cell, &mut rng));
+            }
+            let mut agg = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+            for (group, reports) in buffers.iter().enumerate() {
+                agg.ingest_group_batch(group, reports)
+                    .expect("group index is valid");
             }
             agg
         })
         .collect();
-    let mut total = shards.pop().ok_or_else(|| {
-        felip_common::Error::InvalidParameter("cannot collect from an empty dataset".into())
-    })?;
+    let mut total = shards
+        .pop()
+        .expect("num_shards >= 1 when the dataset is non-empty");
     for s in &shards {
         total.merge(s);
     }
@@ -138,7 +154,11 @@ mod tests {
         let plan = CollectionPlan::build(&schema(), data.len(), &cfg, 5).unwrap();
         let agg = collect(&data, &plan, 6).unwrap();
         assert_eq!(agg.reports_ingested(), 30_000);
-        assert!(agg.group_sizes().iter().all(|&s| s > 0), "{:?}", agg.group_sizes());
+        assert!(
+            agg.group_sizes().iter().all(|&s| s > 0),
+            "{:?}",
+            agg.group_sizes()
+        );
     }
 }
 
@@ -154,7 +174,9 @@ mod robustness_tests {
     #[test]
     fn fewer_users_than_groups() {
         let schema = Schema::new(
-            (0..8).map(|i| Attribute::numerical(format!("a{i}"), 16)).collect(),
+            (0..8)
+                .map(|i| Attribute::numerical(format!("a{i}"), 16))
+                .collect(),
         )
         .unwrap();
         // OHG over 8 attributes → 8 + 28 = 36 grids, but only 20 users.

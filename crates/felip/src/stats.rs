@@ -48,7 +48,9 @@ impl Estimator {
             // weights (1 for unconstrained axes).
             let mut sum_sq = 1.0;
             for axis in grid.spec().axes() {
-                if let Some(p) = preds.iter().find(|p| p.attr == axis.attr && attrs.contains(&p.attr))
+                if let Some(p) = preds
+                    .iter()
+                    .find(|p| p.attr == axis.attr && attrs.contains(&p.attr))
                 {
                     let w = grid.axis_selection_weights(axis.attr, p);
                     sum_sq *= w.iter().map(|x| x * x).sum::<f64>();
@@ -82,8 +84,7 @@ impl Estimator {
                 let mut worst: f64 = 0.0;
                 for (a, pa) in preds.iter().enumerate() {
                     for pb in preds.iter().skip(a + 1) {
-                        let (i, j) =
-                            (pa.attr.min(pb.attr), pa.attr.max(pb.attr));
+                        let (i, j) = (pa.attr.min(pb.attr), pa.attr.max(pb.attr));
                         if let Some(idx) = self.plan().grid_index(GridId::Two(i, j)) {
                             worst = worst.max(grid_answer_variance(idx, &[i, j]));
                         }
@@ -92,7 +93,10 @@ impl Estimator {
                 worst
             }
         };
-        Ok(AnswerWithError { estimate, std_error: variance.sqrt() })
+        Ok(AnswerWithError {
+            estimate,
+            std_error: variance.sqrt(),
+        })
     }
 
     /// Estimates the mean of a numerical attribute under the collected
@@ -190,8 +194,12 @@ mod tests {
 
     fn estimator(n: usize, seed: u64) -> (felip_common::Dataset, Estimator) {
         let data = uniform_dataset(&schema(), n, seed);
-        let est = simulate(&data, &FelipConfig::new(1.0).with_strategy(Strategy::Ohg), seed)
-            .unwrap();
+        let est = simulate(
+            &data,
+            &FelipConfig::new(1.0).with_strategy(Strategy::Ohg),
+            seed,
+        )
+        .unwrap();
         (data, est)
     }
 
@@ -264,9 +272,18 @@ mod tests {
 
     #[test]
     fn significance_test() {
-        let a = AnswerWithError { estimate: 0.5, std_error: 0.01 };
-        let b = AnswerWithError { estimate: 0.4, std_error: 0.01 };
-        let c = AnswerWithError { estimate: 0.49, std_error: 0.01 };
+        let a = AnswerWithError {
+            estimate: 0.5,
+            std_error: 0.01,
+        };
+        let b = AnswerWithError {
+            estimate: 0.4,
+            std_error: 0.01,
+        };
+        let c = AnswerWithError {
+            estimate: 0.49,
+            std_error: 0.01,
+        };
         assert!(significantly_different(&a, &b));
         assert!(!significantly_different(&a, &c));
     }

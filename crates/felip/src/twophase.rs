@@ -49,7 +49,9 @@ pub fn phase1_plan(
             )
         })
         .collect::<Result<Vec<_>>>()?;
-    Ok(Some(CollectionPlan::from_specs(schema, n1, config, grids, seed)?))
+    Ok(Some(CollectionPlan::from_specs(
+        schema, n1, config, grids, seed,
+    )?))
 }
 
 /// Turns a phase-1 estimator into per-attribute value histograms for
@@ -108,10 +110,8 @@ pub fn simulate_two_phase(
     // Phase 2: mass-balanced grids for the remaining users.
     let n2 = n - n1;
     let plan2 = CollectionPlan::build_data_aware(schema, n2, config, seed ^ 0xc15, &weights)?;
-    let phase2_data = Dataset::from_flat(
-        schema.clone(),
-        dataset.flat()[n1 * schema.len()..].to_vec(),
-    )?;
+    let phase2_data =
+        Dataset::from_flat(schema.clone(), dataset.flat()[n1 * schema.len()..].to_vec())?;
     let agg = collect(&phase2_data, &plan2, seed ^ 0x1ce4)?;
     agg.estimate()
 }
@@ -138,8 +138,13 @@ mod tests {
         let mut rng = seeded_rng(seed);
         let mut data = Dataset::empty(schema());
         for _ in 0..n {
-            let x = if rng.gen_bool(0.9) { rng.gen_range(0..8) } else { rng.gen_range(8..128) };
-            data.push(&[x, rng.gen_range(0..128), rng.gen_range(0..4)]).unwrap();
+            let x = if rng.gen_bool(0.9) {
+                rng.gen_range(0..8)
+            } else {
+                rng.gen_range(8..128)
+            };
+            data.push(&[x, rng.gen_range(0..128), rng.gen_range(0..4)])
+                .unwrap();
         }
         data
     }
@@ -186,7 +191,10 @@ mod tests {
         let truth = q.true_answer(&data); // ≈ 0.9
         let two = simulate_two_phase(&data, &FelipConfig::new(1.0), 0.1, 5).unwrap();
         let got = two.answer(&q).unwrap();
-        assert!((got - truth).abs() < 0.1, "two-phase {got} vs truth {truth}");
+        assert!(
+            (got - truth).abs() < 0.1,
+            "two-phase {got} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -195,9 +203,7 @@ mod tests {
         // are most wasteful. Average over a few seeds.
         let data = skewed(80_000, 6);
         let queries: Vec<Query> = (0..6)
-            .map(|i| {
-                Query::new(&schema(), vec![Predicate::between(0, i, i + 3)]).unwrap()
-            })
+            .map(|i| Query::new(&schema(), vec![Predicate::between(0, i, i + 3)]).unwrap())
             .collect();
         let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
         let mut one_total = 0.0;
@@ -236,7 +242,8 @@ mod tests {
         let mut rng = seeded_rng(9);
         let mut data = Dataset::empty(s.clone());
         for _ in 0..10_000 {
-            data.push(&[rng.gen_range(0..4), rng.gen_range(0..3)]).unwrap();
+            data.push(&[rng.gen_range(0..4), rng.gen_range(0..3)])
+                .unwrap();
         }
         let est = simulate_two_phase(&data, &FelipConfig::new(1.0), 0.1, 2).unwrap();
         let q = Query::new(&s, vec![Predicate::equals(0, 1)]).unwrap();

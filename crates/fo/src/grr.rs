@@ -38,7 +38,12 @@ impl Grr {
         let e = epsilon.exp();
         let p = e / (e + domain as f64 - 1.0);
         let q = 1.0 / (e + domain as f64 - 1.0);
-        Grr { epsilon, domain, p, q }
+        Grr {
+            epsilon,
+            domain,
+            p,
+            q,
+        }
     }
 
     /// Probability of transmitting the true value.
@@ -62,7 +67,11 @@ impl FrequencyOracle for Grr {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report {
-        assert!(value < self.domain, "value {value} out of domain {}", self.domain);
+        assert!(
+            value < self.domain,
+            "value {value} out of domain {}",
+            self.domain
+        );
         if self.domain == 1 {
             return Report::Grr(0);
         }
@@ -103,13 +112,20 @@ impl FrequencyOracle for Grr {
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
-        assert_eq!(counts.len(), self.domain as usize, "count vector width mismatch");
+        assert_eq!(
+            counts.len(),
+            self.domain as usize,
+            "count vector width mismatch"
+        );
         if n == 0 {
             return vec![0.0; counts.len()];
         }
         let n = n as f64;
         let denom = self.p - self.q;
-        counts.iter().map(|&c| (c as f64 / n - self.q) / denom).collect()
+        counts
+            .iter()
+            .map(|&c| (c as f64 / n - self.q) / denom)
+            .collect()
     }
 
     fn variance(&self, n: usize) -> f64 {

@@ -33,7 +33,11 @@ impl Oue {
     pub fn new(epsilon: f64, domain: u32) -> Self {
         assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
         assert!(domain > 0, "domain must be non-empty");
-        Oue { epsilon, domain, q: 1.0 / (epsilon.exp() + 1.0) }
+        Oue {
+            epsilon,
+            domain,
+            q: 1.0 / (epsilon.exp() + 1.0),
+        }
     }
 
     /// Probability a zero bit flips to one.
@@ -56,10 +60,18 @@ impl FrequencyOracle for Oue {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report {
-        assert!(value < self.domain, "value {value} out of domain {}", self.domain);
+        assert!(
+            value < self.domain,
+            "value {value} out of domain {}",
+            self.domain
+        );
         let mut bits = vec![0u64; self.words()];
         for i in 0..self.domain {
-            let one = if i == value { rng.gen_bool(0.5) } else { rng.gen_bool(self.q) };
+            let one = if i == value {
+                rng.gen_bool(0.5)
+            } else {
+                rng.gen_bool(self.q)
+            };
             if one {
                 bits[(i / 64) as usize] |= 1u64 << (i % 64);
             }
@@ -94,14 +106,21 @@ impl FrequencyOracle for Oue {
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
-        assert_eq!(counts.len(), self.domain as usize, "count vector width mismatch");
+        assert_eq!(
+            counts.len(),
+            self.domain as usize,
+            "count vector width mismatch"
+        );
         if n == 0 {
             return vec![0.0; counts.len()];
         }
         let n = n as f64;
         let p = 0.5;
         let denom = p - self.q;
-        counts.iter().map(|&c| (c as f64 / n - self.q) / denom).collect()
+        counts
+            .iter()
+            .map(|&c| (c as f64 / n - self.q) / denom)
+            .collect()
     }
 
     fn variance(&self, n: usize) -> f64 {

@@ -32,7 +32,11 @@ impl Sue {
         assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
         assert!(domain > 0, "domain must be non-empty");
         let half = (epsilon / 2.0).exp();
-        Sue { epsilon, domain, p: half / (half + 1.0) }
+        Sue {
+            epsilon,
+            domain,
+            p: half / (half + 1.0),
+        }
     }
 
     /// Probability of transmitting a bit truthfully.
@@ -60,7 +64,11 @@ impl FrequencyOracle for Sue {
     }
 
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report {
-        assert!(value < self.domain, "value {value} out of domain {}", self.domain);
+        assert!(
+            value < self.domain,
+            "value {value} out of domain {}",
+            self.domain
+        );
         let mut bits = vec![0u64; self.words()];
         for i in 0..self.domain {
             let truth = i == value;
@@ -99,7 +107,11 @@ impl FrequencyOracle for Sue {
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
-        assert_eq!(counts.len(), self.domain as usize, "count vector width mismatch");
+        assert_eq!(
+            counts.len(),
+            self.domain as usize,
+            "count vector width mismatch"
+        );
         if n == 0 {
             return vec![0.0; counts.len()];
         }
@@ -120,8 +132,8 @@ impl FrequencyOracle for Sue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use felip_common::rng::seeded_rng;
     use crate::Oue;
+    use felip_common::rng::seeded_rng;
 
     #[test]
     fn probabilities_are_symmetric() {
@@ -174,7 +186,10 @@ mod tests {
         }
         let emp = felip_common::metrics::sample_variance(&samples);
         let ana = s.variance(n);
-        assert!((emp - ana).abs() / ana < 0.35, "empirical {emp} vs analytical {ana}");
+        assert!(
+            (emp - ana).abs() / ana < 0.35,
+            "empirical {emp} vs analytical {ana}"
+        );
     }
 
     #[test]

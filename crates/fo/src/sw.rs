@@ -48,7 +48,13 @@ impl SquareWave {
         // with p = e^ε q ⇒ q = 1 / (2 b e^ε + 1).
         let q = 1.0 / (2.0 * b * e + 1.0);
         let p = e * q;
-        SquareWave { epsilon, domain, b, p, q }
+        SquareWave {
+            epsilon,
+            domain,
+            b,
+            p,
+            q,
+        }
     }
 
     /// The window half-width `b`.
@@ -65,7 +71,11 @@ impl SquareWave {
     /// `[-b, 1 + b]`, satisfying ε-LDP (the density ratio of any report
     /// between any two inputs is at most `p/q = e^ε`).
     pub fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> f64 {
-        assert!(value < self.domain, "value {value} out of domain {}", self.domain);
+        assert!(
+            value < self.domain,
+            "value {value} out of domain {}",
+            self.domain
+        );
         // Map to the centre of the value's sub-interval of [0, 1].
         let v = (value as f64 + 0.5) / self.domain as f64;
         let in_window_mass = 2.0 * self.b * self.p;
@@ -119,7 +129,11 @@ impl SquareWave {
         }
         // Precompute the kernel M[o][i].
         let kernel: Vec<Vec<f64>> = (0..buckets)
-            .map(|o| (0..d).map(|i| self.transition(i as u32, o, buckets)).collect())
+            .map(|o| {
+                (0..d)
+                    .map(|i| self.transition(i as u32, o, buckets))
+                    .collect()
+            })
             .collect();
         // EM from uniform.
         let n = reports.len() as f64;
@@ -194,7 +208,11 @@ mod tests {
         truth[8] += 0.7;
         let reports: Vec<f64> = (0..n)
             .map(|_| {
-                let v = if rng.gen_bool(0.7) { 8 } else { rng.gen_range(0..d) };
+                let v = if rng.gen_bool(0.7) {
+                    8
+                } else {
+                    rng.gen_range(0..d)
+                };
                 sw.perturb(v, &mut rng)
             })
             .collect();
@@ -213,8 +231,9 @@ mod tests {
         let d = 16u32;
         let sw = SquareWave::new(1.0, d);
         let mut rng = seeded_rng(5);
-        let reports: Vec<f64> =
-            (0..40_000).map(|_| sw.perturb(rng.gen_range(0..d), &mut rng)).collect();
+        let reports: Vec<f64> = (0..40_000)
+            .map(|_| sw.perturb(rng.gen_range(0..d), &mut rng))
+            .collect();
         let est = sw.estimate(&reports, 64, 40);
         for (v, &f) in est.iter().enumerate() {
             assert!(

@@ -42,6 +42,21 @@ pub trait FrequencyOracle: Send + Sync {
     /// engine's ingestion path).
     fn accumulate(&self, report: &Report, counts: &mut [u64]);
 
+    /// Batched server side: folds a slice of reports into the support-count
+    /// vector in one call.
+    ///
+    /// Semantically identical to calling [`FrequencyOracle::accumulate`] per
+    /// report — implementations that override this (OLH's cache-blocked
+    /// kernel) must stay bit-for-bit equivalent to that scalar path, since
+    /// all counts are exact `u64` tallies. The batched entry point exists so
+    /// protocols whose per-report cost is `O(domain)` can amortise work
+    /// across reports instead of re-walking the count vector per report.
+    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) {
+        for report in reports {
+            self.accumulate(report, counts);
+        }
+    }
+
     /// Streaming server side: turns accumulated support counts for `n`
     /// ingested reports into unbiased frequency estimates.
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64>;

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use felip_common::rng::seeded_rng;
 use felip_fo::afo::{afo_variance_factor, choose_oracle};
 use felip_fo::variance::{grr_variance_factor, olh_variance_factor};
-use felip_fo::{FoKind, FrequencyOracle, Grr, Olh, Oue, Report};
+use felip_fo::{FoKind, FrequencyOracle, Grr, Olh, Oue, Report, Sue};
 
 proptest! {
     /// GRR reports are always in-domain, and its transition probabilities
@@ -99,6 +99,59 @@ proptest! {
         for (a, b) in batch.iter().zip(&streamed) {
             prop_assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    /// `accumulate_batch` is byte-identical to folding `accumulate` one
+    /// report at a time, for every oracle kind — including OLH's
+    /// cache-blocked (and, on x86-64, SIMD-dispatched) batch kernel, whose
+    /// whole correctness contract is exact equivalence to the scalar path.
+    #[test]
+    fn batch_accumulate_identical_to_scalar(
+        eps in 0.2f64..3.0,
+        d in 1u32..600,
+        n in 0usize..120,
+        seed in 0u64..1000,
+    ) {
+        let oracles: Vec<Box<dyn FrequencyOracle>> = vec![
+            Box::new(Grr::new(eps, d)),
+            Box::new(Olh::new(eps, d)),
+            Box::new(Oue::new(eps, d)),
+            Box::new(Sue::new(eps, d)),
+        ];
+        for o in &oracles {
+            let mut rng = seeded_rng(seed);
+            let reports: Vec<Report> =
+                (0..n).map(|i| o.perturb(i as u32 % d, &mut rng)).collect();
+            let mut scalar = vec![0u64; d as usize];
+            for r in &reports {
+                o.accumulate(r, &mut scalar);
+            }
+            let mut batched = vec![0u64; d as usize];
+            o.accumulate_batch(&reports, &mut batched);
+            prop_assert_eq!(&batched, &scalar, "oracle over d = {}", d);
+        }
+    }
+
+    /// The OLH batch kernel stays exact across L1 block boundaries: domains
+    /// wider than one 2048-value block exercise the multi-block tiling.
+    #[test]
+    fn olh_batch_exact_across_blocks(
+        eps in 0.2f64..2.0,
+        extra in 0u32..3000,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let d = 2048 + extra;
+        let o = Olh::new(eps, d);
+        let mut rng = seeded_rng(seed);
+        let reports: Vec<Report> = (0..n).map(|i| o.perturb(i as u32 * 977 % d, &mut rng)).collect();
+        let mut scalar = vec![0u64; d as usize];
+        for r in &reports {
+            o.accumulate(r, &mut scalar);
+        }
+        let mut batched = vec![0u64; d as usize];
+        o.accumulate_batch(&reports, &mut batched);
+        prop_assert_eq!(&batched, &scalar);
     }
 
     /// AFO picks the protocol with the smaller variance factor, and the

@@ -52,10 +52,14 @@ impl Binning {
     /// increasing, and end at the domain size.
     pub fn from_edges(edges: Vec<u32>) -> Result<Self> {
         if edges.len() < 2 || edges[0] != 0 {
-            return Err(Error::InvalidParameter("binning edges must start at 0".into()));
+            return Err(Error::InvalidParameter(
+                "binning edges must start at 0".into(),
+            ));
         }
         if !edges.windows(2).all(|w| w[0] < w[1]) {
-            return Err(Error::InvalidParameter("binning edges must be strictly increasing".into()));
+            return Err(Error::InvalidParameter(
+                "binning edges must be strictly increasing".into(),
+            ));
         }
         Ok(Binning { edges })
     }
@@ -78,7 +82,11 @@ impl Binning {
     /// input, so callers must validate).
     #[inline]
     pub fn cell_of(&self, value: u32) -> u32 {
-        debug_assert!(value < self.domain(), "value {value} out of domain {}", self.domain());
+        debug_assert!(
+            value < self.domain(),
+            "value {value} out of domain {}",
+            self.domain()
+        );
         // partition_point returns the first edge > value; subtract one edge
         // index to get the cell.
         (self.edges.partition_point(|&e| e <= value) - 1) as u32
@@ -137,8 +145,7 @@ impl Binning {
             // left for each remaining bin.
             let target = total * (bins_closed + 1) as f64 / cells as f64;
             let next = weights[v as usize].max(0.0);
-            let closest_now =
-                cum + 1e-12 >= target || (target - cum) <= (cum + next - target);
+            let closest_now = cum + 1e-12 >= target || (target - cum) <= (cum + next - target);
             let must_cut = values_after == bins_after;
             if (closest_now && values_after >= bins_after) || must_cut {
                 edges.push(v);
@@ -240,7 +247,7 @@ mod tests {
     #[test]
     fn overlaps_full_and_partial() {
         let b = Binning::equal(100, 4).unwrap(); // cells of width 25
-        // Exact cell: full overlap.
+                                                 // Exact cell: full overlap.
         let o = b.overlaps(25, 49);
         assert_eq!(o, vec![(1, 1.0)]);
         // Range [10, 60] overlaps cells 0 (60%), 1 (100%), 2 (44%).

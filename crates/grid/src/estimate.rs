@@ -62,7 +62,10 @@ impl EstimatedGrid {
             [a, b] => {
                 let lb = b.cells() as usize;
                 if a.attr == attr {
-                    self.freqs.chunks_exact(lb).map(|row| row.iter().sum()).collect()
+                    self.freqs
+                        .chunks_exact(lb)
+                        .map(|row| row.iter().sum())
+                        .collect()
                 } else {
                     assert_eq!(b.attr, attr, "grid does not cover attribute {attr}");
                     let mut out = vec![0.0; lb];
@@ -83,7 +86,10 @@ impl EstimatedGrid {
     /// uniformity assumption. Ranges produce fractional edge weights; sets
     /// on categorical axes produce 0/1 weights.
     pub fn axis_selection_weights(&self, attr: usize, pred: &Predicate) -> Vec<f64> {
-        let axis = self.spec.axis_for(attr).expect("grid must cover the predicate attribute");
+        let axis = self
+            .spec
+            .axis_for(attr)
+            .expect("grid must cover the predicate attribute");
         let l = axis.cells() as usize;
         let mut w = vec![0.0; l];
         match &pred.target {

@@ -45,7 +45,10 @@ pub struct Constraint {
 
 impl From<PairAnswer> for Constraint {
     fn from(p: PairAnswer) -> Self {
-        Constraint { mask: (1usize << p.s) | (1usize << p.t), answer: p.answer }
+        Constraint {
+            mask: (1usize << p.s) | (1usize << p.t),
+            answer: p.answer,
+        }
     }
 }
 
@@ -66,7 +69,12 @@ pub fn fit_lambda(lambda: usize, pairs: &[PairAnswer], threshold: f64) -> Vec<f6
     assert!(lambda >= 2, "lambda must be at least 2, got {lambda}");
     assert!(!pairs.is_empty(), "need at least one 2-D answer");
     for p in pairs {
-        assert!(p.s < p.t && p.t < lambda, "bad pair slots ({}, {})", p.s, p.t);
+        assert!(
+            p.s < p.t && p.t < lambda,
+            "bad pair slots ({}, {})",
+            p.s,
+            p.t
+        );
     }
     let constraints: Vec<Constraint> = pairs.iter().map(|&p| p.into()).collect();
     fit_constraints(lambda, &constraints, threshold)
@@ -81,11 +89,18 @@ pub fn fit_lambda(lambda: usize, pairs: &[PairAnswer], threshold: f64) -> Vec<f6
 /// a slot `≥ λ`, or when `constraints` is empty.
 pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64) -> Vec<f64> {
     assert!(lambda >= 2, "lambda must be at least 2, got {lambda}");
-    assert!(lambda <= 20, "lambda of {lambda} would need 2^{lambda} states");
+    assert!(
+        lambda <= 20,
+        "lambda of {lambda} would need 2^{lambda} states"
+    );
     assert!(!constraints.is_empty(), "need at least one constraint");
     let size = 1usize << lambda;
     for c in constraints {
-        assert!(c.mask != 0 && c.mask < size, "constraint mask {:#x} out of range", c.mask);
+        assert!(
+            c.mask != 0 && c.mask < size,
+            "constraint mask {:#x} out of range",
+            c.mask
+        );
     }
     let mut z = vec![1.0 / size as f64; size];
     for _ in 0..MAX_SWEEPS {
@@ -121,7 +136,11 @@ pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64
             let scale_in = target / y_in;
             let scale_out = (1.0 - target) / y_out;
             for (idx, v) in z.iter_mut().enumerate() {
-                let scale = if idx & mask == mask { scale_in } else { scale_out };
+                let scale = if idx & mask == mask {
+                    scale_in
+                } else {
+                    scale_out
+                };
                 // Floor at a tiny positive value: repeated near-zero targets
                 // on conflicting constraints would otherwise underflow
                 // entries to exact 0, permanently removing them from the fit
@@ -153,7 +172,15 @@ mod tests {
     /// With λ = 2 the single constraint pins the answer exactly.
     #[test]
     fn two_dim_passthrough() {
-        let a = lambda_answer(2, &[PairAnswer { s: 0, t: 1, answer: 0.37 }], 1e-12);
+        let a = lambda_answer(
+            2,
+            &[PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.37,
+            }],
+            1e-12,
+        );
         assert!((a - 0.37).abs() < 1e-9);
     }
 
@@ -165,9 +192,21 @@ mod tests {
     fn independent_predicates_give_plausible_joint() {
         // Marginals p0 = 0.5, p1 = 0.4, p2 = 0.3; pairwise = products.
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: 0.5 * 0.4 },
-            PairAnswer { s: 0, t: 2, answer: 0.5 * 0.3 },
-            PairAnswer { s: 1, t: 2, answer: 0.4 * 0.3 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.5 * 0.4,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: 0.5 * 0.3,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.4 * 0.3,
+            },
         ];
         let a = lambda_answer(3, &pairs, 1e-12);
         assert!(a > 0.01, "{a}");
@@ -180,9 +219,21 @@ mod tests {
     fn joint_bounded_by_min_pair() {
         let p = 0.3;
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: p },
-            PairAnswer { s: 0, t: 2, answer: p },
-            PairAnswer { s: 1, t: 2, answer: 0.18 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: p,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: p,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.18,
+            },
         ];
         let a = lambda_answer(3, &pairs, 1e-12);
         assert!(a > 0.0, "{a}");
@@ -193,9 +244,21 @@ mod tests {
     #[test]
     fn zero_pair_kills_joint() {
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: 0.0 },
-            PairAnswer { s: 0, t: 2, answer: 0.25 },
-            PairAnswer { s: 1, t: 2, answer: 0.25 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.0,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: 0.25,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.25,
+            },
         ];
         let a = lambda_answer(3, &pairs, 1e-12);
         assert!(a < 1e-9, "{a}");
@@ -205,12 +268,36 @@ mod tests {
     #[test]
     fn z_is_a_distribution() {
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: 0.2 },
-            PairAnswer { s: 0, t: 2, answer: 0.15 },
-            PairAnswer { s: 1, t: 2, answer: 0.1 },
-            PairAnswer { s: 0, t: 3, answer: 0.4 },
-            PairAnswer { s: 1, t: 3, answer: 0.12 },
-            PairAnswer { s: 2, t: 3, answer: 0.09 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.2,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: 0.15,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.1,
+            },
+            PairAnswer {
+                s: 0,
+                t: 3,
+                answer: 0.4,
+            },
+            PairAnswer {
+                s: 1,
+                t: 3,
+                answer: 0.12,
+            },
+            PairAnswer {
+                s: 2,
+                t: 3,
+                answer: 0.09,
+            },
         ];
         let z = fit_lambda(4, &pairs, 1e-12);
         assert_eq!(z.len(), 16);
@@ -223,16 +310,39 @@ mod tests {
     #[test]
     fn constraints_satisfied_at_fixed_point() {
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: 0.5 * 0.4 },
-            PairAnswer { s: 0, t: 2, answer: 0.5 * 0.3 },
-            PairAnswer { s: 1, t: 2, answer: 0.4 * 0.3 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.5 * 0.4,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: 0.5 * 0.3,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.4 * 0.3,
+            },
         ];
         let z = fit_lambda(3, &pairs, 1e-14);
         for p in &pairs {
             let mask = (1usize << p.s) | (1usize << p.t);
-            let got: f64 =
-                z.iter().enumerate().filter(|(i, _)| i & mask == mask).map(|(_, v)| v).sum();
-            assert!((got - p.answer).abs() < 1e-6, "pair ({},{}) {} vs {}", p.s, p.t, got, p.answer);
+            let got: f64 = z
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & mask == mask)
+                .map(|(_, v)| v)
+                .sum();
+            assert!(
+                (got - p.answer).abs() < 1e-6,
+                "pair ({},{}) {} vs {}",
+                p.s,
+                p.t,
+                got,
+                p.answer
+            );
         }
     }
 
@@ -241,9 +351,21 @@ mod tests {
     #[test]
     fn noisy_answers_are_clamped() {
         let pairs = [
-            PairAnswer { s: 0, t: 1, answer: -0.05 },
-            PairAnswer { s: 0, t: 2, answer: 1.2 },
-            PairAnswer { s: 1, t: 2, answer: 0.5 },
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: -0.05,
+            },
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: 1.2,
+            },
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: 0.5,
+            },
         ];
         let z = fit_lambda(3, &pairs, 1e-12);
         assert!(z.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
@@ -256,13 +378,37 @@ mod tests {
     fn marginal_constraints_sharpen_independent_fit() {
         let (p0, p1, p2) = (0.5, 0.4, 0.3);
         let mut cs: Vec<Constraint> = vec![
-            PairAnswer { s: 0, t: 1, answer: p0 * p1 }.into(),
-            PairAnswer { s: 0, t: 2, answer: p0 * p2 }.into(),
-            PairAnswer { s: 1, t: 2, answer: p1 * p2 }.into(),
+            PairAnswer {
+                s: 0,
+                t: 1,
+                answer: p0 * p1,
+            }
+            .into(),
+            PairAnswer {
+                s: 0,
+                t: 2,
+                answer: p0 * p2,
+            }
+            .into(),
+            PairAnswer {
+                s: 1,
+                t: 2,
+                answer: p1 * p2,
+            }
+            .into(),
         ];
-        cs.push(Constraint { mask: 0b001, answer: p0 });
-        cs.push(Constraint { mask: 0b010, answer: p1 });
-        cs.push(Constraint { mask: 0b100, answer: p2 });
+        cs.push(Constraint {
+            mask: 0b001,
+            answer: p0,
+        });
+        cs.push(Constraint {
+            mask: 0b010,
+            answer: p1,
+        });
+        cs.push(Constraint {
+            mask: 0b100,
+            answer: p2,
+        });
         let z = fit_constraints(3, &cs, 1e-12);
         let joint = z[7];
         assert!(
@@ -274,7 +420,12 @@ mod tests {
 
     #[test]
     fn pair_answer_converts_to_constraint() {
-        let c: Constraint = PairAnswer { s: 1, t: 3, answer: 0.2 }.into();
+        let c: Constraint = PairAnswer {
+            s: 1,
+            t: 3,
+            answer: 0.2,
+        }
+        .into();
         assert_eq!(c.mask, 0b1010);
         assert_eq!(c.answer, 0.2);
     }
@@ -282,25 +433,55 @@ mod tests {
     #[test]
     #[should_panic(expected = "mask")]
     fn rejects_zero_mask() {
-        fit_constraints(3, &[Constraint { mask: 0, answer: 0.5 }], 1e-9);
+        fit_constraints(
+            3,
+            &[Constraint {
+                mask: 0,
+                answer: 0.5,
+            }],
+            1e-9,
+        );
     }
 
     #[test]
     #[should_panic(expected = "mask")]
     fn rejects_out_of_range_mask() {
-        fit_constraints(2, &[Constraint { mask: 0b100, answer: 0.5 }], 1e-9);
+        fit_constraints(
+            2,
+            &[Constraint {
+                mask: 0b100,
+                answer: 0.5,
+            }],
+            1e-9,
+        );
     }
 
     #[test]
     #[should_panic(expected = "lambda must be at least 2")]
     fn rejects_lambda_one() {
-        fit_lambda(1, &[PairAnswer { s: 0, t: 1, answer: 0.5 }], 1e-9);
+        fit_lambda(
+            1,
+            &[PairAnswer {
+                s: 0,
+                t: 1,
+                answer: 0.5,
+            }],
+            1e-9,
+        );
     }
 
     #[test]
     #[should_panic(expected = "bad pair slots")]
     fn rejects_bad_slots() {
-        fit_lambda(3, &[PairAnswer { s: 2, t: 1, answer: 0.5 }], 1e-9);
+        fit_lambda(
+            3,
+            &[PairAnswer {
+                s: 2,
+                t: 1,
+                answer: 0.5,
+            }],
+            1e-9,
+        );
     }
 
     #[test]

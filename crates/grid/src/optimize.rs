@@ -120,7 +120,11 @@ impl ErrorModel {
     /// Squared error of a numerical × numerical 2-D grid (Eqs. 9, 10).
     pub fn error_2d_num_num(&self, fo: FoKind, lx: f64, ly: f64) -> f64 {
         let rx = self.input.x.selectivity;
-        let ry = self.input.y.expect("2-D model needs a second axis").selectivity;
+        let ry = self
+            .input
+            .y
+            .expect("2-D model needs a second axis")
+            .selectivity;
         let bias = 2.0 * self.input.alpha2 * (lx * rx + ly * ry) / (lx * ly);
         bias * bias + (lx * rx) * (ly * ry) * self.noise_unit(fo, lx * ly)
     }
@@ -130,7 +134,11 @@ impl ErrorModel {
     /// its domain size (Eqs. 11, 12).
     pub fn error_2d_num_cat(&self, fo: FoKind, lx: f64, ly_cat: f64) -> f64 {
         let rx = self.input.x.selectivity;
-        let ry = self.input.y.expect("2-D model needs a second axis").selectivity;
+        let ry = self
+            .input
+            .y
+            .expect("2-D model needs a second axis")
+            .selectivity;
         let bias = 2.0 * self.input.alpha2 * ry / lx;
         bias * bias + (lx * rx) * (ly_cat * ry) * self.noise_unit(fo, lx * ly_cat)
     }
@@ -203,7 +211,10 @@ pub fn optimize_grid(input: SizingInput, fo: FoKind) -> (GridSize, f64) {
                     let (lx, ly) = best_integer_2d(cx, cy, input.x.domain, y.domain, |a, b| {
                         model.error_2d_num_num(fo, a as f64, b as f64)
                     });
-                    (GridSize { lx, ly: Some(ly) }, model.error_2d_num_num(fo, lx as f64, ly as f64))
+                    (
+                        GridSize { lx, ly: Some(ly) },
+                        model.error_2d_num_num(fo, lx as f64, ly as f64),
+                    )
                 }
                 (AttrKind::Numerical, AttrKind::Categorical) => {
                     let ly = y.domain;
@@ -214,13 +225,26 @@ pub fn optimize_grid(input: SizingInput, fo: FoKind) -> (GridSize, f64) {
                     let lx = best_integer_1d(cont, input.x.domain, |l| {
                         model.error_2d_num_cat(fo, l as f64, ly as f64)
                     });
-                    (GridSize { lx, ly: Some(ly) }, model.error_2d_num_cat(fo, lx as f64, ly as f64))
+                    (
+                        GridSize { lx, ly: Some(ly) },
+                        model.error_2d_num_cat(fo, lx as f64, ly as f64),
+                    )
                 }
                 (AttrKind::Categorical, AttrKind::Numerical) => {
                     // Mirror of the previous case: swap roles, then swap back.
-                    let swapped = SizingInput { x: y, y: Some(input.x), ..input };
+                    let swapped = SizingInput {
+                        x: y,
+                        y: Some(input.x),
+                        ..input
+                    };
                     let (sz, err) = optimize_grid(swapped, fo);
-                    (GridSize { lx: sz.ly.expect("2-D"), ly: Some(sz.lx) }, err)
+                    (
+                        GridSize {
+                            lx: sz.ly.expect("2-D"),
+                            ly: Some(sz.lx),
+                        },
+                        err,
+                    )
                 }
             }
         }
@@ -247,8 +271,14 @@ fn best_integer_2d(
     dy: u32,
     mut err: impl FnMut(u32, u32) -> f64,
 ) -> (u32, u32) {
-    let cands_x = [(cx.floor().max(1.0) as u32).min(dx), (cx.ceil().max(1.0) as u32).min(dx)];
-    let cands_y = [(cy.floor().max(1.0) as u32).min(dy), (cy.ceil().max(1.0) as u32).min(dy)];
+    let cands_x = [
+        (cx.floor().max(1.0) as u32).min(dx),
+        (cx.ceil().max(1.0) as u32).min(dx),
+    ];
+    let cands_y = [
+        (cy.floor().max(1.0) as u32).min(dy),
+        (cy.ceil().max(1.0) as u32).min(dy),
+    ];
     let mut best = (cands_x[0], cands_y[0]);
     let mut best_err = f64::INFINITY;
     for &a in &cands_x {
@@ -268,15 +298,31 @@ mod tests {
     use super::*;
 
     fn num(domain: u32, r: f64) -> AxisInput {
-        AxisInput { domain, kind: AttrKind::Numerical, selectivity: r }
+        AxisInput {
+            domain,
+            kind: AttrKind::Numerical,
+            selectivity: r,
+        }
     }
 
     fn cat(domain: u32, r: f64) -> AxisInput {
-        AxisInput { domain, kind: AttrKind::Categorical, selectivity: r }
+        AxisInput {
+            domain,
+            kind: AttrKind::Categorical,
+            selectivity: r,
+        }
     }
 
     fn base(x: AxisInput, y: Option<AxisInput>) -> SizingInput {
-        SizingInput { n: 1_000_000, m: 15, epsilon: 1.0, alpha1: 0.7, alpha2: 0.03, x, y }
+        SizingInput {
+            n: 1_000_000,
+            m: 15,
+            epsilon: 1.0,
+            alpha1: 0.7,
+            alpha2: 0.03,
+            x,
+            y,
+        }
     }
 
     #[test]
@@ -353,7 +399,12 @@ mod tests {
         // Broader queries touch more cells → more noise → coarser optimum.
         let fine = optimize_grid(base(num(1024, 0.1), None), FoKind::Olh).0;
         let coarse = optimize_grid(base(num(1024, 0.9), None), FoKind::Olh).0;
-        assert!(coarse.lx < fine.lx, "coarse {} !< fine {}", coarse.lx, fine.lx);
+        assert!(
+            coarse.lx < fine.lx,
+            "coarse {} !< fine {}",
+            coarse.lx,
+            fine.lx
+        );
     }
 
     #[test]

@@ -42,8 +42,7 @@ pub fn norm_sub(freqs: &mut [f64], target: f64) {
                 *f = 0.0;
             }
         }
-        let positive: Vec<usize> =
-            (0..freqs.len()).filter(|&i| freqs[i] > 0.0).collect();
+        let positive: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0.0).collect();
         if positive.is_empty() {
             let u = target / freqs.len() as f64;
             freqs.iter_mut().for_each(|f| *f = u);
@@ -92,14 +91,11 @@ pub fn norm_sub(freqs: &mut [f64], target: f64) {
 /// deficit proportionally to their overlap (the paper's `(S − S_j)/|L|`
 /// update, generalised to fractional overlaps), spread equally along the
 /// marginalised axis for 2-D grids.
-pub fn enforce_consistency(
-    grids: &mut [EstimatedGrid],
-    attr: usize,
-    cell_variances: &[f64],
-) {
+pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_variances: &[f64]) {
     assert_eq!(grids.len(), cell_variances.len(), "one variance per grid");
-    let involved: Vec<usize> =
-        (0..grids.len()).filter(|&i| grids[i].spec().id().covers(attr)).collect();
+    let involved: Vec<usize> = (0..grids.len())
+        .filter(|&i| grids[i].spec().id().covers(attr))
+        .collect();
     if involved.len() < 2 {
         return; // nothing to reconcile
     }
@@ -110,8 +106,13 @@ pub fn enforce_consistency(
         .copied()
         .min_by_key(|&i| grids[i].spec().axis_for(attr).expect("covered").cells())
         .expect("at least two involved grids");
-    let edges: Vec<u32> =
-        grids[coarsest].spec().axis_for(attr).expect("covered").binning.edges().to_vec();
+    let edges: Vec<u32> = grids[coarsest]
+        .spec()
+        .axis_for(attr)
+        .expect("covered")
+        .binning
+        .edges()
+        .to_vec();
     let n_subs = edges.len() - 1;
 
     // Per involved grid: marginal along attr and, per subdomain, the
@@ -135,7 +136,12 @@ pub fn enforce_consistency(
         let sub_cells = (0..n_subs)
             .map(|i| axis.binning.overlaps(edges[i], edges[i + 1] - 1))
             .collect();
-        views.push(GridView { grid_idx: gi, marginal, sub_cells, other_len });
+        views.push(GridView {
+            grid_idx: gi,
+            marginal,
+            sub_cells,
+            other_len,
+        });
     }
 
     // Weighted-average mass per subdomain, then per-grid cell corrections.
@@ -182,23 +188,39 @@ fn apply_cell_delta(grid: &mut EstimatedGrid, attr: usize, axis_cell: u32, delta
     // Capture the layout before borrowing the frequencies mutably.
     enum Layout {
         OneDim,
-        TwoDim { first_is_attr: bool, la: u32, lb: u32 },
+        TwoDim {
+            first_is_attr: bool,
+            la: u32,
+            lb: u32,
+        },
     }
     let layout = match grid.spec().axes() {
         [_] => Layout::OneDim,
-        [a, b] => Layout::TwoDim { first_is_attr: a.attr == attr, la: a.cells(), lb: b.cells() },
+        [a, b] => Layout::TwoDim {
+            first_is_attr: a.attr == attr,
+            la: a.cells(),
+            lb: b.cells(),
+        },
         _ => unreachable!("grids are 1-D or 2-D"),
     };
     let freqs = grid.freqs_mut();
     match layout {
         Layout::OneDim => freqs[axis_cell as usize] += delta,
-        Layout::TwoDim { first_is_attr: true, lb, .. } => {
+        Layout::TwoDim {
+            first_is_attr: true,
+            lb,
+            ..
+        } => {
             let share = delta / lb as f64;
             for iy in 0..lb {
                 freqs[(axis_cell * lb + iy) as usize] += share;
             }
         }
-        Layout::TwoDim { first_is_attr: false, la, lb } => {
+        Layout::TwoDim {
+            first_is_attr: false,
+            la,
+            lb,
+        } => {
             let share = delta / la as f64;
             for ix in 0..la {
                 freqs[(ix * lb + axis_cell) as usize] += share;
@@ -315,7 +337,10 @@ mod tests {
         // Halves implied by each grid must now agree.
         let a_first_half = grids[0].freqs()[0];
         let b_first_half = grids[1].freqs()[0] + grids[1].freqs()[1];
-        assert!((a_first_half - b_first_half).abs() < 1e-9, "{a_first_half} vs {b_first_half}");
+        assert!(
+            (a_first_half - b_first_half).abs() < 1e-9,
+            "{a_first_half} vs {b_first_half}"
+        );
         // Totals preserved (the update only moves mass to match averages,
         // both grids summed to 1 before).
         assert!((grids[0].total() - 1.0).abs() < 1e-9);
@@ -370,8 +395,16 @@ mod tests {
         enforce_consistency(&mut grids, 0, &[1.0, 2.0]);
         // Mass is approximately conserved (norm-sub restores the exact
         // total afterwards, per §5.4).
-        assert!((grids[0].total() - 1.0).abs() < 0.1, "total {}", grids[0].total());
-        assert!((grids[1].total() - 1.0).abs() < 0.1, "total {}", grids[1].total());
+        assert!(
+            (grids[0].total() - 1.0).abs() < 0.1,
+            "total {}",
+            grids[0].total()
+        );
+        assert!(
+            (grids[1].total() - 1.0).abs() < 0.1,
+            "total {}",
+            grids[1].total()
+        );
         // The implied masses agree much more closely at *subdomain*
         // granularity (the coarsest grid's cells: [0,34), [34,67), [67,100)).
         // Exact agreement needs nested binnings — here grid B's cell 1

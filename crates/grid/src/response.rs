@@ -51,7 +51,10 @@ impl ResponseMatrix {
         related: &[&EstimatedGrid],
         threshold: f64,
     ) -> Self {
-        assert!(!related.is_empty(), "response matrix needs at least one related grid");
+        assert!(
+            !related.is_empty(),
+            "response matrix needs at least one related grid"
+        );
         for g in related {
             for a in g.spec().id().attrs() {
                 assert!(
@@ -97,7 +100,11 @@ impl ResponseMatrix {
                         }
                     }
                 };
-                constraints.push(Constraint { rows, cols, target: g.freq(cell) });
+                constraints.push(Constraint {
+                    rows,
+                    cols,
+                    target: g.freq(cell),
+                });
             }
         }
 
@@ -133,7 +140,13 @@ impl ResponseMatrix {
             }
         }
 
-        ResponseMatrix { attr_i, attr_j, di, dj, values }
+        ResponseMatrix {
+            attr_i,
+            attr_j,
+            di,
+            dj,
+            values,
+        }
     }
 
     /// Wraps a categorical × categorical grid, which is already at value
@@ -145,7 +158,13 @@ impl ResponseMatrix {
             panic!("from_cat_cat_grid needs a 2-D grid");
         };
         let (di, dj) = (spec.axes()[0].cells(), spec.axes()[1].cells());
-        ResponseMatrix { attr_i: i, attr_j: j, di, dj, values: grid.freqs().to_vec() }
+        ResponseMatrix {
+            attr_i: i,
+            attr_j: j,
+            di,
+            dj,
+            values: grid.freqs().to_vec(),
+        }
     }
 
     /// The attribute pair `(i, j)` this matrix describes.
@@ -193,7 +212,10 @@ impl ResponseMatrix {
     /// Marginal over rows (one entry per value of `attr_i`).
     pub fn row_marginal(&self) -> Vec<f64> {
         let djn = self.dj as usize;
-        self.values.chunks_exact(djn).map(|r| r.iter().sum()).collect()
+        self.values
+            .chunks_exact(djn)
+            .map(|r| r.iter().sum())
+            .collect()
     }
 
     /// Marginal over columns (one entry per value of `attr_j`).
@@ -213,9 +235,7 @@ fn selection_mask(pred: Option<&Predicate>, d: u32) -> Vec<bool> {
     match pred {
         None => vec![true; d as usize],
         Some(p) => match &p.target {
-            PredicateTarget::Range { lo, hi } => {
-                (0..d).map(|v| *lo <= v && v <= *hi).collect()
-            }
+            PredicateTarget::Range { lo, hi } => (0..d).map(|v| *lo <= v && v <= *hi).collect(),
             PredicateTarget::Set(vals) => {
                 let mut m = vec![false; d as usize];
                 for &v in vals {
@@ -276,7 +296,10 @@ mod tests {
         assert!((rows[0] - 0.4).abs() < 1e-6, "row 0 = {}", rows[0]);
         assert!((rows[2] - 0.0).abs() < 1e-6);
         // And the 2-D constraints still hold.
-        let q = m.answer(Some(&Predicate::between(0, 0, 3)), Some(&Predicate::between(1, 0, 3)));
+        let q = m.answer(
+            Some(&Predicate::between(0, 0, 3)),
+            Some(&Predicate::between(1, 0, 3)),
+        );
         assert!((q - 0.25).abs() < 1e-6, "quadrant = {q}");
     }
 
@@ -305,10 +328,18 @@ mod tests {
         let g = EstimatedGrid::new(
             GridSpec::two_dim(&s, 0, 2, 4, 3, FoKind::Olh).unwrap(),
             vec![
-                0.05, 0.05, 0.0, //
-                0.1, 0.0, 0.1, //
-                0.2, 0.1, 0.0, //
-                0.953 - 0.6, 0.03, 0.017,
+                0.05,
+                0.05,
+                0.0, //
+                0.1,
+                0.0,
+                0.1, //
+                0.2,
+                0.1,
+                0.0, //
+                0.953 - 0.6,
+                0.03,
+                0.017,
             ],
         );
         let m = ResponseMatrix::build(0, 2, 8, 3, &[&g], 1e-10);

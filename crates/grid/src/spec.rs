@@ -7,7 +7,9 @@ use felip_fo::FoKind;
 use crate::bins::Binning;
 
 /// Identifies a grid within a collection plan by the attributes it covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum GridId {
     /// 1-D grid over a single attribute.
     One(usize),
@@ -64,7 +66,11 @@ impl Axis {
                 a.name, cells, a.domain
             )));
         }
-        Ok(Axis { attr, kind: a.kind, binning: Binning::equal(a.domain, cells)? })
+        Ok(Axis {
+            attr,
+            kind: a.kind,
+            binning: Binning::equal(a.domain, cells)?,
+        })
     }
 
     /// Builds an axis with an explicit (possibly non-equal-width) binning —
@@ -88,7 +94,11 @@ impl Axis {
                 a.name
             )));
         }
-        Ok(Axis { attr, kind: a.kind, binning })
+        Ok(Axis {
+            attr,
+            kind: a.kind,
+            binning,
+        })
     }
 
     /// Number of cells along this axis.
@@ -110,7 +120,11 @@ pub struct GridSpec {
 impl GridSpec {
     /// A 1-D grid over one attribute.
     pub fn one_dim(schema: &Schema, attr: usize, cells: u32, fo: FoKind) -> Result<Self> {
-        Ok(GridSpec { id: GridId::One(attr), axes: vec![Axis::new(schema, attr, cells)?], fo })
+        Ok(GridSpec {
+            id: GridId::One(attr),
+            axes: vec![Axis::new(schema, attr, cells)?],
+            fo,
+        })
     }
 
     /// A 2-D grid over attributes `i < j` with `lx × ly` cells.
@@ -139,10 +153,16 @@ impl GridSpec {
     /// grids take two with strictly increasing attribute indices.
     pub fn from_axes(axes: Vec<Axis>, fo: FoKind) -> Result<Self> {
         match axes.as_slice() {
-            [a] => Ok(GridSpec { id: GridId::One(a.attr), axes, fo }),
-            [a, b] if a.attr < b.attr => {
-                Ok(GridSpec { id: GridId::Two(a.attr, b.attr), axes, fo })
-            }
+            [a] => Ok(GridSpec {
+                id: GridId::One(a.attr),
+                axes,
+                fo,
+            }),
+            [a, b] if a.attr < b.attr => Ok(GridSpec {
+                id: GridId::Two(a.attr, b.attr),
+                axes,
+                fo,
+            }),
             [_, _] => Err(Error::InvalidParameter(
                 "2-D grid axes must have strictly increasing attribute indices".into(),
             )),

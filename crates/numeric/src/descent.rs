@@ -17,7 +17,12 @@ pub struct Descent2Options {
 
 impl Default for Descent2Options {
     fn default() -> Self {
-        Descent2Options { x_bounds: (1.0, 1e6), y_bounds: (1.0, 1e6), tol: 1e-6, max_sweeps: 64 }
+        Descent2Options {
+            x_bounds: (1.0, 1e6),
+            y_bounds: (1.0, 1e6),
+            tol: 1e-6,
+            max_sweeps: 64,
+        }
     }
 }
 
@@ -59,7 +64,11 @@ mod tests {
     fn separable_quadratic() {
         let (x, y) = coordinate_descent2(
             (0.0, 0.0),
-            Descent2Options { x_bounds: (-10.0, 10.0), y_bounds: (-10.0, 10.0), ..Default::default() },
+            Descent2Options {
+                x_bounds: (-10.0, 10.0),
+                y_bounds: (-10.0, 10.0),
+                ..Default::default()
+            },
             |x, y| (x - 2.0).powi(2) + (y + 3.0).powi(2),
         );
         assert!((x - 2.0).abs() < 1e-4);
@@ -71,7 +80,11 @@ mod tests {
         // f = x² + y² + xy − 3x − 3y; stationary point x = y = 1.
         let (x, y) = coordinate_descent2(
             (5.0, 5.0),
-            Descent2Options { x_bounds: (-10.0, 10.0), y_bounds: (-10.0, 10.0), ..Default::default() },
+            Descent2Options {
+                x_bounds: (-10.0, 10.0),
+                y_bounds: (-10.0, 10.0),
+                ..Default::default()
+            },
             |x, y| x * x + y * y + x * y - 3.0 * x - 3.0 * y,
         );
         assert!((x - 1.0).abs() < 1e-4, "x = {x}");
@@ -87,7 +100,12 @@ mod tests {
         let r = 0.5;
         let (x, y) = coordinate_descent2(
             (10.0, 10.0),
-            Descent2Options { x_bounds: (1.0, 4096.0), y_bounds: (1.0, 4096.0), tol: 1e-7, ..Default::default() },
+            Descent2Options {
+                x_bounds: (1.0, 4096.0),
+                y_bounds: (1.0, 4096.0),
+                tol: 1e-7,
+                ..Default::default()
+            },
             |x, y| {
                 let bias = a * (x * r + y * r) / (x * y);
                 bias * bias + c * (x * r) * (y * r)
@@ -101,7 +119,11 @@ mod tests {
     fn respects_bounds() {
         let (x, y) = coordinate_descent2(
             (0.0, 0.0),
-            Descent2Options { x_bounds: (1.0, 2.0), y_bounds: (1.0, 2.0), ..Default::default() },
+            Descent2Options {
+                x_bounds: (1.0, 2.0),
+                y_bounds: (1.0, 2.0),
+                ..Default::default()
+            },
             |x, y| x + y, // minimum at the lower-left corner
         );
         assert!((x - 1.0).abs() < 1e-4);
@@ -112,7 +134,11 @@ mod tests {
     fn start_outside_bounds_is_clamped() {
         let (x, _) = coordinate_descent2(
             (100.0, -100.0),
-            Descent2Options { x_bounds: (0.0, 1.0), y_bounds: (0.0, 1.0), ..Default::default() },
+            Descent2Options {
+                x_bounds: (0.0, 1.0),
+                y_bounds: (0.0, 1.0),
+                ..Default::default()
+            },
             |x, y| (x - 0.5).powi(2) + (y - 0.5).powi(2),
         );
         assert!((x - 0.5).abs() < 1e-4);

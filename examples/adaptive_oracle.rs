@@ -45,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .iter()
                 .map(|a| format!("{}:{}", schema.attr(a.attr).name, a.cells()))
                 .collect();
-            println!("  {:<8} [{}] L={:<6} → {}", g.id().to_string(), axes.join(" × "), g.num_cells(), g.fo);
+            println!(
+                "  {:<8} [{}] L={:<6} → {}",
+                g.id().to_string(),
+                axes.join(" × "),
+                g.num_cells(),
+                g.fo
+            );
         }
     }
     println!("\nNote how the tiny sex×region grid always reports via GRR, the large");

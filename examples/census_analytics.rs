@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // IPUMS-shaped population: n0..n2 numerical (age-like, income-like,
     // hours-like, domain 256), c0..c2 categorical (sex-like, education-like,
     // race-like, domain 8).
-    let opts = GenOptions { n: 150_000, seed: 2024, ..GenOptions::paper_default() };
+    let opts = GenOptions {
+        n: 150_000,
+        seed: 2024,
+        ..GenOptions::paper_default()
+    };
     let census = ipums_like(opts);
     let schema = census.schema().clone();
 
@@ -28,17 +32,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper_query = Query::new(
         &schema,
         vec![
-            Predicate::between(0, 77, 154),         // "age BETWEEN 30 AND 60" scaled to [0,256)
-            Predicate::in_set(4, vec![6, 7]),       // "education IN (Masters, Doctorate)"
-            Predicate::between(1, 0, 102),          // "salary <= 80k" scaled
+            Predicate::between(0, 77, 154), // "age BETWEEN 30 AND 60" scaled to [0,256)
+            Predicate::in_set(4, vec![6, 7]), // "education IN (Masters, Doctorate)"
+            Predicate::between(1, 0, 102),  // "salary <= 80k" scaled
         ],
     )?;
     let marginals = [
-        ("working-age band", Query::new(&schema, vec![Predicate::between(0, 77, 154)])?),
-        ("top education levels", Query::new(&schema, vec![Predicate::in_set(4, vec![6, 7])])?),
+        (
+            "working-age band",
+            Query::new(&schema, vec![Predicate::between(0, 77, 154)])?,
+        ),
+        (
+            "top education levels",
+            Query::new(&schema, vec![Predicate::in_set(4, vec![6, 7])])?,
+        ),
         (
             "low income ∧ majority race group",
-            Query::new(&schema, vec![Predicate::between(1, 0, 64), Predicate::equals(5, 0)])?,
+            Query::new(
+                &schema,
+                vec![Predicate::between(1, 0, 64), Predicate::equals(5, 0)],
+            )?,
         ),
     ];
 

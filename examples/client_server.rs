@@ -11,8 +11,8 @@
 //! cargo run --release --example client_server
 //! ```
 
-use felip_repro::engine::{respond, Aggregator, CollectionPlan};
 use felip_repro::common::rng::seeded_rng;
+use felip_repro::engine::{respond, Aggregator, CollectionPlan};
 use felip_repro::{Attribute, FelipConfig, Predicate, Query, Schema, Strategy};
 use rand::Rng;
 
@@ -40,10 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for user in 0..n {
         let transport = device_rng.gen_range(0..4u32);
         let commute = match transport {
-            0 => device_rng.gen_range(0..30),    // walkers: short
-            1 => device_rng.gen_range(5..45),    // cyclists
-            2 => device_rng.gen_range(10..90),   // drivers
-            _ => device_rng.gen_range(20..120),  // transit: long
+            0 => device_rng.gen_range(0..30),   // walkers: short
+            1 => device_rng.gen_range(5..45),   // cyclists
+            2 => device_rng.gen_range(10..90),  // drivers
+            _ => device_rng.gen_range(20..120), // transit: long
         };
         let record = [commute, transport];
         let report = respond(&plan, user, &record, &mut device_rng)?;
@@ -58,12 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for r in &reports {
         aggregator.ingest(r)?;
     }
-    println!("server: ingested {} reports (memory stays O(grid cells))", aggregator.reports_ingested());
+    println!(
+        "server: ingested {} reports (memory stays O(grid cells))",
+        aggregator.reports_ingested()
+    );
     let estimator = aggregator.estimate()?;
 
     let q = Query::new(
         &schema,
-        vec![Predicate::between(0, 45, 119), Predicate::in_set(1, vec![3])],
+        vec![
+            Predicate::between(0, 45, 119),
+            Predicate::in_set(1, vec![3]),
+        ],
     )?;
     let est = estimator.answer(&q)?;
     let truth = ground_truth

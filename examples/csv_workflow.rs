@@ -10,9 +10,9 @@
 //! ```
 
 use felip_repro::common::parse::parse_query;
+use felip_repro::common::rng::seeded_rng;
 use felip_repro::datasets::{load_csv_str, ColumnSpec};
 use felip_repro::{simulate, FelipConfig, Strategy};
-use felip_repro::common::rng::seeded_rng;
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,15 +37,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Discretise: age into 16 bins over [18, 80), education into a
     //    dictionary, income into 32 bins over an inferred range.
     let specs = [
-        ColumnSpec::Numerical { name: "age".into(), bins: 16, range: Some((18.0, 80.0)) },
-        ColumnSpec::Categorical { name: "education".into(), max_categories: 8 },
-        ColumnSpec::Numerical { name: "income".into(), bins: 32, range: None },
+        ColumnSpec::Numerical {
+            name: "age".into(),
+            bins: 16,
+            range: Some((18.0, 80.0)),
+        },
+        ColumnSpec::Categorical {
+            name: "education".into(),
+            max_categories: 8,
+        },
+        ColumnSpec::Numerical {
+            name: "income".into(),
+            bins: 32,
+            range: None,
+        },
     ];
     let (data, book) = load_csv_str(&csv, &specs)?;
-    println!("loaded {} records → schema {:?} bins", data.len(), [16, 8, 32]);
+    println!(
+        "loaded {} records → schema {:?} bins",
+        data.len(),
+        [16, 8, 32]
+    );
 
     // 2. One ε-LDP collection serves every query below.
-    let est = simulate(&data, &FelipConfig::new(1.0).with_strategy(Strategy::Ohg), 21)?;
+    let est = simulate(
+        &data,
+        &FelipConfig::new(1.0).with_strategy(Strategy::Ohg),
+        21,
+    )?;
 
     // 3. Ask questions in WHERE syntax over the *encoded* domains; the
     //    CodeBook translates raw constants into bins/ids.

@@ -14,7 +14,11 @@ use felip_repro::{simulate, FelipConfig, SelectivityPrior, Strategy};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Lending-shaped data: n0 loan amount, n1 interest rate, n2 credit
     // score (all domain 256), c0 grade, c1 term, c2 purpose (domain 8).
-    let opts = GenOptions { n: 150_000, seed: 5, ..GenOptions::paper_default() };
+    let opts = GenOptions {
+        n: 150_000,
+        seed: 5,
+        ..GenOptions::paper_default()
+    };
     let portfolio = loan_like(opts);
 
     // The dashboard workload: 2-D queries, narrow (20% of each domain).
@@ -31,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let truth: Vec<f64> = workload.iter().map(|q| q.true_answer(&portfolio)).collect();
 
-    println!("20 narrow 2-D risk queries (s = {true_selectivity}), ε = 1, n = {}:", portfolio.len());
+    println!(
+        "20 narrow 2-D risk queries (s = {true_selectivity}), ε = 1, n = {}:",
+        portfolio.len()
+    );
     println!("{:<34} {:>10}", "grid sizing prior", "MAE");
     for (label, prior) in [
         ("informed (r = 0.2, true)", 0.2),

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use felip_repro::common::rng::seeded_rng;
 use felip_repro::{simulate, FelipConfig, Strategy};
 use felip_repro::{Attribute, Dataset, Predicate, Query, Schema};
-use felip_repro::common::rng::seeded_rng;
 use rand::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..100_000 {
         let age = 18 + (rng.gen::<f64>() * rng.gen::<f64>() * 60.0) as u32; // skewed young
         let salary = (20.0 + age as f64 * 1.2 + rng.gen_range(-10.0..30.0)).max(0.0) as u32;
-        let plan = if salary > 80 { 2 } else if rng.gen_bool(0.4) { 1 } else { 0 };
+        let plan = if salary > 80 {
+            2
+        } else if rng.gen_bool(0.4) {
+            1
+        } else {
+            0
+        };
         population.push(&[age.min(99), salary.min(199), plan])?;
     }
 
@@ -43,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "age ∈ [25,45] ∧ plan ∈ {pro, enterprise}",
             Query::new(
                 &schema,
-                vec![Predicate::between(0, 25, 45), Predicate::in_set(2, vec![1, 2])],
+                vec![
+                    Predicate::between(0, 25, 45),
+                    Predicate::in_set(2, vec![1, 2]),
+                ],
             )?,
         ),
         (
@@ -59,11 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:<45} {:>10} {:>10} {:>10}", "query", "estimate", "truth", "abs err");
+    println!(
+        "{:<45} {:>10} {:>10} {:>10}",
+        "query", "estimate", "truth", "abs err"
+    );
     for (label, q) in &queries {
         let est = estimator.answer(q)?;
         let truth = q.true_answer(&population);
-        println!("{label:<45} {est:>10.4} {truth:>10.4} {:>10.4}", (est - truth).abs());
+        println!(
+            "{label:<45} {est:>10.4} {truth:>10.4} {:>10.4}",
+            (est - truth).abs()
+        );
     }
     Ok(())
 }

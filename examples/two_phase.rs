@@ -15,12 +15,22 @@ use felip_repro::{FelipConfig, SelectivityPrior, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = seeded_rng(0); // (keep the prelude import exercised)
-    // Loan-shaped data: spiky, skewed marginals — equal-width cells straddle
-    // the density spikes, which is exactly where mass-balancing helps.
-    let data = loan_like(GenOptions { n: 120_000, seed: 77, ..GenOptions::paper_default() });
+                           // Loan-shaped data: spiky, skewed marginals — equal-width cells straddle
+                           // the density spikes, which is exactly where mass-balancing helps.
+    let data = loan_like(GenOptions {
+        n: 120_000,
+        seed: 77,
+        ..GenOptions::paper_default()
+    });
     let workload = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 2, selectivity: 0.2, count: 15, seed: 9, range_only: false },
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.2,
+            count: 15,
+            seed: 9,
+            range_only: false,
+        },
     )?;
     let truth: Vec<f64> = workload.iter().map(|q| q.true_answer(&data)).collect();
 
@@ -49,7 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .find(|g| g.spec().id() == felip_repro::grid::GridId::One(0))
         .expect("OHG plans a 1-D grid for attribute 0");
-    println!("\nmass-balanced 1-D edges for n0: {:?}", grid.spec().axes()[0].binning.edges());
-    println!("(compare with equal-width edges at multiples of {})", 256 / grid.spec().axes()[0].cells());
+    println!(
+        "\nmass-balanced 1-D edges for n0: {:?}",
+        grid.spec().axes()[0].binning.edges()
+    );
+    println!(
+        "(compare with equal-width edges at multiples of {})",
+        256 / grid.spec().axes()[0].cells()
+    );
     Ok(())
 }

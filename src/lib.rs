@@ -30,5 +30,7 @@ pub use felip_grid as grid;
 pub use felip_numeric as numeric;
 
 // The most common entry points, re-exported flat for convenience.
-pub use felip::{simulate, Aggregator, CollectionPlan, Estimator, FelipConfig, SelectivityPrior, Strategy};
+pub use felip::{
+    simulate, Aggregator, CollectionPlan, Estimator, FelipConfig, SelectivityPrior, Strategy,
+};
 pub use felip_common::{Attribute, Dataset, Predicate, Query, Schema};

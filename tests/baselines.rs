@@ -27,7 +27,13 @@ fn figure7_ordering_on_normal_data() {
     let data = DatasetKind::Normal.generate(numeric_opts(31));
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 3, selectivity: 0.5, count: 10, seed: 31, range_only: true },
+        WorkloadOptions {
+            lambda: 3,
+            selectivity: 0.5,
+            count: 10,
+            seed: 31,
+            range_only: true,
+        },
     )
     .unwrap();
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -35,12 +41,32 @@ fn figure7_ordering_on_normal_data() {
     let score = |answers: Vec<f64>| mae(&answers, &truth);
 
     let ohg = {
-        let est = simulate(&data, &FelipConfig::new(1.0).with_strategy(Strategy::Ohg), 1).unwrap();
+        let est = simulate(
+            &data,
+            &FelipConfig::new(1.0).with_strategy(Strategy::Ohg),
+            1,
+        )
+        .unwrap();
         score(est.answer_all(&queries).unwrap())
     };
-    let hdg = score(run_hdg(&data, 1.0, 1).unwrap().answer_all(&queries).unwrap());
-    let tdg = score(run_tdg(&data, 1.0, 1).unwrap().answer_all(&queries).unwrap());
-    let hio = score(run_hio(&data, 1.0, 1).unwrap().answer_all(&queries).unwrap());
+    let hdg = score(
+        run_hdg(&data, 1.0, 1)
+            .unwrap()
+            .answer_all(&queries)
+            .unwrap(),
+    );
+    let tdg = score(
+        run_tdg(&data, 1.0, 1)
+            .unwrap()
+            .answer_all(&queries)
+            .unwrap(),
+    );
+    let hio = score(
+        run_hio(&data, 1.0, 1)
+            .unwrap()
+            .answer_all(&queries)
+            .unwrap(),
+    );
 
     // Coarse orderings that must hold at this scale (seeded, so stable):
     assert!(ohg < hio, "OHG {ohg} vs HIO {hio}");
@@ -68,7 +94,13 @@ fn hio_collapses_with_domain_size() {
         let data = DatasetKind::Uniform.generate(opts);
         let queries = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 8, seed: 5, range_only: true },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.5,
+                count: 8,
+                seed: 5,
+                range_only: true,
+            },
         )
         .unwrap();
         let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -94,7 +126,13 @@ fn felip_stable_with_domain_size() {
         let data = DatasetKind::Uniform.generate(o);
         let queries = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda: 2, selectivity: 0.5, count: 8, seed: 6, range_only: true },
+            WorkloadOptions {
+                lambda: 2,
+                selectivity: 0.5,
+                count: 8,
+                seed: 6,
+                range_only: true,
+            },
         )
         .unwrap();
         let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -130,7 +168,13 @@ fn hio_supports_mixed_queries() {
     assert_eq!(data.schema().len(), schema.len());
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 2, selectivity: 0.5, count: 6, seed: 8, range_only: false },
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.5,
+            count: 6,
+            seed: 8,
+            range_only: false,
+        },
     )
     .unwrap();
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -152,7 +196,13 @@ fn adaptive_oracle_no_worse_than_olh_only() {
     let data = DatasetKind::Uniform.generate(numeric_opts(9));
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 3, selectivity: 0.5, count: 10, seed: 9, range_only: true },
+        WorkloadOptions {
+            lambda: 3,
+            selectivity: 0.5,
+            count: 10,
+            seed: 9,
+            range_only: true,
+        },
     )
     .unwrap();
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -161,8 +211,12 @@ fn adaptive_oracle_no_worse_than_olh_only() {
     for seed in [1u64, 2, 3] {
         let adaptive = simulate(&data, &FelipConfig::new(1.0), seed).unwrap();
         adaptive_total += mae(&adaptive.answer_all(&queries).unwrap(), &truth);
-        let olh_only =
-            simulate(&data, &FelipConfig::new(1.0).with_forced_fo(FoKind::Olh), seed).unwrap();
+        let olh_only = simulate(
+            &data,
+            &FelipConfig::new(1.0).with_forced_fo(FoKind::Olh),
+            seed,
+        )
+        .unwrap();
         olh_total += mae(&olh_only.answer_all(&queries).unwrap(), &truth);
     }
     assert!(

@@ -27,7 +27,13 @@ fn run_mae(
     let data = kind.generate(gen_opts(n, seed));
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda, selectivity, count: 8, seed, range_only: false },
+        WorkloadOptions {
+            lambda,
+            selectivity,
+            count: 8,
+            seed,
+            range_only: false,
+        },
     )
     .unwrap();
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -63,7 +69,13 @@ fn accuracy_across_dimensions() {
     for lambda in [2usize, 3, 4, 5, 6] {
         let queries = generate_queries(
             data.schema(),
-            WorkloadOptions { lambda, selectivity: 0.5, count: 5, seed: 17, range_only: false },
+            WorkloadOptions {
+                lambda,
+                selectivity: 0.5,
+                count: 5,
+                seed: 17,
+                range_only: false,
+            },
         )
         .unwrap();
         let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -108,7 +120,13 @@ fn error_decreases_with_epsilon() {
     let data = DatasetKind::Normal.generate(gen_opts(60_000, 7));
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 2, selectivity: 0.5, count: 8, seed: 7, range_only: false },
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.5,
+            count: 8,
+            seed: 7,
+            range_only: false,
+        },
     )
     .unwrap();
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
@@ -131,12 +149,24 @@ fn estimates_valid_and_reproducible() {
     let data = DatasetKind::LoanLike.generate(gen_opts(30_000, 9));
     let queries = generate_queries(
         data.schema(),
-        WorkloadOptions { lambda: 3, selectivity: 0.4, count: 6, seed: 9, range_only: false },
+        WorkloadOptions {
+            lambda: 3,
+            selectivity: 0.4,
+            count: 6,
+            seed: 9,
+            range_only: false,
+        },
     )
     .unwrap();
     let config = FelipConfig::new(0.8);
-    let a = simulate(&data, &config, 55).unwrap().answer_all(&queries).unwrap();
-    let b = simulate(&data, &config, 55).unwrap().answer_all(&queries).unwrap();
+    let a = simulate(&data, &config, 55)
+        .unwrap()
+        .answer_all(&queries)
+        .unwrap();
+    let b = simulate(&data, &config, 55)
+        .unwrap()
+        .answer_all(&queries)
+        .unwrap();
     assert_eq!(a, b, "same seed must reproduce identical answers");
     assert!(a.iter().all(|&x| (0.0..=1.0).contains(&x)));
 }

@@ -4,8 +4,8 @@
 //! must hold (§5.7). We estimate both distributions by Monte Carlo for one
 //! fixed user (fixed group assignment) and bound the likelihood ratio.
 
-use felip_repro::engine::{respond, CollectionPlan};
 use felip_repro::common::rng::seeded_rng;
+use felip_repro::engine::{respond, CollectionPlan};
 use felip_repro::fo::Report;
 use felip_repro::{Attribute, FelipConfig, Schema, Strategy};
 
@@ -40,7 +40,10 @@ fn report_distribution(
         };
         *counts.entry(key).or_default() += 1;
     }
-    counts.into_iter().map(|(k, c)| (k, c as f64 / trials as f64)).collect()
+    counts
+        .into_iter()
+        .map(|(k, c)| (k, c as f64 / trials as f64))
+        .collect()
 }
 
 fn check_ldp_bound(epsilon: f64, strategy: Strategy) {
@@ -113,7 +116,10 @@ fn report_is_small_and_opaque() {
         assert!(r.report.wire_bytes() <= 12, "reports stay O(log d) bytes");
         if let Report::Grr(v) = r.report {
             let cells = plan.grids()[r.group].num_cells();
-            assert!(v < cells, "GRR report must be a cell index, not a raw value");
+            assert!(
+                v < cells,
+                "GRR report must be a cell index, not a raw value"
+            );
         }
     }
 }

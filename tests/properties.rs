@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
+use felip_repro::common::rng::seeded_rng;
 use felip_repro::common::{AttrKind, Attribute, Dataset, Predicate, Query, Schema};
 use felip_repro::engine::{respond, CollectionPlan};
-use felip_repro::common::rng::seeded_rng;
 use felip_repro::{simulate, FelipConfig, Strategy as FelipStrategy};
 
 /// An arbitrary small schema: 2–4 attributes, mixed kinds, domains 2–32.

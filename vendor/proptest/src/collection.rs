@@ -1,0 +1,90 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification: exact `usize`, `lo..hi`, or `lo..=hi`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::for_test("collection::lengths");
+        for _ in 0..100 {
+            assert_eq!(vec(0u32..4, 15).generate(&mut rng).len(), 15);
+            let l = vec(0u32..4, 1..200).generate(&mut rng).len();
+            assert!((1..200).contains(&l));
+            let m = vec(0u32..4, 2..=4).generate(&mut rng).len();
+            assert!((2..=4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn elements_come_from_inner_strategy() {
+        let mut rng = TestRng::for_test("collection::elements");
+        let xs = vec(10u32..20, 500).generate(&mut rng);
+        assert!(xs.iter().all(|x| (10..20).contains(x)));
+    }
+}

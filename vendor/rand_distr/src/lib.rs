@@ -1,0 +1,147 @@
+//! Offline shim for the subset of `rand_distr` 0.4 this workspace uses:
+//! normal-family distributions, sampled with the Box–Muller transform.
+
+use rand::Rng;
+
+pub use rand::distributions::Distribution;
+
+/// Error constructing a normal-family distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation (or shape) parameter was negative or NaN.
+    BadVariance,
+    /// The mean (or scale) parameter was non-finite.
+    MeanTooSmall,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalError::BadVariance => write!(f, "standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => write!(f, "mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// Box–Muller: two uniforms give one normal draw (the sine branch is
+/// discarded so the distribution stays stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    /// Fails when `std_dev` is negative/NaN or `mean` is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        if std_dev.is_nan() || std_dev < 0.0 || !std_dev.is_finite() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * StandardNormal.sample(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<T> {
+    norm: Normal<T>,
+}
+
+impl LogNormal<f64> {
+    /// Creates `exp(N(mu, sigma²))`.
+    ///
+    /// # Errors
+    /// Fails when `sigma` is negative/NaN or `mu` is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, NormalError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let dist = Normal::new(10.0, 2.0).unwrap();
+        let n = 100_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dist = LogNormal::new(0.0, 0.6).unwrap();
+        assert!((0..10_000).all(|_| dist.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+}

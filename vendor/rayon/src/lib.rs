@@ -1,0 +1,403 @@
+//! Offline shim for the subset of `rayon` this workspace uses.
+//!
+//! Fan-out is real: work is distributed over `std::thread::scope` threads,
+//! capped at `RAYON_NUM_THREADS` (env) or `available_parallelism`. Nested
+//! parallel calls run sequentially on the calling worker (a cheap stand-in
+//! for rayon's work stealing that keeps thread counts bounded), so callers
+//! can freely compose parallel layers exactly as with real rayon.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn effective_threads(jobs: usize) -> usize {
+    if jobs <= 1 || IN_PARALLEL.with(|f| f.get()) {
+        1
+    } else {
+        max_threads().min(jobs)
+    }
+}
+
+/// Runs `f(0..njobs)` across worker threads, returning results in index
+/// order. Falls back to a plain sequential loop when only one thread is
+/// effective (single core, nested call, or a single job).
+fn par_map_indexed<R, F>(njobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = effective_threads(njobs);
+    if threads <= 1 {
+        return (0..njobs).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let counter = &counter;
+                let f = &f;
+                s.spawn(move || {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    let mut out = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= njobs {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f` for every index without collecting results.
+fn par_for_each_indexed<F>(njobs: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = effective_threads(njobs);
+    if threads <= 1 {
+        for i in 0..njobs {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            s.spawn(move || {
+                IN_PARALLEL.with(|flag| flag.set(true));
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= njobs {
+                        break;
+                    }
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Runs `f` for every index in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let base = self.range.start;
+        par_for_each_indexed(self.range.len(), |i| f(base + i));
+    }
+}
+
+/// A mapped [`ParRange`].
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Collects mapped results in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromParVec<R>,
+    {
+        let base = self.range.start;
+        let f = self.f;
+        C::from_par_vec(par_map_indexed(self.range.len(), |i| f(base + i)))
+    }
+}
+
+/// Collection types constructible from an ordered `Vec` of parallel results.
+pub trait FromParVec<R> {
+    /// Builds the collection from results in index order.
+    fn from_par_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParVec<R> for Vec<R> {
+    fn from_par_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Parallel read-only slice operations.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the elements.
+    fn par_iter(&self) -> ParSliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParSliceIter<'_, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSliceIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParSliceMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Folds contiguous sub-slices into per-worker accumulators (combine
+    /// them with [`FoldPieces::reduce`]).
+    pub fn fold<A, MI, F>(self, make: MI, fold: F) -> FoldPieces<A>
+    where
+        A: Send,
+        MI: Fn() -> A + Sync,
+        F: Fn(A, &'a T) -> A + Sync,
+    {
+        let threads = effective_threads(self.slice.len());
+        let chunk = self.slice.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[T]> = self.slice.chunks(chunk).collect();
+        let pieces = par_map_indexed(chunks.len(), |c| chunks[c].iter().fold(make(), &fold));
+        FoldPieces { pieces }
+    }
+}
+
+/// A mapped [`ParSliceIter`].
+pub struct ParSliceMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParSliceMap<'a, T, F> {
+    /// Collects mapped results in slice order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromParVec<R>,
+    {
+        let slice = self.slice;
+        let f = self.f;
+        C::from_par_vec(par_map_indexed(slice.len(), |i| f(&slice[i])))
+    }
+}
+
+/// Ordered per-worker fold accumulators awaiting reduction.
+pub struct FoldPieces<A> {
+    pieces: Vec<A>,
+}
+
+impl<A> FoldPieces<A> {
+    /// Combines the accumulators left to right, starting from `make()`.
+    pub fn reduce<MI, F>(self, make: MI, f: F) -> A
+    where
+        MI: Fn() -> A,
+        F: Fn(A, A) -> A,
+    {
+        self.pieces.into_iter().fold(make(), f)
+    }
+}
+
+/// Parallel mutable slice operations.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into `chunk_size` chunks processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumChunksMut<'a, T> {
+        EnumChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` over every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// An enumerated [`ParChunksMut`].
+pub struct EnumChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumChunksMut<'a, T> {
+    /// Runs `f((index, chunk))` over every chunk in parallel. Chunks are
+    /// statically partitioned across workers in contiguous runs.
+    pub fn for_each<F>(mut self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n = self.chunks.len();
+        let threads = effective_threads(n);
+        if threads <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let per = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut base = 0usize;
+            while !self.chunks.is_empty() {
+                let take = per.min(self.chunks.len());
+                let group: Vec<&mut [T]> = self.chunks.drain(..take).collect();
+                let start = base;
+                base += take;
+                let f = &f;
+                s.spawn(move || {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    for (k, chunk) in group.into_iter().enumerate() {
+                        f((start + k, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_fold_reduce_sums() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let total = data
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn slice_map_collect() {
+        let data = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunks_mut_sees_every_chunk_once() {
+        let mut data = vec![0u64; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(b, chunk)| {
+            for slot in chunk.iter_mut() {
+                *slot += b as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[999], 1000 / 64 + 1);
+    }
+
+    #[test]
+    fn nested_parallelism_is_sequentialised() {
+        let v: Vec<Vec<usize>> = (0..4)
+            .into_par_iter()
+            .map(|outer| {
+                (0..8)
+                    .into_par_iter()
+                    .map(move |inner| outer * 8 + inner)
+                    .collect()
+            })
+            .collect();
+        for (outer, inner) in v.iter().enumerate() {
+            assert_eq!(*inner, (0..8).map(|i| outer * 8 + i).collect::<Vec<_>>());
+        }
+    }
+}

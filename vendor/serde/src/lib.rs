@@ -1,0 +1,372 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Instead of serde's visitor machinery, serialization goes through one
+//! self-describing tree, [`Content`]: `Serialize` builds a `Content`,
+//! `Deserialize` reads one back. Integers keep 64-bit precision (`U64` /
+//! `I64` variants) so OLH seeds survive JSON round-trips exactly.
+//! `serde_json` renders/parses `Content` as JSON text.
+//!
+//! The derive macros (re-exported from the `serde_derive` shim) generate
+//! these impls for named-field structs and unit/tuple/struct enums using
+//! serde's externally-tagged enum representation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialization tree — the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (`Option::None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer, exact to 64 bits.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key-value map (keys are `Str` for derived types).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The entries when this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string when this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Externally-tagged unit variant: `"Name"`.
+    pub fn unit_variant(name: &str) -> Content {
+        Content::Str(name.to_string())
+    }
+
+    /// Externally-tagged newtype variant: `{"Name": value}`.
+    pub fn newtype_variant(name: &str, value: Content) -> Content {
+        Content::Map(vec![(Content::Str(name.to_string()), value)])
+    }
+
+    /// Externally-tagged tuple variant: `{"Name": [..]}`.
+    pub fn tuple_variant(name: &str, items: Vec<Content>) -> Content {
+        Content::newtype_variant(name, Content::Seq(items))
+    }
+
+    /// Externally-tagged struct variant: `{"Name": {..}}`.
+    pub fn struct_variant(name: &str, fields: Vec<(&str, Content)>) -> Content {
+        let entries = fields
+            .into_iter()
+            .map(|(k, v)| (Content::Str(k.to_string()), v))
+            .collect();
+        Content::newtype_variant(name, Content::Map(entries))
+    }
+}
+
+/// Deserialization error: what was expected, where.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected X while deserializing T".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError::new(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// An unrecognized enum variant tag.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError::new(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up `key` in a derived struct/variant map.
+pub fn map_field<'a>(
+    map: &'a [(Content, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| k.as_str() == Some(key))
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{key}` while deserializing {ty}")))
+}
+
+/// Splits an externally-tagged enum value into `(tag, payload)`:
+/// `"Name"` -> `("Name", None)`; `{"Name": v}` -> `("Name", Some(v))`.
+pub fn variant_parts<'a>(
+    c: &'a Content,
+    ty: &str,
+) -> Result<(&'a str, Option<&'a Content>), DeError> {
+    match c {
+        Content::Str(tag) => Ok((tag, None)),
+        Content::Map(entries) if entries.len() == 1 => {
+            let (k, v) = &entries[0];
+            let tag = k
+                .as_str()
+                .ok_or_else(|| DeError::expected("string variant tag", ty))?;
+            Ok((tag, Some(v)))
+        }
+        _ => Err(DeError::expected(
+            "variant (string or single-entry map)",
+            ty,
+        )),
+    }
+}
+
+/// Types convertible into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the serialization tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` back out of a serialization tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let raw = match *c {
+                    Content::U64(x) => x,
+                    Content::I64(x) if x >= 0 => x as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::expected("in-range unsigned integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let raw: i64 = match *c {
+                    Content::I64(x) => x,
+                    Content::U64(x) => {
+                        i64::try_from(x)
+                            .map_err(|_| DeError::expected("in-range integer", stringify!($t)))?
+                    }
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(x) => Ok(x as $t),
+                    Content::U64(x) => Ok(x as $t),
+                    Content::I64(x) => Ok(x as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_content(&(-3i64).to_content()).unwrap(), -3);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_content()).unwrap(), "hi");
+        assert_eq!(
+            Vec::<u32>::from_content(&vec![1u32, 2].to_content()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::U64(7)).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_rejected() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn variant_helpers_split_back() {
+        let unit = Content::unit_variant("A");
+        assert_eq!(variant_parts(&unit, "T").unwrap(), ("A", None));
+        let newt = Content::newtype_variant("B", Content::U64(5));
+        let (tag, payload) = variant_parts(&newt, "T").unwrap();
+        assert_eq!(tag, "B");
+        assert_eq!(payload, Some(&Content::U64(5)));
+    }
+}

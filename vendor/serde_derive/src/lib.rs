@@ -1,0 +1,418 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without syn/quote. The item's token stream is parsed structurally (just
+//! names: type, fields, variants) and the impl is generated as a source
+//! string; field *types* are never needed because the generated code relies
+//! on struct-literal type inference.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - enums with unit, tuple, and struct variants
+//!
+//! The wire shape matches serde's externally-tagged default:
+//! unit variant -> `"Name"`, newtype -> `{"Name": value}`,
+//! tuple -> `{"Name": [..]}`, struct variant -> `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the shim `serde::Serialize` (tree-building `to_content`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` (tree-reading `from_content`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl must parse"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    // Skip generics if present (none of this workspace's derived types are
+    // generic, but tolerate an empty/simple parameter list).
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => continue, // e.g. where clauses (not used here)
+            None => return Err(format!("serde shim derive: no braced body on `{name}`")),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<...>` generic
+/// arguments as nesting (delimited groups are already single trees).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Extracts the field name from `(#[attr])* (pub)? name : Type` tokens.
+fn field_name(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Ok(id.to_string()),
+            other => {
+                return Err(format!(
+                    "serde shim derive: unexpected token in field: {other:?}"
+                ))
+            }
+        }
+    }
+    Err("serde shim derive: field with no name".to_string())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(body)
+        .iter()
+        .map(|f| field_name(f))
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    split_top_level(body)
+        .into_iter()
+        .map(|tokens| {
+            let mut i = 0;
+            // Skip variant attributes (doc comments etc.).
+            while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match tokens.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => {
+                    return Err(format!(
+                        "serde shim derive: expected variant name, got {other:?}"
+                    ))
+                }
+            };
+            let kind = match tokens.get(i + 1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit, // discriminant
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(split_top_level(g.stream()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream())?)
+                }
+                other => {
+                    return Err(format!(
+                        "serde shim derive: unexpected variant shape: {other:?}"
+                    ))
+                }
+            };
+            Ok(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(serde::Content::Str({f:?}.to_string()), \
+                         serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> serde::Content {{\n\
+                         serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Content::unit_variant({vn:?}),\n")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Content::newtype_variant(\
+                             {vn:?}, serde::Serialize::to_content(__f0)),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Content::tuple_variant(\
+                                 {vn:?}, vec![{items}]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| format!("({f:?}, serde::Serialize::to_content({f})),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 serde::Content::struct_variant({vn:?}, vec![{items}]),\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> serde::Content {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_content(\
+                         serde::map_field(__m, {f:?}, {name:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &serde::Content) \
+                         -> std::result::Result<Self, serde::DeError> {{\n\
+                         let __m = __c.as_map().ok_or_else(|| \
+                             serde::DeError::expected(\"map\", {name:?}))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{vn:?} => Ok({name}::{vn}),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{vn:?} => {{\n\
+                                 let __p = __payload.ok_or_else(|| \
+                                     serde::DeError::expected(\"variant payload\", {name:?}))?;\n\
+                                 Ok({name}::{vn}(serde::Deserialize::from_content(__p)?))\n\
+                             }}\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!("serde::Deserialize::from_content(&__s[{i}])?,")
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let __p = __payload.ok_or_else(|| \
+                                         serde::DeError::expected(\"variant payload\", {name:?}))?;\n\
+                                     let __s = __p.as_seq().ok_or_else(|| \
+                                         serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                                     if __s.len() != {n} {{\n\
+                                         return Err(serde::DeError::expected(\
+                                             \"{n}-element sequence\", {name:?}));\n\
+                                     }}\n\
+                                     Ok({name}::{vn}({items}))\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_content(\
+                                         serde::map_field(__m, {f:?}, {name:?})?)?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let __p = __payload.ok_or_else(|| \
+                                         serde::DeError::expected(\"variant payload\", {name:?}))?;\n\
+                                     let __m = __p.as_map().ok_or_else(|| \
+                                         serde::DeError::expected(\"map\", {name:?}))?;\n\
+                                     Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl serde::Deserialize for {name} {{\n\
+                     fn from_content(__c: &serde::Content) \
+                         -> std::result::Result<Self, serde::DeError> {{\n\
+                         let (__tag, __payload) = serde::variant_parts(__c, {name:?})?;\n\
+                         match __tag {{\n\
+                             {arms}\
+                             __other => Err(serde::DeError::unknown_variant(__other, {name:?})),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! `to_string` / `to_string_pretty` / `from_str`, the [`Value`] tree with
+//! insertion-ordered [`Map`], and a [`json!`] macro covering object/array
+//! literals with expression values (nest further objects via inner `json!`
+//! calls — unlike upstream, raw `{..}` literals don't recurse).
+//!
+//! Numbers keep 64-bit integer precision ([`Number`] stores `u64`/`i64`/
+//! `f64` separately), so OLH seeds round-trip exactly.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+mod read;
+mod write;
+
+pub use read::from_str;
+pub use write::{to_string, to_string_pretty};
+
+/// A serialize/deserialize/parse error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (integer precision preserved).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, preserving insertion order.
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: `u64`, `i64` (negative), or `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(pub(crate) N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// As `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(x) => Some(x),
+            N::I(x) => u64::try_from(x).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(x) => i64::try_from(x).ok(),
+            N::I(x) => Some(x),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(x) => Some(x as f64),
+            N::I(x) => Some(x as f64),
+            N::F(x) => Some(x),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (like upstream's `preserve_order`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> Map<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts, replacing in place when the key exists; returns the old value.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a value by key.
+    pub fn get<Q: ?Sized>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: PartialEq,
+    {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<K, V> IntoIterator for Map<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl Value {
+    pub(crate) fn from_content(c: Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(x) => Value::Number(Number(N::U(x))),
+            Content::I64(x) => Value::Number(Number(N::I(x))),
+            Content::F64(x) => Value::Number(Number(N::F(x))),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (k, v) in entries {
+                    let key = match k {
+                        Content::Str(s) => s,
+                        other => write::to_compact_string(&other),
+                    };
+                    map.insert(key, Value::from_content(v));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+
+    pub(crate) fn into_content(self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(b),
+            Value::Number(Number(N::U(x))) => Content::U64(x),
+            Value::Number(Number(N::I(x))) => Content::I64(x),
+            Value::Number(Number(N::F(x))) => Content::F64(x),
+            Value::String(s) => Content::Str(s),
+            Value::Array(items) => {
+                Content::Seq(items.into_iter().map(Value::into_content).collect())
+            }
+            Value::Object(map) => Content::Map(
+                map.into_iter()
+                    .map(|(k, v)| (Content::Str(k), v.into_content()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Looks up `key` when this value is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements when this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        self.clone().into_content()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Value::from_content(c.clone()))
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+/// Converts any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    Value::from_content(value.to_content())
+}
+
+/// Support plumbing for the [`json!`] macro — not public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use super::to_value as value_of;
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Object values and array items may be arbitrary expressions implementing
+/// `serde::Serialize`; nest objects via inner `json!({...})` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert($key.to_string(), $crate::__private::value_of(&$value)); )*
+        $crate::Value::Object(__map)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::__private::value_of(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::__private::value_of(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({
+            "name": "felip",
+            "n": 3usize,
+            "mae": 0.25f64,
+            "ids": vec![1u32, 2, 3],
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"name":"felip","n":3,"mae":0.25,"ids":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m: Map<String, Value> = Map::new();
+        m.insert("a".into(), json!(1u32));
+        m.insert("b".into(), json!(2u32));
+        assert!(m.insert("a".into(), json!(9u32)).is_some());
+        assert_eq!(m.len(), 2);
+        assert_eq!(to_string(&Value::Object(m)).unwrap(), r#"{"a":9,"b":2}"#);
+    }
+
+    #[test]
+    fn u64_precision_survives_round_trip() {
+        let seed = u64::MAX - 3;
+        let text = to_string(&seed).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = json!({"x": [1u32, 2], "y": json!(null), "z": -4i64, "w": true});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}

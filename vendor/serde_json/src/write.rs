@@ -1,0 +1,168 @@
+//! JSON text output (compact and pretty).
+
+use serde::{Content, Serialize};
+
+use crate::Error;
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_content(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), 0, &mut out);
+    Ok(out)
+}
+
+pub(crate) fn to_compact_string(c: &Content) -> String {
+    let mut out = String::new();
+    write_compact(c, &mut out);
+    out
+}
+
+fn write_compact(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(x) => out.push_str(&x.to_string()),
+        Content::I64(x) => out.push_str(&x.to_string()),
+        Content::F64(x) => write_f64(*x, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_key(k, out);
+                out.push(':');
+                write_compact(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(c: &Content, indent: usize, out: &mut String) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                push_indent(indent + 1, out);
+                write_key(k, out);
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Map keys must render as JSON strings; stringify non-string keys.
+fn write_key(k: &Content, out: &mut String) {
+    match k {
+        Content::Str(s) => write_escaped(s, out),
+        other => write_escaped(&to_compact_string(other), out),
+    }
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Rust's shortest round-trip float formatting; force a fractional
+        // part so the value re-parses as a float, matching upstream.
+        let s = x.to_string();
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // Upstream serializes non-finite floats as null.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_textually() {
+        let mut out = String::new();
+        write_f64(0.1 + 0.2, &mut out);
+        assert_eq!(out.parse::<f64>().unwrap(), 0.1 + 0.2);
+        let mut out2 = String::new();
+        write_f64(3.0, &mut out2);
+        assert_eq!(out2, "3.0");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_escaped("a\"b\\c\nd", &mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let c = Content::Map(vec![(
+            Content::Str("k".into()),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)]),
+        )]);
+        let mut out = String::new();
+        write_pretty(&c, 0, &mut out);
+        assert_eq!(out, "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+    }
+}
