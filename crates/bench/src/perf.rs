@@ -30,8 +30,15 @@ pub const EPSILON: f64 = 1.0;
 pub struct PerfOptions {
     /// Also time the per-report scalar path and report the speedup.
     pub baseline_scalar: bool,
+    /// Measure recorder overhead (enabled vs disabled) at `d = 16384` and
+    /// write it as `BENCH_obs.json`.
+    pub obs_overhead: bool,
+    /// Enable the recorder for the sweep and print the stage-timing table.
+    pub metrics: bool,
     /// Output JSON path.
     pub out: String,
+    /// Output JSON path for the recorder-overhead measurement.
+    pub obs_out: String,
     /// Hash evaluations per measurement (`n = work / d` reports per point).
     pub work: u64,
     /// Timed repetitions per measurement (best of).
@@ -42,7 +49,10 @@ impl Default for PerfOptions {
     fn default() -> Self {
         PerfOptions {
             baseline_scalar: false,
+            obs_overhead: false,
+            metrics: false,
             out: "BENCH_ingest.json".to_string(),
+            obs_out: "BENCH_obs.json".to_string(),
             // 2^24 hash evaluations ≈ tens of ms per scalar pass: large
             // enough for stable timing, small enough for a smoke bench.
             work: 1 << 24,
@@ -52,8 +62,9 @@ impl Default for PerfOptions {
 }
 
 impl PerfOptions {
-    /// Parses `perf_smoke` flags (`--baseline-scalar`, `--out PATH`,
-    /// `--work N`, `--repeats N`).
+    /// Parses `perf_smoke` flags (`--baseline-scalar`, `--obs-overhead`,
+    /// `--metrics`, `--out PATH`, `--obs-out PATH`, `--work N`,
+    /// `--repeats N`).
     ///
     /// # Panics
     /// Panics on unknown flags or malformed values, printing usage.
@@ -63,8 +74,13 @@ impl PerfOptions {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--baseline-scalar" => opts.baseline_scalar = true,
+                "--obs-overhead" => opts.obs_overhead = true,
+                "--metrics" => opts.metrics = true,
                 "--out" => {
                     opts.out = args.next().expect("--out requires a path");
+                }
+                "--obs-out" => {
+                    opts.obs_out = args.next().expect("--obs-out requires a path");
                 }
                 "--work" => {
                     let v = args.next().expect("--work requires a number");
@@ -76,7 +92,8 @@ impl PerfOptions {
                 }
                 other => panic!(
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
-                     [--out PATH] [--work N] [--repeats N]"
+                     [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
+                     [--work N] [--repeats N]"
                 ),
             }
         }
@@ -120,20 +137,30 @@ fn best_seconds(repeats: usize, mut f: impl FnMut()) -> f64 {
 /// times ingest (support counting) + aggregate (de-biasing) through the
 /// batched kernel and, optionally, the per-report scalar path.
 pub fn measure_point(d: u32, opts: &PerfOptions) -> PerfPoint {
+    let mut point_span = felip_obs::span!("bench.point");
+    point_span.field("d", d);
     let olh = Olh::new(EPSILON, d);
     let n = ((opts.work / d as u64).max(64)) as usize;
+    point_span.field("reports", n);
     let mut rng = seeded_rng(0xBE2C ^ d as u64);
-    let reports: Vec<Report> = (0..n)
-        .map(|i| olh.perturb(i as u32 % d, &mut rng))
-        .collect();
+    let reports: Vec<Report> = {
+        let _s = felip_obs::span!("bench.perturb");
+        (0..n)
+            .map(|i| olh.perturb(i as u32 % d, &mut rng))
+            .collect()
+    };
 
-    let batched = best_seconds(opts.repeats, || {
-        let mut counts = vec![0u64; d as usize];
-        olh.accumulate_batch(black_box(&reports), &mut counts);
-        black_box(olh.estimate_from_counts(&counts, n));
-    });
+    let batched = {
+        let _s = felip_obs::span!("bench.batched");
+        best_seconds(opts.repeats, || {
+            let mut counts = vec![0u64; d as usize];
+            olh.accumulate_batch(black_box(&reports), &mut counts);
+            black_box(olh.estimate_from_counts(&counts, n));
+        })
+    };
 
     let scalar = opts.baseline_scalar.then(|| {
+        let _s = felip_obs::span!("bench.scalar");
         best_seconds(opts.repeats, || {
             let mut counts = vec![0u64; d as usize];
             for r in black_box(&reports) {
@@ -149,6 +176,82 @@ pub fn measure_point(d: u32, opts: &PerfOptions) -> PerfPoint {
         batched_reports_per_sec: n as f64 / batched,
         scalar_reports_per_sec: scalar.map(|s| n as f64 / s),
     }
+}
+
+/// Recorder-overhead measurement on the `d = 16384` batched ingest path:
+/// the same workload timed with the global recorder disabled and enabled.
+#[derive(Debug, Clone)]
+pub struct ObsOverhead {
+    /// Domain size measured (the widest smoke-bench point).
+    pub d: u32,
+    /// Reports per measurement.
+    pub n: usize,
+    /// Throughput with the recorder disabled (the default state).
+    pub disabled_reports_per_sec: f64,
+    /// Throughput with the recorder enabled and counting.
+    pub enabled_reports_per_sec: f64,
+}
+
+impl ObsOverhead {
+    /// Relative slowdown of the enabled recorder, in percent (negative
+    /// values are measurement noise: enabled ran faster).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.disabled_reports_per_sec / self.enabled_reports_per_sec - 1.0) * 100.0
+    }
+}
+
+/// Times ingest + aggregate at `d = 16384` twice — recorder disabled, then
+/// enabled — and restores the recorder to its prior state afterwards.
+///
+/// The instrumentation inside the timed region is the per-batch dispatch
+/// and report counters in [`Olh::accumulate_batch`], i.e. exactly what a
+/// production ingest pays per batch.
+pub fn measure_obs_overhead(opts: &PerfOptions) -> ObsOverhead {
+    let d = *DOMAINS.last().expect("sweep is non-empty");
+    let olh = Olh::new(EPSILON, d);
+    let n = ((opts.work / d as u64).max(64)) as usize;
+    let mut rng = seeded_rng(0xBE2C ^ d as u64);
+    let reports: Vec<Report> = (0..n)
+        .map(|i| olh.perturb(i as u32 % d, &mut rng))
+        .collect();
+
+    let was_enabled = felip_obs::global().is_enabled();
+    let timed = |on: bool| {
+        felip_obs::global().set_enabled(on);
+        best_seconds(opts.repeats, || {
+            let mut counts = vec![0u64; d as usize];
+            olh.accumulate_batch(black_box(&reports), &mut counts);
+            black_box(olh.estimate_from_counts(&counts, n));
+        })
+    };
+    let disabled = timed(false);
+    let enabled = timed(true);
+    felip_obs::global().set_enabled(was_enabled);
+
+    ObsOverhead {
+        d,
+        n,
+        disabled_reports_per_sec: n as f64 / disabled,
+        enabled_reports_per_sec: n as f64 / enabled,
+    }
+}
+
+/// Renders the overhead measurement as the `BENCH_obs.json` document.
+pub fn obs_overhead_to_json(o: &ObsOverhead, opts: &PerfOptions) -> Value {
+    json!({
+        "bench": "obs_overhead",
+        "oracle": "olh",
+        "path": "accumulate_batch + estimate_from_counts",
+        "epsilon": EPSILON,
+        "compiled_out": felip_obs::COMPILED_OUT,
+        "work_per_point": opts.work,
+        "repeats": opts.repeats,
+        "d": o.d,
+        "n": o.n,
+        "disabled_reports_per_sec": o.disabled_reports_per_sec,
+        "enabled_reports_per_sec": o.enabled_reports_per_sec,
+        "overhead_pct": o.overhead_pct(),
+    })
 }
 
 /// Renders the sweep as the `BENCH_ingest.json` document.
@@ -183,8 +286,11 @@ pub fn to_json(points: &[PerfPoint], opts: &PerfOptions) -> Value {
     })
 }
 
-/// Runs the sweep, prints a table, and writes the JSON report.
+/// Runs the sweep, prints a table, and writes the JSON report(s).
 pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
+    if opts.metrics {
+        felip_obs::enable();
+    }
     println!("perf_smoke: OLH ingest+aggregate throughput (ε = {EPSILON})");
     let mut points = Vec::new();
     for &d in &DOMAINS {
@@ -211,6 +317,27 @@ pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
         serde_json::to_string_pretty(&doc).expect("serialize"),
     )?;
     println!("wrote {}", opts.out);
+    if opts.obs_overhead {
+        let o = measure_obs_overhead(opts);
+        println!(
+            "obs overhead: d = {}  n = {}  disabled {:>12.0} rep/s  \
+             enabled {:>12.0} rep/s  overhead {:+.2}%",
+            o.d,
+            o.n,
+            o.disabled_reports_per_sec,
+            o.enabled_reports_per_sec,
+            o.overhead_pct()
+        );
+        let doc = obs_overhead_to_json(&o, opts);
+        std::fs::write(
+            &opts.obs_out,
+            serde_json::to_string_pretty(&doc).expect("serialize"),
+        )?;
+        println!("wrote {}", opts.obs_out);
+    }
+    if opts.metrics {
+        println!("{}", felip_obs::global().summary_table());
+    }
     Ok(())
 }
 
@@ -237,6 +364,34 @@ mod tests {
         assert_eq!(opts.out, "x.json");
         assert_eq!(opts.work, 1024);
         assert_eq!(opts.repeats, 2);
+    }
+
+    #[test]
+    fn obs_flags_parse() {
+        let opts = PerfOptions::from_args(
+            ["--obs-overhead", "--metrics", "--obs-out", "o.json"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(opts.obs_overhead);
+        assert!(opts.metrics);
+        assert_eq!(opts.obs_out, "o.json");
+    }
+
+    #[test]
+    fn obs_overhead_measures_both_states() {
+        let opts = PerfOptions {
+            work: 1 << 12,
+            repeats: 1,
+            ..PerfOptions::default()
+        };
+        let o = measure_obs_overhead(&opts);
+        assert!(o.disabled_reports_per_sec > 0.0);
+        assert!(o.enabled_reports_per_sec > 0.0);
+        assert!(o.overhead_pct().is_finite());
+        let doc = obs_overhead_to_json(&o, &opts);
+        assert_eq!(doc.get("d").and_then(|v| v.as_u64()), Some(16_384));
+        assert!(doc.get("overhead_pct").is_some());
     }
 
     #[test]

@@ -63,8 +63,7 @@ impl Profile {
         while let Some(a) = args.next() {
             let mut take = |name: &str| -> String {
                 args.next().unwrap_or_else(|| {
-                    eprintln!("missing value for {name}");
-                    std::process::exit(2);
+                    felip_obs::diag::usage_exit(&format!("missing value for {name}"))
                 })
             };
             match a.as_str() {
@@ -86,14 +85,11 @@ impl Profile {
                 "--seed" => p.seed = parse(&take("--seed")),
                 "--domain" => p.numerical_domain = parse(&take("--domain")),
                 "--out" => p.out_dir = Some(take("--out")),
-                other => {
-                    eprintln!(
-                        "unknown flag `{other}`\n\
-                         usage: [--quick|--full] [--n N] [--queries Q] [--repeats R] \
-                         [--seed S] [--domain D] [--out DIR]"
-                    );
-                    std::process::exit(2);
-                }
+                other => felip_obs::diag::usage_exit(&format!(
+                    "unknown flag `{other}`\n\
+                     usage: [--quick|--full] [--n N] [--queries Q] [--repeats R] \
+                     [--seed S] [--domain D] [--out DIR]"
+                )),
             }
         }
         p
@@ -113,10 +109,8 @@ impl Profile {
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> T {
-    s.parse().unwrap_or_else(|_| {
-        eprintln!("cannot parse `{s}`");
-        std::process::exit(2);
-    })
+    s.parse()
+        .unwrap_or_else(|_| felip_obs::diag::usage_exit(&format!("cannot parse `{s}`")))
 }
 
 #[cfg(test)]

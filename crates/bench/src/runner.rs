@@ -3,7 +3,7 @@
 use felip::{simulate, FelipConfig, SelectivityPrior, Strategy};
 use felip_baselines::hio::run_hio;
 use felip_baselines::tdg::{run_hdg, run_tdg};
-use felip_common::metrics::mae;
+use felip_common::metrics::try_mae;
 use felip_common::{Dataset, Query, Result};
 use felip_fo::FoKind;
 
@@ -84,6 +84,9 @@ pub fn evaluate_mae(
     selectivity_prior: f64,
     seed: u64,
 ) -> Result<f64> {
+    let mut span = felip_obs::span!("bench.evaluate");
+    span.field("strategy", strategy.to_string());
+    span.field("queries", queries.len());
     let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(dataset)).collect();
     let estimates: Vec<f64> = match strategy {
         StrategyUnderTest::Oug
@@ -113,7 +116,7 @@ pub fn evaluate_mae(
         StrategyUnderTest::Tdg => run_tdg(dataset, epsilon, seed)?.answer_all(queries)?,
         StrategyUnderTest::Hdg => run_hdg(dataset, epsilon, seed)?.answer_all(queries)?,
     };
-    Ok(mae(&estimates, &truth))
+    try_mae(&estimates, &truth)
 }
 
 #[cfg(test)]

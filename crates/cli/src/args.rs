@@ -25,6 +25,13 @@ COLSPEC (for `query`):
 WHERE (for `query`):
     a conjunction over the encoded domains, e.g.
     --where \"age BETWEEN 4 AND 11 AND education IN (0, 2)\"
+
+GLOBAL FLAGS (any subcommand):
+    --trace-out <path>   record a structured trace of the run (stage spans,
+                         per-grid AFO choices, pipeline metrics) and write it
+                         as JSON lines to <path>
+    --metrics            print a stage-timing and metric summary table to
+                         stderr when the command finishes
 ";
 
 /// Parsed `--key value` pairs.

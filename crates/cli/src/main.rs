@@ -21,13 +21,72 @@
 
 use std::process::ExitCode;
 
+use felip_obs::diag;
+
 mod args;
 mod commands;
 
+/// Global observability flags, valid on every subcommand. They are
+/// stripped from argv *before* dispatch so the subcommands' strict
+/// `--key value` flag grammar (which has no boolean flags) is unaffected.
+struct ObsFlags {
+    /// Write the JSONL trace here after the command finishes.
+    trace_out: Option<String>,
+    /// Print the metric/stage summary table to stderr at the end.
+    metrics: bool,
+}
+
+fn extract_obs_flags(argv: &mut Vec<String>) -> Result<ObsFlags, String> {
+    let mut trace_out = None;
+    let mut metrics = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--trace-out" => {
+                if i + 1 >= argv.len() {
+                    return Err("missing value for --trace-out".into());
+                }
+                trace_out = Some(argv.remove(i + 1));
+                argv.remove(i);
+            }
+            "--metrics" => {
+                metrics = true;
+                argv.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(ObsFlags { trace_out, metrics })
+}
+
+/// Writes the trace file and/or summary table the user asked for.
+fn finish_obs(obs: &ObsFlags) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(path) = &obs.trace_out {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        felip_obs::global().export_jsonl(&mut f)?;
+        f.flush()?;
+    }
+    if obs.metrics {
+        diag::line(&felip_obs::global().summary_table());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let obs = match extract_obs_flags(&mut argv) {
+        Ok(o) => o,
+        Err(msg) => {
+            diag::error(&msg);
+            return ExitCode::from(2);
+        }
+    };
+    if obs.trace_out.is_some() || obs.metrics {
+        felip_obs::enable();
+    }
     let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("{}", args::USAGE);
+        diag::line(args::USAGE);
         return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
@@ -40,14 +99,20 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => {
-            eprintln!("unknown command `{other}`\n{}", args::USAGE);
+            diag::line(&format!("unknown command `{other}`\n{}", args::USAGE));
             return ExitCode::from(2);
         }
     };
+    // Emit observability output even when the command failed — a failed
+    // run's trace is exactly the one worth reading.
+    if let Err(e) = finish_obs(&obs) {
+        diag::error(&format!("failed to write trace: {e}"));
+        return ExitCode::FAILURE;
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            diag::error(&e.to_string());
             ExitCode::FAILURE
         }
     }

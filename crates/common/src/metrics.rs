@@ -1,34 +1,64 @@
 //! Error measures used by the evaluation (§6.1).
 
+use crate::{Error, Result};
+
+fn check_answer_vectors(name: &str, estimated: &[f64], truth: &[f64]) -> Result<()> {
+    if estimated.len() != truth.len() {
+        return Err(Error::InvalidParameter(format!(
+            "mismatched answer vectors: {} estimates vs {} truths",
+            estimated.len(),
+            truth.len()
+        )));
+    }
+    if estimated.is_empty() {
+        return Err(Error::InvalidParameter(format!(
+            "{name} of an empty query set"
+        )));
+    }
+    Ok(())
+}
+
 /// Mean Absolute Error between estimated and true answers:
 /// `MAE = (1/|Q|) Σ |f_q − f̄_q|`.
 ///
 /// # Panics
 /// Panics when the slices have different lengths or are empty — a malformed
-/// experiment, not a runtime condition.
+/// experiment, not a runtime condition. Harness code assembling the vectors
+/// at runtime should prefer [`try_mae`].
 pub fn mae(estimated: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
-    assert!(!estimated.is_empty(), "MAE of an empty query set");
-    estimated
+    try_mae(estimated, truth).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`mae`]: returns `Err` on mismatched lengths or empty input.
+pub fn try_mae(estimated: &[f64], truth: &[f64]) -> Result<f64> {
+    check_answer_vectors("MAE", estimated, truth)?;
+    Ok(estimated
         .iter()
         .zip(truth)
         .map(|(e, t)| (e - t).abs())
         .sum::<f64>()
-        / estimated.len() as f64
+        / estimated.len() as f64)
 }
 
 /// Root Mean Squared Error. Punishes outliers more than [`mae`]; reported in
 /// some ablations.
+///
+/// # Panics
+/// Panics under the same conditions as [`mae`]; see [`try_rmse`].
 pub fn rmse(estimated: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(estimated.len(), truth.len(), "mismatched answer vectors");
-    assert!(!estimated.is_empty(), "RMSE of an empty query set");
+    try_rmse(estimated, truth).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`rmse`]: returns `Err` on mismatched lengths or empty input.
+pub fn try_rmse(estimated: &[f64], truth: &[f64]) -> Result<f64> {
+    check_answer_vectors("RMSE", estimated, truth)?;
     let mse = estimated
         .iter()
         .zip(truth)
         .map(|(e, t)| (e - t) * (e - t))
         .sum::<f64>()
         / estimated.len() as f64;
-    mse.sqrt()
+    Ok(mse.sqrt())
 }
 
 /// Mean of a slice (0 for empty input). Convenience for aggregating repeated
@@ -84,6 +114,22 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn mae_rejects_empty() {
         mae(&[], &[]);
+    }
+
+    #[test]
+    fn try_variants_mirror_panicking_ones() {
+        let e = [0.1, 0.5];
+        let t = [0.2, 0.3];
+        assert_eq!(try_mae(&e, &t).unwrap(), mae(&e, &t));
+        assert_eq!(try_rmse(&e, &t).unwrap(), rmse(&e, &t));
+    }
+
+    #[test]
+    fn try_variants_report_errors() {
+        let err = try_mae(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert!(err.to_string().contains("mismatched"), "{err}");
+        let err = try_rmse(&[], &[]).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
     }
 
     #[test]

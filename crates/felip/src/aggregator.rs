@@ -164,6 +164,9 @@ impl Aggregator {
                 self.plan.num_groups()
             )));
         }
+        // One relaxed fetch_add per report — negligible next to the oracle
+        // accumulate walk this path already pays per report.
+        felip_obs::counter!("felip.ingest.reports", 1, "reports");
         self.oracles
             .get(g)
             .accumulate(&report.report, &mut self.counts[g]);
@@ -187,6 +190,8 @@ impl Aggregator {
                 self.plan.num_groups()
             )));
         }
+        felip_obs::counter!("felip.ingest.batches", 1, "batches");
+        felip_obs::counter!("felip.ingest.reports", reports.len(), "reports");
         self.oracles
             .get(group)
             .accumulate_batch(reports, &mut self.counts[group]);
@@ -244,6 +249,8 @@ impl Aggregator {
     /// (consistency + non-negativity, §5.4), and returns the query-answering
     /// [`Estimator`].
     pub fn estimate(&self) -> Result<Estimator> {
+        let mut span = felip_obs::span!("estimate");
+        span.field("reports", self.reports_ingested());
         if self.reports_ingested() == 0 {
             return Err(Error::InvalidParameter("no reports ingested".into()));
         }

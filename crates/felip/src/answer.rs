@@ -71,8 +71,10 @@ impl Estimator {
             .expect("matrix cache poisoned")
             .get(&(i, j))
         {
+            felip_obs::counter!("felip.answer.matrix_cache_hits", 1);
             return Ok(Arc::clone(m));
         }
+        felip_obs::counter!("felip.answer.matrix_cache_misses", 1);
         let schema = self.plan.schema();
         let pair_idx = self.plan.grid_index(GridId::Two(i, j)).ok_or_else(|| {
             Error::InvalidQuery(format!("no grid planned for attribute pair ({i}, {j})"))
@@ -117,6 +119,8 @@ impl Estimator {
     /// * λ ≥ 3 — split into `C(λ, 2)` 2-D queries answered from response
     ///   matrices, then fitted with Algorithm 4.
     pub fn answer(&self, query: &Query) -> Result<f64> {
+        let mut span = felip_obs::span!("answer");
+        span.field("lambda", query.predicates().len());
         // Re-validate against this plan's schema (queries are cheap to check
         // and may originate elsewhere).
         let query = Query::new(self.plan.schema(), query.predicates().to_vec())?;

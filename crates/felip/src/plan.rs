@@ -84,6 +84,7 @@ impl CollectionPlan {
         assignment_seed: u64,
         weights: Option<&[Option<Vec<f64>>]>,
     ) -> Result<Self> {
+        let mut span = felip_obs::span!("plan");
         config.validate(schema)?;
         if n == 0 {
             return Err(felip_common::Error::InvalidParameter(
@@ -92,10 +93,21 @@ impl CollectionPlan {
         }
         let ids = Self::grid_ids(schema, config.strategy);
         let m = ids.len();
+        span.field("grids", m);
+        span.field("n", n);
 
         let mut grids = Vec::with_capacity(m);
-        for id in ids {
+        for (index, id) in ids.into_iter().enumerate() {
             let spec = Self::size_one_grid(schema, n, m, config, id, weights)?;
+            felip_obs::event(
+                "plan.grid",
+                &[
+                    ("index", index.into()),
+                    ("grid", id.to_string().into()),
+                    ("cells", spec.num_cells().into()),
+                    ("fo", spec.fo.to_string().into()),
+                ],
+            );
             grids.push(spec);
         }
         Ok(CollectionPlan {
@@ -213,6 +225,9 @@ impl CollectionPlan {
                     let _ = choose_oracle(config.epsilon, size_grr.cells());
                     FoKind::Grr
                 } else {
+                    // `choose_oracle` is not consulted on this branch, so
+                    // record the per-grid decision for the AFO counters here.
+                    felip_obs::counter!("fo.afo.chose_olh", 1, "grids");
                     FoKind::Olh
                 }
             }

@@ -36,11 +36,16 @@ impl std::fmt::Display for FoKind {
 /// The AFO rule: the variance-minimising protocol for a grid with `cells`
 /// cells under budget `epsilon`.
 pub fn choose_oracle(epsilon: f64, cells: u32) -> FoKind {
-    if grr_variance_factor(epsilon, cells) <= olh_variance_factor(epsilon) {
+    let kind = if grr_variance_factor(epsilon, cells) <= olh_variance_factor(epsilon) {
         FoKind::Grr
     } else {
         FoKind::Olh
+    };
+    match kind {
+        FoKind::Grr => felip_obs::counter!("fo.afo.chose_grr", 1, "grids"),
+        FoKind::Olh => felip_obs::counter!("fo.afo.chose_olh", 1, "grids"),
     }
+    kind
 }
 
 /// Instantiates the chosen protocol as a boxed [`FrequencyOracle`].

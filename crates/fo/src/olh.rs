@@ -49,6 +49,24 @@ type UnpackedReport = (u64, u32, u32);
 /// All tallies are exact `u64` additions and the interval test is exactly
 /// the bucket comparison, so any lane/evaluation order gives bit-identical
 /// counts to the scalar [`FrequencyOracle::accumulate`] path.
+/// The support-counting kernel the current machine dispatches to:
+/// `"avx512dq"`, `"avx2"`, or `"scalar-grouped"`. Purely informational —
+/// the decision itself is re-made per block inside
+/// [`support_count_block`] (the detection macro caches, so this costs one
+/// cached lookup).
+pub fn kernel_dispatch_path() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512dq") {
+            return "avx512dq";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    "scalar-grouped"
+}
+
 fn support_count_block(pairs: &[UnpackedReport], base: u32, block: &mut [u64]) {
     let mut keys = [0u64; BLOCK_VALUES];
     let keys = &mut keys[..block.len()];
@@ -258,6 +276,14 @@ impl FrequencyOracle for Olh {
     }
 
     fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) {
+        // One counter bump per *batch* (not per report), so the hot loop
+        // below stays untouched.
+        match kernel_dispatch_path() {
+            "avx512dq" => felip_obs::counter!("fo.olh.batch.avx512dq", 1, "batches"),
+            "avx2" => felip_obs::counter!("fo.olh.batch.avx2", 1, "batches"),
+            _ => felip_obs::counter!("fo.olh.batch.scalar", 1, "batches"),
+        }
+        felip_obs::counter!("fo.olh.batch.reports", reports.len(), "reports");
         // Like `accumulate`, the count-vector width (not `self.domain`)
         // defines the value range counted over.
         let pairs = self.unpack_reports(reports);

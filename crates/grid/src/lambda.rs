@@ -103,7 +103,10 @@ pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64
         );
     }
     let mut z = vec![1.0 / size as f64; size];
+    let mut sweeps: u64 = 0;
+    let mut residual = 0.0;
     for _ in 0..MAX_SWEEPS {
+        sweeps += 1;
         let mut change = 0.0;
         for p in constraints {
             // Soft-clamp away from exact 0/1: a hard-zero target makes the
@@ -151,10 +154,13 @@ pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64
                 *v = new;
             }
         }
+        residual = change;
         if change < threshold {
             break;
         }
     }
+    felip_obs::hist!("grid.ipf.sweeps", sweeps, "sweeps");
+    felip_obs::gauge_f64!("grid.ipf.residual", residual);
     z
 }
 

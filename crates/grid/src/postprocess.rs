@@ -36,35 +36,39 @@ pub fn norm_sub(freqs: &mut [f64], target: f64) {
     if freqs.is_empty() {
         return;
     }
-    for _ in 0..MAX_NORM_SUB_ITERS {
+    // Accumulated locally across sweeps; one counter add per call.
+    let mut clipped: u64 = 0;
+    'sweeps: for _ in 0..MAX_NORM_SUB_ITERS {
         for f in freqs.iter_mut() {
             if *f < 0.0 {
                 *f = 0.0;
+                clipped += 1;
             }
         }
         let positive: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0.0).collect();
         if positive.is_empty() {
             let u = target / freqs.len() as f64;
             freqs.iter_mut().for_each(|f| *f = u);
-            return;
+            break 'sweeps;
         }
         let sum: f64 = positive.iter().map(|&i| freqs[i]).sum();
         let diff = (target - sum) / positive.len() as f64;
         if diff.abs() < 1e-12 {
-            return;
+            break 'sweeps;
         }
         for &i in &positive {
             freqs[i] += diff;
         }
         // Adding a non-negative diff cannot create negatives: done.
         if diff >= 0.0 {
-            return;
+            break 'sweeps;
         }
         // Negative diff may have pushed small entries below zero → sweep again.
         if freqs.iter().all(|&f| f >= 0.0) {
-            return;
+            break 'sweeps;
         }
     }
+    felip_obs::counter!("grid.normsub.clipped_cells", clipped, "cells");
 }
 
 /// Algorithm 2 (generalised): makes the mass each grid implies for every
@@ -145,6 +149,7 @@ pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_varian
     }
 
     // Weighted-average mass per subdomain, then per-grid cell corrections.
+    let mut mass_moved = 0.0f64;
     for i in 0..n_subs {
         let mut num = 0.0;
         let mut den = 0.0;
@@ -170,6 +175,7 @@ pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_varian
                 phi_sq += phi * phi;
             }
             let delta = s_avg - s_j;
+            mass_moved += delta.abs();
             // Distribute the correction with per-cell weights φ/Σφ², so the
             // implied subdomain mass moves by exactly `delta` (each cell's
             // contribution is re-scaled by its own φ): Σ φ·(δφ/Σφ²) = δ.
@@ -180,6 +186,13 @@ pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_varian
             }
         }
     }
+    // Total |mass| the alignment moved across all grids, in parts per
+    // million (one histogram observation per call — i.e. per attribute).
+    felip_obs::hist!(
+        "grid.consistency.mass_moved_ppm",
+        (mass_moved * 1e6) as u64,
+        "ppm"
+    );
 }
 
 /// Adds `delta` to the total mass of the cells of `grid` whose coordinate
@@ -238,6 +251,7 @@ pub fn post_process(
     cell_variances: &[f64],
     rounds: usize,
 ) {
+    let _span = felip_obs::span!("postprocess");
     for _ in 0..rounds {
         for attr in 0..num_attrs {
             enforce_consistency(grids, attr, cell_variances);

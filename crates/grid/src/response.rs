@@ -51,6 +51,7 @@ impl ResponseMatrix {
         related: &[&EstimatedGrid],
         threshold: f64,
     ) -> Self {
+        let _span = felip_obs::span!("response_matrix");
         assert!(
             !related.is_empty(),
             "response matrix needs at least one related grid"
@@ -108,7 +109,9 @@ impl ResponseMatrix {
             }
         }
 
+        let mut sweeps: u64 = 0;
         for _ in 0..MAX_SWEEPS {
+            sweeps += 1;
             let mut change = 0.0;
             for c in &constraints {
                 let mut s = 0.0;
@@ -139,6 +142,7 @@ impl ResponseMatrix {
                 break;
             }
         }
+        felip_obs::hist!("grid.response.sweeps", sweeps, "sweeps");
 
         ResponseMatrix {
             attr_i,

@@ -1,0 +1,37 @@
+//! The workspace's single human-diagnostics output path.
+//!
+//! Binaries route usage errors and progress notes through these helpers
+//! instead of scattering `eprintln!` calls, so diagnostics have one
+//! consistent shape and traces (stdout/JSONL) stay machine-parseable.
+
+use std::io::Write;
+
+/// Writes one diagnostic line to stderr.
+pub fn line(msg: &str) {
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{msg}");
+}
+
+/// Writes a formatted error with an `error:` prefix.
+pub fn error(msg: &str) {
+    line(&format!("error: {msg}"));
+}
+
+/// Prints `msg` (typically usage text) and exits with status 2, the
+/// conventional bad-invocation code.
+pub fn usage_exit(msg: &str) -> ! {
+    line(msg);
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    // `line`/`error` only append to stderr; there is nothing to assert
+    // without capturing the process's own stderr. `usage_exit` terminates
+    // the process and is covered by the CLI integration tests.
+    #[test]
+    fn diag_line_does_not_panic() {
+        super::line("diag self-test");
+        super::error("diag self-test");
+    }
+}

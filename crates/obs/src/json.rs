@@ -1,0 +1,111 @@
+//! Minimal JSON serialization helpers for the JSONL trace exporter.
+//!
+//! Hand-rolled on purpose: the workspace vendors its dependencies, and the
+//! trace format only needs objects, strings, integers, floats, bools and
+//! null. `serde_json` (the vendored shim) is used in *tests* to prove the
+//! output parses.
+
+use crate::metrics::Value;
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values have no JSON encoding
+/// and are emitted as `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `format!` prints integral floats without a point; keep the type
+        // visible to readers expecting a float field.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends a [`Value`] in its natural JSON form.
+pub(crate) fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => push_f64(out, *f),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Str(s) => push_str(out, s),
+    }
+}
+
+/// Appends a `"key":value` list (no surrounding braces) for a field set,
+/// prefixing each pair with a comma. Used to extend an already-open object.
+pub(crate) fn push_fields(out: &mut String, fields: &[(&'static str, Value)]) {
+    for (k, v) in fields {
+        out.push(',');
+        push_str(out, k);
+        out.push(':');
+        push_value(out, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        push_f64(&mut out, 3.0);
+        assert_eq!(out, "3.0");
+        out.clear();
+        push_f64(&mut out, 0.25);
+        assert_eq!(out, "0.25");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+    }
+
+    #[test]
+    fn values_serialize_naturally() {
+        let cases: Vec<(Value, &str)> = vec![
+            (Value::U64(7), "7"),
+            (Value::I64(-2), "-2"),
+            (Value::Bool(true), "true"),
+            (Value::Str("hi".into()), "\"hi\""),
+        ];
+        for (v, want) in cases {
+            let mut out = String::new();
+            push_value(&mut out, &v);
+            assert_eq!(out, want);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Hierarchical span timers and point events.
+//!
+//! A span is opened with [`Recorder::span`] and closed by dropping the
+//! returned [`SpanGuard`]. Nesting is tracked per thread: a span opened
+//! while another is live on the same thread records it as its parent. Work
+//! fanned out to other threads (rayon shards) keeps the hierarchy via
+//! [`Recorder::span_child`], which takes the parent id explicitly —
+//! [`SpanGuard::id`] hands it out for capture by worker closures.
+//!
+//! Completed spans are appended to the recorder's span log under a mutex;
+//! spans mark *stages*, not per-report work, so the log is touched a
+//! handful of times per pipeline run.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::Value;
+use crate::Recorder;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide).
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Stage name.
+    pub name: &'static str,
+    /// Thread the span ran on.
+    pub thread: String,
+    /// Start, nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attached fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// A recorded point event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Timestamp, nanoseconds since the recorder's epoch.
+    pub t_ns: u64,
+    /// Attached fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Aggregated per-stage timing (see [`Recorder::span_totals`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTotal {
+    /// Stage name.
+    pub name: &'static str,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Ids of the spans currently live on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Clears this thread's span stack (used by [`Recorder::reset`] so a
+/// leaked guard from a failed test cannot corrupt later nesting).
+pub(crate) fn reset_thread_stack() {
+    SPAN_STACK.with(|s| s.borrow_mut().clear());
+}
+
+/// RAII guard for a live span; records on drop. Inert (and nearly free)
+/// when the recorder is disabled.
+pub struct SpanGuard<'r> {
+    /// `None` ⇔ the recorder was disabled at open time.
+    rec: Option<&'r Recorder>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// The span's id, for explicit parenting across threads. `None` when
+    /// the recorder is disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.rec.map(|_| self.id)
+    }
+
+    /// Attaches a field to the span (recorded at close).
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if self.rec.is_some() {
+            self.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec.take() else {
+            return;
+        };
+        let dur_ns = rec.now_ns().saturating_sub(self.start_ns);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop back to (and including) this span; tolerates guards
+            // dropped out of order after a panic unwound past children.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.truncate(pos);
+            }
+        });
+        rec.spans
+            .lock()
+            .expect("span log poisoned")
+            .push(SpanRecord {
+                id: self.id,
+                parent: self.parent,
+                name: self.name,
+                thread: thread_label(),
+                start_ns: self.start_ns,
+                dur_ns,
+                fields: std::mem::take(&mut self.fields),
+            });
+    }
+}
+
+fn thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", t.id()),
+    }
+}
+
+impl Recorder {
+    /// Opens a span named `name`, parented to the innermost span live on
+    /// this thread (if any).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let parent = if self.is_enabled() {
+            SPAN_STACK.with(|s| s.borrow().last().copied())
+        } else {
+            None
+        };
+        self.open(name, parent)
+    }
+
+    /// Opens a span with an explicit parent id — the cross-thread form for
+    /// work fanned out to shards (`parent` captured from
+    /// [`SpanGuard::id`] on the coordinating thread).
+    pub fn span_child(&self, name: &'static str, parent: Option<u64>) -> SpanGuard<'_> {
+        self.open(name, parent)
+    }
+
+    fn open(&self, name: &'static str, parent: Option<u64>) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard {
+                rec: None,
+                id: 0,
+                parent: None,
+                name,
+                start_ns: 0,
+                fields: Vec::new(),
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            rec: Some(self),
+            id,
+            parent,
+            name,
+            start_ns: self.now_ns(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Records a point event with fields; a no-op while disabled.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let record = EventRecord {
+            name,
+            t_ns: self.now_ns(),
+            fields: fields.to_vec(),
+        };
+        self.events.lock().expect("event log poisoned").push(record);
+    }
+
+    /// Per-stage aggregates over all completed spans, ordered by summed
+    /// duration (longest first).
+    pub fn span_totals(&self) -> Vec<SpanTotal> {
+        let mut totals: Vec<SpanTotal> = Vec::new();
+        for s in self.spans.lock().expect("span log poisoned").iter() {
+            match totals.iter_mut().find(|t| t.name == s.name) {
+                Some(t) => {
+                    t.count += 1;
+                    t.total_ns += s.dur_ns;
+                    t.max_ns = t.max_ns.max(s.dur_ns);
+                }
+                None => totals.push(SpanTotal {
+                    name: s.name,
+                    count: 1,
+                    total_ns: s.dur_ns,
+                    max_ns: s.dur_ns,
+                }),
+            }
+        }
+        totals.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+        totals
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let outer = rec.span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = rec.span("inner");
+                assert_eq!(inner.parent, Some(outer_id));
+                let leaf = rec.span("leaf");
+                assert_eq!(leaf.parent, inner.id());
+            }
+            let sibling = rec.span("sibling");
+            assert_eq!(sibling.parent, Some(outer_id));
+        }
+        let spans = rec.finished_spans();
+        // Completion order: innermost first.
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["leaf", "inner", "sibling", "outer"]);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.parent, None);
+        for s in &spans {
+            assert!(s.start_ns <= outer.start_ns + outer.dur_ns + 1);
+        }
+    }
+
+    #[test]
+    fn explicit_parenting_crosses_threads() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        let parent_id;
+        {
+            let parent = rec.span("collect");
+            parent_id = parent.id();
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let child = rec.span_child("ingest", parent_id);
+                    assert_eq!(child.parent, parent_id);
+                });
+            });
+        }
+        let spans = rec.finished_spans();
+        let ingest = spans.iter().find(|s| s.name == "ingest").unwrap();
+        assert_eq!(ingest.parent, parent_id);
+        assert_ne!(
+            ingest.thread,
+            spans.iter().find(|s| s.name == "collect").unwrap().thread
+        );
+    }
+
+    #[test]
+    fn fields_are_recorded() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let mut s = rec.span("stage");
+            s.field("iterations", 12u64);
+            s.field("kind", "OLH");
+        }
+        let spans = rec.finished_spans();
+        assert_eq!(spans[0].fields.len(), 2);
+        assert_eq!(spans[0].fields[0], ("iterations", Value::U64(12)));
+        assert_eq!(spans[0].fields[1], ("kind", Value::Str("OLH".into())));
+    }
+
+    #[test]
+    fn events_carry_timestamp_and_fields() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.event(
+            "afo.choice",
+            &[("grid", Value::U64(3)), ("fo", Value::Str("GRR".into()))],
+        );
+        let events = rec.finished_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "afo.choice");
+        assert_eq!(events[0].fields[0].0, "grid");
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_name() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        for _ in 0..3 {
+            drop(rec.span("repeated"));
+        }
+        drop(rec.span("once"));
+        let totals = rec.span_totals();
+        let rep = totals.iter().find(|t| t.name == "repeated").unwrap();
+        assert_eq!(rep.count, 3);
+        assert!(rep.total_ns >= rep.max_ns);
+        assert_eq!(totals.iter().find(|t| t.name == "once").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let rec = Recorder::new();
+        {
+            let mut s = rec.span("quiet");
+            assert_eq!(s.id(), None);
+            s.field("dropped", 1u64);
+        }
+        assert!(rec.finished_spans().is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Trace export (JSON lines) and the human-readable summary table.
+//!
+//! JSONL record shapes, one object per line, discriminated by `"t"`:
+//!
+//! * `{"t":"meta","version":1,"compiled_out":bool}` — first line.
+//! * `{"t":"span","id":N,"parent":N|null,"name":"...","thread":"...",
+//!   "start_ns":N,"dur_ns":N, ...fields}` — sorted by `start_ns`.
+//! * `{"t":"event","name":"...","t_ns":N, ...fields}`
+//! * `{"t":"metric","name":"...","kind":"counter|gauge|histogram",
+//!   "unit":"...", value...}` where `value...` is `"value":N` for
+//!   counters/gauges and `"count"/"sum"/"min"/"max"/"mean"/"p50"/"p90"/
+//!   "p99"` for histograms.
+
+use std::io::{self, Write};
+
+use crate::json;
+use crate::metrics::MetricValue;
+use crate::Recorder;
+
+/// JSONL schema version, bumped on incompatible shape changes.
+const TRACE_VERSION: u64 = 1;
+
+impl Recorder {
+    /// Writes the full trace — meta line, spans (by start time), events,
+    /// metric snapshots — as JSON lines.
+    pub fn export_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        let mut line = String::new();
+
+        line.push_str("{\"t\":\"meta\",\"version\":");
+        line.push_str(&TRACE_VERSION.to_string());
+        line.push_str(",\"compiled_out\":");
+        line.push_str(if crate::COMPILED_OUT { "true" } else { "false" });
+        line.push_str("}\n");
+        out.write_all(line.as_bytes())?;
+
+        let mut spans = self.finished_spans();
+        spans.sort_by_key(|s| s.start_ns);
+        for s in &spans {
+            line.clear();
+            line.push_str("{\"t\":\"span\",\"id\":");
+            line.push_str(&s.id.to_string());
+            line.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => line.push_str(&p.to_string()),
+                None => line.push_str("null"),
+            }
+            line.push_str(",\"name\":");
+            json::push_str(&mut line, s.name);
+            line.push_str(",\"thread\":");
+            json::push_str(&mut line, &s.thread);
+            line.push_str(",\"start_ns\":");
+            line.push_str(&s.start_ns.to_string());
+            line.push_str(",\"dur_ns\":");
+            line.push_str(&s.dur_ns.to_string());
+            json::push_fields(&mut line, &s.fields);
+            line.push_str("}\n");
+            out.write_all(line.as_bytes())?;
+        }
+
+        for e in &self.finished_events() {
+            line.clear();
+            line.push_str("{\"t\":\"event\",\"name\":");
+            json::push_str(&mut line, e.name);
+            line.push_str(",\"t_ns\":");
+            line.push_str(&e.t_ns.to_string());
+            json::push_fields(&mut line, &e.fields);
+            line.push_str("}\n");
+            out.write_all(line.as_bytes())?;
+        }
+
+        for m in &self.metric_snapshots() {
+            line.clear();
+            line.push_str("{\"t\":\"metric\",\"name\":");
+            json::push_str(&mut line, m.name);
+            line.push_str(",\"kind\":");
+            json::push_str(&mut line, m.kind.as_str());
+            line.push_str(",\"unit\":");
+            json::push_str(&mut line, m.unit);
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    line.push_str(",\"value\":");
+                    line.push_str(&v.to_string());
+                }
+                MetricValue::GaugeF64(v) => {
+                    line.push_str(",\"value\":");
+                    json::push_f64(&mut line, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    line.push_str(",\"count\":");
+                    line.push_str(&h.count.to_string());
+                    line.push_str(",\"sum\":");
+                    line.push_str(&h.sum.to_string());
+                    line.push_str(",\"min\":");
+                    line.push_str(&h.min.to_string());
+                    line.push_str(",\"max\":");
+                    line.push_str(&h.max.to_string());
+                    line.push_str(",\"mean\":");
+                    json::push_f64(&mut line, h.mean());
+                    for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+                        line.push_str(",\"");
+                        line.push_str(label);
+                        line.push_str("\":");
+                        json::push_f64(&mut line, h.percentile(p));
+                    }
+                }
+            }
+            line.push_str("}\n");
+            out.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Renders stage timings and metric values as an aligned text table.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        let totals = self.span_totals();
+        if !totals.is_empty() {
+            out.push_str("stage timings\n");
+            out.push_str(&format!(
+                "  {:<24} {:>7} {:>12} {:>12}\n",
+                "span", "count", "total", "max"
+            ));
+            for t in &totals {
+                out.push_str(&format!(
+                    "  {:<24} {:>7} {:>12} {:>12}\n",
+                    t.name,
+                    t.count,
+                    fmt_ns(t.total_ns),
+                    fmt_ns(t.max_ns)
+                ));
+            }
+        }
+        let metrics = self.metric_snapshots();
+        let mut wrote_header = false;
+        for m in &metrics {
+            let rendered = match &m.value {
+                MetricValue::Counter(0) | MetricValue::Gauge(0) => continue,
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => v.to_string(),
+                MetricValue::GaugeF64(v) if *v == 0.0 => continue,
+                MetricValue::GaugeF64(v) => format!("{v:.6}"),
+                MetricValue::Histogram(h) if h.count == 0 => continue,
+                MetricValue::Histogram(h) => format!(
+                    "n={} mean={:.1} p50={:.0} p99={:.0} max={}",
+                    h.count,
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(99.0),
+                    h.max
+                ),
+            };
+            if !wrote_header {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                out.push_str("metrics\n");
+                wrote_header = true;
+            }
+            let unit = if m.unit.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", m.unit)
+            };
+            out.push_str(&format!("  {:<40} {}{}\n", m.name, rendered, unit));
+        }
+        if out.is_empty() {
+            out.push_str("(no observability data recorded)\n");
+        }
+        out
+    }
+}
+
+/// Nanoseconds as a human-scaled duration.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(all(test, not(feature = "noop")))]
+mod tests {
+    use super::*;
+    use crate::metrics::{CallsiteId, MetricKind};
+    use crate::Value;
+
+    fn populated_recorder() -> Recorder {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let mut outer = rec.span("simulate");
+            outer.field("grids", 4u64);
+            let _inner = rec.span("collect");
+            rec.event(
+                "plan.grid",
+                &[
+                    ("grid", Value::Str("0x1".into())),
+                    ("cells", Value::U64(64)),
+                ],
+            );
+        }
+        static C: CallsiteId = CallsiteId::new("export.reports", MetricKind::Counter, "reports");
+        static G: CallsiteId = CallsiteId::new("export.residual", MetricKind::GaugeF64, "");
+        static H: CallsiteId = CallsiteId::new("export.sweeps", MetricKind::Histogram, "sweeps");
+        rec.counter_add(&C, 41);
+        rec.gauge_set(&G, f64::to_bits(0.5));
+        for v in [3u64, 4, 5] {
+            rec.hist_record(&H, v);
+        }
+        rec
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde_json() {
+        let rec = populated_recorder();
+        let mut buf = Vec::new();
+        rec.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines.len() >= 1 + 2 + 1 + 3,
+            "unexpectedly few lines:\n{text}"
+        );
+
+        let mut kinds = Vec::new();
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"));
+            assert!(v.as_object().is_some(), "each line is an object");
+            kinds.push(v["t"].as_str().unwrap().to_string());
+        }
+        assert_eq!(kinds[0], "meta");
+        assert!(kinds.iter().any(|k| k == "span"));
+        assert!(kinds.iter().any(|k| k == "event"));
+        assert!(kinds.iter().any(|k| k == "metric"));
+    }
+
+    #[test]
+    fn jsonl_span_parenting_and_fields_survive() {
+        let rec = populated_recorder();
+        let mut buf = Vec::new();
+        rec.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        let spans: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["t"] == "span")
+            .collect();
+        let outer = spans.iter().find(|s| s["name"] == "simulate").unwrap();
+        let inner = spans.iter().find(|s| s["name"] == "collect").unwrap();
+        assert!(outer["parent"].is_null());
+        assert_eq!(inner["parent"], outer["id"]);
+        assert_eq!(outer["grids"], 4);
+        // Spans are sorted by start time: outer starts first.
+        assert!(outer["start_ns"].as_u64().unwrap() <= inner["start_ns"].as_u64().unwrap());
+    }
+
+    #[test]
+    fn jsonl_metrics_carry_units_and_histogram_stats() {
+        let rec = populated_recorder();
+        let mut buf = Vec::new();
+        rec.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        let metrics: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .filter(|v: &serde_json::Value| v["t"] == "metric")
+            .collect();
+        let c = metrics
+            .iter()
+            .find(|m| m["name"] == "export.reports")
+            .unwrap();
+        assert_eq!(c["kind"], "counter");
+        assert_eq!(c["unit"], "reports");
+        assert_eq!(c["value"], 41);
+        let h = metrics
+            .iter()
+            .find(|m| m["name"] == "export.sweeps")
+            .unwrap();
+        assert_eq!(h["count"], 3);
+        assert_eq!(h["sum"], 12);
+        assert_eq!(h["min"], 3);
+        assert_eq!(h["max"], 5);
+        assert!(h["mean"].as_f64().unwrap() > 3.9 && h["mean"].as_f64().unwrap() < 4.1);
+        assert!(h["p99"].as_f64().unwrap() <= 5.0);
+    }
+
+    #[test]
+    fn summary_table_lists_stages_and_metrics() {
+        let rec = populated_recorder();
+        let table = rec.summary_table();
+        assert!(table.contains("simulate"), "{table}");
+        assert!(table.contains("collect"), "{table}");
+        assert!(table.contains("export.reports"), "{table}");
+        assert!(table.contains("41"), "{table}");
+    }
+
+    #[test]
+    fn empty_recorder_summary_says_so() {
+        let rec = Recorder::new();
+        assert!(rec.summary_table().contains("no observability data"));
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}
