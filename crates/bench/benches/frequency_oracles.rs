@@ -43,14 +43,14 @@ fn bench_aggregate(c: &mut Criterion) {
             .map(|i| grr.perturb(i as u32 % d, &mut rng))
             .collect();
         g.bench_with_input(BenchmarkId::new("grr", d), &d, |b, _| {
-            b.iter(|| grr.aggregate(black_box(&grr_reports)))
+            b.iter(|| grr.aggregate(black_box(&grr_reports)).unwrap())
         });
         let olh = Olh::new(eps, d);
         let olh_reports: Vec<_> = (0..n)
             .map(|i| olh.perturb(i as u32 % d, &mut rng))
             .collect();
         g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
-            b.iter(|| olh.aggregate(black_box(&olh_reports)))
+            b.iter(|| olh.aggregate(black_box(&olh_reports)).unwrap())
         });
     }
     g.finish();
@@ -65,7 +65,7 @@ fn bench_streaming_accumulate(c: &mut Criterion) {
         let report = olh.perturb(1, &mut rng);
         let mut counts = vec![0u64; d as usize];
         g.bench_with_input(BenchmarkId::new("olh", d), &d, |b, _| {
-            b.iter(|| olh.accumulate(black_box(&report), &mut counts))
+            b.iter(|| olh.accumulate(black_box(&report), &mut counts).unwrap())
         });
     }
     g.finish();

@@ -55,7 +55,7 @@ pub fn afo_crossover(profile: &Profile) -> std::io::Result<()> {
                     .iter()
                     .map(|&v| oracle.perturb(v, &mut rng))
                     .collect();
-                let est = oracle.aggregate(&reports);
+                let est = oracle.aggregate(&reports).unwrap();
                 let m = mae(&est, &truth);
                 sink.row(&format!(
                     "{eps},{cells},{name},{m:.6},{:.3e}",
@@ -109,7 +109,7 @@ pub fn ablation_partitioning(profile: &Profile) -> std::io::Result<()> {
             let reports: Vec<_> = (0..n / m)
                 .map(|_| full.perturb(sample(&mut rng), &mut rng))
                 .collect();
-            let est = full.aggregate(&reports);
+            let est = full.aggregate(&reports).unwrap();
             sink.row(&format!(
                 "{proto},{m},divide-users,{:.6}",
                 mae(&est, &truth)
@@ -121,7 +121,7 @@ pub fn ablation_partitioning(profile: &Profile) -> std::io::Result<()> {
             let reports: Vec<_> = (0..n)
                 .map(|_| split.perturb(sample(&mut rng), &mut rng))
                 .collect();
-            let est = split.aggregate(&reports);
+            let est = split.aggregate(&reports).unwrap();
             sink.row(&format!(
                 "{proto},{m},split-budget,{:.6}",
                 mae(&est, &truth)
@@ -333,7 +333,7 @@ pub fn sw_vs_olh(profile: &Profile) -> std::io::Result<()> {
         // OLH over the raw 64-value domain + norm-sub.
         let olh = Olh::new(eps, d);
         let reports: Vec<_> = values.iter().map(|&v| olh.perturb(v, &mut rng)).collect();
-        let mut est = olh.aggregate(&reports);
+        let mut est = olh.aggregate(&reports).unwrap();
         felip_grid::postprocess::norm_sub(&mut est, 1.0);
         sink.row(&format!("{eps},OLH,{:.6}", mae(&est, &truth)))?;
         // Square Wave + EM.

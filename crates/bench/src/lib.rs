@@ -26,6 +26,7 @@ pub mod figures;
 pub mod perf;
 pub mod profile;
 pub mod runner;
+pub mod serve;
 pub mod table;
 
 pub use profile::Profile;

@@ -43,6 +43,9 @@ pub struct PerfOptions {
     pub work: u64,
     /// Timed repetitions per measurement (best of).
     pub repeats: usize,
+    /// Run the serve load generator instead of the kernel sweep
+    /// (`--serve-loadgen`; see [`crate::serve`]).
+    pub serve: Option<crate::serve::ServeLoadOptions>,
 }
 
 impl Default for PerfOptions {
@@ -57,6 +60,7 @@ impl Default for PerfOptions {
             // enough for stable timing, small enough for a smoke bench.
             work: 1 << 24,
             repeats: 3,
+            serve: None,
         }
     }
 }
@@ -64,11 +68,19 @@ impl Default for PerfOptions {
 impl PerfOptions {
     /// Parses `perf_smoke` flags (`--baseline-scalar`, `--obs-overhead`,
     /// `--metrics`, `--out PATH`, `--obs-out PATH`, `--work N`,
-    /// `--repeats N`).
+    /// `--repeats N`, and the `--serve-*` load-generator family).
     ///
     /// # Panics
     /// Panics on unknown flags or malformed values, printing usage.
     pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"));
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} got a malformed value: {v}"))
+        }
+
         let mut opts = PerfOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -82,18 +94,47 @@ impl PerfOptions {
                 "--obs-out" => {
                     opts.obs_out = args.next().expect("--obs-out requires a path");
                 }
-                "--work" => {
-                    let v = args.next().expect("--work requires a number");
-                    opts.work = v.parse().expect("--work must be an integer");
+                "--work" => opts.work = parse(&mut args, "--work"),
+                "--repeats" => opts.repeats = parse(&mut args, "--repeats"),
+                "--serve-loadgen" => {
+                    opts.serve.get_or_insert_with(Default::default);
                 }
-                "--repeats" => {
-                    let v = args.next().expect("--repeats requires a number");
-                    opts.repeats = v.parse().expect("--repeats must be an integer");
+                "--serve-connections" => {
+                    opts.serve.get_or_insert_with(Default::default).connections =
+                        parse(&mut args, "--serve-connections");
+                }
+                "--serve-users" => {
+                    opts.serve.get_or_insert_with(Default::default).users =
+                        parse(&mut args, "--serve-users");
+                }
+                "--serve-batch" => {
+                    opts.serve.get_or_insert_with(Default::default).batch =
+                        parse(&mut args, "--serve-batch");
+                }
+                "--serve-workers" => {
+                    opts.serve.get_or_insert_with(Default::default).workers =
+                        parse(&mut args, "--serve-workers");
+                }
+                "--serve-queue" => {
+                    opts.serve
+                        .get_or_insert_with(Default::default)
+                        .queue_capacity = parse(&mut args, "--serve-queue");
+                }
+                "--serve-seed" => {
+                    opts.serve.get_or_insert_with(Default::default).seed =
+                        parse(&mut args, "--serve-seed");
+                }
+                "--serve-out" => {
+                    opts.serve.get_or_insert_with(Default::default).out =
+                        args.next().expect("--serve-out requires a path");
                 }
                 other => panic!(
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
                      [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
-                     [--work N] [--repeats N]"
+                     [--work N] [--repeats N] [--serve-loadgen] \
+                     [--serve-connections N] [--serve-users N] [--serve-batch N] \
+                     [--serve-workers N] [--serve-queue N] [--serve-seed N] \
+                     [--serve-out PATH]"
                 ),
             }
         }
@@ -154,7 +195,8 @@ pub fn measure_point(d: u32, opts: &PerfOptions) -> PerfPoint {
         let _s = felip_obs::span!("bench.batched");
         best_seconds(opts.repeats, || {
             let mut counts = vec![0u64; d as usize];
-            olh.accumulate_batch(black_box(&reports), &mut counts);
+            olh.accumulate_batch(black_box(&reports), &mut counts)
+                .unwrap();
             black_box(olh.estimate_from_counts(&counts, n));
         })
     };
@@ -164,7 +206,7 @@ pub fn measure_point(d: u32, opts: &PerfOptions) -> PerfPoint {
         best_seconds(opts.repeats, || {
             let mut counts = vec![0u64; d as usize];
             for r in black_box(&reports) {
-                olh.accumulate(r, &mut counts);
+                olh.accumulate(r, &mut counts).unwrap();
             }
             black_box(olh.estimate_from_counts(&counts, n));
         })
@@ -220,7 +262,8 @@ pub fn measure_obs_overhead(opts: &PerfOptions) -> ObsOverhead {
         felip_obs::global().set_enabled(on);
         best_seconds(opts.repeats, || {
             let mut counts = vec![0u64; d as usize];
-            olh.accumulate_batch(black_box(&reports), &mut counts);
+            olh.accumulate_batch(black_box(&reports), &mut counts)
+                .unwrap();
             black_box(olh.estimate_from_counts(&counts, n));
         })
     };
@@ -287,9 +330,19 @@ pub fn to_json(points: &[PerfPoint], opts: &PerfOptions) -> Value {
 }
 
 /// Runs the sweep, prints a table, and writes the JSON report(s).
+///
+/// With `--serve-loadgen` the kernel sweep is skipped entirely and the
+/// TCP load generator runs instead (see [`crate::serve::serve_smoke`]).
 pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
     if opts.metrics {
         felip_obs::enable();
+    }
+    if let Some(serve) = &opts.serve {
+        crate::serve::serve_smoke(serve)?;
+        if opts.metrics {
+            println!("{}", felip_obs::global().summary_table());
+        }
+        return Ok(());
     }
     println!("perf_smoke: OLH ingest+aggregate throughput (ε = {EPSILON})");
     let mut points = Vec::new();
@@ -376,6 +429,42 @@ mod tests {
         assert!(opts.obs_overhead);
         assert!(opts.metrics);
         assert_eq!(opts.obs_out, "o.json");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let opts = PerfOptions::from_args(
+            [
+                "--serve-loadgen",
+                "--serve-connections",
+                "16",
+                "--serve-users",
+                "50000",
+                "--serve-batch",
+                "250",
+                "--serve-workers",
+                "8",
+                "--serve-queue",
+                "32",
+                "--serve-out",
+                "s.json",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let serve = opts.serve.expect("--serve-loadgen sets serve options");
+        assert_eq!(serve.connections, 16);
+        assert_eq!(serve.users, 50_000);
+        assert_eq!(serve.batch, 250);
+        assert_eq!(serve.workers, 8);
+        assert_eq!(serve.queue_capacity, 32);
+        assert_eq!(serve.out, "s.json");
+    }
+
+    #[test]
+    fn serve_defaults_absent_without_flag() {
+        let opts = PerfOptions::from_args(std::iter::empty());
+        assert!(opts.serve.is_none());
     }
 
     #[test]

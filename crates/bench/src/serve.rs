@@ -1,0 +1,244 @@
+//! `perf_smoke --serve-loadgen`: loopback load generation against the
+//! streaming ingestion server.
+//!
+//! Boots an in-process [`felip_server::Server`] on `127.0.0.1:0`, hammers
+//! it with N client connections sending deterministic report batches, and
+//! reports sustained reports/s plus p50/p99 frame round-trip latency into
+//! `BENCH_serve.json`. Because the server is the real thing — wire decode,
+//! admission validation, bounded queues, shard aggregators — the number is
+//! an end-to-end ingestion throughput, not a kernel microbenchmark.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+use felip_server::loadgen::user_report;
+use felip_server::{Client, Server, ServerConfig};
+use serde_json::{json, Value};
+
+/// Options for the serve load generation run.
+#[derive(Debug, Clone)]
+pub struct ServeLoadOptions {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total users (= reports) streamed across all connections.
+    pub users: usize,
+    /// Reports per `ReportBatch` frame.
+    pub batch: usize,
+    /// Server ingest workers.
+    pub workers: usize,
+    /// Per-worker queue capacity (batches) before RETRY backpressure.
+    pub queue_capacity: usize,
+    /// Loadgen seed (drives records and perturbation).
+    pub seed: u64,
+    /// Output JSON path.
+    pub out: String,
+}
+
+impl Default for ServeLoadOptions {
+    fn default() -> Self {
+        ServeLoadOptions {
+            connections: 8,
+            users: 200_000,
+            batch: 500,
+            workers: 4,
+            queue_capacity: 64,
+            seed: 0xBEEF,
+            out: "BENCH_serve.json".to_string(),
+        }
+    }
+}
+
+/// One run's measured results.
+#[derive(Debug, Clone)]
+pub struct ServeLoadResult {
+    /// Reports ingested by the server (must equal `users`).
+    pub reports: usize,
+    /// Wall-clock seconds from first to last frame.
+    pub elapsed_s: f64,
+    /// Sustained ingestion throughput.
+    pub reports_per_sec: f64,
+    /// Median frame round-trip (send → ACK) in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile frame round-trip in microseconds.
+    pub p99_us: f64,
+    /// RETRY responses absorbed across all connections.
+    pub retries: u64,
+    /// ACKed frames across all connections.
+    pub frames: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The synthetic two-attribute plan the loadgen measures against (64 × 4
+/// cells keeps perturbation cheap so the server side dominates).
+pub fn bench_plan(users: usize, seed: u64) -> Arc<CollectionPlan> {
+    let schema = Schema::new(vec![
+        Attribute::numerical("a", 64),
+        Attribute::categorical("c", 4),
+    ])
+    .expect("static schema");
+    Arc::new(
+        CollectionPlan::build(&schema, users.max(1), &FelipConfig::new(1.0), seed)
+            .expect("bench plan"),
+    )
+}
+
+/// Runs the loopback load generation and returns the measurements.
+pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
+    let plan = bench_plan(opts.users, 23);
+    let plan_hash = plan.schema_hash();
+    let config = ServerConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue_capacity,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(&plan), config).expect("bind loopback");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = thread::spawn(move || server.run(None).expect("serve"));
+
+    // Pre-generate every report so the timed section measures the server,
+    // not client-side perturbation.
+    let connections = opts.connections.max(1);
+    let per_conn = opts.users.div_ceil(connections);
+    let streams: Vec<Vec<_>> = (0..connections)
+        .map(|c| {
+            let lo = c * per_conn;
+            let hi = ((c + 1) * per_conn).min(opts.users);
+            (lo..hi)
+                .map(|u| user_report(&plan, u, opts.seed).expect("loadgen report"))
+                .collect()
+        })
+        .collect();
+
+    let started = Instant::now();
+    let per_conn_results: Vec<(Vec<f64>, u64, u64)> = thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|reports| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr, plan_hash).expect("connect");
+                    let mut latencies = Vec::with_capacity(reports.len() / opts.batch + 1);
+                    let mut retries = 0u64;
+                    let mut frames = 0u64;
+                    for batch in reports.chunks(opts.batch.max(1)) {
+                        let t = Instant::now();
+                        retries += client.send_batch_retrying(batch).expect("send") as u64;
+                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                        frames += 1;
+                    }
+                    (latencies, retries, frames)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    let run = server_thread.join().expect("server join");
+    assert_eq!(
+        run.aggregator.reports_ingested(),
+        opts.users,
+        "loadgen must not lose reports"
+    );
+
+    let mut latencies: Vec<f64> = per_conn_results
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let retries = per_conn_results.iter().map(|(_, r, _)| r).sum();
+    let frames = per_conn_results.iter().map(|(_, _, f)| f).sum();
+
+    ServeLoadResult {
+        reports: opts.users,
+        elapsed_s: elapsed,
+        reports_per_sec: opts.users as f64 / elapsed,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        retries,
+        frames,
+    }
+}
+
+/// Renders the run as the `BENCH_serve.json` document.
+pub fn to_json(r: &ServeLoadResult, opts: &ServeLoadOptions) -> Value {
+    json!({
+        "bench": "serve_loadgen",
+        "transport": "tcp loopback",
+        "connections": opts.connections,
+        "workers": opts.workers,
+        "queue_capacity": opts.queue_capacity,
+        "batch": opts.batch,
+        "reports": r.reports,
+        "frames": r.frames,
+        "retries": r.retries,
+        "elapsed_s": r.elapsed_s,
+        "reports_per_sec": r.reports_per_sec,
+        "frame_p50_us": r.p50_us,
+        "frame_p99_us": r.p99_us,
+    })
+}
+
+/// Runs the loadgen, prints a summary line, and writes the JSON document.
+pub fn serve_smoke(opts: &ServeLoadOptions) -> std::io::Result<()> {
+    println!(
+        "serve_loadgen: {} users, {} connections × batch {}, {} workers",
+        opts.users, opts.connections, opts.batch, opts.workers
+    );
+    let r = run_serve_loadgen(opts);
+    println!(
+        "ingested {:>8} reports in {:>6.2}s  {:>10.0} rep/s  p50 {:>7.0}µs  p99 {:>7.0}µs  retries {}",
+        r.reports, r.elapsed_s, r.reports_per_sec, r.p50_us, r.p99_us, r.retries
+    );
+    let doc = to_json(&r, opts);
+    std::fs::write(
+        &opts.out,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )?;
+    println!("wrote {}", opts.out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_loadgen_run_is_lossless() {
+        let opts = ServeLoadOptions {
+            connections: 2,
+            users: 2_000,
+            batch: 100,
+            workers: 2,
+            queue_capacity: 8,
+            ..ServeLoadOptions::default()
+        };
+        let r = run_serve_loadgen(&opts);
+        assert_eq!(r.reports, 2_000);
+        assert_eq!(r.frames, 20);
+        assert!(r.reports_per_sec > 0.0);
+        assert!(r.p99_us >= r.p50_us);
+    }
+
+    #[test]
+    fn percentiles_on_sorted_data() {
+        // Nearest-rank on 1..=100: index (99 · p).round().
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&data, 0.50), 51.0);
+        assert_eq!(percentile(&data, 0.99), 99.0);
+        assert_eq!(percentile(&data, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

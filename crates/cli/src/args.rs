@@ -13,6 +13,24 @@ USAGE:
     felip compare --dataset <kind> --n <users> --epsilon <eps> [--lambda <dim>] [--queries <count>] [--seed <seed>]
     felip query   --csv <path> --columns <colspec> --epsilon <eps> --where <query>
                   [--strategy oug|ohg] [--seed <seed>]
+    felip serve   --attrs <spec> --n <users> --epsilon <eps> [--addr <host:port>]
+                  [--workers <w>] [--queue <batches>] [--snapshot <path>]
+                  [--snapshot-every-ms <ms>] [--resume <path>] [--plan-seed <seed>]
+    felip load    --attrs <spec> --n <users> --epsilon <eps> --users <count>
+                  [--addr <host:port>] [--from <user>] [--connections <c>]
+                  [--batch <reports>] [--seed <seed>] [--plan-seed <seed>]
+    felip verify  --attrs <spec> --n <users> --epsilon <eps> --snapshot <path>
+                  --users <count> [--from <user>] [--seed <seed>] [--plan-seed <seed>]
+
+SERVE / LOAD / VERIFY:
+    `serve` ingests perturbed reports over TCP until SIGINT/SIGTERM, then
+    drains its queues, merges worker shards, writes a final snapshot (when
+    --snapshot is set) and exits 0. `--resume <path>` restores counts from a
+    prior snapshot before accepting connections. `load` streams the
+    deterministic loadgen report stream for users [--from, --from + --users).
+    `verify` restores a snapshot and checks it is bit-identical to an
+    offline collection of that same stream. All three must be given the same
+    --attrs/--n/--epsilon/--plan-seed so the plan hash matches.
 
 ATTRS SPEC:
     comma-separated list of `n:<domain>` (numerical) and `c:<domain>` (categorical),

@@ -25,6 +25,7 @@ use felip_obs::diag;
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 /// Global observability flags, valid on every subcommand. They are
 /// stripped from argv *before* dispatch so the subcommands' strict
@@ -94,6 +95,9 @@ fn main() -> ExitCode {
         "run" => commands::run(rest),
         "compare" => commands::compare(rest),
         "query" => commands::query(rest),
+        "serve" => serve_cmd::serve(rest),
+        "load" => serve_cmd::load(rest),
+        "verify" => serve_cmd::verify(rest),
         "--help" | "-h" | "help" => {
             println!("{}", args::USAGE);
             Ok(())

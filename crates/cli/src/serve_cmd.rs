@@ -1,0 +1,272 @@
+//! The `serve`, `load` and `verify` subcommands: the streaming
+//! report-ingestion path end to end.
+//!
+//! All three build the *same* [`CollectionPlan`] from `--attrs`/`--n`/
+//! `--epsilon`/`--plan-seed`, so the plan's `schema_hash()` agrees across
+//! the server, the load generator, and the offline verifier — the wire
+//! handshake and the snapshot header both check it.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use felip::plan::CollectionPlan;
+use felip::{FelipConfig, SelectivityPrior, Strategy};
+use felip_obs::diag;
+use felip_server::loadgen::{offline_reference, user_report};
+use felip_server::{signal, Client, Server, ServerConfig, Snapshot};
+
+use crate::args::{parse_schema, Flags};
+
+type CmdResult = std::result::Result<(), Box<dyn std::error::Error>>;
+
+/// Builds the shared collection plan from the common plan flags.
+fn plan_from_flags(
+    flags: &Flags,
+) -> std::result::Result<Arc<CollectionPlan>, Box<dyn std::error::Error>> {
+    let schema = parse_schema(flags.require::<String>("attrs")?.as_str())?;
+    let n: usize = flags.require("n")?;
+    let epsilon: f64 = flags.require("epsilon")?;
+    let plan_seed: u64 = flags.get_or("plan-seed", 0)?;
+    let strategy = match flags.get_or("strategy", "ohg".to_string())?.as_str() {
+        "oug" | "OUG" => Strategy::Oug,
+        "ohg" | "OHG" => Strategy::Ohg,
+        other => return Err(format!("unknown strategy `{other}`").into()),
+    };
+    let selectivity: f64 = flags.get_or("selectivity", 0.5)?;
+    let config = FelipConfig::new(epsilon)
+        .with_strategy(strategy)
+        .with_selectivity(SelectivityPrior::Uniform(selectivity));
+    Ok(Arc::new(CollectionPlan::build(
+        &schema, n, &config, plan_seed,
+    )?))
+}
+
+/// `felip serve`: bind, ingest until SIGINT/SIGTERM, snapshot, exit 0.
+pub fn serve(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let plan = plan_from_flags(&flags)?;
+    let config = ServerConfig {
+        addr: flags.get_or("addr", "127.0.0.1:4417".to_string())?,
+        workers: flags.get_or("workers", 4)?,
+        queue_capacity: flags.get_or("queue", 64)?,
+        snapshot_path: flags.get("snapshot").map(PathBuf::from),
+        snapshot_every: match flags.get_or("snapshot-every-ms", 0u64)? {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        resume: flags.get("resume").map(PathBuf::from),
+    };
+
+    let server = Server::bind(Arc::clone(&plan), config)?;
+    let shutdown = signal::install_shutdown_handler();
+    diag::line(&format!(
+        "felip serve: listening on {} (plan hash {:016x}); SIGINT/SIGTERM drains and snapshots",
+        server.local_addr(),
+        plan.schema_hash()
+    ));
+    let run = server.run(Some(shutdown))?;
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "command": "serve",
+            "reports_ingested": run.aggregator.reports_ingested(),
+            "connections": run.stats.connections,
+            "frames_ok": run.stats.frames_ok,
+            "frames_retried": run.stats.frames_retried,
+            "frames_rejected": run.stats.frames_rejected,
+            "snapshots_written": run.stats.snapshots_written,
+        }))?
+    );
+    Ok(())
+}
+
+/// `felip load`: stream deterministic user reports at a running server.
+pub fn load(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let plan = plan_from_flags(&flags)?;
+    let addr: String = flags.get_or("addr", "127.0.0.1:4417".to_string())?;
+    let users: usize = flags.require("users")?;
+    let from: usize = flags.get_or("from", 0)?;
+    let connections: usize = flags.get_or::<usize>("connections", 4)?.max(1);
+    let batch: usize = flags.get_or::<usize>("batch", 200)?.max(1);
+    let seed: u64 = flags.get_or("seed", 42)?;
+
+    let plan_hash = plan.schema_hash();
+    let user_list: Vec<usize> = (from..from + users).collect();
+    let chunk = user_list.len().div_ceil(connections).max(1);
+    let totals: Vec<(usize, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = user_list
+            .chunks(chunk)
+            .map(|slice| {
+                let plan = Arc::clone(&plan);
+                let addr = addr.clone();
+                s.spawn(move || -> std::result::Result<(usize, u64), String> {
+                    let _conn_span = felip_obs::span!("load.connection");
+                    let mut client =
+                        Client::connect(addr.as_str(), plan_hash).map_err(|e| e.to_string())?;
+                    let mut sent = 0usize;
+                    let mut retries = 0u64;
+                    for batch_users in slice.chunks(batch) {
+                        let reports: Vec<_> = batch_users
+                            .iter()
+                            .map(|&u| user_report(&plan, u, seed))
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| e.to_string())?;
+                        retries += u64::from(
+                            client
+                                .send_batch_retrying(&reports)
+                                .map_err(|e| e.to_string())?,
+                        );
+                        sent += reports.len();
+                        felip_obs::counter!("load.reports.sent", reports.len() as u64, "reports");
+                    }
+                    Ok((sent, retries))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread"))
+            .collect::<std::result::Result<_, _>>()
+    })
+    .map_err(|e: String| -> Box<dyn std::error::Error> { e.into() })?;
+
+    let sent: usize = totals.iter().map(|(s, _)| s).sum();
+    let retries: u64 = totals.iter().map(|(_, r)| r).sum();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "command": "load",
+            "addr": addr,
+            "users": users,
+            "from": from,
+            "reports_sent": sent,
+            "retries": retries,
+            "connections": connections,
+        }))?
+    );
+    if sent != users {
+        return Err(format!("sent {sent} of {users} reports").into());
+    }
+    Ok(())
+}
+
+/// `felip verify`: restore a snapshot and compare it bit-for-bit against an
+/// offline collection of the same deterministic report stream.
+pub fn verify(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let plan = plan_from_flags(&flags)?;
+    let snapshot_path = PathBuf::from(flags.require::<String>("snapshot")?);
+    let users: usize = flags.require("users")?;
+    let from: usize = flags.get_or("from", 0)?;
+    let seed: u64 = flags.get_or("seed", 42)?;
+
+    let offline = offline_reference(&plan, from..from + users, seed)?;
+    let snapshot = Snapshot::read(&snapshot_path)?;
+    let reports_in_snapshot = snapshot.reports_ingested();
+    let restored = snapshot.restore(Arc::clone(&plan), offline.oracles())?;
+
+    let counts_equal = restored.counts() == offline.counts();
+    let groups_equal = restored.group_sizes() == offline.group_sizes();
+    let estimates_equal = {
+        let a = restored.estimate()?;
+        let b = offline.estimate()?;
+        a.grids()
+            .iter()
+            .zip(b.grids())
+            .all(|(ga, gb)| ga.freqs() == gb.freqs())
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "command": "verify",
+            "snapshot": snapshot_path.display().to_string(),
+            "users": users,
+            "from": from,
+            "reports_in_snapshot": reports_in_snapshot,
+            "counts_bit_identical": counts_equal,
+            "group_sizes_bit_identical": groups_equal,
+            "estimates_bit_identical": estimates_equal,
+        }))?
+    );
+    if !(counts_equal && groups_equal && estimates_equal) {
+        return Err("snapshot does not match the offline reference collection".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    const PLAN: &[&str] = &["--attrs", "n:64,c:4", "--n", "2000", "--epsilon", "1.0"];
+
+    fn with_plan(extra: &[&str]) -> Vec<String> {
+        let mut v = argv(PLAN);
+        v.extend(argv(extra));
+        v
+    }
+
+    #[test]
+    fn serve_then_load_then_verify_round_trip() {
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("felip-cli-serve-{}.snap", std::process::id()));
+        let _ = std::fs::remove_file(&snap);
+
+        // Bind on an ephemeral port directly (the CLI default port may be
+        // taken on a shared test machine), then drive the same code paths.
+        let flags = Flags::parse(&with_plan(&[])).unwrap();
+        let plan = plan_from_flags(&flags).unwrap();
+        let config = ServerConfig {
+            snapshot_path: Some(snap.clone()),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(Arc::clone(&plan), config).unwrap();
+        let addr = server.local_addr().to_string();
+        let shutdown = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.run(None).unwrap());
+
+        load(&with_plan(&[
+            "--addr",
+            &addr,
+            "--users",
+            "600",
+            "--connections",
+            "2",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        let run = t.join().unwrap();
+        assert_eq!(run.aggregator.reports_ingested(), 600);
+
+        verify(&with_plan(&[
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--users",
+            "600",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+
+        // A verifier expecting a different stream must fail.
+        let err = verify(&with_plan(&[
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--users",
+            "601",
+            "--seed",
+            "9",
+        ]));
+        assert!(err.is_err());
+        let _ = std::fs::remove_file(&snap);
+    }
+}

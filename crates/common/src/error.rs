@@ -23,6 +23,11 @@ pub enum Error {
     InvalidParameter(String),
     /// A report cannot be ingested (wrong group, wrong oracle, ...).
     InvalidReport(String),
+    /// A report's kind or shape does not match the oracle aggregating it
+    /// (GRR report handed to an OLH aggregator, OUE bit vector of the wrong
+    /// width, OLH value outside the hash range, ...). Untrusted wire input
+    /// reaches the oracles directly, so this is an error, never a panic.
+    ReportMismatch(String),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +38,7 @@ impl fmt::Display for Error {
             Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             Error::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             Error::InvalidReport(m) => write!(f, "invalid report: {m}"),
+            Error::ReportMismatch(m) => write!(f, "report mismatch: {m}"),
         }
     }
 }

@@ -123,6 +123,55 @@ impl Aggregator {
         }
     }
 
+    /// Rebuilds an aggregator from previously captured state (a durable
+    /// snapshot): per-grid support counts plus per-group report tallies.
+    ///
+    /// Counts are exact `u64` tallies, so a restored aggregator continues
+    /// ingestion — and later estimation — bit-identically to one that never
+    /// stopped. Shapes are validated against the plan; a snapshot from a
+    /// different plan is rejected with [`Error::InvalidParameter`].
+    pub fn restore(
+        plan: Arc<CollectionPlan>,
+        oracles: Arc<OracleSet>,
+        counts: Vec<Vec<u64>>,
+        group_sizes: Vec<usize>,
+    ) -> Result<Self> {
+        if counts.len() != plan.grids().len() {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot has {} grids, plan has {}",
+                counts.len(),
+                plan.grids().len()
+            )));
+        }
+        for (g, (grid, cells)) in plan.grids().iter().zip(&counts).enumerate() {
+            if cells.len() != grid.num_cells() as usize {
+                return Err(Error::InvalidParameter(format!(
+                    "snapshot grid {g} has {} cells, plan expects {}",
+                    cells.len(),
+                    grid.num_cells()
+                )));
+            }
+        }
+        if group_sizes.len() != plan.num_groups() {
+            return Err(Error::InvalidParameter(format!(
+                "snapshot has {} groups, plan has {}",
+                group_sizes.len(),
+                plan.num_groups()
+            )));
+        }
+        if oracles.len() != plan.grids().len() {
+            return Err(Error::InvalidParameter(
+                "oracle set does not match the plan's grids".into(),
+            ));
+        }
+        Ok(Aggregator {
+            plan,
+            oracles,
+            counts,
+            group_sizes,
+        })
+    }
+
     /// The plan this aggregator collects for.
     pub fn plan(&self) -> &CollectionPlan {
         &self.plan
@@ -169,7 +218,7 @@ impl Aggregator {
         felip_obs::counter!("felip.ingest.reports", 1, "reports");
         self.oracles
             .get(g)
-            .accumulate(&report.report, &mut self.counts[g]);
+            .accumulate(&report.report, &mut self.counts[g])?;
         self.group_sizes[g] += 1;
         Ok(())
     }
@@ -194,7 +243,7 @@ impl Aggregator {
         felip_obs::counter!("felip.ingest.reports", reports.len(), "reports");
         self.oracles
             .get(group)
-            .accumulate_batch(reports, &mut self.counts[group]);
+            .accumulate_batch(reports, &mut self.counts[group])?;
         self.group_sizes[group] += reports.len();
         Ok(())
     }

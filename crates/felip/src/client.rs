@@ -2,10 +2,11 @@
 
 use rand::RngCore;
 
-use felip_common::Result;
+use felip_common::{Error, Result};
 use felip_fo::afo::make_oracle;
 use felip_fo::Report;
 
+use crate::aggregator::OracleSet;
 use crate::plan::CollectionPlan;
 
 /// One user's perturbed contribution: which group (grid) it belongs to and
@@ -16,6 +17,26 @@ pub struct UserReport {
     pub group: usize,
     /// The perturbed cell report.
     pub report: Report,
+}
+
+impl UserReport {
+    /// Checks that this report could have been produced by a client
+    /// following `plan`: the group index names an existing grid and the
+    /// report's kind/shape matches that grid's oracle.
+    ///
+    /// This is the server's admission check for untrusted wire input; a
+    /// mismatch yields [`Error::ReportMismatch`] (or
+    /// [`Error::InvalidReport`] for an out-of-range group), never a panic.
+    pub fn validate(&self, plan: &CollectionPlan, oracles: &OracleSet) -> Result<()> {
+        if self.group >= plan.num_groups() {
+            return Err(Error::InvalidReport(format!(
+                "group {} out of range 0..{}",
+                self.group,
+                plan.num_groups()
+            )));
+        }
+        oracles.get(self.group).check_report(&self.report)
+    }
 }
 
 /// Produces the user's ε-LDP report (§5, user side).
@@ -71,7 +92,10 @@ mod tests {
 
     #[test]
     fn report_type_matches_grid_protocol() {
+        // Every honest report passes the server's admission check; the check
+        // itself enforces kind + shape against the grid's oracle.
         let p = plan();
+        let oracles = OracleSet::build(&p);
         let mut rng = seeded_rng(0);
         for u in 0..50 {
             let r = respond(&p, u, &[0, 0], &mut rng).unwrap();
@@ -82,9 +106,34 @@ mod tests {
                     // OLH report value lives in the hash range, not the grid.
                     assert!(*value < 64, "hash range is small");
                 }
-                (fo, rep) => panic!("grid uses {fo} but report is {rep:?}"),
+                _ => {}
             }
+            r.validate(&p, &oracles).unwrap();
         }
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_reports() {
+        let p = plan();
+        let oracles = OracleSet::build(&p);
+        let mut rng = seeded_rng(1);
+        let honest = respond(&p, 0, &[0, 0], &mut rng).unwrap();
+
+        // Foreign protocol for the group's oracle.
+        let mismatched = UserReport {
+            group: honest.group,
+            report: Report::Oue(vec![0]),
+        };
+        let err = mismatched.validate(&p, &oracles).unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
+
+        // Group index beyond the plan.
+        let foreign_group = UserReport {
+            group: p.num_groups(),
+            report: honest.report.clone(),
+        };
+        let err = foreign_group.validate(&p, &oracles).unwrap_err();
+        assert!(matches!(err, Error::InvalidReport(_)), "{err}");
     }
 
     #[test]

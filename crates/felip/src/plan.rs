@@ -310,6 +310,63 @@ impl CollectionPlan {
     pub fn grid_index(&self, id: GridId) -> Option<usize> {
         self.grids.iter().position(|g| g.id() == id)
     }
+
+    /// A structural fingerprint of everything clients and the server must
+    /// agree on to exchange reports: schema (names, kinds, domains), ε,
+    /// population size, assignment seed, and every grid's protocol, axes,
+    /// and bin edges.
+    ///
+    /// The wire protocol embeds this hash in each frame and the snapshot
+    /// format embeds it in the header, so a client built from a different
+    /// plan — or a snapshot taken under one — is rejected up front instead
+    /// of silently corrupting counts. The hash is computed with the
+    /// workspace's own [`mix64`] chain, so it is stable across processes,
+    /// platforms, and compiler versions (unlike `std`'s `DefaultHasher`,
+    /// which makes no such promise).
+    pub fn schema_hash(&self) -> u64 {
+        fn fold(h: u64, x: u64) -> u64 {
+            mix64(h.rotate_left(7) ^ x.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+        fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+            h = fold(h, bytes.len() as u64);
+            for chunk in bytes.chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                h = fold(h, u64::from_le_bytes(word));
+            }
+            h
+        }
+        // Version tag: bump when the hashed structure changes meaning.
+        let mut h = fold(0, 0x4645_4c49_505f_4831); // "FELIP_H1"
+        h = fold(h, self.schema.len() as u64);
+        for attr in self.schema.attrs() {
+            h = fold_bytes(h, attr.name.as_bytes());
+            h = fold(h, attr.kind.is_numerical() as u64);
+            h = fold(h, attr.domain as u64);
+        }
+        h = fold(h, self.config.epsilon.to_bits());
+        h = fold(h, self.n as u64);
+        h = fold(h, self.assignment_seed);
+        h = fold(h, self.grids.len() as u64);
+        for grid in &self.grids {
+            h = fold(
+                h,
+                match grid.fo {
+                    FoKind::Grr => 1,
+                    FoKind::Olh => 2,
+                },
+            );
+            h = fold(h, grid.axes().len() as u64);
+            for axis in grid.axes() {
+                h = fold(h, axis.attr as u64);
+                h = fold(h, axis.binning.edges().len() as u64);
+                for &edge in axis.binning.edges() {
+                    h = fold(h, edge as u64);
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +505,31 @@ mod tests {
                 assert_eq!(plan.group_of(123), 0);
             }
         }
+    }
+
+    #[test]
+    fn schema_hash_is_stable_and_discriminating() {
+        let cfg = FelipConfig::new(1.0);
+        let a = CollectionPlan::build(&schema(), 100_000, &cfg, 7).unwrap();
+        let b = CollectionPlan::build(&schema(), 100_000, &cfg, 7).unwrap();
+        assert_eq!(a.schema_hash(), b.schema_hash(), "same plan, same hash");
+
+        // Any parameter clients must agree on changes the fingerprint.
+        let other_seed = CollectionPlan::build(&schema(), 100_000, &cfg, 8).unwrap();
+        assert_ne!(a.schema_hash(), other_seed.schema_hash());
+        let other_n = CollectionPlan::build(&schema(), 99_999, &cfg, 7).unwrap();
+        assert_ne!(a.schema_hash(), other_n.schema_hash());
+        let other_eps =
+            CollectionPlan::build(&schema(), 100_000, &FelipConfig::new(1.5), 7).unwrap();
+        assert_ne!(a.schema_hash(), other_eps.schema_hash());
+        let other_schema = Schema::new(vec![
+            Attribute::numerical("a", 256),
+            Attribute::numerical("b", 256),
+            Attribute::categorical("d", 4),
+        ])
+        .unwrap();
+        let renamed = CollectionPlan::build(&other_schema, 100_000, &cfg, 7).unwrap();
+        assert_ne!(a.schema_hash(), renamed.schema_hash());
     }
 
     #[test]

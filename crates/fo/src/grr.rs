@@ -2,6 +2,8 @@
 
 use rand::{Rng, RngCore};
 
+use felip_common::{Error, Result};
+
 use crate::report::Report;
 use crate::traits::FrequencyOracle;
 use crate::variance::grr_variance;
@@ -89,26 +91,37 @@ impl FrequencyOracle for Grr {
         }
     }
 
-    fn aggregate(&self, reports: &[Report]) -> Vec<f64> {
-        let d = self.domain as usize;
-        if reports.is_empty() {
-            return vec![0.0; d];
+    fn check_report(&self, report: &Report) -> Result<()> {
+        match report {
+            Report::Grr(v) if *v < self.domain => Ok(()),
+            Report::Grr(v) => Err(Error::ReportMismatch(format!(
+                "GRR report {v} out of domain {}",
+                self.domain
+            ))),
+            other => Err(Error::ReportMismatch(format!(
+                "GRR aggregator received non-GRR report {:?}",
+                other.kind()
+            ))),
         }
-        let mut counts = vec![0u64; d];
-        for r in reports {
-            self.accumulate(r, &mut counts);
-        }
-        self.estimate_from_counts(&counts, reports.len())
     }
 
-    fn accumulate(&self, report: &Report, counts: &mut [u64]) {
-        match report {
-            Report::Grr(v) => {
-                assert!((*v as usize) < counts.len(), "GRR report {v} out of domain");
-                counts[*v as usize] += 1;
-            }
-            other => panic!("GRR aggregator received non-GRR report {other:?}"),
+    fn aggregate(&self, reports: &[Report]) -> Result<Vec<f64>> {
+        let d = self.domain as usize;
+        if reports.is_empty() {
+            return Ok(vec![0.0; d]);
         }
+        let mut counts = vec![0u64; d];
+        self.accumulate_batch(reports, &mut counts)?;
+        Ok(self.estimate_from_counts(&counts, reports.len()))
+    }
+
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()> {
+        self.check_report(report)?;
+        match report {
+            Report::Grr(v) => counts[*v as usize] += 1,
+            _ => unreachable!("check_report admits only GRR reports"),
+        }
+        Ok(())
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
@@ -200,7 +213,7 @@ mod tests {
         for t in &mut truth {
             *t /= n as f64;
         }
-        let est = g.aggregate(&reports);
+        let est = g.aggregate(&reports).unwrap();
         let sd = g.variance(n).sqrt();
         for v in 0..d as usize {
             assert!(
@@ -218,7 +231,7 @@ mod tests {
         let g = Grr::new(0.8, 12);
         let mut rng = seeded_rng(3);
         let reports: Vec<_> = (0..5000).map(|i| g.perturb(i % 12, &mut rng)).collect();
-        let est = g.aggregate(&reports);
+        let est = g.aggregate(&reports).unwrap();
         assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -235,7 +248,7 @@ mod tests {
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
             let reports: Vec<_> = (0..n).map(|_| g.perturb(3, &mut rng)).collect();
-            samples.push(g.aggregate(&reports)[7]); // value 7 has true freq 0
+            samples.push(g.aggregate(&reports).unwrap()[7]); // value 7 has true freq 0
         }
         let emp = felip_common::metrics::sample_variance(&samples);
         let ana = g.variance(n);
@@ -250,14 +263,14 @@ mod tests {
         let g = Grr::new(1.0, 1);
         let mut rng = seeded_rng(0);
         assert_eq!(g.perturb(0, &mut rng), Report::Grr(0));
-        let est = g.aggregate(&[Report::Grr(0), Report::Grr(0)]);
+        let est = g.aggregate(&[Report::Grr(0), Report::Grr(0)]).unwrap();
         assert_eq!(est.len(), 1);
     }
 
     #[test]
     fn empty_reports_give_zeros() {
         let g = Grr::new(1.0, 4);
-        assert_eq!(g.aggregate(&[]), vec![0.0; 4]);
+        assert_eq!(g.aggregate(&[]).unwrap(), vec![0.0; 4]);
     }
 
     #[test]
@@ -269,9 +282,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-GRR")]
     fn aggregate_rejects_foreign_reports() {
-        Grr::new(1.0, 4).aggregate(&[Report::Olh { seed: 0, value: 0 }]);
+        let err = Grr::new(1.0, 4)
+            .aggregate(&[Report::Olh { seed: 0, value: 0 }])
+            .unwrap_err();
+        assert!(
+            matches!(err, felip_common::Error::ReportMismatch(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn accumulate_rejects_out_of_domain_value() {
+        let g = Grr::new(1.0, 4);
+        let mut counts = vec![0u64; 4];
+        assert!(g.accumulate(&Report::Grr(4), &mut counts).is_err());
+        assert_eq!(counts, vec![0u64; 4], "rejected report must not count");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use rand::{Rng, RngCore};
 use rayon::prelude::*;
 
 use felip_common::hash::{bucket_bounds, mix64, universal_hash, value_key};
+use felip_common::{Error, Result};
 
 use crate::report::Report;
 use crate::traits::FrequencyOracle;
@@ -202,17 +203,20 @@ impl Olh {
     }
 
     /// Unpacks reports into `(seed, bucket_lo, bucket_width)` triples for
-    /// the batched kernel, validating protocol and hash range up front.
-    fn unpack_reports(&self, reports: &[Report]) -> Vec<UnpackedReport> {
+    /// the batched kernel, validating protocol and hash range up front — a
+    /// mismatched report is rejected before any count is touched.
+    fn unpack_reports(&self, reports: &[Report]) -> Result<Vec<UnpackedReport>> {
         reports
             .iter()
-            .map(|r| match r {
-                Report::Olh { seed, value } => {
-                    assert!(*value < self.g, "OLH report value out of hash range");
-                    let (lo, width) = bucket_bounds(*value, self.g);
-                    (*seed, lo, width)
+            .map(|r| {
+                self.check_report(r)?;
+                match r {
+                    Report::Olh { seed, value } => {
+                        let (lo, width) = bucket_bounds(*value, self.g);
+                        Ok((*seed, lo, width))
+                    }
+                    _ => unreachable!("check_report admits only OLH reports"),
                 }
-                other => panic!("OLH aggregator received non-OLH report {other:?}"),
             })
             .collect()
     }
@@ -248,34 +252,49 @@ impl FrequencyOracle for Olh {
         Report::Olh { seed, value: out }
     }
 
-    fn aggregate(&self, reports: &[Report]) -> Vec<f64> {
+    fn check_report(&self, report: &Report) -> Result<()> {
+        match report {
+            Report::Olh { value, .. } if *value < self.g => Ok(()),
+            Report::Olh { value, .. } => Err(Error::ReportMismatch(format!(
+                "OLH report value {value} out of hash range {}",
+                self.g
+            ))),
+            other => Err(Error::ReportMismatch(format!(
+                "OLH aggregator received non-OLH report {:?}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn aggregate(&self, reports: &[Report]) -> Result<Vec<f64>> {
         let d = self.domain as usize;
         if reports.is_empty() {
-            return vec![0.0; d];
+            return Ok(vec![0.0; d]);
         }
         // Support counting: C(v) = |{ j : H_j(v) = x_j }|. This is the hot
         // loop of the whole system (|reports| × d hash evaluations) and runs
         // through the batched, cache-blocked kernel.
         let mut counts = vec![0u64; d];
-        self.accumulate_batch(reports, &mut counts);
-        self.estimate_from_counts(&counts, reports.len())
+        self.accumulate_batch(reports, &mut counts)?;
+        Ok(self.estimate_from_counts(&counts, reports.len()))
     }
 
-    fn accumulate(&self, report: &Report, counts: &mut [u64]) {
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()> {
+        self.check_report(report)?;
         match report {
             Report::Olh { seed, value } => {
-                assert!(*value < self.g, "OLH report value out of hash range");
                 for (v, slot) in counts.iter_mut().enumerate() {
                     if universal_hash(*seed, v as u32, self.g) == *value {
                         *slot += 1;
                     }
                 }
             }
-            other => panic!("OLH aggregator received non-OLH report {other:?}"),
+            _ => unreachable!("check_report admits only OLH reports"),
         }
+        Ok(())
     }
 
-    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) {
+    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) -> Result<()> {
         // One counter bump per *batch* (not per report), so the hot loop
         // below stays untouched.
         match kernel_dispatch_path() {
@@ -286,7 +305,7 @@ impl FrequencyOracle for Olh {
         felip_obs::counter!("fo.olh.batch.reports", reports.len(), "reports");
         // Like `accumulate`, the count-vector width (not `self.domain`)
         // defines the value range counted over.
-        let pairs = self.unpack_reports(reports);
+        let pairs = self.unpack_reports(reports)?;
         // Parallelise over disjoint domain blocks — each worker owns its
         // slice of the count vector, so no per-thread vector merging. Under
         // an already-parallel caller (sharded ingestion) this runs
@@ -298,6 +317,7 @@ impl FrequencyOracle for Olh {
             .for_each(|(b, block)| {
                 support_count_block(&pairs, (b * BLOCK_VALUES) as u32, block);
             });
+        Ok(())
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
@@ -357,7 +377,7 @@ mod tests {
         for t in &mut truth {
             *t /= n as f64;
         }
-        let est = olh.aggregate(&reports);
+        let est = olh.aggregate(&reports).unwrap();
         let sd = olh.variance(n).sqrt();
         assert!(
             (est[0] - truth[0]).abs() < 6.0 * sd,
@@ -379,7 +399,7 @@ mod tests {
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
             let reports: Vec<_> = (0..n).map(|_| olh.perturb(1, &mut rng)).collect();
-            samples.push(olh.aggregate(&reports)[20]); // true frequency 0
+            samples.push(olh.aggregate(&reports).unwrap()[20]); // true frequency 0
         }
         let emp = felip_common::metrics::sample_variance(&samples);
         let ana = olh.variance(n);
@@ -408,13 +428,28 @@ mod tests {
 
     #[test]
     fn empty_reports_give_zeros() {
-        assert_eq!(Olh::new(1.0, 5).aggregate(&[]), vec![0.0; 5]);
+        assert_eq!(Olh::new(1.0, 5).aggregate(&[]).unwrap(), vec![0.0; 5]);
     }
 
     #[test]
-    #[should_panic(expected = "non-OLH")]
     fn aggregate_rejects_foreign_reports() {
-        Olh::new(1.0, 4).aggregate(&[Report::Grr(0)]);
+        let err = Olh::new(1.0, 4).aggregate(&[Report::Grr(0)]).unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_value_outside_hash_range() {
+        // Untrusted wire input: a "valid-looking" OLH report whose value
+        // exceeds g must be an error, never a panic, and must not count.
+        let olh = Olh::new(1.0, 8);
+        let bad = Report::Olh {
+            seed: 1,
+            value: olh.hash_range(),
+        };
+        let mut counts = vec![0u64; 8];
+        assert!(olh.accumulate(&bad, &mut counts).is_err());
+        assert!(olh.accumulate_batch(&[bad], &mut counts).is_err());
+        assert_eq!(counts, vec![0u64; 8]);
     }
 
     #[test]
@@ -429,7 +464,7 @@ mod tests {
     fn scalar_counts(olh: &Olh, reports: &[Report], width: usize) -> Vec<u64> {
         let mut counts = vec![0u64; width];
         for r in reports {
-            olh.accumulate(r, &mut counts);
+            olh.accumulate(r, &mut counts).unwrap();
         }
         counts
     }
@@ -441,7 +476,7 @@ mod tests {
         // 13 reports: exercises one full group of 8 plus a 5-report tail.
         let reports: Vec<_> = (0..13).map(|i| olh.perturb(i % 300, &mut rng)).collect();
         let mut batched = vec![0u64; 300];
-        olh.accumulate_batch(&reports, &mut batched);
+        olh.accumulate_batch(&reports, &mut batched).unwrap();
         assert_eq!(batched, scalar_counts(&olh, &reports, 300));
     }
 
@@ -455,7 +490,7 @@ mod tests {
             .map(|i| olh.perturb(i * 1000 % d, &mut rng))
             .collect();
         let mut batched = vec![0u64; d as usize];
-        olh.accumulate_batch(&reports, &mut batched);
+        olh.accumulate_batch(&reports, &mut batched).unwrap();
         assert_eq!(batched, scalar_counts(&olh, &reports, d as usize));
     }
 
@@ -463,19 +498,21 @@ mod tests {
     fn batch_kernel_empty_and_tiny_inputs() {
         let olh = Olh::new(1.0, 16);
         let mut counts = vec![0u64; 16];
-        olh.accumulate_batch(&[], &mut counts);
+        olh.accumulate_batch(&[], &mut counts).unwrap();
         assert_eq!(counts, vec![0u64; 16]);
         let mut rng = seeded_rng(9);
         let one = [olh.perturb(3, &mut rng)];
-        olh.accumulate_batch(&one, &mut counts);
+        olh.accumulate_batch(&one, &mut counts).unwrap();
         assert_eq!(counts, scalar_counts(&olh, &one, 16));
     }
 
     #[test]
-    #[should_panic(expected = "non-OLH")]
     fn batch_rejects_foreign_reports() {
         let mut counts = vec![0u64; 4];
-        Olh::new(1.0, 4).accumulate_batch(&[Report::Grr(0)], &mut counts);
+        let err = Olh::new(1.0, 4)
+            .accumulate_batch(&[Report::Grr(0)], &mut counts)
+            .unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use rand::{Rng, RngCore};
 
+use felip_common::{Error, Result};
+
 use crate::report::Report;
 use crate::traits::FrequencyOracle;
 use crate::variance::olh_variance;
@@ -79,30 +81,44 @@ impl FrequencyOracle for Oue {
         Report::Oue(bits)
     }
 
-    fn aggregate(&self, reports: &[Report]) -> Vec<f64> {
-        let d = self.domain as usize;
-        if reports.is_empty() {
-            return vec![0.0; d];
+    fn check_report(&self, report: &Report) -> Result<()> {
+        match report {
+            Report::Oue(bits) if bits.len() == self.words() => Ok(()),
+            Report::Oue(bits) => Err(Error::ReportMismatch(format!(
+                "OUE report has wrong width: {} words for domain {}",
+                bits.len(),
+                self.domain
+            ))),
+            other => Err(Error::ReportMismatch(format!(
+                "OUE aggregator received non-OUE report {:?}",
+                other.kind()
+            ))),
         }
-        let mut counts = vec![0u64; d];
-        for r in reports {
-            self.accumulate(r, &mut counts);
-        }
-        self.estimate_from_counts(&counts, reports.len())
     }
 
-    fn accumulate(&self, report: &Report, counts: &mut [u64]) {
+    fn aggregate(&self, reports: &[Report]) -> Result<Vec<f64>> {
+        let d = self.domain as usize;
+        if reports.is_empty() {
+            return Ok(vec![0.0; d]);
+        }
+        let mut counts = vec![0u64; d];
+        self.accumulate_batch(reports, &mut counts)?;
+        Ok(self.estimate_from_counts(&counts, reports.len()))
+    }
+
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()> {
+        self.check_report(report)?;
         match report {
             Report::Oue(bits) => {
-                assert_eq!(bits.len(), self.words(), "OUE report has wrong width");
                 for (v, slot) in counts.iter_mut().enumerate() {
                     if bits[v / 64] >> (v % 64) & 1 == 1 {
                         *slot += 1;
                     }
                 }
             }
-            other => panic!("OUE aggregator received non-OUE report {other:?}"),
+            _ => unreachable!("check_report admits only OUE reports"),
         }
+        Ok(())
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
@@ -151,7 +167,7 @@ mod tests {
         for _ in 0..n {
             reports.push(oue.perturb(4, &mut rng));
         }
-        let est = oue.aggregate(&reports);
+        let est = oue.aggregate(&reports).unwrap();
         let sd = oue.variance(n).sqrt();
         assert!((est[4] - 1.0).abs() < 6.0 * sd, "est {}", est[4]);
         assert!(est[5].abs() < 6.0 * sd);
@@ -165,7 +181,7 @@ mod tests {
         let mut rng = seeded_rng(4);
         let n = 30_000usize;
         let reports: Vec<_> = (0..n).map(|_| oue.perturb(129, &mut rng)).collect();
-        let est = oue.aggregate(&reports);
+        let est = oue.aggregate(&reports).unwrap();
         assert_eq!(est.len(), 130);
         let sd = oue.variance(n).sqrt();
         assert!((est[129] - 1.0).abs() < 6.0 * sd);
@@ -181,14 +197,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wrong width")]
     fn aggregate_rejects_wrong_width() {
-        Oue::new(1.0, 130).aggregate(&[Report::Oue(vec![0u64; 1])]);
+        let err = Oue::new(1.0, 130)
+            .aggregate(&[Report::Oue(vec![0u64; 1])])
+            .unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "non-OUE")]
     fn aggregate_rejects_foreign_reports() {
-        Oue::new(1.0, 4).aggregate(&[Report::Grr(0)]);
+        let err = Oue::new(1.0, 4).aggregate(&[Report::Grr(0)]).unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
     }
 }

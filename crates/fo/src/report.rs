@@ -23,6 +23,29 @@ pub enum Report {
     Oue(Vec<u64>),
 }
 
+/// The protocol a [`Report`] was produced by, without its payload — what an
+/// aggregator checks before ingesting untrusted input, and the discriminant
+/// tag the wire format serialises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A [`Report::Grr`] value.
+    Grr,
+    /// A [`Report::Olh`] seed/value pair.
+    Olh,
+    /// A [`Report::Oue`] packed bit vector.
+    Oue,
+}
+
+impl std::fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportKind::Grr => write!(f, "GRR"),
+            ReportKind::Olh => write!(f, "OLH"),
+            ReportKind::Oue => write!(f, "OUE"),
+        }
+    }
+}
+
 impl Report {
     /// Approximate wire size in bytes; used by the communication-cost
     /// ablation bench.
@@ -31,6 +54,15 @@ impl Report {
             Report::Grr(_) => 4,
             Report::Olh { .. } => 12,
             Report::Oue(words) => words.len() * 8,
+        }
+    }
+
+    /// Which protocol produced this report.
+    pub fn kind(&self) -> ReportKind {
+        match self {
+            Report::Grr(_) => ReportKind::Grr,
+            Report::Olh { .. } => ReportKind::Olh,
+            Report::Oue(_) => ReportKind::Oue,
         }
     }
 }
@@ -44,5 +76,13 @@ mod tests {
         assert_eq!(Report::Grr(3).wire_bytes(), 4);
         assert_eq!(Report::Olh { seed: 1, value: 2 }.wire_bytes(), 12);
         assert_eq!(Report::Oue(vec![0, 0]).wire_bytes(), 16);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Report::Grr(0).kind(), ReportKind::Grr);
+        assert_eq!(Report::Olh { seed: 0, value: 0 }.kind(), ReportKind::Olh);
+        assert_eq!(Report::Oue(vec![]).kind(), ReportKind::Oue);
+        assert_eq!(ReportKind::Olh.to_string(), "OLH");
     }
 }

@@ -10,6 +10,8 @@
 
 use rand::{Rng, RngCore};
 
+use felip_common::{Error, Result};
+
 use crate::report::Report;
 use crate::traits::FrequencyOracle;
 
@@ -80,30 +82,44 @@ impl FrequencyOracle for Sue {
         Report::Oue(bits)
     }
 
-    fn aggregate(&self, reports: &[Report]) -> Vec<f64> {
-        let d = self.domain as usize;
-        if reports.is_empty() {
-            return vec![0.0; d];
+    fn check_report(&self, report: &Report) -> Result<()> {
+        match report {
+            Report::Oue(bits) if bits.len() == self.words() => Ok(()),
+            Report::Oue(bits) => Err(Error::ReportMismatch(format!(
+                "SUE report has wrong width: {} words for domain {}",
+                bits.len(),
+                self.domain
+            ))),
+            other => Err(Error::ReportMismatch(format!(
+                "SUE aggregator received incompatible report {:?}",
+                other.kind()
+            ))),
         }
-        let mut counts = vec![0u64; d];
-        for r in reports {
-            self.accumulate(r, &mut counts);
-        }
-        self.estimate_from_counts(&counts, reports.len())
     }
 
-    fn accumulate(&self, report: &Report, counts: &mut [u64]) {
+    fn aggregate(&self, reports: &[Report]) -> Result<Vec<f64>> {
+        let d = self.domain as usize;
+        if reports.is_empty() {
+            return Ok(vec![0.0; d]);
+        }
+        let mut counts = vec![0u64; d];
+        self.accumulate_batch(reports, &mut counts)?;
+        Ok(self.estimate_from_counts(&counts, reports.len()))
+    }
+
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()> {
+        self.check_report(report)?;
         match report {
             Report::Oue(bits) => {
-                assert_eq!(bits.len(), self.words(), "SUE report has wrong width");
                 for (v, slot) in counts.iter_mut().enumerate() {
                     if bits[v / 64] >> (v % 64) & 1 == 1 {
                         *slot += 1;
                     }
                 }
             }
-            other => panic!("SUE aggregator received incompatible report {other:?}"),
+            _ => unreachable!("check_report admits only OUE-shaped reports"),
         }
+        Ok(())
     }
 
     fn estimate_from_counts(&self, counts: &[u64], n: usize) -> Vec<f64> {
@@ -151,7 +167,7 @@ mod tests {
         let n = 60_000usize;
         let mut rng = seeded_rng(3);
         let reports: Vec<_> = (0..n).map(|_| s.perturb(5, &mut rng)).collect();
-        let est = s.aggregate(&reports);
+        let est = s.aggregate(&reports).unwrap();
         let sd = s.variance(n).sqrt();
         assert!((est[5] - 1.0).abs() < 6.0 * sd, "est {}", est[5]);
         assert!(est[0].abs() < 6.0 * sd);
@@ -182,7 +198,7 @@ mod tests {
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
             let reports: Vec<_> = (0..n).map(|_| s.perturb(0, &mut rng)).collect();
-            samples.push(s.aggregate(&reports)[9]); // true frequency 0
+            samples.push(s.aggregate(&reports).unwrap()[9]); // true frequency 0
         }
         let emp = felip_common::metrics::sample_variance(&samples);
         let ana = s.variance(n);
@@ -204,8 +220,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "incompatible")]
     fn rejects_foreign_reports() {
-        Sue::new(1.0, 4).aggregate(&[Report::Grr(0)]);
+        let err = Sue::new(1.0, 4).aggregate(&[Report::Grr(0)]).unwrap_err();
+        assert!(matches!(err, Error::ReportMismatch(_)), "{err}");
     }
 }

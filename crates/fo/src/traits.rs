@@ -2,6 +2,8 @@
 
 use rand::RngCore;
 
+use felip_common::Result;
+
 use crate::report::Report;
 
 /// A local-DP frequency oracle: client-side randomiser `Ψ` plus server-side
@@ -10,6 +12,12 @@ use crate::report::Report;
 /// Implementations are cheap value types carrying only the protocol
 /// parameters (ε, domain size, derived probabilities); they hold no state
 /// across calls, so one instance can serve any number of users.
+///
+/// The server-side entry points (`aggregate`, `accumulate`,
+/// `accumulate_batch`) consume *untrusted* input — reports may arrive over
+/// the network from clients the aggregator does not control — so a report
+/// whose kind or shape does not match the oracle yields
+/// [`felip_common::Error::ReportMismatch`] rather than a panic.
 pub trait FrequencyOracle: Send + Sync {
     /// Domain size `|D|` the oracle operates over.
     fn domain(&self) -> u32;
@@ -22,25 +30,37 @@ pub trait FrequencyOracle: Send + Sync {
     /// # Panics
     /// Panics when `value` is out of domain — the caller (the grid layer)
     /// guarantees cell indices are valid, so an out-of-range value is a bug.
+    /// Unlike the server-side entry points, `perturb` never sees untrusted
+    /// input.
     fn perturb(&self, value: u32, rng: &mut dyn RngCore) -> Report;
+
+    /// Validates that `report` could have been produced by this oracle's
+    /// randomiser: right protocol, right payload shape (OLH value within the
+    /// hash range, OUE bit vector of the right width, ...).
+    ///
+    /// Returns [`felip_common::Error::ReportMismatch`] otherwise. The
+    /// accumulation entry points call this before touching any state, so a
+    /// rejected report leaves counts unchanged.
+    fn check_report(&self, report: &Report) -> Result<()>;
 
     /// Server side: unbiased frequency estimates (fractions of the reporting
     /// population, one per domain value) from the collected reports.
     ///
     /// Estimates can be negative or exceed 1; post-processing handles that.
-    /// Returns all-zeros when `reports` is empty.
-    ///
-    /// # Panics
-    /// Panics when a report was produced by a different protocol or domain —
-    /// mixing reports across groups is a logic error upstream.
-    fn aggregate(&self, reports: &[Report]) -> Vec<f64>;
+    /// Returns all-zeros when `reports` is empty, and
+    /// [`felip_common::Error::ReportMismatch`] when any report fails
+    /// [`FrequencyOracle::check_report`].
+    fn aggregate(&self, reports: &[Report]) -> Result<Vec<f64>>;
 
     /// Streaming server side: folds one report into a per-value support
     /// count vector of length `domain()`. Together with
     /// [`FrequencyOracle::estimate_from_counts`] this lets an aggregator
     /// process reports as they arrive without buffering them (the FELIP
     /// engine's ingestion path).
-    fn accumulate(&self, report: &Report, counts: &mut [u64]);
+    ///
+    /// A report failing [`FrequencyOracle::check_report`] is rejected before
+    /// any count is touched.
+    fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()>;
 
     /// Batched server side: folds a slice of reports into the support-count
     /// vector in one call.
@@ -51,10 +71,17 @@ pub trait FrequencyOracle: Send + Sync {
     /// all counts are exact `u64` tallies. The batched entry point exists so
     /// protocols whose per-report cost is `O(domain)` can amortise work
     /// across reports instead of re-walking the count vector per report.
-    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) {
+    ///
+    /// Every report is validated *before* any is accumulated, so a failed
+    /// call leaves `counts` unchanged.
+    fn accumulate_batch(&self, reports: &[Report], counts: &mut [u64]) -> Result<()> {
         for report in reports {
-            self.accumulate(report, counts);
+            self.check_report(report)?;
         }
+        for report in reports {
+            self.accumulate(report, counts)?;
+        }
+        Ok(())
     }
 
     /// Streaming server side: turns accumulated support counts for `n`

@@ -74,7 +74,7 @@ proptest! {
     ) {
         let g = Grr::new(eps, d);
         let reports: Vec<Report> = reports.into_iter().map(|v| Report::Grr(v % d)).collect();
-        let est = g.aggregate(&reports);
+        let est = g.aggregate(&reports).unwrap();
         prop_assert!((est.iter().sum::<f64>() - 1.0).abs() < 1e-6);
     }
 
@@ -90,10 +90,10 @@ proptest! {
         let o = Olh::new(eps, d);
         let mut rng = seeded_rng(seed);
         let reports: Vec<Report> = (0..n).map(|i| o.perturb(i as u32 % d, &mut rng)).collect();
-        let batch = o.aggregate(&reports);
+        let batch = o.aggregate(&reports).unwrap();
         let mut counts = vec![0u64; d as usize];
         for r in &reports {
-            o.accumulate(r, &mut counts);
+            o.accumulate(r, &mut counts).unwrap();
         }
         let streamed = o.estimate_from_counts(&counts, n);
         for (a, b) in batch.iter().zip(&streamed) {
@@ -124,10 +124,10 @@ proptest! {
                 (0..n).map(|i| o.perturb(i as u32 % d, &mut rng)).collect();
             let mut scalar = vec![0u64; d as usize];
             for r in &reports {
-                o.accumulate(r, &mut scalar);
+                o.accumulate(r, &mut scalar).unwrap();
             }
             let mut batched = vec![0u64; d as usize];
-            o.accumulate_batch(&reports, &mut batched);
+            o.accumulate_batch(&reports, &mut batched).unwrap();
             prop_assert_eq!(&batched, &scalar, "oracle over d = {}", d);
         }
     }
@@ -147,10 +147,10 @@ proptest! {
         let reports: Vec<Report> = (0..n).map(|i| o.perturb(i as u32 * 977 % d, &mut rng)).collect();
         let mut scalar = vec![0u64; d as usize];
         for r in &reports {
-            o.accumulate(r, &mut scalar);
+            o.accumulate(r, &mut scalar).unwrap();
         }
         let mut batched = vec![0u64; d as usize];
-        o.accumulate_batch(&reports, &mut batched);
+        o.accumulate_batch(&reports, &mut batched).unwrap();
         prop_assert_eq!(&batched, &scalar);
     }
 

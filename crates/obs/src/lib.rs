@@ -42,9 +42,11 @@ mod span;
 mod summary;
 
 pub mod diag;
+pub mod jsonread;
 
 pub use metrics::{CallsiteId, HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, Value};
 pub use span::{EventRecord, SpanGuard, SpanRecord, SpanTotal};
+pub use summary::{summarize_jsonl, StageTotal, TraceSummary};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};

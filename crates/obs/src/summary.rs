@@ -169,6 +169,154 @@ impl Recorder {
     }
 }
 
+/// Per-span-name totals recovered from a JSONL trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Span name.
+    pub name: String,
+    /// How many spans carried that name.
+    pub count: u64,
+    /// Sum of their durations.
+    pub total_ns: u64,
+    /// The slowest single span.
+    pub max_ns: u64,
+}
+
+/// What a JSONL trace contained, after tolerant line-by-line parsing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Schema version from the `meta` line, when one parsed.
+    pub version: Option<u64>,
+    /// Parsed `span` records.
+    pub spans: u64,
+    /// Parsed `event` records.
+    pub events: u64,
+    /// Parsed `metric` records.
+    pub metrics: u64,
+    /// Lines that were not valid JSONL records and were skipped.
+    pub bad_lines: u64,
+    /// Stage timings aggregated by span name, heaviest first.
+    pub stages: Vec<StageTotal>,
+}
+
+impl TraceSummary {
+    /// Renders the summary in the same shape as [`Recorder::summary_table`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} spans, {} events, {} metrics",
+            self.spans, self.events, self.metrics
+        ));
+        if self.bad_lines > 0 {
+            out.push_str(&format!(" ({} malformed lines skipped)", self.bad_lines));
+        }
+        out.push('\n');
+        if !self.stages.is_empty() {
+            out.push_str("stage timings\n");
+            out.push_str(&format!(
+                "  {:<24} {:>7} {:>12} {:>12}\n",
+                "span", "count", "total", "max"
+            ));
+            for t in &self.stages {
+                out.push_str(&format!(
+                    "  {:<24} {:>7} {:>12} {:>12}\n",
+                    t.name,
+                    t.count,
+                    fmt_ns(t.total_ns),
+                    fmt_ns(t.max_ns)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// How many skipped lines get an individual diagnostic before the rest are
+/// folded into the final count (a truncated multi-megabyte trace should not
+/// produce a megabyte of warnings).
+const MAX_BAD_LINE_WARNINGS: u64 = 5;
+
+/// Reads a JSONL trace tolerantly: every line that parses as a known record
+/// contributes to the summary, and every line that does not — malformed
+/// JSON, a non-object, an unknown record type, or the torn final line of a
+/// trace whose process was killed mid-write — is skipped with a
+/// [`crate::diag`] warning and counted in the `obs.summary.bad_lines`
+/// counter, never a panic.
+pub fn summarize_jsonl(text: &str) -> TraceSummary {
+    let mut summary = TraceSummary::default();
+    let mut stages: Vec<StageTotal> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match crate::jsonread::parse(line) {
+            Ok(v) if v.get("t").and_then(|t| t.as_str()).is_some() => v,
+            Ok(_) => {
+                skip_line(&mut summary, lineno, "not a trace record (no \"t\" tag)");
+                continue;
+            }
+            Err(e) => {
+                skip_line(&mut summary, lineno, &e.to_string());
+                continue;
+            }
+        };
+        match record.get("t").and_then(|t| t.as_str()).expect("checked") {
+            "meta" => {
+                summary.version = record.get("version").and_then(|v| v.as_u64());
+            }
+            "span" => {
+                summary.spans += 1;
+                let name = record
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .unwrap_or("(unnamed)");
+                let dur = record.get("dur_ns").and_then(|d| d.as_u64()).unwrap_or(0);
+                match stages.iter_mut().find(|s| s.name == name) {
+                    Some(s) => {
+                        s.count += 1;
+                        s.total_ns += dur;
+                        s.max_ns = s.max_ns.max(dur);
+                    }
+                    None => stages.push(StageTotal {
+                        name: name.to_string(),
+                        count: 1,
+                        total_ns: dur,
+                        max_ns: dur,
+                    }),
+                }
+            }
+            "event" => summary.events += 1,
+            "metric" => summary.metrics += 1,
+            other => {
+                let reason = format!("unknown record type {other:?}");
+                skip_line(&mut summary, lineno, &reason);
+            }
+        }
+    }
+
+    if summary.bad_lines > MAX_BAD_LINE_WARNINGS {
+        crate::diag::line(&format!(
+            "obs summary: skipped {} malformed lines in total",
+            summary.bad_lines
+        ));
+    }
+    stages.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    summary.stages = stages;
+    summary
+}
+
+fn skip_line(summary: &mut TraceSummary, lineno: usize, reason: &str) {
+    summary.bad_lines += 1;
+    crate::counter!("obs.summary.bad_lines", 1, "lines");
+    if summary.bad_lines <= MAX_BAD_LINE_WARNINGS {
+        crate::diag::line(&format!(
+            "obs summary: skipping malformed line {}: {reason}",
+            lineno + 1
+        ));
+    }
+}
+
 /// Nanoseconds as a human-scaled duration.
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -305,6 +453,70 @@ mod tests {
     fn empty_recorder_summary_says_so() {
         let rec = Recorder::new();
         assert!(rec.summary_table().contains("no observability data"));
+    }
+
+    #[test]
+    fn summarize_round_trips_an_export() {
+        let rec = populated_recorder();
+        let mut buf = Vec::new();
+        rec.export_jsonl(&mut buf).unwrap();
+        let s = summarize_jsonl(&String::from_utf8(buf).unwrap());
+        assert_eq!(s.version, Some(super::TRACE_VERSION));
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.events, 1);
+        // The metric registry is process-wide, so other tests' callsites
+        // may also appear in the export.
+        assert!(s.metrics >= 3, "{s:?}");
+        assert_eq!(s.bad_lines, 0);
+        assert!(s.stages.iter().any(|t| t.name == "simulate"));
+        let rendered = s.render();
+        assert!(rendered.contains("simulate"), "{rendered}");
+        assert!(!rendered.contains("malformed"), "{rendered}");
+    }
+
+    #[test]
+    fn summarize_skips_malformed_lines_without_panicking() {
+        // A trace whose process was killed mid-write: valid lines, garbage,
+        // a record with no tag, an unknown tag, and a torn final line.
+        let rec = populated_recorder();
+        let mut buf = Vec::new();
+        rec.export_jsonl(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        let torn = "{\"t\":\"span\",\"id\":99,\"name\":\"tor";
+        text = format!(
+            "not json at all\n{text}{}\n{}\n\n{torn}",
+            "{\"value\":3}", "{\"t\":\"mystery\"}"
+        );
+
+        let s = summarize_jsonl(&text);
+        assert_eq!(s.spans, 2, "valid records still counted");
+        assert_eq!(s.events, 1);
+        assert!(s.metrics >= 3, "{s:?}");
+        assert_eq!(s.bad_lines, 4, "garbage + untagged + unknown + torn");
+        assert!(s.render().contains("4 malformed lines skipped"));
+    }
+
+    #[test]
+    fn summarize_counts_skipped_lines_in_the_bad_lines_metric() {
+        let rec = crate::global();
+        let was_enabled = rec.is_enabled();
+        rec.set_enabled(true);
+        let before = bad_lines_total(rec);
+        let _ = summarize_jsonl("garbage one\ngarbage two\n");
+        let after = bad_lines_total(rec);
+        rec.set_enabled(was_enabled);
+        assert_eq!(after - before, 2);
+    }
+
+    fn bad_lines_total(rec: &Recorder) -> u64 {
+        rec.metric_snapshots()
+            .iter()
+            .find(|m| m.name == "obs.summary.bad_lines")
+            .and_then(|m| match m.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .unwrap_or(0)
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The client side of the wire protocol: connect, handshake, send report
+//! batches, honour backpressure.
+
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use felip::client::UserReport;
+
+use crate::wire::{
+    decode_ack, encode_reports, read_frame, write_frame, Frame, FrameKind, WireError,
+};
+
+/// Server verdict on one `ReportBatch` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchReply {
+    /// Accepted; carries the number of reports ingested.
+    Ack(u32),
+    /// The server's ingest queue was full — back off and resend the batch.
+    Retry,
+}
+
+/// A connected, handshaken ingestion client.
+pub struct Client {
+    stream: TcpStream,
+    plan_hash: u64,
+}
+
+impl Client {
+    /// Connects to the server and performs the `Hello` handshake, proving
+    /// both sides hold the same `CollectionPlan`.
+    pub fn connect(addr: impl ToSocketAddrs, plan_hash: u64) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).map_err(WireError::Io)?;
+        let mut client = Client { stream, plan_hash };
+        client.send(&Frame::control(FrameKind::Hello, plan_hash))?;
+        match client.read_reply()? {
+            (FrameKind::Ack, _) => Ok(client),
+            (kind, payload) => Err(reply_error(kind, &payload)),
+        }
+    }
+
+    /// Sends one batch of reports and returns the server's verdict.
+    ///
+    /// A [`BatchReply::Retry`] means the batch was *not* ingested; the
+    /// caller decides when to resend (see [`Client::send_batch_retrying`]).
+    pub fn send_batch(&mut self, reports: &[UserReport]) -> Result<BatchReply, WireError> {
+        let frame = Frame {
+            kind: FrameKind::ReportBatch,
+            plan_hash: self.plan_hash,
+            payload: encode_reports(reports)?,
+        };
+        self.send(&frame)?;
+        match self.read_reply()? {
+            (FrameKind::Ack, payload) => Ok(BatchReply::Ack(decode_ack(&payload)?)),
+            (FrameKind::Retry, _) => Ok(BatchReply::Retry),
+            (kind, payload) => Err(reply_error(kind, &payload)),
+        }
+    }
+
+    /// Sends a batch, backing off and resending on RETRY until accepted.
+    /// Returns how many RETRY responses were absorbed.
+    pub fn send_batch_retrying(&mut self, reports: &[UserReport]) -> Result<u32, WireError> {
+        let mut retries = 0u32;
+        let mut backoff = Duration::from_micros(200);
+        loop {
+            match self.send_batch(reports)? {
+                BatchReply::Ack(_) => return Ok(retries),
+                BatchReply::Retry => {
+                    retries += 1;
+                    std::thread::sleep(backoff);
+                    // Exponential backoff, capped: stay responsive without
+                    // hammering a saturated server.
+                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        let mut w = BufWriter::new(&self.stream);
+        write_frame(&mut w, frame).map_err(WireError::Io)
+    }
+
+    fn read_reply(&mut self) -> Result<(FrameKind, Vec<u8>), WireError> {
+        match read_frame(&mut &self.stream)? {
+            Some(f) => Ok((f.kind, f.payload)),
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+}
+
+fn reply_error(kind: FrameKind, payload: &[u8]) -> WireError {
+    match kind {
+        FrameKind::Error => WireError::Rejected(String::from_utf8_lossy(payload).into_owned()),
+        other => WireError::Malformed(format!("unexpected {other:?} reply")),
+    }
+}

@@ -1,0 +1,29 @@
+//! `felip-server`: the streaming report-ingestion service (DESIGN.md §12).
+//!
+//! Turns the offline FELIP pipeline into a long-running network service:
+//! clients perturb locally and stream [`felip::client::UserReport`] batches
+//! over a checksummed binary [`wire`] protocol; a fixed pool of ingest
+//! workers folds them into shard [`felip::aggregator::Aggregator`]s behind
+//! bounded, backpressured [`queue`]s; and [`snapshot`]s make the
+//! aggregator's exact `u64` state durable across restarts — a killed and
+//! resumed server produces estimates bit-identical to one that never
+//! stopped.
+//!
+//! The crate follows the workspace's vendored-only policy: it depends on
+//! nothing outside the workspace (`std::net` sockets, `std::thread`
+//! scoped workers, hand-rolled CRC-32).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::{BatchReply, Client};
+pub use server::{Server, ServerConfig, ServerError, ServerRun, ServerStats};
+pub use snapshot::Snapshot;
+pub use wire::{Frame, FrameKind, WireError};

@@ -1,0 +1,174 @@
+//! A bounded multi-producer queue with non-blocking push — the
+//! backpressure primitive of the ingestion pipeline (DESIGN.md §12.2).
+//!
+//! Connection handlers `try_push`; when a worker falls behind and its queue
+//! is full the push fails *immediately* and the handler answers the client
+//! with a RETRY frame instead of buffering unboundedly. Workers block on
+//! `pop_timeout` so they can periodically observe shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`BoundedQueue::try_push`] was refused; carries the item back so
+/// the caller can respond to the producer without cloning.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the backpressure signal.
+    Full(T),
+    /// The queue was closed (server draining); no more items are accepted.
+    Closed(T),
+}
+
+/// Outcome of a [`BoundedQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue empty (and still open).
+    Empty,
+    /// The queue is closed *and* drained: the consumer can exit.
+    Done,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between connection handlers (producers)
+/// and one ingest worker (consumer).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (`capacity ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero — a zero-capacity queue could never
+    /// accept work.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking. Returns the queue depth *after* the push,
+    /// or the item wrapped in the refusal reason.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues, waiting up to `timeout` for an item.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return PopResult::Item(item);
+            }
+            if inner.closed {
+                return PopResult::Done;
+            }
+            let (guard, wait) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if wait.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => PopResult::Item(item),
+                    None if inner.closed => PopResult::Done,
+                    None => PopResult::Empty,
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: further pushes fail, consumers drain what remains
+    /// and then observe [`PopResult::Done`].
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (racy, for observability only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy, for observability only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Item(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Item(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Empty);
+    }
+
+    #[test]
+    fn full_queue_exerts_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        // Draining one slot re-admits pushes.
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Item(1));
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_done() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Item(1));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Done);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), PopResult::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u32>::new(0);
+    }
+}

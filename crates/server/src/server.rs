@@ -1,0 +1,514 @@
+//! The streaming ingestion server: accept thread, fixed worker pool with
+//! bounded queues, shard aggregators, periodic + final snapshots.
+//!
+//! Data path (DESIGN.md §12.2): connection handlers decode and *validate*
+//! frames, then `try_push` whole batches onto the worker queue the
+//! connection was pinned to at accept time. A full queue answers RETRY —
+//! the client backs off and resends, so a slow worker never grows memory
+//! beyond `workers × queue_capacity` batches. Each worker folds batches
+//! into its private shard [`Aggregator`]; exact `u64` counts make the final
+//! merge independent of how batches interleaved, which is why a served run
+//! reproduces an offline collection bit for bit.
+
+use std::io::{self, BufWriter, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use felip::aggregator::{Aggregator, OracleSet};
+use felip::client::UserReport;
+use felip::plan::CollectionPlan;
+
+use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::snapshot::Snapshot;
+use crate::wire::{
+    decode_reports, encode_ack, read_frame, write_frame, Frame, FrameKind, WireError,
+};
+
+/// How a serve run is wired together.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Ingest worker count (= shard aggregator count).
+    pub workers: usize,
+    /// Batches buffered per worker before RETRY backpressure kicks in.
+    pub queue_capacity: usize,
+    /// Where to write snapshots; `None` disables durability.
+    pub snapshot_path: Option<PathBuf>,
+    /// Cadence of periodic snapshots (requires `snapshot_path`).
+    pub snapshot_every: Option<Duration>,
+    /// Snapshot to restore state from before serving.
+    pub resume: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            snapshot_path: None,
+            snapshot_every: None,
+            resume: None,
+        }
+    }
+}
+
+/// Counters published by a serve run (totals since start).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// `ReportBatch` frames accepted (ACKed).
+    pub frames_ok: u64,
+    /// Frames answered with RETRY (queue full).
+    pub frames_retried: u64,
+    /// Frames rejected with an Error reply (bad plan hash, malformed
+    /// payload, report/oracle mismatch).
+    pub frames_rejected: u64,
+    /// Reports accepted across all ACKed frames.
+    pub reports_accepted: u64,
+    /// Snapshots written (periodic + final).
+    pub snapshots_written: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    frames_ok: AtomicU64,
+    frames_retried: AtomicU64,
+    frames_rejected: AtomicU64,
+    reports_accepted: AtomicU64,
+    snapshots_written: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_ok: self.frames_ok.load(Ordering::Relaxed),
+            frames_retried: self.frames_retried.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The result of a completed (gracefully shut down) serve run.
+pub struct ServerRun {
+    /// The fully merged aggregator (resume base + all worker shards).
+    pub aggregator: Aggregator,
+    /// Run totals.
+    pub stats: ServerStats,
+}
+
+/// Errors starting or running the server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket/filesystem failure.
+    Io(io::Error),
+    /// Snapshot could not be read, validated, or restored.
+    Snapshot(WireError),
+    /// Library-level failure (plan/aggregator invariants).
+    Felip(felip_common::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io error: {e}"),
+            ServerError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServerError::Felip(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(e: WireError) -> Self {
+        ServerError::Snapshot(e)
+    }
+}
+
+impl From<felip_common::Error> for ServerError {
+    fn from(e: felip_common::Error) -> Self {
+        ServerError::Felip(e)
+    }
+}
+
+/// A bound (listening, not yet serving) ingestion server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    plan: Arc<CollectionPlan>,
+    oracles: Arc<OracleSet>,
+    plan_hash: u64,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket and prepares (but does not start) the run.
+    pub fn bind(plan: Arc<CollectionPlan>, config: ServerConfig) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let oracles = Arc::new(OracleSet::build(&plan));
+        let plan_hash = plan.schema_hash();
+        Ok(Server {
+            listener,
+            local_addr,
+            plan,
+            oracles,
+            plan_hash,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops the run when set (tests and signal handlers
+    /// share this mechanism).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until the shutdown flag is set, then drains, merges, writes
+    /// the final snapshot (when configured), and returns the merged state.
+    ///
+    /// `external_shutdown` — typically the signal-handler flag — is polled
+    /// alongside the internal handle so SIGTERM/ctrl-c trigger the same
+    /// graceful path.
+    pub fn run(self, external_shutdown: Option<&AtomicBool>) -> Result<ServerRun, ServerError> {
+        let mut run_span = felip_obs::span!("server.run");
+        let workers = self.config.workers.max(1);
+        run_span.field("workers", workers);
+
+        // Resume base: restored snapshot state, or a fresh aggregator.
+        let base = match &self.config.resume {
+            Some(path) => {
+                let snap = Snapshot::read(path)?;
+                felip_obs::counter!("server.snapshot.restored", 1, "snapshots");
+                snap.restore(Arc::clone(&self.plan), Arc::clone(&self.oracles))?
+            }
+            None => Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles)),
+        };
+        let base = Mutex::new(base);
+
+        let queues: Vec<Arc<BoundedQueue<Vec<UserReport>>>> = (0..workers)
+            .map(|_| Arc::new(BoundedQueue::new(self.config.queue_capacity.max(1))))
+            .collect();
+        let shards: Vec<Mutex<Aggregator>> = (0..workers)
+            .map(|_| {
+                Mutex::new(Aggregator::with_oracles(
+                    Arc::clone(&self.plan),
+                    Arc::clone(&self.oracles),
+                ))
+            })
+            .collect();
+        let stats = AtomicStats::default();
+        let stop_snapshots = AtomicBool::new(false);
+
+        let should_stop = || {
+            self.shutdown.load(Ordering::SeqCst)
+                || external_shutdown.is_some_and(|f| f.load(Ordering::SeqCst))
+        };
+
+        self.listener.set_nonblocking(true)?;
+
+        thread::scope(|scope| -> Result<(), ServerError> {
+            // Ingest workers: drain their queue into their shard.
+            for (w, (queue, shard)) in queues.iter().zip(&shards).enumerate() {
+                let queue = Arc::clone(queue);
+                scope.spawn(move || loop {
+                    match queue.pop_timeout(Duration::from_millis(50)) {
+                        PopResult::Item(batch) => {
+                            felip_obs::gauge!("server.queue.depth", queue.len(), "batches");
+                            let mut agg = shard.lock().unwrap();
+                            // Batches were validated at the connection edge,
+                            // so ingest failures are server bugs; count and
+                            // drop rather than crash the worker.
+                            if let Err(e) = agg.ingest_batch(&batch) {
+                                felip_obs::counter!("server.ingest.errors", 1, "batches");
+                                felip_obs::diag::error(&format!("worker {w}: {e}"));
+                            }
+                        }
+                        PopResult::Empty => continue,
+                        PopResult::Done => break,
+                    }
+                });
+            }
+
+            // Periodic snapshot thread: merge base + shards and persist.
+            if let (Some(path), Some(every)) = (
+                self.config.snapshot_path.clone(),
+                self.config.snapshot_every,
+            ) {
+                let plan = Arc::clone(&self.plan);
+                let oracles = Arc::clone(&self.oracles);
+                let base = &base;
+                let shards = &shards;
+                let stats = &stats;
+                let stop = &stop_snapshots;
+                let plan_hash = self.plan_hash;
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(25));
+                        if last.elapsed() < every {
+                            continue;
+                        }
+                        last = Instant::now();
+                        let merged = merge_state(&plan, &oracles, base, shards);
+                        match Snapshot::capture(&merged, plan_hash).write_atomic(&path) {
+                            Ok(()) => {
+                                stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => felip_obs::diag::error(&format!("periodic snapshot: {e}")),
+                        }
+                    }
+                });
+            }
+
+            // Accept loop. Connections are pinned round-robin to workers.
+            let mut conns = Vec::new();
+            let mut next_worker = 0usize;
+            while !should_stop() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        felip_obs::counter!("server.accept", 1, "connections");
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        let queue = Arc::clone(&queues[next_worker % workers]);
+                        next_worker += 1;
+                        let plan = Arc::clone(&self.plan);
+                        let oracles = Arc::clone(&self.oracles);
+                        let stats = &stats;
+                        let plan_hash = self.plan_hash;
+                        let stop = &should_stop;
+                        conns.push(scope.spawn(move || {
+                            if let Err(e) =
+                                handle_conn(stream, plan, oracles, plan_hash, queue, stats, stop)
+                            {
+                                // Peer went away or spoke garbage; the
+                                // connection is already torn down.
+                                felip_obs::counter!("server.conn.errors", 1, "connections");
+                                felip_obs::diag::line(&format!("connection closed: {e}"));
+                            }
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(ServerError::Io(e)),
+                }
+            }
+
+            // Graceful drain: stop accepting (done), let in-flight
+            // connections finish, close queues so workers drain and exit.
+            for c in conns {
+                let _ = c.join();
+            }
+            for q in &queues {
+                q.close();
+            }
+            stop_snapshots.store(true, Ordering::SeqCst);
+            Ok(())
+        })?;
+
+        // All workers joined (scope end): merge shards into the base.
+        let mut aggregator = base.into_inner().unwrap();
+        for shard in shards {
+            aggregator.merge(&shard.into_inner().unwrap());
+        }
+        if let Some(path) = &self.config.snapshot_path {
+            Snapshot::capture(&aggregator, self.plan_hash).write_atomic(path)?;
+            stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        }
+        let final_stats = stats.snapshot();
+        run_span.field("reports", aggregator.reports_ingested());
+        Ok(ServerRun {
+            aggregator,
+            stats: final_stats,
+        })
+    }
+}
+
+/// Point-in-time merge of the resume base and every worker shard, used by
+/// periodic snapshots while ingestion continues.
+fn merge_state(
+    plan: &Arc<CollectionPlan>,
+    oracles: &Arc<OracleSet>,
+    base: &Mutex<Aggregator>,
+    shards: &[Mutex<Aggregator>],
+) -> Aggregator {
+    let mut merged = Aggregator::with_oracles(Arc::clone(plan), Arc::clone(oracles));
+    merged.merge(&base.lock().unwrap());
+    for shard in shards {
+        // Each lock is held only for the copy; workers hold their shard
+        // lock across a whole batch, so snapshots see batch-atomic states.
+        merged.merge(&shard.lock().unwrap());
+    }
+    merged
+}
+
+/// A `Read` adapter that turns socket read timeouts into shutdown polls:
+/// from `read_frame`'s perspective reads simply block until data, EOF, or
+/// server shutdown (surfaced as `ConnectionAborted`).
+struct PollRead<'a, F: Fn() -> bool> {
+    stream: &'a TcpStream,
+    stop: &'a F,
+}
+
+impl<F: Fn() -> bool> Read for PollRead<'_, F> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if (self.stop)() {
+                return Err(io::ErrorKind::ConnectionAborted.into());
+            }
+            match (&mut &*self.stream).read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn handle_conn<F: Fn() -> bool>(
+    stream: TcpStream,
+    plan: Arc<CollectionPlan>,
+    oracles: Arc<OracleSet>,
+    plan_hash: u64,
+    queue: Arc<BoundedQueue<Vec<UserReport>>>,
+    stats: &AtomicStats,
+    stop: &F,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).map_err(WireError::Io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .map_err(WireError::Io)?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .map_err(WireError::Io)?;
+    let mut reader = PollRead {
+        stream: &stream,
+        stop,
+    };
+    let reply = |frame: &Frame| -> Result<(), WireError> {
+        let mut w = BufWriter::new(&stream);
+        write_frame(&mut w, frame).map_err(WireError::Io)
+    };
+
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            // Clean EOF, or shutdown poll aborted the read: either way the
+            // connection is done.
+            Ok(None) => return Ok(()),
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::ConnectionAborted => return Ok(()),
+            Err(e) => {
+                // Garbled framing: tell the peer (best effort) and drop.
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                felip_obs::counter!("server.frame.rejected", 1, "frames");
+                let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+                return Err(e);
+            }
+        };
+
+        if frame.plan_hash != plan_hash {
+            stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+            felip_obs::counter!("server.frame.rejected", 1, "frames");
+            let e = WireError::PlanMismatch {
+                ours: plan_hash,
+                theirs: frame.plan_hash,
+            };
+            let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+            return Err(e);
+        }
+
+        match frame.kind {
+            FrameKind::Hello => {
+                felip_obs::counter!("server.frame.hello", 1, "frames");
+                reply(&Frame {
+                    kind: FrameKind::Ack,
+                    plan_hash,
+                    payload: encode_ack(0),
+                })?;
+            }
+            FrameKind::ReportBatch => {
+                let reports = match decode_reports(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                        felip_obs::counter!("server.frame.rejected", 1, "frames");
+                        let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+                        return Err(e);
+                    }
+                };
+                // Admission check: every report must match its group's
+                // oracle. Rejected *before* enqueueing, so workers only
+                // ever see well-formed batches.
+                if let Some(err) = reports
+                    .iter()
+                    .find_map(|r| r.validate(&plan, &oracles).err())
+                {
+                    stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                    felip_obs::counter!("server.frame.rejected", 1, "frames");
+                    let _ = reply(&Frame::error(plan_hash, &err.to_string()));
+                    return Err(WireError::Malformed(err.to_string()));
+                }
+                let count = reports.len();
+                match queue.try_push(reports) {
+                    Ok(depth) => {
+                        felip_obs::gauge!("server.queue.depth", depth, "batches");
+                        felip_obs::counter!("server.frame.ok", 1, "frames");
+                        felip_obs::counter!("server.frame.reports", count, "reports");
+                        stats.frames_ok.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .reports_accepted
+                            .fetch_add(count as u64, Ordering::Relaxed);
+                        reply(&Frame {
+                            kind: FrameKind::Ack,
+                            plan_hash,
+                            payload: encode_ack(count as u32),
+                        })?;
+                    }
+                    Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+                        // Backpressure: the batch is dropped here and the
+                        // client resends after backing off.
+                        felip_obs::counter!("server.frame.retry", 1, "frames");
+                        stats.frames_retried.fetch_add(1, Ordering::Relaxed);
+                        reply(&Frame::control(FrameKind::Retry, plan_hash))?;
+                    }
+                }
+            }
+            other => {
+                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
+                felip_obs::counter!("server.frame.rejected", 1, "frames");
+                let e = WireError::Malformed(format!("client sent {other:?} frame"));
+                let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+                return Err(e);
+            }
+        }
+    }
+}

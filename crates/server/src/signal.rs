@@ -1,0 +1,62 @@
+//! Graceful-shutdown signal handling without a libc crate dependency.
+//!
+//! `std` already links the platform C library, so the `signal(2)` entry
+//! point can be declared directly. The handler does the only thing that is
+//! async-signal-safe here: store into a static atomic the serve loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; the serve loop treats it as the shutdown flag.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // `sighandler_t signal(int signum, sighandler_t handler)` — handlers
+    // are passed as plain function addresses.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+extern "C" fn handle_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers and returns the flag they set.
+///
+/// Either signal flips the flag; the serve loop then stops accepting,
+/// drains its queues, merges shards, snapshots, and exits 0.
+#[cfg(unix)]
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    // SAFETY: `handle_signal` only performs an atomic store, which is
+    // async-signal-safe; registering it cannot violate memory safety.
+    unsafe {
+        signal(SIGINT, handle_signal as *const () as usize);
+        signal(SIGTERM, handle_signal as *const () as usize);
+    }
+    &SHUTDOWN
+}
+
+/// On non-unix targets signals are not installed; the returned flag is only
+/// ever set programmatically.
+#[cfg(not(unix))]
+pub fn install_shutdown_handler() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_is_settable() {
+        let flag = install_shutdown_handler();
+        assert!(!flag.load(Ordering::SeqCst) || SHUTDOWN.load(Ordering::SeqCst));
+        // The handler itself is exercised by the CI serve job, which sends
+        // a real SIGTERM; here we only check the programmatic path.
+        SHUTDOWN.store(false, Ordering::SeqCst);
+        handle_signal(SIGTERM);
+        assert!(flag.load(Ordering::SeqCst));
+        SHUTDOWN.store(false, Ordering::SeqCst);
+    }
+}

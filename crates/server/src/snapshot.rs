@@ -1,0 +1,347 @@
+//! Durable aggregator snapshots (DESIGN.md §12.3).
+//!
+//! A snapshot is the aggregator's exact state — per-grid support counts and
+//! per-group report tallies, all `u64` integers — in a checksummed,
+//! versioned binary file:
+//!
+//! ```text
+//! magic:u32 "FSNP" | version:u8 | reserved:[u8;3] | plan_hash:u64
+//! total_reports:u64
+//! num_grids:u32  then per grid:  cells:u32  count[cells]:u64
+//! num_groups:u32 then per group: size:u64
+//! crc32:u32 over everything above
+//! ```
+//!
+//! Because counts are exact integers, `restore → continue ingesting →
+//! estimate` is bit-identical to a run that never stopped. Writes are
+//! atomic: the snapshot is written to a sibling temp file, fsynced, then
+//! renamed over the destination, so a crash mid-write leaves the previous
+//! snapshot intact and a torn file is rejected by the CRC on load.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+use felip::aggregator::{Aggregator, OracleSet};
+use felip::plan::CollectionPlan;
+
+use crate::wire::{crc32, WireError};
+
+/// Snapshot magic: the bytes `FSNP` read as a little-endian u32.
+pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"FSNP");
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// An aggregator's durable state, decoupled from the plan it was built for
+/// (the embedded `plan_hash` re-binds them at restore time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// [`CollectionPlan::schema_hash`] of the plan the counts belong to.
+    pub plan_hash: u64,
+    /// Per-grid support counts, exactly as accumulated.
+    pub counts: Vec<Vec<u64>>,
+    /// Reports ingested per group.
+    pub group_sizes: Vec<usize>,
+}
+
+impl Snapshot {
+    /// Captures the aggregator's current state.
+    pub fn capture(agg: &Aggregator, plan_hash: u64) -> Snapshot {
+        Snapshot {
+            plan_hash,
+            counts: agg.counts().to_vec(),
+            group_sizes: agg.group_sizes().to_vec(),
+        }
+    }
+
+    /// Total reports across all groups.
+    pub fn reports_ingested(&self) -> usize {
+        self.group_sizes.iter().sum()
+    }
+
+    /// Serialises the snapshot to its on-disk byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let cells: usize = self.counts.iter().map(Vec::len).sum();
+        let mut buf = Vec::with_capacity(32 + cells * 8 + self.group_sizes.len() * 8);
+        buf.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        buf.push(SNAPSHOT_VERSION);
+        buf.extend_from_slice(&[0u8; 3]);
+        buf.extend_from_slice(&self.plan_hash.to_le_bytes());
+        buf.extend_from_slice(&(self.reports_ingested() as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for grid in &self.counts {
+            buf.extend_from_slice(&(grid.len() as u32).to_le_bytes());
+            for &c in grid {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.group_sizes.len() as u32).to_le_bytes());
+        for &s in &self.group_sizes {
+            buf.extend_from_slice(&(s as u64).to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses and checksums an on-disk snapshot.
+    ///
+    /// Like the wire decoder this consumes untrusted bytes (a torn or
+    /// corrupted file), so every failure is a typed [`WireError`].
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, WireError> {
+        if bytes.len() < 4 {
+            return Err(WireError::Truncated {
+                have: bytes.len(),
+                need: 4,
+            });
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let expected = crc32(body);
+        let actual = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if expected != actual {
+            return Err(WireError::BadCrc { expected, actual });
+        }
+        let mut r = Reader { buf: body, pos: 0 };
+        let magic = r.u32()?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        r.take(3)?; // reserved
+        let plan_hash = r.u64()?;
+        let total = r.u64()?;
+        let num_grids = r.u32()? as usize;
+        if num_grids > r.remaining() / 4 {
+            return Err(WireError::Malformed(format!(
+                "grid count {num_grids} impossible"
+            )));
+        }
+        let mut counts = Vec::with_capacity(num_grids);
+        for _ in 0..num_grids {
+            let cells = r.u32()? as usize;
+            if cells > r.remaining() / 8 {
+                return Err(WireError::Malformed(format!(
+                    "cell count {cells} impossible"
+                )));
+            }
+            let mut grid = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                grid.push(r.u64()?);
+            }
+            counts.push(grid);
+        }
+        let num_groups = r.u32()? as usize;
+        if num_groups > r.remaining() / 8 {
+            return Err(WireError::Malformed(format!(
+                "group count {num_groups} impossible"
+            )));
+        }
+        let mut group_sizes = Vec::with_capacity(num_groups);
+        for _ in 0..num_groups {
+            group_sizes.push(r.u64()? as usize);
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes in snapshot",
+                r.remaining()
+            )));
+        }
+        let snap = Snapshot {
+            plan_hash,
+            counts,
+            group_sizes,
+        };
+        if snap.reports_ingested() as u64 != total {
+            return Err(WireError::Malformed(format!(
+                "header claims {total} reports, groups sum to {}",
+                snap.reports_ingested()
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// Atomically writes the snapshot to `path` (temp file + fsync +
+    /// rename), so readers never observe a partially written file.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let mut span = felip_obs::span!("server.snapshot.write");
+        let bytes = self.encode();
+        span.field("bytes", bytes.len());
+        span.field("reports", self.reports_ingested());
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        felip_obs::counter!("server.snapshot.writes", 1, "snapshots");
+        felip_obs::counter!("server.snapshot.bytes", bytes.len(), "bytes");
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn read(path: &Path) -> Result<Snapshot, WireError> {
+        let bytes = fs::read(path)?;
+        Snapshot::decode(&bytes)
+    }
+
+    /// Rebuilds a live [`Aggregator`] from this snapshot, verifying the
+    /// plan fingerprint and all shapes first.
+    pub fn restore(
+        self,
+        plan: Arc<CollectionPlan>,
+        oracles: Arc<OracleSet>,
+    ) -> Result<Aggregator, WireError> {
+        let ours = plan.schema_hash();
+        if self.plan_hash != ours {
+            return Err(WireError::PlanMismatch {
+                ours,
+                theirs: self.plan_hash,
+            });
+        }
+        Aggregator::restore(plan, oracles, self.counts, self.group_sizes)
+            .map_err(|e| WireError::Malformed(e.to_string()))
+    }
+}
+
+/// Bounds-checked little-endian reader (private twin of the wire reader).
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                have: self.remaining(),
+                need: n,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felip::client::respond;
+    use felip::config::FelipConfig;
+    use felip_common::rng::seeded_rng;
+    use felip_common::{Attribute, Schema};
+
+    fn plan() -> Arc<CollectionPlan> {
+        let schema = Schema::new(vec![
+            Attribute::numerical("a", 32),
+            Attribute::categorical("c", 3),
+        ])
+        .unwrap();
+        Arc::new(CollectionPlan::build(&schema, 2_000, &FelipConfig::new(1.0), 5).unwrap())
+    }
+
+    fn collected(plan: &Arc<CollectionPlan>, users: std::ops::Range<usize>) -> Aggregator {
+        let mut agg = Aggregator::new(Arc::clone(plan));
+        for u in users {
+            let mut rng = seeded_rng(u as u64);
+            let r = respond(plan, u, &[(u % 32) as u32, (u % 3) as u32], &mut rng).unwrap();
+            agg.ingest(&r).unwrap();
+        }
+        agg
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let plan = plan();
+        let agg = collected(&plan, 0..500);
+        let snap = Snapshot::capture(&agg, plan.schema_hash());
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.reports_ingested(), 500);
+    }
+
+    #[test]
+    fn decode_rejects_any_bit_flip() {
+        let plan = plan();
+        let agg = collected(&plan, 0..50);
+        let good = Snapshot::capture(&agg, plan.schema_hash()).encode();
+        for i in (0..good.len()).step_by(17) {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            assert!(Snapshot::decode(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        assert!(Snapshot::decode(&good[..good.len() / 2]).is_err());
+        assert!(Snapshot::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn restore_is_bit_identical() {
+        let plan = plan();
+        let whole = collected(&plan, 0..800);
+
+        // Stop after 300 users, snapshot, restore, continue with the rest.
+        let first = collected(&plan, 0..300);
+        let snap = Snapshot::capture(&first, plan.schema_hash());
+        let mut resumed = snap.restore(Arc::clone(&plan), first.oracles()).unwrap();
+        for u in 300..800 {
+            let mut rng = seeded_rng(u as u64);
+            let r = respond(&plan, u, &[(u % 32) as u32, (u % 3) as u32], &mut rng).unwrap();
+            resumed.ingest(&r).unwrap();
+        }
+        assert_eq!(resumed.counts(), whole.counts());
+        assert_eq!(resumed.group_sizes(), whole.group_sizes());
+        let a = resumed.estimate().unwrap();
+        let b = whole.estimate().unwrap();
+        for (ga, gb) in a.grids().iter().zip(b.grids()) {
+            assert_eq!(ga.freqs(), gb.freqs(), "estimates must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_plan() {
+        let plan = plan();
+        let agg = collected(&plan, 0..50);
+        let snap = Snapshot::capture(&agg, plan.schema_hash() ^ 1);
+        let err = snap.restore(Arc::clone(&plan), agg.oracles()).unwrap_err();
+        assert!(matches!(err, WireError::PlanMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let plan = plan();
+        let agg = collected(&plan, 0..100);
+        let snap = Snapshot::capture(&agg, plan.schema_hash());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("felip-snap-test-{}.bin", std::process::id()));
+        snap.write_atomic(&path).unwrap();
+        let read = Snapshot::read(&path).unwrap();
+        assert_eq!(read, snap);
+        // Overwrite in place: the rename replaces the old file atomically.
+        let later = Snapshot::capture(&collected(&plan, 0..200), plan.schema_hash());
+        later.write_atomic(&path).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap().reports_ingested(), 200);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,579 @@
+//! The versioned, length-prefixed binary wire format (DESIGN.md §12.1).
+//!
+//! Every exchange between a client and the ingestion server is a *frame*:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "FELP", little-endian u32
+//!      4     1  version      protocol version (currently 1)
+//!      5     1  kind         frame kind discriminant
+//!      6     2  reserved     must be zero
+//!      8     4  payload_len  payload byte count, ≤ MAX_PAYLOAD
+//!     12     8  plan_hash    CollectionPlan::schema_hash() of the sender
+//!     20     …  payload      kind-specific body
+//!      …     4  crc32        IEEE CRC-32 over header + payload
+//! ```
+//!
+//! All integers are explicit little-endian; encoding and decoding use only
+//! safe byte slicing (no `unsafe`, no transmutes), and decoding untrusted
+//! bytes returns a typed [`WireError`] — it never panics and never
+//! allocates more than the declared (bounded) payload length.
+//!
+//! A `ReportBatch` payload carries perturbed [`UserReport`]s:
+//!
+//! ```text
+//! count:u32  then per report:
+//!   group:u32  tag:u8
+//!   tag 0 (GRR)  value:u32
+//!   tag 1 (OLH)  seed:u64  value:u32
+//!   tag 2 (OUE)  words:u32  word[words]:u64
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use felip::client::UserReport;
+use felip_fo::Report;
+
+/// Frame magic: the bytes `FELP` read as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"FELP");
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 20;
+
+/// Trailing checksum size in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Upper bound on a frame's payload, rejecting absurd length prefixes
+/// before any allocation happens (16 MiB ≫ any sane report batch).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/Ethernet polynomial) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// What kind of frame this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: opens a session; both sides verify `plan_hash`.
+    Hello = 0,
+    /// Client → server: a batch of perturbed user reports.
+    ReportBatch = 1,
+    /// Server → client: the previous frame was accepted.
+    Ack = 2,
+    /// Server → client: the ingest queue is full — back off and resend.
+    Retry = 3,
+    /// Either direction: protocol error; payload is a UTF-8 message.
+    Error = 4,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(FrameKind::Hello),
+            1 => Ok(FrameKind::ReportBatch),
+            2 => Ok(FrameKind::Ack),
+            3 => Ok(FrameKind::Retry),
+            4 => Ok(FrameKind::Error),
+            other => Err(WireError::BadKind(other)),
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame kind.
+    pub kind: FrameKind,
+    /// The sender's [`felip::plan::CollectionPlan::schema_hash`].
+    pub plan_hash: u64,
+    /// Kind-specific body.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A payload-less frame of the given kind.
+    pub fn control(kind: FrameKind, plan_hash: u64) -> Frame {
+        Frame {
+            kind,
+            plan_hash,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An `Error` frame carrying a human-readable message.
+    pub fn error(plan_hash: u64, message: &str) -> Frame {
+        Frame {
+            kind: FrameKind::Error,
+            plan_hash,
+            payload: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serialises the frame: header, payload, CRC-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len() + TRAILER_LEN);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.push(VERSION);
+        buf.push(self.kind as u8);
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.plan_hash.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes exactly one frame from `buf`, rejecting trailing bytes.
+    ///
+    /// This is the pure-slice twin of [`read_frame`], used by tests and any
+    /// transport that already framed the bytes.
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        if buf.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: HEADER_LEN + TRAILER_LEN,
+            });
+        }
+        let (head, payload_len) = parse_header(&buf[..HEADER_LEN])?;
+        let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+        if buf.len() < total {
+            return Err(WireError::Truncated {
+                have: buf.len(),
+                need: total,
+            });
+        }
+        if buf.len() > total {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after frame",
+                buf.len() - total
+            )));
+        }
+        let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len as usize];
+        let expected = crc32(&buf[..total - TRAILER_LEN]);
+        let actual = u32::from_le_bytes(buf[total - TRAILER_LEN..total].try_into().unwrap());
+        if expected != actual {
+            return Err(WireError::BadCrc { expected, actual });
+        }
+        Ok(Frame {
+            kind: head.0,
+            plan_hash: head.1,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// Parses a fixed-size header; returns `((kind, plan_hash), payload_len)`.
+fn parse_header(h: &[u8]) -> Result<((FrameKind, u64), u32), WireError> {
+    debug_assert_eq!(h.len(), HEADER_LEN);
+    let magic = u32::from_le_bytes(h[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = h[4];
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = FrameKind::from_u8(h[5])?;
+    let reserved = u16::from_le_bytes(h[6..8].try_into().unwrap());
+    if reserved != 0 {
+        return Err(WireError::Malformed(format!(
+            "reserved header bytes are {reserved:#06x}, expected zero"
+        )));
+    }
+    let payload_len = u32::from_le_bytes(h[8..12].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::TooLarge(payload_len));
+    }
+    let plan_hash = u64::from_le_bytes(h[12..20].try_into().unwrap());
+    Ok(((kind, plan_hash), payload_len))
+}
+
+/// Writes one frame to `w` (a single buffered `write_all`).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())?;
+    w.flush()
+}
+
+/// Reads one frame from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF *between* frames; EOF mid-frame is an
+/// error (a truncated stream, e.g. a client killed mid-write).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let (head, payload_len) = parse_header(&header)?;
+    let mut rest = vec![0u8; payload_len as usize + TRAILER_LEN];
+    r.read_exact(&mut rest).map_err(WireError::Io)?;
+    let body_end = payload_len as usize;
+    let mut crc_input = Vec::with_capacity(HEADER_LEN + body_end);
+    crc_input.extend_from_slice(&header);
+    crc_input.extend_from_slice(&rest[..body_end]);
+    let expected = crc32(&crc_input);
+    let actual = u32::from_le_bytes(rest[body_end..].try_into().unwrap());
+    if expected != actual {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    rest.truncate(body_end);
+    Ok(Some(Frame {
+        kind: head.0,
+        plan_hash: head.1,
+        payload: rest,
+    }))
+}
+
+/// Serialises a batch of user reports into a `ReportBatch` payload.
+pub fn encode_reports(reports: &[UserReport]) -> Result<Vec<u8>, WireError> {
+    if reports.len() > u32::MAX as usize {
+        return Err(WireError::Malformed("batch exceeds u32 count".into()));
+    }
+    let mut buf = Vec::with_capacity(4 + reports.len() * 16);
+    buf.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+    for r in reports {
+        let group = u32::try_from(r.group)
+            .map_err(|_| WireError::Malformed(format!("group {} exceeds u32", r.group)))?;
+        buf.extend_from_slice(&group.to_le_bytes());
+        match &r.report {
+            Report::Grr(v) => {
+                buf.push(0);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            Report::Olh { seed, value } => {
+                buf.push(1);
+                buf.extend_from_slice(&seed.to_le_bytes());
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+            Report::Oue(words) => {
+                buf.push(2);
+                let n = u32::try_from(words.len())
+                    .map_err(|_| WireError::Malformed("OUE word count exceeds u32".into()))?;
+                buf.extend_from_slice(&n.to_le_bytes());
+                for w in words {
+                    buf.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Parses a `ReportBatch` payload back into user reports.
+///
+/// Every read is bounds-checked against the remaining payload, so hostile
+/// length prefixes cannot trigger large allocations or panics.
+pub fn decode_reports(payload: &[u8]) -> Result<Vec<UserReport>, WireError> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    // Smallest report encoding is 9 bytes (group + tag + u32 body); an
+    // impossible count is rejected before reserving capacity for it.
+    if count > payload.len() / 9 {
+        return Err(WireError::Malformed(format!(
+            "report count {count} impossible in a {}-byte payload",
+            payload.len()
+        )));
+    }
+    let mut reports = Vec::with_capacity(count);
+    for _ in 0..count {
+        let group = r.u32()? as usize;
+        let report = match r.u8()? {
+            0 => Report::Grr(r.u32()?),
+            1 => Report::Olh {
+                seed: r.u64()?,
+                value: r.u32()?,
+            },
+            2 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 8 {
+                    return Err(WireError::Malformed(format!(
+                        "OUE word count {n} exceeds remaining payload"
+                    )));
+                }
+                let mut words = Vec::with_capacity(n);
+                for _ in 0..n {
+                    words.push(r.u64()?);
+                }
+                Report::Oue(words)
+            }
+            tag => return Err(WireError::Malformed(format!("unknown report tag {tag}"))),
+        };
+        reports.push(UserReport { group, report });
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after {count} reports",
+            r.remaining()
+        )));
+    }
+    Ok(reports)
+}
+
+/// Serialises an `Ack` payload carrying the number of accepted reports.
+pub fn encode_ack(accepted: u32) -> Vec<u8> {
+    accepted.to_le_bytes().to_vec()
+}
+
+/// Parses an `Ack` payload.
+pub fn decode_ack(payload: &[u8]) -> Result<u32, WireError> {
+    let mut r = ByteReader::new(payload);
+    let n = r.u32()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized ack payload".into()));
+    }
+    Ok(n)
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                have: self.remaining(),
+                need: n,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Everything that can go wrong speaking the wire protocol (or reading a
+/// snapshot, which shares the checksummed-binary discipline).
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// The stream does not start with the FELP magic.
+    BadMagic(u32),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame-kind discriminant.
+    BadKind(u8),
+    /// Checksum mismatch: the frame was corrupted in transit or on disk.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        expected: u32,
+        /// CRC carried by the frame.
+        actual: u32,
+    },
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(u32),
+    /// Fewer bytes than a field or frame requires.
+    Truncated {
+        /// Bytes available.
+        have: usize,
+        /// Bytes needed.
+        need: usize,
+    },
+    /// Structurally invalid contents (bad tag, trailing bytes, ...).
+    Malformed(String),
+    /// The peer (or snapshot) was built for a different `CollectionPlan`.
+    PlanMismatch {
+        /// Our plan's schema hash.
+        ours: u64,
+        /// The peer's schema hash.
+        theirs: u64,
+    },
+    /// The server rejected a frame; carries its error message.
+    Rejected(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "crc mismatch: computed {expected:#010x}, frame carries {actual:#010x}"
+                )
+            }
+            WireError::TooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated: have {have} bytes, need {need}")
+            }
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::PlanMismatch { ours, theirs } => write!(
+                f,
+                "collection plan mismatch: ours {ours:#018x}, peer {theirs:#018x}"
+            ),
+            WireError::Rejected(m) => write!(f, "rejected by server: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let frame = Frame {
+            kind: FrameKind::ReportBatch,
+            plan_hash: 0xDEAD_BEEF_F00D_CAFE,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = frame.encode();
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let frame = Frame::control(FrameKind::Hello, 7);
+        let good = frame.encode();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(Frame::decode(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        assert!(matches!(
+            Frame::decode(&good[..good.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_length() {
+        let mut bytes = Frame::control(FrameKind::Hello, 0).encode();
+        // Inflate the declared payload length beyond the cap; the length
+        // check must fire before any allocation or CRC work.
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(Frame::decode(&bytes), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn reports_round_trip() {
+        let reports = vec![
+            UserReport {
+                group: 0,
+                report: Report::Grr(42),
+            },
+            UserReport {
+                group: 3,
+                report: Report::Olh {
+                    seed: u64::MAX,
+                    value: 5,
+                },
+            },
+            UserReport {
+                group: 1,
+                report: Report::Oue(vec![0xAAAA, 0, u64::MAX]),
+            },
+        ];
+        let payload = encode_reports(&reports).unwrap();
+        assert_eq!(decode_reports(&payload).unwrap(), reports);
+    }
+
+    #[test]
+    fn report_decode_rejects_bad_tags_and_counts() {
+        let mut payload = encode_reports(&[UserReport {
+            group: 0,
+            report: Report::Grr(1),
+        }])
+        .unwrap();
+        payload[8] = 9; // tag byte of the first report
+        assert!(decode_reports(&payload).is_err());
+
+        // Count claims more reports than the payload can possibly hold.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_reports(&huge).is_err());
+    }
+
+    #[test]
+    fn ack_round_trips() {
+        assert_eq!(decode_ack(&encode_ack(12345)).unwrap(), 12345);
+        assert!(decode_ack(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end serve tests over loopback TCP: a served collection must be
+//! bit-identical to an offline one, including across kill + resume.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+use felip_server::loadgen::{offline_reference, user_report};
+use felip_server::{Client, Server, ServerConfig, ServerRun};
+
+fn plan() -> Arc<CollectionPlan> {
+    let schema = Schema::new(vec![
+        Attribute::numerical("a", 64),
+        Attribute::categorical("c", 4),
+    ])
+    .unwrap();
+    Arc::new(CollectionPlan::build(&schema, 4_000, &FelipConfig::new(1.0), 17).unwrap())
+}
+
+/// Boots a server, streams `users` over `connections` clients in batches,
+/// shuts down gracefully, and returns the merged run.
+fn serve_users(
+    plan: &Arc<CollectionPlan>,
+    config: ServerConfig,
+    users: std::ops::Range<usize>,
+    connections: usize,
+    seed: u64,
+) -> ServerRun {
+    let server = Server::bind(Arc::clone(plan), config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = thread::spawn(move || server.run(None).expect("serve"));
+
+    let plan_hash = plan.schema_hash();
+    let user_list: Vec<usize> = users.collect();
+    let chunk = user_list.len().div_ceil(connections.max(1));
+    thread::scope(|s| {
+        for slice in user_list.chunks(chunk.max(1)) {
+            let plan = Arc::clone(plan);
+            s.spawn(move || {
+                let mut client = Client::connect(addr, plan_hash).expect("connect");
+                for batch in slice.chunks(50) {
+                    let reports: Vec<_> = batch
+                        .iter()
+                        .map(|&u| user_report(&plan, u, seed).unwrap())
+                        .collect();
+                    client.send_batch_retrying(&reports).expect("send");
+                }
+            });
+        }
+    });
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    server_thread.join().expect("join server")
+}
+
+#[test]
+fn served_counts_match_offline_collection() {
+    let plan = plan();
+    let run = serve_users(&plan, ServerConfig::default(), 0..1_500, 3, 99);
+    let offline = offline_reference(&plan, 0..1_500, 99).unwrap();
+
+    assert_eq!(run.aggregator.reports_ingested(), 1_500);
+    assert_eq!(run.aggregator.counts(), offline.counts());
+    assert_eq!(run.aggregator.group_sizes(), offline.group_sizes());
+    assert_eq!(run.stats.reports_accepted, 1_500);
+    assert!(run.stats.connections >= 3);
+
+    let a = run.aggregator.estimate().unwrap();
+    let b = offline.estimate().unwrap();
+    for (ga, gb) in a.grids().iter().zip(b.grids()) {
+        assert_eq!(ga.freqs(), gb.freqs(), "served estimates must be exact");
+    }
+}
+
+#[test]
+fn tiny_queue_backpressure_loses_nothing() {
+    // One worker with a single-slot queue: RETRYs are likely, and the
+    // retry-until-ack client loop must still deliver every report exactly
+    // once.
+    let plan = plan();
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let run = serve_users(&plan, config, 0..1_000, 4, 7);
+    let offline = offline_reference(&plan, 0..1_000, 7).unwrap();
+    assert_eq!(run.aggregator.counts(), offline.counts());
+    assert_eq!(run.aggregator.group_sizes(), offline.group_sizes());
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let plan = plan();
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("felip-e2e-resume-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+
+    // First run: first half of the users, snapshot on shutdown.
+    let first_cfg = ServerConfig {
+        snapshot_path: Some(snap.clone()),
+        snapshot_every: Some(Duration::from_millis(50)),
+        ..ServerConfig::default()
+    };
+    let first = serve_users(&plan, first_cfg, 0..800, 2, 123);
+    assert_eq!(first.aggregator.reports_ingested(), 800);
+    assert!(snap.exists(), "graceful shutdown must leave a snapshot");
+    assert!(first.stats.snapshots_written >= 1);
+
+    // Second run resumes from the snapshot and serves the second half.
+    let second_cfg = ServerConfig {
+        snapshot_path: Some(snap.clone()),
+        resume: Some(snap.clone()),
+        ..ServerConfig::default()
+    };
+    let second = serve_users(&plan, second_cfg, 800..1_600, 2, 123);
+    assert_eq!(second.aggregator.reports_ingested(), 1_600);
+
+    let offline = offline_reference(&plan, 0..1_600, 123).unwrap();
+    assert_eq!(second.aggregator.counts(), offline.counts());
+    assert_eq!(second.aggregator.group_sizes(), offline.group_sizes());
+    let a = second.aggregator.estimate().unwrap();
+    let b = offline.estimate().unwrap();
+    for (ga, gb) in a.grids().iter().zip(b.grids()) {
+        assert_eq!(ga.freqs(), gb.freqs(), "resume must not perturb estimates");
+    }
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn mismatched_plan_is_rejected_at_handshake() {
+    let plan = plan();
+    let server = Server::bind(Arc::clone(&plan), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let t = thread::spawn(move || server.run(None).unwrap());
+
+    let err = match Client::connect(addr, plan.schema_hash() ^ 1) {
+        Ok(_) => panic!("handshake with a foreign plan hash must fail"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, felip_server::WireError::Rejected(_)), "{err}");
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    let run = t.join().unwrap();
+    assert_eq!(run.aggregator.reports_ingested(), 0);
+    assert!(run.stats.frames_rejected >= 1);
+}
