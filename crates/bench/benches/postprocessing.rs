@@ -57,7 +57,7 @@ fn bench_consistency(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter_batched(
                 || make_grids(d),
-                |(mut grids, vars)| enforce_consistency(black_box(&mut grids), 0, &vars),
+                |(mut grids, vars)| enforce_consistency(black_box(&mut grids), 0, &vars).unwrap(),
                 criterion::BatchSize::SmallInput,
             )
         });
@@ -71,7 +71,7 @@ fn bench_full_post_process(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter_batched(
                 || make_grids(d),
-                |(mut grids, vars)| post_process(black_box(&mut grids), 2, &vars, 2),
+                |(mut grids, vars)| post_process(black_box(&mut grids), 2, &vars, 2).unwrap(),
                 criterion::BatchSize::SmallInput,
             )
         });

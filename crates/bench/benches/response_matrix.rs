@@ -43,7 +43,9 @@ fn bench_build(c: &mut Criterion) {
             distribution(l1 as usize, 3),
         );
         g.bench_with_input(BenchmarkId::new("hybrid", d), &d, |b, _| {
-            b.iter(|| ResponseMatrix::build(0, 1, d, d, black_box(&[&g2, &g1a, &g1b]), 1e-6))
+            b.iter(|| {
+                ResponseMatrix::build(0, 1, d, d, black_box(&[&g2, &g1a, &g1b]), 1e-6).unwrap()
+            })
         });
     }
     g.finish();

@@ -22,6 +22,7 @@
 //! `DIR/<figure>.csv`.
 
 pub mod ablations;
+pub mod chaos;
 pub mod figures;
 pub mod perf;
 pub mod profile;

@@ -46,6 +46,9 @@ pub struct PerfOptions {
     /// Run the serve load generator instead of the kernel sweep
     /// (`--serve-loadgen`; see [`crate::serve`]).
     pub serve: Option<crate::serve::ServeLoadOptions>,
+    /// Run the deterministic chaos sweep instead of the kernel sweep
+    /// (`--chaos`; see [`crate::chaos`]). `--seed N` reproduces one seed.
+    pub chaos: Option<crate::chaos::ChaosOptions>,
 }
 
 impl Default for PerfOptions {
@@ -61,6 +64,7 @@ impl Default for PerfOptions {
             work: 1 << 24,
             repeats: 3,
             serve: None,
+            chaos: None,
         }
     }
 }
@@ -68,7 +72,8 @@ impl Default for PerfOptions {
 impl PerfOptions {
     /// Parses `perf_smoke` flags (`--baseline-scalar`, `--obs-overhead`,
     /// `--metrics`, `--out PATH`, `--obs-out PATH`, `--work N`,
-    /// `--repeats N`, and the `--serve-*` load-generator family).
+    /// `--repeats N`, the `--serve-*` load-generator family, and the
+    /// `--chaos` fault-injection family).
     ///
     /// # Panics
     /// Panics on unknown flags or malformed values, printing usage.
@@ -128,13 +133,29 @@ impl PerfOptions {
                     opts.serve.get_or_insert_with(Default::default).out =
                         args.next().expect("--serve-out requires a path");
                 }
+                "--chaos" => {
+                    opts.chaos.get_or_insert_with(Default::default);
+                }
+                "--chaos-seeds" => {
+                    opts.chaos.get_or_insert_with(Default::default).seeds =
+                        parse(&mut args, "--chaos-seeds");
+                }
+                "--seed" => {
+                    opts.chaos.get_or_insert_with(Default::default).seed =
+                        Some(parse(&mut args, "--seed"));
+                }
+                "--chaos-out" => {
+                    opts.chaos.get_or_insert_with(Default::default).out =
+                        args.next().expect("--chaos-out requires a path");
+                }
                 other => panic!(
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
                      [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
                      [--work N] [--repeats N] [--serve-loadgen] \
                      [--serve-connections N] [--serve-users N] [--serve-batch N] \
                      [--serve-workers N] [--serve-queue N] [--serve-seed N] \
-                     [--serve-out PATH]"
+                     [--serve-out PATH] [--chaos] [--chaos-seeds N] [--seed N] \
+                     [--chaos-out PATH]"
                 ),
             }
         }
@@ -336,6 +357,10 @@ pub fn to_json(points: &[PerfPoint], opts: &PerfOptions) -> Value {
 pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
     if opts.metrics {
         felip_obs::enable();
+    }
+    if let Some(chaos) = &opts.chaos {
+        crate::chaos::chaos_smoke(chaos)?;
+        return Ok(());
     }
     if let Some(serve) = &opts.serve {
         crate::serve::serve_smoke(serve)?;

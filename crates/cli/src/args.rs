@@ -16,6 +16,7 @@ USAGE:
     felip serve   --attrs <spec> --n <users> --epsilon <eps> [--addr <host:port>]
                   [--workers <w>] [--queue <batches>] [--snapshot <path>]
                   [--snapshot-every-ms <ms>] [--resume <path>] [--plan-seed <seed>]
+                  [--read-timeout-ms <ms>] [--idle-timeout-ms <ms>]
     felip load    --attrs <spec> --n <users> --epsilon <eps> --users <count>
                   [--addr <host:port>] [--from <user>] [--connections <c>]
                   [--batch <reports>] [--seed <seed>] [--plan-seed <seed>]

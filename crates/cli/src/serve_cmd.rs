@@ -56,6 +56,9 @@ pub fn serve(args: &[String]) -> CmdResult {
             ms => Some(Duration::from_millis(ms)),
         },
         resume: flags.get("resume").map(PathBuf::from),
+        read_timeout: Duration::from_millis(flags.get_or("read-timeout-ms", 5_000u64)?),
+        idle_timeout: Duration::from_millis(flags.get_or("idle-timeout-ms", 30_000u64)?),
+        ..ServerConfig::default()
     };
 
     let server = Server::bind(Arc::clone(&plan), config)?;

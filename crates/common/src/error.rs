@@ -28,6 +28,10 @@ pub enum Error {
     /// width, OLH value outside the hash range, ...). Untrusted wire input
     /// reaches the oracles directly, so this is an error, never a panic.
     ReportMismatch(String),
+    /// A numerical stage received or produced a non-finite value (NaN/Inf
+    /// frequencies from a degenerate grid, ...). Estimation pipelines must
+    /// surface this instead of silently fitting garbage.
+    NumericalInstability(String),
 }
 
 impl fmt::Display for Error {
@@ -39,6 +43,7 @@ impl fmt::Display for Error {
             Error::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             Error::InvalidReport(m) => write!(f, "invalid report: {m}"),
             Error::ReportMismatch(m) => write!(f, "report mismatch: {m}"),
+            Error::NumericalInstability(m) => write!(f, "numerical instability: {m}"),
         }
     }
 }

@@ -204,6 +204,25 @@ impl Aggregator {
         &self.counts
     }
 
+    /// Order-sensitive 64-bit digest of the exact aggregator state (counts
+    /// and group sizes). Two aggregators have equal digests iff their state
+    /// is bit-identical — a compact fingerprint for determinism checks and
+    /// simulation traces, far cheaper to compare and log than the full
+    /// count vectors.
+    pub fn counts_digest(&self) -> u64 {
+        let mut h = 0x6366_5f64_6967_6573u64; // "cf_diges"
+        for grid in &self.counts {
+            h = felip_common::hash::mix64(h ^ grid.len() as u64);
+            for &c in grid {
+                h = felip_common::hash::mix64(h ^ c);
+            }
+        }
+        for &s in &self.group_sizes {
+            h = felip_common::hash::mix64(h ^ s as u64);
+        }
+        h
+    }
+
     /// Folds one user report into the group's support counts.
     pub fn ingest(&mut self, report: &UserReport) -> Result<()> {
         let g = report.group;
@@ -321,7 +340,7 @@ impl Aggregator {
             self.plan.schema().len(),
             &variances,
             self.plan.config().postprocess_rounds,
-        );
+        )?;
         Ok(Estimator::new(Arc::clone(&self.plan), grids))
     }
 }

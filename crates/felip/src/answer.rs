@@ -102,7 +102,7 @@ impl Estimator {
                 schema.domain(j),
                 &related,
                 self.threshold(),
-            )
+            )?
         };
         let arc = Arc::new(matrix);
         self.matrices

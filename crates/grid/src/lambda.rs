@@ -53,7 +53,31 @@ impl From<PairAnswer> for Constraint {
 }
 
 /// Hard cap on fitting sweeps.
-const MAX_SWEEPS: usize = 500;
+pub const MAX_SWEEPS: usize = 500;
+
+/// Outcome of an IPF fit: the fitted vector plus convergence diagnostics.
+///
+/// [`fit_constraints`] keeps its plain-`Vec` signature for pipeline callers;
+/// tests and diagnostics use [`fit_constraints_full`] to assert the fit
+/// actually converged below the requested threshold instead of hitting the
+/// [`MAX_SWEEPS`] cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// The fitted `2^λ` probability vector.
+    pub z: Vec<f64>,
+    /// Sweeps actually performed (≤ [`MAX_SWEEPS`]).
+    pub sweeps: usize,
+    /// Summed absolute per-entry change of the final sweep.
+    pub residual: f64,
+}
+
+impl FitResult {
+    /// True when the final sweep's residual fell below `threshold` (i.e. the
+    /// loop exited by convergence, not by the sweep cap).
+    pub fn converged(&self, threshold: f64) -> bool {
+        self.residual < threshold
+    }
+}
 
 /// Algorithm 4: estimates the λ-D answer from its `C(λ, 2)` associated 2-D
 /// answers. `threshold` is the convergence bound on the summed absolute
@@ -88,6 +112,20 @@ pub fn fit_lambda(lambda: usize, pairs: &[PairAnswer], threshold: f64) -> Vec<f6
 /// Panics when `lambda < 2`, when a constraint's mask is zero or references
 /// a slot `≥ λ`, or when `constraints` is empty.
 pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64) -> Vec<f64> {
+    fit_constraints_full(lambda, constraints, threshold).z
+}
+
+/// [`fit_constraints`] with convergence diagnostics: returns the fitted
+/// vector together with the sweep count and final residual so callers can
+/// assert convergence (see [`FitResult::converged`]).
+///
+/// # Panics
+/// Same contract as [`fit_constraints`].
+pub fn fit_constraints_full(
+    lambda: usize,
+    constraints: &[Constraint],
+    threshold: f64,
+) -> FitResult {
     assert!(lambda >= 2, "lambda must be at least 2, got {lambda}");
     assert!(
         lambda <= 20,
@@ -103,7 +141,7 @@ pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64
         );
     }
     let mut z = vec![1.0 / size as f64; size];
-    let mut sweeps: u64 = 0;
+    let mut sweeps: usize = 0;
     let mut residual = 0.0;
     for _ in 0..MAX_SWEEPS {
         sweeps += 1;
@@ -159,9 +197,13 @@ pub fn fit_constraints(lambda: usize, constraints: &[Constraint], threshold: f64
             break;
         }
     }
-    felip_obs::hist!("grid.ipf.sweeps", sweeps, "sweeps");
+    felip_obs::hist!("grid.ipf.sweeps", sweeps as u64, "sweeps");
     felip_obs::gauge_f64!("grid.ipf.residual", residual);
-    z
+    FitResult {
+        z,
+        sweeps,
+        residual,
+    }
 }
 
 /// Convenience wrapper: runs [`fit_lambda`] and returns the all-predicates

@@ -20,9 +20,26 @@
 //! the inverse-variance weights reduce to the `θ_j ∝ 1/|L_j|` of Algorithm 2.
 
 use crate::estimate::EstimatedGrid;
+use felip_common::{Error, Result};
 
 /// Maximum norm-sub sweeps; convergence is typically < 10 sweeps.
 const MAX_NORM_SUB_ITERS: usize = 1_000;
+
+/// Rejects grids whose frequencies contain NaN/Inf before any mass is moved;
+/// a single non-finite cell would otherwise poison every grid sharing an
+/// attribute with it through the weighted averages.
+fn check_finite(grids: &[EstimatedGrid], stage: &str) -> Result<()> {
+    for g in grids {
+        if let Some(cell) = g.freqs().iter().position(|f| !f.is_finite()) {
+            return Err(Error::NumericalInstability(format!(
+                "{stage}: grid {} cell {cell} frequency is {}",
+                g.spec().id(),
+                g.freqs()[cell]
+            )));
+        }
+    }
+    Ok(())
+}
 
 /// Algorithm 1: removes negative estimations and renormalises to `target`
 /// total mass (1.0 for frequency grids).
@@ -95,13 +112,24 @@ pub fn norm_sub(freqs: &mut [f64], target: f64) {
 /// deficit proportionally to their overlap (the paper's `(S − S_j)/|L|`
 /// update, generalised to fractional overlaps), spread equally along the
 /// marginalised axis for 2-D grids.
-pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_variances: &[f64]) {
+pub fn enforce_consistency(
+    grids: &mut [EstimatedGrid],
+    attr: usize,
+    cell_variances: &[f64],
+) -> Result<()> {
     assert_eq!(grids.len(), cell_variances.len(), "one variance per grid");
+    check_finite(grids, "enforce_consistency")?;
+    if let Some(i) = cell_variances.iter().position(|v| !v.is_finite()) {
+        return Err(Error::NumericalInstability(format!(
+            "enforce_consistency: variance of grid #{i} is {}",
+            cell_variances[i]
+        )));
+    }
     let involved: Vec<usize> = (0..grids.len())
         .filter(|&i| grids[i].spec().id().covers(attr))
         .collect();
     if involved.len() < 2 {
-        return; // nothing to reconcile
+        return Ok(()); // nothing to reconcile
     }
 
     // Subdomains: the coarsest involved binning along `attr`.
@@ -193,6 +221,7 @@ pub fn enforce_consistency(grids: &mut [EstimatedGrid], attr: usize, cell_varian
         (mass_moved * 1e6) as u64,
         "ppm"
     );
+    Ok(())
 }
 
 /// Adds `delta` to the total mass of the cells of `grid` whose coordinate
@@ -250,11 +279,12 @@ pub fn post_process(
     num_attrs: usize,
     cell_variances: &[f64],
     rounds: usize,
-) {
+) -> Result<()> {
     let _span = felip_obs::span!("postprocess");
+    check_finite(grids, "post_process")?;
     for _ in 0..rounds {
         for attr in 0..num_attrs {
-            enforce_consistency(grids, attr, cell_variances);
+            enforce_consistency(grids, attr, cell_variances)?;
         }
         for g in grids.iter_mut() {
             norm_sub(g.freqs_mut(), 1.0);
@@ -263,6 +293,7 @@ pub fn post_process(
     for g in grids.iter_mut() {
         norm_sub(g.freqs_mut(), 1.0);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -347,7 +378,7 @@ mod tests {
             EstimatedGrid::new(gb, vec![0.2, 0.2, 0.3, 0.3]),
         ];
         // Equal per-cell variances.
-        enforce_consistency(&mut grids, 0, &[1.0, 1.0]);
+        enforce_consistency(&mut grids, 0, &[1.0, 1.0]).unwrap();
         // Halves implied by each grid must now agree.
         let a_first_half = grids[0].freqs()[0];
         let b_first_half = grids[1].freqs()[0] + grids[1].freqs()[1];
@@ -371,7 +402,7 @@ mod tests {
             EstimatedGrid::new(gb, vec![0.2, 0.8]),
         ];
         // Grid 0 has 100× lower variance → the average should sit near 0.8.
-        enforce_consistency(&mut grids, 0, &[0.01, 1.0]);
+        enforce_consistency(&mut grids, 0, &[0.01, 1.0]).unwrap();
         assert!(grids[0].freqs()[0] > 0.75, "{}", grids[0].freqs()[0]);
         assert!(grids[1].freqs()[0] > 0.75, "{}", grids[1].freqs()[0]);
     }
@@ -386,7 +417,7 @@ mod tests {
             EstimatedGrid::new(g1, vec![0.1, 0.2, 0.3, 0.4]),
             EstimatedGrid::new(g2, vec![0.25, 0.25, 0.25, 0.25]),
         ];
-        enforce_consistency(&mut grids, 0, &[1.0, 1.0]);
+        enforce_consistency(&mut grids, 0, &[1.0, 1.0]).unwrap();
         // x-halves must agree between the grids.
         let h1 = grids[0].freqs()[0] + grids[0].freqs()[1];
         let h2 = grids[1].freqs()[0] + grids[1].freqs()[1];
@@ -406,7 +437,7 @@ mod tests {
             EstimatedGrid::new(ga, vec![0.5, 0.3, 0.2]),
             EstimatedGrid::new(gb, vec![0.1, 0.4, 0.4, 0.1]),
         ];
-        enforce_consistency(&mut grids, 0, &[1.0, 2.0]);
+        enforce_consistency(&mut grids, 0, &[1.0, 2.0]).unwrap();
         // Mass is approximately conserved (norm-sub restores the exact
         // total afterwards, per §5.4).
         assert!(
@@ -434,12 +465,47 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_frequencies_are_typed_errors() {
+        use felip_common::Error;
+        let s = schema();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let ga = GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap();
+            let gb = GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap();
+            let mut grids = vec![
+                EstimatedGrid::new(ga, vec![0.5, bad]),
+                EstimatedGrid::new(gb, vec![0.5, 0.5]),
+            ];
+            let err = enforce_consistency(&mut grids, 0, &[1.0, 1.0]).unwrap_err();
+            assert!(
+                matches!(err, Error::NumericalInstability(_)),
+                "{bad}: {err}"
+            );
+            let err = post_process(&mut grids, 2, &[1.0, 1.0], 1).unwrap_err();
+            assert!(matches!(err, Error::NumericalInstability(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_variances_are_typed_errors() {
+        use felip_common::Error;
+        let s = schema();
+        let ga = GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap();
+        let gb = GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap();
+        let mut grids = vec![
+            EstimatedGrid::new(ga, vec![0.5, 0.5]),
+            EstimatedGrid::new(gb, vec![0.4, 0.6]),
+        ];
+        let err = enforce_consistency(&mut grids, 0, &[1.0, f64::NAN]).unwrap_err();
+        assert!(matches!(err, Error::NumericalInstability(_)), "{err}");
+    }
+
+    #[test]
     fn consistency_single_grid_is_noop() {
         let s = schema();
         let ga = GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap();
         let before = vec![0.7, 0.3];
         let mut grids = vec![EstimatedGrid::new(ga, before.clone())];
-        enforce_consistency(&mut grids, 0, &[1.0]);
+        enforce_consistency(&mut grids, 0, &[1.0]).unwrap();
         assert_eq!(grids[0].freqs(), before.as_slice());
     }
 
@@ -452,7 +518,7 @@ mod tests {
             EstimatedGrid::new(g1, vec![-0.05, 0.55, 0.35, 0.25]),
             EstimatedGrid::new(g2, vec![0.2, -0.1, 0.15, 0.05, 0.3, 0.1, 0.2, 0.05, 0.1]),
         ];
-        post_process(&mut grids, 2, &[1.0, 1.0], 3);
+        post_process(&mut grids, 2, &[1.0, 1.0], 3).unwrap();
         for g in &grids {
             assert!(g.freqs().iter().all(|&f| f >= 0.0), "{:?}", g.freqs());
             assert!((g.total() - 1.0).abs() < 1e-6, "total {}", g.total());

@@ -12,7 +12,7 @@
 //! When both attributes are categorical the pair's grid is already at value
 //! granularity and *is* the response matrix.
 
-use felip_common::{Predicate, PredicateTarget};
+use felip_common::{Error, Predicate, PredicateTarget, Result};
 
 use crate::estimate::EstimatedGrid;
 use crate::spec::GridId;
@@ -40,6 +40,10 @@ impl ResponseMatrix {
     /// attributes. `threshold` is the convergence bound on the summed
     /// absolute per-sweep change (use `1/n`).
     ///
+    /// Grids carrying non-finite frequencies (NaN/Inf from a degenerate
+    /// estimation) are rejected with [`Error::NumericalInstability`]: one
+    /// NaN constraint would silently poison the whole fit.
+    ///
     /// # Panics
     /// Panics when `related` is empty or contains a grid over a foreign
     /// attribute.
@@ -50,7 +54,7 @@ impl ResponseMatrix {
         dj: u32,
         related: &[&EstimatedGrid],
         threshold: f64,
-    ) -> Self {
+    ) -> Result<Self> {
         let _span = felip_obs::span!("response_matrix");
         assert!(
             !related.is_empty(),
@@ -63,6 +67,13 @@ impl ResponseMatrix {
                     "related grid {} covers foreign attribute {a}",
                     g.spec().id()
                 );
+            }
+            if let Some(cell) = g.freqs().iter().position(|f| !f.is_finite()) {
+                return Err(Error::NumericalInstability(format!(
+                    "grid {} cell {cell} frequency is {}",
+                    g.spec().id(),
+                    g.freqs()[cell]
+                )));
             }
         }
         let (din, djn) = (di as usize, dj as usize);
@@ -144,13 +155,13 @@ impl ResponseMatrix {
         }
         felip_obs::hist!("grid.response.sweeps", sweeps, "sweeps");
 
-        ResponseMatrix {
+        Ok(ResponseMatrix {
             attr_i,
             attr_j,
             di,
             dj,
             values,
-        }
+        })
     }
 
     /// Wraps a categorical × categorical grid, which is already at value
@@ -274,7 +285,7 @@ mod tests {
         let s = schema();
         let spec = GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap();
         let g = EstimatedGrid::new(spec, vec![0.4, 0.1, 0.2, 0.3]);
-        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9).unwrap();
         // Cell (0,0) covers rows 0..4, cols 0..4 → each of 16 values = 0.4/16.
         assert!((m.get(0, 0) - 0.4 / 16.0).abs() < 1e-9);
         assert!((m.get(5, 2) - 0.2 / 16.0).abs() < 1e-9);
@@ -295,7 +306,7 @@ mod tests {
             GridSpec::one_dim(&s, 0, 8, FoKind::Olh).unwrap(),
             vec![0.4, 0.1, 0.0, 0.0, 0.125, 0.125, 0.125, 0.125],
         );
-        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-12);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-12).unwrap();
         let rows = m.row_marginal();
         assert!((rows[0] - 0.4).abs() < 1e-6, "row 0 = {}", rows[0]);
         assert!((rows[2] - 0.0).abs() < 1e-6);
@@ -346,7 +357,7 @@ mod tests {
                 0.017,
             ],
         );
-        let m = ResponseMatrix::build(0, 2, 8, 3, &[&g], 1e-10);
+        let m = ResponseMatrix::build(0, 2, 8, 3, &[&g], 1e-10).unwrap();
         // Categorical attr 2, set {0, 2}; numerical rows 0..8 full.
         let a = m.answer(None, Some(&Predicate::in_set(2, vec![0, 2])));
         let expect: f64 = 0.05 + 0.0 + 0.1 + 0.1 + 0.2 + 0.0 + (0.953 - 0.6) + 0.017;
@@ -360,7 +371,7 @@ mod tests {
             GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
             vec![0.25; 4],
         );
-        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9).unwrap();
         assert!((m.answer(None, None) - 1.0).abs() < 1e-9);
     }
 
@@ -371,7 +382,7 @@ mod tests {
             GridSpec::two_dim(&s, 0, 1, 4, 2, FoKind::Olh).unwrap(),
             vec![0.1, 0.05, 0.2, 0.05, 0.15, 0.1, 0.25, 0.1],
         );
-        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-10);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-10).unwrap();
         let r: f64 = m.row_marginal().iter().sum();
         let c: f64 = m.col_marginal().iter().sum();
         assert!((r - m.total()).abs() < 1e-9);
@@ -391,7 +402,7 @@ mod tests {
             GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap(),
             vec![0.3, 0.7],
         );
-        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-9);
+        let m = ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-9).unwrap();
         assert!(m.total() > 0.9 && m.total() < 1.1, "total {}", m.total());
     }
 
@@ -403,12 +414,39 @@ mod tests {
             GridSpec::one_dim(&s, 2, 3, FoKind::Grr).unwrap(),
             vec![0.3, 0.3, 0.4],
         );
-        ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
+        let _ = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9);
     }
 
     #[test]
     #[should_panic(expected = "at least one")]
     fn rejects_empty_related_set() {
-        ResponseMatrix::build(0, 1, 8, 8, &[], 1e-9);
+        ResponseMatrix::build(0, 1, 8, 8, &[], 1e-9).unwrap();
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_frequencies() {
+        use felip_common::Error;
+        let s = schema();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let g = EstimatedGrid::new(
+                GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
+                vec![0.25, bad, 0.25, 0.25],
+            );
+            let err = ResponseMatrix::build(0, 1, 8, 8, &[&g], 1e-9).unwrap_err();
+            assert!(
+                matches!(err, Error::NumericalInstability(_)),
+                "{bad}: {err}"
+            );
+        }
+        // A NaN hiding in a *related 1-D* grid is caught too.
+        let g2 = EstimatedGrid::new(
+            GridSpec::two_dim(&s, 0, 1, 2, 2, FoKind::Olh).unwrap(),
+            vec![0.25; 4],
+        );
+        let g1 = EstimatedGrid::new(
+            GridSpec::one_dim(&s, 0, 2, FoKind::Olh).unwrap(),
+            vec![f64::NAN, 1.0],
+        );
+        assert!(ResponseMatrix::build(0, 1, 8, 8, &[&g2, &g1], 1e-9).is_err());
     }
 }

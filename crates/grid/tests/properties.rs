@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use felip_grid::bins::Binning;
-use felip_grid::lambda::{fit_lambda, PairAnswer};
+use felip_grid::lambda::{
+    fit_constraints, fit_constraints_full, fit_lambda, Constraint, PairAnswer, MAX_SWEEPS,
+};
 use felip_grid::postprocess::norm_sub;
 use felip_grid::response::ResponseMatrix;
 use felip_grid::{EstimatedGrid, GridSpec};
@@ -93,7 +95,7 @@ proptest! {
         prop_assume!(total > 1e-9);
         freqs.iter_mut().for_each(|f| *f /= total);
         let grid = EstimatedGrid::new(spec, freqs);
-        let m = ResponseMatrix::build(0, 1, d, d, &[&grid], 1e-7);
+        let m = ResponseMatrix::build(0, 1, d, d, &[&grid], 1e-7).unwrap();
         prop_assert!((m.total() - 1.0).abs() < 1e-4, "total {}", m.total());
         prop_assert!((m.answer(None, None) - m.total()).abs() < 1e-9);
         // Row/col marginals are consistent with the total.
@@ -225,5 +227,110 @@ proptest! {
         prop_assert!(cell < spec.num_cells());
         let (cx, cy) = spec.cell_coords(cell);
         prop_assert_eq!(spec.cell_index(cx, cy), cell);
+    }
+}
+
+/// Builds the C(λ,2) pairwise answers of independent predicates with
+/// marginals `p` — a mutually consistent constraint set, so the IPF fixed
+/// point is unique and order-independent.
+fn product_pairs(p: &[f64]) -> Vec<PairAnswer> {
+    let mut pairs = Vec::new();
+    for s in 0..p.len() {
+        for t in (s + 1)..p.len() {
+            pairs.push(PairAnswer {
+                s,
+                t,
+                answer: p[s] * p[t],
+            });
+        }
+    }
+    pairs
+}
+
+proptest! {
+    /// IPF output is a probability vector: non-negative entries summing to
+    /// the normalised total (the two-sided update keeps Σz = 1 exactly).
+    #[test]
+    fn ipf_output_is_distribution(
+        marginals in proptest::collection::vec(0.05f64..0.95, 2..=4),
+    ) {
+        let pairs = product_pairs(&marginals);
+        let z = fit_lambda(marginals.len().max(2), &pairs, 1e-9);
+        prop_assert_eq!(z.len(), 1usize << marginals.len().max(2));
+        for &v in &z {
+            prop_assert!(v >= 0.0, "negative entry {v}");
+        }
+        let total: f64 = z.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "Σz = {total}");
+    }
+
+    /// Consistent constraints have a unique IPF fixed point, so the fit is
+    /// invariant (to well below estimation noise) under any permutation of
+    /// the pair order.
+    #[test]
+    fn ipf_is_pair_order_invariant(
+        marginals in proptest::collection::vec(0.05f64..0.95, 3..=4),
+        seed in 0u64..1_000,
+    ) {
+        let lambda = marginals.len();
+        let mut pairs = product_pairs(&marginals);
+        let forward = fit_lambda(lambda, &pairs, 1e-12);
+        // A deterministic shuffle driven by the seed.
+        let n = pairs.len();
+        for i in (1..n).rev() {
+            let j = ((seed.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(i as u32)) % (i as u64 + 1)) as usize;
+            pairs.swap(i, j);
+        }
+        let shuffled = fit_lambda(lambda, &pairs, 1e-12);
+        for (a, b) in forward.iter().zip(&shuffled) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    /// The fit converges below the documented threshold well before the
+    /// MAX_SWEEPS cap whenever the constraints are mutually consistent.
+    #[test]
+    fn ipf_converges_on_consistent_constraints(
+        marginals in proptest::collection::vec(0.05f64..0.95, 2..=4),
+    ) {
+        let lambda = marginals.len().max(2);
+        let threshold = 1e-9;
+        let constraints: Vec<Constraint> =
+            product_pairs(&marginals).into_iter().map(Into::into).collect();
+        let fit = fit_constraints_full(lambda, &constraints, threshold);
+        prop_assert!(fit.converged(threshold), "residual {} after {} sweeps", fit.residual, fit.sweeps);
+        prop_assert!(fit.sweeps < MAX_SWEEPS, "hit the sweep cap");
+        prop_assert_eq!(fit.z, fit_constraints(lambda, &constraints, threshold));
+    }
+
+    /// Adding consistent 1-D marginal constraints keeps the constrained
+    /// masses satisfied at the fixed point (pairs *and* marginals).
+    #[test]
+    fn ipf_satisfies_constraints_at_fixed_point(
+        marginals in proptest::collection::vec(0.10f64..0.90, 2..=4),
+    ) {
+        let lambda = marginals.len().max(2);
+        let mut constraints: Vec<Constraint> =
+            product_pairs(&marginals).into_iter().map(Into::into).collect();
+        for (i, &p) in marginals.iter().enumerate() {
+            constraints.push(Constraint { mask: 1 << i, answer: p });
+        }
+        let fit = fit_constraints_full(lambda, &constraints, 1e-12);
+        for c in &constraints {
+            let got: f64 = fit
+                .z
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i & c.mask == c.mask)
+                .map(|(_, v)| v)
+                .sum();
+            prop_assert!(
+                (got - c.answer).abs() < 1e-4,
+                "mask {:#x}: {} vs {}",
+                c.mask,
+                got,
+                c.answer
+            );
+        }
     }
 }

@@ -17,6 +17,13 @@ pub fn error(msg: &str) {
     line(&format!("error: {msg}"));
 }
 
+/// Writes a formatted warning with a `warning:` prefix — for degraded-mode
+/// events the process survives (a quarantined snapshot, a reaped idle
+/// connection) that an operator should still see.
+pub fn warn(msg: &str) {
+    line(&format!("warning: {msg}"));
+}
+
 /// Prints `msg` (typically usage text) and exits with status 2, the
 /// conventional bad-invocation code.
 pub fn usage_exit(msg: &str) -> ! {
@@ -33,5 +40,6 @@ mod tests {
     fn diag_line_does_not_panic() {
         super::line("diag self-test");
         super::error("diag self-test");
+        super::warn("diag self-test");
     }
 }

@@ -1,15 +1,30 @@
-//! The client side of the wire protocol: connect, handshake, send report
-//! batches, honour backpressure.
+//! The client side of the wire protocol: connect, handshake with a stable
+//! client identity, send numbered report batches, honour backpressure with
+//! a jittered, budget-bounded retry policy.
+//!
+//! Exactly-once from the client's side: every batch carries a sequence
+//! number (`1, 2, 3, …` per client). If an ack is lost the client re-sends
+//! the *same* numbered batch; the server recognises the duplicate and acks
+//! without double-counting. On reconnect the `Hello` ack tells the client
+//! the highest batch the server already accepted, so nothing accepted is
+//! ever re-sent.
 
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use felip::client::UserReport;
+use felip_common::hash::mix64;
+use felip_common::rng::derive_seed;
 
 use crate::wire::{
-    decode_ack, encode_reports, read_frame, write_frame, Frame, FrameKind, WireError,
+    decode_ack, encode_batch, encode_hello, read_frame, write_frame, Frame, FrameKind, WireError,
 };
+
+/// Process-wide allocator for default client ids (`connect` uses it;
+/// `connect_with` lets callers pin ids for reproducible runs).
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Server verdict on one `ReportBatch` frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,58 +35,164 @@ pub enum BatchReply {
     Retry,
 }
 
+/// How a client spaces resends: exponential backoff from `base` capped at
+/// `cap`, each delay jittered deterministically from `jitter_seed` (so two
+/// clients hitting the same full queue don't retry in lockstep), the whole
+/// thing bounded by `max_attempts` before the send fails with
+/// [`WireError::BudgetExhausted`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total send attempts (first try included) before giving up.
+    pub max_attempts: u32,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Generous budget: under sustained backpressure the capped delay
+        // makes 100 attempts ~2s of patience, after which the caller
+        // learns the server is truly saturated.
+        RetryPolicy {
+            max_attempts: 100,
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(20),
+            jitter_seed: 0x5eed_c0de,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (1-based): exponential, capped,
+    /// multiplied by a jitter factor in `[0.5, 1.0]` drawn deterministically
+    /// from the policy's seed and the attempt number.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.min(20);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.cap)
+            .max(self.base);
+        let draw = mix64(derive_seed(self.jitter_seed, attempt as u64));
+        let frac = 500_000 + draw % 500_001; // parts-per-million in [0.5, 1.0]
+        let nanos = (raw.as_nanos() as u64).saturating_mul(frac) / 1_000_000;
+        Duration::from_nanos(nanos)
+    }
+}
+
 /// A connected, handshaken ingestion client.
 pub struct Client {
     stream: TcpStream,
     plan_hash: u64,
+    client_id: u64,
+    last_acked: u64,
+    policy: RetryPolicy,
 }
 
 impl Client {
-    /// Connects to the server and performs the `Hello` handshake, proving
-    /// both sides hold the same `CollectionPlan`.
+    /// Connects with a fresh process-unique client id and the default
+    /// retry policy, and performs the `Hello` handshake, proving both
+    /// sides hold the same `CollectionPlan`.
     pub fn connect(addr: impl ToSocketAddrs, plan_hash: u64) -> Result<Client, WireError> {
+        let id = NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed);
+        Client::connect_with(addr, plan_hash, id, RetryPolicy::default())
+    }
+
+    /// Connects as a specific client id with an explicit retry policy.
+    /// Reconnecting with the id of an earlier session resumes its batch
+    /// sequence where the server left off.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        plan_hash: u64,
+        client_id: u64,
+        policy: RetryPolicy,
+    ) -> Result<Client, WireError> {
         let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
         stream.set_nodelay(true).map_err(WireError::Io)?;
-        let mut client = Client { stream, plan_hash };
-        client.send(&Frame::control(FrameKind::Hello, plan_hash))?;
+        let mut client = Client {
+            stream,
+            plan_hash,
+            client_id,
+            last_acked: 0,
+            policy,
+        };
+        client.send(&Frame {
+            kind: FrameKind::Hello,
+            plan_hash,
+            payload: encode_hello(client_id),
+        })?;
         match client.read_reply()? {
-            (FrameKind::Ack, _) => Ok(client),
+            (FrameKind::Ack, payload) => {
+                // The server tells us the highest batch it has already
+                // accepted for this id (0 for a brand-new client).
+                let (last_acked, _) = decode_ack(&payload)?;
+                client.last_acked = last_acked;
+                Ok(client)
+            }
             (kind, payload) => Err(reply_error(kind, &payload)),
         }
     }
 
-    /// Sends one batch of reports and returns the server's verdict.
+    /// This client's wire identity.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Highest batch id the server has acknowledged for this client.
+    pub fn last_acked(&self) -> u64 {
+        self.last_acked
+    }
+
+    /// Sends one batch of reports (as batch `last_acked + 1`) and returns
+    /// the server's verdict.
     ///
     /// A [`BatchReply::Retry`] means the batch was *not* ingested; the
     /// caller decides when to resend (see [`Client::send_batch_retrying`]).
     pub fn send_batch(&mut self, reports: &[UserReport]) -> Result<BatchReply, WireError> {
+        let batch_id = self.last_acked + 1;
         let frame = Frame {
             kind: FrameKind::ReportBatch,
             plan_hash: self.plan_hash,
-            payload: encode_reports(reports)?,
+            payload: encode_batch(batch_id, reports)?,
         };
         self.send(&frame)?;
-        match self.read_reply()? {
-            (FrameKind::Ack, payload) => Ok(BatchReply::Ack(decode_ack(&payload)?)),
-            (FrameKind::Retry, _) => Ok(BatchReply::Retry),
-            (kind, payload) => Err(reply_error(kind, &payload)),
+        loop {
+            match self.read_reply()? {
+                (FrameKind::Ack, payload) => {
+                    let (acked_id, count) = decode_ack(&payload)?;
+                    if acked_id < batch_id {
+                        // A stale ack for an earlier batch (duplicate
+                        // delivery); keep waiting for ours.
+                        continue;
+                    }
+                    self.last_acked = batch_id;
+                    return Ok(BatchReply::Ack(count));
+                }
+                (FrameKind::Retry, _) => return Ok(BatchReply::Retry),
+                (kind, payload) => return Err(reply_error(kind, &payload)),
+            }
         }
     }
 
-    /// Sends a batch, backing off and resending on RETRY until accepted.
-    /// Returns how many RETRY responses were absorbed.
+    /// Sends a batch, backing off and resending on RETRY per the client's
+    /// [`RetryPolicy`]. Returns how many RETRY responses were absorbed, or
+    /// [`WireError::BudgetExhausted`] once the attempt budget is spent.
     pub fn send_batch_retrying(&mut self, reports: &[UserReport]) -> Result<u32, WireError> {
-        let mut retries = 0u32;
-        let mut backoff = Duration::from_micros(200);
+        let mut attempts = 0u32;
         loop {
+            attempts += 1;
             match self.send_batch(reports)? {
-                BatchReply::Ack(_) => return Ok(retries),
+                BatchReply::Ack(_) => return Ok(attempts - 1),
                 BatchReply::Retry => {
-                    retries += 1;
-                    std::thread::sleep(backoff);
-                    // Exponential backoff, capped: stay responsive without
-                    // hammering a saturated server.
-                    backoff = (backoff * 2).min(Duration::from_millis(20));
+                    if attempts >= self.policy.max_attempts {
+                        felip_obs::counter!("client.retry.exhausted", 1, "batches");
+                        return Err(WireError::BudgetExhausted { attempts });
+                    }
+                    std::thread::sleep(self.policy.backoff(attempts));
                 }
             }
         }
@@ -97,5 +218,24 @@ fn reply_error(kind: FrameKind, payload: &[u8]) -> WireError {
     match kind {
         FrameKind::Error => WireError::Rejected(String::from_utf8_lossy(payload).into_owned()),
         other => WireError::Malformed(format!("unexpected {other:?} reply")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy::default();
+        for attempt in 1..40 {
+            let d = p.backoff(attempt);
+            assert_eq!(d, p.backoff(attempt), "jitter must be deterministic");
+            assert!(d <= p.cap, "attempt {attempt}: {d:?} above cap");
+            assert!(d >= p.base / 2, "attempt {attempt}: {d:?} below base/2");
+        }
+        // High attempts sit in the jittered band below the cap.
+        let late: Vec<Duration> = (30..38).map(|a| p.backoff(a)).collect();
+        assert!(late.iter().any(|d| *d != late[0]), "no jitter: {late:?}");
     }
 }

@@ -9,6 +9,14 @@
 //! resumed server produces estimates bit-identical to one that never
 //! stopped.
 //!
+//! The server's protocol logic is transport-agnostic: connections speak
+//! through the [`transport::Transport`] trait and all per-connection
+//! decisions live in the `session` state machine, so the deterministic
+//! [`simharness`] can drive the *same* code over an in-memory transport
+//! on a virtual clock, injecting seeded [`fault`]s (drops, corruption,
+//! resets, torn snapshot writes) and asserting the
+//! exactly-once-or-rejected invariant for every seed.
+//!
 //! The crate follows the workspace's vendored-only policy: it depends on
 //! nothing outside the workspace (`std::net` sockets, `std::thread`
 //! scoped workers, hand-rolled CRC-32).
@@ -16,14 +24,21 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
+mod session;
 pub mod signal;
+pub mod simharness;
 pub mod snapshot;
+pub mod transport;
 pub mod wire;
 
-pub use client::{BatchReply, Client};
+pub use client::{BatchReply, Client, RetryPolicy};
+pub use fault::{FaultConfig, FaultKind, FaultSchedule};
 pub use server::{Server, ServerConfig, ServerError, ServerRun, ServerStats};
+pub use simharness::{SimConfig, SimReport, SimTransport};
 pub use snapshot::Snapshot;
+pub use transport::{RecvOutcome, TcpTransport, Transport};
 pub use wire::{Frame, FrameKind, WireError};

@@ -10,7 +10,7 @@
 //! merge independent of how batches interleaved, which is why a served run
 //! reproduces an offline collection bit for bit.
 
-use std::io::{self, BufWriter, Read};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,11 +22,11 @@ use felip::aggregator::{Aggregator, OracleSet};
 use felip::client::UserReport;
 use felip::plan::CollectionPlan;
 
-use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::queue::{BoundedQueue, PopResult};
+use crate::session::{Session, SessionCtx};
 use crate::snapshot::Snapshot;
-use crate::wire::{
-    decode_reports, encode_ack, read_frame, write_frame, Frame, FrameKind, WireError,
-};
+use crate::transport::{RecvOutcome, TcpTransport, Transport};
+use crate::wire::WireError;
 
 /// How a serve run is wired together.
 #[derive(Debug, Clone)]
@@ -43,6 +43,14 @@ pub struct ServerConfig {
     pub snapshot_every: Option<Duration>,
     /// Snapshot to restore state from before serving.
     pub resume: Option<PathBuf>,
+    /// Deadline for finishing a frame once its first byte arrived; a peer
+    /// that stalls mid-frame longer than this is dropped with an error.
+    pub read_timeout: Duration,
+    /// Deadline for writing a reply frame.
+    pub write_timeout: Duration,
+    /// How long a connection may sit with no traffic before the idle
+    /// reaper closes it (frees handler threads from abandoned peers).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +62,9 @@ impl Default for ServerConfig {
             snapshot_path: None,
             snapshot_every: None,
             resume: None,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -72,30 +83,68 @@ pub struct ServerStats {
     pub frames_rejected: u64,
     /// Reports accepted across all ACKed frames.
     pub reports_accepted: u64,
+    /// Duplicate batches re-acked without re-ingestion (lost-ack resends).
+    pub frames_duplicate: u64,
+    /// Idle connections closed by the reaper.
+    pub conns_reaped: u64,
     /// Snapshots written (periodic + final).
     pub snapshots_written: u64,
+    /// Snapshot writes that failed read-back verification and were
+    /// quarantined (the previous good snapshot was kept).
+    pub snapshots_quarantined: u64,
 }
 
+/// Lock-free counter twin of [`ServerStats`], shared by the connection
+/// handlers and the session state machine.
 #[derive(Default)]
-struct AtomicStats {
+pub(crate) struct AtomicStats {
     connections: AtomicU64,
     frames_ok: AtomicU64,
     frames_retried: AtomicU64,
     frames_rejected: AtomicU64,
     reports_accepted: AtomicU64,
+    frames_duplicate: AtomicU64,
+    conns_reaped: AtomicU64,
     snapshots_written: AtomicU64,
+    snapshots_quarantined: AtomicU64,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> ServerStats {
+    pub(crate) fn snapshot(&self) -> ServerStats {
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             frames_ok: self.frames_ok.load(Ordering::Relaxed),
             frames_retried: self.frames_retried.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
             reports_accepted: self.reports_accepted.load(Ordering::Relaxed),
+            frames_duplicate: self.frames_duplicate.load(Ordering::Relaxed),
+            conns_reaped: self.conns_reaped.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshots_quarantined: self.snapshots_quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    pub(crate) fn bump_accepted(&self, reports: u64) {
+        self.frames_ok.fetch_add(1, Ordering::Relaxed);
+        self.reports_accepted.fetch_add(reports, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_retried(&self) {
+        self.frames_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_rejected(&self) {
+        self.frames_rejected.fetch_add(1, Ordering::Relaxed);
+        felip_obs::counter!("server.frame.rejected", 1, "frames");
+    }
+
+    pub(crate) fn bump_duplicate(&self) {
+        self.frames_duplicate.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_reaped(&self) {
+        self.conns_reaped.fetch_add(1, Ordering::Relaxed);
+        felip_obs::counter!("server.conn.reaped", 1, "connections");
     }
 }
 
@@ -199,16 +248,26 @@ impl Server {
         let workers = self.config.workers.max(1);
         run_span.field("workers", workers);
 
-        // Resume base: restored snapshot state, or a fresh aggregator.
-        let base = match &self.config.resume {
+        // Resume base: restored snapshot state (counts *and* the dedup
+        // cursors, so duplicates stay suppressed across the restart), or a
+        // fresh aggregator.
+        let (base, dedup0) = match &self.config.resume {
             Some(path) => {
                 let snap = Snapshot::read(path)?;
                 felip_obs::counter!("server.snapshot.restored", 1, "snapshots");
-                snap.restore(Arc::clone(&self.plan), Arc::clone(&self.oracles))?
+                let dedup = snap.dedup.clone();
+                (
+                    snap.restore(Arc::clone(&self.plan), Arc::clone(&self.oracles))?,
+                    dedup,
+                )
             }
-            None => Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles)),
+            None => (
+                Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles)),
+                Vec::new(),
+            ),
         };
         let base = Mutex::new(base);
+        let ctx = SessionCtx::new(Arc::clone(&self.plan), Arc::clone(&self.oracles), dedup0);
 
         let queues: Vec<Arc<BoundedQueue<Vec<UserReport>>>> = (0..workers)
             .map(|_| Arc::new(BoundedQueue::new(self.config.queue_capacity.max(1))))
@@ -266,6 +325,7 @@ impl Server {
                 let stats = &stats;
                 let stop = &stop_snapshots;
                 let plan_hash = self.plan_hash;
+                let ctx = &ctx;
                 scope.spawn(move || {
                     let mut last = Instant::now();
                     while !stop.load(Ordering::SeqCst) {
@@ -275,11 +335,21 @@ impl Server {
                         }
                         last = Instant::now();
                         let merged = merge_state(&plan, &oracles, base, shards);
-                        match Snapshot::capture(&merged, plan_hash).write_atomic(&path) {
+                        let snap =
+                            Snapshot::capture_with_dedup(&merged, plan_hash, ctx.dedup_pairs());
+                        match snap.write_verified(&path, None) {
                             Ok(()) => {
                                 stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
                             }
-                            Err(e) => felip_obs::diag::error(&format!("periodic snapshot: {e}")),
+                            Err(e) => {
+                                // The torn write was quarantined and the
+                                // last good snapshot kept; next tick tries
+                                // again.
+                                stats.snapshots_quarantined.fetch_add(1, Ordering::Relaxed);
+                                felip_obs::diag::warn(&format!(
+                                    "periodic snapshot quarantined: {e}"
+                                ));
+                            }
                         }
                     }
                 });
@@ -295,15 +365,12 @@ impl Server {
                         stats.connections.fetch_add(1, Ordering::Relaxed);
                         let queue = Arc::clone(&queues[next_worker % workers]);
                         next_worker += 1;
-                        let plan = Arc::clone(&self.plan);
-                        let oracles = Arc::clone(&self.oracles);
+                        let ctx = &ctx;
                         let stats = &stats;
-                        let plan_hash = self.plan_hash;
                         let stop = &should_stop;
+                        let config = &self.config;
                         conns.push(scope.spawn(move || {
-                            if let Err(e) =
-                                handle_conn(stream, plan, oracles, plan_hash, queue, stats, stop)
-                            {
+                            if let Err(e) = handle_conn(stream, ctx, queue, stats, stop, config) {
                                 // Peer went away or spoke garbage; the
                                 // connection is already torn down.
                                 felip_obs::counter!("server.conn.errors", 1, "connections");
@@ -337,7 +404,8 @@ impl Server {
             aggregator.merge(&shard.into_inner().unwrap());
         }
         if let Some(path) = &self.config.snapshot_path {
-            Snapshot::capture(&aggregator, self.plan_hash).write_atomic(path)?;
+            Snapshot::capture_with_dedup(&aggregator, self.plan_hash, ctx.dedup_pairs())
+                .write_verified(path, None)?;
             stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
         }
         let final_stats = stats.snapshot();
@@ -367,146 +435,54 @@ fn merge_state(
     merged
 }
 
-/// A `Read` adapter that turns socket read timeouts into shutdown polls:
-/// from `read_frame`'s perspective reads simply block until data, EOF, or
-/// server shutdown (surfaced as `ConnectionAborted`).
-struct PollRead<'a, F: Fn() -> bool> {
-    stream: &'a TcpStream,
-    stop: &'a F,
-}
-
-impl<F: Fn() -> bool> Read for PollRead<'_, F> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        loop {
-            if (self.stop)() {
-                return Err(io::ErrorKind::ConnectionAborted.into());
-            }
-            match (&mut &*self.stream).read(buf) {
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    continue
-                }
-                other => return other,
-            }
-        }
-    }
-}
-
+/// Serves one connection: frames come off a deadline-aware
+/// [`TcpTransport`], protocol decisions are made by the shared
+/// [`Session`] state machine, and the idle reaper closes connections
+/// that go quiet past `config.idle_timeout`.
 fn handle_conn<F: Fn() -> bool>(
     stream: TcpStream,
-    plan: Arc<CollectionPlan>,
-    oracles: Arc<OracleSet>,
-    plan_hash: u64,
+    ctx: &SessionCtx,
     queue: Arc<BoundedQueue<Vec<UserReport>>>,
     stats: &AtomicStats,
     stop: &F,
+    config: &ServerConfig,
 ) -> Result<(), WireError> {
-    stream.set_nodelay(true).map_err(WireError::Io)?;
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .map_err(WireError::Io)?;
-    stream
-        .set_write_timeout(Some(Duration::from_secs(10)))
-        .map_err(WireError::Io)?;
-    let mut reader = PollRead {
-        stream: &stream,
+    let mut transport = TcpTransport::new(
+        &stream,
         stop,
-    };
-    let reply = |frame: &Frame| -> Result<(), WireError> {
-        let mut w = BufWriter::new(&stream);
-        write_frame(&mut w, frame).map_err(WireError::Io)
-    };
-
+        config.read_timeout,
+        config.write_timeout,
+        config.idle_timeout,
+    )?;
+    let mut session = Session::new();
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(f)) => f,
-            // Clean EOF, or shutdown poll aborted the read: either way the
-            // connection is done.
-            Ok(None) => return Ok(()),
-            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::ConnectionAborted => return Ok(()),
-            Err(e) => {
-                // Garbled framing: tell the peer (best effort) and drop.
-                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                felip_obs::counter!("server.frame.rejected", 1, "frames");
-                let _ = reply(&Frame::error(plan_hash, &e.to_string()));
-                return Err(e);
-            }
-        };
-
-        if frame.plan_hash != plan_hash {
-            stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
-            felip_obs::counter!("server.frame.rejected", 1, "frames");
-            let e = WireError::PlanMismatch {
-                ours: plan_hash,
-                theirs: frame.plan_hash,
-            };
-            let _ = reply(&Frame::error(plan_hash, &e.to_string()));
-            return Err(e);
-        }
-
-        match frame.kind {
-            FrameKind::Hello => {
-                felip_obs::counter!("server.frame.hello", 1, "frames");
-                reply(&Frame {
-                    kind: FrameKind::Ack,
-                    plan_hash,
-                    payload: encode_ack(0),
-                })?;
-            }
-            FrameKind::ReportBatch => {
-                let reports = match decode_reports(&frame.payload) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                        felip_obs::counter!("server.frame.rejected", 1, "frames");
-                        let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+        match transport.recv() {
+            RecvOutcome::Frame(frame) => {
+                let outcome = session.on_frame(frame, ctx, &queue, stats);
+                match outcome.close {
+                    // Closing anyway: the error reply is best-effort.
+                    Some(e) => {
+                        let _ = transport.send(&outcome.reply);
                         return Err(e);
                     }
-                };
-                // Admission check: every report must match its group's
-                // oracle. Rejected *before* enqueueing, so workers only
-                // ever see well-formed batches.
-                if let Some(err) = reports
-                    .iter()
-                    .find_map(|r| r.validate(&plan, &oracles).err())
-                {
-                    stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                    felip_obs::counter!("server.frame.rejected", 1, "frames");
-                    let _ = reply(&Frame::error(plan_hash, &err.to_string()));
-                    return Err(WireError::Malformed(err.to_string()));
-                }
-                let count = reports.len();
-                match queue.try_push(reports) {
-                    Ok(depth) => {
-                        felip_obs::gauge!("server.queue.depth", depth, "batches");
-                        felip_obs::counter!("server.frame.ok", 1, "frames");
-                        felip_obs::counter!("server.frame.reports", count, "reports");
-                        stats.frames_ok.fetch_add(1, Ordering::Relaxed);
-                        stats
-                            .reports_accepted
-                            .fetch_add(count as u64, Ordering::Relaxed);
-                        reply(&Frame {
-                            kind: FrameKind::Ack,
-                            plan_hash,
-                            payload: encode_ack(count as u32),
-                        })?;
-                    }
-                    Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
-                        // Backpressure: the batch is dropped here and the
-                        // client resends after backing off.
-                        felip_obs::counter!("server.frame.retry", 1, "frames");
-                        stats.frames_retried.fetch_add(1, Ordering::Relaxed);
-                        reply(&Frame::control(FrameKind::Retry, plan_hash))?;
-                    }
+                    None => transport.send(&outcome.reply)?,
                 }
             }
-            other => {
-                stats.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                felip_obs::counter!("server.frame.rejected", 1, "frames");
-                let e = WireError::Malformed(format!("client sent {other:?} frame"));
-                let _ = reply(&Frame::error(plan_hash, &e.to_string()));
+            // Clean EOF, or the shutdown flag flipped mid-wait.
+            RecvOutcome::Eof | RecvOutcome::Shutdown => return Ok(()),
+            RecvOutcome::NoData => continue,
+            RecvOutcome::Idle => {
+                // The reaper: nothing arrived for the whole idle window.
+                // Closing is safe — a client that comes back reconnects
+                // and resyncs its batch cursor from the Hello ack.
+                stats.bump_reaped();
+                return Ok(());
+            }
+            RecvOutcome::Err(e) => {
+                // Garbled framing or a mid-frame stall: tell the peer
+                // (best effort) and drop the connection.
+                stats.bump_rejected();
+                let _ = transport.send(&crate::wire::Frame::error(ctx.plan_hash, &e.to_string()));
                 return Err(e);
             }
         }

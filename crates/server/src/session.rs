@@ -1,0 +1,258 @@
+//! The transport-agnostic per-connection protocol state machine.
+//!
+//! Both the TCP connection handler and the deterministic sim harness feed
+//! decoded frames through [`Session::on_frame`]; all protocol decisions —
+//! plan pinning, batch validation, duplicate suppression, backpressure —
+//! live here exactly once, so what the chaos harness proves about the
+//! session logic holds for the production server verbatim.
+//!
+//! ## Exactly-once-or-rejected
+//!
+//! Every client identifies itself in `Hello` and numbers its batches
+//! `1, 2, 3, …`. The server keeps, per client, the highest batch id it has
+//! *accepted* (queued for ingestion) and answers:
+//!
+//! * `batch_id == last + 1` — the next expected batch: queue it (or answer
+//!   `Retry` under backpressure, leaving `last` untouched).
+//! * `batch_id ≤ last` — a duplicate (the client re-sent because our ack
+//!   was lost): acknowledge again *without* re-queueing, so a report can
+//!   never be counted twice.
+//! * `batch_id > last + 1` — a gap: protocol violation, reject.
+//!
+//! The `Hello` ack echoes `last`, so a reconnecting client learns which of
+//! its batches already made it and never re-sends them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use felip::aggregator::OracleSet;
+use felip::client::UserReport;
+use felip::plan::CollectionPlan;
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::server::AtomicStats;
+use crate::wire::{
+    decode_batch, decode_hello, encode_ack, encode_retry, Frame, FrameKind, WireError,
+};
+
+/// Server-wide state shared by every session: the plan, the oracles used
+/// for admission validation, and the per-client dedup table.
+pub(crate) struct SessionCtx {
+    /// The collection plan this server aggregates for.
+    pub plan: Arc<CollectionPlan>,
+    /// Oracle set used to validate incoming reports.
+    pub oracles: Arc<OracleSet>,
+    /// `plan.schema_hash()`, checked against every frame.
+    pub plan_hash: u64,
+    /// client id → highest accepted batch id.
+    pub dedup: Mutex<HashMap<u64, u64>>,
+}
+
+impl SessionCtx {
+    /// Builds a context, seeding the dedup table (from a restored
+    /// snapshot; empty for a fresh server).
+    pub fn new(
+        plan: Arc<CollectionPlan>,
+        oracles: Arc<OracleSet>,
+        dedup: Vec<(u64, u64)>,
+    ) -> SessionCtx {
+        let plan_hash = plan.schema_hash();
+        SessionCtx {
+            plan,
+            oracles,
+            plan_hash,
+            dedup: Mutex::new(dedup.into_iter().collect()),
+        }
+    }
+
+    /// The dedup table as sorted pairs (the snapshot encoding).
+    pub fn dedup_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = self
+            .dedup
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&c, &b)| (c, b))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+/// A batch the session just accepted (queued for ingestion) — the unit the
+/// sim harness counts as "server-acked".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AcceptedBatch {
+    /// The sending client.
+    pub client_id: u64,
+    /// The batch's per-client sequence number.
+    pub batch_id: u64,
+    /// Reports in the batch.
+    pub reports: u32,
+}
+
+/// What [`Session::on_frame`] decided.
+pub(crate) struct FrameOutcome {
+    /// Reply to send to the peer (always present; errors reply best-effort).
+    pub reply: Frame,
+    /// Set when a batch was newly accepted this frame.
+    pub accepted: Option<AcceptedBatch>,
+    /// Set when the connection must close after the reply (the error to
+    /// report); duplicate and retry frames do *not* close.
+    pub close: Option<WireError>,
+}
+
+/// Per-connection protocol state: just the handshaken client id.
+#[derive(Default)]
+pub(crate) struct Session {
+    client_id: Option<u64>,
+}
+
+impl Session {
+    /// A fresh, pre-handshake session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Processes one decoded frame and decides the reply.
+    pub fn on_frame(
+        &mut self,
+        frame: Frame,
+        ctx: &SessionCtx,
+        queue: &BoundedQueue<Vec<UserReport>>,
+        stats: &AtomicStats,
+    ) -> FrameOutcome {
+        let reject = |e: WireError| {
+            stats.bump_rejected();
+            FrameOutcome {
+                reply: Frame::error(ctx.plan_hash, &e.to_string()),
+                accepted: None,
+                close: Some(e),
+            }
+        };
+
+        if frame.plan_hash != ctx.plan_hash {
+            return reject(WireError::PlanMismatch {
+                ours: ctx.plan_hash,
+                theirs: frame.plan_hash,
+            });
+        }
+
+        match frame.kind {
+            FrameKind::Hello => {
+                let client_id = match decode_hello(&frame.payload) {
+                    Ok(id) => id,
+                    Err(e) => return reject(e),
+                };
+                felip_obs::counter!("server.frame.hello", 1, "frames");
+                self.client_id = Some(client_id);
+                let last = ctx
+                    .dedup
+                    .lock()
+                    .unwrap()
+                    .get(&client_id)
+                    .copied()
+                    .unwrap_or(0);
+                FrameOutcome {
+                    reply: Frame {
+                        kind: FrameKind::Ack,
+                        plan_hash: ctx.plan_hash,
+                        payload: encode_ack(last, 0),
+                    },
+                    accepted: None,
+                    close: None,
+                }
+            }
+            FrameKind::ReportBatch => {
+                let Some(client_id) = self.client_id else {
+                    return reject(WireError::Malformed(
+                        "report batch before hello handshake".into(),
+                    ));
+                };
+                let (batch_id, reports) = match decode_batch(&frame.payload) {
+                    Ok(b) => b,
+                    Err(e) => return reject(e),
+                };
+                if batch_id == 0 {
+                    return reject(WireError::Malformed("batch id zero is reserved".into()));
+                }
+                // Admission check: every report must match its group's
+                // oracle, *before* dedup or queueing, so a malformed batch
+                // can neither advance the dedup cursor nor reach a worker.
+                if let Some(err) = reports
+                    .iter()
+                    .find_map(|r| r.validate(&ctx.plan, &ctx.oracles).err())
+                {
+                    return reject(WireError::Malformed(err.to_string()));
+                }
+                let count = reports.len() as u32;
+                let last = ctx
+                    .dedup
+                    .lock()
+                    .unwrap()
+                    .get(&client_id)
+                    .copied()
+                    .unwrap_or(0);
+                if batch_id <= last {
+                    // Duplicate delivery (our previous ack was lost):
+                    // acknowledge again, ingest nothing.
+                    felip_obs::counter!("server.frame.duplicate", 1, "frames");
+                    stats.bump_duplicate();
+                    return FrameOutcome {
+                        reply: Frame {
+                            kind: FrameKind::Ack,
+                            plan_hash: ctx.plan_hash,
+                            payload: encode_ack(batch_id, count),
+                        },
+                        accepted: None,
+                        close: None,
+                    };
+                }
+                if batch_id > last + 1 {
+                    return reject(WireError::Malformed(format!(
+                        "batch id {batch_id} skips ahead of {last}"
+                    )));
+                }
+                match queue.try_push(reports) {
+                    Ok(depth) => {
+                        felip_obs::gauge!("server.queue.depth", depth, "batches");
+                        felip_obs::counter!("server.frame.ok", 1, "frames");
+                        felip_obs::counter!("server.frame.reports", count as usize, "reports");
+                        ctx.dedup.lock().unwrap().insert(client_id, batch_id);
+                        stats.bump_accepted(count as u64);
+                        FrameOutcome {
+                            reply: Frame {
+                                kind: FrameKind::Ack,
+                                plan_hash: ctx.plan_hash,
+                                payload: encode_ack(batch_id, count),
+                            },
+                            accepted: Some(AcceptedBatch {
+                                client_id,
+                                batch_id,
+                                reports: count,
+                            }),
+                            close: None,
+                        }
+                    }
+                    Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+                        // Backpressure: the batch is dropped here and the
+                        // client resends after backing off; `last` did not
+                        // advance, so the resend is the expected next id.
+                        felip_obs::counter!("server.frame.retry", 1, "frames");
+                        stats.bump_retried();
+                        FrameOutcome {
+                            reply: Frame {
+                                kind: FrameKind::Retry,
+                                plan_hash: ctx.plan_hash,
+                                payload: encode_retry(batch_id),
+                            },
+                            accepted: None,
+                            close: None,
+                        }
+                    }
+                }
+            }
+            other => reject(WireError::Malformed(format!("client sent {other:?} frame"))),
+        }
+    }
+}

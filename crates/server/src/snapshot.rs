@@ -9,14 +9,24 @@
 //! total_reports:u64
 //! num_grids:u32  then per grid:  cells:u32  count[cells]:u64
 //! num_groups:u32 then per group: size:u64
+//! num_dedup:u32  then per entry: client_id:u64 batch_id:u64  (sorted)
 //! crc32:u32 over everything above
 //! ```
+//!
+//! Version 2 added the dedup table: the per-client highest-accepted batch
+//! id, persisted so a restarted server keeps rejecting duplicates of
+//! batches it already counted (the exactly-once half of the
+//! exactly-once-or-rejected invariant survives restarts).
 //!
 //! Because counts are exact integers, `restore → continue ingesting →
 //! estimate` is bit-identical to a run that never stopped. Writes are
 //! atomic: the snapshot is written to a sibling temp file, fsynced, then
 //! renamed over the destination, so a crash mid-write leaves the previous
 //! snapshot intact and a torn file is rejected by the CRC on load.
+//! [`Snapshot::write_verified`] goes further: it decodes the temp file
+//! before the rename and *quarantines* a torn write (renames it to
+//! `.quarantine` beside the destination) instead of replacing the last
+//! good snapshot with garbage.
 
 use std::fs::{self, File};
 use std::io::Write;
@@ -32,7 +42,7 @@ use crate::wire::{crc32, WireError};
 pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"FSNP");
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// An aggregator's durable state, decoupled from the plan it was built for
 /// (the embedded `plan_hash` re-binds them at restore time).
@@ -44,15 +54,38 @@ pub struct Snapshot {
     pub counts: Vec<Vec<u64>>,
     /// Reports ingested per group.
     pub group_sizes: Vec<usize>,
+    /// Per-client dedup cursors: `(client_id, highest accepted batch_id)`,
+    /// sorted by client id. Empty for offline captures.
+    pub dedup: Vec<(u64, u64)>,
 }
 
 impl Snapshot {
-    /// Captures the aggregator's current state.
+    /// Captures the aggregator's current state (no dedup table — offline
+    /// captures have no notion of clients).
     pub fn capture(agg: &Aggregator, plan_hash: u64) -> Snapshot {
         Snapshot {
             plan_hash,
             counts: agg.counts().to_vec(),
             group_sizes: agg.group_sizes().to_vec(),
+            dedup: Vec::new(),
+        }
+    }
+
+    /// Captures aggregator state *and* the server's per-client dedup
+    /// cursors, so duplicates keep being suppressed after a restart.
+    /// `dedup` need not be sorted; the snapshot stores it canonically.
+    pub fn capture_with_dedup(
+        agg: &Aggregator,
+        plan_hash: u64,
+        dedup: Vec<(u64, u64)>,
+    ) -> Snapshot {
+        let mut dedup = dedup;
+        dedup.sort_unstable();
+        Snapshot {
+            plan_hash,
+            counts: agg.counts().to_vec(),
+            group_sizes: agg.group_sizes().to_vec(),
+            dedup,
         }
     }
 
@@ -80,6 +113,11 @@ impl Snapshot {
         buf.extend_from_slice(&(self.group_sizes.len() as u32).to_le_bytes());
         for &s in &self.group_sizes {
             buf.extend_from_slice(&(s as u64).to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.dedup.len() as u32).to_le_bytes());
+        for &(client, batch) in &self.dedup {
+            buf.extend_from_slice(&client.to_le_bytes());
+            buf.extend_from_slice(&batch.to_le_bytes());
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -145,6 +183,23 @@ impl Snapshot {
         for _ in 0..num_groups {
             group_sizes.push(r.u64()? as usize);
         }
+        let num_dedup = r.u32()? as usize;
+        if num_dedup > r.remaining() / 16 {
+            return Err(WireError::Malformed(format!(
+                "dedup count {num_dedup} impossible"
+            )));
+        }
+        let mut dedup = Vec::with_capacity(num_dedup);
+        for _ in 0..num_dedup {
+            let client = r.u64()?;
+            let batch = r.u64()?;
+            dedup.push((client, batch));
+        }
+        if dedup.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(WireError::Malformed(
+                "dedup table not sorted by unique client id".into(),
+            ));
+        }
         if r.remaining() != 0 {
             return Err(WireError::Malformed(format!(
                 "{} trailing bytes in snapshot",
@@ -155,6 +210,7 @@ impl Snapshot {
             plan_hash,
             counts,
             group_sizes,
+            dedup,
         };
         if snap.reports_ingested() as u64 != total {
             return Err(WireError::Malformed(format!(
@@ -182,6 +238,64 @@ impl Snapshot {
         felip_obs::counter!("server.snapshot.writes", 1, "snapshots");
         felip_obs::counter!("server.snapshot.bytes", bytes.len(), "bytes");
         Ok(())
+    }
+
+    /// Atomic write **with read-back verification**: the temp file is
+    /// re-read and fully decoded before the rename, and the decode must
+    /// reproduce this snapshot exactly. A torn or corrupted write (disk
+    /// full, bit rot, fault injection via `mangle`) is *quarantined* —
+    /// renamed to `<path>.quarantine` for post-mortem — and the last good
+    /// snapshot at `path` is left untouched.
+    ///
+    /// `mangle` is the fault-injection hook: it sees the encoded bytes and
+    /// may return a corrupted replacement (`None` = write faithfully). The
+    /// production server passes `None`; the chaos harness wires it to its
+    /// [`crate::fault::FaultSchedule`].
+    pub fn write_verified(
+        &self,
+        path: &Path,
+        mangle: Option<&mut dyn FnMut(&[u8]) -> Option<Vec<u8>>>,
+    ) -> Result<(), WireError> {
+        let mut span = felip_obs::span!("server.snapshot.write_verified");
+        let bytes = self.encode();
+        let written = match mangle.and_then(|m| m(&bytes)) {
+            Some(torn) => torn,
+            None => bytes,
+        };
+        span.field("bytes", written.len());
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp).map_err(WireError::Io)?;
+            f.write_all(&written).map_err(WireError::Io)?;
+            f.sync_all().map_err(WireError::Io)?;
+        }
+        // Read back what actually hit the filesystem and insist it decodes
+        // to the state we meant to persist.
+        let verify = fs::read(&tmp)
+            .map_err(WireError::Io)
+            .and_then(|b| Snapshot::decode(&b))
+            .and_then(|snap| {
+                if snap == *self {
+                    Ok(())
+                } else {
+                    Err(WireError::Malformed(
+                        "snapshot read-back decoded to different state".into(),
+                    ))
+                }
+            });
+        match verify {
+            Ok(()) => {
+                fs::rename(&tmp, path).map_err(WireError::Io)?;
+                felip_obs::counter!("server.snapshot.writes", 1, "snapshots");
+                Ok(())
+            }
+            Err(e) => {
+                let quarantine = path.with_extension("quarantine");
+                let _ = fs::rename(&tmp, &quarantine);
+                felip_obs::counter!("server.snapshot.quarantined", 1, "snapshots");
+                Err(e)
+            }
+        }
     }
 
     /// Reads and validates a snapshot file.
@@ -343,5 +457,62 @@ mod tests {
         later.write_atomic(&path).unwrap();
         assert_eq!(Snapshot::read(&path).unwrap().reports_ingested(), 200);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dedup_table_round_trips_and_survives_restore_path() {
+        let plan = plan();
+        let agg = collected(&plan, 0..100);
+        let snap =
+            Snapshot::capture_with_dedup(&agg, plan.schema_hash(), vec![(7, 3), (2, 41), (19, 1)]);
+        // Canonicalised on capture, preserved through encode/decode.
+        assert_eq!(snap.dedup, vec![(2, 41), (7, 3), (19, 1)]);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_or_duplicate_dedup_entries() {
+        let plan = plan();
+        let agg = collected(&plan, 0..20);
+        let mut snap = Snapshot::capture(&agg, plan.schema_hash());
+        snap.dedup = vec![(9, 1), (3, 2)]; // bypass capture's sort
+        let err = Snapshot::decode(&snap.encode()).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)), "{err}");
+        snap.dedup = vec![(3, 1), (3, 2)];
+        assert!(Snapshot::decode(&snap.encode()).is_err());
+    }
+
+    #[test]
+    fn write_verified_quarantines_torn_writes_and_keeps_last_good() {
+        let plan = plan();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("felip-snap-verify-{}.bin", std::process::id()));
+        let quarantine = path.with_extension("quarantine");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&quarantine);
+
+        // A good write lands.
+        let good = Snapshot::capture(&collected(&plan, 0..100), plan.schema_hash());
+        good.write_verified(&path, None).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap(), good);
+
+        // A torn write is quarantined; the good file is untouched.
+        let newer = Snapshot::capture(&collected(&plan, 0..200), plan.schema_hash());
+        let mut mangle = |bytes: &[u8]| Some(bytes[..bytes.len() / 2].to_vec());
+        let err = newer.write_verified(&path, Some(&mut mangle)).unwrap_err();
+        assert!(
+            matches!(err, WireError::Truncated { .. } | WireError::BadCrc { .. }),
+            "{err}"
+        );
+        assert_eq!(Snapshot::read(&path).unwrap(), good, "last good clobbered");
+        assert!(quarantine.exists(), "torn write not kept for post-mortem");
+        assert!(Snapshot::read(&quarantine).is_err());
+
+        // The retry (no fault this time) replaces the old snapshot.
+        newer.write_verified(&path, None).unwrap();
+        assert_eq!(Snapshot::read(&path).unwrap(), newer);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&quarantine);
     }
 }

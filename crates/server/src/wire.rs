@@ -19,15 +19,23 @@
 //! bytes returns a typed [`WireError`] — it never panics and never
 //! allocates more than the declared (bounded) payload length.
 //!
-//! A `ReportBatch` payload carries perturbed [`UserReport`]s:
+//! A `ReportBatch` payload carries a batch id and perturbed [`UserReport`]s:
 //!
 //! ```text
-//! count:u32  then per report:
+//! batch_id:u64  count:u32  then per report:
 //!   group:u32  tag:u8
 //!   tag 0 (GRR)  value:u32
 //!   tag 1 (OLH)  seed:u64  value:u32
 //!   tag 2 (OUE)  words:u32  word[words]:u64
 //! ```
+//!
+//! Version 2 added end-to-end idempotency: `Hello` carries the client's
+//! `client_id:u64`, every `ReportBatch` a per-client monotonically
+//! increasing `batch_id:u64`, and `Ack`/`Retry` echo the batch id they
+//! answer. The server deduplicates on `(client_id, batch_id)`, so a client
+//! that re-sends after a lost `Ack` cannot double-count its reports, and a
+//! client that receives a stale reply can discard it — the
+//! exactly-once-or-rejected invariant the chaos harness asserts.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -38,8 +46,9 @@ use felip_fo::Report;
 /// Frame magic: the bytes `FELP` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FELP");
 
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (2: idempotent batches — client ids, batch ids,
+/// id-echoing acks).
+pub const VERSION: u8 = 2;
 
 /// Fixed header size in bytes (everything before the payload).
 pub const HEADER_LEN: usize = 20;
@@ -352,19 +361,72 @@ pub fn decode_reports(payload: &[u8]) -> Result<Vec<UserReport>, WireError> {
     Ok(reports)
 }
 
-/// Serialises an `Ack` payload carrying the number of accepted reports.
-pub fn encode_ack(accepted: u32) -> Vec<u8> {
-    accepted.to_le_bytes().to_vec()
+/// Serialises a `Hello` payload carrying the client's id.
+pub fn encode_hello(client_id: u64) -> Vec<u8> {
+    client_id.to_le_bytes().to_vec()
 }
 
-/// Parses an `Ack` payload.
-pub fn decode_ack(payload: &[u8]) -> Result<u32, WireError> {
+/// Parses a `Hello` payload back into the client id.
+pub fn decode_hello(payload: &[u8]) -> Result<u64, WireError> {
     let mut r = ByteReader::new(payload);
+    let id = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized hello payload".into()));
+    }
+    Ok(id)
+}
+
+/// Serialises a `ReportBatch` payload: the batch id followed by the
+/// [`encode_reports`] body.
+pub fn encode_batch(batch_id: u64, reports: &[UserReport]) -> Result<Vec<u8>, WireError> {
+    let body = encode_reports(reports)?;
+    let mut buf = Vec::with_capacity(8 + body.len());
+    buf.extend_from_slice(&batch_id.to_le_bytes());
+    buf.extend_from_slice(&body);
+    Ok(buf)
+}
+
+/// Parses a `ReportBatch` payload into its batch id and reports.
+pub fn decode_batch(payload: &[u8]) -> Result<(u64, Vec<UserReport>), WireError> {
+    let mut r = ByteReader::new(payload);
+    let batch_id = r.u64()?;
+    let reports = decode_reports(&payload[8..])?;
+    Ok((batch_id, reports))
+}
+
+/// Serialises an `Ack` payload: the batch id it answers and the number of
+/// accepted reports (0 for the Hello ack, whose batch id is 0 too).
+pub fn encode_ack(batch_id: u64, accepted: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12);
+    buf.extend_from_slice(&batch_id.to_le_bytes());
+    buf.extend_from_slice(&accepted.to_le_bytes());
+    buf
+}
+
+/// Parses an `Ack` payload into `(batch_id, accepted)`.
+pub fn decode_ack(payload: &[u8]) -> Result<(u64, u32), WireError> {
+    let mut r = ByteReader::new(payload);
+    let batch_id = r.u64()?;
     let n = r.u32()?;
     if r.remaining() != 0 {
         return Err(WireError::Malformed("oversized ack payload".into()));
     }
-    Ok(n)
+    Ok((batch_id, n))
+}
+
+/// Serialises a `Retry` payload carrying the batch id to resend.
+pub fn encode_retry(batch_id: u64) -> Vec<u8> {
+    batch_id.to_le_bytes().to_vec()
+}
+
+/// Parses a `Retry` payload back into the batch id.
+pub fn decode_retry(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = ByteReader::new(payload);
+    let id = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized retry payload".into()));
+    }
+    Ok(id)
 }
 
 /// Bounds-checked little-endian reader over a byte slice.
@@ -446,6 +508,11 @@ pub enum WireError {
     },
     /// The server rejected a frame; carries its error message.
     Rejected(String),
+    /// The client's bounded retry budget ran out before a batch was acked.
+    BudgetExhausted {
+        /// Attempts made (connects + sends) before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -471,6 +538,9 @@ impl fmt::Display for WireError {
                 "collection plan mismatch: ours {ours:#018x}, peer {theirs:#018x}"
             ),
             WireError::Rejected(m) => write!(f, "rejected by server: {m}"),
+            WireError::BudgetExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
         }
     }
 }
@@ -573,7 +643,31 @@ mod tests {
 
     #[test]
     fn ack_round_trips() {
-        assert_eq!(decode_ack(&encode_ack(12345)).unwrap(), 12345);
+        assert_eq!(decode_ack(&encode_ack(9, 12345)).unwrap(), (9, 12345));
         assert!(decode_ack(&[1, 2]).is_err());
+        let mut oversized = encode_ack(1, 2);
+        oversized.push(0);
+        assert!(decode_ack(&oversized).is_err());
+    }
+
+    #[test]
+    fn hello_and_retry_round_trip() {
+        assert_eq!(decode_hello(&encode_hello(u64::MAX)).unwrap(), u64::MAX);
+        assert!(decode_hello(&[0; 4]).is_err());
+        assert_eq!(decode_retry(&encode_retry(77)).unwrap(), 77);
+        assert!(decode_retry(&[0; 12]).is_err());
+    }
+
+    #[test]
+    fn batch_round_trips_with_id() {
+        let reports = vec![UserReport {
+            group: 2,
+            report: Report::Grr(5),
+        }];
+        let payload = encode_batch(0xABCD, &reports).unwrap();
+        let (id, decoded) = decode_batch(&payload).unwrap();
+        assert_eq!(id, 0xABCD);
+        assert_eq!(decoded, reports);
+        assert!(decode_batch(&payload[..4]).is_err());
     }
 }

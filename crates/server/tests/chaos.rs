@@ -1,0 +1,94 @@
+//! The chaos sweep: many seeds through the deterministic fault-injection
+//! harness, asserting the exactly-once-or-rejected invariant under every
+//! fault kind, kill+resume with torn snapshot writes included.
+//!
+//! A seed that fails here reproduces exactly with
+//! `cargo run --release -p felip-bench --bin perf_smoke -- --chaos --seed N`.
+
+use felip_server::fault::FaultConfig;
+use felip_server::simharness::{run_sim, SimConfig};
+
+#[test]
+fn chaos_sweep_holds_exactly_once_or_rejected_across_64_seeds() {
+    let mut faults = 0u64;
+    let mut quarantined = 0u64;
+    let mut duplicates = 0u64;
+    let mut acked = 0usize;
+    for seed in 0..64u64 {
+        let r = run_sim(&SimConfig::chaos(seed));
+        assert!(
+            r.ok(),
+            "seed {seed} violated invariants: {:?}",
+            r.violations
+        );
+        assert_eq!(r.kills, 1, "seed {seed} must kill and resume once");
+        faults += r.faults_injected;
+        quarantined += r.snapshots_quarantined;
+        duplicates += r.duplicates;
+        acked += r.server_acked_batches;
+    }
+    // The sweep must actually exercise chaos, not pass vacuously.
+    assert!(acked > 64, "sweep accepted almost nothing: {acked} batches");
+    assert!(faults > 64, "sweep injected too few faults: {faults}");
+    assert!(
+        duplicates >= 1,
+        "no duplicate delivery was ever suppressed across the sweep"
+    );
+    // Torn snapshot writes fire at ~20% per kill; 64 kills make at least
+    // one quarantine overwhelmingly likely (and deterministic per seed).
+    assert!(
+        quarantined >= 1,
+        "no snapshot corruption was exercised across the sweep"
+    );
+}
+
+#[test]
+fn every_seed_is_bit_identical_on_replay() {
+    for seed in [0u64, 3, 17, 42, 63] {
+        let a = run_sim(&SimConfig::chaos(seed));
+        let b = run_sim(&SimConfig::chaos(seed));
+        assert_eq!(a, b, "seed {seed}: replay diverged");
+    }
+}
+
+#[test]
+fn heavy_fault_rates_still_settle_observably() {
+    // An order of magnitude more chaos than the standard mix: clients may
+    // exhaust their budgets, but every outcome must stay typed — either
+    // accepted exactly once or given up, never silent loss.
+    let faults = FaultConfig {
+        drop_ppm: 60_000,
+        truncate_ppm: 40_000,
+        duplicate_ppm: 60_000,
+        reorder_ppm: 60_000,
+        corrupt_ppm: 40_000,
+        reset_ppm: 30_000,
+        stall_ppm: 30_000,
+        snapshot_corrupt_ppm: 500_000,
+    };
+    for seed in 0..8u64 {
+        let cfg = SimConfig {
+            faults,
+            ..SimConfig::chaos(seed)
+        };
+        let r = run_sim(&cfg);
+        assert!(
+            r.ok(),
+            "seed {seed} violated invariants: {:?}",
+            r.violations
+        );
+        assert!(r.faults_injected > 0, "seed {seed} injected nothing");
+    }
+}
+
+#[test]
+fn lossless_baseline_is_perfect_delivery() {
+    for seed in 0..4u64 {
+        let r = run_sim(&SimConfig::lossless(seed));
+        assert!(r.ok(), "seed {seed}: {:?}", r.violations);
+        assert_eq!(r.reports_ingested, 240, "seed {seed} lost reports");
+        assert_eq!(r.gave_up, 0);
+        assert_eq!(r.faults_injected, 0);
+        assert_eq!(r.snapshots_quarantined, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Statistical regression suite: end-to-end MAE under fixed seeds against
+//! committed golden values.
+//!
+//! Every stochastic stage (dataset generation, grid assignment, report
+//! perturbation, workload sampling) is seeded, so each configuration's MAE
+//! is a deterministic number. The suite asserts the measured MAE stays
+//! within ±20% of the committed golden — a drift outside that band means a
+//! change altered the estimator's statistical behaviour, not just its
+//! internals, and the golden must be re-derived deliberately (run with
+//! `--nocapture` to see the measured values).
+
+use felip_repro::common::metrics::mae;
+use felip_repro::datasets::{generate_queries, DatasetKind, GenOptions, WorkloadOptions};
+use felip_repro::{simulate, FelipConfig, SelectivityPrior, Strategy};
+
+const N: usize = 50_000;
+const DATA_SEED: u64 = 1301;
+const WORKLOAD_SEED: u64 = 1303;
+const SIM_SEED: u64 = 1307;
+
+/// One pinned configuration with its committed golden MAE.
+struct Golden {
+    kind: DatasetKind,
+    strategy: Strategy,
+    epsilon: f64,
+    mae: f64,
+}
+
+/// Golden MAEs measured at the commit that introduced this suite. Keep in
+/// sync with `run_config`: any change to the seeds or workload above
+/// invalidates the whole table.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        kind: DatasetKind::Uniform,
+        strategy: Strategy::Oug,
+        epsilon: 1.0,
+        mae: GOLDEN_UNIFORM_OUG_E1,
+    },
+    Golden {
+        kind: DatasetKind::Uniform,
+        strategy: Strategy::Ohg,
+        epsilon: 1.0,
+        mae: GOLDEN_UNIFORM_OHG_E1,
+    },
+    Golden {
+        kind: DatasetKind::Uniform,
+        strategy: Strategy::Oug,
+        epsilon: 4.0,
+        mae: GOLDEN_UNIFORM_OUG_E4,
+    },
+    Golden {
+        kind: DatasetKind::Uniform,
+        strategy: Strategy::Ohg,
+        epsilon: 4.0,
+        mae: GOLDEN_UNIFORM_OHG_E4,
+    },
+    Golden {
+        kind: DatasetKind::Normal,
+        strategy: Strategy::Oug,
+        epsilon: 1.0,
+        mae: GOLDEN_NORMAL_OUG_E1,
+    },
+    Golden {
+        kind: DatasetKind::Normal,
+        strategy: Strategy::Ohg,
+        epsilon: 1.0,
+        mae: GOLDEN_NORMAL_OHG_E1,
+    },
+    Golden {
+        kind: DatasetKind::Normal,
+        strategy: Strategy::Oug,
+        epsilon: 4.0,
+        mae: GOLDEN_NORMAL_OUG_E4,
+    },
+    Golden {
+        kind: DatasetKind::Normal,
+        strategy: Strategy::Ohg,
+        epsilon: 4.0,
+        mae: GOLDEN_NORMAL_OHG_E4,
+    },
+];
+
+const GOLDEN_UNIFORM_OUG_E1: f64 = 0.018796;
+const GOLDEN_UNIFORM_OHG_E1: f64 = 0.035559;
+const GOLDEN_UNIFORM_OUG_E4: f64 = 0.007510;
+const GOLDEN_UNIFORM_OHG_E4: f64 = 0.007376;
+const GOLDEN_NORMAL_OUG_E1: f64 = 0.125646;
+const GOLDEN_NORMAL_OHG_E1: f64 = 0.033051;
+const GOLDEN_NORMAL_OUG_E4: f64 = 0.022501;
+const GOLDEN_NORMAL_OHG_E4: f64 = 0.009017;
+
+fn run_config(kind: DatasetKind, strategy: Strategy, epsilon: f64) -> f64 {
+    let data = kind.generate(GenOptions {
+        n: N,
+        numerical: 3,
+        categorical: 3,
+        numerical_domain: 64,
+        categorical_domain: 8,
+        seed: DATA_SEED,
+    });
+    let queries = generate_queries(
+        data.schema(),
+        WorkloadOptions {
+            lambda: 2,
+            selectivity: 0.5,
+            count: 12,
+            seed: WORKLOAD_SEED,
+            range_only: false,
+        },
+    )
+    .unwrap();
+    let truth: Vec<f64> = queries.iter().map(|q| q.true_answer(&data)).collect();
+    let config = FelipConfig::new(epsilon)
+        .with_strategy(strategy)
+        .with_selectivity(SelectivityPrior::Uniform(0.5));
+    let est = simulate(&data, &config, SIM_SEED).unwrap();
+    mae(&est.answer_all(&queries).unwrap(), &truth)
+}
+
+/// Every configuration lands within ±20% of its committed golden MAE.
+#[test]
+fn mae_matches_goldens_within_twenty_percent() {
+    let mut failures = Vec::new();
+    for g in GOLDENS {
+        let measured = run_config(g.kind, g.strategy, g.epsilon);
+        println!(
+            "{:?}/{:?}/eps={}: measured {measured:.6}  golden {:.6}",
+            g.kind, g.strategy, g.epsilon, g.mae
+        );
+        let (lo, hi) = (g.mae * 0.8, g.mae * 1.2);
+        if !(lo..=hi).contains(&measured) {
+            failures.push(format!(
+                "{:?}/{:?}/eps={}: measured MAE {measured:.6} outside \
+                 [{lo:.6}, {hi:.6}] (golden {:.6})",
+                g.kind, g.strategy, g.epsilon, g.mae
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden drift:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The ε ordering the paper's Figure 1 promises: quadrupling the budget
+/// strictly reduces error for both strategies on both datasets.
+#[test]
+fn larger_epsilon_is_strictly_better_per_config() {
+    for g1 in GOLDENS.iter().filter(|g| g.epsilon == 1.0) {
+        let g4 = GOLDENS
+            .iter()
+            .find(|g| g.epsilon == 4.0 && g.kind == g1.kind && g.strategy == g1.strategy)
+            .unwrap();
+        assert!(
+            g4.mae < g1.mae,
+            "{:?}/{:?}: golden eps=4 MAE {} not below eps=1 MAE {}",
+            g1.kind,
+            g1.strategy,
+            g4.mae,
+            g1.mae
+        );
+    }
+}
