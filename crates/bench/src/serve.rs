@@ -14,9 +14,10 @@ use std::time::Instant;
 
 use felip::config::FelipConfig;
 use felip::plan::CollectionPlan;
+use felip_common::rng::derive_seed;
 use felip_common::{Attribute, Schema};
 use felip_server::loadgen::user_report;
-use felip_server::{Client, Server, ServerConfig};
+use felip_server::{Client, RetryPolicy, Server, ServerConfig};
 use serde_json::{json, Value};
 
 /// Options for the serve load generation run.
@@ -125,9 +126,20 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
     let per_conn_results: Vec<(Vec<f64>, u64, u64)> = thread::scope(|s| {
         let handles: Vec<_> = streams
             .iter()
-            .map(|reports| {
+            .enumerate()
+            .map(|(conn, reports)| {
+                let seed = opts.seed;
                 s.spawn(move || {
-                    let mut client = Client::connect(addr, plan_hash).expect("connect");
+                    // Pin the wire identity to (seed, connection): stable
+                    // across reconnects, and the per-connection jitter seed
+                    // declusters retry storms under backpressure.
+                    let client_id = derive_seed(seed, conn as u64 + 1);
+                    let policy = RetryPolicy {
+                        jitter_seed: client_id,
+                        ..RetryPolicy::default()
+                    };
+                    let mut client =
+                        Client::connect_with(addr, plan_hash, client_id, policy).expect("connect");
                     let mut latencies = Vec::with_capacity(reports.len() / opts.batch + 1);
                     let mut retries = 0u64;
                     let mut frames = 0u64;

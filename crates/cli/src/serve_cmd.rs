@@ -12,9 +12,10 @@ use std::time::Duration;
 
 use felip::plan::CollectionPlan;
 use felip::{FelipConfig, SelectivityPrior, Strategy};
+use felip_common::rng::derive_seed;
 use felip_obs::diag;
 use felip_server::loadgen::{offline_reference, user_report};
-use felip_server::{signal, Client, Server, ServerConfig, Snapshot};
+use felip_server::{signal, Client, RetryPolicy, Server, ServerConfig, Snapshot};
 
 use crate::args::{parse_schema, Flags};
 
@@ -99,19 +100,41 @@ pub fn load(args: &[String]) -> CmdResult {
     let plan_hash = plan.schema_hash();
     let user_list: Vec<usize> = (from..from + users).collect();
     let chunk = user_list.len().div_ceil(connections).max(1);
-    let totals: Vec<(usize, u64)> = std::thread::scope(|s| {
+    let totals: Vec<(usize, u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = user_list
             .chunks(chunk)
-            .map(|slice| {
+            .enumerate()
+            .map(|(conn, slice)| {
                 let plan = Arc::clone(&plan);
                 let addr = addr.clone();
-                s.spawn(move || -> std::result::Result<(usize, u64), String> {
+                s.spawn(move || -> std::result::Result<(usize, u64, u64), String> {
                     let _conn_span = felip_obs::span!("load.connection");
+                    // The identity is a pure function of (seed, from,
+                    // connection index): re-running an interrupted load
+                    // with the same flags resumes against the server's
+                    // dedup cursor instead of double-counting, and the
+                    // same identity survives mid-run reconnects.
+                    let client_id = derive_seed(derive_seed(seed, from as u64), conn as u64 + 1);
+                    let policy = RetryPolicy {
+                        jitter_seed: client_id,
+                        ..RetryPolicy::default()
+                    };
                     let mut client =
-                        Client::connect(addr.as_str(), plan_hash).map_err(|e| e.to_string())?;
+                        Client::connect_with(addr.as_str(), plan_hash, client_id, policy)
+                            .map_err(|e| e.to_string())?;
+                    // Batches the server already accepted from this
+                    // identity (an earlier run of the same load): skip
+                    // them — their reports are already counted.
+                    let resume_from = client.last_acked() as usize;
                     let mut sent = 0usize;
+                    let mut resumed = 0u64;
                     let mut retries = 0u64;
-                    for batch_users in slice.chunks(batch) {
+                    for (idx, batch_users) in slice.chunks(batch).enumerate() {
+                        if idx < resume_from {
+                            sent += batch_users.len();
+                            resumed += 1;
+                            continue;
+                        }
                         let reports: Vec<_> = batch_users
                             .iter()
                             .map(|&u| user_report(&plan, u, seed))
@@ -125,7 +148,7 @@ pub fn load(args: &[String]) -> CmdResult {
                         sent += reports.len();
                         felip_obs::counter!("load.reports.sent", reports.len() as u64, "reports");
                     }
-                    Ok((sent, retries))
+                    Ok((sent, retries, resumed))
                 })
             })
             .collect();
@@ -136,8 +159,9 @@ pub fn load(args: &[String]) -> CmdResult {
     })
     .map_err(|e: String| -> Box<dyn std::error::Error> { e.into() })?;
 
-    let sent: usize = totals.iter().map(|(s, _)| s).sum();
-    let retries: u64 = totals.iter().map(|(_, r)| r).sum();
+    let sent: usize = totals.iter().map(|(s, _, _)| s).sum();
+    let retries: u64 = totals.iter().map(|(_, r, _)| r).sum();
+    let resumed: u64 = totals.iter().map(|(_, _, k)| k).sum();
     println!(
         "{}",
         serde_json::to_string_pretty(&serde_json::json!({
@@ -147,6 +171,7 @@ pub fn load(args: &[String]) -> CmdResult {
             "from": from,
             "reports_sent": sent,
             "retries": retries,
+            "batches_resumed": resumed,
             "connections": connections,
         }))?
     );

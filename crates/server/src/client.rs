@@ -9,8 +9,8 @@
 //! the highest batch the server already accepted, so nothing accepted is
 //! ever re-sent.
 
-use std::io::BufWriter;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -85,18 +85,48 @@ impl RetryPolicy {
 }
 
 /// A connected, handshaken ingestion client.
+///
+/// The client keeps its resolved server addresses and its wire identity,
+/// so [`Client::reconnect`] re-establishes the *same* identity after the
+/// connection is lost (idle reap, mid-frame stall, reset). The `Hello`
+/// ack then resyncs `last_acked`, which is what makes exactly-once hold
+/// across reconnects — a fresh id would let the server re-count batches
+/// it already accepted under the old one.
 pub struct Client {
     stream: TcpStream,
+    addrs: Vec<SocketAddr>,
     plan_hash: u64,
     client_id: u64,
     last_acked: u64,
     policy: RetryPolicy,
 }
 
+/// Dials the first reachable address of a resolved set.
+fn dial(addrs: &[SocketAddr]) -> Result<TcpStream, WireError> {
+    let mut last_err: Option<io::Error> = None;
+    for addr in addrs {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).map_err(WireError::Io)?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(WireError::Io(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::AddrNotAvailable, "no addresses to dial")
+    })))
+}
+
 impl Client {
     /// Connects with a fresh process-unique client id and the default
     /// retry policy, and performs the `Hello` handshake, proving both
     /// sides hold the same `CollectionPlan`.
+    ///
+    /// The identity lives in the returned `Client` and survives
+    /// [`Client::reconnect`]; callers that need dedup continuity across
+    /// *processes* (resuming an interrupted load) should pin an explicit
+    /// id via [`Client::connect_with`] instead.
     pub fn connect(addr: impl ToSocketAddrs, plan_hash: u64) -> Result<Client, WireError> {
         let id = NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed);
         Client::connect_with(addr, plan_hash, id, RetryPolicy::default())
@@ -111,27 +141,45 @@ impl Client {
         client_id: u64,
         policy: RetryPolicy,
     ) -> Result<Client, WireError> {
-        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-        stream.set_nodelay(true).map_err(WireError::Io)?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
+        let stream = dial(&addrs)?;
         let mut client = Client {
             stream,
+            addrs,
             plan_hash,
             client_id,
             last_acked: 0,
             policy,
         };
-        client.send(&Frame {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Re-dials the server and re-handshakes with the *same* client id,
+    /// resyncing `last_acked` from the `Hello` ack. Batches the server
+    /// already accepted under this identity are therefore never re-sent —
+    /// the exactly-once guarantee survives lost connections.
+    pub fn reconnect(&mut self) -> Result<(), WireError> {
+        felip_obs::counter!("client.reconnect", 1, "connections");
+        self.stream = dial(&self.addrs)?;
+        self.handshake()
+    }
+
+    /// Sends `Hello` and adopts the server's view of the highest batch it
+    /// accepted for this id (the server is the source of truth — a resume
+    /// from an older snapshot may legitimately wind the cursor back, and
+    /// the gap check would reject ids ahead of it).
+    fn handshake(&mut self) -> Result<(), WireError> {
+        self.send(&Frame {
             kind: FrameKind::Hello,
-            plan_hash,
-            payload: encode_hello(client_id),
+            plan_hash: self.plan_hash,
+            payload: encode_hello(self.client_id),
         })?;
-        match client.read_reply()? {
+        match self.read_reply()? {
             (FrameKind::Ack, payload) => {
-                // The server tells us the highest batch it has already
-                // accepted for this id (0 for a brand-new client).
                 let (last_acked, _) = decode_ack(&payload)?;
-                client.last_acked = last_acked;
-                Ok(client)
+                self.last_acked = last_acked;
+                Ok(())
             }
             (kind, payload) => Err(reply_error(kind, &payload)),
         }
@@ -178,22 +226,49 @@ impl Client {
         }
     }
 
-    /// Sends a batch, backing off and resending on RETRY per the client's
-    /// [`RetryPolicy`]. Returns how many RETRY responses were absorbed, or
-    /// [`WireError::BudgetExhausted`] once the attempt budget is spent.
+    /// Sends a batch, backing off and resending on RETRY — and surviving a
+    /// lost connection by [`Client::reconnect`]ing under the same identity
+    /// — per the client's [`RetryPolicy`]. Returns how many retried
+    /// attempts were absorbed, or [`WireError::BudgetExhausted`] once the
+    /// attempt budget is spent.
+    ///
+    /// If the connection died after the server accepted the batch but
+    /// before the ack arrived, the reconnect handshake reveals it (the
+    /// `Hello` ack covers the batch's id) and the batch is *not* re-sent.
     pub fn send_batch_retrying(&mut self, reports: &[UserReport]) -> Result<u32, WireError> {
+        // The id this call's batch will be (or was) sent under; acked means
+        // these reports are counted, whichever connection carried them.
+        let target = self.last_acked + 1;
         let mut attempts = 0u32;
         loop {
+            if self.last_acked >= target {
+                // A reconnect handshake showed the server already accepted
+                // this batch — the ack was lost in flight, not the batch.
+                return Ok(attempts);
+            }
             attempts += 1;
-            match self.send_batch(reports)? {
-                BatchReply::Ack(_) => return Ok(attempts - 1),
-                BatchReply::Retry => {
+            match self.send_batch(reports) {
+                Ok(BatchReply::Ack(_)) => return Ok(attempts - 1),
+                Ok(BatchReply::Retry) => {
                     if attempts >= self.policy.max_attempts {
                         felip_obs::counter!("client.retry.exhausted", 1, "batches");
                         return Err(WireError::BudgetExhausted { attempts });
                     }
                     std::thread::sleep(self.policy.backoff(attempts));
                 }
+                Err(WireError::Io(_)) => {
+                    // The connection is gone (reaped while we backed off,
+                    // stalled, reset). Burn an attempt, back off, and come
+                    // back as the same identity; a failed reconnect just
+                    // burns another attempt on the next lap.
+                    if attempts >= self.policy.max_attempts {
+                        felip_obs::counter!("client.retry.exhausted", 1, "batches");
+                        return Err(WireError::BudgetExhausted { attempts });
+                    }
+                    std::thread::sleep(self.policy.backoff(attempts));
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
             }
         }
     }

@@ -34,6 +34,11 @@ pub enum PopResult<T> {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Items popped but not yet [`BoundedQueue::task_done`]-acknowledged:
+    /// batches a worker is ingesting right now. Snapshot consistency needs
+    /// to know about these — an empty queue alone does not mean every
+    /// accepted batch has reached an aggregator.
+    in_flight: usize,
 }
 
 /// A fixed-capacity FIFO shared between connection handlers (producers)
@@ -56,6 +61,7 @@ impl<T> BoundedQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                in_flight: 0,
             }),
             not_empty: Condvar::new(),
             capacity,
@@ -80,10 +86,15 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Dequeues, waiting up to `timeout` for an item.
+    ///
+    /// A popped item counts as *in flight* until the consumer calls
+    /// [`BoundedQueue::task_done`] for it; [`BoundedQueue::is_quiescent`]
+    /// stays false in between.
     pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                inner.in_flight += 1;
                 return PopResult::Item(item);
             }
             if inner.closed {
@@ -93,12 +104,30 @@ impl<T> BoundedQueue<T> {
             inner = guard;
             if wait.timed_out() {
                 return match inner.items.pop_front() {
-                    Some(item) => PopResult::Item(item),
+                    Some(item) => {
+                        inner.in_flight += 1;
+                        PopResult::Item(item)
+                    }
                     None if inner.closed => PopResult::Done,
                     None => PopResult::Empty,
                 };
             }
         }
+    }
+
+    /// Marks one previously popped item as fully processed (ingested into
+    /// an aggregator), clearing its in-flight mark.
+    pub fn task_done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+    }
+
+    /// Whether the queue holds no items *and* nothing popped is still being
+    /// processed — i.e. every batch ever pushed is in an aggregator. Only
+    /// meaningful while producers are paused (the snapshot consistent cut).
+    pub fn is_quiescent(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner.items.is_empty() && inner.in_flight == 0
     }
 
     /// Closes the queue: further pushes fail, consumers drain what remains
@@ -170,5 +199,20 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = BoundedQueue::<u32>::new(0);
+    }
+
+    #[test]
+    fn quiescence_tracks_in_flight_items() {
+        let q = BoundedQueue::new(4);
+        assert!(q.is_quiescent(), "fresh queue is quiescent");
+        q.try_push(1).unwrap();
+        assert!(!q.is_quiescent(), "queued item pending");
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::Item(1));
+        assert!(
+            !q.is_quiescent(),
+            "popped item is in flight until task_done"
+        );
+        q.task_done();
+        assert!(q.is_quiescent(), "drained and processed");
     }
 }

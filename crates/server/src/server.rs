@@ -298,14 +298,20 @@ impl Server {
                     match queue.pop_timeout(Duration::from_millis(50)) {
                         PopResult::Item(batch) => {
                             felip_obs::gauge!("server.queue.depth", queue.len(), "batches");
-                            let mut agg = shard.lock().unwrap();
-                            // Batches were validated at the connection edge,
-                            // so ingest failures are server bugs; count and
-                            // drop rather than crash the worker.
-                            if let Err(e) = agg.ingest_batch(&batch) {
-                                felip_obs::counter!("server.ingest.errors", 1, "batches");
-                                felip_obs::diag::error(&format!("worker {w}: {e}"));
+                            {
+                                let mut agg = shard.lock().unwrap();
+                                // Batches were validated at the connection
+                                // edge, so ingest failures are server bugs;
+                                // count and drop rather than crash the
+                                // worker.
+                                if let Err(e) = agg.ingest_batch(&batch) {
+                                    felip_obs::counter!("server.ingest.errors", 1, "batches");
+                                    felip_obs::diag::error(&format!("worker {w}: {e}"));
+                                }
                             }
+                            // Only after the batch is in the shard: the
+                            // snapshot cut waits on this mark.
+                            queue.task_done();
                         }
                         PopResult::Empty => continue,
                         PopResult::Done => break,
@@ -326,6 +332,7 @@ impl Server {
                 let stop = &stop_snapshots;
                 let plan_hash = self.plan_hash;
                 let ctx = &ctx;
+                let queues = &queues;
                 scope.spawn(move || {
                     let mut last = Instant::now();
                     while !stop.load(Ordering::SeqCst) {
@@ -334,9 +341,9 @@ impl Server {
                             continue;
                         }
                         last = Instant::now();
-                        let merged = merge_state(&plan, &oracles, base, shards);
-                        let snap =
-                            Snapshot::capture_with_dedup(&merged, plan_hash, ctx.dedup_pairs());
+                        let (merged, dedup) =
+                            consistent_cut(ctx, &plan, &oracles, base, shards, queues);
+                        let snap = Snapshot::capture_with_dedup(&merged, plan_hash, dedup);
                         match snap.write_verified(&path, None) {
                             Ok(()) => {
                                 stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
@@ -417,6 +424,36 @@ impl Server {
     }
 }
 
+/// Captures counts *and* dedup cursors at one consistent point while
+/// ingestion continues — the periodic-snapshot path.
+///
+/// Sessions advance a dedup cursor atomically with queueing its batch,
+/// both under the `ctx.dedup` lock. Holding that lock here freezes
+/// admission; waiting for every queue to go quiescent (empty, nothing
+/// popped-but-unprocessed) then guarantees each accepted batch is in a
+/// shard. The state captured therefore satisfies: cursors == exactly the
+/// batches in the counts. Without this cut, a restore could tell clients
+/// batches were accepted whose reports never reached the snapshot (acked
+/// reports silently lost), or the reverse (double-counted on resend).
+pub(crate) fn consistent_cut(
+    ctx: &SessionCtx,
+    plan: &Arc<CollectionPlan>,
+    oracles: &Arc<OracleSet>,
+    base: &Mutex<Aggregator>,
+    shards: &[Mutex<Aggregator>],
+    queues: &[Arc<BoundedQueue<Vec<UserReport>>>],
+) -> (Aggregator, Vec<(u64, u64)>) {
+    let dedup = ctx.dedup.lock().unwrap();
+    // No session can push while we hold the dedup lock, so the backlog is
+    // bounded and this wait terminates once the workers catch up.
+    while !queues.iter().all(|q| q.is_quiescent()) {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let merged = merge_state(plan, oracles, base, shards);
+    let pairs = SessionCtx::sorted_pairs(&dedup);
+    (merged, pairs)
+}
+
 /// Point-in-time merge of the resume base and every worker shard, used by
 /// periodic snapshots while ingestion continues.
 fn merge_state(
@@ -486,5 +523,94 @@ fn handle_conn<F: Fn() -> bool>(
                 return Err(e);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use crate::wire::{encode_batch, encode_hello, Frame, FrameKind};
+    use felip::config::FelipConfig;
+    use felip_common::{Attribute, Schema};
+
+    /// Regression for the acked-but-unsnapshotted race: batches sit acked
+    /// (cursor advanced) in the worker queue while a periodic snapshot
+    /// runs. The consistent cut must wait until those batches are in the
+    /// shard counts before capturing the cursors — a snapshot with cursor
+    /// 3 and zero reports would silently lose all three batches across a
+    /// restore.
+    #[test]
+    fn periodic_cut_never_captures_cursors_ahead_of_counts() {
+        let schema = Schema::new(vec![
+            Attribute::numerical("a", 32),
+            Attribute::categorical("c", 4),
+        ])
+        .unwrap();
+        let plan = Arc::new(CollectionPlan::build(&schema, 60, &FelipConfig::new(1.0), 3).unwrap());
+        let oracles = Arc::new(OracleSet::build(&plan));
+        let plan_hash = plan.schema_hash();
+        let ctx = SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), Vec::new());
+        let queue = Arc::new(BoundedQueue::new(8));
+        let base = Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        ));
+        let shards = vec![Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        ))];
+        let stats = AtomicStats::default();
+        let mut session = Session::new();
+
+        let hello = Frame {
+            kind: FrameKind::Hello,
+            plan_hash,
+            payload: encode_hello(7),
+        };
+        assert!(session
+            .on_frame(hello, &ctx, &queue, &stats)
+            .close
+            .is_none());
+        let mut total = 0usize;
+        for batch_id in 1..=3u64 {
+            let lo = (batch_id as usize - 1) * 20;
+            let reports: Vec<_> = (lo..lo + 20)
+                .map(|u| crate::loadgen::user_report(&plan, u, 3).unwrap())
+                .collect();
+            total += reports.len();
+            let frame = Frame {
+                kind: FrameKind::ReportBatch,
+                plan_hash,
+                payload: encode_batch(batch_id, &reports).unwrap(),
+            };
+            let out = session.on_frame(frame, &ctx, &queue, &stats);
+            assert!(out.accepted.is_some(), "batch {batch_id} must be accepted");
+        }
+
+        // All three batches are acked but still queued; a deliberately
+        // slow worker drains them while the cut runs.
+        let queues = vec![Arc::clone(&queue)];
+        thread::scope(|s| {
+            s.spawn(|| loop {
+                match queue.pop_timeout(Duration::from_millis(5)) {
+                    PopResult::Item(batch) => {
+                        thread::sleep(Duration::from_millis(10));
+                        shards[0].lock().unwrap().ingest_batch(&batch).unwrap();
+                        queue.task_done();
+                    }
+                    PopResult::Empty => continue,
+                    PopResult::Done => break,
+                }
+            });
+            let (merged, cursors) = consistent_cut(&ctx, &plan, &oracles, &base, &shards, &queues);
+            assert_eq!(cursors, vec![(7, 3)]);
+            assert_eq!(
+                merged.reports_ingested(),
+                total,
+                "every acked batch must be inside the snapshotted counts"
+            );
+            queue.close();
+        });
     }
 }

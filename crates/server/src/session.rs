@@ -67,13 +67,14 @@ impl SessionCtx {
 
     /// The dedup table as sorted pairs (the snapshot encoding).
     pub fn dedup_pairs(&self) -> Vec<(u64, u64)> {
-        let mut pairs: Vec<(u64, u64)> = self
-            .dedup
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(&c, &b)| (c, b))
-            .collect();
+        Self::sorted_pairs(&self.dedup.lock().unwrap())
+    }
+
+    /// Sorted-pair encoding of an already-locked dedup table — for callers
+    /// (the snapshot consistent cut) that must capture the cursors under a
+    /// guard they are still holding.
+    pub fn sorted_pairs(map: &HashMap<u64, u64>) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = map.iter().map(|(&c, &b)| (c, b)).collect();
         pairs.sort_unstable();
         pairs
     }
@@ -186,14 +187,16 @@ impl Session {
                     return reject(WireError::Malformed(err.to_string()));
                 }
                 let count = reports.len() as u32;
-                let last = ctx
-                    .dedup
-                    .lock()
-                    .unwrap()
-                    .get(&client_id)
-                    .copied()
-                    .unwrap_or(0);
+                // The dedup lock is held across the cursor check, the queue
+                // push, and the cursor advance: a snapshot (which freezes
+                // this lock for its consistent cut) must never observe a
+                // cursor without its queued batch or a queued batch without
+                // its cursor, and two connections racing for the same
+                // client id must serialise on the same check-then-push.
+                let mut dedup = ctx.dedup.lock().unwrap();
+                let last = dedup.get(&client_id).copied().unwrap_or(0);
                 if batch_id <= last {
+                    drop(dedup);
                     // Duplicate delivery (our previous ack was lost):
                     // acknowledge again, ingest nothing.
                     felip_obs::counter!("server.frame.duplicate", 1, "frames");
@@ -209,16 +212,18 @@ impl Session {
                     };
                 }
                 if batch_id > last + 1 {
+                    drop(dedup);
                     return reject(WireError::Malformed(format!(
                         "batch id {batch_id} skips ahead of {last}"
                     )));
                 }
                 match queue.try_push(reports) {
                     Ok(depth) => {
+                        dedup.insert(client_id, batch_id);
+                        drop(dedup);
                         felip_obs::gauge!("server.queue.depth", depth, "batches");
                         felip_obs::counter!("server.frame.ok", 1, "frames");
                         felip_obs::counter!("server.frame.reports", count as usize, "reports");
-                        ctx.dedup.lock().unwrap().insert(client_id, batch_id);
                         stats.bump_accepted(count as u64);
                         FrameOutcome {
                             reply: Frame {
@@ -235,6 +240,7 @@ impl Session {
                         }
                     }
                     Err(PushError::Full(_)) | Err(PushError::Closed(_)) => {
+                        drop(dedup);
                         // Backpressure: the batch is dropped here and the
                         // client resends after backing off; `last` did not
                         // advance, so the resend is the expected next id.

@@ -687,6 +687,7 @@ impl Sim {
             match self.queue.pop_timeout(std::time::Duration::ZERO) {
                 PopResult::Item(batch) => {
                     self.agg.ingest_batch(&batch).unwrap();
+                    self.queue.task_done();
                     drained += 1;
                 }
                 PopResult::Empty | PopResult::Done => break,

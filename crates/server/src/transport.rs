@@ -87,7 +87,15 @@ impl<F: Fn() -> bool> Read for DeadlineRead<'_, F> {
             match (&mut &*self.stream).read(buf) {
                 Ok(0) => return Ok(0),
                 Ok(n) => {
-                    self.got_any = true;
+                    if !self.got_any {
+                        // The frame's first byte starts the stall clock:
+                        // `read_timeout` bounds time since that byte, not
+                        // since `recv` began waiting — a frame that merely
+                        // *arrived* late (but within the idle window) must
+                        // not be torn down as a mid-frame stall.
+                        self.got_any = true;
+                        self.start = Instant::now();
+                    }
                     return Ok(n);
                 }
                 Err(e)
@@ -258,6 +266,37 @@ mod tests {
                     assert_eq!(e.kind(), io::ErrorKind::TimedOut)
                 }
                 other => panic!("expected stall error, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn late_first_byte_within_idle_window_is_not_a_stall() {
+        // read_timeout (80 ms) < first-byte delay (200 ms) < idle_timeout
+        // (5 s): the frame arrives late but healthy, and must be received —
+        // the stall clock starts at the first byte, not at recv() entry.
+        let (client, server) = pair();
+        let stop = || false;
+        let mut t = TcpTransport::new(
+            &server,
+            &stop,
+            Duration::from_millis(80),
+            Duration::from_secs(5),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let frame = Frame::control(FrameKind::Hello, 7);
+        let bytes = frame.encode();
+        thread::scope(|s| {
+            s.spawn(|| {
+                use std::io::Write;
+                thread::sleep(Duration::from_millis(200));
+                (&client).write_all(&bytes).unwrap();
+                (&client).flush().unwrap();
+            });
+            match t.recv() {
+                RecvOutcome::Frame(f) => assert_eq!(f, frame),
+                other => panic!("healthy late frame was torn down: {other:?}"),
             }
         });
     }

@@ -9,7 +9,7 @@ use felip::config::FelipConfig;
 use felip::plan::CollectionPlan;
 use felip_common::{Attribute, Schema};
 use felip_server::loadgen::{offline_reference, user_report};
-use felip_server::{Client, Server, ServerConfig, ServerRun};
+use felip_server::{Client, RetryPolicy, Server, ServerConfig, ServerRun};
 
 fn plan() -> Arc<CollectionPlan> {
     let schema = Schema::new(vec![
@@ -129,6 +129,77 @@ fn kill_and_resume_is_bit_identical() {
         assert_eq!(ga.freqs(), gb.freqs(), "resume must not perturb estimates");
     }
     let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn reconnect_keeps_identity_and_never_double_counts() {
+    let plan = plan();
+    let server = Server::bind(Arc::clone(&plan), ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let t = thread::spawn(move || server.run(None).unwrap());
+    let plan_hash = plan.schema_hash();
+    let mk = |range: std::ops::Range<usize>| -> Vec<_> {
+        range.map(|u| user_report(&plan, u, 5).unwrap()).collect()
+    };
+
+    let mut client = Client::connect_with(addr, plan_hash, 42, RetryPolicy::default()).unwrap();
+    client.send_batch_retrying(&mk(0..50)).unwrap();
+    client.send_batch_retrying(&mk(50..100)).unwrap();
+    assert_eq!(client.last_acked(), 2);
+
+    // The connection dies and the same identity comes back: the Hello ack
+    // resyncs the cursor, so nothing already accepted is ever re-sent.
+    client.reconnect().unwrap();
+    assert_eq!(client.last_acked(), 2, "identity must survive reconnect");
+    client.send_batch_retrying(&mk(100..150)).unwrap();
+    assert_eq!(client.last_acked(), 3);
+
+    // A separate process pinning the same id resumes the same sequence.
+    let late = Client::connect_with(addr, plan_hash, 42, RetryPolicy::default()).unwrap();
+    assert_eq!(late.last_acked(), 3);
+    drop(late);
+    drop(client);
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    let run = t.join().unwrap();
+    assert_eq!(run.aggregator.reports_ingested(), 150);
+    let offline = offline_reference(&plan, 0..150, 5).unwrap();
+    assert_eq!(run.aggregator.counts(), offline.counts());
+    assert_eq!(run.aggregator.group_sizes(), offline.group_sizes());
+}
+
+#[test]
+fn idle_reaped_client_recovers_transparently() {
+    // The reaper closes a quiet connection; the next send must reconnect
+    // under the same identity inside send_batch_retrying and lose nothing.
+    let plan = plan();
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(&plan), config).unwrap();
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let t = thread::spawn(move || server.run(None).unwrap());
+    let plan_hash = plan.schema_hash();
+    let mk = |range: std::ops::Range<usize>| -> Vec<_> {
+        range.map(|u| user_report(&plan, u, 11).unwrap()).collect()
+    };
+
+    let mut client = Client::connect_with(addr, plan_hash, 9, RetryPolicy::default()).unwrap();
+    client.send_batch_retrying(&mk(0..60)).unwrap();
+    thread::sleep(Duration::from_millis(400)); // well past the idle window
+    client.send_batch_retrying(&mk(60..120)).unwrap();
+    assert_eq!(client.last_acked(), 2);
+    drop(client);
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    let run = t.join().unwrap();
+    assert_eq!(run.aggregator.reports_ingested(), 120);
+    let offline = offline_reference(&plan, 0..120, 11).unwrap();
+    assert_eq!(run.aggregator.counts(), offline.counts());
+    assert!(run.stats.conns_reaped >= 1, "the reaper should have fired");
 }
 
 #[test]
