@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Baseline LDP mechanisms FELIP is evaluated against.

@@ -154,7 +154,10 @@ pub fn load(args: &[String]) -> CmdResult {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load thread"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("load connection thread panicked".to_string()),
+            })
             .collect::<std::result::Result<_, _>>()
     })
     .map_err(|e: String| -> Box<dyn std::error::Error> { e.into() })?;

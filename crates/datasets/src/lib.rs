@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Dataset generators and query workloads for the FELIP evaluation (§6.1).

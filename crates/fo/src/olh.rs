@@ -107,12 +107,16 @@ fn support_count_per_report(pairs: &[UnpackedReport], keys: &[u64], block: &mut 
     }
 }
 
+// SAFETY: `unsafe fn` only because of `#[target_feature]` — the body is
+// safe code; callers must have runtime-detected avx512f+avx512dq first.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f,avx512dq")]
 unsafe fn support_count_avx512(pairs: &[UnpackedReport], keys: &[u64], block: &mut [u64]) {
     support_count_per_report(pairs, keys, block);
 }
 
+// SAFETY: `unsafe fn` only because of `#[target_feature]` — the body is
+// safe code; callers must have runtime-detected avx2 first.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn support_count_avx2(pairs: &[UnpackedReport], keys: &[u64], block: &mut [u64]) {
@@ -125,7 +129,12 @@ unsafe fn support_count_avx2(pairs: &[UnpackedReport], keys: &[u64], block: &mut
 fn support_count_grouped(pairs: &[UnpackedReport], keys: &[u64], block: &mut [u64]) {
     let mut groups = pairs.chunks_exact(GROUP_REPORTS);
     for group in groups.by_ref() {
-        let group: &[UnpackedReport; GROUP_REPORTS] = group.try_into().expect("chunks_exact");
+        // `chunks_exact` only yields slices of exactly GROUP_REPORTS, so the
+        // array view always succeeds; the `else` arm is dead code kept so
+        // the conversion stays panic-free.
+        let Ok(group) = <&[UnpackedReport; GROUP_REPORTS]>::try_from(group) else {
+            continue;
+        };
         for (slot, &key) in block.iter_mut().zip(keys.iter()) {
             // Fixed-length loop over the group array: fully unrolled into
             // eight independent hash pipelines by the compiler.

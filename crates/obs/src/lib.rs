@@ -36,6 +36,8 @@
 //! felip_obs::disable();
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod json;
 mod metrics;
 mod span;

@@ -11,8 +11,10 @@
 
 use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use felip_sync::atomic::{AtomicU64, Ordering};
+use felip_sync::thread;
 
 use felip::client::UserReport;
 use felip_common::hash::mix64;
@@ -254,7 +256,7 @@ impl Client {
                         felip_obs::counter!("client.retry.exhausted", 1, "batches");
                         return Err(WireError::BudgetExhausted { attempts });
                     }
-                    std::thread::sleep(self.policy.backoff(attempts));
+                    thread::sleep(self.policy.backoff(attempts));
                 }
                 Err(WireError::Io(_)) => {
                     // The connection is gone (reaped while we backed off,
@@ -265,7 +267,7 @@ impl Client {
                         felip_obs::counter!("client.retry.exhausted", 1, "batches");
                         return Err(WireError::BudgetExhausted { attempts });
                     }
-                    std::thread::sleep(self.policy.backoff(attempts));
+                    thread::sleep(self.policy.backoff(attempts));
                     let _ = self.reconnect();
                 }
                 Err(e) => return Err(e),

@@ -14,6 +14,8 @@
 //! send*, so one knob scales chaos intensity without changing the stream
 //! of decisions.
 
+use std::collections::HashSet;
+
 use felip_common::hash::mix64;
 use felip_common::rng::derive_seed;
 
@@ -107,16 +109,75 @@ pub struct FaultSchedule {
     config: FaultConfig,
     /// Faults injected so far, for reporting.
     pub injected: u64,
+    /// Draw indices whose frame fault is *suppressed* (delivered normally
+    /// instead). The draw stream is unshifted — every other decision stays
+    /// put — which is what lets [`crate::simharness::minimize_failing_seed`]
+    /// remove faults one at a time from a failing run.
+    suppressed: HashSet<u64>,
+    /// `(draw index, kind)` of every frame fault that actually fired, in
+    /// firing order — the raw material of the schedule token.
+    fired: Vec<(u64, FaultKind)>,
 }
 
 impl FaultSchedule {
     /// A schedule driven by `seed` with the given probabilities.
     pub fn new(seed: u64, config: FaultConfig) -> FaultSchedule {
+        FaultSchedule::with_suppressed(seed, config, HashSet::new())
+    }
+
+    /// A schedule that replays `seed` but delivers the frame sends at the
+    /// given draw indices normally even when the seed says to fault them.
+    pub fn with_suppressed(seed: u64, config: FaultConfig, suppressed: HashSet<u64>) -> Self {
         FaultSchedule {
             seed,
             draws: 0,
             config,
             injected: 0,
+            suppressed,
+            fired: Vec::new(),
+        }
+    }
+
+    /// The frame faults that fired this run, as `(draw index, kind)`.
+    pub fn fired(&self) -> &[(u64, FaultKind)] {
+        &self.fired
+    }
+
+    /// A printable token that replays this exact fault schedule:
+    /// `seed=S` plus, when faults were suppressed during minimization,
+    /// `;suppress=i,j,…`. Feed it back through
+    /// [`FaultSchedule::parse_token`].
+    pub fn token(&self) -> String {
+        if self.suppressed.is_empty() {
+            return format!("seed={}", self.seed);
+        }
+        let mut idx: Vec<u64> = self.suppressed.iter().copied().collect();
+        idx.sort_unstable();
+        let list: Vec<String> = idx.iter().map(u64::to_string).collect();
+        format!("seed={};suppress={}", self.seed, list.join(","))
+    }
+
+    /// Parses a [`FaultSchedule::token`] back into `(seed, suppressed)`.
+    pub fn parse_token(token: &str) -> Result<(u64, HashSet<u64>), String> {
+        let mut seed = None;
+        let mut suppressed = HashSet::new();
+        for part in token.split(';').filter(|p| !p.is_empty()) {
+            match part.split_once('=') {
+                Some(("seed", v)) => {
+                    seed = Some(v.parse().map_err(|e| format!("bad seed {v:?}: {e}"))?);
+                }
+                Some(("suppress", v)) => {
+                    for i in v.split(',').filter(|s| !s.is_empty()) {
+                        suppressed
+                            .insert(i.parse().map_err(|e| format!("bad index {i:?}: {e}"))?);
+                    }
+                }
+                _ => return Err(format!("unrecognised token part {part:?}")),
+            }
+        }
+        match seed {
+            Some(s) => Ok((s, suppressed)),
+            None => Err(format!("token {token:?} is missing seed=")),
         }
     }
 
@@ -143,6 +204,7 @@ impl FaultSchedule {
             self.draw();
             return None;
         }
+        let idx = self.draws;
         let x = self.draw() % 1_000_000;
         let c = &self.config;
         let mut acc = 0u64;
@@ -158,7 +220,14 @@ impl FaultSchedule {
         for (kind, ppm) in table {
             acc += ppm as u64;
             if x < acc {
+                if self.suppressed.contains(&idx) {
+                    // Minimization: this fault is switched off, the frame
+                    // goes through; the draw already happened so the rest
+                    // of the decision stream is untouched.
+                    return None;
+                }
                 self.injected += 1;
+                self.fired.push((idx, kind));
                 return Some(kind);
             }
         }

@@ -25,6 +25,8 @@
 
 pub mod client;
 pub mod fault;
+#[cfg(all(test, feature = "model"))]
+mod model_tests;
 pub mod loadgen;
 pub mod queue;
 pub mod server;

@@ -8,7 +8,7 @@
 //! final counts bit-identical to an uninterrupted offline collection of the
 //! same stream.
 
-use std::sync::Arc;
+use felip_sync::Arc;
 
 use felip::aggregator::Aggregator;
 use felip::client::{respond, UserReport};

@@ -1,0 +1,311 @@
+//! Model-checked concurrency tests for the ingestion pipeline (DESIGN.md
+//! §14): every interleaving of the session/queue/snapshot sync operations
+//! is explored by the `felip-sync` scheduler (up to its preemption bound),
+//! so the PR-4 exactly-once invariants hold by exhaustion, not by luck.
+//!
+//! Compiled only under `--features model` (the shims route every lock,
+//! condvar, and atomic through the model scheduler there); `cargo test -p
+//! felip-server --features model model_` runs just these.
+
+use std::time::Duration;
+
+use felip_sync::model::{self, Config};
+use felip_sync::{thread, Arc, Mutex};
+
+use felip::aggregator::{Aggregator, OracleSet};
+use felip::client::UserReport;
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+
+use crate::loadgen;
+use crate::queue::{BoundedQueue, PopResult};
+use crate::server::{consistent_cut, AtomicStats};
+use crate::session::{Session, SessionCtx};
+use crate::wire::{encode_batch, encode_hello, Frame, FrameKind};
+
+/// A tiny but real plan (one 8-bin attribute, 4 users) shared by every
+/// schedule of a check: the plan is immutable, so building it once outside
+/// the explored closure keeps each schedule cheap.
+fn tiny_plan() -> (Arc<CollectionPlan>, Arc<OracleSet>) {
+    let schema = Schema::new(vec![Attribute::numerical("a", 8)]).expect("static schema");
+    let plan = Arc::new(
+        CollectionPlan::build(&schema, 4, &FelipConfig::new(1.0), 5).expect("static plan"),
+    );
+    let oracles = Arc::new(OracleSet::build(&plan));
+    (plan, oracles)
+}
+
+/// Two valid reports for the plan — the payload of every test batch.
+fn two_reports(plan: &Arc<CollectionPlan>) -> Vec<UserReport> {
+    (0..2)
+        .map(|u| loadgen::user_report(plan, u, 0xfe11).expect("loadgen report"))
+        .collect()
+}
+
+fn hello_frame(plan_hash: u64, client_id: u64) -> Frame {
+    Frame {
+        kind: FrameKind::Hello,
+        plan_hash,
+        payload: encode_hello(client_id),
+    }
+}
+
+fn batch_frame(plan_hash: u64, batch_id: u64, reports: &[UserReport]) -> Frame {
+    Frame {
+        kind: FrameKind::ReportBatch,
+        plan_hash,
+        payload: encode_batch(batch_id, reports).expect("encode batch"),
+    }
+}
+
+/// Pops exactly one batch (waiting as long as it takes), ingests it into
+/// `shard`, and acknowledges it — a one-shot ingest worker.
+fn drain_one(q: &BoundedQueue<Vec<UserReport>>, shard: &Mutex<Aggregator>) {
+    loop {
+        match q.pop_timeout(Duration::from_millis(1)) {
+            PopResult::Item(batch) => {
+                shard.lock().ingest_batch(&batch).expect("admitted batch");
+                q.task_done();
+                return;
+            }
+            PopResult::Empty => continue,
+            PopResult::Done => return,
+        }
+    }
+}
+
+/// `BoundedQueue` quiescence is exact under every interleaving: a popped
+/// batch keeps the queue non-quiescent until `task_done`, and once producer
+/// and worker have joined the queue is quiescent again.
+#[test]
+fn model_queue_quiescence_is_exact() {
+    let stats = model::check(|| {
+        let q = Arc::new(BoundedQueue::<u32>::new(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.try_push(7).expect("capacity 2 cannot be full");
+            })
+        };
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || loop {
+                match q.pop_timeout(Duration::from_millis(1)) {
+                    PopResult::Item(v) => {
+                        assert_eq!(v, 7);
+                        assert!(
+                            !q.is_quiescent(),
+                            "popped item is in flight until task_done"
+                        );
+                        q.task_done();
+                        return;
+                    }
+                    PopResult::Empty => continue,
+                    PopResult::Done => panic!("queue closed unexpectedly"),
+                }
+            })
+        };
+        producer.join().expect("producer");
+        worker.join().expect("worker");
+        assert!(q.is_quiescent(), "drained and processed ⇒ quiescent");
+    })
+    .expect("quiescence invariant must hold on every schedule");
+    assert!(stats.schedules > 1, "exploration degenerated: {stats:?}");
+}
+
+/// Two connections racing the same client id serialise on the dedup lock:
+/// in every interleaving exactly one batch is accepted, the queue holds
+/// exactly one copy, and the cursor lands on the batch id — the fixed
+/// check-then-push-then-advance is atomic.
+#[test]
+fn model_racing_sessions_accept_exactly_once() {
+    let (plan, oracles) = tiny_plan();
+    let reports = two_reports(&plan);
+    let plan_hash = plan.schema_hash();
+    let stats = model::check(move || {
+        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
+        let stats = Arc::new(AtomicStats::default());
+        let spawn_conn = |_| {
+            let (ctx, q, stats) = (Arc::clone(&ctx), Arc::clone(&q), Arc::clone(&stats));
+            let reports = reports.clone();
+            thread::spawn(move || {
+                let mut session = Session::new();
+                session.on_frame(hello_frame(plan_hash, 9), &ctx, &q, &stats);
+                let out =
+                    session.on_frame(batch_frame(plan_hash, 1, &reports), &ctx, &q, &stats);
+                u32::from(out.accepted.is_some())
+            })
+        };
+        let accepted: u32 = (0..2)
+            .map(spawn_conn)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("conn task"))
+            .sum();
+        assert_eq!(accepted, 1, "same batch accepted {accepted} times");
+        assert_eq!(q.len(), 1, "queue must hold the batch exactly once");
+        let cursor = ctx.dedup.lock().get(&9).copied().unwrap_or(0);
+        assert_eq!(cursor, 1, "cursor must land on the accepted batch");
+    })
+    .expect("exactly-once admission must hold on every schedule");
+    assert!(stats.schedules > 1, "exploration degenerated: {stats:?}");
+}
+
+/// The snapshot consistent cut can never observe an advanced cursor whose
+/// batch is missing from the counts (acked-but-lost) or counted reports
+/// whose cursor did not advance (double-count on resend): under every
+/// interleaving of a session, an ingest worker, and the cut itself,
+/// `reports in cut == cursor × batch size`.
+#[test]
+fn model_consistent_cut_counts_match_cursors() {
+    let (plan, oracles) = tiny_plan();
+    let reports = two_reports(&plan);
+    let plan_hash = plan.schema_hash();
+    let per_batch = reports.len() as u64;
+    let stats = model::check(move || {
+        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
+        let stats = Arc::new(AtomicStats::default());
+        let base = Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        ));
+        let shards = Arc::new(vec![Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        ))]);
+        let session = {
+            let (ctx, q, stats) = (Arc::clone(&ctx), Arc::clone(&q), Arc::clone(&stats));
+            let reports = reports.clone();
+            thread::spawn(move || {
+                let mut s = Session::new();
+                s.on_frame(hello_frame(plan_hash, 3), &ctx, &q, &stats);
+                let out = s.on_frame(batch_frame(plan_hash, 1, &reports), &ctx, &q, &stats);
+                assert!(out.accepted.is_some(), "uncontended batch must be accepted");
+            })
+        };
+        let worker = {
+            let (q, shards) = (Arc::clone(&q), Arc::clone(&shards));
+            thread::spawn(move || drain_one(&q, &shards[0]))
+        };
+        // The cut races the session and the worker; whatever it freezes
+        // must be internally consistent.
+        let (cut, pairs) = consistent_cut(&ctx, &plan, &oracles, &base, &shards, &[Arc::clone(&q)]);
+        let cursor = pairs
+            .iter()
+            .find(|&&(c, _)| c == 3)
+            .map(|&(_, b)| b)
+            .unwrap_or(0);
+        assert_eq!(
+            cut.reports_ingested() as u64,
+            cursor * per_batch,
+            "cut counts disagree with cut cursors (cursor {cursor})"
+        );
+        session.join().expect("session task");
+        worker.join().expect("worker task");
+    })
+    .expect("consistent cut must hold on every schedule");
+    assert!(stats.schedules > 1, "exploration degenerated: {stats:?}");
+}
+
+/// The pre-review bug this crate's review fixed: the cursor check and the
+/// queue push under *separate* dedup-lock holds. Two connections racing
+/// the same batch can then both pass the check and both queue the batch —
+/// a double count.
+fn buggy_accept(
+    ctx: &SessionCtx,
+    q: &BoundedQueue<Vec<UserReport>>,
+    client_id: u64,
+    batch_id: u64,
+    reports: Vec<UserReport>,
+) -> bool {
+    // Bug: the lock is dropped between the duplicate check and the push.
+    let last = ctx.dedup.lock().get(&client_id).copied().unwrap_or(0);
+    if batch_id <= last {
+        return false;
+    }
+    if q.try_push(reports).is_err() {
+        return false;
+    }
+    ctx.dedup.lock().insert(client_id, batch_id);
+    true
+}
+
+/// Mutation test: the checker must *find* the pre-review race — and the
+/// violation's schedule token must replay it deterministically. This is
+/// what keeps the model suite honest: if the scheduler stopped exploring
+/// the racing interleavings, this test would fail before a real regression
+/// could slip past the invariant tests above.
+#[test]
+fn model_mutation_pre_review_ordering_is_caught() {
+    let (plan, oracles) = tiny_plan();
+    let reports = two_reports(&plan);
+    let scenario = move || {
+        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
+        let race = |_| {
+            let (ctx, q) = (Arc::clone(&ctx), Arc::clone(&q));
+            let reports = reports.clone();
+            thread::spawn(move || u32::from(buggy_accept(&ctx, &q, 9, 1, reports)))
+        };
+        let accepted: u32 = (0..2)
+            .map(race)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("race task"))
+            .sum();
+        assert!(
+            accepted <= 1 && q.len() <= 1,
+            "batch double-queued: {accepted} accepts, queue depth {}",
+            q.len()
+        );
+    };
+    let violation = model::check(scenario.clone())
+        .expect_err("the checker must detect the pre-review double-queue race");
+    assert!(
+        violation.message.contains("double-queued"),
+        "unexpected violation: {violation}"
+    );
+    // The token pins the exact interleaving: replaying it reproduces the
+    // same failure, every time, with no search.
+    let replayed = model::replay(&violation.schedule, scenario)
+        .expect_err("replaying the violating schedule must reproduce the bug");
+    assert!(
+        replayed.message.contains("double-queued"),
+        "replay diverged: {replayed}"
+    );
+}
+
+/// The racing-sessions scenario needs at least one involuntary preemption
+/// to expose the mutation bug; with the budget forced to zero the buggy
+/// ordering looks clean. Documents why `Config::preemption_bound` must
+/// stay ≥ 2 (DESIGN.md §14).
+#[test]
+fn model_mutation_needs_preemptions() {
+    let (plan, oracles) = tiny_plan();
+    let reports = two_reports(&plan);
+    let scenario = move || {
+        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
+        let race = |_| {
+            let (ctx, q) = (Arc::clone(&ctx), Arc::clone(&q));
+            let reports = reports.clone();
+            thread::spawn(move || u32::from(buggy_accept(&ctx, &q, 9, 1, reports)))
+        };
+        let accepted: u32 = (0..2)
+            .map(race)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("race task"))
+            .sum();
+        assert!(accepted <= 1 && q.len() <= 1, "batch double-queued");
+    };
+    let cfg = Config {
+        preemption_bound: 0,
+        ..Config::default()
+    };
+    model::check_with(cfg, scenario)
+        .expect("without preemptions each task runs to completion and the race hides");
+}

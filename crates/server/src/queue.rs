@@ -7,8 +7,9 @@
 //! `pop_timeout` so they can periodically observe shutdown.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+use felip_sync::{Condvar, Mutex};
 
 /// Why a [`BoundedQueue::try_push`] was refused; carries the item back so
 /// the caller can respond to the producer without cloning.
@@ -71,7 +72,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues without blocking. Returns the queue depth *after* the push,
     /// or the item wrapped in the refusal reason.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -91,7 +92,7 @@ impl<T> BoundedQueue<T> {
     /// [`BoundedQueue::task_done`] for it; [`BoundedQueue::is_quiescent`]
     /// stays false in between.
     pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 inner.in_flight += 1;
@@ -100,7 +101,7 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return PopResult::Done;
             }
-            let (guard, wait) = self.not_empty.wait_timeout(inner, timeout).unwrap();
+            let (guard, wait) = self.not_empty.wait_timeout(inner, timeout);
             inner = guard;
             if wait.timed_out() {
                 return match inner.items.pop_front() {
@@ -118,7 +119,7 @@ impl<T> BoundedQueue<T> {
     /// Marks one previously popped item as fully processed (ingested into
     /// an aggregator), clearing its in-flight mark.
     pub fn task_done(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.in_flight = inner.in_flight.saturating_sub(1);
     }
 
@@ -126,20 +127,20 @@ impl<T> BoundedQueue<T> {
     /// processed — i.e. every batch ever pushed is in an aggregator. Only
     /// meaningful while producers are paused (the snapshot consistent cut).
     pub fn is_quiescent(&self) -> bool {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         inner.items.is_empty() && inner.in_flight == 0
     }
 
     /// Closes the queue: further pushes fail, consumers drain what remains
     /// and then observe [`PopResult::Done`].
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner.lock().closed = true;
         self.not_empty.notify_all();
     }
 
     /// Current depth (racy, for observability only).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.inner.lock().items.len()
     }
 
     /// Whether the queue is currently empty (racy, for observability only).
@@ -151,7 +152,7 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use felip_sync::{thread, Arc};
 
     #[test]
     fn push_pop_fifo() {
@@ -188,9 +189,9 @@ mod tests {
     fn close_wakes_blocked_consumer() {
         let q = Arc::new(BoundedQueue::<u32>::new(1));
         let q2 = Arc::clone(&q);
-        let consumer = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        let consumer = thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
         // Give the consumer a moment to block, then close.
-        std::thread::sleep(Duration::from_millis(20));
+        thread::sleep(Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), PopResult::Done);
     }

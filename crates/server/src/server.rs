@@ -13,10 +13,10 @@
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
 use std::time::{Duration, Instant};
+
+use felip_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use felip_sync::{thread, Arc, Mutex};
 
 use felip::aggregator::{Aggregator, OracleSet};
 use felip::client::UserReport;
@@ -299,7 +299,7 @@ impl Server {
                         PopResult::Item(batch) => {
                             felip_obs::gauge!("server.queue.depth", queue.len(), "batches");
                             {
-                                let mut agg = shard.lock().unwrap();
+                                let mut agg = shard.lock();
                                 // Batches were validated at the connection
                                 // edge, so ingest failures are server bugs;
                                 // count and drop rather than crash the
@@ -406,9 +406,9 @@ impl Server {
         })?;
 
         // All workers joined (scope end): merge shards into the base.
-        let mut aggregator = base.into_inner().unwrap();
+        let mut aggregator = base.into_inner();
         for shard in shards {
-            aggregator.merge(&shard.into_inner().unwrap());
+            aggregator.merge(&shard.into_inner());
         }
         if let Some(path) = &self.config.snapshot_path {
             Snapshot::capture_with_dedup(&aggregator, self.plan_hash, ctx.dedup_pairs())
@@ -443,7 +443,7 @@ pub(crate) fn consistent_cut(
     shards: &[Mutex<Aggregator>],
     queues: &[Arc<BoundedQueue<Vec<UserReport>>>],
 ) -> (Aggregator, Vec<(u64, u64)>) {
-    let dedup = ctx.dedup.lock().unwrap();
+    let dedup = ctx.dedup.lock();
     // No session can push while we hold the dedup lock, so the backlog is
     // bounded and this wait terminates once the workers catch up.
     while !queues.iter().all(|q| q.is_quiescent()) {
@@ -463,11 +463,11 @@ fn merge_state(
     shards: &[Mutex<Aggregator>],
 ) -> Aggregator {
     let mut merged = Aggregator::with_oracles(Arc::clone(plan), Arc::clone(oracles));
-    merged.merge(&base.lock().unwrap());
+    merged.merge(&base.lock());
     for shard in shards {
         // Each lock is held only for the copy; workers hold their shard
         // lock across a whole batch, so snapshots see batch-atomic states.
-        merged.merge(&shard.lock().unwrap());
+        merged.merge(&shard.lock());
     }
     merged
 }
@@ -596,7 +596,7 @@ mod tests {
                 match queue.pop_timeout(Duration::from_millis(5)) {
                     PopResult::Item(batch) => {
                         thread::sleep(Duration::from_millis(10));
-                        shards[0].lock().unwrap().ingest_batch(&batch).unwrap();
+                        shards[0].lock().ingest_batch(&batch).unwrap();
                         queue.task_done();
                     }
                     PopResult::Empty => continue,

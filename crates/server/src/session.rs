@@ -23,7 +23,8 @@
 //! its batches already made it and never re-sends them.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+
+use felip_sync::{Arc, Mutex};
 
 use felip::aggregator::OracleSet;
 use felip::client::UserReport;
@@ -67,7 +68,7 @@ impl SessionCtx {
 
     /// The dedup table as sorted pairs (the snapshot encoding).
     pub fn dedup_pairs(&self) -> Vec<(u64, u64)> {
-        Self::sorted_pairs(&self.dedup.lock().unwrap())
+        Self::sorted_pairs(&self.dedup.lock())
     }
 
     /// Sorted-pair encoding of an already-locked dedup table — for callers
@@ -147,13 +148,7 @@ impl Session {
                 };
                 felip_obs::counter!("server.frame.hello", 1, "frames");
                 self.client_id = Some(client_id);
-                let last = ctx
-                    .dedup
-                    .lock()
-                    .unwrap()
-                    .get(&client_id)
-                    .copied()
-                    .unwrap_or(0);
+                let last = ctx.dedup.lock().get(&client_id).copied().unwrap_or(0);
                 FrameOutcome {
                     reply: Frame {
                         kind: FrameKind::Ack,
@@ -193,7 +188,7 @@ impl Session {
                 // cursor without its queued batch or a queued batch without
                 // its cursor, and two connections racing for the same
                 // client id must serialise on the same check-then-push.
-                let mut dedup = ctx.dedup.lock().unwrap();
+                let mut dedup = ctx.dedup.lock();
                 let last = dedup.get(&client_id).copied().unwrap_or(0);
                 if batch_id <= last {
                     drop(dedup);

@@ -4,7 +4,7 @@
 //! point can be declared directly. The handler does the only thing that is
 //! async-signal-safe here: store into a static atomic the serve loop polls.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use felip_sync::atomic::{AtomicBool, Ordering};
 
 /// Set by the signal handler; the serve loop treats it as the shutdown flag.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);

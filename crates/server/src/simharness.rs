@@ -20,14 +20,14 @@
 //! A failing seed reproduces from the CLI: `perf_smoke --chaos --seed N`.
 
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use felip_sync::Arc;
 
 use felip::aggregator::{Aggregator, OracleSet};
 use felip::client::UserReport;
 use felip::config::FelipConfig;
 use felip::plan::CollectionPlan;
 use felip_common::hash::mix64;
-use felip_common::{Attribute, Schema};
+use felip_common::{Attribute, Result, Schema};
 
 use crate::client::RetryPolicy;
 use crate::fault::{FaultConfig, FaultKind, FaultSchedule};
@@ -183,12 +183,39 @@ pub struct SimReport {
     pub gave_up: usize,
     /// Invariant violations; empty means the seed passed.
     pub violations: Vec<String>,
+    /// Replayable fault-schedule token (`seed=…[;suppress=…]`); pass it to
+    /// [`replay_token`] to re-run this exact run, faults and all.
+    pub fault_token: String,
+    /// `(draw index, kind)` of every frame fault that fired, in order —
+    /// what [`minimize_failing_seed`] tries to switch off one by one.
+    pub faults_fired: Vec<(u64, FaultKind)>,
 }
 
 impl SimReport {
     /// Whether every invariant held.
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// A report for a run that could not even be set up (plan construction
+    /// failed): every counter zero, one violation naming the cause.
+    fn setup_failure(seed: u64, why: String) -> SimReport {
+        SimReport {
+            seed,
+            events: 0,
+            trace_hash: 0,
+            counts_digest: 0,
+            reports_ingested: 0,
+            server_acked_batches: 0,
+            duplicates: 0,
+            faults_injected: 0,
+            snapshots_quarantined: 0,
+            kills: 0,
+            gave_up: 0,
+            violations: vec![why],
+            fault_token: format!("seed={seed}"),
+            faults_fired: Vec::new(),
+        }
     }
 }
 
@@ -292,13 +319,88 @@ struct Sim {
 
 /// Runs one simulated ingestion under `cfg` and checks every invariant.
 pub fn run_sim(cfg: &SimConfig) -> SimReport {
-    let schema = Schema::new(vec![
+    run_sim_suppressed(cfg, &HashSet::new())
+}
+
+/// [`run_sim`], but with the frame faults at the given draw indices
+/// switched off — the replay/minimization entry point. The fault RNG
+/// stream is unshifted, so every non-suppressed decision is identical to
+/// the plain run of the same seed.
+pub fn run_sim_suppressed(cfg: &SimConfig, suppressed: &HashSet<u64>) -> SimReport {
+    run_sim_inner(cfg, suppressed.clone())
+}
+
+/// Re-runs the exact run a [`SimReport::fault_token`] came from.
+pub fn replay_token(cfg: &SimConfig, token: &str) -> Result<SimReport, String> {
+    let (seed, suppressed) = FaultSchedule::parse_token(token)?;
+    let cfg = SimConfig {
+        seed,
+        ..cfg.clone()
+    };
+    Ok(run_sim_inner(&cfg, suppressed))
+}
+
+/// A failing chaos seed, shrunk: the smallest fault subset (found by
+/// greedily suppressing fired faults that are not needed for the failure)
+/// that still violates an invariant, plus the token that replays it.
+#[derive(Debug, Clone)]
+pub struct MinimizedFailure {
+    /// Replay token of the minimized failing run (`seed=…;suppress=…`).
+    pub token: String,
+    /// Faults still firing in the minimized run.
+    pub faults: Vec<(u64, FaultKind)>,
+    /// The minimized run's report (still failing).
+    pub report: SimReport,
+}
+
+/// Shrinks a failing seed to a minimal fault schedule: repeatedly tries
+/// suppressing each fired fault and keeps every suppression that preserves
+/// the failure. Returns `None` when `cfg`'s run passes (nothing to shrink).
+///
+/// The resulting [`MinimizedFailure::token`] pins the exact run — print it
+/// in the test failure, replay it with [`replay_token`].
+pub fn minimize_failing_seed(cfg: &SimConfig) -> Option<MinimizedFailure> {
+    let mut failing = run_sim(cfg);
+    if failing.ok() {
+        return None;
+    }
+    let mut suppressed: HashSet<u64> = HashSet::new();
+    loop {
+        let mut progressed = false;
+        for (idx, _) in failing.faults_fired.clone() {
+            if suppressed.contains(&idx) {
+                continue;
+            }
+            let mut trial = suppressed.clone();
+            trial.insert(idx);
+            let r = run_sim_suppressed(cfg, &trial);
+            if !r.ok() {
+                suppressed = trial;
+                failing = r;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Some(MinimizedFailure {
+        token: failing.fault_token.clone(),
+        faults: failing.faults_fired.clone(),
+        report: failing,
+    })
+}
+
+fn run_sim_inner(cfg: &SimConfig, suppressed: HashSet<u64>) -> SimReport {
+    let built = Schema::new(vec![
         Attribute::numerical("a", 32),
         Attribute::categorical("c", 4),
     ])
-    .unwrap();
-    let plan =
-        Arc::new(CollectionPlan::build(&schema, cfg.users, &FelipConfig::new(1.0), 5).unwrap());
+    .and_then(|schema| CollectionPlan::build(&schema, cfg.users, &FelipConfig::new(1.0), 5));
+    let plan = match built {
+        Ok(p) => Arc::new(p),
+        Err(e) => return SimReport::setup_failure(cfg.seed, format!("sim plan setup failed: {e}")),
+    };
     let oracles = Arc::new(OracleSet::build(&plan));
     let plan_hash = plan.schema_hash();
 
@@ -331,7 +433,7 @@ pub fn run_sim(cfg: &SimConfig) -> SimReport {
         heap: BinaryHeap::new(),
         seq: 0,
         now: 0,
-        schedule: FaultSchedule::new(cfg.seed, cfg.faults),
+        schedule: FaultSchedule::with_suppressed(cfg.seed, cfg.faults, suppressed),
         policy: RetryPolicy {
             max_attempts: cfg.max_attempts,
             jitter_seed: cfg.seed,
@@ -442,12 +544,12 @@ impl Sim {
         self.trace(2, conn, 1);
     }
 
-    fn batch_reports(&self, c: usize, batch_idx: usize) -> Vec<UserReport> {
+    fn batch_reports(&self, c: usize, batch_idx: usize) -> Result<Vec<UserReport>> {
         let cl = &self.clients[c];
         let start = cl.user_range.start + batch_idx * self.cfg.batch_size;
         let end = (start + self.cfg.batch_size).min(cl.user_range.end);
         (start..end)
-            .map(|u| loadgen::user_report(&self.plan, u, self.cfg.seed).unwrap())
+            .map(|u| loadgen::user_report(&self.plan, u, self.cfg.seed))
             .collect()
     }
 
@@ -518,11 +620,26 @@ impl Sim {
                 }
                 let idx = self.clients[c].next_batch;
                 let batch_id = idx as u64 + 1;
-                let reports = self.batch_reports(c, idx);
+                // Report generation and encoding are deterministic functions
+                // of the plan; a failure is a harness defect, recorded as a
+                // violation so the seed fails loudly instead of panicking.
+                let payload = match self
+                    .batch_reports(c, idx)
+                    .map_err(|e| e.to_string())
+                    .and_then(|r| encode_batch(batch_id, &r).map_err(|e| e.to_string()))
+                {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.violations
+                            .push(format!("client {c}: building batch {batch_id} failed: {e}"));
+                        self.clients[c].gave_up = true;
+                        return;
+                    }
+                };
                 let frame = Frame {
                     kind: FrameKind::ReportBatch,
                     plan_hash: self.plan_hash,
-                    payload: encode_batch(batch_id, &reports).unwrap(),
+                    payload,
                 };
                 let conn = self.clients[c].conn;
                 self.clients[c].state = CState::AwaitAck;
@@ -557,7 +674,8 @@ impl Sim {
             match transport.recv() {
                 RecvOutcome::Frame(frame) => {
                     let outcome = session.on_frame(frame, &self.ctx, &self.queue, &self.stats);
-                    transport.send(&outcome.reply).unwrap();
+                    // SimTransport::send is an infallible outbox push.
+                    let _ = transport.send(&outcome.reply);
                     if let Some(batch) = outcome.accepted {
                         self.accepted.push(batch);
                     }
@@ -571,7 +689,7 @@ impl Sim {
                     // server replies with an error and closes, exactly like
                     // the TCP path.
                     let err = Frame::error(self.plan_hash, "garbled frame");
-                    transport.send(&err).unwrap();
+                    let _ = transport.send(&err);
                     self.stats.bump_rejected();
                     close = true;
                     break;
@@ -686,7 +804,12 @@ impl Sim {
         while drained < limit {
             match self.queue.pop_timeout(std::time::Duration::ZERO) {
                 PopResult::Item(batch) => {
-                    self.agg.ingest_batch(&batch).unwrap();
+                    // Batches were validated at admission; a failure here
+                    // means the server counted something it never checked.
+                    if let Err(e) = self.agg.ingest_batch(&batch) {
+                        self.violations
+                            .push(format!("admitted batch failed to ingest: {e}"));
+                    }
                     self.queue.task_done();
                     drained += 1;
                 }
@@ -701,7 +824,7 @@ impl Sim {
     /// torn — then it is quarantined and retried), restore from the file
     /// just written, and drop every connection. Clients resync via Hello.
     fn on_kill(&mut self) {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use felip_sync::atomic::{AtomicU64, Ordering};
         // Unique per process *and* per run, so concurrent sims of the same
         // seed (parallel tests) never share a file; the path feeds no sim
         // decision, so determinism is unaffected.
@@ -826,6 +949,8 @@ impl Sim {
             kills: self.kills,
             gave_up: self.clients.iter().filter(|c| c.gave_up).count(),
             violations: self.violations,
+            fault_token: self.schedule.token(),
+            faults_fired: self.schedule.fired().to_vec(),
         }
     }
 
@@ -896,8 +1021,15 @@ impl Sim {
             Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles));
         for b in &self.accepted {
             let c = (b.client_id - 1) as usize;
-            let reports = self.batch_reports(c, (b.batch_id - 1) as usize);
-            offline.ingest_batch(&reports).unwrap();
+            let offline_batch = self
+                .batch_reports(c, (b.batch_id - 1) as usize)
+                .and_then(|reports| offline.ingest_batch(&reports));
+            if let Err(e) = offline_batch {
+                v.push(format!(
+                    "offline replay of client {c} batch {} failed: {e}",
+                    b.batch_id
+                ));
+            }
         }
         if offline.counts() != self.agg.counts() {
             v.push("final counts differ from offline collection of acked batches".into());

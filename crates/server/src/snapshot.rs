@@ -31,12 +31,12 @@
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::Path;
-use std::sync::Arc;
+use felip_sync::Arc;
 
 use felip::aggregator::{Aggregator, OracleSet};
 use felip::plan::CollectionPlan;
 
-use crate::wire::{crc32, WireError};
+use crate::wire::{self, crc32, WireError};
 
 /// Snapshot magic: the bytes `FSNP` read as a little-endian u32.
 pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"FSNP");
@@ -137,7 +137,7 @@ impl Snapshot {
         }
         let body = &bytes[..bytes.len() - 4];
         let expected = crc32(body);
-        let actual = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let actual = wire::le_u32(&bytes[bytes.len() - 4..]);
         if expected != actual {
             return Err(WireError::BadCrc { expected, actual });
         }
@@ -351,11 +351,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(wire::le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(wire::le_u64(self.take(8)?))
     }
 }
 

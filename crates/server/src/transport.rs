@@ -180,7 +180,7 @@ mod tests {
     use super::*;
     use crate::wire::FrameKind;
     use std::net::TcpListener;
-    use std::thread;
+    use felip_sync::thread;
 
     fn pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -303,7 +303,7 @@ mod tests {
 
     #[test]
     fn shutdown_poll_interrupts_recv() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use felip_sync::atomic::{AtomicBool, Ordering};
         let (client, server) = pair();
         let flag = AtomicBool::new(false);
         let stop = || flag.load(Ordering::SeqCst);

@@ -60,6 +60,31 @@ pub const TRAILER_LEN: usize = 4;
 /// before any allocation happens (16 MiB ≫ any sane report batch).
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
+/// Little-endian reads for the decoders here and in `snapshot`. Every call
+/// site has already bounds-checked its slice (`take`, an explicit length
+/// check), so these copy through a fixed array rather than a fallible
+/// `try_into` — the conversion itself cannot fail.
+#[inline]
+pub(crate) fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    u16::from_le_bytes(a)
+}
+
+#[inline]
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+#[inline]
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
 const CRC_TABLE: [u32; 256] = crc32_table();
 
 const fn crc32_table() -> [u32; 256] {
@@ -191,7 +216,7 @@ impl Frame {
         }
         let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len as usize];
         let expected = crc32(&buf[..total - TRAILER_LEN]);
-        let actual = u32::from_le_bytes(buf[total - TRAILER_LEN..total].try_into().unwrap());
+        let actual = le_u32(&buf[total - TRAILER_LEN..total]);
         if expected != actual {
             return Err(WireError::BadCrc { expected, actual });
         }
@@ -206,7 +231,7 @@ impl Frame {
 /// Parses a fixed-size header; returns `((kind, plan_hash), payload_len)`.
 fn parse_header(h: &[u8]) -> Result<((FrameKind, u64), u32), WireError> {
     debug_assert_eq!(h.len(), HEADER_LEN);
-    let magic = u32::from_le_bytes(h[0..4].try_into().unwrap());
+    let magic = le_u32(&h[0..4]);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
@@ -215,17 +240,17 @@ fn parse_header(h: &[u8]) -> Result<((FrameKind, u64), u32), WireError> {
         return Err(WireError::BadVersion(version));
     }
     let kind = FrameKind::from_u8(h[5])?;
-    let reserved = u16::from_le_bytes(h[6..8].try_into().unwrap());
+    let reserved = le_u16(&h[6..8]);
     if reserved != 0 {
         return Err(WireError::Malformed(format!(
             "reserved header bytes are {reserved:#06x}, expected zero"
         )));
     }
-    let payload_len = u32::from_le_bytes(h[8..12].try_into().unwrap());
+    let payload_len = le_u32(&h[8..12]);
     if payload_len > MAX_PAYLOAD {
         return Err(WireError::TooLarge(payload_len));
     }
-    let plan_hash = u64::from_le_bytes(h[12..20].try_into().unwrap());
+    let plan_hash = le_u64(&h[12..20]);
     Ok(((kind, plan_hash), payload_len))
 }
 
@@ -264,7 +289,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
     crc_input.extend_from_slice(&header);
     crc_input.extend_from_slice(&rest[..body_end]);
     let expected = crc32(&crc_input);
-    let actual = u32::from_le_bytes(rest[body_end..].try_into().unwrap());
+    let actual = le_u32(&rest[body_end..]);
     if expected != actual {
         return Err(WireError::BadCrc { expected, actual });
     }
@@ -461,11 +486,11 @@ impl<'a> ByteReader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(le_u32(self.take(4)?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(le_u64(self.take(8)?))
     }
 }
 

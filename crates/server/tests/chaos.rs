@@ -5,8 +5,28 @@
 //! A seed that fails here reproduces exactly with
 //! `cargo run --release -p felip-bench --bin perf_smoke -- --chaos --seed N`.
 
+use std::collections::HashSet;
+
 use felip_server::fault::FaultConfig;
-use felip_server::simharness::{run_sim, SimConfig};
+use felip_server::simharness::{
+    minimize_failing_seed, replay_token, run_sim, run_sim_suppressed, SimConfig,
+};
+
+/// On failure, shrink the seed's fault schedule and report the replay
+/// token — `replay_token(&cfg, "<token>")` reproduces the minimized run.
+fn assert_seed_ok(cfg: &SimConfig, r: &felip_server::SimReport) {
+    if r.ok() {
+        return;
+    }
+    let shrunk = minimize_failing_seed(cfg);
+    panic!(
+        "seed {} violated invariants: {:?}\nreplay token: {}\nminimized: {:?}",
+        r.seed,
+        r.violations,
+        r.fault_token,
+        shrunk.map(|m| (m.token, m.faults, m.report.violations)),
+    );
+}
 
 #[test]
 fn chaos_sweep_holds_exactly_once_or_rejected_across_64_seeds() {
@@ -15,12 +35,9 @@ fn chaos_sweep_holds_exactly_once_or_rejected_across_64_seeds() {
     let mut duplicates = 0u64;
     let mut acked = 0usize;
     for seed in 0..64u64 {
-        let r = run_sim(&SimConfig::chaos(seed));
-        assert!(
-            r.ok(),
-            "seed {seed} violated invariants: {:?}",
-            r.violations
-        );
+        let cfg = SimConfig::chaos(seed);
+        let r = run_sim(&cfg);
+        assert_seed_ok(&cfg, &r);
         assert_eq!(r.kills, 1, "seed {seed} must kill and resume once");
         faults += r.faults_injected;
         quarantined += r.snapshots_quarantined;
@@ -72,13 +89,46 @@ fn heavy_fault_rates_still_settle_observably() {
             ..SimConfig::chaos(seed)
         };
         let r = run_sim(&cfg);
-        assert!(
-            r.ok(),
-            "seed {seed} violated invariants: {:?}",
-            r.violations
-        );
+        assert_seed_ok(&cfg, &r);
         assert!(r.faults_injected > 0, "seed {seed} injected nothing");
     }
+}
+
+#[test]
+fn fault_token_replays_bit_identically() {
+    let cfg = SimConfig::chaos(42);
+    let r = run_sim(&cfg);
+    assert_eq!(r.fault_token, "seed=42");
+    let replayed = replay_token(&cfg, &r.fault_token).expect("token parses");
+    assert_eq!(r, replayed, "token replay diverged");
+}
+
+#[test]
+fn suppressing_every_fault_reduces_chaos_to_lossless_behaviour() {
+    let cfg = SimConfig::chaos(17);
+    let chaotic = run_sim(&cfg);
+    assert!(chaotic.faults_injected > 0, "seed 17 must inject something");
+    // Suppress every fault that fired; the re-run may fire faults at new
+    // indices (the event flow changed), so iterate to a fixed point.
+    let mut suppressed: HashSet<u64> = HashSet::new();
+    let calm = loop {
+        let r = run_sim_suppressed(&cfg, &suppressed);
+        if r.faults_injected == 0 {
+            break r;
+        }
+        suppressed.extend(r.faults_fired.iter().map(|&(i, _)| i));
+    };
+    assert!(calm.ok(), "suppressed run failed: {:?}", calm.violations);
+    assert_eq!(calm.faults_injected, 0);
+    assert!(calm.fault_token.starts_with("seed=17;suppress="));
+    // And the token round-trips the suppressed run exactly.
+    let replayed = replay_token(&cfg, &calm.fault_token).expect("token parses");
+    assert_eq!(calm, replayed, "suppressed-token replay diverged");
+}
+
+#[test]
+fn minimizer_returns_none_for_passing_seeds() {
+    assert!(minimize_failing_seed(&SimConfig::chaos(1)).is_none());
 }
 
 #[test]

@@ -1,0 +1,810 @@
+//! The `feature = "model"` build: dual-mode shim types.
+//!
+//! Each type checks (per operation) whether the calling thread is a task
+//! inside a [`crate::model::check`] run. If so, the operation routes
+//! through the exploration scheduler — it becomes an interleaving
+//! decision, and the "real" `std` primitive underneath is only touched
+//! once the scheduler has granted exclusivity. Outside a check run the
+//! types fall back to plain `std` behaviour, so a `--features model`
+//! build still runs the ordinary (non-model) test suite correctly.
+//!
+//! Two modelling simplifications, both safe:
+//!
+//! * **No spurious wakeups** — the scheduler only wakes a condvar waiter
+//!   on notify or as a last-resort timeout, never spuriously. Code that
+//!   is correct without spurious wakeups stays correct with them as long
+//!   as it re-checks its predicate in a loop (which the lint-enforced
+//!   condvar idiom does); the model explores the wakeup orders that
+//!   actually differ.
+//! * **Atomics are sequentially consistent** — the declared `Ordering`
+//!   is ignored under the model (every access is a scheduling point with
+//!   a global order). Relaxed-memory reorderings are out of scope; the
+//!   races FELIP's server has to fear are lock-discipline races, not
+//!   fence omissions.
+
+use crate::sched::{self, ObjId, Scheduler};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+fn ctx() -> Option<(Arc<Scheduler>, sched::TaskId)> {
+    sched::current()
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock; under [`crate::model::check`] every
+/// acquisition is an explored interleaving point.
+pub struct Mutex<T: ?Sized> {
+    obj: ObjId,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            obj: ObjId::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value (poison ignored).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking (by schedule, under the model) until
+    /// it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match ctx() {
+            Some((sched, me)) => {
+                let obj = self.obj.get(&sched);
+                sched.lock_acquire(me, obj, false);
+                // The scheduler has granted exclusive ownership of `obj`,
+                // so the std lock below cannot contend with another model
+                // task; it protects only against misuse from non-model
+                // threads.
+                let g = self
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    g: Some(g),
+                    modeled: Some(ModeledGuard { sched, me, obj }),
+                    lock: &self.inner,
+                }
+            }
+            None => MutexGuard {
+                g: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+                modeled: None,
+                lock: &self.inner,
+            },
+        }
+    }
+
+    /// Mutable access without locking (the `&mut` proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+struct ModeledGuard {
+    sched: Arc<Scheduler>,
+    me: sched::TaskId,
+    obj: usize,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some` except transiently inside [`Condvar::wait`].
+    g: Option<std::sync::MutexGuard<'a, T>>,
+    modeled: Option<ModeledGuard>,
+    lock: &'a StdMutex<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.g.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the std guard before releasing scheduler-level ownership
+        // so the next granted task finds the std lock free.
+        self.g = None;
+        if let Some(m) = &self.modeled {
+            m.sched.lock_release(m.me, m.obj, false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Outcome of a [`Condvar::wait_timeout`]: did the wait time out?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    pub(crate) timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout. Under the model a timeout
+    /// only fires as a last resort — when no other task can run.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable; under the model, wait/notify order is explored
+/// and timeouts fire only when nothing else is schedulable.
+pub struct Condvar {
+    obj: ObjId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            obj: ObjId::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timed: bool,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match guard.modeled.take() {
+            Some(m) => {
+                let cond = self.obj.get(&m.sched);
+                // Release the std lock before the scheduler releases
+                // `obj`; the next task granted the mutex must find it
+                // free.
+                guard.g = None;
+                let timed_out = m.sched.cond_wait(m.me, cond, m.obj, timed);
+                guard.g = Some(
+                    guard
+                        .lock
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+                guard.modeled = Some(m);
+                (guard, WaitTimeoutResult { timed_out })
+            }
+            None => {
+                let lock = guard.lock;
+                let g = guard.g.take().expect("guard present");
+                // Forget the shell so its Drop doesn't double-release.
+                std::mem::forget(guard);
+                if timed {
+                    let (g, r) = self
+                        .inner
+                        .wait_timeout(g, timeout)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    (
+                        MutexGuard {
+                            g: Some(g),
+                            modeled: None,
+                            lock,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )
+                } else {
+                    let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+                    (
+                        MutexGuard {
+                            g: Some(g),
+                            modeled: None,
+                            lock,
+                        },
+                        WaitTimeoutResult { timed_out: false },
+                    )
+                }
+            }
+        }
+    }
+
+    /// Blocks until notified, atomically releasing and re-acquiring the
+    /// guard's mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait_inner(guard, false, Duration::ZERO).0
+    }
+
+    /// Blocks until notified or `timeout` elapses (under the model: until
+    /// notified, or woken as a last resort when nothing else can run).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.wait_inner(guard, true, timeout)
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        if let Some((sched, me)) = ctx() {
+            let cond = self.obj.get(&sched);
+            sched.cond_notify(me, cond, false);
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        if let Some((sched, me)) = ctx() {
+            let cond = self.obj.get(&sched);
+            sched.cond_notify(me, cond, true);
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// A reader-writer lock; under the model, reader/writer interleavings are
+/// explored (two reads of the same lock commute, everything else is a
+/// dependency).
+pub struct RwLock<T: ?Sized> {
+    obj: ObjId,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            obj: ObjId::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value (poison ignored).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let modeled = match ctx() {
+            Some((sched, me)) => {
+                let obj = self.obj.get(&sched);
+                sched.lock_acquire(me, obj, true);
+                Some(ModeledGuard { sched, me, obj })
+            }
+            None => None,
+        };
+        RwLockReadGuard {
+            g: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            modeled,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let modeled = match ctx() {
+            Some((sched, me)) => {
+                let obj = self.obj.get(&sched);
+                sched.lock_acquire(me, obj, false);
+                Some(ModeledGuard { sched, me, obj })
+            }
+            None => None,
+        };
+        RwLockWriteGuard {
+            g: Some(self.inner.write().unwrap_or_else(PoisonError::into_inner)),
+            modeled,
+        }
+    }
+}
+
+/// RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    g: std::sync::RwLockReadGuard<'a, T>,
+    modeled: Option<ModeledGuard>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.g
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(m) = &self.modeled {
+            m.sched.lock_release(m.me, m.obj, true);
+        }
+    }
+}
+
+/// RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    g: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: Option<ModeledGuard>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.g.as_ref().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.g.as_mut().expect("write guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.g = None;
+        if let Some(m) = &self.modeled {
+            m.sched.lock_release(m.me, m.obj, false);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+/// Atomic types; under the model, every access is a scheduling point and
+/// executes sequentially consistently.
+pub mod atomic {
+    use super::ctx;
+    use crate::sched::ObjId;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Shimmed atomic; every access is an interleaving point
+            /// under the model.
+            pub struct $name {
+                obj: ObjId,
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $ty) -> $name {
+                    $name {
+                        obj: ObjId::new(),
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                fn point(&self, write: bool) {
+                    if let Some((sched, me)) = ctx() {
+                        let obj = self.obj.get(&sched);
+                        sched.atomic_op(me, obj, write);
+                    }
+                }
+
+                /// Atomic load.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    self.point(false);
+                    self.inner.load(order)
+                }
+
+                /// Atomic store.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    self.point(true);
+                    self.inner.store(v, order)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.swap(v, order)
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.point(true);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Unsynchronized read via `&mut` exclusivity.
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.inner.get_mut()
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> $name {
+                    $name::new(Default::default())
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            model_atomic!($name, $std, $ty);
+
+            impl $name {
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_add(v, order)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_sub(v, order)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_max(v, order)
+                }
+
+                /// Atomic min, returning the previous value.
+                pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                    self.point(true);
+                    self.inner.fetch_min(v, order)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicBool, AtomicBool, bool);
+    model_atomic_int!(AtomicU32, AtomicU32, u32);
+    model_atomic_int!(AtomicU64, AtomicU64, u64);
+    model_atomic_int!(AtomicUsize, AtomicUsize, usize);
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Thread primitives; under the model, spawned closures become scheduler
+/// tasks and `sleep`/`yield_now` are voluntary yields (zero wall-clock).
+///
+/// `scope` here is *not* `std::thread::scope`: it is a crossbeam-style
+/// scope with a single `'env` lifetime whose guard joins every spawned
+/// thread before returning (normal exit *and* unwind), which is what
+/// makes the lifetime erasure inside [`Scope::spawn`] sound. Call sites
+/// that use closure inference (`thread::scope(|s| …)`) — the only form
+/// the workspace uses — compile unchanged against either this or the
+/// `std` re-export in the non-model build.
+pub mod thread {
+    use super::ctx;
+    use crate::sched::{self, Op, OpKind, Scheduler, TaskId};
+    use std::any::Any;
+    use std::cell::RefCell;
+    use std::marker::PhantomData;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+    use std::time::Duration;
+
+    fn lock_slot<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A handle to join a spawned thread (or model task).
+    pub struct JoinHandle<T>(Imp<T>);
+
+    enum Imp<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            task: TaskId,
+            result: Arc<StdMutex<Option<T>>>,
+            os: std::thread::JoinHandle<()>,
+        },
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread/task to finish, returning its value.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Imp::Std(h) => h.join(),
+                Imp::Model { task, result, os } => {
+                    let (sched, me) = ctx().expect("model handle joined outside model task");
+                    sched.join_task(me, task);
+                    let _ = os.join();
+                    let v = lock_slot(&result)
+                        .take()
+                        .expect("joined model task left a result");
+                    Ok(v)
+                }
+            }
+        }
+    }
+
+    /// Runs `f` as model task `task`: waits for its first token, executes,
+    /// stores the value, and reports completion (or the panic) to the
+    /// scheduler.
+    fn task_body<T>(
+        sched: Arc<Scheduler>,
+        task: TaskId,
+        slot: Arc<StdMutex<Option<T>>>,
+        f: impl FnOnce() -> T,
+    ) {
+        sched::set_ctx(Some((Arc::clone(&sched), task)));
+        sched.wait_initial(task);
+        let r = panic::catch_unwind(AssertUnwindSafe(f));
+        sched::set_ctx(None);
+        match r {
+            Ok(v) => {
+                *lock_slot(&slot) = Some(v);
+                sched.finish_task(task, None);
+            }
+            Err(e) => sched.finish_task(task, Some(e)),
+        }
+    }
+
+    /// Spawns a new thread (a new schedulable task under the model).
+    pub fn spawn<T: Send + 'static>(
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        match ctx() {
+            Some((sched, _)) => {
+                let task = sched.register_task();
+                let result = Arc::new(StdMutex::new(None));
+                let slot = Arc::clone(&result);
+                let sched2 = Arc::clone(&sched);
+                let os = std::thread::Builder::new()
+                    .name(format!("model-task-{task}"))
+                    .spawn(move || task_body(sched2, task, slot, f))
+                    .expect("spawn model task thread");
+                JoinHandle(Imp::Model { task, result, os })
+            }
+            None => JoinHandle(Imp::Std(std::thread::spawn(f))),
+        }
+    }
+
+    /// Sleeps. Under the model this is a voluntary yield — zero
+    /// wall-clock, lets every other task run first.
+    pub fn sleep(dur: Duration) {
+        match ctx() {
+            Some((sched, me)) => sched.yield_op(
+                me,
+                Op {
+                    obj: 0,
+                    kind: OpKind::Yield,
+                },
+                true,
+            ),
+            None => std::thread::sleep(dur),
+        }
+    }
+
+    /// Yields the processor (a voluntary scheduler yield under the
+    /// model).
+    pub fn yield_now() {
+        match ctx() {
+            Some((sched, me)) => sched.yield_op(
+                me,
+                Op {
+                    obj: 0,
+                    kind: OpKind::Yield,
+                },
+                true,
+            ),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// One spawned thread's lifecycle state, shared between its
+    /// [`ScopedJoinHandle`] and the owning [`Scope`] so whichever joins
+    /// first wins and the scope guard can finish the rest.
+    struct SpawnRecord {
+        os: Arc<StdMutex<Option<std::thread::JoinHandle<()>>>>,
+        task: Option<TaskId>,
+    }
+
+    /// Scope for spawning borrowing threads. All spawned threads are
+    /// joined before [`scope`] returns, on both the normal and the
+    /// unwinding path.
+    pub struct Scope<'env> {
+        model: Option<(Arc<Scheduler>, TaskId)>,
+        records: RefCell<Vec<SpawnRecord>>,
+        /// Invariant in `'env`, like `std::thread::Scope`.
+        _env: PhantomData<&'env mut &'env ()>,
+    }
+
+    /// A handle to join a scoped thread (or model task).
+    pub struct ScopedJoinHandle<'env, T> {
+        os: Arc<StdMutex<Option<std::thread::JoinHandle<()>>>>,
+        result: Arc<StdMutex<Option<T>>>,
+        task: Option<TaskId>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawns a scoped thread (a new schedulable task under the
+        /// model). The closure may borrow anything that outlives the
+        /// enclosing [`scope`] call.
+        pub fn spawn<T: Send + 'env>(
+            &self,
+            f: impl FnOnce() -> T + Send + 'env,
+        ) -> ScopedJoinHandle<'env, T> {
+            let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            let (task, body): (Option<TaskId>, Box<dyn FnOnce() + Send + 'env>) =
+                match &self.model {
+                    Some((sched, _)) => {
+                        let task = sched.register_task();
+                        let sched2 = Arc::clone(sched);
+                        (
+                            Some(task),
+                            Box::new(move || task_body(sched2, task, slot, f)),
+                        )
+                    }
+                    None => (
+                        None,
+                        Box::new(move || {
+                            let v = f();
+                            *lock_slot(&slot) = Some(v);
+                        }),
+                    ),
+                };
+            // SAFETY: the erased closure (and every borrow it carries,
+            // all outliving 'env) only runs on a thread that `join_all`
+            // OS-joins before `scope` returns — on the normal path and,
+            // via `ScopeGuard::drop`, on the unwinding path — so nothing
+            // borrowed for 'env is accessed after 'env ends.
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            let os = Arc::new(StdMutex::new(Some(
+                std::thread::Builder::new()
+                    .name(match task {
+                        Some(t) => format!("model-task-{t}"),
+                        None => "felip-sync-scoped".to_string(),
+                    })
+                    .spawn(body)
+                    .expect("spawn scoped thread"),
+            )));
+            self.records.borrow_mut().push(SpawnRecord {
+                os: Arc::clone(&os),
+                task,
+            });
+            ScopedJoinHandle {
+                os,
+                result,
+                task,
+                _env: PhantomData,
+            }
+        }
+
+        /// Joins every thread spawned in this scope: model tasks are
+        /// scheduler-joined first (so their parked OS threads run to
+        /// completion), then OS handles are joined. A panic from an
+        /// unjoined thread is re-raised after all joins, matching
+        /// `std::thread::scope`.
+        fn join_all(&self) {
+            if let Some((sched, me)) = &self.model {
+                // After a model abort the scheduler grants no more
+                // tokens; parked tasks are already unwinding on their
+                // own, and a scheduler join would panic again.
+                if !sched.aborted() {
+                    for rec in self.records.borrow().iter() {
+                        if let Some(task) = rec.task {
+                            sched.join_task(*me, task);
+                        }
+                    }
+                }
+            }
+            let mut first_panic: Option<Box<dyn Any + Send>> = None;
+            for rec in self.records.borrow().iter() {
+                if let Some(h) = lock_slot(&rec.os).take() {
+                    if let Err(p) = h.join() {
+                        first_panic.get_or_insert(p);
+                    }
+                }
+            }
+            if let Some(p) = first_panic {
+                if !std::thread::panicking() {
+                    panic::resume_unwind(p);
+                }
+            }
+        }
+    }
+
+    impl<'env, T> ScopedJoinHandle<'env, T> {
+        /// Waits for the scoped thread/task to finish, returning its
+        /// value (or the panic it died with).
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(task) = self.task {
+                let (sched, me) = ctx().expect("model handle joined outside model task");
+                sched.join_task(me, task);
+            }
+            if let Some(h) = lock_slot(&self.os).take() {
+                h.join()?;
+            }
+            match lock_slot(&self.result).take() {
+                Some(v) => Ok(v),
+                // The thread stored no value yet was OS-joined by the
+                // scope guard after panicking; surface a unit-less error.
+                None => Err(Box::new("scoped thread produced no value")
+                    as Box<dyn Any + Send>),
+            }
+        }
+    }
+
+    /// Joins the scope's threads even when the scope body unwinds.
+    struct ScopeGuard<'a, 'env>(&'a Scope<'env>);
+
+    impl Drop for ScopeGuard<'_, '_> {
+        fn drop(&mut self) {
+            self.0.join_all();
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; all scoped threads are joined before
+    /// this returns.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: FnOnce(&Scope<'env>) -> T,
+    {
+        let sc = Scope {
+            model: ctx(),
+            records: RefCell::new(Vec::new()),
+            _env: PhantomData,
+        };
+        let guard = ScopeGuard(&sc);
+        let r = f(&sc);
+        drop(guard);
+        r
+    }
+}

@@ -1,0 +1,109 @@
+//! Shim smoke tests that must pass in BOTH builds: the passthrough build
+//! and the `--features model` build *outside* a `model::check` run (where
+//! the modeled types fall back to std behaviour).
+
+use felip_sync::atomic::{AtomicU64, Ordering};
+use felip_sync::{thread, Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+#[test]
+fn mutex_counts_across_threads() {
+    let m = Arc::new(Mutex::new(0u64));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let m = Arc::clone(&m);
+        handles.push(thread::spawn(move || {
+            for _ in 0..1000 {
+                *m.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker");
+    }
+    assert_eq!(*m.lock(), 4000);
+}
+
+#[test]
+fn scoped_threads_borrow_and_join() {
+    let m = Mutex::new(Vec::new());
+    thread::scope(|s| {
+        for i in 0..4u32 {
+            let m = &m;
+            s.spawn(move || m.lock().push(i));
+        }
+    });
+    let mut v = m.into_inner();
+    v.sort_unstable();
+    assert_eq!(v, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn scoped_join_returns_value() {
+    let n = thread::scope(|s| {
+        let h = s.spawn(|| 6 * 7);
+        h.join().expect("scoped thread")
+    });
+    assert_eq!(n, 42);
+}
+
+#[test]
+fn condvar_handoff() {
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let h = thread::spawn(move || {
+        let (lock, cv) = &*p2;
+        *lock.lock() = true;
+        cv.notify_one();
+    });
+    let (lock, cv) = &*pair;
+    let mut ready = lock.lock();
+    while !*ready {
+        let (g, _timeout) = cv.wait_timeout(ready, Duration::from_secs(10));
+        ready = g;
+    }
+    assert!(*ready);
+    h.join().expect("notifier");
+}
+
+#[test]
+fn condvar_wait_timeout_times_out() {
+    let pair = (Mutex::new(()), Condvar::new());
+    let g = pair.0.lock();
+    let (_g, r) = pair.1.wait_timeout(g, Duration::from_millis(10));
+    assert!(r.timed_out());
+}
+
+#[test]
+fn rwlock_readers_and_writer() {
+    let l = Arc::new(RwLock::new(7u32));
+    {
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 14);
+    }
+    *l.write() = 8;
+    assert_eq!(*l.read(), 8);
+}
+
+#[test]
+fn atomics_behave() {
+    let a = AtomicU64::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.swap(9, Ordering::SeqCst), 3);
+    a.store(4, Ordering::SeqCst);
+    assert_eq!(a.load(Ordering::SeqCst), 4);
+    assert_eq!(
+        a.compare_exchange(4, 5, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(4)
+    );
+}
+
+#[test]
+fn mutex_statics_are_const_constructible() {
+    static FLAG: Mutex<u32> = Mutex::new(0);
+    static CV: Condvar = Condvar::new();
+    *FLAG.lock() = 3;
+    CV.notify_all();
+    assert_eq!(*FLAG.lock(), 3);
+}

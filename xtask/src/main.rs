@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(xtask::run(std::env::args().skip(1)));
+}

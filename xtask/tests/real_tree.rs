@@ -1,0 +1,23 @@
+//! The workspace itself must lint clean: any rule violation introduced in
+//! `crates/` (or catalogue drift in DESIGN.md §11) fails the test suite,
+//! not just the CI lint job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_every_lint_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits under the workspace root");
+    let diags = xtask::lint_root(root);
+    assert!(
+        diags.is_empty(),
+        "xtask lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
