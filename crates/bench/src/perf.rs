@@ -86,6 +86,20 @@ impl PerfOptions {
                 .unwrap_or_else(|_| panic!("{flag} got a malformed value: {v}"))
         }
 
+        /// A comma-separated sweep list (`8` or `4,8,16`).
+        fn parse_list(args: &mut impl Iterator<Item = String>, flag: &str) -> Vec<usize> {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"));
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("{flag} got a malformed value: {v}"))
+                })
+                .collect()
+        }
+
         let mut opts = PerfOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -106,11 +120,11 @@ impl PerfOptions {
                 }
                 "--serve-connections" => {
                     opts.serve.get_or_insert_with(Default::default).connections =
-                        parse(&mut args, "--serve-connections");
+                        parse_list(&mut args, "--serve-connections");
                 }
-                "--serve-users" => {
+                "--serve-users" | "--serve-reports" => {
                     opts.serve.get_or_insert_with(Default::default).users =
-                        parse(&mut args, "--serve-users");
+                        parse_list(&mut args, "--serve-users");
                 }
                 "--serve-batch" => {
                     opts.serve.get_or_insert_with(Default::default).batch =
@@ -118,7 +132,11 @@ impl PerfOptions {
                 }
                 "--serve-workers" => {
                     opts.serve.get_or_insert_with(Default::default).workers =
-                        parse(&mut args, "--serve-workers");
+                        parse_list(&mut args, "--serve-workers");
+                }
+                "--serve-window" => {
+                    opts.serve.get_or_insert_with(Default::default).window =
+                        parse(&mut args, "--serve-window");
                 }
                 "--serve-queue" => {
                     opts.serve
@@ -152,10 +170,11 @@ impl PerfOptions {
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
                      [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
                      [--work N] [--repeats N] [--serve-loadgen] \
-                     [--serve-connections N] [--serve-users N] [--serve-batch N] \
-                     [--serve-workers N] [--serve-queue N] [--serve-seed N] \
-                     [--serve-out PATH] [--chaos] [--chaos-seeds N] [--seed N] \
-                     [--chaos-out PATH]"
+                     [--serve-connections N[,N..]] [--serve-users N[,N..]] \
+                     [--serve-reports N[,N..]] [--serve-batch N] \
+                     [--serve-workers N[,N..]] [--serve-window N] \
+                     [--serve-queue N] [--serve-seed N] [--serve-out PATH] \
+                     [--chaos] [--chaos-seeds N] [--seed N] [--chaos-out PATH]"
                 ),
             }
         }
@@ -469,6 +488,8 @@ mod tests {
                 "250",
                 "--serve-workers",
                 "8",
+                "--serve-window",
+                "32",
                 "--serve-queue",
                 "32",
                 "--serve-out",
@@ -478,12 +499,35 @@ mod tests {
             .map(String::from),
         );
         let serve = opts.serve.expect("--serve-loadgen sets serve options");
-        assert_eq!(serve.connections, 16);
-        assert_eq!(serve.users, 50_000);
+        assert_eq!(serve.connections, vec![16]);
+        assert_eq!(serve.users, vec![50_000]);
         assert_eq!(serve.batch, 250);
-        assert_eq!(serve.workers, 8);
+        assert_eq!(serve.workers, vec![8]);
+        assert_eq!(serve.window, 32);
         assert_eq!(serve.queue_capacity, 32);
         assert_eq!(serve.out, "s.json");
+    }
+
+    #[test]
+    fn serve_sweep_lists_parse() {
+        let opts = PerfOptions::from_args(
+            [
+                "--serve-loadgen",
+                "--serve-connections",
+                "4,8,16",
+                "--serve-workers",
+                "1, 2",
+                "--serve-reports",
+                "100000,500000",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let serve = opts.serve.expect("serve options");
+        assert_eq!(serve.connections, vec![4, 8, 16]);
+        assert_eq!(serve.workers, vec![1, 2]);
+        assert_eq!(serve.users, vec![100_000, 500_000]);
+        assert_eq!(serve.cases().len(), 12);
     }
 
     #[test]

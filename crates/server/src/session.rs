@@ -124,6 +124,19 @@ impl Session {
         queue: &BoundedQueue<Vec<UserReport>>,
         stats: &AtomicStats,
     ) -> FrameOutcome {
+        self.on_frame_view(frame.view(), ctx, queue, stats)
+    }
+
+    /// Processes one decoded frame *view* (payload borrowed from the
+    /// receive buffer) and decides the reply — the zero-copy entry the
+    /// reactor uses; [`Session::on_frame`] is the owned-frame shim over it.
+    pub fn on_frame_view(
+        &mut self,
+        frame: crate::wire::FrameView<'_>,
+        ctx: &SessionCtx,
+        queue: &BoundedQueue<Vec<UserReport>>,
+        stats: &AtomicStats,
+    ) -> FrameOutcome {
         let reject = |e: WireError| {
             stats.bump_rejected();
             FrameOutcome {

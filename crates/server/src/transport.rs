@@ -8,7 +8,7 @@
 //! dedup, backpressure — is transport-agnostic, which is what makes the
 //! fault-injection results transfer to the real server.
 
-use std::io::{self, BufWriter, Read};
+use std::io::{self, Read};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
@@ -148,8 +148,10 @@ impl<'a, F: Fn() -> bool> TcpTransport<'a, F> {
 
 impl<F: Fn() -> bool> Transport for TcpTransport<'_, F> {
     fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
-        let mut w = BufWriter::new(self.stream);
-        write_frame(&mut w, frame).map_err(WireError::Io)
+        // One `write_all` of the already-contiguous encoding; a `BufWriter`
+        // here would only add an 8 KiB allocation and an extra copy per
+        // reply frame.
+        write_frame(&mut &*self.stream, frame).map_err(WireError::Io)
     }
 
     fn recv(&mut self) -> RecvOutcome {

@@ -1,0 +1,211 @@
+//! Edge-case tests for the epoll reactor serve path (DESIGN.md §15),
+//! driven over real loopback sockets so the nonblocking readiness
+//! machinery — not the simulated transport — is what's under test.
+//!
+//! Each test targets one hazard of edge-triggered readiness handling:
+//! a frame split across wakeups, a kernel send buffer filling mid-write
+//! (`EAGAIN` on the ack path), a peer resetting between readiness and
+//! the read, more live connections than the reactor's event batch, and
+//! a mid-frame stall tripping the read deadline.
+//!
+//! On non-linux-x86_64 hosts the same suite exercises the fallback
+//! thread-per-connection path, which must honour identical semantics.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+use felip_server::wire::{encode_hello, read_frame, Frame, FrameKind};
+use felip_server::{Server, ServerConfig, ServerRun};
+
+fn plan() -> Arc<CollectionPlan> {
+    let schema = Schema::new(vec![
+        Attribute::numerical("a", 32),
+        Attribute::categorical("c", 4),
+    ])
+    .unwrap();
+    Arc::new(CollectionPlan::build(&schema, 1_000, &FelipConfig::new(1.0), 23).unwrap())
+}
+
+/// Boots a server on an ephemeral port, runs `drive` against it, then
+/// shuts down gracefully and returns the final run counters.
+fn with_server<F>(config: ServerConfig, drive: F) -> ServerRun
+where
+    F: FnOnce(std::net::SocketAddr, u64),
+{
+    let plan = plan();
+    let plan_hash = plan.schema_hash();
+    let server = Server::bind(plan, config).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = thread::spawn(move || server.run(None).expect("serve"));
+    drive(addr, plan_hash);
+    shutdown.store(true, Ordering::SeqCst);
+    server_thread.join().expect("join server")
+}
+
+fn hello_frame(plan_hash: u64, client_id: u64) -> Vec<u8> {
+    Frame {
+        kind: FrameKind::Hello,
+        plan_hash,
+        payload: encode_hello(client_id),
+    }
+    .encode()
+}
+
+/// Reads one frame off a blocking stream, panicking on EOF or garble.
+fn expect_frame<R: Read>(r: &mut R) -> Frame {
+    read_frame(r).expect("wire error").expect("unexpected EOF")
+}
+
+/// A frame written in two pieces with a pause in between must be
+/// reassembled across reactor wakeups: the first readable event
+/// delivers a partial header, the connection's read buffer holds it,
+/// and the second event completes the frame.
+#[test]
+fn partial_frame_across_wakeups_is_reassembled() {
+    let run = with_server(ServerConfig::default(), |addr, plan_hash| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let frame = hello_frame(plan_hash, 77);
+        // Split inside the fixed header so the first wakeup cannot even
+        // learn the payload length.
+        let (head, tail) = frame.split_at(9);
+        stream.write_all(head).unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(120));
+        stream.write_all(tail).unwrap();
+        let reply = expect_frame(&mut stream);
+        assert_eq!(reply.kind, FrameKind::Ack);
+    });
+    assert_eq!(run.stats.frames_rejected, 0);
+}
+
+/// Floods the server with hellos without draining acks. The kernel send
+/// buffer toward the client fills, the reactor's write hits `EAGAIN`
+/// mid-ack, and it must arm `EPOLLOUT` and finish the flush later —
+/// every single ack must still arrive, in order, once the client reads.
+#[test]
+fn eagain_mid_write_flushes_every_ack() {
+    const HELLOS: usize = 20_000;
+    let run = with_server(ServerConfig::default(), |addr, plan_hash| {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let mut burst = Vec::with_capacity(HELLOS * 40);
+        for _ in 0..HELLOS {
+            burst.extend_from_slice(&hello_frame(plan_hash, 5));
+        }
+        // Writer thread: the client-side socket would also block once
+        // both directions' buffers fill, so writing and reading must
+        // overlap for the test to terminate.
+        let writer = thread::spawn(move || {
+            let mut w = &stream;
+            w.write_all(&burst).unwrap();
+            stream
+        });
+        // Reading lags the writer, guaranteeing a window where the
+        // server has acks queued against a full kernel buffer.
+        thread::sleep(Duration::from_millis(100));
+        let stream = writer.join().expect("writer");
+        let mut r = BufReader::new(stream);
+        for i in 0..HELLOS {
+            let reply = expect_frame(&mut r);
+            assert_eq!(reply.kind, FrameKind::Ack, "ack {i} missing or garbled");
+        }
+    });
+    assert_eq!(run.stats.frames_rejected, 0);
+}
+
+/// Drops connections with unread acks in the socket buffer, which makes
+/// the kernel send `RST` instead of `FIN`: the reactor can then observe
+/// `EPOLLERR`/`ECONNRESET` between a readiness event and the read. The
+/// server must treat it as that connection's problem only.
+#[test]
+fn reset_between_readiness_and_read_is_contained() {
+    with_server(ServerConfig::default(), |addr, plan_hash| {
+        for round in 0..20 {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).unwrap();
+            stream
+                .write_all(&hello_frame(plan_hash, 1000 + round))
+                .unwrap();
+            // Drop without reading the ack: unread data in our receive
+            // buffer forces an RST on close.
+            drop(stream);
+        }
+        // Give the reactor a beat to observe the resets, then prove a
+        // fresh session still completes normally.
+        thread::sleep(Duration::from_millis(100));
+        let mut stream = TcpStream::connect(addr).expect("post-reset connect");
+        stream.write_all(&hello_frame(plan_hash, 9)).unwrap();
+        let reply = expect_frame(&mut stream);
+        assert_eq!(reply.kind, FrameKind::Ack);
+    });
+}
+
+/// Holds more live connections than the reactor's 1024-slot event
+/// buffer. Readiness for the overflow must simply arrive on later
+/// `epoll_wait` batches — every connection still gets its ack.
+#[test]
+fn more_connections_than_one_event_batch() {
+    const CONNS: usize = 1_100;
+    let run = with_server(
+        ServerConfig {
+            // Long idle timeout: slots must survive while we slowly
+            // walk all 1100 handshakes.
+            idle_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+        |addr, plan_hash| {
+            let mut streams = Vec::with_capacity(CONNS);
+            for i in 0..CONNS {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.write_all(&hello_frame(plan_hash, i as u64)).unwrap();
+                streams.push(stream);
+            }
+            for (i, stream) in streams.iter_mut().enumerate() {
+                let reply = expect_frame(stream);
+                assert_eq!(reply.kind, FrameKind::Ack, "connection {i}");
+            }
+        },
+    );
+    assert!(
+        run.stats.connections >= CONNS as u64,
+        "expected >= {CONNS} accepted, saw {}",
+        run.stats.connections
+    );
+}
+
+/// A connection that stalls mid-frame past `read_timeout` must be
+/// reported (error frame, then close) rather than pinning its buffer
+/// forever; completed-frame idleness is governed separately by
+/// `idle_timeout`.
+#[test]
+fn mid_frame_stall_trips_read_deadline() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        idle_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let run = with_server(config, |addr, plan_hash| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        let frame = hello_frame(plan_hash, 3);
+        stream.write_all(&frame[..frame.len() - 5]).unwrap();
+        stream.flush().unwrap();
+        // Stall far past the read deadline; the server must give up on
+        // the half-frame and tell us why before closing.
+        let reply = expect_frame(&mut stream);
+        assert_eq!(reply.kind, FrameKind::Error);
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("read to EOF");
+        assert!(rest.is_empty(), "nothing after the error frame");
+    });
+    assert!(run.stats.frames_rejected >= 1);
+}

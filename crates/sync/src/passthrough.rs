@@ -1,4 +1,4 @@
-//! The non-model build: thin `#[inline]` wrappers over `std::sync`.
+//! The non-model build: thin `#[inline(always)]` wrappers over `std::sync`.
 //!
 //! The only semantic difference from `std` is poisoning: a poisoned lock
 //! hands back its data instead of an `Err`. The workspace treats a panic
@@ -6,6 +6,14 @@
 //! unwinding the whole test or process), and the wrapper is what lets
 //! non-test server code hold locks without `unwrap()` — a rule `xtask
 //! lint` enforces.
+//!
+//! Every wrapper is `#[inline(always)]`, not `#[inline]`: these shims sit
+//! on the server's hot path (queue push/pop, shard locks, per-frame dedup
+//! checks), and a mere hint leaves the decision to the inliner's cost
+//! model, which can decline at `-O` across the crate boundary — the PR-5
+//! serve-loadgen regression. `always` makes the zero-cost claim a
+//! guarantee instead of a hope; `tests/shim.rs` holds a throughput guard
+//! comparing the shims against raw `std::sync` primitives.
 
 use std::sync::PoisonError;
 use std::time::Duration;
@@ -16,13 +24,13 @@ pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 impl<T> Mutex<T> {
     /// Creates a new unlocked mutex.
-    #[inline]
+    #[inline(always)]
     pub const fn new(value: T) -> Mutex<T> {
         Mutex(std::sync::Mutex::new(value))
     }
 
     /// Consumes the mutex, returning the inner value (poison ignored).
-    #[inline]
+    #[inline(always)]
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
@@ -30,13 +38,13 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is free.
-    #[inline]
+    #[inline(always)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Mutable access without locking (the `&mut` proves exclusivity).
-    #[inline]
+    #[inline(always)]
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
@@ -59,14 +67,14 @@ pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
 
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
-    #[inline]
+    #[inline(always)]
     fn deref(&self) -> &T {
         &self.0
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
-    #[inline]
+    #[inline(always)]
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
     }
@@ -81,7 +89,7 @@ pub struct WaitTimeoutResult {
 impl WaitTimeoutResult {
     /// `true` when the wait ended because the timeout elapsed (not a
     /// notification).
-    #[inline]
+    #[inline(always)]
     pub fn timed_out(&self) -> bool {
         self.timed_out
     }
@@ -93,14 +101,14 @@ pub struct Condvar(std::sync::Condvar);
 
 impl Condvar {
     /// Creates a new condition variable.
-    #[inline]
+    #[inline(always)]
     pub const fn new() -> Condvar {
         Condvar(std::sync::Condvar::new())
     }
 
     /// Blocks until notified, atomically releasing and re-acquiring the
     /// guard's mutex.
-    #[inline]
+    #[inline(always)]
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         MutexGuard(
             self.0
@@ -110,7 +118,7 @@ impl Condvar {
     }
 
     /// Blocks until notified or `timeout` elapses.
-    #[inline]
+    #[inline(always)]
     pub fn wait_timeout<'a, T>(
         &self,
         guard: MutexGuard<'a, T>,
@@ -129,13 +137,13 @@ impl Condvar {
     }
 
     /// Wakes one blocked waiter.
-    #[inline]
+    #[inline(always)]
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
 
     /// Wakes every blocked waiter.
-    #[inline]
+    #[inline(always)]
     pub fn notify_all(&self) {
         self.0.notify_all();
     }
@@ -153,13 +161,13 @@ pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
 
 impl<T> RwLock<T> {
     /// Creates a new unlocked lock.
-    #[inline]
+    #[inline(always)]
     pub const fn new(value: T) -> RwLock<T> {
         RwLock(std::sync::RwLock::new(value))
     }
 
     /// Consumes the lock, returning the inner value (poison ignored).
-    #[inline]
+    #[inline(always)]
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
     }
@@ -167,13 +175,13 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
-    #[inline]
+    #[inline(always)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Acquires exclusive write access.
-    #[inline]
+    #[inline(always)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
     }
@@ -184,7 +192,7 @@ pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
 
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
     type Target = T;
-    #[inline]
+    #[inline(always)]
     fn deref(&self) -> &T {
         &self.0
     }
@@ -195,14 +203,14 @@ pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
 
 impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
-    #[inline]
+    #[inline(always)]
     fn deref(&self) -> &T {
         &self.0
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
-    #[inline]
+    #[inline(always)]
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
     }

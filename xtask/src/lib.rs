@@ -16,6 +16,13 @@
 //!   field, so a change must show up here, in review, on purpose.
 //! * **R5 `metric-registry`** — the set of metric/span names emitted in
 //!   code equals the DESIGN.md §11 catalogue, in both directions.
+//! * **R6 `reactor-syscalls`** — raw syscall plumbing (`epoll_*`,
+//!   `sched_*affinity`, inline `asm!`) appears only in
+//!   `crates/server/src/reactor.rs`: one auditable file owns every
+//!   kernel-ABI assumption (DESIGN.md §15).
+//! * **R7 `bench-schema`** — checked-in `BENCH_*.json` files keep their
+//!   headline keys, so CI gates and dashboards reading them never break
+//!   silently when a bench is reshaped.
 //!
 //! The pass works on a comment- and string-stripped view of each source
 //! file (so `"panic!("` inside a string or an example in a doc comment
@@ -93,6 +100,8 @@ pub fn lint_root(root: &Path) -> Vec<Diagnostic> {
     rule_safety_comments(root, &mut diags);
     rule_golden_constants(root, &mut diags);
     rule_metric_registry(root, &mut diags);
+    rule_reactor_syscalls(root, &mut diags);
+    rule_bench_schema(root, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
@@ -787,6 +796,106 @@ fn parse_catalogue(design: &str) -> BTreeMap<String, usize> {
 }
 
 // ---------------------------------------------------------------------------
+// R6: raw syscall plumbing stays inside crates/server/src/reactor.rs
+// ---------------------------------------------------------------------------
+
+/// The reactor module (DESIGN.md §15) is the single place allowed to
+/// speak the raw kernel ABI; these tokens anywhere else mean someone is
+/// duplicating syscall plumbing outside the one audited file.
+fn rule_reactor_syscalls(root: &Path, diags: &mut Vec<Diagnostic>) {
+    const NEEDLES: [&str; 4] = ["epoll_", "sched_setaffinity", "sched_getaffinity", "asm!("];
+    let allowed = Path::new("crates/server/src/reactor.rs");
+    for src in crate_src_dirs(root) {
+        for (path, scan) in scan_crate_src(&src) {
+            let rel_path = rel(root, &path);
+            if rel_path == allowed {
+                continue;
+            }
+            for (idx, line) in scan.code.iter().enumerate() {
+                for needle in NEEDLES {
+                    if line.contains(needle) {
+                        diags.push(Diagnostic {
+                            file: rel_path.clone(),
+                            line: idx + 1,
+                            rule: "reactor-syscalls",
+                            message: format!(
+                                "`{needle}` outside crates/server/src/reactor.rs — all raw \
+                                 syscall plumbing lives in the reactor module (DESIGN.md §15)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R7: checked-in BENCH_*.json headline keys must not drift
+// ---------------------------------------------------------------------------
+
+/// Headline keys per bench artefact. CI gates (`.github/workflows/ci.yml`)
+/// and the README's numbers read these by name; reshaping a bench without
+/// updating both is the drift this rule catches. Absent files are skipped —
+/// presence is the bench job's concern, shape is lint's.
+const BENCH_SCHEMAS: [(&str, &[&str]); 3] = [
+    (
+        "BENCH_ingest.json",
+        &["bench", "oracle", "results", "batched_reports_per_sec"],
+    ),
+    (
+        "BENCH_obs.json",
+        &[
+            "bench",
+            "disabled_reports_per_sec",
+            "enabled_reports_per_sec",
+            "overhead_pct",
+        ],
+    ),
+    (
+        "BENCH_serve.json",
+        &[
+            "bench",
+            "transport",
+            "reports_per_sec",
+            "frame_p50_us",
+            "frame_p99_us",
+        ],
+    ),
+];
+
+fn rule_bench_schema(root: &Path, diags: &mut Vec<Diagnostic>) {
+    for (file, keys) in BENCH_SCHEMAS {
+        let Ok(text) = fs::read_to_string(root.join(file)) else {
+            continue;
+        };
+        if text.trim_start().as_bytes().first() != Some(&b'{') {
+            diags.push(Diagnostic {
+                file: PathBuf::from(file),
+                line: 1,
+                rule: "bench-schema",
+                message: "bench artefact must be a JSON object".to_string(),
+            });
+            continue;
+        }
+        for key in keys {
+            let quoted = format!("\"{key}\"");
+            if !text.contains(&quoted) {
+                diags.push(Diagnostic {
+                    file: PathBuf::from(file),
+                    line: 1,
+                    rule: "bench-schema",
+                    message: format!(
+                        "headline key `{key}` missing — CI gates and docs read it by name; \
+                         update them together with the bench shape"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Self-test fixtures (acceptance: nonzero + file:line on violations; the
 // zero-diagnostics run on the real tree lives in `tests/real_tree.rs`).
 // ---------------------------------------------------------------------------
@@ -1044,6 +1153,91 @@ mod tests {
         assert!(
             diags.iter().any(|d| d.message.contains("grid.wrapped")),
             "wrapped metric name not extracted: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn reactor_syscall_rule_fires_outside_reactor_module() {
+        let f = Fixture::new("reactor");
+        write_clean_base(&f);
+        // Inside the reactor module: allowed, even without test gating.
+        f.write(
+            "crates/server/src/reactor.rs",
+            "// SAFETY: fixture.\nunsafe fn w() { epoll_wait(); sched_setaffinity(); }\n",
+        );
+        // Anywhere else: each token is a violation with file:line.
+        f.write(
+            "crates/bench/src/sneaky.rs",
+            "fn f() {\n    epoll_ctl();\n}\n",
+        );
+        let diags = lint_root(&f.root);
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "reactor-syscalls").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert_eq!(hits[0].file, PathBuf::from("crates/bench/src/sneaky.rs"));
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn reactor_syscall_rule_ignores_strings_and_comments() {
+        let f = Fixture::new("reactorstr");
+        write_clean_base(&f);
+        f.write(
+            "crates/obs/src/doc.rs",
+            "// mentioning epoll_wait in prose is fine\n\
+             fn f() { let _ = \"epoll_wait sched_setaffinity asm!(\"; }\n",
+        );
+        let diags = lint_root(&f.root);
+        assert!(
+            !diags.iter().any(|d| d.rule == "reactor-syscalls"),
+            "false positives: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn bench_schema_rule_fires_on_missing_headline_key() {
+        let f = Fixture::new("benchschema");
+        write_clean_base(&f);
+        // Renamed key: `reports_per_sec` → `rate` must be flagged.
+        f.write(
+            "BENCH_serve.json",
+            "{\n  \"bench\": \"serve_loadgen\",\n  \"transport\": \"tcp loopback\",\n\
+             \"rate\": 1.0,\n  \"frame_p50_us\": 1.0,\n  \"frame_p99_us\": 2.0\n}\n",
+        );
+        let diags = lint_root(&f.root);
+        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "bench-schema").collect();
+        assert_eq!(hits.len(), 1, "{diags:?}");
+        assert!(hits[0].message.contains("reports_per_sec"));
+        assert_eq!(hits[0].file, PathBuf::from("BENCH_serve.json"));
+    }
+
+    #[test]
+    fn bench_schema_rule_accepts_conforming_file_and_skips_absent_ones() {
+        let f = Fixture::new("benchok");
+        write_clean_base(&f);
+        // Only serve is present; ingest/obs absent files are skipped.
+        f.write(
+            "BENCH_serve.json",
+            "{\n  \"bench\": \"serve_loadgen\",\n  \"transport\": \"tcp loopback\",\n\
+             \"reports_per_sec\": 1.0,\n  \"frame_p50_us\": 1.0,\n  \"frame_p99_us\": 2.0\n}\n",
+        );
+        let diags = lint_root(&f.root);
+        assert!(
+            !diags.iter().any(|d| d.rule == "bench-schema"),
+            "false positives: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn bench_schema_rule_rejects_non_object_artefact() {
+        let f = Fixture::new("benchnonobj");
+        write_clean_base(&f);
+        f.write("BENCH_obs.json", "[1, 2, 3]\n");
+        let diags = lint_root(&f.root);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "bench-schema" && d.message.contains("JSON object")),
+            "{diags:?}"
         );
     }
 
