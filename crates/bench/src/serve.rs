@@ -112,8 +112,10 @@ pub struct StageBreakdown {
     pub decode_ns: f64,
     /// Session dispatch: validation, dedup, queue push per report.
     pub ingest_ns: f64,
-    /// Reply encode + socket writes per report.
+    /// Reply encode per report.
     pub ack_ns: f64,
+    /// Socket write flush per report.
+    pub flush_ns: f64,
 }
 
 /// One run's measured results.
@@ -161,12 +163,15 @@ pub fn bench_plan(users: usize, seed: u64) -> Arc<CollectionPlan> {
     )
 }
 
-/// Reads one reactor stage counter (total ns since the last reset).
+/// Reads one reactor stage histogram's total (summed ns since the last
+/// reset). The stages became histograms in PR 7 (quantiles for STAT), so
+/// the per-report cost here is the histogram sum, not a counter value.
 fn stage_total(name: &str) -> u64 {
-    felip_obs::global()
-        .metric(name)
-        .and_then(|m| m.value.as_u64())
-        .unwrap_or(0)
+    match felip_obs::global().metric(name).map(|m| m.value) {
+        Some(felip_obs::MetricValue::Histogram(h)) => h.sum,
+        Some(v) => v.as_u64().unwrap_or(0),
+        None => 0,
+    }
 }
 
 /// Runs one case of the loopback load generation and returns the
@@ -250,6 +255,7 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions, case: ServeCase) -> ServeLoadR
     let decode_ns = stage_total("server.stage.decode");
     let ingest_ns = stage_total("server.stage.ingest");
     let ack_ns = stage_total("server.stage.ack");
+    let flush_ns = stage_total("server.stage.flush");
     if !obs_was_enabled {
         felip_obs::disable();
     }
@@ -270,7 +276,7 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions, case: ServeCase) -> ServeLoadR
     let retries = per_conn_results.iter().map(|(_, r, _)| r).sum();
     let frames = per_conn_results.iter().map(|(_, _, f)| f).sum();
 
-    let stage_sum = accept_ns + decode_ns + ingest_ns + ack_ns;
+    let stage_sum = accept_ns + decode_ns + ingest_ns + ack_ns + flush_ns;
     let stages = (stage_sum > 0).then(|| {
         let per = |ns: u64| ns as f64 / case.users as f64;
         StageBreakdown {
@@ -278,6 +284,7 @@ pub fn run_serve_loadgen(opts: &ServeLoadOptions, case: ServeCase) -> ServeLoadR
             decode_ns: per(decode_ns),
             ingest_ns: per(ingest_ns),
             ack_ns: per(ack_ns),
+            flush_ns: per(flush_ns),
         }
     });
 
@@ -317,6 +324,7 @@ fn case_map(r: &ServeLoadResult, opts: &ServeLoadOptions) -> serde_json::Map<Str
                 "decode": stages.decode_ns,
                 "ingest": stages.ingest_ns,
                 "ack": stages.ack_ns,
+                "flush": stages.flush_ns,
             }),
         );
     }
@@ -380,8 +388,9 @@ pub fn serve_smoke(opts: &ServeLoadOptions) -> std::io::Result<()> {
         );
         if let Some(s) = &r.stages {
             println!(
-                "  stages (ns/report): accept {:>6.1}  decode {:>6.1}  ingest {:>6.1}  ack {:>6.1}",
-                s.accept_ns, s.decode_ns, s.ingest_ns, s.ack_ns
+                "  stages (ns/report): accept {:>6.1}  decode {:>6.1}  ingest {:>6.1}  \
+                 ack {:>6.1}  flush {:>6.1}",
+                s.accept_ns, s.decode_ns, s.ingest_ns, s.ack_ns, s.flush_ns
             );
         }
         results.push(r);
@@ -457,9 +466,18 @@ mod tests {
             stages: Some(StageBreakdown::default()),
         };
         let doc = to_json(&[fake(5.0), fake(9.0), fake(7.0)], &opts);
-        assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("serve_loadgen"));
-        assert_eq!(doc.get("reports_per_sec").and_then(|v| v.as_f64()), Some(9.0));
-        assert_eq!(doc.get("runs").and_then(|v| v.as_array()).map(|r| r.len()), Some(3));
+        assert_eq!(
+            doc.get("bench").and_then(|v| v.as_str()),
+            Some("serve_loadgen")
+        );
+        assert_eq!(
+            doc.get("reports_per_sec").and_then(|v| v.as_f64()),
+            Some(9.0)
+        );
+        assert_eq!(
+            doc.get("runs").and_then(|v| v.as_array()).map(|r| r.len()),
+            Some(3)
+        );
         assert!(doc.get("stage_ns_per_report").is_some());
     }
 

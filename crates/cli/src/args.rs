@@ -17,6 +17,9 @@ USAGE:
                   [--workers <w>] [--queue <batches>] [--snapshot <path>]
                   [--snapshot-every-ms <ms>] [--resume <path>] [--plan-seed <seed>]
                   [--read-timeout-ms <ms>] [--idle-timeout-ms <ms>]
+                  [--metrics-out <path>] [--metrics-every-ms <ms>] [--flight-out <path>]
+    felip stat    [--addr <host:port>] [--mode full|delta|flight]
+                  [--format table|json] [--watch <secs>]
     felip load    --attrs <spec> --n <users> --epsilon <eps> --users <count>
                   [--addr <host:port>] [--from <user>] [--connections <c>]
                   [--batch <reports>] [--seed <seed>] [--plan-seed <seed>]
@@ -32,6 +35,17 @@ SERVE / LOAD / VERIFY:
     `verify` restores a snapshot and checks it is bit-identical to an
     offline collection of that same stream. All three must be given the same
     --attrs/--n/--epsilon/--plan-seed so the plan hash matches.
+
+STAT:
+    `stat` polls a running server's admin verb and renders its live metrics
+    (counters, gauges, per-stage latency quantiles). `--mode delta` shows
+    the change since the previous delta poll; `--mode flight` dumps the
+    in-memory flight recorder (the last ~1k protocol events) as JSONL.
+    `--watch <secs>` re-polls at that cadence until interrupted. `serve`'s
+    `--metrics-out <path>` appends one delta snapshot per second (tunable
+    with --metrics-every-ms) as a JSONL time-series, and `--flight-out
+    <path>` arms the postmortem dump written on panic, SIGTERM shutdown,
+    or snapshot quarantine.
 
 ATTRS SPEC:
     comma-separated list of `n:<domain>` (numerical) and `c:<domain>` (categorical),

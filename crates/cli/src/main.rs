@@ -98,6 +98,7 @@ fn main() -> ExitCode {
         "serve" => serve_cmd::serve(rest),
         "load" => serve_cmd::load(rest),
         "verify" => serve_cmd::verify(rest),
+        "stat" => serve_cmd::stat(rest),
         "--help" | "-h" | "help" => {
             println!("{}", args::USAGE);
             Ok(())

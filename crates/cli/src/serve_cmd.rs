@@ -6,7 +6,8 @@
 //! the server, the load generator, and the offline verifier — the wire
 //! handshake and the snapshot header both check it.
 
-use std::path::PathBuf;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,7 +16,8 @@ use felip::{FelipConfig, SelectivityPrior, Strategy};
 use felip_common::rng::derive_seed;
 use felip_obs::diag;
 use felip_server::loadgen::{offline_reference, user_report};
-use felip_server::{signal, Client, RetryPolicy, Server, ServerConfig, Snapshot};
+use felip_server::wire::{encode_stat, read_frame, write_frame, StatMode};
+use felip_server::{signal, Client, Frame, FrameKind, RetryPolicy, Server, ServerConfig, Snapshot};
 
 use crate::args::{parse_schema, Flags};
 
@@ -59,8 +61,22 @@ pub fn serve(args: &[String]) -> CmdResult {
         resume: flags.get("resume").map(PathBuf::from),
         read_timeout: Duration::from_millis(flags.get_or("read-timeout-ms", 5_000u64)?),
         idle_timeout: Duration::from_millis(flags.get_or("idle-timeout-ms", 30_000u64)?),
+        metrics_out: flags.get("metrics-out").map(PathBuf::from),
+        metrics_every: Duration::from_millis(flags.get_or("metrics-every-ms", 1_000u64)?.max(1)),
         ..ServerConfig::default()
     };
+
+    // The server's telemetry is always on: STAT replies and the
+    // `--metrics-out` rollup both read the live recorder, so `serve`
+    // enables it unconditionally (the measured overhead is the
+    // observability budget tracked in BENCH_obs.json).
+    felip_obs::enable();
+    if let Some(path) = flags.get("flight-out") {
+        // Arm the postmortem dump: panics, SIGTERM shutdown and snapshot
+        // quarantines append the flight window to this JSONL file.
+        felip_obs::flight::set_postmortem_path(Some(Path::new(path)));
+        felip_obs::flight::install_panic_hook();
+    }
 
     let server = Server::bind(Arc::clone(&plan), config)?;
     let shutdown = signal::install_shutdown_handler();
@@ -228,6 +244,72 @@ pub fn verify(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// `felip stat`: poll a running server's STAT admin verb.
+///
+/// `--mode full` (default) fetches the complete metrics snapshot,
+/// `--mode delta` the change since the previous delta poll (server-side
+/// baseline), `--mode flight` the flight-recorder ring as JSONL.
+/// `--format json` prints the raw server payload; the default renders a
+/// summary table. `--watch <secs>` re-polls forever at that cadence.
+///
+/// STAT needs no plan flags: the verb is handled before plan pinning, so
+/// an operator can point `felip stat` at any server without knowing its
+/// schema.
+pub fn stat(args: &[String]) -> CmdResult {
+    let flags = Flags::parse(args)?;
+    let addr: String = flags.get_or("addr", "127.0.0.1:4417".to_string())?;
+    let mode = match flags.get_or("mode", "full".to_string())?.as_str() {
+        "full" => StatMode::Full,
+        "delta" => StatMode::Delta,
+        "flight" => StatMode::Flight,
+        other => return Err(format!("unknown stat mode `{other}` (full|delta|flight)").into()),
+    };
+    let format: String = flags.get_or("format", "table".to_string())?;
+    if format != "table" && format != "json" {
+        return Err(format!("unknown stat format `{format}` (table|json)").into());
+    }
+    let watch_secs: u64 = flags.get_or("watch", 0u64)?;
+
+    loop {
+        let payload = stat_once(&addr, mode)?;
+        let text = String::from_utf8(payload).map_err(|_| "server sent non-UTF-8 stat payload")?;
+        if mode == StatMode::Flight || format == "json" {
+            // Flight dumps are JSONL (multiple lines); pass them through
+            // untouched either way.
+            println!("{}", text.trim_end());
+        } else {
+            let doc = felip_obs::jsonread::parse(&text)
+                .map_err(|e| format!("server sent invalid metrics JSON: {e:?}"))?;
+            print!("{}", felip_obs::render_metrics_table(&doc)?);
+        }
+        if watch_secs == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs(watch_secs));
+    }
+}
+
+/// One STAT round trip: connect, send the verb (plan hash 0 — STAT is
+/// exempt from plan pinning), return the `StatReply` payload.
+fn stat_once(
+    addr: &str,
+    mode: StatMode,
+) -> std::result::Result<Vec<u8>, Box<dyn std::error::Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let frame = Frame {
+        kind: FrameKind::Stat,
+        plan_hash: 0,
+        payload: encode_stat(mode),
+    };
+    write_frame(&mut stream, &frame)?;
+    match read_frame(&mut stream)? {
+        Some(reply) if reply.kind == FrameKind::StatReply => Ok(reply.payload),
+        Some(reply) => Err(format!("unexpected {:?} reply to STAT", reply.kind).into()),
+        None => Err("server closed the connection before replying to STAT".into()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +356,17 @@ mod tests {
             "9",
         ]))
         .unwrap();
+
+        // STAT answers any connection — no plan flags — with a metrics
+        // document, and flight mode with a JSONL dump.
+        let payload = stat_once(&addr, StatMode::Full).unwrap();
+        let doc = felip_obs::jsonread::parse(&String::from_utf8(payload).unwrap()).unwrap();
+        assert_eq!(doc.get("t").and_then(|v| v.as_str()), Some("metrics"));
+        let flight = stat_once(&addr, StatMode::Flight).unwrap();
+        let first = String::from_utf8(flight).unwrap();
+        let header = felip_obs::jsonread::parse(first.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("t").and_then(|v| v.as_str()), Some("flight"));
+
         shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
         let run = t.join().unwrap();
         assert_eq!(run.aggregator.reports_ingested(), 600);

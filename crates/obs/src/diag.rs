@@ -3,25 +3,47 @@
 //! Binaries route usage errors and progress notes through these helpers
 //! instead of scattering `eprintln!` calls, so diagnostics have one
 //! consistent shape and traces (stdout/JSONL) stay machine-parseable.
+//! Every line is also teed into the [`crate::flight`] ring (kind `diag`,
+//! message digest + length), so a postmortem dump shows which diagnostics
+//! fired in the window leading up to a fault.
 
 use std::io::Write;
 
-/// Writes one diagnostic line to stderr.
-pub fn line(msg: &str) {
+use crate::flight;
+
+/// Flight-event `code` for a plain [`line`].
+const LEVEL_LINE: u16 = 0;
+/// Flight-event `code` for an [`error`].
+const LEVEL_ERROR: u16 = 1;
+/// Flight-event `code` for a [`warn`].
+const LEVEL_WARN: u16 = 2;
+
+fn emit(level: u16, msg: &str) {
+    flight::flight().record(
+        flight::KIND_DIAG,
+        level,
+        flight::fnv1a(msg),
+        msg.len() as u64,
+    );
     let mut err = std::io::stderr().lock();
     let _ = writeln!(err, "{msg}");
 }
 
+/// Writes one diagnostic line to stderr.
+pub fn line(msg: &str) {
+    emit(LEVEL_LINE, msg);
+}
+
 /// Writes a formatted error with an `error:` prefix.
 pub fn error(msg: &str) {
-    line(&format!("error: {msg}"));
+    emit(LEVEL_ERROR, &format!("error: {msg}"));
 }
 
 /// Writes a formatted warning with a `warning:` prefix — for degraded-mode
 /// events the process survives (a quarantined snapshot, a reaped idle
 /// connection) that an operator should still see.
 pub fn warn(msg: &str) {
-    line(&format!("warning: {msg}"));
+    emit(LEVEL_WARN, &format!("warning: {msg}"));
 }
 
 /// Prints `msg` (typically usage text) and exits with status 2, the

@@ -1,0 +1,411 @@
+//! Always-on flight recorder: a fixed-size lock-free ring of recent
+//! protocol events, dumped to a postmortem JSONL on panic, shutdown,
+//! quarantine, or on demand (the STAT admin verb).
+//!
+//! The ring is a seqlock over plain atomics (no unsafe): a writer claims a
+//! monotonically increasing logical index, marks the slot in-progress with
+//! an odd generation stamp, stores the event fields, then commits with the
+//! even stamp for that generation. A reader accepts a slot only when the
+//! committed stamp for the exact generation it expects is stable across
+//! the field reads, so a dump taken while writers race never yields a torn
+//! event — at worst it omits the handful of slots being overwritten at
+//! that instant. In the single-threaded deterministic harness every slot
+//! is committed, so a dump reconstructs the last-N window exactly.
+//!
+//! Events are deliberately tiny and fixed-shape (`kind`, `code`, two `u64`
+//! payload words): recording is a handful of relaxed stores, cheap enough
+//! to leave on for every frame the server touches.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// Event kind: a protocol frame was processed (`code` = frame kind byte,
+/// `a` = client id or connection token, `b` = payload length).
+pub const KIND_FRAME: u8 = 0;
+/// Event kind: a protocol or I/O error (`code` = error class, `a`/`b`
+/// site-specific).
+pub const KIND_ERROR: u8 = 1;
+/// Event kind: an injected fault fired (`code` = fault discriminant).
+pub const KIND_FAULT: u8 = 2;
+/// Event kind: a diagnostic line crossed [`crate::diag`] (`code` = level,
+/// `a` = FNV-1a hash of the message, `b` = message length).
+pub const KIND_DIAG: u8 = 3;
+/// Event kind: connection lifecycle (`code`: 0 open, 1 close, 2 reset).
+pub const KIND_CONN: u8 = 4;
+/// Event kind: snapshot lifecycle (`code`: 0 written, 1 quarantined).
+pub const KIND_SNAPSHOT: u8 = 5;
+
+/// The JSONL label for an event kind byte.
+pub fn kind_str(kind: u8) -> &'static str {
+    match kind {
+        KIND_FRAME => "frame",
+        KIND_ERROR => "error",
+        KIND_FAULT => "fault",
+        KIND_DIAG => "diag",
+        KIND_CONN => "conn",
+        KIND_SNAPSHOT => "snapshot",
+        _ => "other",
+    }
+}
+
+/// One recorded flight event, as read back out of the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Nanoseconds since the recorder's epoch (0 in deterministic mode).
+    pub t_ns: u64,
+    /// Event kind (`KIND_*`).
+    pub kind: u8,
+    /// Kind-specific discriminant (frame kind, error class, fault id, …).
+    pub code: u16,
+    /// First payload word (typically a client or connection id).
+    pub a: u64,
+    /// Second payload word (typically a length or detail hash).
+    pub b: u64,
+}
+
+/// One ring slot. `stamp` is the seqlock generation: `2·i + 1` while
+/// logical write `i` is in progress, `2·i + 2` once committed.
+struct Slot {
+    stamp: AtomicU64,
+    t_ns: AtomicU64,
+    /// `kind` in the low byte, `code` in the next two bytes.
+    kc: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+            kc: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+/// What [`FlightRecorder::dump`] reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Total events ever recorded (including overwritten ones).
+    pub total: u64,
+    /// Events that fell off the ring before this dump.
+    pub dropped: u64,
+    /// The surviving window, in sequence order.
+    pub events: Vec<FlightEvent>,
+}
+
+/// Fixed-size lock-free ring of recent [`FlightEvent`]s.
+pub struct FlightRecorder {
+    head: AtomicU64,
+    slots: Vec<Slot>,
+    /// `None` puts the recorder in deterministic mode: every event gets
+    /// `t_ns == 0`, so dumps are bit-identical across runs of the same
+    /// seed (the chaos harness's requirement).
+    epoch: Option<Instant>,
+}
+
+impl FlightRecorder {
+    /// A wall-clock ring holding the most recent `capacity` events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+            epoch: Some(Instant::now()),
+        }
+    }
+
+    /// A deterministic ring: timestamps are always zero, so a dump is a
+    /// pure function of the recorded event sequence.
+    pub fn deterministic(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+            epoch: None,
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events recorded so far (monotonic, includes overwritten).
+    pub fn total(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Lock-free: a claim `fetch_add`, a slot-claim
+    /// `compare_exchange`, and five stores.
+    pub fn record(&self, kind: u8, code: u16, a: u64, b: u64) {
+        let t_ns = match &self.epoch {
+            Some(epoch) => epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        };
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(i % self.slots.len() as u64) as usize];
+        // Seqlock write, CAS-claimed: the slot is taken by swinging its
+        // stamp from the even (quiescent) generation it last held to this
+        // generation's odd in-progress mark. A failed claim means another
+        // writer is mid-write in this slot or a newer generation already
+        // landed; either way this event is dropped (it still counts in
+        // `FlightDump::dropped` via `head`). Storing the fields anyway
+        // would be unsound: an older writer's blind stamp store can land
+        // *between* a newer writer's stamp and field stores, presenting a
+        // committed stamp over foreign fields — a tear the reader's
+        // double-check cannot see, because the check only catches writers
+        // that touch the stamp before the fields. The CAS makes stamps
+        // monotonic per slot, so a committed stamp proves the fields
+        // belong to exactly that generation (model-checked in
+        // felip-server's `model_flight_ring_*` tests).
+        let claimed = 2 * i + 1;
+        let cur = slot.stamp.load(Ordering::SeqCst);
+        if cur % 2 == 1
+            || cur > claimed
+            || slot
+                .stamp
+                .compare_exchange(cur, claimed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+        {
+            return;
+        }
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.kc
+            .store(kind as u64 | ((code as u64) << 8), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(2 * i + 2, Ordering::SeqCst);
+    }
+
+    /// Reconstructs the surviving event window, oldest first. Events whose
+    /// slot is mid-overwrite at the instant of the dump are skipped (they
+    /// are accounted for in `dropped`); a quiesced ring yields the exact
+    /// last-N sequence.
+    pub fn dump(&self) -> FlightDump {
+        let head = self.head.load(Ordering::SeqCst);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            let slot = &self.slots[(i % cap) as usize];
+            let committed = 2 * i + 2;
+            if slot.stamp.load(Ordering::SeqCst) != committed {
+                continue;
+            }
+            let t_ns = slot.t_ns.load(Ordering::SeqCst);
+            let kc = slot.kc.load(Ordering::SeqCst);
+            let a = slot.a.load(Ordering::SeqCst);
+            let b = slot.b.load(Ordering::SeqCst);
+            if slot.stamp.load(Ordering::SeqCst) != committed {
+                continue;
+            }
+            events.push(FlightEvent {
+                seq: i,
+                t_ns,
+                kind: (kc & 0xff) as u8,
+                code: ((kc >> 8) & 0xffff) as u16,
+                a,
+                b,
+            });
+        }
+        FlightDump {
+            total: head,
+            dropped: head - events.len() as u64,
+            events,
+        }
+    }
+
+    /// Serializes a dump as JSON lines: one `flight` meta line, then one
+    /// `flight.event` line per surviving event.
+    pub fn dump_jsonl(&self, out: &mut dyn Write, reason: &str) -> io::Result<()> {
+        let dump = self.dump();
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"t\":\"flight\",\"version\":1,\"reason\":");
+        json::push_str(&mut line, reason);
+        line.push_str(",\"total\":");
+        line.push_str(&dump.total.to_string());
+        line.push_str(",\"dropped\":");
+        line.push_str(&dump.dropped.to_string());
+        line.push_str(",\"events\":");
+        line.push_str(&dump.events.len().to_string());
+        line.push_str("}\n");
+        out.write_all(line.as_bytes())?;
+        for ev in &dump.events {
+            line.clear();
+            line.push_str("{\"t\":\"flight.event\",\"seq\":");
+            line.push_str(&ev.seq.to_string());
+            line.push_str(",\"t_ns\":");
+            line.push_str(&ev.t_ns.to_string());
+            line.push_str(",\"kind\":");
+            json::push_str(&mut line, kind_str(ev.kind));
+            line.push_str(",\"code\":");
+            line.push_str(&ev.code.to_string());
+            line.push_str(",\"a\":");
+            line.push_str(&ev.a.to_string());
+            line.push_str(",\"b\":");
+            line.push_str(&ev.b.to_string());
+            line.push_str("}\n");
+            out.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a hash of a string — the stable digest [`crate::diag`] attaches to
+/// flight events so a postmortem can correlate diagnostics without storing
+/// the text in the ring.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in s.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+static GLOBAL_FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// Ring capacity of the process-global flight recorder.
+pub const GLOBAL_FLIGHT_CAPACITY: usize = 1024;
+
+/// The process-global flight recorder (wall-clock, 1024 events).
+pub fn flight() -> &'static FlightRecorder {
+    GLOBAL_FLIGHT.get_or_init(|| FlightRecorder::new(GLOBAL_FLIGHT_CAPACITY))
+}
+
+static POSTMORTEM_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Sets (or clears) the file postmortem dumps append to.
+pub fn set_postmortem_path(path: Option<&Path>) {
+    *POSTMORTEM_PATH.lock().expect("postmortem path poisoned") = path.map(Path::to_path_buf);
+}
+
+/// Appends a postmortem dump of the global ring to the configured path.
+/// A no-op (returning `false`) when no path is set; dump errors are
+/// swallowed — a postmortem must never take the process down with it.
+pub fn postmortem(reason: &str) -> bool {
+    let path = POSTMORTEM_PATH
+        .lock()
+        .expect("postmortem path poisoned")
+        .clone();
+    let Some(path) = path else {
+        return false;
+    };
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return false;
+    };
+    flight().dump_jsonl(&mut file, reason).is_ok()
+}
+
+static PANIC_HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+/// Chains a panic hook that appends a `"panic"` postmortem dump before the
+/// default hook runs. Installing twice is a no-op.
+pub fn install_panic_hook() {
+    PANIC_HOOK_INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            postmortem("panic");
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_last_n_events() {
+        let ring = FlightRecorder::deterministic(4);
+        for i in 0..10u64 {
+            ring.record(KIND_FRAME, i as u16, i, i * 2);
+        }
+        let dump = ring.dump();
+        assert_eq!(dump.total, 10);
+        assert_eq!(dump.dropped, 6);
+        let seqs: Vec<u64> = dump.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(dump.events[0].code, 6);
+        assert_eq!(dump.events[3].a, 9);
+        assert_eq!(dump.events[3].b, 18);
+    }
+
+    #[test]
+    fn deterministic_ring_has_zero_timestamps() {
+        let ring = FlightRecorder::deterministic(8);
+        ring.record(KIND_CONN, 0, 1, 0);
+        assert_eq!(ring.dump().events[0].t_ns, 0);
+    }
+
+    #[test]
+    fn same_sequence_dumps_bit_identically() {
+        let run = || {
+            let ring = FlightRecorder::deterministic(8);
+            for i in 0..20u64 {
+                ring.record((i % 6) as u8, (i * 3) as u16, i, i ^ 0xff);
+            }
+            ring.dump()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dump_is_torn_free_under_concurrent_writers() {
+        let ring = FlightRecorder::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        // Writer invariant: b == a * 2 in every event.
+                        ring.record(KIND_FRAME, t as u16, i, i * 2);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                for ev in ring.dump().events {
+                    assert_eq!(ev.b, ev.a * 2, "torn event read: {ev:?}");
+                }
+            }
+        });
+        let dump = ring.dump();
+        assert_eq!(dump.total, 8000);
+        assert_eq!(dump.events.len(), 64, "quiesced ring dumps full window");
+    }
+
+    #[test]
+    fn jsonl_dump_shape() {
+        let ring = FlightRecorder::deterministic(4);
+        ring.record(KIND_ERROR, 7, 42, 99);
+        let mut out = Vec::new();
+        ring.dump_jsonl(&mut out, "test").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"t\":\"flight\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"reason\":\"test\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"kind\":\"error\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"code\":7"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_eq!(fnv1a("reactor"), fnv1a("reactor"));
+    }
+}

@@ -40,13 +40,16 @@
 
 mod json;
 mod metrics;
+mod snapshot;
 mod span;
 mod summary;
 
 pub mod diag;
+pub mod flight;
 pub mod jsonread;
 
 pub use metrics::{CallsiteId, HistogramSnapshot, MetricKind, MetricSnapshot, MetricValue, Value};
+pub use snapshot::{render_metrics_table, MetricsSnapshot, METRICS_SNAPSHOT_VERSION};
 pub use span::{EventRecord, SpanGuard, SpanRecord, SpanTotal};
 pub use summary::{summarize_jsonl, StageTotal, TraceSummary};
 

@@ -146,9 +146,16 @@ struct Shard {
 }
 
 /// Lock-free histogram cell.
+///
+/// There is deliberately no separate observation counter: the count is
+/// always derived from the bucket sum, so a snapshot taken while other
+/// threads record can never observe `count != Σ buckets` (the torn view a
+/// free-running counter permits). The bucket increment is the *commit
+/// point* of an observation — it is ordered last with `Release`, so a
+/// snapshot that sees the bucket (an `Acquire` load) also sees the
+/// matching `sum`/`min`/`max` updates.
 struct Hist {
     buckets: Box<[AtomicU64; HIST_BUCKETS]>,
-    count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -158,7 +165,6 @@ impl Hist {
     fn new() -> Self {
         Hist {
             buckets: atomic_array(),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
@@ -166,18 +172,18 @@ impl Hist {
     }
 
     fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        // Commit point: publish the observation (and, transitively, the
+        // stat updates above) to concurrent snapshots.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
     }
 
     fn reset(&self) {
         for b in self.buckets.iter() {
             b.store(0, Ordering::Relaxed);
         }
-        self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
@@ -259,7 +265,17 @@ impl MetricStore {
 
 impl Hist {
     fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
+        // Acquire pairs with the Release bucket increment in `record`:
+        // every observation whose bucket we see has already published its
+        // sum/min/max contribution. Counting the buckets (instead of a
+        // second free-running counter) makes `count == Σ buckets` hold by
+        // construction even mid-recording.
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Acquire))
+            .collect();
+        let count: u64 = buckets.iter().sum();
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
@@ -269,11 +285,7 @@ impl Hist {
                 self.min.load(Ordering::Relaxed)
             },
             max: self.max.load(Ordering::Relaxed),
-            buckets: self
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            buckets,
         }
     }
 }
@@ -332,7 +344,7 @@ impl HistogramSnapshot {
 
 /// The value range `[lo, hi)` bucket `i` covers; the tail bucket is capped
 /// at the observed maximum.
-fn bucket_range(i: usize, observed_max: u64) -> (u64, u64) {
+pub(crate) fn bucket_range(i: usize, observed_max: u64) -> (u64, u64) {
     match i {
         0 => (0, 1),
         _ if i >= HIST_BUCKETS - 1 => (

@@ -96,7 +96,8 @@ impl Recorder {
                     line.push_str(&h.max.to_string());
                     line.push_str(",\"mean\":");
                     json::push_f64(&mut line, h.mean());
-                    for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0)] {
+                    for (label, p) in [("p50", 50.0), ("p90", 90.0), ("p99", 99.0), ("p999", 99.9)]
+                    {
                         line.push_str(",\"");
                         line.push_str(label);
                         line.push_str("\":");
@@ -140,11 +141,12 @@ impl Recorder {
                 MetricValue::GaugeF64(v) => format!("{v:.6}"),
                 MetricValue::Histogram(h) if h.count == 0 => continue,
                 MetricValue::Histogram(h) => format!(
-                    "n={} mean={:.1} p50={:.0} p99={:.0} max={}",
+                    "n={} mean={:.1} p50={:.0} p99={:.0} p999={:.0} max={}",
                     h.count,
                     h.mean(),
                     h.percentile(50.0),
                     h.percentile(99.0),
+                    h.percentile(99.9),
                     h.max
                 ),
             };
@@ -318,7 +320,7 @@ fn skip_line(summary: &mut TraceSummary, lineno: usize, reason: &str) {
 }
 
 /// Nanoseconds as a human-scaled duration.
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {

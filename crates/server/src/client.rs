@@ -409,9 +409,7 @@ impl PipelinedClient {
                             while in_flight.front().is_some_and(|&(id, _)| id <= acked) {
                                 if let Some((id, at)) = in_flight.pop_front() {
                                     if id == acked {
-                                        stats
-                                            .frame_rtt_us
-                                            .push(at.elapsed().as_secs_f64() * 1e6);
+                                        stats.frame_rtt_us.push(at.elapsed().as_secs_f64() * 1e6);
                                     }
                                 }
                             }
@@ -434,7 +432,7 @@ impl PipelinedClient {
                             f.kind
                         )))
                     }
-                    Ok(None) => true,     // server closed the connection
+                    Ok(None) => true, // server closed the connection
                     Err(WireError::Io(_)) => true,
                     Err(e) => return Err(e),
                 }

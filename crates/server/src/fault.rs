@@ -168,8 +168,7 @@ impl FaultSchedule {
                 }
                 Some(("suppress", v)) => {
                     for i in v.split(',').filter(|s| !s.is_empty()) {
-                        suppressed
-                            .insert(i.parse().map_err(|e| format!("bad index {i:?}: {e}"))?);
+                        suppressed.insert(i.parse().map_err(|e| format!("bad index {i:?}: {e}"))?);
                     }
                 }
                 _ => return Err(format!("unrecognised token part {part:?}")),

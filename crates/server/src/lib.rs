@@ -25,9 +25,9 @@
 
 pub mod client;
 pub mod fault;
+pub mod loadgen;
 #[cfg(all(test, feature = "model"))]
 mod model_tests;
-pub mod loadgen;
 pub mod queue;
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 mod reactor;
@@ -36,6 +36,7 @@ mod session;
 pub mod signal;
 pub mod simharness;
 pub mod snapshot;
+mod stat;
 pub mod transport;
 pub mod wire;
 

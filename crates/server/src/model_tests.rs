@@ -9,6 +9,7 @@
 
 use std::time::Duration;
 
+use felip_sync::atomic::{AtomicU64, Ordering};
 use felip_sync::model::{self, Config};
 use felip_sync::{thread, Arc, Mutex};
 
@@ -124,7 +125,11 @@ fn model_racing_sessions_accept_exactly_once() {
     let reports = two_reports(&plan);
     let plan_hash = plan.schema_hash();
     let stats = model::check(move || {
-        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let ctx = Arc::new(SessionCtx::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            vec![],
+        ));
         let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
         let stats = Arc::new(AtomicStats::default());
         let spawn_conn = |_| {
@@ -133,8 +138,7 @@ fn model_racing_sessions_accept_exactly_once() {
             thread::spawn(move || {
                 let mut session = Session::new();
                 session.on_frame(hello_frame(plan_hash, 9), &ctx, &q, &stats);
-                let out =
-                    session.on_frame(batch_frame(plan_hash, 1, &reports), &ctx, &q, &stats);
+                let out = session.on_frame(batch_frame(plan_hash, 1, &reports), &ctx, &q, &stats);
                 u32::from(out.accepted.is_some())
             })
         };
@@ -165,7 +169,11 @@ fn model_consistent_cut_counts_match_cursors() {
     let plan_hash = plan.schema_hash();
     let per_batch = reports.len() as u64;
     let stats = model::check(move || {
-        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let ctx = Arc::new(SessionCtx::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            vec![],
+        ));
         let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
         let stats = Arc::new(AtomicStats::default());
         let base = Mutex::new(Aggregator::with_oracles(
@@ -243,7 +251,11 @@ fn model_mutation_pre_review_ordering_is_caught() {
     let (plan, oracles) = tiny_plan();
     let reports = two_reports(&plan);
     let scenario = move || {
-        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let ctx = Arc::new(SessionCtx::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            vec![],
+        ));
         let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
         let race = |_| {
             let (ctx, q) = (Arc::clone(&ctx), Arc::clone(&q));
@@ -287,7 +299,11 @@ fn model_mutation_needs_preemptions() {
     let (plan, oracles) = tiny_plan();
     let reports = two_reports(&plan);
     let scenario = move || {
-        let ctx = Arc::new(SessionCtx::new(Arc::clone(&plan), Arc::clone(&oracles), vec![]));
+        let ctx = Arc::new(SessionCtx::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            vec![],
+        ));
         let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
         let race = |_| {
             let (ctx, q) = (Arc::clone(&ctx), Arc::clone(&q));
@@ -308,4 +324,198 @@ fn model_mutation_needs_preemptions() {
     };
     model::check_with(cfg, scenario)
         .expect("without preemptions each task runs to completion and the race hides");
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder ring: the seqlock write/dump race (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// A slot of the model ring — same field layout as
+/// `felip_obs::flight::FlightRecorder`, minus the timestamp.
+struct ModelSlot {
+    stamp: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// A miniature mirror of the flight recorder's seqlock protocol, built on
+/// the `felip-sync` modelled atomics so every interleaving of a writer's
+/// `record` against a concurrent `dump` is explored. The payload of event
+/// `seq` is the pure function `(3·seq+1, 3·seq+2)`, so a torn read — one
+/// field from one generation, the other from an overwriting generation —
+/// is detectable by inspection of the dumped triple.
+struct ModelRing {
+    head: AtomicU64,
+    slots: Vec<ModelSlot>,
+}
+
+impl ModelRing {
+    fn new(cap: usize) -> ModelRing {
+        ModelRing {
+            head: AtomicU64::new(0),
+            slots: (0..cap)
+                .map(|_| ModelSlot {
+                    stamp: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Writer side, verbatim from `FlightRecorder::record`: claim a
+    /// sequence, CAS the slot's stamp from its quiescent even generation
+    /// to this generation's odd in-progress mark (dropping the event if
+    /// the slot is busy or a newer generation already landed), publish
+    /// the fields, commit (even stamp `2·seq+2`). The CAS claim is what
+    /// keeps per-slot stamps monotonic; the checker caught the tear a
+    /// blind `store` allows (an old writer's commit landing between a new
+    /// writer's stamp and field stores), which is why the production
+    /// recorder uses it.
+    fn record(&self) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let claimed = 2 * seq + 1;
+        let cur = slot.stamp.load(Ordering::SeqCst);
+        if cur % 2 == 1
+            || cur > claimed
+            || slot
+                .stamp
+                .compare_exchange(cur, claimed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+        {
+            return;
+        }
+        slot.a.store(3 * seq + 1, Ordering::Relaxed);
+        slot.b.store(3 * seq + 2, Ordering::Relaxed);
+        slot.stamp.store(2 * seq + 2, Ordering::SeqCst);
+    }
+
+    /// Reader side, verbatim from `FlightRecorder::dump`: for each live
+    /// sequence, accept the slot only if the stamp reads as committed for
+    /// that exact generation both before *and* after the field loads.
+    fn dump(&self) -> Vec<(u64, u64, u64)> {
+        let head = self.head.load(Ordering::SeqCst);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::new();
+        for seq in start..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            let committed = 2 * seq + 2;
+            if slot.stamp.load(Ordering::SeqCst) != committed {
+                continue;
+            }
+            let a = slot.a.load(Ordering::SeqCst);
+            let b = slot.b.load(Ordering::SeqCst);
+            if slot.stamp.load(Ordering::SeqCst) != committed {
+                continue;
+            }
+            events.push((seq, a, b));
+        }
+        events
+    }
+
+    /// The dump above with the seqlock's *second* stamp check removed —
+    /// the mutation the checker must catch (see the mutation test below).
+    fn dump_without_recheck(&self) -> Vec<(u64, u64, u64)> {
+        let head = self.head.load(Ordering::SeqCst);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::new();
+        for seq in start..head {
+            let slot = &self.slots[(seq % cap) as usize];
+            if slot.stamp.load(Ordering::SeqCst) != 2 * seq + 2 {
+                continue;
+            }
+            let a = slot.a.load(Ordering::SeqCst);
+            let b = slot.b.load(Ordering::SeqCst);
+            events.push((seq, a, b));
+        }
+        events
+    }
+}
+
+fn assert_untorn(events: &[(u64, u64, u64)], when: &str) {
+    for &(seq, a, b) in events {
+        assert!(
+            a == 3 * seq + 1 && b == 3 * seq + 2,
+            "{when}: torn event seq {seq}: ({a}, {b})"
+        );
+    }
+}
+
+/// Two writers racing a capacity-1 ring (so generation 1 overwrites
+/// generation 0's slot) against a concurrent dump: in every interleaving
+/// the dump yields only untorn events — each accepted triple belongs
+/// entirely to one generation. After the writers quiesce a final dump
+/// still never tears, and always reports `head == 2` recorded events.
+#[test]
+fn model_flight_ring_dump_is_never_torn() {
+    let stats = model::check(|| {
+        let ring = Arc::new(ModelRing::new(1));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.record())
+            })
+            .collect();
+        let reader = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.dump())
+        };
+        let mid_race = reader.join().expect("reader task");
+        assert_untorn(&mid_race, "concurrent dump");
+        for w in writers {
+            w.join().expect("writer task");
+        }
+        assert_eq!(ring.head.load(Ordering::SeqCst), 2, "both claims recorded");
+        let settled = ring.dump();
+        assert_untorn(&settled, "settled dump");
+        // A quiesced capacity-1 ring exposes at most the newest event; it
+        // may expose none when the older writer's in-flight overwrite was
+        // the last store to land (the stamp then names a stale generation
+        // and the slot is correctly skipped, counted as dropped).
+        assert!(settled.len() <= 1, "capacity-1 ring dumped {settled:?}");
+    })
+    .expect("seqlock dump must never yield a torn event on any schedule");
+    assert!(stats.schedules > 1, "exploration degenerated: {stats:?}");
+}
+
+/// Mutation test: drop the second stamp check and the checker must find
+/// the torn read — a writer wrapping the ring overwrites the fields
+/// between the reader's (single) stamp check and its field loads. This is
+/// the schedule that makes the double-check load-bearing; if the model
+/// scheduler stopped exploring it, this test fails before a regression in
+/// the real `felip_obs::flight` reader could slip past.
+#[test]
+fn model_mutation_flight_ring_single_check_is_caught() {
+    let scenario = || {
+        let ring = Arc::new(ModelRing::new(1));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                ring.record();
+                ring.record();
+            })
+        };
+        let reader = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || ring.dump_without_recheck())
+        };
+        let events = reader.join().expect("reader task");
+        assert_untorn(&events, "single-check dump");
+        writer.join().expect("writer task");
+    };
+    let violation = model::check(scenario)
+        .expect_err("the checker must detect the torn read behind a single stamp check");
+    assert!(
+        violation.message.contains("torn event"),
+        "unexpected violation: {violation}"
+    );
+    let replayed = model::replay(&violation.schedule, scenario)
+        .expect_err("replaying the violating schedule must reproduce the tear");
+    assert!(
+        replayed.message.contains("torn event"),
+        "replay diverged: {replayed}"
+    );
 }

@@ -279,7 +279,17 @@ struct Conn {
     want_write: bool,
     /// Close once `wbuf` drains (a fatal reply is in flight).
     close_after_flush: Option<WireError>,
+    /// The wire version the peer stamped on its latest frame; replies are
+    /// encoded at this version so down-level (v2) peers keep parsing us.
+    peer_version: u8,
 }
+
+/// Flight-event codes for [`felip_obs::flight::KIND_CONN`] records.
+const CONN_OPEN: u16 = 0;
+/// Clean close (EOF, reap, shutdown).
+const CONN_CLOSE_CLEAN: u16 = 1;
+/// Close after a protocol/transport error.
+const CONN_CLOSE_ERROR: u16 = 2;
 
 /// Why a connection ended (mirrors the thread-per-connection paths).
 enum Closed {
@@ -338,11 +348,7 @@ pub(crate) fn run_reactor<F: Fn() -> bool>(
                     &mut next_worker,
                     stats,
                 )?;
-                felip_obs::counter!(
-                    "server.stage.accept",
-                    t0.elapsed().as_nanos() as u64,
-                    "ns"
-                );
+                felip_obs::hist!("server.stage.accept", t0.elapsed().as_nanos() as u64, "ns");
                 continue;
             }
             let idx = token as usize;
@@ -396,14 +402,15 @@ fn accept_ready(
                     // The peer is already gone; nothing to clean up.
                     continue;
                 }
-                let queue = match queues.get(*next_worker % queues.len().max(1)) {
+                let worker = *next_worker % queues.len().max(1);
+                let queue = match queues.get(worker) {
                     Some(q) => Arc::clone(q),
                     None => continue,
                 };
                 *next_worker += 1;
                 let conn = Conn {
                     stream,
-                    session: Session::new(),
+                    session: Session::for_worker(worker),
                     queue,
                     rbuf: Vec::new(),
                     wbuf: Vec::new(),
@@ -412,6 +419,7 @@ fn accept_ready(
                     partial_since: None,
                     want_write: false,
                     close_after_flush: None,
+                    peer_version: crate::wire::VERSION,
                 };
                 let idx = match free.pop() {
                     Some(i) => i,
@@ -424,12 +432,22 @@ fn accept_ready(
                 if let Some(slot) = conns.get_mut(idx) {
                     *slot = Some(conn);
                 }
-                if epoll.ctl(EPOLL_CTL_ADD, fd, CONN_INTEREST, idx as u64).is_err() {
+                if epoll
+                    .ctl(EPOLL_CTL_ADD, fd, CONN_INTEREST, idx as u64)
+                    .is_err()
+                {
                     // Registration failed (fd limit pressure); drop it.
                     if let Some(slot) = conns.get_mut(idx) {
                         *slot = None;
                     }
                     free.push(idx);
+                } else {
+                    felip_obs::flight::flight().record(
+                        felip_obs::flight::KIND_CONN,
+                        CONN_OPEN,
+                        idx as u64,
+                        0,
+                    );
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
@@ -520,46 +538,86 @@ fn on_readable(
     }
 
     // Decode every complete frame in place; payloads borrow from rbuf.
+    // Each stage records one histogram observation *per frame* (not the
+    // old per-wakeup ns-sum counters), so the exported quantiles describe
+    // real per-frame latency. The socket-read time is charged to the
+    // first frame's decode observation (`carry`); a wakeup that decodes
+    // nothing records no stage observations.
     let mut consumed = 0usize;
     let mut fatal: Option<WireError> = None;
-    let mut decode_ns = 0u64;
-    let mut ingest_ns = 0u64;
-    let mut ack_ns = 0u64;
     let mut t_prev = Instant::now();
-    decode_ns += (t_prev - t_read).as_nanos() as u64;
+    let mut carry = (t_prev - t_read).as_nanos() as u64;
     loop {
         match FrameView::decode_prefix(&conn.rbuf[consumed..]) {
             Ok(Some((view, used))) => {
                 let t_decoded = Instant::now();
-                decode_ns += (t_decoded - t_prev).as_nanos() as u64;
+                felip_obs::hist!(
+                    "server.stage.decode",
+                    carry + (t_decoded - t_prev).as_nanos() as u64,
+                    "ns"
+                );
+                carry = 0;
+                let frame_kind = view.kind as u16;
+                let frame_len = view.payload.len() as u64;
+                conn.peer_version = view.version;
                 let outcome = conn.session.on_frame_view(view, ctx, &conn.queue, stats);
                 consumed += used;
                 let t_ingested = Instant::now();
-                ingest_ns += (t_ingested - t_decoded).as_nanos() as u64;
-                outcome.reply.encode_into(&mut conn.wbuf);
+                felip_obs::hist!(
+                    "server.stage.ingest",
+                    (t_ingested - t_decoded).as_nanos() as u64,
+                    "ns"
+                );
+                felip_obs::flight::flight().record(
+                    felip_obs::flight::KIND_FRAME,
+                    frame_kind,
+                    conn.session.client_id().unwrap_or(0),
+                    frame_len,
+                );
+                // Replies are stamped with the peer's own version so a
+                // v2 client keeps decoding a v3 server.
+                crate::wire::append_frame_versioned(
+                    &mut conn.wbuf,
+                    conn.peer_version,
+                    outcome.reply.kind,
+                    outcome.reply.plan_hash,
+                    &outcome.reply.payload,
+                );
                 t_prev = Instant::now();
-                ack_ns += (t_prev - t_ingested).as_nanos() as u64;
+                felip_obs::hist!(
+                    "server.stage.ack",
+                    (t_prev - t_ingested).as_nanos() as u64,
+                    "ns"
+                );
                 if let Some(e) = outcome.close {
                     fatal = Some(e);
                     break;
                 }
             }
-            Ok(None) => {
-                decode_ns += t_prev.elapsed().as_nanos() as u64;
-                break;
-            }
+            Ok(None) => break,
             Err(e) => {
                 // Garbled framing: answer with an error (best effort)
                 // and drop the connection, like the threaded path.
                 stats.bump_rejected();
-                Frame::error(ctx.plan_hash, &e.to_string()).encode_into(&mut conn.wbuf);
+                felip_obs::flight::flight().record(
+                    felip_obs::flight::KIND_ERROR,
+                    0,
+                    felip_obs::flight::fnv1a(&e.to_string()),
+                    0,
+                );
+                let reply = Frame::error(ctx.plan_hash, &e.to_string());
+                crate::wire::append_frame_versioned(
+                    &mut conn.wbuf,
+                    conn.peer_version,
+                    reply.kind,
+                    reply.plan_hash,
+                    &reply.payload,
+                );
                 fatal = Some(e);
                 break;
             }
         }
     }
-    felip_obs::counter!("server.stage.decode", decode_ns, "ns");
-    felip_obs::counter!("server.stage.ingest", ingest_ns, "ns");
 
     // Drop consumed bytes; whatever remains is one partial frame whose
     // stall clock starts at the first wakeup that saw it.
@@ -579,7 +637,6 @@ fn on_readable(
     }
 
     let t_flush = Instant::now();
-    felip_obs::counter!("server.stage.ack", ack_ns, "ns");
     let result = match flush(conn) {
         Ok(true) => match fatal {
             Some(e) => Some(Closed::Error(e)),
@@ -618,7 +675,11 @@ fn on_readable(
         }
         Err(e) => Some(Closed::Error(WireError::Io(e))),
     };
-    felip_obs::counter!("server.stage.ack", t_flush.elapsed().as_nanos() as u64, "ns");
+    felip_obs::hist!(
+        "server.stage.flush",
+        t_flush.elapsed().as_nanos() as u64,
+        "ns"
+    );
     result
 }
 
@@ -667,7 +728,14 @@ fn sweep_deadlines(
                 "read deadline exceeded mid-frame",
             ));
             stats.bump_rejected();
-            Frame::error(ctx.plan_hash, &e.to_string()).encode_into(&mut conn.wbuf);
+            let reply = Frame::error(ctx.plan_hash, &e.to_string());
+            crate::wire::append_frame_versioned(
+                &mut conn.wbuf,
+                conn.peer_version,
+                reply.kind,
+                reply.plan_hash,
+                &reply.payload,
+            );
             let _ = flush(conn);
             Some(Closed::Error(e))
         } else if now.duration_since(conn.last_byte) >= config.idle_timeout {
@@ -689,8 +757,25 @@ fn sweep_deadlines(
 /// Final accounting for a closing connection (parity with how the
 /// threaded accept loop logs `handle_conn` results).
 fn finish(closed: Closed) {
-    if let Closed::Error(e) = closed {
-        felip_obs::counter!("server.conn.errors", 1, "connections");
-        felip_obs::diag::line(&format!("connection closed: {e}"));
+    match closed {
+        Closed::Error(e) => {
+            felip_obs::counter!("server.conn.errors", 1, "connections");
+            let msg = format!("connection closed: {e}");
+            felip_obs::flight::flight().record(
+                felip_obs::flight::KIND_CONN,
+                CONN_CLOSE_ERROR,
+                felip_obs::flight::fnv1a(&msg),
+                0,
+            );
+            felip_obs::diag::line(&msg);
+        }
+        Closed::Clean => {
+            felip_obs::flight::flight().record(
+                felip_obs::flight::KIND_CONN,
+                CONN_CLOSE_CLEAN,
+                0,
+                0,
+            );
+        }
     }
 }

@@ -10,10 +10,11 @@
 //! merge independent of how batches interleaved, which is why a served run
 //! reproduces an offline collection bit for bit.
 
-use std::io;
-use std::net::{SocketAddr, TcpListener};
+use std::fs::OpenOptions;
+use std::io::{self, Write};
 #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
 use std::net::TcpStream;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -56,6 +57,12 @@ pub struct ServerConfig {
     /// How long a connection may sit with no traffic before the idle
     /// reaper closes it (frees handler threads from abandoned peers).
     pub idle_timeout: Duration,
+    /// Where the periodic metrics rollup appends delta snapshots as a
+    /// JSONL time-series; `None` disables the rollup thread.
+    pub metrics_out: Option<PathBuf>,
+    /// Cadence of the metrics rollup (only read when `metrics_out` is
+    /// set).
+    pub metrics_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -70,7 +77,32 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(30),
+            metrics_out: None,
+            metrics_every: Duration::from_secs(1),
         }
+    }
+}
+
+/// Publishes one worker queue's depth under its per-worker gauge name.
+///
+/// Workers 0–7 get their own gauge; deeper pools share an overflow gauge
+/// (`wx`). Per-worker names fix the last-write-wins race the old single
+/// `server.queue.depth` gauge had: with every shard racing one cell, the
+/// exported value was whichever worker wrote last, hiding imbalance. The
+/// summary/STAT renderer derives the pool-wide sum and max from the
+/// labelled gauges (names stay literal here so the metric-registry lint
+/// can cross-check them against the DESIGN.md catalogue).
+pub(crate) fn queue_depth_gauge(worker: usize, depth: usize) {
+    match worker {
+        0 => felip_obs::gauge!("server.queue.depth.w0", depth, "batches"),
+        1 => felip_obs::gauge!("server.queue.depth.w1", depth, "batches"),
+        2 => felip_obs::gauge!("server.queue.depth.w2", depth, "batches"),
+        3 => felip_obs::gauge!("server.queue.depth.w3", depth, "batches"),
+        4 => felip_obs::gauge!("server.queue.depth.w4", depth, "batches"),
+        5 => felip_obs::gauge!("server.queue.depth.w5", depth, "batches"),
+        6 => felip_obs::gauge!("server.queue.depth.w6", depth, "batches"),
+        7 => felip_obs::gauge!("server.queue.depth.w7", depth, "batches"),
+        _ => felip_obs::gauge!("server.queue.depth.wx", depth, "batches"),
     }
 }
 
@@ -310,27 +342,27 @@ impl Server {
                     #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
                     crate::reactor::pin_worker(w);
                     loop {
-                    match queue.pop_timeout(Duration::from_millis(50)) {
-                        PopResult::Item(batch) => {
-                            felip_obs::gauge!("server.queue.depth", queue.len(), "batches");
-                            {
-                                let mut agg = shard.lock();
-                                // Batches were validated at the connection
-                                // edge, so ingest failures are server bugs;
-                                // count and drop rather than crash the
-                                // worker.
-                                if let Err(e) = agg.ingest_batch(&batch) {
-                                    felip_obs::counter!("server.ingest.errors", 1, "batches");
-                                    felip_obs::diag::error(&format!("worker {w}: {e}"));
+                        match queue.pop_timeout(Duration::from_millis(50)) {
+                            PopResult::Item(batch) => {
+                                queue_depth_gauge(w, queue.len());
+                                {
+                                    let mut agg = shard.lock();
+                                    // Batches were validated at the connection
+                                    // edge, so ingest failures are server bugs;
+                                    // count and drop rather than crash the
+                                    // worker.
+                                    if let Err(e) = agg.ingest_batch(&batch) {
+                                        felip_obs::counter!("server.ingest.errors", 1, "batches");
+                                        felip_obs::diag::error(&format!("worker {w}: {e}"));
+                                    }
                                 }
+                                // Only after the batch is in the shard: the
+                                // snapshot cut waits on this mark.
+                                queue.task_done();
                             }
-                            // Only after the batch is in the shard: the
-                            // snapshot cut waits on this mark.
-                            queue.task_done();
+                            PopResult::Empty => continue,
+                            PopResult::Done => break,
                         }
-                        PopResult::Empty => continue,
-                        PopResult::Done => break,
-                    }
                     }
                 });
             }
@@ -359,20 +391,85 @@ impl Server {
                         last = Instant::now();
                         let (merged, dedup) =
                             consistent_cut(ctx, &plan, &oracles, base, shards, queues);
+                        let reports = merged.reports_ingested() as u64;
                         let snap = Snapshot::capture_with_dedup(&merged, plan_hash, dedup);
                         match snap.write_verified(&path, None) {
                             Ok(()) => {
                                 stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+                                felip_obs::flight::flight().record(
+                                    felip_obs::flight::KIND_SNAPSHOT,
+                                    0,
+                                    reports,
+                                    0,
+                                );
                             }
                             Err(e) => {
                                 // The torn write was quarantined and the
                                 // last good snapshot kept; next tick tries
                                 // again.
                                 stats.snapshots_quarantined.fetch_add(1, Ordering::Relaxed);
+                                felip_obs::flight::flight().record(
+                                    felip_obs::flight::KIND_SNAPSHOT,
+                                    1,
+                                    reports,
+                                    0,
+                                );
                                 felip_obs::diag::warn(&format!(
                                     "periodic snapshot quarantined: {e}"
                                 ));
+                                // Quarantine is a degraded-mode event worth
+                                // a postmortem window (no-op unless a dump
+                                // path is configured).
+                                felip_obs::flight::postmortem("snapshot-quarantine");
                             }
+                        }
+                    }
+                });
+            }
+
+            // Periodic metrics rollup: append one timestamped delta
+            // snapshot per tick to the `--metrics-out` JSONL time-series
+            // (first line is the full snapshot that arms the baseline; a
+            // final line is flushed on shutdown so the series covers the
+            // whole run).
+            if let Some(path) = self.config.metrics_out.clone() {
+                let every = self.config.metrics_every;
+                let stop = &stop_snapshots;
+                scope.spawn(move || {
+                    let mut out = match OpenOptions::new().create(true).append(true).open(&path) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            felip_obs::diag::warn(&format!(
+                                "metrics rollup disabled ({}): {e}",
+                                path.display()
+                            ));
+                            return;
+                        }
+                    };
+                    let mut prev: Option<felip_obs::MetricsSnapshot> = None;
+                    let mut last = Instant::now();
+                    loop {
+                        let stopping = stop.load(Ordering::SeqCst);
+                        if !stopping {
+                            thread::sleep(Duration::from_millis(25));
+                            if last.elapsed() < every {
+                                continue;
+                            }
+                        }
+                        last = Instant::now();
+                        let cur = felip_obs::global().metrics_snapshot();
+                        let line = match prev.as_ref() {
+                            Some(p) => cur.delta_since(p).to_json(),
+                            None => cur.to_json(),
+                        };
+                        prev = Some(cur);
+                        if let Err(e) = writeln!(out, "{line}") {
+                            felip_obs::diag::warn(&format!("metrics rollup stopped: {e}"));
+                            return;
+                        }
+                        felip_obs::counter!("server.metrics.rollups", 1, "snapshots");
+                        if stopping {
+                            return;
                         }
                     }
                 });
@@ -405,14 +502,16 @@ impl Server {
                         Ok((stream, _peer)) => {
                             felip_obs::counter!("server.accept", 1, "connections");
                             stats.bump_connection();
-                            let queue = Arc::clone(&queues[next_worker % workers]);
+                            let worker = next_worker % workers;
+                            let queue = Arc::clone(&queues[worker]);
                             next_worker += 1;
                             let ctx = &ctx;
                             let stats = &stats;
                             let stop = &should_stop;
                             let config = &self.config;
                             conns.push(scope.spawn(move || {
-                                if let Err(e) = handle_conn(stream, ctx, queue, stats, stop, config)
+                                if let Err(e) =
+                                    handle_conn(stream, worker, ctx, queue, stats, stop, config)
                                 {
                                     // Peer went away or spoke garbage; the
                                     // connection is already torn down.
@@ -453,7 +552,17 @@ impl Server {
             Snapshot::capture_with_dedup(&aggregator, self.plan_hash, ctx.dedup_pairs())
                 .write_verified(path, None)?;
             stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            felip_obs::flight::flight().record(
+                felip_obs::flight::KIND_SNAPSHOT,
+                0,
+                aggregator.reports_ingested() as u64,
+                0,
+            );
         }
+        // Graceful end of a run (shutdown flag or SIGTERM): dump the
+        // flight window so operators can see the last protocol events of
+        // the run. No-op unless a postmortem path was configured.
+        felip_obs::flight::postmortem("shutdown");
         let final_stats = stats.snapshot();
         run_span.field("reports", aggregator.reports_ingested());
         Ok(ServerRun {
@@ -520,6 +629,7 @@ fn merge_state(
 #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
 fn handle_conn<F: Fn() -> bool>(
     stream: TcpStream,
+    worker: usize,
     ctx: &SessionCtx,
     queue: Arc<BoundedQueue<Vec<UserReport>>>,
     stats: &AtomicStats,
@@ -533,7 +643,7 @@ fn handle_conn<F: Fn() -> bool>(
         config.write_timeout,
         config.idle_timeout,
     )?;
-    let mut session = Session::new();
+    let mut session = Session::for_worker(worker);
     loop {
         match transport.recv() {
             RecvOutcome::Frame(frame) => {

@@ -33,7 +33,7 @@ use felip::plan::CollectionPlan;
 use crate::queue::{BoundedQueue, PushError};
 use crate::server::AtomicStats;
 use crate::wire::{
-    decode_batch, decode_hello, encode_ack, encode_retry, Frame, FrameKind, WireError,
+    decode_batch, decode_hello, decode_stat, encode_ack, encode_retry, Frame, FrameKind, WireError,
 };
 
 /// Server-wide state shared by every session: the plan, the oracles used
@@ -104,16 +104,37 @@ pub(crate) struct FrameOutcome {
     pub close: Option<WireError>,
 }
 
-/// Per-connection protocol state: just the handshaken client id.
+/// Per-connection protocol state: the handshaken client id plus the index
+/// of the ingest worker this connection's accepted batches feed (used to
+/// label the per-worker queue-depth gauge).
 #[derive(Default)]
 pub(crate) struct Session {
     client_id: Option<u64>,
+    worker: usize,
 }
 
 impl Session {
-    /// A fresh, pre-handshake session.
+    /// A fresh, pre-handshake session feeding worker 0.
     pub fn new() -> Session {
         Session::default()
+    }
+
+    /// A fresh session pinned to ingest worker `worker`.
+    pub fn for_worker(worker: usize) -> Session {
+        Session {
+            client_id: None,
+            worker,
+        }
+    }
+
+    /// The handshaken client id (`None` before `Hello`) — the reactor
+    /// stamps it on flight-recorder events.
+    #[cfg_attr(
+        not(all(target_os = "linux", target_arch = "x86_64")),
+        allow(dead_code)
+    )]
+    pub fn client_id(&self) -> Option<u64> {
+        self.client_id
     }
 
     /// Processes one decoded frame and decides the reply.
@@ -145,6 +166,27 @@ impl Session {
                 close: Some(e),
             }
         };
+
+        // STAT is an admin verb: any connection — even pre-handshake, even
+        // a plan-agnostic operator tool that sends plan hash 0 — may ask
+        // for a metrics snapshot, so it is handled before plan pinning.
+        if frame.kind == FrameKind::Stat {
+            return match decode_stat(&frame.payload) {
+                Ok(mode) => {
+                    felip_obs::counter!("server.frame.stat", 1, "frames");
+                    FrameOutcome {
+                        reply: Frame {
+                            kind: FrameKind::StatReply,
+                            plan_hash: ctx.plan_hash,
+                            payload: crate::stat::stat_payload(mode),
+                        },
+                        accepted: None,
+                        close: None,
+                    }
+                }
+                Err(e) => reject(e),
+            };
+        }
 
         if frame.plan_hash != ctx.plan_hash {
             return reject(WireError::PlanMismatch {
@@ -229,7 +271,7 @@ impl Session {
                     Ok(depth) => {
                         dedup.insert(client_id, batch_id);
                         drop(dedup);
-                        felip_obs::gauge!("server.queue.depth", depth, "batches");
+                        crate::server::queue_depth_gauge(self.worker, depth);
                         felip_obs::counter!("server.frame.ok", 1, "frames");
                         felip_obs::counter!("server.frame.reports", count as usize, "reports");
                         stats.bump_accepted(count as u64);

@@ -19,8 +19,8 @@
 //!
 //! A failing seed reproduces from the CLI: `perf_smoke --chaos --seed N`.
 
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use felip_sync::Arc;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use felip::aggregator::{Aggregator, OracleSet};
 use felip::client::UserReport;
@@ -52,6 +52,12 @@ const DRAIN_TICK_NS: u64 = 2 * MS;
 /// Hard ceiling on processed events — a stuck run is a violation, not a
 /// hang.
 const MAX_EVENTS: u64 = 2_000_000;
+
+/// Capacity of the sim's deterministic flight ring — small enough that a
+/// chaos run wraps it (a standard chaos seed records ~100–300 trace
+/// events), so `verify`'s reconstruction check exercises the overwrite
+/// path, not just the fill path.
+const SIM_FLIGHT_CAPACITY: usize = 64;
 
 /// The in-memory transport the sim serves connections over: frames are
 /// delivered as encoded bytes (so in-flight corruption is byte-level, like
@@ -189,6 +195,12 @@ pub struct SimReport {
     /// `(draw index, kind)` of every frame fault that fired, in order —
     /// what [`minimize_failing_seed`] tries to switch off one by one.
     pub faults_fired: Vec<(u64, FaultKind)>,
+    /// Events recorded into the sim's deterministic flight ring.
+    pub flight_total: u64,
+    /// Order-sensitive digest of the flight ring's final dump; equal
+    /// across runs of the same seed (the postmortem-determinism
+    /// assertion).
+    pub flight_digest: u64,
 }
 
 impl SimReport {
@@ -215,6 +227,8 @@ impl SimReport {
             violations: vec![why],
             fault_token: format!("seed={seed}"),
             faults_fired: Vec::new(),
+            flight_total: 0,
+            flight_digest: 0,
         }
     }
 }
@@ -315,6 +329,13 @@ struct Sim {
     quarantined: u64,
     kills: u32,
     violations: Vec<String>,
+    /// Sim-local deterministic flight ring: every [`Sim::trace`] call is
+    /// teed into it, mirroring how the production server tees protocol
+    /// events into the global ring.
+    flight: felip_obs::flight::FlightRecorder,
+    /// Unbounded shadow of every event fed to `flight`, in order — the
+    /// ground truth `verify` reconstructs the ring window against.
+    flight_shadow: Vec<felip_obs::flight::FlightEvent>,
 }
 
 /// Runs one simulated ingestion under `cfg` and checks every invariant.
@@ -454,6 +475,8 @@ fn run_sim_inner(cfg: &SimConfig, suppressed: HashSet<u64>) -> SimReport {
         quarantined: 0,
         kills: 0,
         violations: Vec::new(),
+        flight: felip_obs::flight::FlightRecorder::deterministic(SIM_FLIGHT_CAPACITY),
+        flight_shadow: Vec::new(),
         cfg: cfg.clone(),
     };
     sim.run()
@@ -471,6 +494,19 @@ impl Sim {
         self.trace_hash = mix64(self.trace_hash ^ tag);
         self.trace_hash = mix64(self.trace_hash ^ a);
         self.trace_hash = mix64(self.trace_hash ^ b);
+        // Tee into the deterministic flight ring (and the unbounded
+        // shadow that `verify` checks the ring's dump against).
+        let code = tag as u16;
+        self.flight
+            .record(felip_obs::flight::KIND_FRAME, code, a, b);
+        self.flight_shadow.push(felip_obs::flight::FlightEvent {
+            seq: self.flight_shadow.len() as u64,
+            t_ns: 0,
+            kind: felip_obs::flight::KIND_FRAME,
+            code,
+            a,
+            b,
+        });
     }
 
     fn latency(&mut self) -> u64 {
@@ -936,6 +972,15 @@ impl Sim {
         let violations = self.verify();
         self.violations.extend(violations);
 
+        let dump = self.flight.dump();
+        let mut flight_digest = 0xf11d_cafe_0000_0001u64;
+        for e in &dump.events {
+            flight_digest = mix64(flight_digest ^ e.seq);
+            flight_digest = mix64(flight_digest ^ (e.kind as u64 | ((e.code as u64) << 8)));
+            flight_digest = mix64(flight_digest ^ e.a);
+            flight_digest = mix64(flight_digest ^ e.b);
+        }
+
         SimReport {
             seed: self.cfg.seed,
             events: self.events,
@@ -951,6 +996,8 @@ impl Sim {
             violations: self.violations,
             fault_token: self.schedule.token(),
             faults_fired: self.schedule.fired().to_vec(),
+            flight_total: dump.total,
+            flight_digest,
         }
     }
 
@@ -1036,6 +1083,30 @@ impl Sim {
         }
         if offline.group_sizes() != self.agg.group_sizes() {
             v.push("group sizes differ from offline collection of acked batches".into());
+        }
+
+        // (5) Flight recorder: a quiesced ring's dump must reconstruct the
+        // last `capacity` recorded events bit-identically (same seq, kind,
+        // code and payload words as the shadow log), with the overwritten
+        // prefix accounted for in `dropped`.
+        let dump = self.flight.dump();
+        let recorded = self.flight_shadow.len();
+        let window = recorded.min(self.flight.capacity());
+        if dump.total != recorded as u64 {
+            v.push(format!(
+                "flight ring counted {} events but {recorded} were recorded",
+                dump.total
+            ));
+        }
+        if dump.dropped != (recorded - window) as u64 {
+            v.push(format!(
+                "flight ring dropped {} events, expected {}",
+                dump.dropped,
+                recorded - window
+            ));
+        }
+        if dump.events != self.flight_shadow[recorded - window..] {
+            v.push("flight ring dump does not reconstruct the last events bit-identically".into());
         }
 
         v

@@ -28,10 +28,10 @@
 //! `.quarantine` beside the destination) instead of replacing the last
 //! good snapshot with garbage.
 
+use felip_sync::Arc;
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::Path;
-use felip_sync::Arc;
 
 use felip::aggregator::{Aggregator, OracleSet};
 use felip::plan::CollectionPlan;

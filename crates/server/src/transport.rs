@@ -181,8 +181,8 @@ impl<F: Fn() -> bool> Transport for TcpTransport<'_, F> {
 mod tests {
     use super::*;
     use crate::wire::FrameKind;
-    use std::net::TcpListener;
     use felip_sync::thread;
+    use std::net::TcpListener;
 
     fn pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();

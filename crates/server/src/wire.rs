@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        "FELP", little-endian u32
-//!      4     1  version      protocol version (currently 1)
+//!      4     1  version      protocol version (currently 3)
 //!      5     1  kind         frame kind discriminant
 //!      6     2  reserved     must be zero
 //!      8     4  payload_len  payload byte count, ≤ MAX_PAYLOAD
@@ -36,6 +36,14 @@
 //! that re-sends after a lost `Ack` cannot double-count its reports, and a
 //! client that receives a stale reply can discard it — the
 //! exactly-once-or-rejected invariant the chaos harness asserts.
+//!
+//! Version 3 adds the **STAT admin plane**: a `Stat` request (one `mode`
+//! byte: full snapshot, delta rollup, or flight-recorder dump) answered by
+//! a `StatReply` whose payload is the metrics JSON / flight JSONL. The
+//! change is backward compatible: decoders accept versions 2 and 3
+//! ([`MIN_VERSION`]), a v2 peer simply never sends the new kinds, and the
+//! server echoes each connection's negotiated version in its replies
+//! ([`append_frame_versioned`]) so old clients keep parsing them.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -46,9 +54,14 @@ use felip_fo::Report;
 /// Frame magic: the bytes `FELP` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FELP");
 
-/// Current protocol version (2: idempotent batches — client ids, batch ids,
-/// id-echoing acks).
-pub const VERSION: u8 = 2;
+/// Current protocol version (3: the STAT admin plane — `Stat`/`StatReply`
+/// frames for live metrics snapshots and flight-recorder dumps).
+pub const VERSION: u8 = 3;
+
+/// Oldest protocol version decoders still accept. Version 2 frames differ
+/// from version 3 only in lacking the admin kinds, so they parse
+/// unchanged; anything older predates idempotent batches and is rejected.
+pub const MIN_VERSION: u8 = 2;
 
 /// Fixed header size in bytes (everything before the payload).
 pub const HEADER_LEN: usize = 20;
@@ -204,6 +217,13 @@ pub enum FrameKind {
     Retry = 3,
     /// Either direction: protocol error; payload is a UTF-8 message.
     Error = 4,
+    /// Client → server (v3): request live telemetry; payload is one
+    /// [`StatMode`] byte. Exempt from plan-hash validation — an operator
+    /// polling a server need not know its collection plan.
+    Stat = 5,
+    /// Server → client (v3): the telemetry answer; payload is metrics
+    /// JSON (full/delta modes) or flight-recorder JSONL (flight mode).
+    StatReply = 6,
 }
 
 impl FrameKind {
@@ -214,9 +234,49 @@ impl FrameKind {
             2 => Ok(FrameKind::Ack),
             3 => Ok(FrameKind::Retry),
             4 => Ok(FrameKind::Error),
+            5 => Ok(FrameKind::Stat),
+            6 => Ok(FrameKind::StatReply),
             other => Err(WireError::BadKind(other)),
         }
     }
+}
+
+/// What a `Stat` frame asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatMode {
+    /// A full snapshot of every registered metric.
+    Full = 0,
+    /// The delta since the previous delta-mode request on this server.
+    Delta = 1,
+    /// A flight-recorder dump (JSONL) of recent protocol events.
+    Flight = 2,
+}
+
+impl StatMode {
+    /// Parses the mode discriminant.
+    pub fn from_u8(v: u8) -> Result<StatMode, WireError> {
+        match v {
+            0 => Ok(StatMode::Full),
+            1 => Ok(StatMode::Delta),
+            2 => Ok(StatMode::Flight),
+            other => Err(WireError::Malformed(format!("unknown stat mode {other}"))),
+        }
+    }
+}
+
+/// Serialises a `Stat` payload: the single mode byte.
+pub fn encode_stat(mode: StatMode) -> Vec<u8> {
+    vec![mode as u8]
+}
+
+/// Parses a `Stat` payload back into its mode.
+pub fn decode_stat(payload: &[u8]) -> Result<StatMode, WireError> {
+    let mut r = ByteReader::new(payload);
+    let mode = StatMode::from_u8(r.u8()?)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized stat payload".into()));
+    }
+    Ok(mode)
 }
 
 /// One decoded frame.
@@ -274,8 +334,8 @@ impl Frame {
                 need: HEADER_LEN + TRAILER_LEN,
             });
         }
-        let (head, payload_len) = parse_header(&buf[..HEADER_LEN])?;
-        let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+        let head = parse_header(&buf[..HEADER_LEN])?;
+        let total = HEADER_LEN + head.payload_len as usize + TRAILER_LEN;
         if buf.len() < total {
             return Err(WireError::Truncated {
                 have: buf.len(),
@@ -288,15 +348,15 @@ impl Frame {
                 buf.len() - total
             )));
         }
-        let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len as usize];
+        let payload = &buf[HEADER_LEN..HEADER_LEN + head.payload_len as usize];
         let expected = crc32(&buf[..total - TRAILER_LEN]);
         let actual = le_u32(&buf[total - TRAILER_LEN..total]);
         if expected != actual {
             return Err(WireError::BadCrc { expected, actual });
         }
         Ok(Frame {
-            kind: head.0,
-            plan_hash: head.1,
+            kind: head.kind,
+            plan_hash: head.plan_hash,
             payload: payload.to_vec(),
         })
     }
@@ -308,10 +368,26 @@ impl Frame {
 /// computed over the bytes just written, so header and payload are never
 /// assembled in a scratch buffer first.
 pub fn append_frame(out: &mut Vec<u8>, kind: FrameKind, plan_hash: u64, payload: &[u8]) {
+    append_frame_versioned(out, VERSION, kind, plan_hash, payload);
+}
+
+/// [`append_frame`] with an explicit version byte — the negotiation path:
+/// a server answering a v2 peer stamps v2 on its replies so the peer's
+/// decoder keeps accepting them. `version` must be in
+/// `[MIN_VERSION, VERSION]` (debug-asserted; release builds emit whatever
+/// they are told, which the peer's decoder will police).
+pub fn append_frame_versioned(
+    out: &mut Vec<u8>,
+    version: u8,
+    kind: FrameKind,
+    plan_hash: u64,
+    payload: &[u8],
+) {
+    debug_assert!((MIN_VERSION..=VERSION).contains(&version));
     let start = out.len();
     out.reserve(HEADER_LEN + payload.len() + TRAILER_LEN);
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(VERSION);
+    out.push(version);
     out.push(kind as u8);
     out.extend_from_slice(&0u16.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -327,6 +403,9 @@ pub fn append_frame(out: &mut Vec<u8>, kind: FrameKind, plan_hash: u64, payload:
 /// the payload never needs to outlive the wakeup that decoded it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameView<'a> {
+    /// The protocol version the sender stamped on the frame — what the
+    /// receiver echoes back so v2 peers keep parsing our replies.
+    pub version: u8,
     /// The frame kind.
     pub kind: FrameKind,
     /// The sender's plan schema hash.
@@ -347,8 +426,8 @@ impl<'a> FrameView<'a> {
         if buf.len() < HEADER_LEN {
             return Ok(None);
         }
-        let (head, payload_len) = parse_header(&buf[..HEADER_LEN])?;
-        let total = HEADER_LEN + payload_len as usize + TRAILER_LEN;
+        let head = parse_header(&buf[..HEADER_LEN])?;
+        let total = HEADER_LEN + head.payload_len as usize + TRAILER_LEN;
         if buf.len() < total {
             return Ok(None);
         }
@@ -359,9 +438,10 @@ impl<'a> FrameView<'a> {
         }
         Ok(Some((
             FrameView {
-                kind: head.0,
-                plan_hash: head.1,
-                payload: &buf[HEADER_LEN..HEADER_LEN + payload_len as usize],
+                version: head.version,
+                kind: head.kind,
+                plan_hash: head.plan_hash,
+                payload: &buf[HEADER_LEN..HEADER_LEN + head.payload_len as usize],
             },
             total,
         )))
@@ -378,9 +458,11 @@ impl<'a> FrameView<'a> {
 }
 
 impl Frame {
-    /// Borrows the frame as a [`FrameView`].
+    /// Borrows the frame as a [`FrameView`] (stamped with the current
+    /// [`VERSION`] — owned frames do not track their wire version).
     pub fn view(&self) -> FrameView<'_> {
         FrameView {
+            version: VERSION,
             kind: self.kind,
             plan_hash: self.plan_hash,
             payload: &self.payload,
@@ -388,15 +470,26 @@ impl Frame {
     }
 }
 
-/// Parses a fixed-size header; returns `((kind, plan_hash), payload_len)`.
-fn parse_header(h: &[u8]) -> Result<((FrameKind, u64), u32), WireError> {
+/// A parsed fixed-size frame header.
+struct ParsedHeader {
+    version: u8,
+    kind: FrameKind,
+    plan_hash: u64,
+    payload_len: u32,
+}
+
+/// Parses a fixed-size header. Accepts any version in
+/// `[MIN_VERSION, VERSION]` — the CRC trailer covers the version byte, so
+/// a corrupted version still fails the checksum, and every accepted
+/// version shares this header layout.
+fn parse_header(h: &[u8]) -> Result<ParsedHeader, WireError> {
     debug_assert_eq!(h.len(), HEADER_LEN);
     let magic = le_u32(&h[0..4]);
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
     let version = h[4];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let kind = FrameKind::from_u8(h[5])?;
@@ -411,7 +504,12 @@ fn parse_header(h: &[u8]) -> Result<((FrameKind, u64), u32), WireError> {
         return Err(WireError::TooLarge(payload_len));
     }
     let plan_hash = le_u64(&h[12..20]);
-    Ok(((kind, plan_hash), payload_len))
+    Ok(ParsedHeader {
+        version,
+        kind,
+        plan_hash,
+        payload_len,
+    })
 }
 
 /// Writes one frame to `w` (a single buffered `write_all`).
@@ -441,10 +539,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    let (head, payload_len) = parse_header(&header)?;
-    let mut rest = vec![0u8; payload_len as usize + TRAILER_LEN];
+    let head = parse_header(&header)?;
+    let mut rest = vec![0u8; head.payload_len as usize + TRAILER_LEN];
     r.read_exact(&mut rest).map_err(WireError::Io)?;
-    let body_end = payload_len as usize;
+    let body_end = head.payload_len as usize;
     let mut crc = Crc32::new();
     crc.update(&header);
     crc.update(&rest[..body_end]);
@@ -455,8 +553,8 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
     }
     rest.truncate(body_end);
     Ok(Some(Frame {
-        kind: head.0,
-        plan_hash: head.1,
+        kind: head.kind,
+        plan_hash: head.plan_hash,
         payload: rest,
     }))
 }
@@ -753,12 +851,15 @@ mod tests {
     fn crc32_slice_by_16_agrees_with_bytewise_at_every_length() {
         // Exercise every remainder length through the 16-byte kernel
         // boundary against a reference byte-at-a-time implementation.
-        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(167) ^ 91) as u8).collect();
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(167) ^ 91) as u8)
+            .collect();
         for len in 0..data.len() {
             let bytes = &data[..len];
             let mut reference = 0xFFFF_FFFFu32;
             for &b in bytes {
-                reference = CRC_TABLES[0][((reference ^ b as u32) & 0xFF) as usize] ^ (reference >> 8);
+                reference =
+                    CRC_TABLES[0][((reference ^ b as u32) & 0xFF) as usize] ^ (reference >> 8);
             }
             assert_eq!(crc32(bytes), reference ^ 0xFFFF_FFFF, "length {len}");
         }
@@ -930,6 +1031,46 @@ mod tests {
         assert!(decode_hello(&[0; 4]).is_err());
         assert_eq!(decode_retry(&encode_retry(77)).unwrap(), 77);
         assert!(decode_retry(&[0; 12]).is_err());
+    }
+
+    #[test]
+    fn stat_round_trips() {
+        for mode in [StatMode::Full, StatMode::Delta, StatMode::Flight] {
+            assert_eq!(decode_stat(&encode_stat(mode)).unwrap(), mode);
+        }
+        assert!(decode_stat(&[]).is_err());
+        assert!(decode_stat(&[9]).is_err());
+        assert!(decode_stat(&[0, 0]).is_err());
+        assert!(matches!(FrameKind::from_u8(5), Ok(FrameKind::Stat)));
+        assert!(matches!(FrameKind::from_u8(6), Ok(FrameKind::StatReply)));
+    }
+
+    #[test]
+    fn version_2_frames_still_decode() {
+        let mut bytes = Vec::new();
+        append_frame_versioned(&mut bytes, 2, FrameKind::Hello, 7, &encode_hello(42));
+        let frame = Frame::decode(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Hello);
+        assert_eq!(decode_hello(&frame.payload).unwrap(), 42);
+        let (view, used) = FrameView::decode_prefix(&bytes).unwrap().unwrap();
+        assert_eq!(view.version, 2, "decoders surface the peer's version");
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn versions_outside_the_window_are_rejected() {
+        for v in [0u8, 1, VERSION + 1, 0xFF] {
+            let mut bytes = Frame::control(FrameKind::Hello, 0).encode();
+            bytes[4] = v;
+            // Recompute the CRC so only the version check can object.
+            let crc_at = bytes.len() - TRAILER_LEN;
+            let crc = crc32(&bytes[..crc_at]);
+            bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+            assert!(
+                matches!(Frame::decode(&bytes), Err(WireError::BadVersion(got)) if got == v),
+                "version {v} accepted"
+            );
+        }
     }
 
     #[test]

@@ -127,6 +127,28 @@ fn suppressing_every_fault_reduces_chaos_to_lossless_behaviour() {
 }
 
 #[test]
+fn flight_dump_reconstructs_the_last_events_bit_identically_per_seed() {
+    // The sim run itself asserts (via its verify pass) that the flight
+    // ring's dump equals the shadow log's tail event-for-event; here we
+    // additionally pin that the dump is a pure function of the seed, and
+    // that chaos runs actually wrap the ring (dropped prefix > 0).
+    for seed in [0u64, 11, 42] {
+        let a = run_sim(&SimConfig::chaos(seed));
+        let b = run_sim(&SimConfig::chaos(seed));
+        assert!(a.ok(), "seed {seed}: {:?}", a.violations);
+        assert_eq!(
+            a.flight_digest, b.flight_digest,
+            "seed {seed}: flight dump diverged across identical runs"
+        );
+        assert!(
+            a.flight_total > 64,
+            "seed {seed}: chaos run must wrap the 64-slot ring, recorded {}",
+            a.flight_total
+        );
+    }
+}
+
+#[test]
 fn minimizer_returns_none_for_passing_seeds() {
     assert!(minimize_failing_seed(&SimConfig::chaos(1)).is_none());
 }

@@ -38,9 +38,9 @@ pub use passthrough::{
 };
 
 #[cfg(feature = "model")]
-mod sched;
-#[cfg(feature = "model")]
 mod modeled;
+#[cfg(feature = "model")]
+mod sched;
 #[cfg(feature = "model")]
 pub use modeled::{
     atomic, thread, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,

@@ -70,10 +70,7 @@ impl<T: ?Sized> Mutex<T> {
                 // so the std lock below cannot contend with another model
                 // task; it protects only against misuse from non-model
                 // threads.
-                let g = self
-                    .inner
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
+                let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
                 MutexGuard {
                     g: Some(g),
                     modeled: Some(ModeledGuard { sched, me, obj }),
@@ -192,12 +189,7 @@ impl Condvar {
                 // free.
                 guard.g = None;
                 let timed_out = m.sched.cond_wait(m.me, cond, m.obj, timed);
-                guard.g = Some(
-                    guard
-                        .lock
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner),
-                );
+                guard.g = Some(guard.lock.lock().unwrap_or_else(PoisonError::into_inner));
                 guard.modeled = Some(m);
                 (guard, WaitTimeoutResult { timed_out })
             }
@@ -595,9 +587,7 @@ pub mod thread {
     }
 
     /// Spawns a new thread (a new schedulable task under the model).
-    pub fn spawn<T: Send + 'static>(
-        f: impl FnOnce() -> T + Send + 'static,
-    ) -> JoinHandle<T> {
+    pub fn spawn<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> JoinHandle<T> {
         match ctx() {
             Some((sched, _)) => {
                 let task = sched.register_task();
@@ -682,24 +672,24 @@ pub mod thread {
         ) -> ScopedJoinHandle<'env, T> {
             let result: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
             let slot = Arc::clone(&result);
-            let (task, body): (Option<TaskId>, Box<dyn FnOnce() + Send + 'env>) =
-                match &self.model {
-                    Some((sched, _)) => {
-                        let task = sched.register_task();
-                        let sched2 = Arc::clone(sched);
-                        (
-                            Some(task),
-                            Box::new(move || task_body(sched2, task, slot, f)),
-                        )
-                    }
-                    None => (
-                        None,
-                        Box::new(move || {
-                            let v = f();
-                            *lock_slot(&slot) = Some(v);
-                        }),
-                    ),
-                };
+            let (task, body): (Option<TaskId>, Box<dyn FnOnce() + Send + 'env>) = match &self.model
+            {
+                Some((sched, _)) => {
+                    let task = sched.register_task();
+                    let sched2 = Arc::clone(sched);
+                    (
+                        Some(task),
+                        Box::new(move || task_body(sched2, task, slot, f)),
+                    )
+                }
+                None => (
+                    None,
+                    Box::new(move || {
+                        let v = f();
+                        *lock_slot(&slot) = Some(v);
+                    }),
+                ),
+            };
             // SAFETY: the erased closure (and every borrow it carries,
             // all outliving 'env) only runs on a thread that `join_all`
             // OS-joins before `scope` returns — on the normal path and,
@@ -776,8 +766,7 @@ pub mod thread {
                 Some(v) => Ok(v),
                 // The thread stored no value yet was OS-joined by the
                 // scope guard after panicking; surface a unit-less error.
-                None => Err(Box::new("scoped thread produced no value")
-                    as Box<dyn Any + Send>),
+                None => Err(Box::new("scoped thread produced no value") as Box<dyn Any + Send>),
             }
         }
     }

@@ -110,11 +110,7 @@ impl Condvar {
     /// guard's mutex.
     #[inline(always)]
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        MutexGuard(
-            self.0
-                .wait(guard.0)
-                .unwrap_or_else(PoisonError::into_inner),
-        )
+        MutexGuard(self.0.wait(guard.0).unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Blocks until notified or `timeout` elapses.
@@ -219,9 +215,7 @@ impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
 /// Atomic types: straight re-exports of `std::sync::atomic` in the
 /// non-model build.
 pub mod atomic {
-    pub use std::sync::atomic::{
-        AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
-    };
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 }
 
 /// Thread primitives: straight re-exports of `std::thread` in the

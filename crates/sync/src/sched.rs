@@ -249,13 +249,18 @@ impl Scheduler {
     }
 
     pub(crate) fn alloc_obj(&self) -> usize {
-        let mut st = self.st.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut st = self
+            .st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         st.next_obj += 1;
         st.next_obj
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
-        self.st.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn fail(&self, st: &mut State, msg: String) {
@@ -578,7 +583,11 @@ impl Scheduler {
 
     /// Marks `me` finished, records a panic as a violation, wakes joiners,
     /// and hands the token onward.
-    pub(crate) fn finish_task(&self, me: TaskId, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+    pub(crate) fn finish_task(
+        &self,
+        me: TaskId,
+        panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    ) {
         let mut st = self.lock_state();
         if let Some(p) = panic_payload {
             if !p.is::<ModelAbort>() {
@@ -603,7 +612,6 @@ impl Scheduler {
             self.decide(&mut st, me);
         }
     }
-
 }
 
 /// Outcome of one schedule run.

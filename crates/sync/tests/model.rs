@@ -38,7 +38,11 @@ fn replay_reproduces_the_same_failure() {
     let v = model::check(racy_increment).expect_err("race exists");
     let again = model::replay(&v.schedule, racy_increment)
         .expect_err("replaying the failing schedule must fail again");
-    assert!(again.message.contains("lost update"), "got: {}", again.message);
+    assert!(
+        again.message.contains("lost update"),
+        "got: {}",
+        again.message
+    );
     // And a fresh exploration-free replay is deterministic: same token.
     assert_eq!(again.schedule, v.schedule);
 }
@@ -235,5 +239,9 @@ fn scoped_race_is_found() {
         assert_eq!(a.load(Ordering::SeqCst), 2, "scoped lost update");
     })
     .expect_err("scoped lost update must be found");
-    assert!(v.message.contains("scoped lost update"), "got: {}", v.message);
+    assert!(
+        v.message.contains("scoped lost update"),
+        "got: {}",
+        v.message
+    );
 }

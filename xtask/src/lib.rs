@@ -307,8 +307,7 @@ fn mark_test_regions(code: &[String]) -> (Vec<bool>, Vec<String>) {
     let mut i = 0;
     while i < n {
         let t = code[i].trim_start();
-        let gate =
-            t.starts_with("#[cfg(") && t.contains("test") && !t.contains("not(test");
+        let gate = t.starts_with("#[cfg(") && t.contains("test") && !t.contains("not(test");
         if !gate {
             i += 1;
             continue;
@@ -590,7 +589,11 @@ const GOLDEN: [(&str, &str, &str); 5] = [
         "pub const MAGIC",
         "u32::from_le_bytes(*b\"FELP\")",
     ),
-    ("crates/server/src/wire.rs", "pub const VERSION", ": u8 = 2;"),
+    (
+        "crates/server/src/wire.rs",
+        "pub const VERSION",
+        ": u8 = 3;",
+    ),
     (
         "crates/server/src/snapshot.rs",
         "pub const SNAPSHOT_MAGIC",
@@ -663,7 +666,11 @@ fn rule_metric_registry(root: &Path, diags: &mut Vec<Diagnostic>) {
     // nothing; its internal plumbing would false-positive `.span_child(`).
     let mut emitted: Vec<(String, PathBuf, usize)> = Vec::new();
     for src in crate_src_dirs(root) {
-        if src.parent().and_then(|p| p.file_name()).is_some_and(|n| n == "obs") {
+        if src
+            .parent()
+            .and_then(|p| p.file_name())
+            .is_some_and(|n| n == "obs")
+        {
             continue;
         }
         for (path, scan) in scan_crate_src(&src) {
@@ -910,10 +917,8 @@ mod tests {
 
     impl Fixture {
         fn new(tag: &str) -> Fixture {
-            let root = std::env::temp_dir().join(format!(
-                "xtask-lint-fixture-{tag}-{}",
-                std::process::id()
-            ));
+            let root = std::env::temp_dir()
+                .join(format!("xtask-lint-fixture-{tag}-{}", std::process::id()));
             let _ = fs::remove_dir_all(&root);
             fs::create_dir_all(&root).unwrap();
             Fixture { root }
@@ -938,7 +943,7 @@ mod tests {
         f.write(
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"FELP\");\n\
-             pub const VERSION: u8 = 2;\n",
+             pub const VERSION: u8 = 3;\n",
         );
         f.write(
             "crates/server/src/snapshot.rs",
@@ -1017,7 +1022,8 @@ mod tests {
             ("crates/fo/src/bad.rs:3", "no-panic"),
         ] {
             assert!(
-                msgs.iter().any(|m| m.contains(want.0) && m.contains(want.1)),
+                msgs.iter()
+                    .any(|m| m.contains(want.0) && m.contains(want.1)),
                 "missing {want:?} in {msgs:?}"
             );
         }
@@ -1072,7 +1078,7 @@ mod tests {
         f.write(
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"XXXX\");\n\
-             pub const VERSION: u8 = 3;\n",
+             pub const VERSION: u8 = 9;\n",
         );
         let diags = lint_root(&f.root);
         let golden: Vec<&Diagnostic> = diags
@@ -1134,9 +1140,7 @@ mod tests {
         f.write("crates/server/src/queue.rs", "pub fn q() {}\n");
         let diags = lint_root(&f.root);
         assert!(
-            diags
-                .iter()
-                .all(|d| !d.file.ends_with("model_tests.rs")),
+            diags.iter().all(|d| !d.file.ends_with("model_tests.rs")),
             "gated module file was linted: {diags:?}"
         );
     }
@@ -1171,7 +1175,10 @@ mod tests {
             "fn f() {\n    epoll_ctl();\n}\n",
         );
         let diags = lint_root(&f.root);
-        let hits: Vec<_> = diags.iter().filter(|d| d.rule == "reactor-syscalls").collect();
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "reactor-syscalls")
+            .collect();
         assert_eq!(hits.len(), 1, "{diags:?}");
         assert_eq!(hits[0].file, PathBuf::from("crates/bench/src/sneaky.rs"));
         assert_eq!(hits[0].line, 2);
