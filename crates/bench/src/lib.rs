@@ -24,6 +24,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod cluster;
 pub mod figures;
 pub mod perf;
 pub mod profile;

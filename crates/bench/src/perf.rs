@@ -49,6 +49,9 @@ pub struct PerfOptions {
     /// Run the deterministic chaos sweep instead of the kernel sweep
     /// (`--chaos`; see [`crate::chaos`]). `--seed N` reproduces one seed.
     pub chaos: Option<crate::chaos::ChaosOptions>,
+    /// Run the two-tier cluster load generator instead of the kernel
+    /// sweep (`--cluster-loadgen`; see [`crate::cluster`]).
+    pub cluster: Option<crate::cluster::ClusterLoadOptions>,
 }
 
 impl Default for PerfOptions {
@@ -65,6 +68,7 @@ impl Default for PerfOptions {
             repeats: 3,
             serve: None,
             chaos: None,
+            cluster: None,
         }
     }
 }
@@ -166,6 +170,35 @@ impl PerfOptions {
                     opts.chaos.get_or_insert_with(Default::default).out =
                         args.next().expect("--chaos-out requires a path");
                 }
+                "--cluster-loadgen" => {
+                    opts.cluster.get_or_insert_with(Default::default);
+                }
+                "--cluster-nodes" => {
+                    opts.cluster.get_or_insert_with(Default::default).nodes =
+                        parse(&mut args, "--cluster-nodes");
+                }
+                "--cluster-users" | "--cluster-reports" => {
+                    opts.cluster.get_or_insert_with(Default::default).users =
+                        parse(&mut args, "--cluster-users");
+                }
+                "--cluster-batch" => {
+                    opts.cluster.get_or_insert_with(Default::default).batch =
+                        parse(&mut args, "--cluster-batch");
+                }
+                "--cluster-delta-ms" => {
+                    opts.cluster
+                        .get_or_insert_with(Default::default)
+                        .delta_every =
+                        std::time::Duration::from_millis(parse(&mut args, "--cluster-delta-ms"));
+                }
+                "--cluster-seed" => {
+                    opts.cluster.get_or_insert_with(Default::default).seed =
+                        parse(&mut args, "--cluster-seed");
+                }
+                "--cluster-out" => {
+                    opts.cluster.get_or_insert_with(Default::default).out =
+                        args.next().expect("--cluster-out requires a path");
+                }
                 other => panic!(
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
                      [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
@@ -174,7 +207,10 @@ impl PerfOptions {
                      [--serve-reports N[,N..]] [--serve-batch N] \
                      [--serve-workers N[,N..]] [--serve-window N] \
                      [--serve-queue N] [--serve-seed N] [--serve-out PATH] \
-                     [--chaos] [--chaos-seeds N] [--seed N] [--chaos-out PATH]"
+                     [--chaos] [--chaos-seeds N] [--seed N] [--chaos-out PATH] \
+                     [--cluster-loadgen] [--cluster-nodes N] [--cluster-users N] \
+                     [--cluster-batch N] [--cluster-delta-ms N] \
+                     [--cluster-seed N] [--cluster-out PATH]"
                 ),
             }
         }
@@ -394,6 +430,13 @@ pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
     }
     if let Some(serve) = &opts.serve {
         crate::serve::serve_smoke(serve)?;
+        if opts.metrics {
+            println!("{}", felip_obs::global().summary_table());
+        }
+        return Ok(());
+    }
+    if let Some(cluster) = &opts.cluster {
+        crate::cluster::cluster_smoke(cluster)?;
         if opts.metrics {
             println!("{}", felip_obs::global().summary_table());
         }

@@ -18,7 +18,13 @@ USAGE:
                   [--snapshot-every-ms <ms>] [--resume <path>] [--plan-seed <seed>]
                   [--read-timeout-ms <ms>] [--idle-timeout-ms <ms>]
                   [--metrics-out <path>] [--metrics-every-ms <ms>] [--flight-out <path>]
-    felip stat    [--addr <host:port>] [--mode full|delta|flight]
+                  [--upstream <host:port>] [--node-id <id>] [--delta-every-ms <ms>]
+    felip aggregate --attrs <spec> --n <users> --epsilon <eps> [--addr <host:port>]
+                  [--snapshot <path>] [--state <path>] [--resume <path>]
+                  [--persist-every-ms <ms>] [--plan-seed <seed>]
+    felip estimate --attrs <spec> --n <users> --epsilon <eps> --snapshot <path>
+                  [--plan-seed <seed>] [--grid <index>]
+    felip stat    [--addr <host:port>]... [--mode full|delta|flight]
                   [--format table|json] [--watch <secs>]
     felip load    --attrs <spec> --n <users> --epsilon <eps> --users <count>
                   [--addr <host:port>] [--from <user>] [--connections <c>]
@@ -36,12 +42,26 @@ SERVE / LOAD / VERIFY:
     offline collection of that same stream. All three must be given the same
     --attrs/--n/--epsilon/--plan-seed so the plan hash matches.
 
+CLUSTER:
+    `serve --upstream <addr>` turns the server into an ingest node: each
+    periodic consistent cut is shipped upstream as an epoch-numbered count
+    delta (cadence --delta-every-ms, default 200). `--node-id` is the
+    node's stable cluster identity. `aggregate` runs the aggregator tier:
+    it merges node deltas into one cluster-wide count vector, persists the
+    per-node FCLU container (--state) and a plain merged FSNP snapshot
+    (--snapshot) that `felip estimate` and `felip verify` consume, and
+    resumes from a prior container via --resume. `estimate` restores a
+    (merged) snapshot and prints its frequency estimates.
+
 STAT:
     `stat` polls a running server's admin verb and renders its live metrics
     (counters, gauges, per-stage latency quantiles). `--mode delta` shows
     the change since the previous delta poll; `--mode flight` dumps the
     in-memory flight recorder (the last ~1k protocol events) as JSONL.
-    `--watch <secs>` re-polls at that cadence until interrupted. `serve`'s
+    Repeating --addr fans in over several nodes (ingest and aggregator
+    alike) and renders one table with a per-node column each plus a
+    cluster sum row per metric. `--watch <secs>` re-polls at that cadence
+    until interrupted. `serve`'s
     `--metrics-out <path>` appends one delta snapshot per second (tunable
     with --metrics-every-ms) as a JSONL time-series, and `--flight-out
     <path>` arms the postmortem dump written on panic, SIGTERM shutdown,
@@ -99,6 +119,16 @@ impl Flags {
             .rev()
             .find(|(k, _)| k == key)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeatable flag, in argv order (`felip stat
+    /// --addr a --addr b` fans in over both).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     /// A required, parsed flag.

@@ -24,6 +24,7 @@ use std::process::ExitCode;
 use felip_obs::diag;
 
 mod args;
+mod cluster_cmd;
 mod commands;
 mod serve_cmd;
 
@@ -96,6 +97,8 @@ fn main() -> ExitCode {
         "compare" => commands::compare(rest),
         "query" => commands::query(rest),
         "serve" => serve_cmd::serve(rest),
+        "aggregate" => cluster_cmd::aggregate(rest),
+        "estimate" => cluster_cmd::estimate(rest),
         "load" => serve_cmd::load(rest),
         "verify" => serve_cmd::verify(rest),
         "stat" => serve_cmd::stat(rest),

@@ -13,18 +13,21 @@ use std::time::Duration;
 
 use felip::plan::CollectionPlan;
 use felip::{FelipConfig, SelectivityPrior, Strategy};
+use felip_cluster::{StreamerConfig, UpstreamStreamer};
 use felip_common::rng::derive_seed;
 use felip_obs::diag;
 use felip_server::loadgen::{offline_reference, user_report};
 use felip_server::wire::{encode_stat, read_frame, write_frame, StatMode};
-use felip_server::{signal, Client, Frame, FrameKind, RetryPolicy, Server, ServerConfig, Snapshot};
+use felip_server::{
+    signal, Client, CutState, Frame, FrameKind, RetryPolicy, Server, ServerConfig, Snapshot,
+};
 
 use crate::args::{parse_schema, Flags};
 
 type CmdResult = std::result::Result<(), Box<dyn std::error::Error>>;
 
 /// Builds the shared collection plan from the common plan flags.
-fn plan_from_flags(
+pub(crate) fn plan_from_flags(
     flags: &Flags,
 ) -> std::result::Result<Arc<CollectionPlan>, Box<dyn std::error::Error>> {
     let schema = parse_schema(flags.require::<String>("attrs")?.as_str())?;
@@ -46,9 +49,23 @@ fn plan_from_flags(
 }
 
 /// `felip serve`: bind, ingest until SIGINT/SIGTERM, snapshot, exit 0.
+///
+/// With `--upstream <addr>` the server joins a cluster as an ingest node:
+/// every periodic consistent cut is shipped to the aggregator as an
+/// epoch-numbered count delta, and shutdown ends with a final flush of
+/// the fully merged state (DESIGN.md §16).
 pub fn serve(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
     let plan = plan_from_flags(&flags)?;
+    let streamer = match flags.get("upstream") {
+        Some(upstream) => Some(UpstreamStreamer::start(StreamerConfig {
+            upstream: upstream.to_string(),
+            node_id: flags.get_or("node-id", 1u64)?,
+            plan_hash: plan.schema_hash(),
+            ..StreamerConfig::default()
+        })),
+        None => None,
+    };
     let config = ServerConfig {
         addr: flags.get_or("addr", "127.0.0.1:4417".to_string())?,
         workers: flags.get_or("workers", 4)?,
@@ -63,6 +80,8 @@ pub fn serve(args: &[String]) -> CmdResult {
         idle_timeout: Duration::from_millis(flags.get_or("idle-timeout-ms", 30_000u64)?),
         metrics_out: flags.get("metrics-out").map(PathBuf::from),
         metrics_every: Duration::from_millis(flags.get_or("metrics-every-ms", 1_000u64)?.max(1)),
+        cut_hook: streamer.as_ref().map(|s| s.hook()),
+        cut_every: Duration::from_millis(flags.get_or("delta-every-ms", 200u64)?.max(1)),
         ..ServerConfig::default()
     };
 
@@ -87,6 +106,30 @@ pub fn serve(args: &[String]) -> CmdResult {
     ));
     let run = server.run(Some(shutdown))?;
 
+    // Cluster mode: flush the final merged state upstream so the
+    // aggregator's view of this node is complete before we exit.
+    let mut upstream_json = serde_json::Value::Null;
+    if let Some(streamer) = streamer {
+        let final_cut = CutState {
+            counts: run.aggregator.counts().to_vec(),
+            group_sizes: run.aggregator.group_sizes().to_vec(),
+            reports: run.aggregator.reports_ingested() as u64,
+        };
+        let (flushed, report) = match streamer.finish(final_cut, Duration::from_secs(30)) {
+            Ok(report) => (true, report),
+            Err(report) => (false, report),
+        };
+        if !flushed {
+            diag::error("felip serve: final delta flush did not reach the aggregator in time");
+        }
+        upstream_json = serde_json::json!({
+            "flushed": flushed,
+            "deltas_acked": report.deltas_acked,
+            "full_resyncs": report.full_resyncs,
+            "flushed_reports": report.flushed_reports,
+        });
+    }
+
     println!(
         "{}",
         serde_json::to_string_pretty(&serde_json::json!({
@@ -97,8 +140,15 @@ pub fn serve(args: &[String]) -> CmdResult {
             "frames_retried": run.stats.frames_retried,
             "frames_rejected": run.stats.frames_rejected,
             "snapshots_written": run.stats.snapshots_written,
+            "upstream": upstream_json,
         }))?
     );
+    if upstream_json
+        .get("flushed")
+        .is_some_and(|f| f == &serde_json::Value::Bool(false))
+    {
+        return Err("final delta flush incomplete".into());
+    }
     Ok(())
 }
 
@@ -257,7 +307,14 @@ pub fn verify(args: &[String]) -> CmdResult {
 /// schema.
 pub fn stat(args: &[String]) -> CmdResult {
     let flags = Flags::parse(args)?;
-    let addr: String = flags.get_or("addr", "127.0.0.1:4417".to_string())?;
+    let addrs: Vec<String> = {
+        let all = flags.get_all("addr");
+        if all.is_empty() {
+            vec!["127.0.0.1:4417".to_string()]
+        } else {
+            all.iter().map(|a| a.to_string()).collect()
+        }
+    };
     let mode = match flags.get_or("mode", "full".to_string())?.as_str() {
         "full" => StatMode::Full,
         "delta" => StatMode::Delta,
@@ -269,24 +326,157 @@ pub fn stat(args: &[String]) -> CmdResult {
         return Err(format!("unknown stat format `{format}` (table|json)").into());
     }
     let watch_secs: u64 = flags.get_or("watch", 0u64)?;
+    if addrs.len() > 1 && mode == StatMode::Flight {
+        return Err("--mode flight does not fan in; poll one --addr at a time".into());
+    }
 
     loop {
-        let payload = stat_once(&addr, mode)?;
-        let text = String::from_utf8(payload).map_err(|_| "server sent non-UTF-8 stat payload")?;
-        if mode == StatMode::Flight || format == "json" {
-            // Flight dumps are JSONL (multiple lines); pass them through
-            // untouched either way.
-            println!("{}", text.trim_end());
+        if addrs.len() == 1 {
+            let payload = stat_once(&addrs[0], mode)?;
+            let text =
+                String::from_utf8(payload).map_err(|_| "server sent non-UTF-8 stat payload")?;
+            if mode == StatMode::Flight || format == "json" {
+                // Flight dumps are JSONL (multiple lines); pass them
+                // through untouched either way.
+                println!("{}", text.trim_end());
+            } else {
+                let doc = felip_obs::jsonread::parse(&text)
+                    .map_err(|e| format!("server sent invalid metrics JSON: {e:?}"))?;
+                print!("{}", felip_obs::render_metrics_table(&doc)?);
+            }
         } else {
-            let doc = felip_obs::jsonread::parse(&text)
-                .map_err(|e| format!("server sent invalid metrics JSON: {e:?}"))?;
-            print!("{}", felip_obs::render_metrics_table(&doc)?);
+            // Fan-in: one poll per node, rendered as a single table with a
+            // per-node column each plus the cluster sum.
+            let mut texts = Vec::with_capacity(addrs.len());
+            for addr in &addrs {
+                let payload = stat_once(addr, mode)?;
+                texts.push(
+                    String::from_utf8(payload)
+                        .map_err(|_| format!("{addr} sent non-UTF-8 stat payload"))?,
+                );
+            }
+            if format == "json" {
+                // One JSONL line per node, the raw payload tagged with its
+                // origin — machine-readable fan-in.
+                for (addr, text) in addrs.iter().zip(&texts) {
+                    println!("{{\"addr\":{:?},\"stat\":{}}}", addr, text.trim_end());
+                }
+            } else {
+                let docs = texts
+                    .iter()
+                    .map(|t| {
+                        felip_obs::jsonread::parse(t)
+                            .map_err(|e| format!("server sent invalid metrics JSON: {e:?}"))
+                    })
+                    .collect::<std::result::Result<Vec<_>, _>>()?;
+                print!("{}", render_fanin_table(&addrs, &docs)?);
+            }
         }
         if watch_secs == 0 {
             return Ok(());
         }
         std::thread::sleep(Duration::from_secs(watch_secs));
     }
+}
+
+/// Extracts `(name, unit, value)` rows from one node's parsed metrics
+/// snapshot. Counters and gauges contribute their value; histograms
+/// contribute their sample count (renamed `<name>.count`) so latency
+/// metrics still sum meaningfully across nodes.
+fn fanin_rows(doc: &felip_obs::jsonread::JsonValue) -> Result<Vec<(String, String, f64)>, String> {
+    use felip_obs::jsonread::JsonValue;
+    if doc.get("t").and_then(|t| t.as_str()) != Some("metrics") {
+        return Err("not a metrics snapshot (missing t=\"metrics\")".into());
+    }
+    let Some(JsonValue::Array(metrics)) = doc.get("metrics") else {
+        return Err("metrics snapshot has no \"metrics\" array".into());
+    };
+    let mut rows = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let Some(name) = m.get("name").and_then(|n| n.as_str()) else {
+            continue;
+        };
+        let unit = m
+            .get("unit")
+            .and_then(|u| u.as_str())
+            .unwrap_or("")
+            .to_string();
+        match m.get("kind").and_then(|k| k.as_str()) {
+            Some("histogram") => {
+                let count = m.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                rows.push((format!("{name}.count"), "samples".to_string(), count));
+            }
+            _ => {
+                let value = m.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                rows.push((name.to_string(), unit, value));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the multi-node fan-in table: one column per `--addr`, one
+/// cluster sum column, one row per metric seen on any node (all-zero rows
+/// skipped, like the single-node table).
+fn render_fanin_table(
+    addrs: &[String],
+    docs: &[felip_obs::jsonread::JsonValue],
+) -> Result<String, String> {
+    let per_node: Vec<Vec<(String, String, f64)>> =
+        docs.iter().map(fanin_rows).collect::<Result<_, _>>()?;
+
+    // Row order: first-seen across nodes, so shared metrics line up and
+    // node-specific ones (ingest vs aggregator) append after.
+    let mut order: Vec<(String, String)> = Vec::new();
+    for rows in &per_node {
+        for (name, unit, _) in rows {
+            if !order.iter().any(|(n, _)| n == name) {
+                order.push((name.clone(), unit.clone()));
+            }
+        }
+    }
+
+    let value_of = |rows: &[(String, String, f64)], name: &str| -> f64 {
+        rows.iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, _, v)| v)
+            .unwrap_or(0.0)
+    };
+    let fmt = |v: f64| -> String {
+        if v == 0.0 {
+            "-".to_string()
+        } else if v.fract() == 0.0 && v.abs() < 9e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.3}")
+        }
+    };
+
+    let width = addrs.iter().map(|a| a.len()).max().unwrap_or(0).max(12);
+    let mut out = format!("cluster stat ({} nodes)\n", addrs.len());
+    out.push_str(&format!("  {:<44}", "metric"));
+    for addr in addrs {
+        out.push_str(&format!(" {addr:>width$}"));
+    }
+    out.push_str(&format!(" {:>width$}\n", "cluster"));
+    for (name, unit) in &order {
+        let values: Vec<f64> = per_node.iter().map(|rows| value_of(rows, name)).collect();
+        let sum: f64 = values.iter().sum();
+        if sum == 0.0 {
+            continue;
+        }
+        let label = if unit.is_empty() {
+            name.clone()
+        } else {
+            format!("{name} ({unit})")
+        };
+        out.push_str(&format!("  {label:<44}"));
+        for v in &values {
+            out.push_str(&format!(" {:>width$}", fmt(*v)));
+        }
+        out.push_str(&format!(" {:>width$}\n", fmt(sum)));
+    }
+    Ok(out)
 }
 
 /// One STAT round trip: connect, send the verb (plan hash 0 — STAT is
@@ -392,5 +582,65 @@ mod tests {
         ]));
         assert!(err.is_err());
         let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn fanin_table_sums_nodes_and_keeps_columns_aligned() {
+        let node_a = felip_obs::jsonread::parse(
+            r#"{"t":"metrics","kind":"full","taken_ns":1,"metrics":[
+                {"name":"server.reports.accepted","kind":"counter","unit":"reports","value":120},
+                {"name":"cluster.delta.sent","kind":"counter","unit":"deltas","value":4},
+                {"name":"ingest.batch","kind":"histogram","unit":"ns","count":7,"sum":700,
+                 "min":1,"max":100,"mean":100.0,"p50":90.0,"p90":99.0,"p99":100.0,"p999":100.0}
+            ]}"#,
+        )
+        .unwrap();
+        let node_b = felip_obs::jsonread::parse(
+            r#"{"t":"metrics","kind":"full","taken_ns":2,"metrics":[
+                {"name":"server.reports.accepted","kind":"counter","unit":"reports","value":80},
+                {"name":"cluster.delta.applied","kind":"counter","unit":"deltas","value":9},
+                {"name":"idle.gauge","kind":"gauge","unit":"conns","value":0}
+            ]}"#,
+        )
+        .unwrap();
+        let addrs = vec!["127.0.0.1:4417".to_string(), "127.0.0.1:4490".to_string()];
+        let table = render_fanin_table(&addrs, &[node_a, node_b]).unwrap();
+
+        // Header: one column per node plus the cluster sum.
+        assert!(table.contains("cluster stat (2 nodes)"), "{table}");
+        assert!(table.contains("127.0.0.1:4417"), "{table}");
+        assert!(table.contains("127.0.0.1:4490"), "{table}");
+
+        // Shared metric sums across nodes; node-specific rows show a dash
+        // for absent nodes; all-zero rows are dropped.
+        let accepted = table
+            .lines()
+            .find(|l| l.contains("server.reports.accepted"))
+            .unwrap();
+        assert!(accepted.contains("120"), "{accepted}");
+        assert!(accepted.contains("80"), "{accepted}");
+        assert!(accepted.contains("200"), "{accepted}");
+        let applied = table
+            .lines()
+            .find(|l| l.contains("cluster.delta.applied"))
+            .unwrap();
+        assert!(applied.contains('-'), "{applied}");
+        assert!(applied.contains('9'), "{applied}");
+        // Histograms fan in by sample count.
+        assert!(table.contains("ingest.batch.count"), "{table}");
+        assert!(!table.contains("idle.gauge"), "{table}");
+    }
+
+    #[test]
+    fn stat_rejects_flight_fan_in() {
+        let err = stat(&argv(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--addr",
+            "127.0.0.1:2",
+            "--mode",
+            "flight",
+        ]));
+        assert!(err.is_err());
     }
 }

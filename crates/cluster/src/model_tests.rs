@@ -1,0 +1,188 @@
+//! Model-checked concurrency tests for the cluster tier (DESIGN.md §14,
+//! §16): the `felip-sync` scheduler explores every interleaving (up to its
+//! preemption bound) of delta applies and merged-state captures, so the
+//! epoch-handoff and merge-vs-apply invariants hold by exhaustion.
+//!
+//! Compiled only under `--features model`; `cargo test -p felip-cluster
+//! --features model model_` runs just these.
+
+use felip_sync::model;
+use felip_sync::{thread, Arc};
+
+use felip::aggregator::OracleSet;
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+use felip_server::wire::{CountDelta, DeltaFlavor, DeltaStatus};
+
+use crate::state::ClusterState;
+
+/// A tiny but real plan shared by every schedule of a check (immutable, so
+/// building it once outside the explored closure keeps schedules cheap).
+fn tiny_plan() -> (Arc<CollectionPlan>, Arc<OracleSet>) {
+    let schema = Schema::new(vec![Attribute::numerical("a", 8)]).expect("static schema");
+    let plan = Arc::new(
+        CollectionPlan::build(&schema, 4, &FelipConfig::new(1.0), 5).expect("static plan"),
+    );
+    let oracles = Arc::new(OracleSet::build(&plan));
+    (plan, oracles)
+}
+
+/// A delta whose single grid carries `value` in cell 0 and one report.
+fn unit_delta(
+    plan: &Arc<CollectionPlan>,
+    node: u64,
+    epoch: u64,
+    flavor: DeltaFlavor,
+    value: u64,
+    reports: u64,
+) -> CountDelta {
+    let counts: Vec<Vec<u64>> = plan
+        .grids()
+        .iter()
+        .enumerate()
+        .map(|(g, grid)| {
+            let mut cells = vec![0u64; grid.num_cells() as usize];
+            if g == 0 && !cells.is_empty() {
+                cells[0] = value;
+            }
+            cells
+        })
+        .collect();
+    let mut group_sizes = vec![0u64; plan.num_groups()];
+    if let Some(first) = group_sizes.first_mut() {
+        *first = reports;
+    }
+    CountDelta {
+        node_id: node,
+        epoch,
+        flavor,
+        total: reports,
+        counts,
+        group_sizes,
+    }
+}
+
+/// Two connections racing the *same* node's next epoch (a reconnect racing
+/// a not-yet-dead predecessor) serialise on the cluster lock: exactly one
+/// apply wins, the other is a duplicate, and the counts reflect the winner
+/// exactly once — under every interleaving.
+#[test]
+fn model_racing_same_epoch_applies_exactly_once() {
+    let (plan, oracles) = tiny_plan();
+    let stats = model::check(|| {
+        let state = ClusterState::new(Arc::clone(&plan), Arc::clone(&oracles));
+        let d = unit_delta(&plan, 7, 1, DeltaFlavor::Incremental, 3, 1);
+        let (a, b) = thread::scope(|s| {
+            let ta = s.spawn(|| state.apply(&d).expect("valid delta").status);
+            let tb = s.spawn(|| state.apply(&d).expect("valid delta").status);
+            (ta.join().expect("join a"), tb.join().expect("join b"))
+        });
+        let statuses = [a, b];
+        assert_eq!(
+            statuses
+                .iter()
+                .filter(|s| **s == DeltaStatus::Applied)
+                .count(),
+            1,
+            "exactly one racer may apply epoch 1: {statuses:?}"
+        );
+        assert_eq!(
+            statuses
+                .iter()
+                .filter(|s| **s == DeltaStatus::Duplicate)
+                .count(),
+            1,
+            "the loser must be re-acked as a duplicate: {statuses:?}"
+        );
+        let merged = state.merged();
+        assert_eq!(merged.counts()[0][0], 3, "counts applied exactly once");
+        assert_eq!(state.last_epoch(7), 1);
+    })
+    .expect("no violation");
+    assert!(stats.schedules > 1, "the race must actually interleave");
+}
+
+/// A merged-state capture racing a delta apply never observes torn state:
+/// the merge sees either the whole delta or none of it, and the epoch
+/// cursor agrees with the counts it covers.
+#[test]
+fn model_merge_never_tears_an_apply() {
+    let (plan, oracles) = tiny_plan();
+    let stats = model::check(|| {
+        let state = ClusterState::new(Arc::clone(&plan), Arc::clone(&oracles));
+        state
+            .apply(&unit_delta(&plan, 1, 1, DeltaFlavor::Incremental, 5, 2))
+            .expect("seed delta");
+        let d2 = unit_delta(&plan, 1, 2, DeltaFlavor::Incremental, 4, 1);
+        thread::scope(|s| {
+            let applier = s.spawn(|| {
+                state.apply(&d2).expect("valid delta");
+            });
+            let observer = s.spawn(|| {
+                let merged = state.merged();
+                let epoch = state.last_epoch(1);
+                let cell = merged.counts()[0][0];
+                // Before the apply: 5 at epoch ≥ 1. After: 9 at epoch 2.
+                // Anything else is a torn read.
+                assert!(
+                    cell == 5 || cell == 9,
+                    "merge saw half an apply: cell {cell}"
+                );
+                if cell == 9 {
+                    // counts() includes d2, so the cursor must as well by
+                    // the time the apply finishes — but the observer reads
+                    // the epoch *after* the merge, so 9 implies epoch 2.
+                    assert_eq!(epoch, 2, "counts ahead of the epoch cursor");
+                }
+            });
+            applier.join().expect("join applier");
+            observer.join().expect("join observer");
+        });
+        let merged = state.merged();
+        assert_eq!(merged.counts()[0][0], 9);
+        assert_eq!(state.last_epoch(1), 2);
+    })
+    .expect("no violation");
+    assert!(stats.schedules > 1);
+}
+
+/// The epoch handoff across a full resync: a late incremental from the
+/// node's previous life racing the full replacement can never double-count
+/// — the full's higher epoch makes the stale incremental a duplicate, in
+/// every interleaving.
+#[test]
+fn model_full_resync_wins_over_stale_incremental() {
+    let (plan, oracles) = tiny_plan();
+    let stats = model::check(|| {
+        let state = ClusterState::new(Arc::clone(&plan), Arc::clone(&oracles));
+        state
+            .apply(&unit_delta(&plan, 3, 1, DeltaFlavor::Incremental, 2, 1))
+            .expect("seed delta");
+        // The node died after epoch 1 and rejoined with its cumulative
+        // truth at epoch 2 (full); a zombie connection re-sends epoch 2 as
+        // an incremental at the same time.
+        let full = unit_delta(&plan, 3, 2, DeltaFlavor::Full, 6, 3);
+        let stale = unit_delta(&plan, 3, 2, DeltaFlavor::Incremental, 4, 2);
+        thread::scope(|s| {
+            let tf = s.spawn(|| state.apply(&full).expect("valid full"));
+            let ts = s.spawn(|| state.apply(&stale).expect("valid stale"));
+            let rf = tf.join().expect("join full");
+            let rs = ts.join().expect("join stale");
+            let cell = state.merged().counts()[0][0];
+            match (rf.status, rs.status) {
+                // Full first: the stale resend is a duplicate of epoch 2.
+                (DeltaStatus::Applied, DeltaStatus::Duplicate) => {
+                    assert_eq!(cell, 6, "replacement state must stand alone")
+                }
+                // Stale incremental first (2+4=6), then the full replaces
+                // wholesale at the same value — still exactly 6.
+                (DeltaStatus::Duplicate, DeltaStatus::Applied) => assert_eq!(cell, 6),
+                other => panic!("impossible outcome pair {other:?}, cell {cell}"),
+            }
+            assert_eq!(state.last_epoch(3), 2);
+        });
+    })
+    .expect("no violation");
+    assert!(stats.schedules > 1);
+}

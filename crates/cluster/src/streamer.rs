@@ -1,0 +1,465 @@
+//! The ingest-node side of the cluster tier: a background thread that
+//! turns periodic [`CutState`]s into epoch-numbered `Delta` frames and
+//! ships them upstream with the same exactly-once-or-rejected discipline
+//! clients use for report batches (DESIGN.md §16).
+//!
+//! ## Coalescing
+//!
+//! Cut states are cumulative, so the streamer never needs a queue: the
+//! latest pending cut supersedes every older one. The cut hook just
+//! replaces a single slot; the worker thread drains it and derives the
+//! increment against the last *acked* cut. A slow upstream therefore
+//! costs larger (not more) deltas — backpressure by widening, never by
+//! blocking the ingest server's cut thread.
+//!
+//! ## Reconnect and the in-flight window
+//!
+//! At most one delta is in flight. If the connection dies between send and
+//! ack, the next handshake disambiguates: the aggregator's `Hello` ack
+//! echoes the node's last applied epoch, so the streamer learns whether
+//! the in-flight delta landed (commit it locally) or not (resend). Any
+//! epoch disagreement beyond that one-slot window — a resumed node, a
+//! fresh aggregator, a rejected gap — falls back to a full cumulative
+//! delta, whose replacement semantics re-converge the aggregator's view
+//! of this node in one frame.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use felip_sync::{thread, Arc, Condvar, Mutex};
+
+use felip_server::server::{CutHook, CutState};
+use felip_server::wire::{
+    decode_ack, decode_delta_ack, encode_hello, read_frame, write_frame, CountDelta, DeltaFlavor,
+    DeltaStatus, Frame, FrameKind, WireError,
+};
+
+/// How the streamer reaches its aggregator.
+#[derive(Debug, Clone)]
+pub struct StreamerConfig {
+    /// Aggregator address, e.g. `127.0.0.1:7900`.
+    pub upstream: String,
+    /// This ingest node's stable identity (the cluster-tier analogue of a
+    /// client id; survives restarts so the epoch cursor stays meaningful).
+    pub node_id: u64,
+    /// The collection plan's schema hash, stamped on every frame.
+    pub plan_hash: u64,
+    /// Socket read/write deadline per frame exchange.
+    pub io_timeout: Duration,
+    /// Backoff between reconnect attempts while the aggregator is away.
+    pub reconnect_delay: Duration,
+}
+
+impl Default for StreamerConfig {
+    fn default() -> Self {
+        StreamerConfig {
+            upstream: "127.0.0.1:7900".to_string(),
+            node_id: 1,
+            plan_hash: 0,
+            io_timeout: Duration::from_secs(5),
+            reconnect_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the worker thread reports back through [`UpstreamStreamer::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamerReport {
+    /// Deltas acked upstream (incremental + full).
+    pub deltas_acked: u64,
+    /// Full resyncs among them.
+    pub full_resyncs: u64,
+    /// Reports covered by the highest acked cut.
+    pub flushed_reports: u64,
+}
+
+/// Shared slot between the cut hook (producer) and the worker (consumer).
+struct Shared {
+    pending: Mutex<Pending>,
+    cv: Condvar,
+}
+
+struct Pending {
+    /// The newest cut not yet acked upstream (cumulative, so it replaces
+    /// any older pending cut).
+    latest: Option<CutState>,
+    /// Set by [`UpstreamStreamer::finish`]; the worker exits once the
+    /// pending slot is drained (or immediately if nothing is pending).
+    stop: bool,
+    /// Progress the worker publishes for `finish` to wait on.
+    report: StreamerReport,
+}
+
+/// The background delta shipper. Construct with [`UpstreamStreamer::start`],
+/// install [`UpstreamStreamer::hook`] as the serve run's cut hook, and call
+/// [`UpstreamStreamer::finish`] with the final merged state once the serve
+/// run returns.
+pub struct UpstreamStreamer {
+    shared: Arc<Shared>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl UpstreamStreamer {
+    /// Spawns the worker thread.
+    pub fn start(cfg: StreamerConfig) -> UpstreamStreamer {
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(Pending {
+                latest: None,
+                stop: false,
+                report: StreamerReport::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let handle = thread::spawn(move || Worker::new(cfg, worker_shared).run());
+        UpstreamStreamer {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// A [`CutHook`] that offers each periodic cut to the worker.
+    pub fn hook(&self) -> CutHook {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move |cut: CutState| {
+            let mut pending = shared.pending.lock();
+            pending.latest = Some(cut);
+            shared.cv.notify_all();
+        })
+    }
+
+    /// Offers one cut directly (what the hook does; public for the final
+    /// flush and for tests).
+    pub fn offer(&self, cut: CutState) {
+        let mut pending = self.shared.pending.lock();
+        pending.latest = Some(cut);
+        self.shared.cv.notify_all();
+    }
+
+    /// Offers `final_cut`, waits up to `deadline` for it to be acked
+    /// upstream, then stops and joins the worker. Returns the worker's
+    /// report; `Err` carries the report when the flush did not complete in
+    /// time (the aggregator stayed unreachable).
+    pub fn finish(
+        mut self,
+        final_cut: CutState,
+        deadline: Duration,
+    ) -> Result<StreamerReport, StreamerReport> {
+        let target = final_cut.reports;
+        self.offer(final_cut);
+        let start = Instant::now();
+        let flushed = {
+            let mut pending = self.shared.pending.lock();
+            loop {
+                if pending.report.flushed_reports >= target && pending.latest.is_none() {
+                    break true;
+                }
+                if start.elapsed() >= deadline {
+                    break false;
+                }
+                let (guard, _timeout) = self
+                    .shared
+                    .cv
+                    .wait_timeout(pending, Duration::from_millis(20));
+                pending = guard;
+            }
+        };
+        {
+            let mut pending = self.shared.pending.lock();
+            pending.stop = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let report = self.shared.pending.lock().report.clone();
+        if flushed {
+            Ok(report)
+        } else {
+            Err(report)
+        }
+    }
+
+    /// Stops the worker without waiting for pending cuts — the "node was
+    /// killed" path the chaos harness exercises.
+    pub fn abandon(mut self) {
+        {
+            let mut pending = self.shared.pending.lock();
+            pending.stop = true;
+            pending.latest = None;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Worker-local shipping state.
+struct Worker {
+    cfg: StreamerConfig,
+    shared: Arc<Shared>,
+    /// The last cut the aggregator acked (None = nothing acked yet; the
+    /// implicit zero cut).
+    acked: Option<CutState>,
+    /// The aggregator's last applied epoch for this node, as of the most
+    /// recent handshake or ack.
+    acked_epoch: u64,
+    /// Sent but unacked: `(epoch, cut)` — resolved at the next handshake.
+    inflight: Option<(u64, CutState)>,
+    /// The next delta must be a full cumulative replacement.
+    force_full: bool,
+    conn: Option<TcpStream>,
+}
+
+impl Worker {
+    fn new(cfg: StreamerConfig, shared: Arc<Shared>) -> Worker {
+        Worker {
+            cfg,
+            shared,
+            acked: None,
+            acked_epoch: 0,
+            inflight: None,
+            force_full: false,
+            conn: None,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            // Take the newest pending cut (coalesced), or exit on stop.
+            let cut = {
+                let mut pending = self.shared.pending.lock();
+                loop {
+                    if let Some(cut) = pending.latest.take() {
+                        break cut;
+                    }
+                    if pending.stop {
+                        return;
+                    }
+                    let (guard, _timeout) = self
+                        .shared
+                        .cv
+                        .wait_timeout(pending, Duration::from_millis(50));
+                    pending = guard;
+                }
+            };
+            // Nothing new since the last ack: skip the exchange entirely.
+            if self.acked.as_ref() == Some(&cut) {
+                self.publish(|_| {});
+                continue;
+            }
+            // Ship, retrying until acked or stopped. A newer pending cut
+            // does not abort the attempt — cumulative cuts mean the next
+            // loop iteration simply ships the newer one on top.
+            loop {
+                match self.ship(&cut) {
+                    Ok(full) => {
+                        let reports = cut.reports;
+                        self.publish(move |r| {
+                            r.deltas_acked += 1;
+                            if full {
+                                r.full_resyncs += 1;
+                            }
+                            r.flushed_reports = reports;
+                        });
+                        break;
+                    }
+                    Err(_e) => {
+                        self.conn = None;
+                        if self.shared.pending.lock().stop {
+                            return;
+                        }
+                        thread::sleep(self.cfg.reconnect_delay);
+                    }
+                }
+            }
+        }
+    }
+
+    fn publish(&self, f: impl FnOnce(&mut StreamerReport)) {
+        let mut pending = self.shared.pending.lock();
+        f(&mut pending.report);
+        self.shared.cv.notify_all();
+    }
+
+    /// One shipping attempt for `cut`; returns whether a full resync was
+    /// used. Any error leaves the connection torn down for a clean retry.
+    fn ship(&mut self, cut: &CutState) -> Result<bool, WireError> {
+        if self.conn.is_none() {
+            self.handshake()?;
+        }
+        let full = self.force_full || self.acked.is_none();
+        let delta = self.build_delta(cut, full)?;
+        let epoch = delta.epoch;
+        let frame = Frame {
+            kind: FrameKind::Delta,
+            plan_hash: self.cfg.plan_hash,
+            payload: felip_server::wire::encode_delta(&delta)?,
+        };
+        let stream = match self.conn.as_mut() {
+            Some(s) => s,
+            // Unreachable (handshake just set it); treated as a retryable
+            // transport error rather than a panic.
+            None => return Err(WireError::Io(std::io::ErrorKind::NotConnected.into())),
+        };
+        write_frame(stream, &frame)?;
+        self.inflight = Some((epoch, cut.clone()));
+        felip_obs::counter!("cluster.delta.sent", 1, "deltas");
+        let reply = match read_frame(stream)? {
+            Some(reply) => reply,
+            None => return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        };
+        match reply.kind {
+            FrameKind::DeltaAck => {
+                let (ack_epoch, last_applied, status) = decode_delta_ack(&reply.payload)?;
+                if ack_epoch != epoch {
+                    return Err(WireError::Malformed(format!(
+                        "delta ack for epoch {ack_epoch}, expected {epoch}"
+                    )));
+                }
+                self.inflight = None;
+                match status {
+                    DeltaStatus::Applied | DeltaStatus::Duplicate => {
+                        self.acked = Some(cut.clone());
+                        self.acked_epoch = last_applied;
+                        self.force_full = false;
+                        Ok(full)
+                    }
+                    DeltaStatus::ResyncRequired => {
+                        // Cursor disagreement: next attempt replaces our
+                        // whole view of this node.
+                        self.acked_epoch = last_applied;
+                        self.force_full = true;
+                        Err(WireError::Rejected("aggregator demands resync".into()))
+                    }
+                }
+            }
+            FrameKind::Error => Err(WireError::Rejected(
+                String::from_utf8_lossy(&reply.payload).into_owned(),
+            )),
+            other => Err(WireError::Malformed(format!(
+                "unexpected {other:?} reply to delta"
+            ))),
+        }
+    }
+
+    /// Connects and handshakes, resolving the in-flight window against the
+    /// aggregator's echoed epoch cursor.
+    fn handshake(&mut self) -> Result<(), WireError> {
+        let stream = TcpStream::connect(&self.cfg.upstream)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.io_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.io_timeout))?;
+        let mut stream = stream;
+        let hello = Frame {
+            kind: FrameKind::Hello,
+            plan_hash: self.cfg.plan_hash,
+            payload: encode_hello(self.cfg.node_id),
+        };
+        write_frame(&mut stream, &hello)?;
+        let reply = match read_frame(&mut stream)? {
+            Some(reply) => reply,
+            None => return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        };
+        let remote_last = match reply.kind {
+            FrameKind::Ack => decode_ack(&reply.payload)?.0,
+            FrameKind::Error => {
+                return Err(WireError::Rejected(
+                    String::from_utf8_lossy(&reply.payload).into_owned(),
+                ))
+            }
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unexpected {other:?} reply to hello"
+                )))
+            }
+        };
+        match self.inflight.take() {
+            // The lost-ack case: the delta we never heard back about did
+            // land — commit it locally and continue incrementally.
+            Some((epoch, cut)) if remote_last == epoch => {
+                self.acked = Some(cut);
+                self.acked_epoch = remote_last;
+            }
+            _ => {
+                if remote_last != self.acked_epoch {
+                    // Any other disagreement (fresh aggregator, resumed
+                    // node, state from a previous life): replace wholesale.
+                    self.acked_epoch = remote_last;
+                    self.force_full = true;
+                }
+            }
+        }
+        self.conn = Some(stream);
+        Ok(())
+    }
+
+    /// Derives the wire delta for `cut`: the element-wise increment over
+    /// the last acked cut, or the full cumulative state.
+    fn build_delta(&mut self, cut: &CutState, full: bool) -> Result<CountDelta, WireError> {
+        let epoch = self.acked_epoch + 1;
+        if full {
+            return Ok(CountDelta {
+                node_id: self.cfg.node_id,
+                epoch,
+                flavor: DeltaFlavor::Full,
+                total: cut.reports,
+                counts: cut.counts.clone(),
+                group_sizes: cut.group_sizes.iter().map(|&s| s as u64).collect(),
+            });
+        }
+        // Cuts are monotone (counts only grow), so subtraction cannot
+        // underflow; if it ever does the local bookkeeping is wrong and a
+        // full resync repairs it.
+        let base = match self.acked.as_ref() {
+            Some(base) => base,
+            None => return Err(WireError::Malformed("incremental without a base".into())),
+        };
+        let mut counts = Vec::with_capacity(cut.counts.len());
+        for (cur_grid, base_grid) in cut.counts.iter().zip(&base.counts) {
+            let mut grid = Vec::with_capacity(cur_grid.len());
+            for (&c, &b) in cur_grid.iter().zip(base_grid) {
+                match c.checked_sub(b) {
+                    Some(d) => grid.push(d),
+                    None => {
+                        self.force_full = true;
+                        return Err(WireError::Malformed(
+                            "cut regressed below acked base".into(),
+                        ));
+                    }
+                }
+            }
+            counts.push(grid);
+        }
+        let mut group_sizes = Vec::with_capacity(cut.group_sizes.len());
+        for (&c, &b) in cut.group_sizes.iter().zip(&base.group_sizes) {
+            match (c as u64).checked_sub(b as u64) {
+                Some(d) => group_sizes.push(d),
+                None => {
+                    self.force_full = true;
+                    return Err(WireError::Malformed(
+                        "cut regressed below acked base".into(),
+                    ));
+                }
+            }
+        }
+        let total = match cut.reports.checked_sub(base.reports) {
+            Some(t) => t,
+            None => {
+                self.force_full = true;
+                return Err(WireError::Malformed(
+                    "cut regressed below acked base".into(),
+                ));
+            }
+        };
+        Ok(CountDelta {
+            node_id: self.cfg.node_id,
+            epoch,
+            flavor: DeltaFlavor::Incremental,
+            total,
+            counts,
+            group_sizes,
+        })
+    }
+}

@@ -1,0 +1,278 @@
+//! The cluster chaos sweep (DESIGN.md §16): 64 seeds, each driving a real
+//! multi-node topology over loopback TCP with seed-derived faults — one
+//! ingest node killed mid-load (rejoining fresh or from its snapshot,
+//! after a seed-chosen delay) and, on half the seeds, an aggregator bounce
+//! (restarting with or without its persisted FCLU state). A two-barrier
+//! phase split parks every node between its two load phases while the
+//! bounce lands, so the post-restart catch-up path runs deterministically
+//! on every bouncing seed. Every seed must end with merged counts
+//! bit-identical to the offline single-node reference; the sweep then
+//! asserts its own faults were non-vacuous.
+
+mod common;
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use felip_cluster::{AggregatorConfig, AggregatorServer};
+use felip_server::loadgen::offline_reference;
+use felip_server::ServerConfig;
+
+use common::{plan, serve_and_stream, serve_and_stream_paused, split_users, NodeExit, NodeOutcome};
+
+/// splitmix64: the same seed-expansion the ingest-tier chaos sweep uses,
+/// so every fault decision is a pure function of the seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Aggregate fault/recovery counters the sweep asserts on afterwards.
+#[derive(Default)]
+struct SweepTotals {
+    kills: u64,
+    snapshot_rejoins: u64,
+    fresh_rejoins: u64,
+    agg_restarts: u64,
+    agg_resumes: u64,
+    full_resyncs: u64,
+    deltas_acked: u64,
+}
+
+#[test]
+fn sixty_four_seed_cluster_sweep_is_bit_identical() {
+    let plan = plan();
+    let dir = std::env::temp_dir().join(format!("felip-cluster-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut totals = SweepTotals::default();
+    for seed in 0..64u64 {
+        let mut rng = seed ^ 0xC1A0_5EED;
+        let nodes = 2 + (splitmix(&mut rng) % 2) as usize; // 2..=3
+        let total = 90 + (splitmix(&mut rng) % 4) as usize * 30; // 90..=180
+        let victim = (splitmix(&mut rng) % nodes as u64) as usize;
+        let victim_resumes = splitmix(&mut rng) % 2 == 0;
+        let rejoin_delay = Duration::from_millis(splitmix(&mut rng) % 40);
+        let bounce_agg = splitmix(&mut rng) % 2 == 0;
+        let agg_resume = splitmix(&mut rng) % 2 == 0;
+
+        totals.kills += 1;
+        if victim_resumes {
+            totals.snapshot_rejoins += 1;
+        } else {
+            totals.fresh_rejoins += 1;
+        }
+
+        let state_path = dir.join(format!("agg-{seed}.fclu"));
+        let agg_cfg = AggregatorConfig {
+            state_path: Some(state_path.clone()),
+            persist_every: Duration::from_millis(20),
+            ..AggregatorConfig::default()
+        };
+        let agg = AggregatorServer::bind(Arc::clone(&plan), agg_cfg).expect("bind aggregator");
+        let upstream = agg.local_addr();
+        let stop = agg.shutdown_handle();
+        let mut agg_thread = Some(thread::spawn(move || {
+            agg.run(None).expect("aggregator run")
+        }));
+
+        // Phase fences: every node parks between its two load phases at
+        // `loaded`, the main thread bounces (or not), then `resume`
+        // releases phase two — so on bouncing seeds every node's
+        // remaining load and final flush land on the restarted instance.
+        let loaded = Arc::new(Barrier::new(nodes + 1));
+        let resume = Arc::new(Barrier::new(nodes + 1));
+
+        let (outcomes, run) = thread::scope(|s| {
+            let handles: Vec<_> = (0..nodes)
+                .map(|i| {
+                    let plan = Arc::clone(&plan);
+                    let users = split_users(total, nodes, i);
+                    let snap = dir.join(format!("node-{seed}-{i}.snap"));
+                    let loaded = Arc::clone(&loaded);
+                    let resume = Arc::clone(&resume);
+                    s.spawn(move || -> NodeOutcome {
+                        let node_id = i as u64 + 1;
+                        if i != victim {
+                            // A surviving node: one server lifetime whose
+                            // load pauses across the bounce window.
+                            let split_at = users.len() / 2;
+                            return serve_and_stream_paused(
+                                &plan,
+                                upstream,
+                                node_id,
+                                &users,
+                                seed,
+                                ServerConfig::default(),
+                                split_at,
+                                || {
+                                    loaded.wait();
+                                    resume.wait();
+                                },
+                            );
+                        }
+                        // The victim's first life: half its share, then a
+                        // kill (streamer abandoned, pending cuts lost).
+                        let (first, rest) = users.split_at(users.len() / 2);
+                        let killed_cfg = ServerConfig {
+                            snapshot_path: Some(snap.clone()),
+                            snapshot_every: Some(Duration::from_millis(15)),
+                            ..ServerConfig::default()
+                        };
+                        serve_and_stream(
+                            &plan,
+                            upstream,
+                            node_id,
+                            first,
+                            seed,
+                            killed_cfg,
+                            NodeExit::Abandon,
+                        );
+                        loaded.wait();
+                        resume.wait();
+                        thread::sleep(rejoin_delay);
+                        // Second life: either resume the snapshot and send
+                        // the remaining users, or come back empty-handed
+                        // and re-ingest the whole share.
+                        if victim_resumes {
+                            let cfg = ServerConfig {
+                                resume: Some(snap.clone()),
+                                ..ServerConfig::default()
+                            };
+                            serve_and_stream(
+                                &plan,
+                                upstream,
+                                node_id,
+                                rest,
+                                seed,
+                                cfg,
+                                NodeExit::Flush,
+                            )
+                        } else {
+                            serve_and_stream(
+                                &plan,
+                                upstream,
+                                node_id,
+                                &users,
+                                seed,
+                                ServerConfig::default(),
+                                NodeExit::Flush,
+                            )
+                        }
+                    })
+                })
+                .collect();
+
+            loaded.wait();
+            if bounce_agg {
+                stop.store(true, Ordering::SeqCst);
+                if let Some(t) = agg_thread.take() {
+                    t.join().expect("join bounced aggregator");
+                }
+                let cfg = AggregatorConfig {
+                    addr: upstream.to_string(),
+                    state_path: Some(state_path.clone()),
+                    resume: agg_resume.then(|| state_path.clone()),
+                    persist_every: Duration::from_millis(20),
+                    ..AggregatorConfig::default()
+                };
+                let agg2 = AggregatorServer::bind(Arc::clone(&plan), cfg)
+                    .expect("rebind aggregator on the same port");
+                let stop2 = agg2.shutdown_handle();
+                agg_thread = Some(thread::spawn(move || {
+                    agg2.run(None).expect("restarted aggregator run")
+                }));
+                resume.wait();
+                let outcomes: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node thread"))
+                    .collect();
+                stop2.store(true, Ordering::SeqCst);
+                (
+                    outcomes,
+                    agg_thread
+                        .take()
+                        .map(|t| t.join().expect("join aggregator")),
+                )
+            } else {
+                resume.wait();
+                let outcomes: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node thread"))
+                    .collect();
+                stop.store(true, Ordering::SeqCst);
+                (
+                    outcomes,
+                    agg_thread
+                        .take()
+                        .map(|t| t.join().expect("join aggregator")),
+                )
+            }
+        });
+        let run = run.expect("aggregator result");
+        if bounce_agg {
+            totals.agg_restarts += 1;
+            if agg_resume {
+                totals.agg_resumes += 1;
+            }
+        }
+
+        // Every surviving life must have flushed its full share.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            let report = outcome
+                .report
+                .clone()
+                .expect("final life always flushes")
+                .unwrap_or_else(|r| panic!("seed {seed} node {i} flush incomplete: {r:?}"));
+            let share = split_users(total, nodes, i).len() as u64;
+            assert_eq!(
+                report.flushed_reports, share,
+                "seed {seed} node {i} flushed reports"
+            );
+            totals.full_resyncs += report.full_resyncs;
+            totals.deltas_acked += report.deltas_acked;
+        }
+
+        // The per-seed headline invariant: bit-identical to the offline
+        // single-node reference despite every fault above.
+        let expected = offline_reference(&plan, 0..total, seed).expect("offline");
+        assert_eq!(
+            run.merged.reports_ingested(),
+            total,
+            "seed {seed} merged report count"
+        );
+        assert_eq!(run.merged.counts(), expected.counts(), "seed {seed} counts");
+        assert_eq!(
+            run.merged.group_sizes(),
+            expected.group_sizes(),
+            "seed {seed} group sizes"
+        );
+        assert_eq!(
+            run.merged.counts_digest(),
+            expected.counts_digest(),
+            "seed {seed} digest"
+        );
+        assert_eq!(run.nodes.len(), nodes, "seed {seed} node rows");
+    }
+
+    // The sweep must not have been vacuous: every fault class fired, and
+    // recovery visibly used the resync machinery.
+    assert_eq!(totals.kills, 64);
+    assert!(totals.snapshot_rejoins >= 8, "{}", totals.snapshot_rejoins);
+    assert!(totals.fresh_rejoins >= 8, "{}", totals.fresh_rejoins);
+    assert!(totals.agg_restarts >= 16, "{}", totals.agg_restarts);
+    assert!(totals.agg_resumes >= 4, "{}", totals.agg_resumes);
+    assert!(
+        totals.full_resyncs >= 64,
+        "every kill implies at least one full resync: {}",
+        totals.full_resyncs
+    );
+    assert!(totals.deltas_acked >= 2 * 64, "{}", totals.deltas_acked);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

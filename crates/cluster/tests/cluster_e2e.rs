@@ -1,0 +1,278 @@
+//! End-to-end cluster tests over loopback TCP: a deterministic loadgen
+//! split across N ingest nodes, streamed upstream as deltas, must merge to
+//! counts bit-identical to the single-node run — including across node
+//! kill+resume and an aggregator restart (DESIGN.md §16).
+
+mod common;
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use felip_cluster::{AggregatorConfig, AggregatorServer};
+use felip_server::loadgen::offline_reference;
+use felip_server::ServerConfig;
+
+use common::{plan, serve_and_stream, split_users, NodeExit};
+
+#[test]
+fn three_node_split_merges_bit_identical_to_single_node() {
+    let plan = plan();
+    let total = 600;
+    let seed = 42;
+    let nodes = 3;
+
+    let agg = AggregatorServer::bind(Arc::clone(&plan), AggregatorConfig::default())
+        .expect("bind aggregator");
+    let upstream = agg.local_addr();
+    let stop = agg.shutdown_handle();
+    let agg_thread = thread::spawn(move || agg.run(None).expect("aggregator run"));
+
+    let outcomes = thread::scope(|s| {
+        let handles: Vec<_> = (0..nodes)
+            .map(|i| {
+                let plan = Arc::clone(&plan);
+                s.spawn(move || {
+                    serve_and_stream(
+                        &plan,
+                        upstream,
+                        i as u64 + 1,
+                        &split_users(total, nodes, i),
+                        seed,
+                        ServerConfig::default(),
+                        NodeExit::Flush,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread"))
+            .collect::<Vec<_>>()
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    let run = agg_thread.join().expect("join aggregator");
+
+    // Every node flushed its whole share.
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let share = split_users(total, nodes, i).len();
+        assert_eq!(outcome.run.aggregator.reports_ingested(), share);
+        let report = outcome
+            .report
+            .clone()
+            .expect("flushed")
+            .expect("flush acked");
+        assert_eq!(report.flushed_reports, share as u64, "node {i} flush");
+        assert!(report.deltas_acked >= 1);
+    }
+
+    // The headline invariant: merged counts are bit-identical to the
+    // single-node (= offline union) run.
+    let expected = offline_reference(&plan, 0..total, seed).expect("offline");
+    assert_eq!(run.merged.reports_ingested(), total);
+    assert_eq!(run.merged.counts(), expected.counts());
+    assert_eq!(run.merged.group_sizes(), expected.group_sizes());
+    assert_eq!(run.merged.counts_digest(), expected.counts_digest());
+
+    // Post-processing (norm-sub consistency) runs after the merge, so the
+    // estimates are exact too.
+    let a = run.merged.estimate().expect("cluster estimate");
+    let b = expected.estimate().expect("offline estimate");
+    for (ga, gb) in a.grids().iter().zip(b.grids()) {
+        assert_eq!(ga.freqs(), gb.freqs(), "cluster estimates must be exact");
+    }
+
+    assert_eq!(run.nodes.len(), nodes);
+    assert!(run.stats.deltas_applied >= nodes as u64);
+}
+
+#[test]
+fn killed_node_rejoins_with_full_resync_and_loses_nothing() {
+    let plan = plan();
+    let total = 400;
+    let seed = 7;
+    let dir = std::env::temp_dir().join(format!("felip-cluster-rejoin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snap = dir.join("node2.snap");
+
+    let agg = AggregatorServer::bind(Arc::clone(&plan), AggregatorConfig::default())
+        .expect("bind aggregator");
+    let upstream = agg.local_addr();
+    let stop = agg.shutdown_handle();
+    let agg_thread = thread::spawn(move || agg.run(None).expect("aggregator run"));
+
+    // Node 1 serves its full share normally.
+    let node1_users = split_users(total, 2, 0);
+    let node2_users = split_users(total, 2, 1);
+    let (first_half, second_half) = node2_users.split_at(node2_users.len() / 2);
+
+    let node2_report = thread::scope(|s| {
+        let n1 = {
+            let plan = Arc::clone(&plan);
+            let users = node1_users.clone();
+            s.spawn(move || {
+                serve_and_stream(
+                    &plan,
+                    upstream,
+                    1,
+                    &users,
+                    seed,
+                    ServerConfig::default(),
+                    NodeExit::Flush,
+                )
+            })
+        };
+
+        // Node 2, first life: half its share, snapshotting, then killed —
+        // the streamer is abandoned with cuts possibly unflushed.
+        let killed_cfg = ServerConfig {
+            snapshot_path: Some(snap.clone()),
+            snapshot_every: Some(Duration::from_millis(25)),
+            ..ServerConfig::default()
+        };
+        let killed = serve_and_stream(
+            &plan,
+            upstream,
+            2,
+            first_half,
+            seed,
+            killed_cfg,
+            NodeExit::Abandon,
+        );
+        assert_eq!(killed.run.aggregator.reports_ingested(), first_half.len());
+        assert!(snap.exists(), "kill must leave a snapshot behind");
+
+        // Second life: resume the snapshot, serve the rest, flush. The
+        // fresh streamer's cursor disagrees with the aggregator's, so the
+        // rejoin goes through a full cumulative resync.
+        let resumed_cfg = ServerConfig {
+            snapshot_path: Some(snap.clone()),
+            resume: Some(snap.clone()),
+            ..ServerConfig::default()
+        };
+        let resumed = serve_and_stream(
+            &plan,
+            upstream,
+            2,
+            second_half,
+            seed,
+            resumed_cfg,
+            NodeExit::Flush,
+        );
+        assert_eq!(resumed.run.aggregator.reports_ingested(), node2_users.len());
+
+        n1.join()
+            .expect("node 1")
+            .report
+            .expect("flushed")
+            .expect("node 1 flush");
+        resumed
+            .report
+            .clone()
+            .expect("flushed")
+            .expect("node 2 flush")
+    });
+
+    stop.store(true, Ordering::SeqCst);
+    let run = agg_thread.join().expect("join aggregator");
+
+    assert_eq!(node2_report.flushed_reports, node2_users.len() as u64);
+    // The first life streamed at least one delta, so the resumed cursor
+    // cannot agree and the rejoin must have used the full-resync path.
+    assert!(
+        node2_report.full_resyncs >= 1,
+        "rejoin must replace the aggregator's stale view: {node2_report:?}"
+    );
+
+    let expected = offline_reference(&plan, 0..total, seed).expect("offline");
+    assert_eq!(run.merged.reports_ingested(), total);
+    assert_eq!(run.merged.counts(), expected.counts());
+    assert_eq!(run.merged.group_sizes(), expected.group_sizes());
+    assert_eq!(run.merged.counts_digest(), expected.counts_digest());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aggregator_restart_mid_load_converges_with_resume() {
+    let plan = plan();
+    let total = 500;
+    let seed = 13;
+    let dir = std::env::temp_dir().join(format!("felip-cluster-aggrestart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let state_path = dir.join("cluster.fclu");
+
+    let first_cfg = AggregatorConfig {
+        state_path: Some(state_path.clone()),
+        persist_every: Duration::from_millis(25),
+        ..AggregatorConfig::default()
+    };
+    let agg = AggregatorServer::bind(Arc::clone(&plan), first_cfg).expect("bind aggregator");
+    let upstream = agg.local_addr();
+    let stop = agg.shutdown_handle();
+    let agg_thread = thread::spawn(move || agg.run(None).expect("first aggregator run"));
+
+    let (outcomes, run) = thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let plan = Arc::clone(&plan);
+                s.spawn(move || {
+                    serve_and_stream(
+                        &plan,
+                        upstream,
+                        i as u64 + 1,
+                        &split_users(total, 2, i),
+                        seed,
+                        ServerConfig::default(),
+                        NodeExit::Flush,
+                    )
+                })
+            })
+            .collect();
+
+        // Bounce the aggregator while the nodes are (likely) mid-load. The
+        // invariant below holds regardless of exactly when this lands: the
+        // nodes' final flush happens against the restarted instance.
+        thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::SeqCst);
+        agg_thread.join().expect("join first aggregator");
+
+        let second_cfg = AggregatorConfig {
+            addr: upstream.to_string(),
+            state_path: Some(state_path.clone()),
+            resume: Some(state_path.clone()),
+            persist_every: Duration::from_millis(25),
+            ..AggregatorConfig::default()
+        };
+        let agg2 = AggregatorServer::bind(Arc::clone(&plan), second_cfg)
+            .expect("rebind aggregator on the same port");
+        let stop2 = agg2.shutdown_handle();
+        let agg2_thread = thread::spawn(move || agg2.run(None).expect("second aggregator run"));
+
+        let outcomes: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread"))
+            .collect();
+        stop2.store(true, Ordering::SeqCst);
+        let run = agg2_thread.join().expect("join second aggregator");
+        (outcomes, run)
+    });
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        outcome
+            .report
+            .clone()
+            .expect("flushed")
+            .unwrap_or_else(|r| panic!("node {i} flush did not complete: {r:?}"));
+    }
+
+    let expected = offline_reference(&plan, 0..total, seed).expect("offline");
+    assert_eq!(run.merged.reports_ingested(), total);
+    assert_eq!(run.merged.counts(), expected.counts());
+    assert_eq!(run.merged.group_sizes(), expected.group_sizes());
+    assert_eq!(run.merged.counts_digest(), expected.counts_digest());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,92 @@
+//! Property tests for the cluster merge algebra: for arbitrary user
+//! populations, shard counts, and shard assignments, merging N aggregators
+//! restored from their FSNP snapshots is bit-identical to ingesting the
+//! union on a single shard — in any merge order. This is the algebraic
+//! heart of the §16 headline invariant (exact u64 counts + addition
+//! commutes), exercised through the same snapshot encode/decode path the
+//! FCLU container embeds.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use felip::aggregator::{Aggregator, OracleSet};
+use felip::config::FelipConfig;
+use felip::plan::CollectionPlan;
+use felip_common::{Attribute, Schema};
+use felip_server::loadgen::user_report;
+use felip_server::Snapshot;
+
+fn plan() -> Arc<CollectionPlan> {
+    let schema = Schema::new(vec![
+        Attribute::numerical("a", 32),
+        Attribute::categorical("c", 4),
+    ])
+    .unwrap();
+    Arc::new(CollectionPlan::build(&schema, 1_000, &FelipConfig::new(1.0), 3).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// merge(restore(snap(shard_1)), …, restore(snap(shard_N))) ==
+    /// single-shard ingestion of the union, bit for bit, regardless of how
+    /// users are assigned to shards or which order the merge runs in.
+    #[test]
+    fn merged_restored_snapshots_match_union_ingestion(
+        users in 1usize..120,
+        shards in 1usize..5,
+        seed in 0u64..1_000,
+        assign_salt in 0u64..1_000,
+        reverse_merge in any::<bool>(),
+    ) {
+        let plan = plan();
+        let oracles = Arc::new(OracleSet::build(&plan));
+
+        // Arbitrary (but deterministic) user → shard assignment.
+        let assignment: Vec<usize> = (0..users)
+            .map(|u| ((u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(assign_salt) % shards as u64) as usize)
+            .collect();
+
+        // The single-shard truth: every user ingested into one aggregator.
+        let mut union = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+        for u in 0..users {
+            union.ingest(&user_report(&plan, u, seed).unwrap()).unwrap();
+        }
+
+        // Each shard ingests its assigned users, then round-trips through
+        // an FSNP snapshot (encode → decode → restore) — the same bytes a
+        // node persists and the FCLU container embeds.
+        let mut restored: Vec<Aggregator> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut agg = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+            for u in (0..users).filter(|&u| assignment[u] == shard) {
+                agg.ingest(&user_report(&plan, u, seed).unwrap()).unwrap();
+            }
+            let snap = Snapshot::capture(&agg, plan.schema_hash());
+            let reloaded = Snapshot::decode(&snap.encode()).unwrap();
+            restored.push(reloaded.restore(Arc::clone(&plan), Arc::clone(&oracles)).unwrap());
+        }
+        if reverse_merge {
+            restored.reverse();
+        }
+
+        let mut merged = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+        for shard in &restored {
+            merged.merge(shard);
+        }
+
+        prop_assert_eq!(merged.reports_ingested(), users);
+        prop_assert_eq!(merged.counts(), union.counts());
+        prop_assert_eq!(merged.group_sizes(), union.group_sizes());
+        prop_assert_eq!(merged.counts_digest(), union.counts_digest());
+
+        // Post-processing happens after the merge, so estimates are exact
+        // too — the user-visible face of the invariant.
+        let a = merged.estimate().unwrap();
+        let b = union.estimate().unwrap();
+        for (ga, gb) in a.grids().iter().zip(b.grids()) {
+            prop_assert_eq!(ga.freqs(), gb.freqs());
+        }
+    }
+}

@@ -36,13 +36,13 @@ mod session;
 pub mod signal;
 pub mod simharness;
 pub mod snapshot;
-mod stat;
+pub mod stat;
 pub mod transport;
 pub mod wire;
 
 pub use client::{BatchReply, Client, PipelinedClient, PumpStats, RetryPolicy};
 pub use fault::{FaultConfig, FaultKind, FaultSchedule};
-pub use server::{Server, ServerConfig, ServerError, ServerRun, ServerStats};
+pub use server::{CutHook, CutState, Server, ServerConfig, ServerError, ServerRun, ServerStats};
 pub use simharness::{SimConfig, SimReport, SimTransport};
 pub use snapshot::Snapshot;
 pub use transport::{RecvOutcome, TcpTransport, Transport};

@@ -34,8 +34,27 @@ use crate::snapshot::Snapshot;
 use crate::transport::{RecvOutcome, TcpTransport, Transport};
 use crate::wire::WireError;
 
+/// A point-in-time copy of the server's merged count state, captured at a
+/// consistent cut and handed to [`ServerConfig::cut_hook`]. This is the
+/// cluster tier's tap: the upstream streamer derives epoch deltas from
+/// successive cut states without the server knowing anything about
+/// aggregator peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutState {
+    /// Per-grid count vectors (cumulative since the run's resume base).
+    pub counts: Vec<Vec<u64>>,
+    /// Per-group user totals.
+    pub group_sizes: Vec<usize>,
+    /// Total reports the counts represent.
+    pub reports: u64,
+}
+
+/// A callback invoked with each periodic [`CutState`]; shared, so the
+/// config stays `Clone`.
+pub type CutHook = Arc<dyn Fn(CutState) + Send + Sync>;
+
 /// How a serve run is wired together.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
     pub addr: String,
@@ -63,6 +82,32 @@ pub struct ServerConfig {
     /// Cadence of the metrics rollup (only read when `metrics_out` is
     /// set).
     pub metrics_every: Duration,
+    /// Called with the merged state at each periodic consistent cut;
+    /// `None` disables the cut thread. The cluster tier installs the
+    /// upstream delta streamer here.
+    pub cut_hook: Option<CutHook>,
+    /// Cadence of cut-hook invocations (requires `cut_hook`).
+    pub cut_every: Duration,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("snapshot_path", &self.snapshot_path)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("resume", &self.resume)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("metrics_out", &self.metrics_out)
+            .field("metrics_every", &self.metrics_every)
+            .field("cut_hook", &self.cut_hook.as_ref().map(|_| "<hook>"))
+            .field("cut_every", &self.cut_every)
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -79,6 +124,8 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             metrics_out: None,
             metrics_every: Duration::from_secs(1),
+            cut_hook: None,
+            cut_every: Duration::from_millis(200),
         }
     }
 }
@@ -423,6 +470,39 @@ impl Server {
                                 felip_obs::flight::postmortem("snapshot-quarantine");
                             }
                         }
+                    }
+                });
+            }
+
+            // Periodic cut thread: hand the merged state to the cut hook
+            // (the cluster tier's upstream delta streamer). Separate from
+            // the snapshot thread so the two cadences stay independent;
+            // `consistent_cut` serialises on the dedup lock, so concurrent
+            // cuts are safe.
+            if let Some(hook) = self.config.cut_hook.clone() {
+                let every = self.config.cut_every;
+                let plan = Arc::clone(&self.plan);
+                let oracles = Arc::clone(&self.oracles);
+                let base = &base;
+                let shards = &shards;
+                let stop = &stop_snapshots;
+                let ctx = &ctx;
+                let queues = &queues;
+                scope.spawn(move || {
+                    let mut last = Instant::now();
+                    while !stop.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(5));
+                        if last.elapsed() < every {
+                            continue;
+                        }
+                        last = Instant::now();
+                        let (merged, _dedup) =
+                            consistent_cut(ctx, &plan, &oracles, base, shards, queues);
+                        hook(CutState {
+                            counts: merged.counts().to_vec(),
+                            group_sizes: merged.group_sizes().to_vec(),
+                            reports: merged.reports_ingested() as u64,
+                        });
                     }
                 });
             }

@@ -26,7 +26,11 @@ use crate::wire::StatMode;
 static LAST_DELTA: Mutex<Option<MetricsSnapshot>> = Mutex::new(None);
 
 /// Builds the `StatReply` payload for one decoded [`StatMode`].
-pub(crate) fn stat_payload(mode: StatMode) -> Vec<u8> {
+///
+/// Public so the cluster aggregator's session can answer `STAT` with the
+/// same payload shapes the ingest server uses (the metrics registry and
+/// flight recorder are process-global either way).
+pub fn stat_payload(mode: StatMode) -> Vec<u8> {
     match mode {
         StatMode::Full => felip_obs::global()
             .metrics_snapshot()

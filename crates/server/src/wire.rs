@@ -40,10 +40,26 @@
 //! Version 3 adds the **STAT admin plane**: a `Stat` request (one `mode`
 //! byte: full snapshot, delta rollup, or flight-recorder dump) answered by
 //! a `StatReply` whose payload is the metrics JSON / flight JSONL. The
-//! change is backward compatible: decoders accept versions 2 and 3
-//! ([`MIN_VERSION`]), a v2 peer simply never sends the new kinds, and the
+//! change is backward compatible: decoders accept versions 2 through 4
+//! ([`MIN_VERSION`]), an old peer simply never sends the new kinds, and the
 //! server echoes each connection's negotiated version in its replies
 //! ([`append_frame_versioned`]) so old clients keep parsing them.
+//!
+//! Version 4 adds the **cluster tier** (DESIGN.md §16): an ingest node
+//! streams epoch-numbered count deltas to its aggregator via `Delta`
+//! frames, answered by `DeltaAck`. A `Delta` payload carries the sending
+//! node's id, the epoch, a flavor byte (incremental add vs. full cumulative
+//! replacement), and the same per-grid count layout FSNP snapshots use:
+//!
+//! ```text
+//! node_id:u64  epoch:u64  flavor:u8  total:u64
+//! num_grids:u32  then per grid:  cells:u32  count[cells]:u64
+//! num_groups:u32  then per group:  size:u64
+//! ```
+//!
+//! `DeltaAck` echoes `epoch:u64  last_applied:u64  status:u8` (applied /
+//! duplicate / resync-required), giving the upstream streamer the same
+//! exactly-once-or-rejected discipline report batches already have.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -54,12 +70,13 @@ use felip_fo::Report;
 /// Frame magic: the bytes `FELP` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FELP");
 
-/// Current protocol version (3: the STAT admin plane — `Stat`/`StatReply`
-/// frames for live metrics snapshots and flight-recorder dumps).
-pub const VERSION: u8 = 3;
+/// Current protocol version (4: the cluster tier — `Delta`/`DeltaAck`
+/// frames streaming epoch-numbered count deltas from ingest nodes to an
+/// aggregator).
+pub const VERSION: u8 = 4;
 
-/// Oldest protocol version decoders still accept. Version 2 frames differ
-/// from version 3 only in lacking the admin kinds, so they parse
+/// Oldest protocol version decoders still accept. Versions 2 and 3 differ
+/// from version 4 only in lacking the newer kinds, so they parse
 /// unchanged; anything older predates idempotent batches and is rejected.
 pub const MIN_VERSION: u8 = 2;
 
@@ -224,6 +241,12 @@ pub enum FrameKind {
     /// Server → client (v3): the telemetry answer; payload is metrics
     /// JSON (full/delta modes) or flight-recorder JSONL (flight mode).
     StatReply = 6,
+    /// Ingest node → aggregator (v4): an epoch-numbered count delta
+    /// derived from a consistent cut; payload is a [`CountDelta`].
+    Delta = 7,
+    /// Aggregator → ingest node (v4): the delta's fate — applied,
+    /// duplicate, or resync-required (see [`DeltaStatus`]).
+    DeltaAck = 8,
 }
 
 impl FrameKind {
@@ -236,6 +259,8 @@ impl FrameKind {
             4 => Ok(FrameKind::Error),
             5 => Ok(FrameKind::Stat),
             6 => Ok(FrameKind::StatReply),
+            7 => Ok(FrameKind::Delta),
+            8 => Ok(FrameKind::DeltaAck),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -712,6 +737,185 @@ pub fn decode_retry(payload: &[u8]) -> Result<u64, WireError> {
     Ok(id)
 }
 
+/// How a [`CountDelta`]'s counts relate to the aggregator's view of the
+/// sending node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaFlavor {
+    /// Counts are an increment over the node's previous epoch: the
+    /// aggregator *adds* them, and the epoch must be exactly `last + 1`.
+    Incremental = 0,
+    /// Counts are the node's full cumulative state: the aggregator
+    /// *replaces* its per-node view — the loss-free rejoin/catch-up path,
+    /// valid at any epoch greater than the last applied one.
+    Full = 1,
+}
+
+impl DeltaFlavor {
+    /// Parses the flavor discriminant.
+    pub fn from_u8(v: u8) -> Result<DeltaFlavor, WireError> {
+        match v {
+            0 => Ok(DeltaFlavor::Incremental),
+            1 => Ok(DeltaFlavor::Full),
+            other => Err(WireError::Malformed(format!(
+                "unknown delta flavor {other}"
+            ))),
+        }
+    }
+}
+
+/// What the aggregator did with a delta, echoed in the `DeltaAck`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaStatus {
+    /// The delta was applied; `last_applied` advanced to its epoch.
+    Applied = 0,
+    /// The epoch was already applied — re-acked without re-applying
+    /// (the exactly-once half of the cursor discipline).
+    Duplicate = 1,
+    /// An incremental delta skipped an epoch; the node must fall back to
+    /// a [`DeltaFlavor::Full`] resync.
+    ResyncRequired = 2,
+}
+
+impl DeltaStatus {
+    /// Parses the status discriminant.
+    pub fn from_u8(v: u8) -> Result<DeltaStatus, WireError> {
+        match v {
+            0 => Ok(DeltaStatus::Applied),
+            1 => Ok(DeltaStatus::Duplicate),
+            2 => Ok(DeltaStatus::ResyncRequired),
+            other => Err(WireError::Malformed(format!(
+                "unknown delta status {other}"
+            ))),
+        }
+    }
+}
+
+/// A decoded `Delta` payload: one ingest node's count movement between two
+/// consistent cuts (or its full cumulative state, per [`DeltaFlavor`]).
+/// The count layout mirrors the FSNP snapshot body, so a delta *is* a
+/// snapshot diff in the same shape the aggregator already merges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountDelta {
+    /// The sending ingest node's stable identity.
+    pub node_id: u64,
+    /// The node's epoch counter for this delta (monotonic per node).
+    pub epoch: u64,
+    /// Increment vs. full-replacement semantics.
+    pub flavor: DeltaFlavor,
+    /// Total reports the counts represent (cumulative for `Full`, the
+    /// increment's share for `Incremental`) — a cheap cross-check.
+    pub total: u64,
+    /// Per-grid count vectors, same order as the plan's grids.
+    pub counts: Vec<Vec<u64>>,
+    /// Per-group user totals, same order as the plan's groups.
+    pub group_sizes: Vec<u64>,
+}
+
+/// Serialises a `Delta` payload.
+pub fn encode_delta(delta: &CountDelta) -> Result<Vec<u8>, WireError> {
+    if delta.counts.len() > u32::MAX as usize || delta.group_sizes.len() > u32::MAX as usize {
+        return Err(WireError::Malformed("delta exceeds u32 counts".into()));
+    }
+    let cells: usize = delta.counts.iter().map(|g| g.len()).sum();
+    let mut buf = Vec::with_capacity(33 + delta.counts.len() * 4 + cells * 8);
+    buf.extend_from_slice(&delta.node_id.to_le_bytes());
+    buf.extend_from_slice(&delta.epoch.to_le_bytes());
+    buf.push(delta.flavor as u8);
+    buf.extend_from_slice(&delta.total.to_le_bytes());
+    buf.extend_from_slice(&(delta.counts.len() as u32).to_le_bytes());
+    for grid in &delta.counts {
+        let n = u32::try_from(grid.len())
+            .map_err(|_| WireError::Malformed("grid cell count exceeds u32".into()))?;
+        buf.extend_from_slice(&n.to_le_bytes());
+        for &c in grid {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    buf.extend_from_slice(&(delta.group_sizes.len() as u32).to_le_bytes());
+    for &s in &delta.group_sizes {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    Ok(buf)
+}
+
+/// Parses a `Delta` payload. Every length prefix is validated against the
+/// remaining bytes before any allocation, same discipline as
+/// [`decode_reports`].
+pub fn decode_delta(payload: &[u8]) -> Result<CountDelta, WireError> {
+    let mut r = ByteReader::new(payload);
+    let node_id = r.u64()?;
+    let epoch = r.u64()?;
+    let flavor = DeltaFlavor::from_u8(r.u8()?)?;
+    let total = r.u64()?;
+    let num_grids = r.u32()? as usize;
+    // A grid costs at least 4 bytes (its cell-count prefix).
+    if num_grids > r.remaining() / 4 {
+        return Err(WireError::Malformed(format!(
+            "grid count {num_grids} impossible in remaining payload"
+        )));
+    }
+    let mut counts = Vec::with_capacity(num_grids);
+    for _ in 0..num_grids {
+        let cells = r.u32()? as usize;
+        if cells > r.remaining() / 8 {
+            return Err(WireError::Malformed(format!(
+                "cell count {cells} exceeds remaining payload"
+            )));
+        }
+        let mut grid = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            grid.push(r.u64()?);
+        }
+        counts.push(grid);
+    }
+    let num_groups = r.u32()? as usize;
+    if num_groups > r.remaining() / 8 {
+        return Err(WireError::Malformed(format!(
+            "group count {num_groups} exceeds remaining payload"
+        )));
+    }
+    let mut group_sizes = Vec::with_capacity(num_groups);
+    for _ in 0..num_groups {
+        group_sizes.push(r.u64()?);
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after delta",
+            r.remaining()
+        )));
+    }
+    Ok(CountDelta {
+        node_id,
+        epoch,
+        flavor,
+        total,
+        counts,
+        group_sizes,
+    })
+}
+
+/// Serialises a `DeltaAck` payload: the epoch it answers, the node's
+/// highest applied epoch, and the status byte.
+pub fn encode_delta_ack(epoch: u64, last_applied: u64, status: DeltaStatus) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(17);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&last_applied.to_le_bytes());
+    buf.push(status as u8);
+    buf
+}
+
+/// Parses a `DeltaAck` payload into `(epoch, last_applied, status)`.
+pub fn decode_delta_ack(payload: &[u8]) -> Result<(u64, u64, DeltaStatus), WireError> {
+    let mut r = ByteReader::new(payload);
+    let epoch = r.u64()?;
+    let last_applied = r.u64()?;
+    let status = DeltaStatus::from_u8(r.u8()?)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized delta-ack payload".into()));
+    }
+    Ok((epoch, last_applied, status))
+}
+
 /// Bounds-checked little-endian reader over a byte slice.
 struct ByteReader<'a> {
     buf: &'a [u8],
@@ -1071,6 +1275,77 @@ mod tests {
                 "version {v} accepted"
             );
         }
+    }
+
+    #[test]
+    fn delta_round_trips() {
+        let delta = CountDelta {
+            node_id: 0xA11C_E5ED_0000_0001,
+            epoch: 17,
+            flavor: DeltaFlavor::Incremental,
+            total: 1234,
+            counts: vec![vec![1, 2, 3], vec![], vec![u64::MAX, 0]],
+            group_sizes: vec![7, 0, u64::MAX],
+        };
+        let payload = encode_delta(&delta).unwrap();
+        assert_eq!(decode_delta(&payload).unwrap(), delta);
+
+        let full = CountDelta {
+            flavor: DeltaFlavor::Full,
+            ..delta
+        };
+        let payload = encode_delta(&full).unwrap();
+        assert_eq!(decode_delta(&payload).unwrap(), full);
+    }
+
+    #[test]
+    fn delta_decode_rejects_corruption_and_hostile_lengths() {
+        let delta = CountDelta {
+            node_id: 1,
+            epoch: 2,
+            flavor: DeltaFlavor::Full,
+            total: 3,
+            counts: vec![vec![4, 5]],
+            group_sizes: vec![6],
+        };
+        let good = encode_delta(&delta).unwrap();
+        // Truncations never panic, never succeed.
+        for cut in 0..good.len() {
+            assert!(decode_delta(&good[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Trailing bytes are rejected.
+        let mut oversized = good.clone();
+        oversized.push(0);
+        assert!(decode_delta(&oversized).is_err());
+        // A hostile grid count cannot trigger a large allocation.
+        let mut hostile = good.clone();
+        hostile[25..29].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_delta(&hostile).is_err());
+        // Unknown flavor byte is rejected.
+        let mut bad_flavor = good;
+        bad_flavor[16] = 9;
+        assert!(decode_delta(&bad_flavor).is_err());
+    }
+
+    #[test]
+    fn delta_ack_round_trips() {
+        for status in [
+            DeltaStatus::Applied,
+            DeltaStatus::Duplicate,
+            DeltaStatus::ResyncRequired,
+        ] {
+            let payload = encode_delta_ack(9, 8, status);
+            assert_eq!(decode_delta_ack(&payload).unwrap(), (9, 8, status));
+        }
+        assert!(decode_delta_ack(&[0; 16]).is_err());
+        let mut oversized = encode_delta_ack(1, 1, DeltaStatus::Applied);
+        oversized.push(0);
+        assert!(decode_delta_ack(&oversized).is_err());
+        let mut bad_status = encode_delta_ack(1, 1, DeltaStatus::Applied);
+        bad_status[16] = 7;
+        assert!(decode_delta_ack(&bad_status).is_err());
+        assert!(matches!(FrameKind::from_u8(7), Ok(FrameKind::Delta)));
+        assert!(matches!(FrameKind::from_u8(8), Ok(FrameKind::DeltaAck)));
     }
 
     #[test]

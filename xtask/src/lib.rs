@@ -453,7 +453,7 @@ fn rule_no_panic(root: &Path, diags: &mut Vec<Diagnostic>) {
         (".expect(", "`expect()` aborts on Err/None"),
         ("panic!(", "`panic!` aborts the worker"),
     ];
-    for krate in ["server", "fo", "cli"] {
+    for krate in ["server", "fo", "cli", "cluster"] {
         let src = root.join("crates").join(krate).join("src");
         for (path, scan) in scan_crate_src(&src) {
             for (idx, line) in scan.code.iter().enumerate() {
@@ -478,27 +478,29 @@ fn rule_no_panic(root: &Path, diags: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------------
-// R2: no raw std::sync / std::thread inside crates/server
+// R2: no raw std::sync / std::thread inside crates/server or crates/cluster
 // ---------------------------------------------------------------------------
 
 fn rule_sync_shims(root: &Path, diags: &mut Vec<Diagnostic>) {
-    let src = root.join("crates").join("server").join("src");
-    for (path, scan) in scan_crate_src(&src) {
-        for (idx, line) in scan.code.iter().enumerate() {
-            if scan.test_line[idx] {
-                continue;
-            }
-            for needle in ["std::sync", "std::thread"] {
-                if line.contains(needle) {
-                    diags.push(Diagnostic {
-                        file: rel(root, &path),
-                        line: idx + 1,
-                        rule: "sync-shims",
-                        message: format!(
-                            "raw `{needle}` in crates/server — route it through \
-                             `felip_sync` so the model checker can schedule it"
-                        ),
-                    });
+    for krate in ["server", "cluster"] {
+        let src = root.join("crates").join(krate).join("src");
+        for (path, scan) in scan_crate_src(&src) {
+            for (idx, line) in scan.code.iter().enumerate() {
+                if scan.test_line[idx] {
+                    continue;
+                }
+                for needle in ["std::sync", "std::thread"] {
+                    if line.contains(needle) {
+                        diags.push(Diagnostic {
+                            file: rel(root, &path),
+                            line: idx + 1,
+                            rule: "sync-shims",
+                            message: format!(
+                                "raw `{needle}` in crates/{krate} — route it through \
+                                 `felip_sync` so the model checker can schedule it"
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -583,7 +585,7 @@ fn safety_comment_precedes(scan: &Scan, idx: usize) -> bool {
 /// `(file, anchor, expected-fragment)`: the first line containing `anchor`
 /// must also contain `expected`. A missing anchor (constant removed or
 /// renamed) is equally a drift.
-const GOLDEN: [(&str, &str, &str); 5] = [
+const GOLDEN: [(&str, &str, &str); 9] = [
     (
         "crates/server/src/wire.rs",
         "pub const MAGIC",
@@ -592,7 +594,21 @@ const GOLDEN: [(&str, &str, &str); 5] = [
     (
         "crates/server/src/wire.rs",
         "pub const VERSION",
-        ": u8 = 3;",
+        ": u8 = 4;",
+    ),
+    // The cluster verbs' frame-kind discriminants: ingest nodes and
+    // aggregators of mixed builds interoperate only if these never move.
+    ("crates/server/src/wire.rs", "Delta =", "= 7,"),
+    ("crates/server/src/wire.rs", "DeltaAck =", "= 8,"),
+    (
+        "crates/cluster/src/state.rs",
+        "pub const CLUSTER_MAGIC",
+        "u32::from_le_bytes(*b\"FCLU\")",
+    ),
+    (
+        "crates/cluster/src/state.rs",
+        "pub const CLUSTER_VERSION",
+        ": u8 = 1;",
     ),
     (
         "crates/server/src/snapshot.rs",
@@ -845,7 +861,7 @@ fn rule_reactor_syscalls(root: &Path, diags: &mut Vec<Diagnostic>) {
 /// and the README's numbers read these by name; reshaping a bench without
 /// updating both is the drift this rule catches. Absent files are skipped —
 /// presence is the bench job's concern, shape is lint's.
-const BENCH_SCHEMAS: [(&str, &[&str]); 3] = [
+const BENCH_SCHEMAS: [(&str, &[&str]); 4] = [
     (
         "BENCH_ingest.json",
         &["bench", "oracle", "results", "batched_reports_per_sec"],
@@ -867,6 +883,17 @@ const BENCH_SCHEMAS: [(&str, &[&str]); 3] = [
             "reports_per_sec",
             "frame_p50_us",
             "frame_p99_us",
+        ],
+    ),
+    (
+        "BENCH_cluster.json",
+        &[
+            "bench",
+            "nodes",
+            "aggregate_reports_per_sec",
+            "delta_merge_p50_us",
+            "delta_merge_p99_us",
+            "catchup_ms",
         ],
     ),
 ];
@@ -943,7 +970,13 @@ mod tests {
         f.write(
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"FELP\");\n\
-             pub const VERSION: u8 = 3;\n",
+             pub const VERSION: u8 = 4;\n\
+             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n}\n",
+        );
+        f.write(
+            "crates/cluster/src/state.rs",
+            "pub const CLUSTER_MAGIC: u32 = u32::from_le_bytes(*b\"FCLU\");\n\
+             pub const CLUSTER_VERSION: u8 = 1;\n",
         );
         f.write(
             "crates/server/src/snapshot.rs",
@@ -1015,11 +1048,16 @@ mod tests {
             "crates/fo/src/bad.rs",
             "fn h() {\n    let r: Result<(), ()> = Ok(());\n    r.expect(\"oops\");\n}\n",
         );
+        f.write(
+            "crates/cluster/src/bad.rs",
+            "fn k() {\n    let v: Vec<u8> = Vec::new();\n    let _ = v.first().unwrap();\n}\n",
+        );
         let msgs: Vec<String> = lint_root(&f.root).iter().map(|d| d.to_string()).collect();
         for want in [
             ("crates/server/src/bad.rs:3", "no-panic"),
             ("crates/cli/src/bad.rs:2", "no-panic"),
             ("crates/fo/src/bad.rs:3", "no-panic"),
+            ("crates/cluster/src/bad.rs:3", "no-panic"),
         ] {
             assert!(
                 msgs.iter()
@@ -1030,7 +1068,7 @@ mod tests {
     }
 
     #[test]
-    fn sync_shim_rule_fires_only_in_server() {
+    fn sync_shim_rule_fires_only_in_modelled_crates() {
         let f = Fixture::new("sync");
         write_clean_base(&f);
         f.write(
@@ -1038,14 +1076,24 @@ mod tests {
             "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n",
         );
         f.write(
+            "crates/cluster/src/bad_sync.rs",
+            "fn h() { std::thread::spawn(|| {}); }\n",
+        );
+        f.write(
             "crates/fo/src/fine.rs",
             "use std::sync::Arc;\nfn g() -> Arc<u32> { Arc::new(1) }\n",
         );
         let diags = lint_root(&f.root);
         let sync: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "sync-shims").collect();
-        assert_eq!(sync.len(), 2, "{diags:?}");
-        assert!(sync.iter().all(|d| d.file.starts_with("crates/server")));
-        assert_eq!((sync[0].line, sync[1].line), (1, 2));
+        assert_eq!(sync.len(), 3, "{diags:?}");
+        assert!(sync
+            .iter()
+            .all(|d| d.file.starts_with("crates/server") || d.file.starts_with("crates/cluster")));
+        assert!(
+            sync.iter()
+                .any(|d| d.file == PathBuf::from("crates/cluster/src/bad_sync.rs") && d.line == 1),
+            "{sync:?}"
+        );
     }
 
     #[test]
@@ -1078,7 +1126,8 @@ mod tests {
         f.write(
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"XXXX\");\n\
-             pub const VERSION: u8 = 9;\n",
+             pub const VERSION: u8 = 9;\n\
+             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n}\n",
         );
         let diags = lint_root(&f.root);
         let golden: Vec<&Diagnostic> = diags
