@@ -44,6 +44,8 @@ fn report_json(r: &SimReport) -> Value {
         "snapshots_quarantined": r.snapshots_quarantined,
         "kills": r.kills,
         "gave_up": r.gave_up,
+        "queries_answered": r.queries_answered,
+        "query_warm_hits": r.query_warm_hits,
         "flight_total": r.flight_total,
         "flight_digest": format!("{:#018x}", r.flight_digest),
         "violations": r.violations,

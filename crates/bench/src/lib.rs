@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod figures;
 pub mod perf;
 pub mod profile;
+pub mod query;
 pub mod runner;
 pub mod serve;
 pub mod table;

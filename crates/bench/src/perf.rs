@@ -52,6 +52,9 @@ pub struct PerfOptions {
     /// Run the two-tier cluster load generator instead of the kernel
     /// sweep (`--cluster-loadgen`; see [`crate::cluster`]).
     pub cluster: Option<crate::cluster::ClusterLoadOptions>,
+    /// Run the mixed ingest + query load generator instead of the kernel
+    /// sweep (`--query-loadgen`; see [`crate::query`]).
+    pub query: Option<crate::query::QueryLoadOptions>,
 }
 
 impl Default for PerfOptions {
@@ -69,6 +72,7 @@ impl Default for PerfOptions {
             serve: None,
             chaos: None,
             cluster: None,
+            query: None,
         }
     }
 }
@@ -199,6 +203,33 @@ impl PerfOptions {
                     opts.cluster.get_or_insert_with(Default::default).out =
                         args.next().expect("--cluster-out requires a path");
                 }
+                "--query-loadgen" => {
+                    opts.query.get_or_insert_with(Default::default);
+                }
+                "--query-users" | "--query-reports" => {
+                    opts.query.get_or_insert_with(Default::default).users =
+                        parse(&mut args, "--query-users");
+                }
+                "--query-batch" => {
+                    opts.query.get_or_insert_with(Default::default).batch =
+                        parse(&mut args, "--query-batch");
+                }
+                "--query-clients" => {
+                    opts.query.get_or_insert_with(Default::default).clients =
+                        parse(&mut args, "--query-clients");
+                }
+                "--query-window" => {
+                    opts.query.get_or_insert_with(Default::default).window =
+                        parse(&mut args, "--query-window");
+                }
+                "--query-seed" => {
+                    opts.query.get_or_insert_with(Default::default).seed =
+                        parse(&mut args, "--query-seed");
+                }
+                "--query-out" => {
+                    opts.query.get_or_insert_with(Default::default).out =
+                        args.next().expect("--query-out requires a path");
+                }
                 other => panic!(
                     "unknown flag {other}; usage: perf_smoke [--baseline-scalar] \
                      [--obs-overhead] [--metrics] [--out PATH] [--obs-out PATH] \
@@ -210,7 +241,10 @@ impl PerfOptions {
                      [--chaos] [--chaos-seeds N] [--seed N] [--chaos-out PATH] \
                      [--cluster-loadgen] [--cluster-nodes N] [--cluster-users N] \
                      [--cluster-batch N] [--cluster-delta-ms N] \
-                     [--cluster-seed N] [--cluster-out PATH]"
+                     [--cluster-seed N] [--cluster-out PATH] \
+                     [--query-loadgen] [--query-users N] [--query-batch N] \
+                     [--query-clients N] [--query-window N] \
+                     [--query-seed N] [--query-out PATH]"
                 ),
             }
         }
@@ -442,6 +476,13 @@ pub fn perf_smoke(opts: &PerfOptions) -> std::io::Result<()> {
         }
         return Ok(());
     }
+    if let Some(query) = &opts.query {
+        crate::query::query_smoke(query)?;
+        if opts.metrics {
+            println!("{}", felip_obs::global().summary_table());
+        }
+        return Ok(());
+    }
     println!("perf_smoke: OLH ingest+aggregate throughput (ε = {EPSILON})");
     let mut points = Vec::new();
     for &d in &DOMAINS {
@@ -588,6 +629,31 @@ mod tests {
     fn serve_defaults_absent_without_flag() {
         let opts = PerfOptions::from_args(std::iter::empty());
         assert!(opts.serve.is_none());
+        assert!(opts.query.is_none());
+    }
+
+    #[test]
+    fn query_flags_parse() {
+        let opts = PerfOptions::from_args(
+            [
+                "--query-loadgen",
+                "--query-users",
+                "5000",
+                "--query-clients",
+                "3",
+                "--query-batch",
+                "250",
+                "--query-out",
+                "q.json",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let query = opts.query.expect("--query-loadgen sets query options");
+        assert_eq!(query.users, 5_000);
+        assert_eq!(query.clients, 3);
+        assert_eq!(query.batch, 250);
+        assert_eq!(query.out, "q.json");
     }
 
     #[test]

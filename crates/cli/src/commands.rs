@@ -278,10 +278,19 @@ fn parse_columns(spec: &str) -> Result<Vec<felip_datasets::ColumnSpec>> {
         .collect()
 }
 
-/// `felip query`: load a CSV, collect it once under ε-LDP, answer a WHERE
-/// query against the encoded domains.
+/// `felip query`: two modes sharing one verb.
+///
+/// * **Offline** (`--csv`): load a CSV, collect it once under ε-LDP,
+///   answer a WHERE query against the encoded domains.
+/// * **Online** (no `--csv`): connect to a running `felip serve` (or
+///   `felip aggregate`) and answer via the v5 `Query` wire verb —
+///   `--point`/`--marginal` predicates, `--watch` re-polling,
+///   `--format table|json`.
 pub fn query(args: &[String]) -> std::result::Result<(), Box<dyn std::error::Error>> {
     let flags = Flags::parse(args).map_err(boxed)?;
+    if flags.get("csv").is_none() {
+        return crate::serve_cmd::query_online(&flags);
+    }
     let path: String = flags.require("csv").map_err(boxed)?;
     let columns =
         parse_columns(&flags.require::<String>("columns").map_err(boxed)?).map_err(boxed)?;

@@ -15,9 +15,10 @@ use felip::plan::CollectionPlan;
 use felip::{FelipConfig, SelectivityPrior, Strategy};
 use felip_cluster::{StreamerConfig, UpstreamStreamer};
 use felip_common::rng::derive_seed;
+use felip_common::Predicate;
 use felip_obs::diag;
 use felip_server::loadgen::{offline_reference, user_report};
-use felip_server::wire::{encode_stat, read_frame, write_frame, StatMode};
+use felip_server::wire::{encode_stat, read_frame, write_frame, QueryMode, StatMode};
 use felip_server::{
     signal, Client, CutState, Frame, FrameKind, RetryPolicy, Server, ServerConfig, Snapshot,
 };
@@ -479,6 +480,151 @@ fn render_fanin_table(
     Ok(out)
 }
 
+/// Parses the `--point 0=5,2=7` specification: one equality predicate per
+/// `attr=value` pair.
+fn parse_point(spec: &str) -> std::result::Result<Vec<Predicate>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (attr, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("point spec `{part}` is not `<attr>=<value>`"))?;
+            let attr: u32 = attr
+                .parse()
+                .map_err(|_| format!("bad attribute index `{attr}` in point spec"))?;
+            let value: u32 = value
+                .parse()
+                .map_err(|_| format!("bad value `{value}` in point spec"))?;
+            Ok(Predicate::between(attr as usize, value, value))
+        })
+        .collect()
+}
+
+/// Parses the `--marginal 0=2..8,1=0|2|3` specification: `lo..hi` is an
+/// inclusive range, `a|b|c` a category set, a bare value an equality.
+fn parse_marginal(spec: &str) -> std::result::Result<Vec<Predicate>, String> {
+    spec.split(',')
+        .map(|part| {
+            let (attr, sel) = part
+                .split_once('=')
+                .ok_or_else(|| format!("marginal spec `{part}` is not `<attr>=<selection>`"))?;
+            let attr: usize = attr
+                .parse()
+                .map_err(|_| format!("bad attribute index `{attr}` in marginal spec"))?;
+            if let Some((lo, hi)) = sel.split_once("..") {
+                let lo: u32 = lo
+                    .parse()
+                    .map_err(|_| format!("bad range start `{lo}` in marginal spec"))?;
+                let hi: u32 = hi
+                    .parse()
+                    .map_err(|_| format!("bad range end `{hi}` in marginal spec"))?;
+                Ok(Predicate::between(attr, lo, hi))
+            } else if sel.contains('|') {
+                let values = sel
+                    .split('|')
+                    .map(|v| {
+                        v.parse::<u32>()
+                            .map_err(|_| format!("bad category `{v}` in marginal spec"))
+                    })
+                    .collect::<std::result::Result<Vec<u32>, String>>()?;
+                Ok(Predicate::in_set(attr, values))
+            } else {
+                let v: u32 = sel
+                    .parse()
+                    .map_err(|_| format!("bad value `{sel}` in marginal spec"))?;
+                Ok(Predicate::between(attr, v, v))
+            }
+        })
+        .collect()
+}
+
+/// `felip query` online mode: ask a running server (ingest or aggregator)
+/// over the v5 `Query` wire verb.
+///
+/// Predicates come from `--point` (equality pairs) and/or `--marginal`
+/// (ranges and category sets), joined as one conjunction. `--mode fresh`
+/// forces a consistent cut per query; the default `cached` serves the
+/// cached epoch when ingest has not moved. `--watch <secs>` re-asks on
+/// one connection at that cadence — a live dashboard for one cell.
+pub fn query_online(flags: &Flags) -> CmdResult {
+    let plan = plan_from_flags(flags)?;
+    let addr: String = flags.get_or("addr", "127.0.0.1:4417".to_string())?;
+    let mode = match flags.get_or("mode", "cached".to_string())?.as_str() {
+        "cached" => QueryMode::Cached,
+        "fresh" => QueryMode::Fresh,
+        other => return Err(format!("unknown query mode `{other}` (cached|fresh)").into()),
+    };
+    let format: String = flags.get_or("format", "table".to_string())?;
+    if format != "table" && format != "json" {
+        return Err(format!("unknown query format `{format}` (table|json)").into());
+    }
+    let watch_secs: u64 = flags.get_or("watch", 0u64)?;
+
+    let mut predicates = Vec::new();
+    if let Some(spec) = flags.get("point") {
+        predicates.extend(parse_point(spec)?);
+    }
+    if let Some(spec) = flags.get("marginal") {
+        predicates.extend(parse_marginal(spec)?);
+    }
+    if predicates.is_empty() {
+        return Err("no predicates: pass --point and/or --marginal".into());
+    }
+    // An equality (or range) on a categorical attribute is a value set,
+    // not a degenerate range — rewrite so `--point` works on both kinds.
+    for p in &mut predicates {
+        if p.attr < plan.schema().len() && plan.schema().attr(p.attr).kind.is_categorical() {
+            if let felip_common::PredicateTarget::Range { lo, hi } = p.target {
+                p.target = felip_common::PredicateTarget::Set((lo..=hi).collect());
+            }
+        }
+    }
+    // Validate locally before going on the wire, so a typo'd attribute
+    // index fails with the schema error instead of a server reject.
+    felip_common::Query::new(plan.schema(), predicates.clone())
+        .map_err(|e| format!("invalid query: {e}"))?;
+
+    let client_id = derive_seed(0xf31a9, std::process::id() as u64);
+    let mut client = Client::connect_with(
+        addr.as_str(),
+        plan.schema_hash(),
+        client_id,
+        RetryPolicy::default(),
+    )?;
+    loop {
+        let ans = client.query(predicates.clone(), mode)?;
+        let staleness = ans.head_epoch - ans.epoch;
+        if format == "json" {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&serde_json::json!({
+                    "command": "query",
+                    "addr": addr,
+                    "estimate": ans.answer,
+                    "estimated_count": (ans.answer * ans.reports as f64).round() as u64,
+                    "reports": ans.reports,
+                    "epoch": ans.epoch,
+                    "head_epoch": ans.head_epoch,
+                    "staleness": staleness,
+                }))?
+            );
+        } else {
+            println!(
+                "felip query @{addr}: estimate {:.6} (~{} of {} reports) epoch {} (head {}, staleness {})",
+                ans.answer,
+                (ans.answer * ans.reports as f64).round() as u64,
+                ans.reports,
+                ans.epoch,
+                ans.head_epoch,
+                staleness,
+            );
+        }
+        if watch_secs == 0 {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs(watch_secs));
+    }
+}
+
 /// One STAT round trip: connect, send the verb (plan hash 0 — STAT is
 /// exempt from plan pinning), return the `StatReply` payload.
 fn stat_once(
@@ -582,6 +728,71 @@ mod tests {
         ]));
         assert!(err.is_err());
         let _ = std::fs::remove_file(&snap);
+    }
+
+    #[test]
+    fn online_query_round_trip() {
+        let flags = Flags::parse(&with_plan(&[])).unwrap();
+        let plan = plan_from_flags(&flags).unwrap();
+        let server = Server::bind(Arc::clone(&plan), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let shutdown = server.shutdown_handle();
+        let t = std::thread::spawn(move || server.run(None).unwrap());
+
+        load(&with_plan(&[
+            "--addr", &addr, "--users", "300", "--seed", "3",
+        ]))
+        .unwrap();
+
+        // Point + marginal predicates, both output formats, both modes.
+        crate::commands::query(&with_plan(&[
+            "--addr",
+            &addr,
+            "--point",
+            "1=2",
+            "--marginal",
+            "0=8..40",
+        ]))
+        .unwrap();
+        crate::commands::query(&with_plan(&[
+            "--addr",
+            &addr,
+            "--marginal",
+            "0=8..40,1=0|2",
+            "--format",
+            "json",
+            "--mode",
+            "fresh",
+        ]))
+        .unwrap();
+
+        // Bad specs fail locally, before any wire traffic.
+        assert!(crate::commands::query(&with_plan(&["--addr", &addr])).is_err());
+        assert!(crate::commands::query(&with_plan(&["--addr", &addr, "--point", "9=1"])).is_err());
+        assert!(crate::commands::query(&with_plan(&["--addr", &addr, "--point", "x"])).is_err());
+
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn point_and_marginal_specs_parse() {
+        assert_eq!(
+            parse_point("0=5,2=7").unwrap(),
+            vec![Predicate::between(0, 5, 5), Predicate::between(2, 7, 7)]
+        );
+        assert_eq!(
+            parse_marginal("0=2..8,1=0|2|3,2=4").unwrap(),
+            vec![
+                Predicate::between(0, 2, 8),
+                Predicate::in_set(1, vec![0, 2, 3]),
+                Predicate::between(2, 4, 4),
+            ]
+        );
+        assert!(parse_point("=5").is_err());
+        assert!(parse_point("a=5").is_err());
+        assert!(parse_marginal("0=2..").is_err());
+        assert!(parse_marginal("0=a|b").is_err());
     }
 
     #[test]

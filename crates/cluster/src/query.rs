@@ -1,0 +1,109 @@
+//! Online query serving on the aggregator tier: the cluster-side twin of
+//! the ingest server's `QueryService` (DESIGN.md §17).
+//!
+//! The aggregator answers v5 `Query` frames from the cluster-wide merged
+//! view. The cache key is the [`ClusterState`] **change version** — bumped
+//! under the nodes lock on every applied delta — instead of the ingest
+//! tier's accepted-report head token; the consistent cut is
+//! [`ClusterState::merged_versioned`], which reads counts and version
+//! under one guard. The engine lock is held across cut + refresh + version
+//! update, so an answer can never pair epoch-N counts with an epoch-N−1
+//! cached grid.
+//!
+//! An aggregator that resumes from an FCLU container builds a fresh, cold
+//! engine (epoch 0, nothing cached), so a restart can never serve a
+//! pre-restore cached grid — the chaos sweep's kill+resume legs assert
+//! this per seed.
+
+use felip_sync::Mutex;
+
+use felip::query::QueryEngine;
+use felip_common::Query;
+use felip_server::wire::{QueryAnswer, QueryMode, QueryRequest, WireError};
+
+use crate::state::ClusterState;
+
+/// The engine plus the cluster change version its cached epoch was built
+/// from, guarded together so epoch and version can never tear apart.
+struct EngineState {
+    engine: QueryEngine,
+    version: u64,
+}
+
+/// The aggregator's query-answering state: one incremental estimation
+/// engine over the cluster-wide merged counts.
+pub(crate) struct ClusterQuery {
+    engine: Mutex<EngineState>,
+}
+
+impl ClusterQuery {
+    /// A cold query engine for `state`'s plan. Always cold — including
+    /// when `state` was restored from disk, which is what keeps a resumed
+    /// aggregator from serving pre-restore cached grids.
+    pub(crate) fn new(state: &ClusterState) -> ClusterQuery {
+        ClusterQuery {
+            engine: Mutex::new(EngineState {
+                engine: QueryEngine::new(state.plan_handle(), state.oracles_handle()),
+                version: 0,
+            }),
+        }
+    }
+
+    /// Answers one query from the merged cluster view, serving the cached
+    /// epoch when no delta has been applied since it was built and
+    /// refreshing from a fresh `merged_versioned` cut otherwise. Errors
+    /// (invalid predicates, no reports yet) are `Malformed` — the
+    /// connection handler answers them with an `Error` frame without
+    /// closing the connection.
+    pub(crate) fn answer(
+        &self,
+        state: &ClusterState,
+        req: &QueryRequest,
+    ) -> Result<QueryAnswer, WireError> {
+        let plan = state.plan_handle();
+        let query = Query::new(plan.schema(), req.predicates.clone())
+            .map_err(|e| WireError::Malformed(format!("invalid query: {e}")))?;
+
+        let mut st = self.engine.lock();
+        if req.mode == QueryMode::Cached && st.version == state.change_version() {
+            if let Some(est) = st.engine.estimator() {
+                let answer = est
+                    .answer(&query)
+                    .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+                let epoch = st.engine.epoch();
+                felip_obs::counter!("cluster.query.answered", 1, "queries");
+                return Ok(QueryAnswer {
+                    query_id: req.query_id,
+                    answer,
+                    epoch,
+                    head_epoch: epoch,
+                    reports: st.engine.reports(),
+                });
+            }
+        }
+
+        // Stale cache (or Fresh mode): one versioned merge, then an
+        // incremental refresh that re-estimates only the changed grids.
+        let (merged, version) = state.merged_versioned();
+        let out = st
+            .engine
+            .refresh_from(&merged)
+            .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+        st.version = version;
+        let answer = out
+            .estimator
+            .answer(&query)
+            .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+        // Deltas may have landed while post-processing ran; surface that
+        // as one epoch of staleness so the client can tell.
+        let head_epoch = out.epoch + u64::from(state.change_version() != st.version);
+        felip_obs::counter!("cluster.query.answered", 1, "queries");
+        Ok(QueryAnswer {
+            query_id: req.query_id,
+            answer,
+            epoch: out.epoch,
+            head_epoch,
+            reports: out.reports,
+        })
+    }
+}

@@ -21,10 +21,11 @@ use felip::plan::CollectionPlan;
 use felip_server::stat::stat_payload;
 use felip_server::transport::{RecvOutcome, TcpTransport, Transport};
 use felip_server::wire::{
-    decode_delta, decode_hello, decode_stat, encode_ack, encode_delta_ack, Frame, FrameKind,
-    WireError,
+    decode_delta, decode_hello, decode_query, decode_stat, encode_ack, encode_delta_ack,
+    encode_query_reply, Frame, FrameKind, WireError,
 };
 
+use crate::query::ClusterQuery;
 use crate::state::ClusterState;
 
 /// How an aggregator run is wired together.
@@ -147,6 +148,7 @@ pub struct AggregatorServer {
     listener: TcpListener,
     local_addr: SocketAddr,
     state: Arc<ClusterState>,
+    query: Arc<ClusterQuery>,
     config: AggregatorConfig,
     shutdown: Arc<AtomicBool>,
 }
@@ -168,10 +170,15 @@ impl AggregatorServer {
             }
             None => ClusterState::new(Arc::clone(&plan), oracles),
         };
+        // The query engine is always built cold here — even (especially)
+        // on the resume path, so a restarted aggregator can never answer
+        // from a grid cached before the restore.
+        let query = Arc::new(ClusterQuery::new(&state));
         Ok(AggregatorServer {
             listener,
             local_addr,
             state: Arc::new(state),
+            query,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -240,6 +247,7 @@ impl AggregatorServer {
                         felip_obs::counter!("cluster.accept", 1, "connections");
                         stats.connections.fetch_add(1, Ordering::Relaxed);
                         let state = Arc::clone(&self.state);
+                        let query = Arc::clone(&self.query);
                         let stats = &stats;
                         let connected = &connected;
                         let stop = &should_stop;
@@ -251,7 +259,9 @@ impl AggregatorServer {
                                 connected.load(Ordering::Relaxed) as usize,
                                 "nodes"
                             );
-                            if let Err(e) = handle_conn(&stream, &state, stats, stop, config) {
+                            if let Err(e) =
+                                handle_conn(&stream, &state, &query, stats, stop, config)
+                            {
                                 felip_obs::diag::line(&format!("cluster connection closed: {e}"));
                             }
                             connected.fetch_sub(1, Ordering::Relaxed);
@@ -313,10 +323,13 @@ fn persist(
 
 /// Serves one node connection: Hello resyncs the epoch cursor, Delta
 /// applies under the cluster lock, Stat answers pre-plan-check like the
-/// ingest tier's admin plane.
+/// ingest tier's admin plane, and Query — which needs no handshake, a
+/// read-only client may connect just to ask — answers from the merged
+/// cluster view.
 fn handle_conn<F: Fn() -> bool>(
     stream: &std::net::TcpStream,
     state: &ClusterState,
+    query: &ClusterQuery,
     stats: &AtomicAggStats,
     stop: &F,
     config: &AggregatorConfig,
@@ -434,6 +447,32 @@ fn handle_conn<F: Fn() -> bool>(
                             }
                         }
                     }
+                    FrameKind::Query => {
+                        let req = match decode_query(&frame.payload) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                let reply = reject(e, stats);
+                                let _ = transport.send(&reply);
+                                return Ok(());
+                            }
+                        };
+                        match query.answer(state, &req) {
+                            Ok(ans) => {
+                                transport.send(&Frame {
+                                    kind: FrameKind::QueryReply,
+                                    plan_hash,
+                                    payload: encode_query_reply(&ans),
+                                })?;
+                            }
+                            Err(e) => {
+                                // Unanswerable (bad predicates, no reports
+                                // yet): answer an Error frame but keep the
+                                // connection — the client may retry.
+                                felip_obs::counter!("cluster.query.errors", 1, "queries");
+                                transport.send(&Frame::error(plan_hash, &e.to_string()))?;
+                            }
+                        }
+                    }
                     other => {
                         let e = WireError::Malformed(format!("node sent {other:?} frame"));
                         let reply = reject(e, stats);
@@ -546,6 +585,140 @@ mod tests {
             let run = handle.join().unwrap();
             assert_eq!(run.merged.counts(), agg.counts());
             assert_eq!(run.stats.deltas_applied, 1);
+        });
+    }
+
+    #[test]
+    fn queries_answer_from_merged_view_bit_identically() {
+        use felip_common::Predicate;
+        use felip_server::wire::{decode_query_reply, encode_query, QueryMode, QueryRequest};
+
+        let plan = tiny_plan();
+        let plan_hash = plan.schema_hash();
+        let server =
+            AggregatorServer::bind(Arc::clone(&plan), AggregatorConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let stop = server.shutdown_handle();
+
+        let preds = vec![
+            Predicate::between(0, 4, 20),
+            Predicate::in_set(1, vec![1, 2]),
+        ];
+        let query = felip_common::Query::new(plan.schema(), preds.clone()).unwrap();
+
+        let ask = |conn: &mut std::net::TcpStream, id: u64, mode: QueryMode| {
+            felip_server::wire::write_frame(
+                conn,
+                &Frame {
+                    kind: FrameKind::Query,
+                    plan_hash,
+                    payload: encode_query(&QueryRequest {
+                        query_id: id,
+                        mode,
+                        predicates: preds.clone(),
+                    })
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+            felip_server::wire::read_frame(conn).unwrap().unwrap()
+        };
+
+        thread::scope(|s| {
+            let handle = s.spawn(|| server.run(None).unwrap());
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+
+            // No deltas applied yet: the query answers an Error frame but
+            // the connection stays usable.
+            let reply = ask(&mut conn, 1, QueryMode::Cached);
+            assert_eq!(reply.kind, FrameKind::Error);
+
+            // Apply node 7's cumulative state (no hello needed for
+            // queries, but deltas require one).
+            felip_server::wire::write_frame(
+                &mut conn,
+                &Frame {
+                    kind: FrameKind::Hello,
+                    plan_hash,
+                    payload: hello_payload(7),
+                },
+            )
+            .unwrap();
+            felip_server::wire::read_frame(&mut conn).unwrap().unwrap();
+            let agg = felip_server::loadgen::offline_reference(&plan, 0..15, 5).unwrap();
+            felip_server::wire::write_frame(
+                &mut conn,
+                &Frame {
+                    kind: FrameKind::Delta,
+                    plan_hash,
+                    payload: encode_delta(&CountDelta {
+                        node_id: 7,
+                        epoch: 1,
+                        flavor: DeltaFlavor::Full,
+                        total: agg.reports_ingested() as u64,
+                        counts: agg.counts().to_vec(),
+                        group_sizes: agg.group_sizes().iter().map(|&s| s as u64).collect(),
+                    })
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+            felip_server::wire::read_frame(&mut conn).unwrap().unwrap();
+
+            // Cold query: epoch 1, bit-identical to the offline batch
+            // estimate on the same counts.
+            let offline = agg.estimate().unwrap().answer(&query).unwrap();
+            let reply = ask(&mut conn, 2, QueryMode::Cached);
+            assert_eq!(reply.kind, FrameKind::QueryReply);
+            let ans = decode_query_reply(&reply.payload).unwrap();
+            assert_eq!(ans.query_id, 2);
+            assert_eq!(ans.epoch, 1);
+            assert_eq!(ans.head_epoch, 1);
+            assert_eq!(ans.reports, 15);
+            assert_eq!(ans.answer.to_bits(), offline.to_bits());
+
+            // Warm query: same epoch, same bits, no re-estimation.
+            let warm = decode_query_reply(&ask(&mut conn, 3, QueryMode::Cached).payload).unwrap();
+            assert_eq!(warm.epoch, 1);
+            assert_eq!(warm.answer.to_bits(), offline.to_bits());
+
+            // Fresh mode with unchanged counts still does not invent a new
+            // epoch: the engine sees identical grids.
+            let fresh = decode_query_reply(&ask(&mut conn, 4, QueryMode::Fresh).payload).unwrap();
+            assert_eq!(fresh.epoch, 1);
+            assert_eq!(fresh.answer.to_bits(), offline.to_bits());
+
+            // A second node's delta invalidates the cache: epoch 2,
+            // bit-identical to the two-node merged offline estimate.
+            let agg2 = felip_server::loadgen::offline_reference(&plan, 15..30, 5).unwrap();
+            felip_server::wire::write_frame(
+                &mut conn,
+                &Frame {
+                    kind: FrameKind::Delta,
+                    plan_hash,
+                    payload: encode_delta(&CountDelta {
+                        node_id: 8,
+                        epoch: 1,
+                        flavor: DeltaFlavor::Full,
+                        total: agg2.reports_ingested() as u64,
+                        counts: agg2.counts().to_vec(),
+                        group_sizes: agg2.group_sizes().iter().map(|&s| s as u64).collect(),
+                    })
+                    .unwrap(),
+                },
+            )
+            .unwrap();
+            felip_server::wire::read_frame(&mut conn).unwrap().unwrap();
+            let merged = felip_server::loadgen::offline_reference(&plan, 0..30, 5).unwrap();
+            let offline2 = merged.estimate().unwrap().answer(&query).unwrap();
+            let ans2 = decode_query_reply(&ask(&mut conn, 5, QueryMode::Cached).payload).unwrap();
+            assert_eq!(ans2.epoch, 2);
+            assert_eq!(ans2.reports, 30);
+            assert_eq!(ans2.answer.to_bits(), offline2.to_bits());
+
+            drop(conn);
+            stop.store(true, Ordering::SeqCst);
+            handle.join().unwrap();
         });
     }
 

@@ -38,6 +38,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use felip_sync::atomic::{AtomicU64, Ordering};
 use felip_sync::{Arc, Mutex};
 
 use felip::aggregator::{Aggregator, OracleSet};
@@ -76,6 +77,9 @@ pub struct ClusterState {
     oracles: Arc<OracleSet>,
     plan_hash: u64,
     nodes: Mutex<BTreeMap<u64, NodeState>>,
+    /// Bumped (under the nodes lock) every time a delta is applied — the
+    /// cheap "did the merged view change?" token the query cache keys on.
+    version: AtomicU64,
 }
 
 impl ClusterState {
@@ -87,6 +91,7 @@ impl ClusterState {
             oracles,
             plan_hash,
             nodes: Mutex::new(BTreeMap::new()),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -98,6 +103,18 @@ impl ClusterState {
     /// The shared plan handle.
     pub fn plan_handle(&self) -> Arc<CollectionPlan> {
         Arc::clone(&self.plan)
+    }
+
+    /// The shared oracle-set handle.
+    pub fn oracles_handle(&self) -> Arc<OracleSet> {
+        Arc::clone(&self.oracles)
+    }
+
+    /// The current change version: bumped on every applied delta. A query
+    /// cache whose version still matches knows the merged view is
+    /// unchanged without merging anything.
+    pub fn change_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
     }
 
     /// The node's highest applied epoch (0 for an unknown node) — what the
@@ -172,6 +189,10 @@ impl ClusterState {
                 node.epoch = delta.epoch;
             }
         }
+        // Bumped while the nodes guard is still held, so a
+        // `merged_versioned` cut can never pair old counts with the new
+        // version (or vice versa).
+        self.version.fetch_add(1, Ordering::Release);
         felip_obs::counter!("cluster.delta.applied", 1, "deltas");
         let last_applied = node.epoch;
         // Keep the merged-view gauge live during ingestion, not just on
@@ -191,7 +212,15 @@ impl ClusterState {
     /// Taken under the nodes lock, so it is a consistent cut — no delta is
     /// ever half-included.
     pub fn merged(&self) -> Aggregator {
+        self.merged_versioned().0
+    }
+
+    /// [`merged`](ClusterState::merged) plus the change version read under
+    /// the same nodes guard — the exact token the merged counts correspond
+    /// to, for query-cache keying.
+    pub fn merged_versioned(&self) -> (Aggregator, u64) {
         let nodes = self.nodes.lock();
+        let version = self.version.load(Ordering::Acquire);
         let mut merged =
             Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles));
         for node in nodes.values() {
@@ -202,7 +231,7 @@ impl ClusterState {
             merged.reports_ingested(),
             "reports"
         );
-        merged
+        (merged, version)
     }
 
     /// A plain merged FSNP snapshot (no dedup cursors — those live on the
@@ -303,11 +332,16 @@ impl ClusterState {
                 body.len() - pos
             )));
         }
+        // A restored state starts its version counter over at zero; the
+        // query engine paired with it must likewise start cold (epoch 0)
+        // so a resumed aggregator can never serve a pre-restore cached
+        // grid against the reset counter.
         Ok(ClusterState {
             plan,
             oracles,
             plan_hash: ours,
             nodes: Mutex::new(nodes),
+            version: AtomicU64::new(0),
         })
     }
 

@@ -11,16 +11,86 @@
 
 mod common;
 
-use std::sync::atomic::Ordering;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
+use felip::plan::CollectionPlan;
 use felip_cluster::{AggregatorConfig, AggregatorServer};
+use felip_common::{Predicate, Query};
 use felip_server::loadgen::offline_reference;
+use felip_server::wire::{
+    self, CountDelta, DeltaFlavor, Frame, FrameKind, QueryAnswer, QueryMode, QueryRequest,
+};
 use felip_server::ServerConfig;
 
 use common::{plan, serve_and_stream, serve_and_stream_paused, split_users, NodeExit, NodeOutcome};
+
+/// The λ-D probe the sweep's query mixer asks on every seed.
+fn probe_predicates() -> Vec<Predicate> {
+    vec![
+        Predicate::between(0, 4, 20),
+        Predicate::in_set(1, vec![1, 2]),
+    ]
+}
+
+/// One `Query` round-trip against an aggregator. `Ok(None)` is an `Error`
+/// frame (nothing merged yet — the connection stays usable); `Err` is a
+/// transport failure (e.g. the aggregator is mid-bounce).
+fn ask_cluster(
+    conn: &mut TcpStream,
+    plan_hash: u64,
+    query_id: u64,
+    mode: QueryMode,
+) -> Result<Option<QueryAnswer>, String> {
+    wire::write_frame(
+        conn,
+        &Frame {
+            kind: FrameKind::Query,
+            plan_hash,
+            payload: wire::encode_query(&QueryRequest {
+                query_id,
+                mode,
+                predicates: probe_predicates(),
+            })
+            .map_err(|e| e.to_string())?,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let reply = wire::read_frame(conn)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "connection closed mid-query".to_string())?;
+    match reply.kind {
+        FrameKind::QueryReply => wire::decode_query_reply(&reply.payload)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+        FrameKind::Error => Ok(None),
+        other => Err(format!("unexpected reply to query: {other:?}")),
+    }
+}
+
+/// A `Fresh` query retried until the aggregator's cut covers the full
+/// stream — the settled, strongest-consistency ask of a finished seed.
+fn settled_answer(upstream: SocketAddr, plan: &CollectionPlan, total: usize) -> QueryAnswer {
+    for attempt in 0..200u64 {
+        if let Ok(mut conn) = TcpStream::connect(upstream) {
+            if let Ok(Some(ans)) = ask_cluster(
+                &mut conn,
+                plan.schema_hash(),
+                0xF1AA + attempt,
+                QueryMode::Fresh,
+            ) {
+                if ans.reports == total as u64 {
+                    return ans;
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    panic!("aggregator never answered the settled query at {total} reports");
+}
 
 /// splitmix64: the same seed-expansion the ingest-tier chaos sweep uses,
 /// so every fault decision is a pure function of the seed.
@@ -42,6 +112,7 @@ struct SweepTotals {
     agg_resumes: u64,
     full_resyncs: u64,
     deltas_acked: u64,
+    queries_answered: u64,
 }
 
 #[test]
@@ -88,7 +159,51 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
         let loaded = Arc::new(Barrier::new(nodes + 1));
         let resume = Arc::new(Barrier::new(nodes + 1));
 
-        let (outcomes, run) = thread::scope(|s| {
+        // The mixed query client: rides the whole seed (faults, kill,
+        // bounce and all) asking `Cached` queries; every answer must sit
+        // at a valid epoch no further than the ingest head and inside a
+        // cut no larger than the stream.
+        let qstop = Arc::new(AtomicBool::new(false));
+        let answered = Arc::new(AtomicU64::new(0));
+
+        let (outcomes, run, final_ans) = thread::scope(|s| {
+            let mixer = {
+                let qstop = Arc::clone(&qstop);
+                let answered = Arc::clone(&answered);
+                let plan_hash = plan.schema_hash();
+                s.spawn(move || {
+                    let mut query_id = 0x0A5C_0000u64;
+                    while !qstop.load(Ordering::SeqCst) {
+                        query_id += 1;
+                        // Reconnect per ask: the aggregator may be
+                        // mid-bounce, which is simply a skipped round.
+                        if let Ok(mut conn) = TcpStream::connect(upstream) {
+                            if let Ok(Some(ans)) =
+                                ask_cluster(&mut conn, plan_hash, query_id, QueryMode::Cached)
+                            {
+                                assert!(
+                                    ans.epoch <= ans.head_epoch,
+                                    "answer served from the future: epoch {} > head {}",
+                                    ans.epoch,
+                                    ans.head_epoch
+                                );
+                                assert!(
+                                    ans.reports <= total as u64,
+                                    "cut larger than the stream: {} > {total}",
+                                    ans.reports
+                                );
+                                assert!(
+                                    (0.0..=1.0).contains(&ans.answer),
+                                    "frequency out of range: {}",
+                                    ans.answer
+                                );
+                                answered.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        thread::sleep(Duration::from_millis(3));
+                    }
+                })
+            };
             let handles: Vec<_> = (0..nodes)
                 .map(|i| {
                     let plan = Arc::clone(&plan);
@@ -192,12 +307,18 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
                     .into_iter()
                     .map(|h| h.join().expect("node thread"))
                     .collect();
+                // Every node flushed: ask the settled question while the
+                // aggregator is still serving, then let it drain.
+                qstop.store(true, Ordering::SeqCst);
+                mixer.join().expect("query mixer");
+                let final_ans = settled_answer(upstream, &plan, total);
                 stop2.store(true, Ordering::SeqCst);
                 (
                     outcomes,
                     agg_thread
                         .take()
                         .map(|t| t.join().expect("join aggregator")),
+                    final_ans,
                 )
             } else {
                 resume.wait();
@@ -205,12 +326,16 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
                     .into_iter()
                     .map(|h| h.join().expect("node thread"))
                     .collect();
+                qstop.store(true, Ordering::SeqCst);
+                mixer.join().expect("query mixer");
+                let final_ans = settled_answer(upstream, &plan, total);
                 stop.store(true, Ordering::SeqCst);
                 (
                     outcomes,
                     agg_thread
                         .take()
                         .map(|t| t.join().expect("join aggregator")),
+                    final_ans,
                 )
             }
         });
@@ -258,6 +383,23 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
             "seed {seed} digest"
         );
         assert_eq!(run.nodes.len(), nodes, "seed {seed} node rows");
+
+        // And the settled online answer equals the offline batch estimate
+        // on that same full cut, bit for bit — the wire path, the merge,
+        // and the incremental engine add nothing and lose nothing.
+        let probe = Query::new(plan.schema(), probe_predicates()).expect("probe");
+        assert_eq!(final_ans.reports, total as u64, "seed {seed} settled cut");
+        assert_eq!(
+            final_ans.answer.to_bits(),
+            expected
+                .estimate()
+                .expect("offline estimate")
+                .answer(&probe)
+                .expect("offline answer")
+                .to_bits(),
+            "seed {seed}: online answer diverged from the offline estimate"
+        );
+        totals.queries_answered += answered.load(Ordering::SeqCst);
     }
 
     // The sweep must not have been vacuous: every fault class fired, and
@@ -273,6 +415,136 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
         totals.full_resyncs
     );
     assert!(totals.deltas_acked >= 2 * 64, "{}", totals.deltas_acked);
+    // The query mixer must have landed real answers across the sweep — a
+    // permanently-erroring query plane would otherwise pass silently.
+    assert!(
+        totals.queries_answered >= 64,
+        "query mixer answered too little: {}",
+        totals.queries_answered
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill+resume must never serve a pre-restore cached grid: the first
+/// answer of the resumed aggregator's life is a cold build from the
+/// restored FCLU state (epoch restarts at 1), bit-identical to the
+/// offline batch estimate on the restored counts.
+#[test]
+fn aggregator_resume_answers_cold_from_restored_state() {
+    let plan = plan();
+    let plan_hash = plan.schema_hash();
+    let dir =
+        std::env::temp_dir().join(format!("felip-cluster-resume-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let state_path = dir.join("agg.fclu");
+
+    let probe = Query::new(plan.schema(), probe_predicates()).expect("probe");
+    let warm = offline_reference(&plan, 0..20, 9).expect("offline 20");
+    let grown = offline_reference(&plan, 0..40, 9).expect("offline 40");
+    let grown_bits = grown
+        .estimate()
+        .expect("offline estimate")
+        .answer(&probe)
+        .expect("offline answer")
+        .to_bits();
+
+    let send_full = |conn: &mut TcpStream, epoch: u64, agg: &felip::Aggregator| {
+        wire::write_frame(
+            conn,
+            &Frame {
+                kind: FrameKind::Delta,
+                plan_hash,
+                payload: wire::encode_delta(&CountDelta {
+                    node_id: 7,
+                    epoch,
+                    flavor: DeltaFlavor::Full,
+                    total: agg.reports_ingested() as u64,
+                    counts: agg.counts().to_vec(),
+                    group_sizes: agg.group_sizes().iter().map(|&s| s as u64).collect(),
+                })
+                .expect("encode delta"),
+            },
+        )
+        .expect("send delta");
+        let ack = wire::read_frame(conn)
+            .expect("ack read")
+            .expect("ack frame");
+        assert_eq!(ack.kind, FrameKind::DeltaAck, "delta must be acked");
+    };
+
+    // Life 1: ingest two epochs, observing the engine advance 1 → 2, then
+    // shut down (the aggregator persists once more on the way out).
+    let cfg = AggregatorConfig {
+        state_path: Some(state_path.clone()),
+        persist_every: Duration::from_millis(10),
+        ..AggregatorConfig::default()
+    };
+    let agg1 = AggregatorServer::bind(Arc::clone(&plan), cfg).expect("bind life 1");
+    let upstream = agg1.local_addr();
+    let stop1 = agg1.shutdown_handle();
+    let life1 = thread::spawn(move || agg1.run(None).expect("life 1 run"));
+    {
+        let mut conn = TcpStream::connect(upstream).expect("connect life 1");
+        wire::write_frame(
+            &mut conn,
+            &Frame {
+                kind: FrameKind::Hello,
+                plan_hash,
+                payload: wire::encode_hello(7),
+            },
+        )
+        .expect("hello");
+        wire::read_frame(&mut conn)
+            .expect("hello ack")
+            .expect("ack");
+
+        send_full(&mut conn, 1, &warm);
+        let first = ask_cluster(&mut conn, plan_hash, 1, QueryMode::Cached)
+            .expect("query 1")
+            .expect("answer 1");
+        assert_eq!(first.epoch, 1);
+        assert_eq!(first.reports, 20);
+
+        send_full(&mut conn, 2, &grown);
+        let second = ask_cluster(&mut conn, plan_hash, 2, QueryMode::Cached)
+            .expect("query 2")
+            .expect("answer 2");
+        assert_eq!(second.epoch, 2, "changed counts must advance the epoch");
+        assert_eq!(second.reports, 40);
+        assert_eq!(second.answer.to_bits(), grown_bits);
+    }
+    stop1.store(true, Ordering::SeqCst);
+    life1.join().expect("join life 1");
+
+    // Life 2: resume from the persisted state. The very first answer must
+    // be a cold build — epoch 1, never the pre-restore cache's epoch 2 —
+    // over the full restored 40-report cut.
+    let cfg = AggregatorConfig {
+        state_path: Some(state_path.clone()),
+        resume: Some(state_path.clone()),
+        persist_every: Duration::from_millis(10),
+        ..AggregatorConfig::default()
+    };
+    let agg2 = AggregatorServer::bind(Arc::clone(&plan), cfg).expect("bind life 2");
+    let upstream = agg2.local_addr();
+    let stop2 = agg2.shutdown_handle();
+    let life2 = thread::spawn(move || agg2.run(None).expect("life 2 run"));
+    {
+        let mut conn = TcpStream::connect(upstream).expect("connect life 2");
+        let resumed = ask_cluster(&mut conn, plan_hash, 3, QueryMode::Cached)
+            .expect("resumed query")
+            .expect("resumed answer");
+        assert_eq!(
+            resumed.epoch, 1,
+            "resumed aggregator served a pre-restore cached grid"
+        );
+        assert_eq!(resumed.head_epoch, 1);
+        assert_eq!(resumed.reports, 40, "restored cut must cover the stream");
+        assert_eq!(resumed.answer.to_bits(), grown_bits);
+    }
+    stop2.store(true, Ordering::SeqCst);
+    life2.join().expect("join life 2");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -64,6 +64,7 @@ pub mod answer;
 pub mod client;
 pub mod config;
 pub mod plan;
+pub mod query;
 pub mod simulate;
 pub mod stats;
 pub mod twophase;
@@ -73,6 +74,7 @@ pub use answer::Estimator;
 pub use client::{respond, UserReport};
 pub use config::{FelipConfig, SelectivityPrior, Strategy};
 pub use plan::CollectionPlan;
+pub use query::{QueryEngine, RefreshOutcome};
 pub use simulate::simulate;
 pub use stats::AnswerWithError;
 pub use twophase::simulate_two_phase;

@@ -21,8 +21,10 @@ use felip_common::hash::mix64;
 use felip_common::rng::derive_seed;
 
 use crate::wire::{
-    decode_ack, encode_batch, encode_hello, read_frame, write_frame, Frame, FrameKind, WireError,
+    decode_ack, decode_query_reply, encode_batch, encode_hello, encode_query, read_frame,
+    write_frame, Frame, FrameKind, QueryAnswer, QueryMode, QueryRequest, WireError,
 };
+use felip_common::Predicate;
 
 /// Process-wide allocator for default client ids (`connect` uses it;
 /// `connect_with` lets callers pin ids for reproducible runs).
@@ -101,6 +103,7 @@ pub struct Client {
     client_id: u64,
     last_acked: u64,
     policy: RetryPolicy,
+    next_query_id: u64,
 }
 
 /// Dials the first reachable address of a resolved set.
@@ -152,6 +155,7 @@ impl Client {
             client_id,
             last_acked: 0,
             policy,
+            next_query_id: 0,
         };
         client.handshake()?;
         Ok(client)
@@ -271,6 +275,40 @@ impl Client {
                     let _ = self.reconnect();
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one v5 `Query` and waits for its `QueryReply`. The request's
+    /// correlation id is derived from the client id and an internal
+    /// counter; stale replies (mismatched ids) are skipped.
+    pub fn query(
+        &mut self,
+        predicates: Vec<Predicate>,
+        mode: QueryMode,
+    ) -> Result<QueryAnswer, WireError> {
+        self.next_query_id = self.next_query_id.wrapping_add(1);
+        let req = QueryRequest {
+            query_id: mix64(self.client_id ^ self.next_query_id),
+            mode,
+            predicates,
+        };
+        let frame = Frame {
+            kind: FrameKind::Query,
+            plan_hash: self.plan_hash,
+            payload: encode_query(&req)?,
+        };
+        self.send(&frame)?;
+        loop {
+            match self.read_reply()? {
+                (FrameKind::QueryReply, payload) => {
+                    let ans = decode_query_reply(&payload)?;
+                    if ans.query_id != req.query_id {
+                        continue;
+                    }
+                    return Ok(ans);
+                }
+                (kind, payload) => return Err(reply_error(kind, &payload)),
             }
         }
     }

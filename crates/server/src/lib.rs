@@ -28,6 +28,7 @@ pub mod fault;
 pub mod loadgen;
 #[cfg(all(test, feature = "model"))]
 mod model_tests;
+mod query;
 pub mod queue;
 #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
 mod reactor;
@@ -46,4 +47,4 @@ pub use server::{CutHook, CutState, Server, ServerConfig, ServerError, ServerRun
 pub use simharness::{SimConfig, SimReport, SimTransport};
 pub use snapshot::Snapshot;
 pub use transport::{RecvOutcome, TcpTransport, Transport};
-pub use wire::{Frame, FrameKind, WireError};
+pub use wire::{Frame, FrameKind, QueryAnswer, QueryMode, QueryRequest, WireError};

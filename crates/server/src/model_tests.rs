@@ -19,11 +19,14 @@ use felip::config::FelipConfig;
 use felip::plan::CollectionPlan;
 use felip_common::{Attribute, Schema};
 
+use felip::query::QueryEngine;
+
 use crate::loadgen;
+use crate::query::QueryService;
 use crate::queue::{BoundedQueue, PopResult};
 use crate::server::{consistent_cut, AtomicStats};
 use crate::session::{Session, SessionCtx};
-use crate::wire::{encode_batch, encode_hello, Frame, FrameKind};
+use crate::wire::{encode_batch, encode_hello, Frame, FrameKind, QueryMode, QueryRequest};
 
 /// A tiny but real plan (one 8-bin attribute, 4 users) shared by every
 /// schedule of a check: the plan is immutable, so building it once outside
@@ -324,6 +327,234 @@ fn model_mutation_needs_preemptions() {
     };
     model::check_with(cfg, scenario)
         .expect("without preemptions each task runs to completion and the race hides");
+}
+
+// ---------------------------------------------------------------------------
+// Query engine: the epoch-cache invalidation race (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+/// One loadgen report for a single user of the tiny plan.
+fn report_for(plan: &Arc<CollectionPlan>, user: usize) -> UserReport {
+    loadgen::user_report(plan, user, 0xfe11).expect("loadgen report")
+}
+
+/// The probe every query-model schedule asks: a 1-D range marginal on the
+/// tiny plan's only attribute.
+fn probe(plan: &CollectionPlan) -> felip_common::Query {
+    felip_common::Query::new(
+        plan.schema(),
+        vec![felip_common::Predicate::between(0, 2, 5)],
+    )
+    .expect("static probe")
+}
+
+/// The offline batch answer (as exact bits) for a given report prefix —
+/// the pure function of the cut every served answer must equal.
+fn offline_bits(plan: &Arc<CollectionPlan>, oracles: &Arc<OracleSet>, users: usize) -> u64 {
+    let mut agg = Aggregator::with_oracles(Arc::clone(plan), Arc::clone(oracles));
+    for u in 0..users {
+        agg.ingest(&report_for(plan, u)).expect("ingest reference");
+    }
+    agg.estimate()
+        .expect("non-empty reference")
+        .answer(&probe(plan))
+        .expect("probe reference")
+        .to_bits()
+}
+
+/// A query racing ingestion and its own cache refresh can never observe
+/// counts from epoch N with a cached grid from epoch N−1: under every
+/// interleaving of a session (two batches), an ingest worker, and two
+/// `Cached`-mode queries, each served answer is *bit-identical* to the
+/// offline batch estimate of exactly the reports it claims to cover —
+/// a mixed-epoch answer would be the pure function of no cut at all.
+#[test]
+fn model_query_epoch_and_counts_never_tear() {
+    let (plan, oracles) = tiny_plan();
+    let plan_hash = plan.schema_hash();
+    // Batch 1 carries users {0, 1}, batch 2 user {2}: the two admissible
+    // cuts have distinct report totals, so `reports` names the cut and
+    // the expected bits are a lookup. (An empty cut is a query error.)
+    let batch1 = vec![report_for(&plan, 0), report_for(&plan, 1)];
+    let batch2 = vec![report_for(&plan, 2)];
+    let after_b1 = offline_bits(&plan, &oracles, 2);
+    let after_b2 = offline_bits(&plan, &oracles, 3);
+    assert_ne!(after_b1, after_b2, "probe cannot distinguish the cuts");
+    let stats = model::check(move || {
+        let ctx = Arc::new(SessionCtx::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            vec![],
+        ));
+        let q = Arc::new(BoundedQueue::<Vec<UserReport>>::new(4));
+        let stats = Arc::new(AtomicStats::default());
+        let base = Arc::new(Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        )));
+        let shards = Arc::new(vec![Mutex::new(Aggregator::with_oracles(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        ))]);
+        let service = Arc::new(QueryService::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+            Arc::clone(&base),
+            Arc::clone(&shards),
+            vec![Arc::clone(&q)],
+            0,
+        ));
+        let session = {
+            let (ctx, q, stats) = (Arc::clone(&ctx), Arc::clone(&q), Arc::clone(&stats));
+            let (batch1, batch2) = (batch1.clone(), batch2.clone());
+            thread::spawn(move || {
+                let mut s = Session::new();
+                s.on_frame(hello_frame(plan_hash, 3), &ctx, &q, &stats);
+                let a = s.on_frame(batch_frame(plan_hash, 1, &batch1), &ctx, &q, &stats);
+                let b = s.on_frame(batch_frame(plan_hash, 2, &batch2), &ctx, &q, &stats);
+                assert!(a.accepted.is_some() && b.accepted.is_some());
+            })
+        };
+        let worker = {
+            let (q, shards) = (Arc::clone(&q), Arc::clone(&shards));
+            thread::spawn(move || {
+                drain_one(&q, &shards[0]);
+                drain_one(&q, &shards[0]);
+            })
+        };
+        let querier = {
+            let (ctx, stats, service) =
+                (Arc::clone(&ctx), Arc::clone(&stats), Arc::clone(&service));
+            let plan = Arc::clone(&plan);
+            thread::spawn(move || {
+                for query_id in 0..2u64 {
+                    let req = QueryRequest {
+                        query_id,
+                        mode: QueryMode::Cached,
+                        predicates: probe(&plan).predicates().to_vec(),
+                    };
+                    match service.answer(&ctx, &stats, &req) {
+                        // An empty cut is the one admissible error.
+                        Err(_) => {}
+                        Ok(ans) => {
+                            assert!(ans.epoch <= ans.head_epoch, "head behind answer");
+                            let expected = match ans.reports {
+                                2 => after_b1,
+                                3 => after_b2,
+                                n => panic!("cut covers a partial batch: {n} reports"),
+                            };
+                            assert_eq!(
+                                ans.answer.to_bits(),
+                                expected,
+                                "answer at {} reports is not the batch estimate of its cut",
+                                ans.reports
+                            );
+                        }
+                    }
+                }
+            })
+        };
+        session.join().expect("session task");
+        worker.join().expect("worker task");
+        querier.join().expect("querier task");
+        // Quiesced: a fresh cut must land on the full stream, caught up.
+        let req = QueryRequest {
+            query_id: 9,
+            mode: QueryMode::Fresh,
+            predicates: probe(&plan).predicates().to_vec(),
+        };
+        let ans = service.answer(&ctx, &stats, &req).expect("final answer");
+        assert_eq!(ans.reports, 3);
+        assert_eq!(ans.answer.to_bits(), after_b2);
+        assert_eq!(ans.epoch, ans.head_epoch, "quiesced head cannot be stale");
+    })
+    .expect("query/cut atomicity must hold on every schedule");
+    assert!(stats.schedules > 1, "exploration degenerated: {stats:?}");
+}
+
+/// The bug the engine-lock scope prevents: reading the cached epoch's
+/// report count and its estimator under *separate* lock holds. A refresh
+/// landing between the two reads pairs epoch-N−1 bookkeeping with the
+/// epoch-N grid — exactly the torn read `QueryService::answer` makes
+/// impossible by holding one lock across cut + refresh + answer.
+fn buggy_epoch_read(engine: &Mutex<QueryEngine>, query: &felip_common::Query) -> (u64, u64) {
+    // Bug: the lock is dropped between the bookkeeping read and the
+    // estimator read.
+    let reports = engine.lock().reports();
+    let est = engine.lock().estimator().expect("engine was warmed");
+    (reports, est.answer(query).expect("probe").to_bits())
+}
+
+/// Mutation test: the checker must *find* the torn epoch read — and the
+/// violation's schedule token must replay it deterministically. If the
+/// scheduler stopped exploring a refresh between two reads of the engine,
+/// this test would fail before a real lock-scope regression in
+/// `QueryService::answer` could slip past `model_query_epoch_and_counts_never_tear`.
+#[test]
+fn model_mutation_query_torn_epoch_read_is_caught() {
+    let (plan, oracles) = tiny_plan();
+    let warm = Arc::new({
+        let mut agg = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+        for u in 0..2 {
+            agg.ingest(&report_for(&plan, u)).expect("warm ingest");
+        }
+        agg
+    });
+    let grown = Arc::new({
+        let mut agg = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
+        for u in 0..3 {
+            agg.ingest(&report_for(&plan, u)).expect("grown ingest");
+        }
+        agg
+    });
+    let after_warm = offline_bits(&plan, &oracles, 2);
+    let after_grown = offline_bits(&plan, &oracles, 3);
+    assert_ne!(
+        after_warm, after_grown,
+        "probe cannot distinguish the epochs"
+    );
+    let scenario = move || {
+        let engine = Arc::new(Mutex::new(QueryEngine::new(
+            Arc::clone(&plan),
+            Arc::clone(&oracles),
+        )));
+        engine.lock().refresh_from(&warm).expect("warm refresh");
+        let refresher = {
+            let (engine, grown) = (Arc::clone(&engine), Arc::clone(&grown));
+            thread::spawn(move || {
+                engine.lock().refresh_from(&grown).expect("grown refresh");
+            })
+        };
+        let reader = {
+            let (engine, plan) = (Arc::clone(&engine), Arc::clone(&plan));
+            thread::spawn(move || buggy_epoch_read(&engine, &probe(&plan)))
+        };
+        let (reports, bits) = reader.join().expect("reader task");
+        let expected = if reports == 2 {
+            after_warm
+        } else {
+            after_grown
+        };
+        assert_eq!(
+            bits, expected,
+            "epoch torn: {reports}-report bookkeeping with the other epoch's grid"
+        );
+        refresher.join().expect("refresher task");
+    };
+    let violation =
+        model::check(scenario.clone()).expect_err("the checker must detect the torn epoch read");
+    assert!(
+        violation.message.contains("epoch torn"),
+        "unexpected violation: {violation}"
+    );
+    // The token pins the exact interleaving: replaying it reproduces the
+    // same failure, every time, with no search.
+    let replayed = model::replay(&violation.schedule, scenario)
+        .expect_err("replaying the violating schedule must reproduce the tear");
+    assert!(
+        replayed.message.contains("epoch torn"),
+        "replay diverged: {replayed}"
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,159 @@
+//! Online query serving (DESIGN.md §17): the service behind the v5
+//! `Query` wire verb.
+//!
+//! A [`QueryService`] owns handles to the serve run's count state (resume
+//! base + worker shards + their queues) and a [`QueryEngine`] guarded by
+//! one mutex. Answering a query:
+//!
+//! 1. Validate the predicates against the plan's schema.
+//! 2. Under the engine lock, compare the ingest **head token** (resume
+//!    base reports + reports accepted so far, a single relaxed load)
+//!    against the token the cached epoch was built from. A `Cached`-mode
+//!    query whose token matches is served straight from the cached
+//!    estimator — no cut, no post-processing.
+//! 3. Otherwise take a consistent cut (the PR-4 machinery: freeze
+//!    admission on the dedup lock, wait for queue quiescence, merge
+//!    base + shards) and [`QueryEngine::refresh`] from it — re-estimating
+//!    only the grids whose counts moved — then answer from the refreshed
+//!    estimator.
+//!
+//! The engine lock is held across cut + refresh + token update, so a
+//! query can never pair counts from epoch N with a cached grid from
+//! epoch N−1 (the invariant the felip-sync model test explores
+//! exhaustively). Replies carry the answer's epoch *and* the head epoch
+//! at answer time, so clients can compute staleness as
+//! `head_epoch - epoch`.
+
+use felip_sync::{Arc, Mutex};
+
+use felip::aggregator::{Aggregator, OracleSet};
+use felip::client::UserReport;
+use felip::plan::CollectionPlan;
+use felip::query::QueryEngine;
+use felip_common::Query;
+
+use crate::queue::BoundedQueue;
+use crate::server::{consistent_cut, AtomicStats};
+use crate::session::SessionCtx;
+use crate::wire::{QueryAnswer, QueryMode, QueryRequest, WireError};
+
+/// The engine plus the ingest head token its cached epoch was built from,
+/// guarded together so epoch and token can never tear apart.
+struct EngineState {
+    engine: QueryEngine,
+    head_token: u64,
+}
+
+/// The serve run's query-answering state: shared handles to the live
+/// count state and the incremental estimation engine.
+pub(crate) struct QueryService {
+    plan: Arc<CollectionPlan>,
+    oracles: Arc<OracleSet>,
+    base: Arc<Mutex<Aggregator>>,
+    shards: Arc<Vec<Mutex<Aggregator>>>,
+    queues: Vec<Arc<BoundedQueue<Vec<UserReport>>>>,
+    /// Reports already inside the resume base at startup; accepted-report
+    /// counters start at zero, so the head token is `base + accepted`.
+    base_reports: u64,
+    engine: Mutex<EngineState>,
+}
+
+impl QueryService {
+    /// Wires a service over a serve run's live state. `base_reports` is
+    /// the resume base's report count at startup.
+    pub(crate) fn new(
+        plan: Arc<CollectionPlan>,
+        oracles: Arc<OracleSet>,
+        base: Arc<Mutex<Aggregator>>,
+        shards: Arc<Vec<Mutex<Aggregator>>>,
+        queues: Vec<Arc<BoundedQueue<Vec<UserReport>>>>,
+        base_reports: u64,
+    ) -> QueryService {
+        let engine = QueryEngine::new(Arc::clone(&plan), Arc::clone(&oracles));
+        QueryService {
+            plan,
+            oracles,
+            base,
+            shards,
+            queues,
+            base_reports,
+            engine: Mutex::new(EngineState {
+                engine,
+                head_token: 0,
+            }),
+        }
+    }
+
+    /// The ingest head token: total reports the server has admitted
+    /// (resume base + accepted), readable without touching any shard.
+    fn head_token(&self, stats: &AtomicStats) -> u64 {
+        self.base_reports + stats.reports_accepted()
+    }
+
+    /// Answers one query, serving from the cached epoch when it is still
+    /// the ingest head and refreshing from a fresh consistent cut
+    /// otherwise. Errors (invalid predicates, empty collection) are
+    /// `Malformed` — the session answers them with an `Error` frame
+    /// without closing the connection.
+    pub(crate) fn answer(
+        &self,
+        ctx: &SessionCtx,
+        stats: &AtomicStats,
+        req: &QueryRequest,
+    ) -> Result<QueryAnswer, WireError> {
+        let query = Query::new(self.plan.schema(), req.predicates.clone())
+            .map_err(|e| WireError::Malformed(format!("invalid query: {e}")))?;
+
+        let mut st = self.engine.lock();
+        let head = self.head_token(stats);
+        if req.mode == QueryMode::Cached && st.head_token == head {
+            if let Some(est) = st.engine.estimator() {
+                let answer = est
+                    .answer(&query)
+                    .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+                let epoch = st.engine.epoch();
+                felip_obs::counter!("server.query.answered", 1, "queries");
+                return Ok(QueryAnswer {
+                    query_id: req.query_id,
+                    answer,
+                    epoch,
+                    head_epoch: epoch,
+                    reports: st.engine.reports(),
+                });
+            }
+        }
+
+        // Stale cache (or Fresh mode): one consistent cut, then an
+        // incremental refresh that re-estimates only the changed grids.
+        let (merged, _cursors) = consistent_cut(
+            ctx,
+            &self.plan,
+            &self.oracles,
+            &self.base,
+            &self.shards,
+            &self.queues,
+        );
+        let out = st
+            .engine
+            .refresh_from(&merged)
+            .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+        // At the cut instant, accepted == drained, so the merged report
+        // count *is* the head token the refreshed epoch corresponds to.
+        st.head_token = merged.reports_ingested() as u64;
+        let answer = out
+            .estimator
+            .answer(&query)
+            .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
+        // Ingest may have moved on while post-processing ran; surface
+        // that as one epoch of staleness so the client can tell.
+        let head_epoch = out.epoch + u64::from(self.head_token(stats) != st.head_token);
+        felip_obs::counter!("server.query.answered", 1, "queries");
+        Ok(QueryAnswer {
+            query_id: req.query_id,
+            answer,
+            epoch: out.epoch,
+            head_epoch,
+            reports: out.reports,
+        })
+    }
+}

@@ -213,6 +213,12 @@ impl AtomicStats {
         self.reports_accepted.fetch_add(reports, Ordering::Relaxed);
     }
 
+    /// Reports accepted so far — the query service's cheap ingest-head
+    /// token (one relaxed load, no shard locks).
+    pub(crate) fn reports_accepted(&self) -> u64 {
+        self.reports_accepted.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn bump_retried(&self) {
         self.frames_retried.fetch_add(1, Ordering::Relaxed);
     }
@@ -354,20 +360,32 @@ impl Server {
                 Vec::new(),
             ),
         };
-        let base = Mutex::new(base);
-        let ctx = SessionCtx::new(Arc::clone(&self.plan), Arc::clone(&self.oracles), dedup0);
+        let base_reports = base.reports_ingested() as u64;
+        let base = Arc::new(Mutex::new(base));
 
         let queues: Vec<Arc<BoundedQueue<Vec<UserReport>>>> = (0..workers)
             .map(|_| Arc::new(BoundedQueue::new(self.config.queue_capacity.max(1))))
             .collect();
-        let shards: Vec<Mutex<Aggregator>> = (0..workers)
-            .map(|_| {
-                Mutex::new(Aggregator::with_oracles(
-                    Arc::clone(&self.plan),
-                    Arc::clone(&self.oracles),
-                ))
-            })
-            .collect();
+        let shards: Arc<Vec<Mutex<Aggregator>>> = Arc::new(
+            (0..workers)
+                .map(|_| {
+                    Mutex::new(Aggregator::with_oracles(
+                        Arc::clone(&self.plan),
+                        Arc::clone(&self.oracles),
+                    ))
+                })
+                .collect(),
+        );
+        let mut ctx = SessionCtx::new(Arc::clone(&self.plan), Arc::clone(&self.oracles), dedup0);
+        ctx.install_query(Arc::new(crate::query::QueryService::new(
+            Arc::clone(&self.plan),
+            Arc::clone(&self.oracles),
+            Arc::clone(&base),
+            Arc::clone(&shards),
+            queues.clone(),
+            base_reports,
+        )));
+        let ctx = ctx;
         let stats = AtomicStats::default();
         let stop_snapshots = AtomicBool::new(false);
 
@@ -380,7 +398,7 @@ impl Server {
 
         thread::scope(|scope| -> Result<(), ServerError> {
             // Ingest workers: drain their queue into their shard.
-            for (w, (queue, shard)) in queues.iter().zip(&shards).enumerate() {
+            for (w, (queue, shard)) in queues.iter().zip(shards.iter()).enumerate() {
                 let queue = Arc::clone(queue);
                 scope.spawn(move || {
                     // Pinning policy (DESIGN.md §15): the reactor owns
@@ -623,11 +641,11 @@ impl Server {
             Ok(())
         })?;
 
-        // All workers joined (scope end): merge shards into the base.
-        let mut aggregator = base.into_inner();
-        for shard in shards {
-            aggregator.merge(&shard.into_inner());
-        }
+        // All workers joined (scope end): merge shards into the base. The
+        // query service still holds handles to base and shards, so the
+        // merge goes through the (now uncontended) locks rather than
+        // consuming the mutexes.
+        let aggregator = merge_state(&self.plan, &self.oracles, &base, &shards);
         if let Some(path) = &self.config.snapshot_path {
             Snapshot::capture_with_dedup(&aggregator, self.plan_hash, ctx.dedup_pairs())
                 .write_verified(path, None)?;

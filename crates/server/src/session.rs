@@ -47,6 +47,9 @@ pub(crate) struct SessionCtx {
     pub plan_hash: u64,
     /// client id → highest accepted batch id.
     pub dedup: Mutex<HashMap<u64, u64>>,
+    /// The online query service (v5 `Query` verb); `None` until the serve
+    /// run installs it, and in contexts that only ingest (tests, sims).
+    pub query: Option<Arc<crate::query::QueryService>>,
 }
 
 impl SessionCtx {
@@ -63,7 +66,14 @@ impl SessionCtx {
             oracles,
             plan_hash,
             dedup: Mutex::new(dedup.into_iter().collect()),
+            query: None,
         }
+    }
+
+    /// Installs the online query service (called once by the serve run
+    /// after its shards and queues exist).
+    pub fn install_query(&mut self, service: Arc<crate::query::QueryService>) {
+        self.query = Some(service);
     }
 
     /// The dedup table as sorted pairs (the snapshot encoding).
@@ -302,6 +312,39 @@ impl Session {
                                 plan_hash: ctx.plan_hash,
                                 payload: encode_retry(batch_id),
                             },
+                            accepted: None,
+                            close: None,
+                        }
+                    }
+                }
+            }
+            FrameKind::Query => {
+                let req = match crate::wire::decode_query(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => return reject(e),
+                };
+                let Some(service) = ctx.query.as_ref() else {
+                    return reject(WireError::Malformed(
+                        "query serving not enabled on this server".into(),
+                    ));
+                };
+                match service.answer(ctx, stats, &req) {
+                    Ok(ans) => FrameOutcome {
+                        reply: Frame {
+                            kind: FrameKind::QueryReply,
+                            plan_hash: ctx.plan_hash,
+                            payload: crate::wire::encode_query_reply(&ans),
+                        },
+                        accepted: None,
+                        close: None,
+                    },
+                    Err(e) => {
+                        // An unanswerable query (invalid predicates, empty
+                        // collection) answers an Error frame but keeps the
+                        // connection — the client may fix it and retry.
+                        felip_obs::counter!("server.query.errors", 1, "queries");
+                        FrameOutcome {
+                            reply: Frame::error(ctx.plan_hash, &e.to_string()),
                             accepted: None,
                             close: None,
                         }

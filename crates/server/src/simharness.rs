@@ -26,8 +26,9 @@ use felip::aggregator::{Aggregator, OracleSet};
 use felip::client::UserReport;
 use felip::config::FelipConfig;
 use felip::plan::CollectionPlan;
+use felip::query::QueryEngine;
 use felip_common::hash::mix64;
-use felip_common::{Attribute, Result, Schema};
+use felip_common::{Attribute, Predicate, Query, Result, Schema};
 
 use crate::client::RetryPolicy;
 use crate::fault::{FaultConfig, FaultKind, FaultSchedule};
@@ -49,6 +50,9 @@ const CLIENT_TIMEOUT_NS: u64 = 50 * MS;
 const STALL_NS: u64 = 200 * MS;
 /// Worker drain cadence.
 const DRAIN_TICK_NS: u64 = 2 * MS;
+/// Query client cadence: sparse enough that ingest moves between asks, so
+/// the epoch cache sees both warm and invalidated refreshes.
+const QUERY_TICK_NS: u64 = 15 * MS;
 /// Hard ceiling on processed events — a stuck run is a violation, not a
 /// hang.
 const MAX_EVENTS: u64 = 2_000_000;
@@ -187,6 +191,11 @@ pub struct SimReport {
     /// Clients that exhausted their retry budget (the "or-rejected" arm
     /// of the invariant).
     pub gave_up: usize,
+    /// Queries the sim's mixed query client answered (each checked
+    /// bit-identical to the offline batch estimate of its cut).
+    pub queries_answered: u64,
+    /// Queries served straight from the warm epoch cache (no re-estimate).
+    pub query_warm_hits: u64,
     /// Invariant violations; empty means the seed passed.
     pub violations: Vec<String>,
     /// Replayable fault-schedule token (`seed=…[;suppress=…]`); pass it to
@@ -224,6 +233,8 @@ impl SimReport {
             snapshots_quarantined: 0,
             kills: 0,
             gave_up: 0,
+            queries_answered: 0,
+            query_warm_hits: 0,
             violations: vec![why],
             fault_token: format!("seed={seed}"),
             faults_fired: Vec::new(),
@@ -245,6 +256,8 @@ enum Ev {
     ClientTimeout { c: usize, token: u64 },
     /// Worker tick: drain up to `drain_per_tick` batches.
     Drain,
+    /// Query tick: the mixed query client asks the incremental engine.
+    Query,
     /// Graceful kill: drain, snapshot (possibly torn), restore.
     Kill,
 }
@@ -328,6 +341,16 @@ struct Sim {
     events: u64,
     quarantined: u64,
     kills: u32,
+    /// The sim's mixed query client: the real incremental engine, queried
+    /// at deterministic virtual times against the live aggregator.
+    query_engine: QueryEngine,
+    /// The fixed λ-D probe every query tick asks.
+    probe: Query,
+    queries_answered: u64,
+    query_warm_hits: u64,
+    /// Armed by kill+resume: the next query must rebuild from the restored
+    /// counts, never serve the pre-restore cached grid.
+    expect_cold_query: bool,
     violations: Vec<String>,
     /// Sim-local deterministic flight ring: every [`Sim::trace`] call is
     /// teed into it, mirroring how the production server tees protocol
@@ -424,6 +447,18 @@ fn run_sim_inner(cfg: &SimConfig, suppressed: HashSet<u64>) -> SimReport {
     };
     let oracles = Arc::new(OracleSet::build(&plan));
     let plan_hash = plan.schema_hash();
+    let probe = match Query::new(
+        plan.schema(),
+        vec![
+            Predicate::between(0, 4, 19),
+            Predicate::in_set(1, vec![1, 3]),
+        ],
+    ) {
+        Ok(q) => q,
+        Err(e) => {
+            return SimReport::setup_failure(cfg.seed, format!("sim probe setup failed: {e}"))
+        }
+    };
 
     let per_client = cfg.users.div_ceil(cfg.clients.max(1));
     let clients: Vec<SimClient> = (0..cfg.clients)
@@ -474,6 +509,11 @@ fn run_sim_inner(cfg: &SimConfig, suppressed: HashSet<u64>) -> SimReport {
         events: 0,
         quarantined: 0,
         kills: 0,
+        query_engine: QueryEngine::new(Arc::clone(&plan), Arc::clone(&oracles)),
+        probe,
+        queries_answered: 0,
+        query_warm_hits: 0,
+        expect_cold_query: false,
         violations: Vec::new(),
         flight: felip_obs::flight::FlightRecorder::deterministic(SIM_FLIGHT_CAPACITY),
         flight_shadow: Vec::new(),
@@ -923,10 +963,75 @@ impl Sim {
         for conn in open {
             self.reset_conn(conn);
         }
+        // The production server builds its query engine cold at startup —
+        // resume included — so the restored sim drops the epoch cache too.
+        // `expect_cold_query` turns a missing reset into a violation.
+        self.query_engine.reset();
+        self.expect_cold_query = true;
         self.trace(13, self.kills as u64, self.quarantined);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&path.with_extension("quarantine"));
         let _ = std::fs::remove_file(&path.with_extension("tmp"));
+    }
+
+    /// One mixed-client query against the live aggregator: refresh the
+    /// incremental engine from the current (single-threaded, hence
+    /// consistent) cut and hold it to the invariants — the answer's cut is
+    /// exactly the ingest head, the epoch never rewinds, the first query
+    /// after a kill+resume is cold, and the answer is bit-identical to the
+    /// offline batch estimate of the same counts.
+    fn on_query(&mut self) {
+        let head = self.agg.reports_ingested();
+        self.trace(14, head as u64, self.query_engine.epoch());
+        if head == 0 {
+            return;
+        }
+        let before = self.query_engine.epoch();
+        let out = match self.query_engine.refresh_from(&self.agg) {
+            Ok(out) => out,
+            Err(e) => {
+                self.violations
+                    .push(format!("query refresh at {head} reports failed: {e}"));
+                return;
+            }
+        };
+        self.queries_answered += 1;
+        if out.warm {
+            self.query_warm_hits += 1;
+        }
+        if self.expect_cold_query {
+            if out.warm {
+                self.violations.push(
+                    "first query after kill+resume served the pre-restore cached grid".into(),
+                );
+            }
+            self.expect_cold_query = false;
+        }
+        if out.reports as usize != head {
+            self.violations.push(format!(
+                "query answered at {} reports but the ingest head is {head}",
+                out.reports
+            ));
+        }
+        if out.epoch < before {
+            self.violations
+                .push(format!("query epoch rewound: {before} -> {}", out.epoch));
+        }
+        let incremental = out.estimator.answer(&self.probe);
+        let offline = self.agg.estimate().and_then(|e| e.answer(&self.probe));
+        match (incremental, offline) {
+            (Ok(inc), Ok(off)) => {
+                if inc.to_bits() != off.to_bits() {
+                    self.violations.push(format!(
+                        "query answer {inc} diverges from the offline batch estimate {off} \
+                         at {head} reports"
+                    ));
+                }
+            }
+            (inc, off) => self.violations.push(format!(
+                "query answering failed at {head} reports: incremental {inc:?}, offline {off:?}"
+            )),
+        }
     }
 
     fn all_settled(&self) -> bool {
@@ -939,6 +1044,7 @@ impl Sim {
             self.schedule_ev(jitter, Ev::ClientWake(c));
         }
         self.schedule_ev(DRAIN_TICK_NS, Ev::Drain);
+        self.schedule_ev(QUERY_TICK_NS, Ev::Query);
         if let Some(at) = self.cfg.kill_at_ns {
             self.schedule_ev(at, Ev::Kill);
         }
@@ -963,12 +1069,20 @@ impl Sim {
                         self.schedule_ev(self.now + DRAIN_TICK_NS, Ev::Drain);
                     }
                 }
+                Ev::Query => {
+                    self.on_query();
+                    if !(self.all_settled() && self.queue.is_empty()) {
+                        self.schedule_ev(self.now + QUERY_TICK_NS, Ev::Query);
+                    }
+                }
                 Ev::Kill => self.on_kill(),
             }
         }
 
-        // Final graceful drain, then verify every invariant.
+        // Final graceful drain, a query at the fully-settled cut, then
+        // verify every invariant.
         self.drain(usize::MAX);
+        self.on_query();
         let violations = self.verify();
         self.violations.extend(violations);
 
@@ -993,6 +1107,8 @@ impl Sim {
             snapshots_quarantined: self.quarantined,
             kills: self.kills,
             gave_up: self.clients.iter().filter(|c| c.gave_up).count(),
+            queries_answered: self.queries_answered,
+            query_warm_hits: self.query_warm_hits,
             violations: self.violations,
             fault_token: self.schedule.token(),
             faults_fired: self.schedule.fired().to_vec(),
@@ -1124,6 +1240,10 @@ mod tests {
         assert_eq!(report.reports_ingested, 240);
         assert_eq!(report.gave_up, 0);
         assert_eq!(report.faults_injected, 0);
+        // The mixed query client rode along, and the idle tail of the run
+        // (settled ingest, repeated asks) produced warm cache hits.
+        assert!(report.queries_answered > 0, "no queries answered");
+        assert!(report.query_warm_hits > 0, "cache never served warm");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic        "FELP", little-endian u32
-//!      4     1  version      protocol version (currently 3)
+//!      4     1  version      protocol version (currently 5)
 //!      5     1  kind         frame kind discriminant
 //!      6     2  reserved     must be zero
 //!      8     4  payload_len  payload byte count, ≤ MAX_PAYLOAD
@@ -60,23 +60,43 @@
 //! `DeltaAck` echoes `epoch:u64  last_applied:u64  status:u8` (applied /
 //! duplicate / resync-required), giving the upstream streamer the same
 //! exactly-once-or-rejected discipline report batches already have.
+//!
+//! Version 5 adds **online query serving** (DESIGN.md §17): a `Query`
+//! frame asks the server for a λ-D frequency estimate computed from a
+//! snapshot-consistent count read, answered by `QueryReply`. A `Query`
+//! payload carries a client-chosen correlation id, a consistency mode
+//! byte (cached vs. fresh-cut), and the predicate list:
+//!
+//! ```text
+//! query_id:u64  mode:u8  count:u32  then per predicate:
+//!   attr:u32  tag:u8
+//!   tag 0 (range)  lo:u32  hi:u32
+//!   tag 1 (set)    n:u32  value[n]:u32
+//! ```
+//!
+//! `QueryReply` is fixed-size: `query_id:u64  answer_bits:u64 (f64 bit
+//! pattern — bit-identical to the offline batch estimate on the same cut)
+//! epoch:u64  head_epoch:u64  reports:u64`. As with v3/v4, the change is
+//! backward compatible: old peers never send the new kinds, and replies
+//! echo each connection's negotiated version.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use felip::client::UserReport;
+use felip_common::{Predicate, PredicateTarget};
 use felip_fo::Report;
 
 /// Frame magic: the bytes `FELP` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"FELP");
 
-/// Current protocol version (4: the cluster tier — `Delta`/`DeltaAck`
-/// frames streaming epoch-numbered count deltas from ingest nodes to an
-/// aggregator).
-pub const VERSION: u8 = 4;
+/// Current protocol version (5: online query serving — `Query`/`QueryReply`
+/// frames answering λ-D frequency queries from snapshot-consistent count
+/// reads).
+pub const VERSION: u8 = 5;
 
-/// Oldest protocol version decoders still accept. Versions 2 and 3 differ
-/// from version 4 only in lacking the newer kinds, so they parse
+/// Oldest protocol version decoders still accept. Versions 2 through 4
+/// differ from version 5 only in lacking the newer kinds, so they parse
 /// unchanged; anything older predates idempotent batches and is rejected.
 pub const MIN_VERSION: u8 = 2;
 
@@ -247,6 +267,12 @@ pub enum FrameKind {
     /// Aggregator → ingest node (v4): the delta's fate — applied,
     /// duplicate, or resync-required (see [`DeltaStatus`]).
     DeltaAck = 8,
+    /// Client → server (v5): a λ-D frequency query against the live
+    /// collection; payload is a [`QueryRequest`].
+    Query = 9,
+    /// Server → client (v5): the query's answer plus the epoch it was
+    /// served from; payload is a [`QueryAnswer`].
+    QueryReply = 10,
 }
 
 impl FrameKind {
@@ -261,6 +287,8 @@ impl FrameKind {
             6 => Ok(FrameKind::StatReply),
             7 => Ok(FrameKind::Delta),
             8 => Ok(FrameKind::DeltaAck),
+            9 => Ok(FrameKind::Query),
+            10 => Ok(FrameKind::QueryReply),
             other => Err(WireError::BadKind(other)),
         }
     }
@@ -916,6 +944,178 @@ pub fn decode_delta_ack(payload: &[u8]) -> Result<(u64, u64, DeltaStatus), WireE
     Ok((epoch, last_applied, status))
 }
 
+/// How a `Query` wants its consistency handled (v5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Serve from the cached epoch when the ingest head has not moved
+    /// since it was built; otherwise take a fresh consistent cut first.
+    Cached = 0,
+    /// Always take a fresh consistent cut before answering, even when the
+    /// cache looks warm.
+    Fresh = 1,
+}
+
+impl QueryMode {
+    /// Parses the mode discriminant.
+    pub fn from_u8(v: u8) -> Result<QueryMode, WireError> {
+        match v {
+            0 => Ok(QueryMode::Cached),
+            1 => Ok(QueryMode::Fresh),
+            other => Err(WireError::Malformed(format!("unknown query mode {other}"))),
+        }
+    }
+}
+
+/// A decoded `Query` payload: a client-chosen correlation id, the
+/// consistency mode, and the λ-D predicate list (validated against the
+/// plan's schema server-side via [`felip_common::Query::new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Echoed verbatim in the reply so pipelined clients can correlate.
+    pub query_id: u64,
+    /// Cached vs. fresh-cut consistency.
+    pub mode: QueryMode,
+    /// The query's predicates, one per attribute, sorted by attribute.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A decoded `QueryReply` payload: the answer and the epoch bookkeeping
+/// that lets the client compute staleness (`head_epoch - epoch`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// The request's correlation id, echoed.
+    pub query_id: u64,
+    /// The estimated frequency in `[0, 1]` — shipped as the exact `f64`
+    /// bit pattern, bit-identical to the offline batch estimate on the
+    /// cut it was served from.
+    pub answer: f64,
+    /// The cache epoch the answer was computed at.
+    pub epoch: u64,
+    /// The ingest head's epoch at answer time (`>= epoch`).
+    pub head_epoch: u64,
+    /// Reports behind the answer's estimator.
+    pub reports: u64,
+}
+
+/// Serialises a `Query` payload.
+pub fn encode_query(req: &QueryRequest) -> Result<Vec<u8>, WireError> {
+    let count = u32::try_from(req.predicates.len())
+        .map_err(|_| WireError::Malformed("predicate count exceeds u32".into()))?;
+    let mut buf = Vec::with_capacity(13 + req.predicates.len() * 13);
+    buf.extend_from_slice(&req.query_id.to_le_bytes());
+    buf.push(req.mode as u8);
+    buf.extend_from_slice(&count.to_le_bytes());
+    for p in &req.predicates {
+        let attr = u32::try_from(p.attr)
+            .map_err(|_| WireError::Malformed("predicate attr exceeds u32".into()))?;
+        buf.extend_from_slice(&attr.to_le_bytes());
+        match &p.target {
+            PredicateTarget::Range { lo, hi } => {
+                buf.push(0);
+                buf.extend_from_slice(&lo.to_le_bytes());
+                buf.extend_from_slice(&hi.to_le_bytes());
+            }
+            PredicateTarget::Set(values) => {
+                buf.push(1);
+                let n = u32::try_from(values.len())
+                    .map_err(|_| WireError::Malformed("set size exceeds u32".into()))?;
+                buf.extend_from_slice(&n.to_le_bytes());
+                for v in values {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Parses a `Query` payload. Every length prefix is validated against the
+/// remaining bytes before any allocation, same discipline as
+/// [`decode_reports`].
+pub fn decode_query(payload: &[u8]) -> Result<QueryRequest, WireError> {
+    let mut r = ByteReader::new(payload);
+    let query_id = r.u64()?;
+    let mode = QueryMode::from_u8(r.u8()?)?;
+    let count = r.u32()? as usize;
+    // A predicate costs at least 9 bytes (attr + tag + smallest body).
+    if count > r.remaining() / 9 {
+        return Err(WireError::Malformed(format!(
+            "predicate count {count} impossible in remaining payload"
+        )));
+    }
+    let mut predicates = Vec::with_capacity(count);
+    for _ in 0..count {
+        let attr = r.u32()? as usize;
+        let target = match r.u8()? {
+            0 => PredicateTarget::Range {
+                lo: r.u32()?,
+                hi: r.u32()?,
+            },
+            1 => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 4 {
+                    return Err(WireError::Malformed(format!(
+                        "set size {n} exceeds remaining payload"
+                    )));
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(r.u32()?);
+                }
+                PredicateTarget::Set(values)
+            }
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown predicate tag {other}"
+                )))
+            }
+        };
+        predicates.push(Predicate { attr, target });
+    }
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after query",
+            r.remaining()
+        )));
+    }
+    Ok(QueryRequest {
+        query_id,
+        mode,
+        predicates,
+    })
+}
+
+/// Serialises a `QueryReply` payload (fixed 40 bytes).
+pub fn encode_query_reply(ans: &QueryAnswer) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(40);
+    buf.extend_from_slice(&ans.query_id.to_le_bytes());
+    buf.extend_from_slice(&ans.answer.to_bits().to_le_bytes());
+    buf.extend_from_slice(&ans.epoch.to_le_bytes());
+    buf.extend_from_slice(&ans.head_epoch.to_le_bytes());
+    buf.extend_from_slice(&ans.reports.to_le_bytes());
+    buf
+}
+
+/// Parses a `QueryReply` payload.
+pub fn decode_query_reply(payload: &[u8]) -> Result<QueryAnswer, WireError> {
+    let mut r = ByteReader::new(payload);
+    let query_id = r.u64()?;
+    let answer = f64::from_bits(r.u64()?);
+    let epoch = r.u64()?;
+    let head_epoch = r.u64()?;
+    let reports = r.u64()?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed("oversized query-reply payload".into()));
+    }
+    Ok(QueryAnswer {
+        query_id,
+        answer,
+        epoch,
+        head_epoch,
+        reports,
+    })
+}
+
 /// Bounds-checked little-endian reader over a byte slice.
 struct ByteReader<'a> {
     buf: &'a [u8],
@@ -1346,6 +1546,88 @@ mod tests {
         assert!(decode_delta_ack(&bad_status).is_err());
         assert!(matches!(FrameKind::from_u8(7), Ok(FrameKind::Delta)));
         assert!(matches!(FrameKind::from_u8(8), Ok(FrameKind::DeltaAck)));
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let req = QueryRequest {
+            query_id: 0xFEED_F00D_0000_0042,
+            mode: QueryMode::Cached,
+            predicates: vec![
+                Predicate::between(0, 3, 17),
+                Predicate::in_set(2, vec![0, 2, u32::MAX]),
+            ],
+        };
+        let payload = encode_query(&req).unwrap();
+        assert_eq!(decode_query(&payload).unwrap(), req);
+
+        let fresh = QueryRequest {
+            mode: QueryMode::Fresh,
+            ..req
+        };
+        let payload = encode_query(&fresh).unwrap();
+        assert_eq!(decode_query(&payload).unwrap(), fresh);
+        assert!(matches!(FrameKind::from_u8(9), Ok(FrameKind::Query)));
+        assert!(matches!(FrameKind::from_u8(10), Ok(FrameKind::QueryReply)));
+    }
+
+    #[test]
+    fn query_decode_rejects_corruption_and_hostile_lengths() {
+        let req = QueryRequest {
+            query_id: 1,
+            mode: QueryMode::Fresh,
+            predicates: vec![Predicate::between(1, 2, 5), Predicate::in_set(3, vec![7])],
+        };
+        let good = encode_query(&req).unwrap();
+        // Truncations never panic, never succeed.
+        for cut in 0..good.len() {
+            assert!(decode_query(&good[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Trailing bytes are rejected.
+        let mut oversized = good.clone();
+        oversized.push(0);
+        assert!(decode_query(&oversized).is_err());
+        // A hostile predicate count cannot trigger a large allocation.
+        let mut hostile = good.clone();
+        hostile[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_query(&hostile).is_err());
+        // A hostile set size cannot either (set-size prefix of pred 2:
+        // 13 header + 13-byte range predicate + 4 attr + 1 tag = 31).
+        let mut hostile_set = good.clone();
+        hostile_set[31..35].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_query(&hostile_set).is_err());
+        // Unknown mode and predicate tag bytes are rejected.
+        let mut bad_mode = good.clone();
+        bad_mode[8] = 9;
+        assert!(decode_query(&bad_mode).is_err());
+        let mut bad_tag = good;
+        bad_tag[17] = 9;
+        assert!(decode_query(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn query_reply_round_trips_bit_exactly() {
+        // Including non-finite and signed-zero patterns: the reply ships
+        // the raw f64 bits, so every pattern must survive verbatim.
+        for answer in [0.0f64, -0.0, 0.25, f64::NAN, f64::INFINITY, 1e-300] {
+            let ans = QueryAnswer {
+                query_id: 77,
+                answer,
+                epoch: 3,
+                head_epoch: 5,
+                reports: 1_000_000,
+            };
+            let payload = encode_query_reply(&ans);
+            assert_eq!(payload.len(), 40);
+            let back = decode_query_reply(&payload).unwrap();
+            assert_eq!(back.answer.to_bits(), answer.to_bits());
+            assert_eq!(back.query_id, 77);
+            assert_eq!(back.epoch, 3);
+            assert_eq!(back.head_epoch, 5);
+            assert_eq!(back.reports, 1_000_000);
+        }
+        assert!(decode_query_reply(&[0; 39]).is_err());
+        assert!(decode_query_reply(&[0; 41]).is_err());
     }
 
     #[test]

@@ -34,15 +34,24 @@ fn chaos_sweep_holds_exactly_once_or_rejected_across_64_seeds() {
     let mut quarantined = 0u64;
     let mut duplicates = 0u64;
     let mut acked = 0usize;
+    let mut queries = 0u64;
+    let mut warm = 0u64;
     for seed in 0..64u64 {
         let cfg = SimConfig::chaos(seed);
         let r = run_sim(&cfg);
         assert_seed_ok(&cfg, &r);
         assert_eq!(r.kills, 1, "seed {seed} must kill and resume once");
+        // Every seed mixes queries into the faulted ingest; the harness
+        // itself holds each answer to its cut (bit-identical to the
+        // offline estimate, cut == ingest head, cold after kill+resume) —
+        // here we pin that the mixing is never vacuous.
+        assert!(r.queries_answered > 0, "seed {seed} answered no queries");
         faults += r.faults_injected;
         quarantined += r.snapshots_quarantined;
         duplicates += r.duplicates;
         acked += r.server_acked_batches;
+        queries += r.queries_answered;
+        warm += r.query_warm_hits;
     }
     // The sweep must actually exercise chaos, not pass vacuously.
     assert!(acked > 64, "sweep accepted almost nothing: {acked} batches");
@@ -56,6 +65,13 @@ fn chaos_sweep_holds_exactly_once_or_rejected_across_64_seeds() {
     assert!(
         quarantined >= 1,
         "no snapshot corruption was exercised across the sweep"
+    );
+    // The query mix must exercise both cache paths across the sweep:
+    // answers while ingest moves (cold/invalidated) and warm hits.
+    assert!(queries > 64, "sweep answered too few queries: {queries}");
+    assert!(
+        warm >= 1 && warm < queries,
+        "cache path coverage degenerated: {warm}/{queries} warm"
     );
 }
 

@@ -202,6 +202,100 @@ fn idle_reaped_client_recovers_transparently() {
     assert!(run.stats.conns_reaped >= 1, "the reaper should have fired");
 }
 
+/// The v5 headline invariant over real TCP: a live `Query` answer equals
+/// the offline batch estimate on the same counts, bit for bit — cold,
+/// warm (cached epoch), and after more ingest (invalidation).
+#[test]
+fn live_queries_match_offline_estimates_bit_identically() {
+    use felip_common::{Predicate, Query};
+    use felip_server::QueryMode;
+
+    let plan = plan();
+    let plan_hash = plan.schema_hash();
+    let server = Server::bind(Arc::clone(&plan), ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let server_thread = thread::spawn(move || server.run(None).expect("serve"));
+
+    let mut client = Client::connect(addr, plan_hash).expect("connect");
+    for batch in (0..600usize).collect::<Vec<_>>().chunks(50) {
+        let reports: Vec<_> = batch
+            .iter()
+            .map(|&u| user_report(&plan, u, 31).unwrap())
+            .collect();
+        client.send_batch_retrying(&reports).expect("send");
+    }
+
+    let preds = vec![
+        Predicate::between(0, 8, 40),
+        Predicate::in_set(1, vec![1, 2]),
+    ];
+    let query = Query::new(plan.schema(), preds.clone()).unwrap();
+
+    // Cold: the first query takes a cut and builds epoch 1.
+    let cold = client
+        .query(preds.clone(), QueryMode::Cached)
+        .expect("cold query");
+    assert_eq!(cold.epoch, 1);
+    assert_eq!(cold.reports, 600);
+    assert_eq!(cold.head_epoch, cold.epoch, "no ingest is racing this test");
+    let offline = offline_reference(&plan, 0..600, 31).unwrap();
+    let expected = offline.estimate().unwrap().answer(&query).unwrap();
+    assert_eq!(
+        cold.answer.to_bits(),
+        expected.to_bits(),
+        "live answer must be bit-identical to the offline batch estimate"
+    );
+
+    // Warm: same epoch, same bits, no new cut.
+    let warm = client
+        .query(preds.clone(), QueryMode::Cached)
+        .expect("warm query");
+    assert_eq!(warm.epoch, 1);
+    assert_eq!(warm.answer.to_bits(), expected.to_bits());
+
+    // Fresh mode with unchanged counts must not advance the epoch (the
+    // engine sees identical per-grid counts).
+    let fresh = client
+        .query(preds.clone(), QueryMode::Fresh)
+        .expect("fresh query");
+    assert_eq!(fresh.epoch, 1);
+    assert_eq!(fresh.answer.to_bits(), expected.to_bits());
+
+    // More ingest invalidates the cache: the next query re-cuts, advances
+    // the epoch, and again matches offline on the new counts.
+    for batch in (600..900usize).collect::<Vec<_>>().chunks(50) {
+        let reports: Vec<_> = batch
+            .iter()
+            .map(|&u| user_report(&plan, u, 31).unwrap())
+            .collect();
+        client.send_batch_retrying(&reports).expect("send");
+    }
+    let after = client
+        .query(preds.clone(), QueryMode::Cached)
+        .expect("post-ingest query");
+    assert_eq!(after.epoch, 2);
+    assert_eq!(after.reports, 900);
+    let offline2 = offline_reference(&plan, 0..900, 31).unwrap();
+    let expected2 = offline2.estimate().unwrap().answer(&query).unwrap();
+    assert_eq!(after.answer.to_bits(), expected2.to_bits());
+
+    // An invalid query answers an Error frame without killing the
+    // connection.
+    let err = client
+        .query(vec![Predicate::between(0, 63, 2)], QueryMode::Cached)
+        .expect_err("inverted range must be rejected");
+    assert!(matches!(err, felip_server::WireError::Rejected(_)), "{err}");
+    let still = client
+        .query(preds, QueryMode::Cached)
+        .expect("connection survives");
+    assert_eq!(still.answer.to_bits(), expected2.to_bits());
+
+    shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+    let run = server_thread.join().expect("join server");
+    assert_eq!(run.aggregator.reports_ingested(), 900);
+}
+
 #[test]
 fn mismatched_plan_is_rejected_at_handshake() {
     let plan = plan();

@@ -585,7 +585,7 @@ fn safety_comment_precedes(scan: &Scan, idx: usize) -> bool {
 /// `(file, anchor, expected-fragment)`: the first line containing `anchor`
 /// must also contain `expected`. A missing anchor (constant removed or
 /// renamed) is equally a drift.
-const GOLDEN: [(&str, &str, &str); 9] = [
+const GOLDEN: [(&str, &str, &str); 11] = [
     (
         "crates/server/src/wire.rs",
         "pub const MAGIC",
@@ -594,12 +594,16 @@ const GOLDEN: [(&str, &str, &str); 9] = [
     (
         "crates/server/src/wire.rs",
         "pub const VERSION",
-        ": u8 = 4;",
+        ": u8 = 5;",
     ),
     // The cluster verbs' frame-kind discriminants: ingest nodes and
     // aggregators of mixed builds interoperate only if these never move.
     ("crates/server/src/wire.rs", "Delta =", "= 7,"),
     ("crates/server/src/wire.rs", "DeltaAck =", "= 8,"),
+    // The online-query verbs (wire v5): clients and servers of mixed
+    // builds interoperate only if these never move.
+    ("crates/server/src/wire.rs", "Query =", "= 9,"),
+    ("crates/server/src/wire.rs", "QueryReply =", "= 10,"),
     (
         "crates/cluster/src/state.rs",
         "pub const CLUSTER_MAGIC",
@@ -861,7 +865,7 @@ fn rule_reactor_syscalls(root: &Path, diags: &mut Vec<Diagnostic>) {
 /// and the README's numbers read these by name; reshaping a bench without
 /// updating both is the drift this rule catches. Absent files are skipped —
 /// presence is the bench job's concern, shape is lint's.
-const BENCH_SCHEMAS: [(&str, &[&str]); 4] = [
+const BENCH_SCHEMAS: [(&str, &[&str]); 5] = [
     (
         "BENCH_ingest.json",
         &["bench", "oracle", "results", "batched_reports_per_sec"],
@@ -894,6 +898,19 @@ const BENCH_SCHEMAS: [(&str, &[&str]); 4] = [
             "delta_merge_p50_us",
             "delta_merge_p99_us",
             "catchup_ms",
+        ],
+    ),
+    (
+        "BENCH_query.json",
+        &[
+            "bench",
+            "queries",
+            "query_p50_ms",
+            "query_p99_ms",
+            "max_staleness_epochs",
+            "cache_hits",
+            "cache_misses",
+            "ingest_reports_per_sec",
         ],
     ),
 ];
@@ -970,8 +987,9 @@ mod tests {
         f.write(
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"FELP\");\n\
-             pub const VERSION: u8 = 4;\n\
-             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n}\n",
+             pub const VERSION: u8 = 5;\n\
+             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n    \
+             Query = 9,\n    QueryReply = 10,\n}\n",
         );
         f.write(
             "crates/cluster/src/state.rs",
@@ -1127,7 +1145,8 @@ mod tests {
             "crates/server/src/wire.rs",
             "pub const MAGIC: u32 = u32::from_le_bytes(*b\"XXXX\");\n\
              pub const VERSION: u8 = 9;\n\
-             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n}\n",
+             enum FrameKind {\n    Delta = 7,\n    DeltaAck = 8,\n    \
+             Query = 9,\n    QueryReply = 10,\n}\n",
         );
         let diags = lint_root(&f.root);
         let golden: Vec<&Diagnostic> = diags
