@@ -57,7 +57,7 @@ pub fn afo_crossover(profile: &Profile) -> std::io::Result<()> {
                     .collect();
                 let est = oracle.aggregate(&reports).unwrap();
                 let m = mae(&est, &truth);
-                sink.row(&format!(
+                sink.write_row(&format!(
                     "{eps},{cells},{name},{m:.6},{:.3e}",
                     oracle.variance(n)
                 ))?;
@@ -110,7 +110,7 @@ pub fn ablation_partitioning(profile: &Profile) -> std::io::Result<()> {
                 .map(|_| full.perturb(sample(&mut rng), &mut rng))
                 .collect();
             let est = full.aggregate(&reports).unwrap();
-            sink.row(&format!(
+            sink.write_row(&format!(
                 "{proto},{m},divide-users,{:.6}",
                 mae(&est, &truth)
             ))?;
@@ -122,7 +122,7 @@ pub fn ablation_partitioning(profile: &Profile) -> std::io::Result<()> {
                 .map(|_| split.perturb(sample(&mut rng), &mut rng))
                 .collect();
             let est = split.aggregate(&reports).unwrap();
-            sink.row(&format!(
+            sink.write_row(&format!(
                 "{proto},{m},split-budget,{:.6}",
                 mae(&est, &truth)
             ))?;
@@ -159,7 +159,7 @@ pub fn ablation_postprocess(profile: &Profile) -> std::io::Result<()> {
                 .with_postprocess_rounds(rounds);
             let est = simulate(&data, &config, profile.seed).expect("simulation succeeds");
             let answers = est.answer_all(&queries).expect("answering succeeds");
-            sink.row(&format!("{kind},{rounds},{:.6}", mae(&answers, &truth)))?;
+            sink.write_row(&format!("{kind},{rounds},{:.6}", mae(&answers, &truth)))?;
         }
     }
     Ok(())
@@ -195,7 +195,7 @@ pub fn ablation_selectivity(profile: &Profile) -> std::io::Result<()> {
                 .with_selectivity(SelectivityPrior::Uniform(prior));
             let est = simulate(&data, &config, profile.seed).expect("simulation succeeds");
             let answers = est.answer_all(&queries).expect("answering succeeds");
-            sink.row(&format!(
+            sink.write_row(&format!(
                 "{kind},{prior},{true_s},{:.6}",
                 mae(&answers, &truth)
             ))?;
@@ -238,7 +238,7 @@ pub fn ablation_marginals(profile: &Profile) -> std::io::Result<()> {
                     .with_lambda_marginals(marginals);
                 let est = simulate(&data, &config, profile.seed).expect("simulation succeeds");
                 let answers = est.answer_all(&queries).expect("answering succeeds");
-                sink.row(&format!(
+                sink.write_row(&format!(
                     "{kind},{lambda},{variant},{:.6}",
                     mae(&answers, &truth)
                 ))?;
@@ -276,14 +276,14 @@ pub fn ablation_twophase(profile: &Profile) -> std::io::Result<()> {
                 .with_strategy(Strategy::Ohg)
                 .with_selectivity(felip::SelectivityPrior::Uniform(s));
             let one = simulate(&data, &config, profile.seed).expect("one-phase run");
-            sink.row(&format!(
+            sink.write_row(&format!(
                 "{kind},{s},one-phase,{:.6}",
                 mae(&one.answer_all(&queries).expect("answers"), &truth)
             ))?;
             for rho in [0.05, 0.1, 0.2] {
                 let two = felip::simulate_two_phase(&data, &config, rho, profile.seed)
                     .expect("two-phase run");
-                sink.row(&format!(
+                sink.write_row(&format!(
                     "{kind},{s},two-phase-{rho},{:.6}",
                     mae(&two.answer_all(&queries).expect("answers"), &truth)
                 ))?;
@@ -335,12 +335,12 @@ pub fn sw_vs_olh(profile: &Profile) -> std::io::Result<()> {
         let reports: Vec<_> = values.iter().map(|&v| olh.perturb(v, &mut rng)).collect();
         let mut est = olh.aggregate(&reports).unwrap();
         felip_grid::postprocess::norm_sub(&mut est, 1.0);
-        sink.row(&format!("{eps},OLH,{:.6}", mae(&est, &truth)))?;
+        sink.write_row(&format!("{eps},OLH,{:.6}", mae(&est, &truth)))?;
         // Square Wave + EM.
         let sw = SquareWave::new(eps, d);
         let reports: Vec<f64> = values.iter().map(|&v| sw.perturb(v, &mut rng)).collect();
         let est = sw.estimate(&reports, 256, 60);
-        sink.row(&format!("{eps},SquareWave,{:.6}", mae(&est, &truth)))?;
+        sink.write_row(&format!("{eps},SquareWave,{:.6}", mae(&est, &truth)))?;
     }
     Ok(())
 }

@@ -77,7 +77,7 @@ pub fn fig1(profile: &Profile) -> std::io::Result<()> {
             for eps in epsilon_sweep(quick) {
                 for strat in StrategyUnderTest::main_contenders() {
                     let m = average_mae(strat, &data, &queries, eps, 0.5, profile, profile.seed);
-                    sink.row(&format!("fig1,{kind},{lambda},{eps},{strat},{m:.6}"))?;
+                    sink.write_row(&format!("fig1,{kind},{lambda},{eps},{strat},{m:.6}"))?;
                 }
             }
         }
@@ -114,7 +114,7 @@ pub fn fig2(profile: &Profile) -> std::io::Result<()> {
                 .expect("valid workload");
                 for strat in StrategyUnderTest::main_contenders() {
                     let m = average_mae(strat, &data, &queries, 1.0, s, profile, profile.seed);
-                    sink.row(&format!("fig2,{kind},{lambda},{s},{strat},{m:.6}"))?;
+                    sink.write_row(&format!("fig2,{kind},{lambda},{s},{strat},{m:.6}"))?;
                 }
             }
         }
@@ -163,7 +163,7 @@ pub fn fig3(profile: &Profile) -> std::io::Result<()> {
                 .expect("valid workload");
                 for strat in StrategyUnderTest::main_contenders() {
                     let m = average_mae(strat, &data, &queries, 1.0, 0.5, profile, profile.seed);
-                    sink.row(&format!("fig3,{kind},{lambda},{dn},{strat},{m:.6}"))?;
+                    sink.write_row(&format!("fig3,{kind},{lambda},{dn},{strat},{m:.6}"))?;
                 }
             }
         }
@@ -202,7 +202,7 @@ pub fn fig4(profile: &Profile) -> std::io::Result<()> {
             .expect("10-attribute schema supports lambda up to 10");
             for strat in StrategyUnderTest::main_contenders() {
                 let m = average_mae(strat, &data, &queries, 1.0, 0.5, profile, profile.seed);
-                sink.row(&format!("fig4,{kind},{lambda},{lambda},{strat},{m:.6}"))?;
+                sink.write_row(&format!("fig4,{kind},{lambda},{lambda},{strat},{m:.6}"))?;
             }
         }
     }
@@ -241,7 +241,7 @@ pub fn fig5(profile: &Profile) -> std::io::Result<()> {
                 .expect("k >= 4 supports lambda in {2,4}");
                 for strat in StrategyUnderTest::main_contenders() {
                     let m = average_mae(strat, &data, &queries, 1.0, 0.5, profile, profile.seed);
-                    sink.row(&format!("fig5,{kind},{lambda},{k},{strat},{m:.6}"))?;
+                    sink.write_row(&format!("fig5,{kind},{lambda},{k},{strat},{m:.6}"))?;
                 }
             }
         }
@@ -288,7 +288,7 @@ pub fn fig6(profile: &Profile) -> std::io::Result<()> {
                 let data = full.truncated(n);
                 for strat in StrategyUnderTest::main_contenders() {
                     let m = average_mae(strat, &data, &queries, 1.0, 0.5, profile, profile.seed);
-                    sink.row(&format!("fig6,{kind},{lambda},{n},{strat},{m:.6}"))?;
+                    sink.write_row(&format!("fig6,{kind},{lambda},{n},{strat},{m:.6}"))?;
                 }
             }
         }
@@ -327,7 +327,7 @@ pub fn fig7(profile: &Profile) -> std::io::Result<()> {
                 .chain(StrategyUnderTest::fig7_hybrid())
             {
                 let m = average_mae(strat, &data, &queries, eps, 0.5, profile, profile.seed);
-                sink.row(&format!("fig7,{kind},3,{eps},{strat},{m:.6}"))?;
+                sink.write_row(&format!("fig7,{kind},3,{eps},{strat},{m:.6}"))?;
             }
         }
     }

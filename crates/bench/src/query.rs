@@ -158,7 +158,9 @@ pub fn run_query_loadgen(opts: &QueryLoadOptions) -> QueryLoadResult {
     // Timed: one pipelined ingest connection pumps the full stream while
     // `clients` query connections ask in a closed loop.
     let started = Instant::now();
-    let (elapsed, per_client): (f64, Vec<(Vec<u64>, Vec<u64>)>) = thread::scope(|s| {
+    // (answer-latency ns, staleness epochs) samples per query client.
+    type ClientSamples = Vec<(Vec<u64>, Vec<u64>)>;
+    let (elapsed, per_client): (f64, ClientSamples) = thread::scope(|s| {
         let ingest = s.spawn(|| {
             let client_id = derive_seed(opts.seed, 1);
             let policy = RetryPolicy {

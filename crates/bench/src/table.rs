@@ -35,7 +35,7 @@ impl CsvSink {
     }
 
     /// Emits one row.
-    pub fn row(&mut self, row: &str) -> std::io::Result<()> {
+    pub fn write_row(&mut self, row: &str) -> std::io::Result<()> {
         debug_assert_eq!(
             row.split(',').count(),
             self.header.split(',').count(),
@@ -58,8 +58,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("felip-csv-test-{}", std::process::id()));
         let dirs = dir.to_str().unwrap().to_string();
         let mut sink = CsvSink::new("t", "a,b", Some(&dirs)).unwrap();
-        sink.row("1,2").unwrap();
-        sink.row("3,4").unwrap();
+        sink.write_row("1,2").unwrap();
+        sink.write_row("3,4").unwrap();
         drop(sink);
         let content = fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(content, "a,b\n1,2\n3,4\n");
@@ -69,6 +69,6 @@ mod tests {
     #[test]
     fn stdout_only_without_out_dir() {
         let mut sink = CsvSink::new("t", "a,b", None).unwrap();
-        sink.row("1,2").unwrap();
+        sink.write_row("1,2").unwrap();
     }
 }

@@ -95,7 +95,7 @@ fn model_racing_same_epoch_applies_exactly_once() {
             1,
             "the loser must be re-acked as a duplicate: {statuses:?}"
         );
-        let merged = state.merged();
+        let merged = state.merged().expect("merged");
         assert_eq!(merged.counts()[0][0], 3, "counts applied exactly once");
         assert_eq!(state.last_epoch(7), 1);
     })
@@ -120,7 +120,7 @@ fn model_merge_never_tears_an_apply() {
                 state.apply(&d2).expect("valid delta");
             });
             let observer = s.spawn(|| {
-                let merged = state.merged();
+                let merged = state.merged().expect("merged");
                 let epoch = state.last_epoch(1);
                 let cell = merged.counts()[0][0];
                 // Before the apply: 5 at epoch ≥ 1. After: 9 at epoch 2.
@@ -139,7 +139,7 @@ fn model_merge_never_tears_an_apply() {
             applier.join().expect("join applier");
             observer.join().expect("join observer");
         });
-        let merged = state.merged();
+        let merged = state.merged().expect("merged");
         assert_eq!(merged.counts()[0][0], 9);
         assert_eq!(state.last_epoch(1), 2);
     })
@@ -169,7 +169,7 @@ fn model_full_resync_wins_over_stale_incremental() {
             let ts = s.spawn(|| state.apply(&stale).expect("valid stale"));
             let rf = tf.join().expect("join full");
             let rs = ts.join().expect("join stale");
-            let cell = state.merged().counts()[0][0];
+            let cell = state.merged().expect("merged").counts()[0][0];
             match (rf.status, rs.status) {
                 // Full first: the stale resend is a duplicate of epoch 2.
                 (DeltaStatus::Applied, DeltaStatus::Duplicate) => {

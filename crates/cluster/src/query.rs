@@ -84,7 +84,9 @@ impl ClusterQuery {
 
         // Stale cache (or Fresh mode): one versioned merge, then an
         // incremental refresh that re-estimates only the changed grids.
-        let (merged, version) = state.merged_versioned();
+        let (merged, version) = state
+            .merged_versioned()
+            .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
         let out = st
             .engine
             .refresh_from(&merged)

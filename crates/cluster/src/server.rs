@@ -292,7 +292,10 @@ impl AggregatorServer {
             self.config.state_path.as_deref(),
             self.config.snapshot_path.as_deref(),
         )?;
-        let merged = self.state.merged();
+        let merged = self
+            .state
+            .merged()
+            .map_err(|e| AggregatorError::State(WireError::Malformed(e.to_string())))?;
         run_span.field("reports", merged.reports_ingested());
         Ok(AggregatorRun {
             nodes: self.state.node_rows(),
@@ -315,6 +318,7 @@ fn persist(
     if let Some(path) = snapshot_path {
         state
             .capture_merged()
+            .map_err(|e| AggregatorError::State(WireError::Malformed(e.to_string())))?
             .write_verified(path, None)
             .map_err(AggregatorError::State)?;
     }

@@ -142,7 +142,11 @@ impl ClusterState {
     /// malformed delta can neither corrupt counts nor advance the cursor.
     pub fn apply(&self, delta: &CountDelta) -> Result<ApplyResult, WireError> {
         let group_sizes = converted_group_sizes(&delta.group_sizes)?;
-        let sum: u64 = delta.group_sizes.iter().sum();
+        let sum: u64 = delta
+            .group_sizes
+            .iter()
+            .try_fold(0u64, |acc, &s| acc.checked_add(s))
+            .ok_or_else(|| WireError::Malformed("delta group sizes overflow u64".to_string()))?;
         if sum != delta.total {
             return Err(WireError::Malformed(format!(
                 "delta total {} disagrees with group sizes summing to {sum}",
@@ -178,14 +182,23 @@ impl ClusterState {
                 node.epoch = delta.epoch;
             }
             DeltaFlavor::Incremental => {
-                if delta.epoch != node.epoch + 1 {
+                if Some(delta.epoch) != node.epoch.checked_add(1) {
                     felip_obs::counter!("cluster.delta.resync", 1, "deltas");
                     return Ok(ApplyResult {
                         status: DeltaStatus::ResyncRequired,
                         last_applied: node.epoch,
                     });
                 }
-                node.agg.merge(&incoming);
+                if let Err(e) = node.agg.merge(&incoming) {
+                    // The failed merge left this node's cumulative state
+                    // unspecified: discard it so the next delta (rejected
+                    // below as non-successor) forces a full resync instead
+                    // of merging onto corrupt counts.
+                    nodes.remove(&delta.node_id);
+                    return Err(WireError::Malformed(format!(
+                        "delta apply failed, full resync required: {e}"
+                    )));
+                }
                 node.epoch = delta.epoch;
             }
         }
@@ -197,10 +210,11 @@ impl ClusterState {
         let last_applied = node.epoch;
         // Keep the merged-view gauge live during ingestion, not just on
         // snapshot/shutdown merges — `felip stat` mid-run reads it.
-        let total: u64 = nodes
-            .values()
-            .map(|n| n.agg.reports_ingested() as u64)
-            .sum();
+        let total: u64 = nodes.values().fold(0u64, |acc, n| {
+            // ARITH: live gauge only — a saturated reading still tells the
+            // operator the tier is ingesting; exact totals come from merges.
+            acc.saturating_add(n.agg.reports_ingested() as u64)
+        });
         felip_obs::gauge!("cluster.merge.reports", total, "reports");
         Ok(ApplyResult {
             status: DeltaStatus::Applied,
@@ -210,34 +224,35 @@ impl ClusterState {
 
     /// The cluster-wide merge: the sum of every node's cumulative state.
     /// Taken under the nodes lock, so it is a consistent cut — no delta is
-    /// ever half-included.
-    pub fn merged(&self) -> Aggregator {
-        self.merged_versioned().0
+    /// ever half-included. `Err` means a cross-node count overflowed `u64`
+    /// (per-node state is untouched).
+    pub fn merged(&self) -> Result<Aggregator, felip_common::Error> {
+        Ok(self.merged_versioned()?.0)
     }
 
     /// [`merged`](ClusterState::merged) plus the change version read under
     /// the same nodes guard — the exact token the merged counts correspond
     /// to, for query-cache keying.
-    pub fn merged_versioned(&self) -> (Aggregator, u64) {
+    pub fn merged_versioned(&self) -> Result<(Aggregator, u64), felip_common::Error> {
         let nodes = self.nodes.lock();
         let version = self.version.load(Ordering::Acquire);
         let mut merged =
             Aggregator::with_oracles(Arc::clone(&self.plan), Arc::clone(&self.oracles));
         for node in nodes.values() {
-            merged.merge(&node.agg);
+            merged.merge(&node.agg)?;
         }
         felip_obs::gauge!(
             "cluster.merge.reports",
             merged.reports_ingested(),
             "reports"
         );
-        (merged, version)
+        Ok((merged, version))
     }
 
     /// A plain merged FSNP snapshot (no dedup cursors — those live on the
     /// ingest tier), for `felip estimate` / `felip verify`.
-    pub fn capture_merged(&self) -> Snapshot {
-        Snapshot::capture(&self.merged(), self.plan_hash)
+    pub fn capture_merged(&self) -> Result<Snapshot, felip_common::Error> {
+        Ok(Snapshot::capture(&self.merged()?, self.plan_hash))
     }
 
     /// Serialises the full per-node container (FCLU).
@@ -449,8 +464,11 @@ mod tests {
         assert_eq!(dup.last_applied, 1);
         assert_eq!(st.apply(&d2).unwrap().status, DeltaStatus::Applied);
         let expect = felip_server::loadgen::offline_reference(&st.plan_handle(), 0..20, 7).unwrap();
-        assert_eq!(st.merged().counts(), expect.counts());
-        assert_eq!(st.merged().group_sizes(), expect.group_sizes());
+        assert_eq!(st.merged().expect("merged").counts(), expect.counts());
+        assert_eq!(
+            st.merged().expect("merged").group_sizes(),
+            expect.group_sizes()
+        );
     }
 
     #[test]
@@ -469,7 +487,7 @@ mod tests {
         assert_eq!(st.apply(&full).unwrap().status, DeltaStatus::Applied);
         assert_eq!(st.last_epoch(1), 5);
         let expect = felip_server::loadgen::offline_reference(&st.plan_handle(), 0..20, 3).unwrap();
-        assert_eq!(st.merged().counts(), expect.counts());
+        assert_eq!(st.merged().expect("merged").counts(), expect.counts());
     }
 
     #[test]
@@ -501,10 +519,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(restored.node_rows(), st.node_rows());
-        assert_eq!(restored.merged().counts(), st.merged().counts());
         assert_eq!(
-            restored.merged().counts_digest(),
-            st.merged().counts_digest()
+            restored.merged().expect("merged").counts(),
+            st.merged().expect("merged").counts()
+        );
+        assert_eq!(
+            restored.merged().expect("merged").counts_digest(),
+            st.merged().expect("merged").counts_digest()
         );
         // Any flipped byte is caught by the CRC (or a structural check).
         for i in (0..bytes.len()).step_by(7) {
@@ -546,7 +567,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(restored.last_epoch(9), 4);
-        assert_eq!(restored.merged().counts(), st.merged().counts());
+        assert_eq!(
+            restored.merged().expect("merged").counts(),
+            st.merged().expect("merged").counts()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -127,10 +127,10 @@ fn sixty_four_seed_cluster_sweep_is_bit_identical() {
         let nodes = 2 + (splitmix(&mut rng) % 2) as usize; // 2..=3
         let total = 90 + (splitmix(&mut rng) % 4) as usize * 30; // 90..=180
         let victim = (splitmix(&mut rng) % nodes as u64) as usize;
-        let victim_resumes = splitmix(&mut rng) % 2 == 0;
+        let victim_resumes = splitmix(&mut rng).is_multiple_of(2);
         let rejoin_delay = Duration::from_millis(splitmix(&mut rng) % 40);
-        let bounce_agg = splitmix(&mut rng) % 2 == 0;
-        let agg_resume = splitmix(&mut rng) % 2 == 0;
+        let bounce_agg = splitmix(&mut rng).is_multiple_of(2);
+        let agg_resume = splitmix(&mut rng).is_multiple_of(2);
 
         totals.kills += 1;
         if victim_resumes {

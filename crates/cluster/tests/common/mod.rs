@@ -56,6 +56,8 @@ pub enum NodeExit {
 
 /// The outcome of one ingest-node life.
 pub struct NodeOutcome {
+    /// Kept alive so the node's temp dir outlives the assertion window.
+    #[allow(dead_code)]
     pub run: ServerRun,
     /// `None` when the node was abandoned; otherwise the streamer report
     /// (`Err` carries the report when the flush deadline expired).
@@ -117,6 +119,9 @@ pub fn serve_and_stream(
 /// chaos sweep parks every node on a barrier there while it bounces the
 /// aggregator, so the catch-up path (handshake cursor mismatch → full
 /// resync) is exercised deterministically rather than by timing luck.
+// Shared across the integration-test binaries; not every binary calls it,
+// and the chaos harness needs the full parameter set in one call.
+#[allow(dead_code, clippy::too_many_arguments)]
 pub fn serve_and_stream_paused(
     plan: &Arc<CollectionPlan>,
     upstream: SocketAddr,
@@ -156,7 +161,6 @@ pub fn serve_and_stream_paused(
     send_all(&users[..split_at]);
     pause();
     send_all(&users[split_at..]);
-    drop(send_all);
     drop(client);
 
     shutdown.store(true, std::sync::atomic::Ordering::SeqCst);

@@ -73,7 +73,7 @@ proptest! {
 
         let mut merged = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
         for shard in &restored {
-            merged.merge(shard);
+            merged.merge(shard).expect("merge");
         }
 
         prop_assert_eq!(merged.reports_ingested(), users);

@@ -177,8 +177,11 @@ impl Schema {
         }
         for (i, (&v, a)) in values.iter().zip(&self.attrs).enumerate() {
             if v >= a.domain {
+                // The raw value is deliberately NOT echoed back: record
+                // values are private inputs, and this message can reach
+                // logs and wire error frames.
                 return Err(Error::InvalidRecord(format!(
-                    "value {v} out of domain 0..{} for attribute #{i} `{}`",
+                    "value out of domain 0..{} for attribute #{i} `{}`",
                     a.domain, a.name
                 )));
             }

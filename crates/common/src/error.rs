@@ -32,6 +32,11 @@ pub enum Error {
     /// frequencies from a degenerate grid, ...). Estimation pipelines must
     /// surface this instead of silently fitting garbage.
     NumericalInstability(String),
+    /// A `u64`/`usize` support count or group size would overflow while
+    /// merging aggregator state. Counts are exact tallies; wrapping one
+    /// would silently corrupt every estimate derived from it, so merge
+    /// paths use `checked_add` and surface this instead.
+    CountOverflow(String),
 }
 
 impl fmt::Display for Error {
@@ -44,6 +49,7 @@ impl fmt::Display for Error {
             Error::InvalidReport(m) => write!(f, "invalid report: {m}"),
             Error::ReportMismatch(m) => write!(f, "report mismatch: {m}"),
             Error::NumericalInstability(m) => write!(f, "numerical instability: {m}"),
+            Error::CountOverflow(m) => write!(f, "count overflow: {m}"),
         }
     }
 }

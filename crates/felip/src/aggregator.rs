@@ -189,7 +189,11 @@ impl Aggregator {
 
     /// Number of reports ingested so far.
     pub fn reports_ingested(&self) -> usize {
-        self.group_sizes.iter().sum()
+        self.group_sizes
+            .iter()
+            // ARITH: diagnostic total — a pegged value beats failing a
+            // read-only accessor (per-group sizes stay exact regardless).
+            .fold(0usize, |acc, &s| acc.saturating_add(s))
     }
 
     /// Reports ingested per group.
@@ -238,7 +242,9 @@ impl Aggregator {
         self.oracles
             .get(g)
             .accumulate(&report.report, &mut self.counts[g])?;
-        self.group_sizes[g] += 1;
+        self.group_sizes[g] = self.group_sizes[g].checked_add(1).ok_or_else(|| {
+            Error::CountOverflow(format!("group {g} size would exceed usize::MAX"))
+        })?;
         Ok(())
     }
 
@@ -263,7 +269,11 @@ impl Aggregator {
         self.oracles
             .get(group)
             .accumulate_batch(reports, &mut self.counts[group])?;
-        self.group_sizes[group] += reports.len();
+        self.group_sizes[group] = self.group_sizes[group]
+            .checked_add(reports.len())
+            .ok_or_else(|| {
+                Error::CountOverflow(format!("group {group} size would exceed usize::MAX"))
+            })?;
         Ok(())
     }
 
@@ -298,19 +308,35 @@ impl Aggregator {
     /// Merges another aggregator built from the *same plan* (used to combine
     /// per-shard aggregators after parallel ingestion).
     ///
+    /// On `Err` (shape mismatch or a count that would overflow) the
+    /// receiver's state is unspecified — discard it; a partially merged
+    /// aggregator must never feed an estimate.
+    ///
     /// # Panics
     /// Panics when the two aggregators have different group structures.
-    pub fn merge(&mut self, other: &Aggregator) {
+    pub fn merge(&mut self, other: &Aggregator) -> Result<()> {
         assert_eq!(self.counts.len(), other.counts.len(), "plans differ");
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+        for (g, (mine, theirs)) in self.counts.iter_mut().zip(&other.counts).enumerate() {
             assert_eq!(mine.len(), theirs.len(), "grid shapes differ");
             for (a, b) in mine.iter_mut().zip(theirs) {
-                *a += b;
+                *a = a.checked_add(*b).ok_or_else(|| {
+                    Error::CountOverflow(format!(
+                        "grid {g} support count would exceed u64::MAX in merge"
+                    ))
+                })?;
             }
         }
-        for (a, b) in self.group_sizes.iter_mut().zip(&other.group_sizes) {
-            *a += b;
+        for (g, (a, b)) in self
+            .group_sizes
+            .iter_mut()
+            .zip(&other.group_sizes)
+            .enumerate()
+        {
+            *a = a.checked_add(*b).ok_or_else(|| {
+                Error::CountOverflow(format!("group {g} size would exceed usize::MAX in merge"))
+            })?;
         }
+        Ok(())
     }
 
     /// Estimates every grid's cell frequencies, runs post-processing
@@ -437,7 +463,7 @@ mod tests {
         for r in &reports[500..] {
             right.ingest(r).unwrap();
         }
-        left.merge(&right);
+        left.merge(&right).expect("merge");
         assert_eq!(left.reports_ingested(), whole.reports_ingested());
         assert_eq!(left.group_sizes(), whole.group_sizes());
         // Identical counts → identical estimates.

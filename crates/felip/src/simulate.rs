@@ -96,7 +96,7 @@ pub fn collect(dataset: &Dataset, plan: &CollectionPlan, seed: u64) -> Result<Ag
         .pop()
         .expect("num_shards >= 1 when the dataset is non-empty");
     for s in &shards {
-        total.merge(s);
+        total.merge(s)?;
     }
     Ok(total)
 }

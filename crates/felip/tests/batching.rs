@@ -104,7 +104,7 @@ proptest! {
         for c in chunks {
             let mut shard = Aggregator::with_oracles(Arc::clone(&plan), Arc::clone(&oracles));
             shard.ingest_batch(c).unwrap();
-            merged.merge(&shard);
+            merged.merge(&shard).expect("merge");
         }
         prop_assert_eq!(merged.group_sizes(), sequential.group_sizes());
         prop_assert_eq!(merged.counts(), sequential.counts());

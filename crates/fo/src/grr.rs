@@ -118,7 +118,9 @@ impl FrequencyOracle for Grr {
     fn accumulate(&self, report: &Report, counts: &mut [u64]) -> Result<()> {
         self.check_report(report)?;
         match report {
-            Report::Grr(v) => counts[*v as usize] += 1,
+            // ARITH: hot accumulate kernel; a u64 tally cannot reach 2^64
+            // reports in practice, and merge paths re-check with checked_add.
+            Report::Grr(v) => counts[*v as usize] = counts[*v as usize].wrapping_add(1),
             _ => unreachable!("check_report admits only GRR reports"),
         }
         Ok(())

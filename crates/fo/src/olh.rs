@@ -72,7 +72,9 @@ fn support_count_block(pairs: &[UnpackedReport], base: u32, block: &mut [u64]) {
     let mut keys = [0u64; BLOCK_VALUES];
     let keys = &mut keys[..block.len()];
     for (i, key) in keys.iter_mut().enumerate() {
-        *key = value_key(base + i as u32);
+        // ARITH: block index arithmetic; base + i stays within the u32
+        // domain size by construction of the block walk.
+        *key = value_key(base.wrapping_add(i as u32));
     }
     #[cfg(target_arch = "x86_64")]
     {
@@ -101,8 +103,10 @@ fn support_count_per_report(pairs: &[UnpackedReport], keys: &[u64], block: &mut 
         let (lo, width) = (lo as u64, width as u64);
         for (slot, &key) in block.iter_mut().zip(keys.iter()) {
             let h32 = mix64(seed ^ key) >> 32;
-            // u64 form of `(h32 as u32).wrapping_sub(lo) < width`.
-            *slot += ((h32.wrapping_sub(lo) & 0xffff_ffff) < width) as u64;
+            // ARITH: hot support-count kernel; wrapping_sub is the u64 form
+            // of `(h32 as u32).wrapping_sub(lo) < width` (intentional mod-2^32
+            // range test), and a u64 tally cannot reach 2^64 reports.
+            *slot = slot.wrapping_add(((h32.wrapping_sub(lo) & 0xffff_ffff) < width) as u64);
         }
     }
 }
@@ -141,15 +145,22 @@ fn support_count_grouped(pairs: &[UnpackedReport], keys: &[u64], block: &mut [u6
             let mut supports = 0u64;
             for &(seed, lo, width) in group {
                 let h32 = (mix64(seed ^ key) >> 32) as u32;
-                supports += (h32.wrapping_sub(lo) < width) as u64;
+                // ARITH: hot support-count kernel; wrapping_sub is the
+                // intentional mod-2^32 range test, and the group tally is
+                // bounded by GROUP_REPORTS.
+                supports = supports.wrapping_add((h32.wrapping_sub(lo) < width) as u64);
             }
-            *slot += supports;
+            // ARITH: hot kernel; a u64 tally cannot reach 2^64 reports.
+            *slot = slot.wrapping_add(supports);
         }
     }
     for &(seed, lo, width) in groups.remainder() {
         for (slot, &key) in block.iter_mut().zip(keys.iter()) {
             let h32 = (mix64(seed ^ key) >> 32) as u32;
-            *slot += (h32.wrapping_sub(lo) < width) as u64;
+            // ARITH: hot support-count kernel; wrapping_sub is the
+            // intentional mod-2^32 range test, and a u64 tally cannot
+            // reach 2^64 reports.
+            *slot = slot.wrapping_add((h32.wrapping_sub(lo) < width) as u64);
         }
     }
 }
@@ -294,7 +305,10 @@ impl FrequencyOracle for Olh {
             Report::Olh { seed, value } => {
                 for (v, slot) in counts.iter_mut().enumerate() {
                     if universal_hash(*seed, v as u32, self.g) == *value {
-                        *slot += 1;
+                        // ARITH: hot accumulate kernel; a u64 tally cannot
+                        // reach 2^64 reports, and merge paths re-check with
+                        // checked_add.
+                        *slot = slot.wrapping_add(1);
                     }
                 }
             }

@@ -113,7 +113,10 @@ impl FrequencyOracle for Sue {
             Report::Oue(bits) => {
                 for (v, slot) in counts.iter_mut().enumerate() {
                     if bits[v / 64] >> (v % 64) & 1 == 1 {
-                        *slot += 1;
+                        // ARITH: hot accumulate kernel; a u64 tally cannot
+                        // reach 2^64 reports, and merge paths re-check with
+                        // checked_add.
+                        *slot = slot.wrapping_add(1);
                     }
                 }
             }

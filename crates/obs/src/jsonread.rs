@@ -87,7 +87,7 @@ pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
         pos: 0,
     };
     p.skip_ws();
-    let v = p.value(0)?;
+    let v = p.parse_value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(p.err("trailing characters after document"));
@@ -141,7 +141,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, ParseError> {
         if depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
         }
@@ -171,7 +171,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             self.expect(b':', "expected ':' after object key")?;
             self.skip_ws();
-            let value = self.value(depth + 1)?;
+            let value = self.parse_value(depth + 1)?;
             members.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -195,7 +195,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value(depth + 1)?);
+            items.push(self.parse_value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,

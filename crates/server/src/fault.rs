@@ -249,7 +249,7 @@ impl FaultSchedule {
         if bytes.is_empty() {
             return Vec::new();
         }
-        if self.draw() % 2 == 0 {
+        if self.draw().is_multiple_of(2) {
             let keep = self.draw_below(bytes.len() as u64) as usize;
             bytes[..keep].to_vec()
         } else {

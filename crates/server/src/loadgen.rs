@@ -98,7 +98,7 @@ mod tests {
         let whole = offline_reference(&p, 0..400, 7).unwrap();
         let mut left = offline_reference(&p, 0..150, 7).unwrap();
         let right = offline_reference(&p, 150..400, 7).unwrap();
-        left.merge(&right);
+        left.merge(&right).expect("merge");
         assert_eq!(left.counts(), whole.counts());
         assert_eq!(left.group_sizes(), whole.group_sizes());
     }

@@ -203,7 +203,8 @@ fn model_consistent_cut_counts_match_cursors() {
         };
         // The cut races the session and the worker; whatever it freezes
         // must be internally consistent.
-        let (cut, pairs) = consistent_cut(&ctx, &plan, &oracles, &base, &shards, &[Arc::clone(&q)]);
+        let (cut, pairs) =
+            consistent_cut(&ctx, &plan, &oracles, &base, &shards, &[Arc::clone(&q)]).expect("cut");
         let cursor = pairs
             .iter()
             .find(|&&(c, _)| c == 3)

@@ -132,7 +132,8 @@ impl QueryService {
             &self.base,
             &self.shards,
             &self.queues,
-        );
+        )
+        .map_err(|e| WireError::Malformed(format!("query failed: {e}")))?;
         let out = st
             .engine
             .refresh_from(&merged)

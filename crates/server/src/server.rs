@@ -455,7 +455,20 @@ impl Server {
                         }
                         last = Instant::now();
                         let (merged, dedup) =
-                            consistent_cut(ctx, &plan, &oracles, base, shards, queues);
+                            match consistent_cut(ctx, &plan, &oracles, base, shards, queues) {
+                                Ok(cut) => cut,
+                                Err(e) => {
+                                    // Counts overflowed mid-run: the shards
+                                    // are intact, but no consistent merged
+                                    // view exists. Keep the last good
+                                    // snapshot and surface the condition.
+                                    stats.snapshots_quarantined.fetch_add(1, Ordering::Relaxed);
+                                    felip_obs::diag::error(&format!(
+                                        "periodic snapshot skipped: {e}"
+                                    ));
+                                    continue;
+                                }
+                            };
                         let reports = merged.reports_ingested() as u64;
                         let snap = Snapshot::capture_with_dedup(&merged, plan_hash, dedup);
                         match snap.write_verified(&path, None) {
@@ -515,7 +528,13 @@ impl Server {
                         }
                         last = Instant::now();
                         let (merged, _dedup) =
-                            consistent_cut(ctx, &plan, &oracles, base, shards, queues);
+                            match consistent_cut(ctx, &plan, &oracles, base, shards, queues) {
+                                Ok(cut) => cut,
+                                Err(e) => {
+                                    felip_obs::diag::error(&format!("periodic cut skipped: {e}"));
+                                    continue;
+                                }
+                            };
                         hook(CutState {
                             counts: merged.counts().to_vec(),
                             group_sizes: merged.group_sizes().to_vec(),
@@ -645,7 +664,7 @@ impl Server {
         // query service still holds handles to base and shards, so the
         // merge goes through the (now uncontended) locks rather than
         // consuming the mutexes.
-        let aggregator = merge_state(&self.plan, &self.oracles, &base, &shards);
+        let aggregator = merge_state(&self.plan, &self.oracles, &base, &shards)?;
         if let Some(path) = &self.config.snapshot_path {
             Snapshot::capture_with_dedup(&aggregator, self.plan_hash, ctx.dedup_pairs())
                 .write_verified(path, None)?;
@@ -688,34 +707,36 @@ pub(crate) fn consistent_cut(
     base: &Mutex<Aggregator>,
     shards: &[Mutex<Aggregator>],
     queues: &[Arc<BoundedQueue<Vec<UserReport>>>],
-) -> (Aggregator, Vec<(u64, u64)>) {
+) -> Result<(Aggregator, Vec<(u64, u64)>), felip_common::Error> {
     let dedup = ctx.dedup.lock();
     // No session can push while we hold the dedup lock, so the backlog is
     // bounded and this wait terminates once the workers catch up.
     while !queues.iter().all(|q| q.is_quiescent()) {
         thread::sleep(Duration::from_millis(1));
     }
-    let merged = merge_state(plan, oracles, base, shards);
+    let merged = merge_state(plan, oracles, base, shards)?;
     let pairs = SessionCtx::sorted_pairs(&dedup);
-    (merged, pairs)
+    Ok((merged, pairs))
 }
 
 /// Point-in-time merge of the resume base and every worker shard, used by
-/// periodic snapshots while ingestion continues.
+/// periodic snapshots while ingestion continues. `Err` means a support
+/// count overflowed `u64` — the shards themselves are untouched, but no
+/// consistent merged view exists.
 fn merge_state(
     plan: &Arc<CollectionPlan>,
     oracles: &Arc<OracleSet>,
     base: &Mutex<Aggregator>,
     shards: &[Mutex<Aggregator>],
-) -> Aggregator {
+) -> Result<Aggregator, felip_common::Error> {
     let mut merged = Aggregator::with_oracles(Arc::clone(plan), Arc::clone(oracles));
-    merged.merge(&base.lock());
+    merged.merge(&base.lock())?;
     for shard in shards {
         // Each lock is held only for the copy; workers hold their shard
         // lock across a whole batch, so snapshots see batch-atomic states.
-        merged.merge(&shard.lock());
+        merged.merge(&shard.lock())?;
     }
-    merged
+    Ok(merged)
 }
 
 /// Serves one connection: frames come off a deadline-aware
@@ -853,7 +874,8 @@ mod tests {
                     PopResult::Done => break,
                 }
             });
-            let (merged, cursors) = consistent_cut(&ctx, &plan, &oracles, &base, &shards, &queues);
+            let (merged, cursors) =
+                consistent_cut(&ctx, &plan, &oracles, &base, &shards, &queues).expect("cut");
             assert_eq!(cursors, vec![(7, 3)]);
             assert_eq!(
                 merged.reports_ingested(),

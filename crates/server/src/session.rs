@@ -181,7 +181,7 @@ impl Session {
         // a plan-agnostic operator tool that sends plan hash 0 — may ask
         // for a metrics snapshot, so it is handled before plan pinning.
         if frame.kind == FrameKind::Stat {
-            return match decode_stat(&frame.payload) {
+            return match decode_stat(frame.payload) {
                 Ok(mode) => {
                     felip_obs::counter!("server.frame.stat", 1, "frames");
                     FrameOutcome {
@@ -207,7 +207,7 @@ impl Session {
 
         match frame.kind {
             FrameKind::Hello => {
-                let client_id = match decode_hello(&frame.payload) {
+                let client_id = match decode_hello(frame.payload) {
                     Ok(id) => id,
                     Err(e) => return reject(e),
                 };
@@ -230,7 +230,7 @@ impl Session {
                         "report batch before hello handshake".into(),
                     ));
                 };
-                let (batch_id, reports) = match decode_batch(&frame.payload) {
+                let (batch_id, reports) = match decode_batch(frame.payload) {
                     Ok(b) => b,
                     Err(e) => return reject(e),
                 };
@@ -319,7 +319,7 @@ impl Session {
                 }
             }
             FrameKind::Query => {
-                let req = match crate::wire::decode_query(&frame.payload) {
+                let req = match crate::wire::decode_query(frame.payload) {
                     Ok(r) => r,
                     Err(e) => return reject(e),
                 };

@@ -970,8 +970,8 @@ impl Sim {
         self.expect_cold_query = true;
         self.trace(13, self.kills as u64, self.quarantined);
         let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_file(&path.with_extension("quarantine"));
-        let _ = std::fs::remove_file(&path.with_extension("tmp"));
+        let _ = std::fs::remove_file(path.with_extension("quarantine"));
+        let _ = std::fs::remove_file(path.with_extension("tmp"));
     }
 
     /// One mixed-client query against the live aggregator: refresh the

@@ -38,6 +38,10 @@ use felip::plan::CollectionPlan;
 
 use crate::wire::{self, crc32, WireError};
 
+/// Fault-injection hook type: sees encoded bytes, may return a corrupted
+/// replacement (`None` = write faithfully).
+pub type MangleFn<'a> = dyn FnMut(&[u8]) -> Option<Vec<u8>> + 'a;
+
 /// Snapshot magic: the bytes `FSNP` read as a little-endian u32.
 pub const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"FSNP");
 
@@ -91,7 +95,11 @@ impl Snapshot {
 
     /// Total reports across all groups.
     pub fn reports_ingested(&self) -> usize {
-        self.group_sizes.iter().sum()
+        self.group_sizes
+            .iter()
+            // ARITH: diagnostic total only; saturate rather than wrap so a
+            // corrupt container can never panic or alias a small count.
+            .fold(0usize, |acc, &s| acc.saturating_add(s))
     }
 
     /// Serialises the snapshot to its on-disk byte layout.
@@ -254,7 +262,7 @@ impl Snapshot {
     pub fn write_verified(
         &self,
         path: &Path,
-        mangle: Option<&mut dyn FnMut(&[u8]) -> Option<Vec<u8>>>,
+        mangle: Option<&mut MangleFn<'_>>,
     ) -> Result<(), WireError> {
         let mut span = felip_obs::span!("server.snapshot.write_verified");
         let bytes = self.encode();

@@ -218,7 +218,6 @@ mod tests {
             RecvOutcome::Frame(f) => assert_eq!(f, frame),
             other => panic!("expected frame, got {other:?}"),
         }
-        drop(a);
         drop(client);
         assert!(matches!(b.recv(), RecvOutcome::Eof));
     }

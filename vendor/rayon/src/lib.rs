@@ -367,7 +367,7 @@ mod tests {
 
     #[test]
     fn slice_map_collect() {
-        let data = vec![1u32, 2, 3, 4];
+        let data = [1u32, 2, 3, 4];
         let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
     }

@@ -124,10 +124,10 @@ impl<K: PartialEq, V> Map<K, V> {
     }
 
     /// Looks up a value by key.
-    pub fn get<Q: ?Sized>(&self, key: &Q) -> Option<&V>
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
     where
         K: std::borrow::Borrow<Q>,
-        Q: PartialEq,
+        Q: PartialEq + ?Sized,
     {
         self.entries
             .iter()

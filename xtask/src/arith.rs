@@ -1,0 +1,248 @@
+//! The checked-arith pass (DESIGN.md §18): count-typed u64 arithmetic in
+//! merge/ingest/delta-apply paths must be explicit about overflow.
+//!
+//! Scope: non-test functions in crates `felip`, `fo`, `cluster`, `server`
+//! whose name is one of the merge/ingest family (`merge`, `merge_state`,
+//! `merged`, `merged_versioned`, `apply`, `reports_ingested`, or starting
+//! with `ingest`, `accumulate`, `support_count`). Inside those, a bare
+//! `+=`, binary `+`, or `.sum()` on integer counts is flagged: it must be
+//! `checked_*` (merge paths — overflow is a protocol error), `saturating_*`
+//! (diagnostics — a pegged gauge beats a crashed server), or `wrapping_*`
+//! (hot kernels — same instruction as `+`, keeps autovectorization, and
+//! per-call increments are bounded by the report batch size).
+//!
+//! Statements operating on floats are exempt (estimator math is f64 and
+//! IEEE saturates to ±inf by design). `wrapping_*`/`saturating_*` calls in
+//! scope additionally require an adjacent `// ARITH:` comment justifying
+//! the choice; `checked_*` is exempt — handling the `None` is its own
+//! justification.
+
+use crate::analyze::Finding;
+use crate::lex::TokKind;
+use crate::tree::Workspace;
+
+const EXACT: &[&str] = &[
+    "merge",
+    "merge_state",
+    "merged",
+    "merged_versioned",
+    "apply",
+    "reports_ingested",
+];
+const PREFIXES: &[&str] = &["ingest", "accumulate", "support_count"];
+const CRATES: &[&str] = &["felip", "fo", "cluster", "server"];
+
+fn fn_in_scope(name: &str) -> bool {
+    EXACT.contains(&name) || PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for fndef in &ws.fns {
+        if fndef.is_test
+            || !CRATES.contains(&fndef.crate_name.as_str())
+            || !fn_in_scope(&fndef.name)
+        {
+            continue;
+        }
+        let Some((open, close)) = fndef.body else {
+            continue;
+        };
+        let f = &ws.files[fndef.file];
+
+        // Pre-split the body into `;`/brace-delimited statements so the
+        // float exemption and ARITH-comment checks see whole statements.
+        let mut stmt_start = open + 1;
+        let mut i = open + 1;
+        while i <= close {
+            let t = if i < close { f.txt(i) } else { ";" };
+            let is_boundary = i == close || matches!(t, ";" | "{" | "}");
+            if is_boundary {
+                check_stmt(f, &fndef.qual, stmt_start, i, &mut out);
+                stmt_start = i + 1;
+            }
+            i += 1;
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+fn check_stmt(
+    f: &crate::tree::SourceFile,
+    fn_qual: &str,
+    a: usize,
+    b: usize,
+    out: &mut Vec<Finding>,
+) {
+    if a >= b {
+        return;
+    }
+    // Float statements are exempt: any float literal or f64/f32 ident.
+    let mut has_float = false;
+    for k in a..b {
+        if f.tok(k).kind == TokKind::Float || f.is_ident(k, "f64") || f.is_ident(k, "f32") {
+            has_float = true;
+            break;
+        }
+    }
+
+    for k in a..b {
+        let t = f.txt(k);
+        let line = f.line(k);
+        match f.tok(k).kind {
+            TokKind::Punct if !has_float => {
+                let bad = match t {
+                    "+=" => true,
+                    // Binary `+` only: previous significant token must be
+                    // a value end (ident / literal / `)` / `]`), not an
+                    // operator or `(` (which would make it unary).
+                    "+" => k > a && is_value_end(f, k - 1),
+                    _ => false,
+                };
+                if bad {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line,
+                        rule: "checked-arith",
+                        message: format!(
+                            "bare `{t}` on counts in `{fn_qual}` — use `checked_add` \
+                             (merge paths), `saturating_add` (diagnostics), or \
+                             `wrapping_add` + `// ARITH:` (hot kernels)"
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+            // `.sum()` / `.sum::<u64>()` on an integer iterator.
+            TokKind::Ident if !has_float && t == "sum" && k > a && f.is_punct(k - 1, ".") => {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line,
+                    rule: "checked-arith",
+                    message: format!(
+                        "bare `.sum()` on counts in `{fn_qual}` — fold with \
+                         `checked_add`/`saturating_add` instead"
+                    ),
+                    trace: Vec::new(),
+                });
+            }
+            TokKind::Ident if t.starts_with("wrapping_") || t.starts_with("saturating_") => {
+                // In-scope lenient arithmetic needs a justification note
+                // on the statement or the line above.
+                let justified = f.comment_above_contains(line, "ARITH:");
+                if !justified {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line,
+                        rule: "checked-arith",
+                        message: format!(
+                            "`{t}` in `{fn_qual}` without an adjacent `// ARITH:` \
+                             justification comment"
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// True when the token at `k` can end a value expression (making a
+/// following `+` binary rather than unary).
+fn is_value_end(f: &crate::tree::SourceFile, k: usize) -> bool {
+    match f.tok(k).kind {
+        TokKind::Ident => !matches!(f.txt(k), "return" | "as" | "in" | "where"),
+        TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char => true,
+        TokKind::Punct => matches!(f.txt(k), ")" | "]"),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Workspace;
+
+    #[test]
+    fn bare_add_in_merge_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/felip/src/agg.rs",
+            "impl Agg { pub fn merge(&mut self, o: &Agg) { self.n += o.n; } }\n",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "checked-arith");
+    }
+
+    #[test]
+    fn checked_add_is_clean() {
+        let w = Workspace::from_sources(&[(
+            "crates/felip/src/agg.rs",
+            "impl Agg { pub fn merge(&mut self, o: &Agg) -> Option<()> { \
+             self.n = self.n.checked_add(o.n)?; Some(()) } }\n",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn bare_sum_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/cluster/src/s.rs",
+            "fn apply(v: &[u64]) -> u64 { let s: u64 = v.iter().sum(); s }\n",
+        )]);
+        let f = run(&w);
+        assert!(f.iter().any(|x| x.message.contains(".sum()")), "{f:?}");
+    }
+
+    #[test]
+    fn float_statement_is_exempt() {
+        let w = Workspace::from_sources(&[(
+            "crates/fo/src/sw.rs",
+            "fn accumulate(c: &mut [f64]) { c[0] += 1.0f64; }\n",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn wrapping_without_arith_comment_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/fo/src/k.rs",
+            "fn accumulate(c: &mut [u64]) { c[0] = c[0].wrapping_add(1); }\n",
+        )]);
+        let f = run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("ARITH:"));
+    }
+
+    #[test]
+    fn wrapping_with_arith_comment_is_clean() {
+        let w = Workspace::from_sources(&[(
+            "crates/fo/src/k.rs",
+            "fn accumulate(c: &mut [u64]) {\n\
+                 // ARITH: bounded by batch size; wrapping keeps vectorization.\n\
+                 c[0] = c[0].wrapping_add(1);\n\
+             }\n",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_fn_names_are_ignored() {
+        let w = Workspace::from_sources(&[(
+            "crates/felip/src/other.rs",
+            "fn estimate(v: &mut [u64]) { v[0] += 1; }\n",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+
+    #[test]
+    fn test_fns_are_ignored() {
+        let w = Workspace::from_sources(&[(
+            "crates/felip/src/t.rs",
+            "#[test]\nfn merge() { let mut n = 0u64; n += 1; }\n",
+        )]);
+        assert!(run(&w).is_empty());
+    }
+}

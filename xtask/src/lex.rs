@@ -1,0 +1,546 @@
+//! A lossless Rust lexer: the token stream tiles the source byte-for-byte
+//! (`Σ token.text == source`), so every downstream pass works on real
+//! token boundaries instead of stripped strings, and a round-trip test can
+//! prove the lexer never drops or invents a byte (DESIGN.md §18).
+//!
+//! The lexer is deliberately smaller than rustc's: it distinguishes
+//! exactly the classes the analysis passes need (identifiers, literals,
+//! comments, multi-character operators) and treats every keyword as an
+//! identifier — keyword-ness is the tree builder's concern.
+
+use std::fmt;
+
+/// Token classes. `Whitespace`, `LineComment`, and `BlockComment` are
+/// *trivia*: they are kept (for losslessness and for `SAFETY:`/`TAINT-OK:`
+/// comment checks) but skipped by the item-tree builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Whitespace,
+    LineComment,
+    BlockComment,
+    /// Identifier or keyword (`fn`, `let`, …) or raw identifier (`r#type`).
+    Ident,
+    /// `'a`, `'static` — never a char literal.
+    Lifetime,
+    Int,
+    Float,
+    /// `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Operator/punctuation, maximal-munch (`::`, `->`, `+=`, `..=`, …).
+    Punct,
+}
+
+/// One token: a kind plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is trivia (whitespace or a comment).
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// A lexing failure (unterminated literal/comment); carries the line so the
+/// caller can report `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Multi-character operators, longest first (maximal munch).
+const PUNCTS: [&str; 24] = [
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src` completely. On success the returned tokens tile
+/// `0..src.len()` contiguously — `tokens_tile` checks exactly that and the
+/// round-trip test asserts it for every workspace file.
+pub fn lex(src: &str) -> Result<Vec<Tok>, LexError> {
+    let b: Vec<char> = src.chars().collect();
+    // Parallel byte offsets: off[i] is the byte offset of char i.
+    let mut off = Vec::with_capacity(b.len() + 1);
+    let mut o = 0;
+    for c in &b {
+        off.push(o);
+        o += c.len_utf8();
+    }
+    off.push(o);
+
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = b.len();
+    let push = |kind: TokKind, s: usize, e: usize, ln: u32, toks: &mut Vec<Tok>| {
+        toks.push(Tok {
+            kind,
+            start: off[s],
+            end: off[e],
+            line: ln,
+        });
+    };
+    let count_nl = |s: usize, e: usize, b: &[char]| b[s..e].iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = b[i];
+        let start = i;
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            while i < n && b[i].is_whitespace() {
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            push(TokKind::Whitespace, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            push(TokKind::LineComment, start, i, start_line, &mut toks);
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(LexError {
+                    line: start_line,
+                    message: "unterminated block comment".into(),
+                });
+            }
+            push(TokKind::BlockComment, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Raw strings / raw identifiers / byte strings: r"…", r#"…"#, r#ident,
+        // b"…", br#"…"#, b'…'.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut is_byte = false;
+            if b[j] == 'b' {
+                is_byte = true;
+                j += 1;
+            }
+            let has_r = j < n && b[j] == 'r';
+            if has_r {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while has_r && j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' && (has_r || is_byte) {
+                // Raw or byte string.
+                j += 1;
+                if has_r {
+                    // Scan for `"` followed by `hashes` hashes.
+                    loop {
+                        if j >= n {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated raw string".into(),
+                            });
+                        }
+                        if b[j] == '"' && (1..=hashes).all(|k| j + k < n && b[j + k] == '#') {
+                            j += hashes + 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"…": ordinary escapes.
+                    loop {
+                        if j >= n {
+                            return Err(LexError {
+                                line: start_line,
+                                message: "unterminated byte string".into(),
+                            });
+                        }
+                        match b[j] {
+                            '\\' => j += 2,
+                            '"' => {
+                                j += 1;
+                                break;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                }
+                // Newlines inside the literal are counted from the raw span
+                // (escape skips may jump over `\` line continuations).
+                line = start_line + count_nl(start, j.min(n), &b) as u32;
+                i = j;
+                push(TokKind::Str, start, i, start_line, &mut toks);
+                continue;
+            }
+            if has_r && hashes > 0 && j < n && is_ident_start(b[j]) && !is_byte {
+                // Raw identifier r#type.
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                i = j;
+                push(TokKind::Ident, start, i, start_line, &mut toks);
+                continue;
+            }
+            if is_byte && j < n && b[j] == '\'' && !has_r {
+                // Byte char b'x'.
+                j += 1;
+                loop {
+                    if j >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated byte char".into(),
+                        });
+                    }
+                    match b[j] {
+                        '\\' => j += 2,
+                        '\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+                push(TokKind::Char, start, i, start_line, &mut toks);
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            let mut j = i;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            i = j;
+            push(TokKind::Ident, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            push(TokKind::Ident, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            i += 1;
+            let mut kind = TokKind::Int;
+            if c == '0' && i < n && matches!(b[i], 'x' | 'o' | 'b') {
+                i += 1;
+                while i < n && (b[i].is_ascii_hexdigit() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fraction: digit '.' not followed by another '.' (range) or
+                // an identifier start (method call on a literal).
+                if i < n
+                    && b[i] == '.'
+                    && !(i + 1 < n && (b[i + 1] == '.' || is_ident_start(b[i + 1])))
+                {
+                    kind = TokKind::Float;
+                    i += 1;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && (b[i] == 'e' || b[i] == 'E')
+                    && (i + 1 < n
+                        && (b[i + 1].is_ascii_digit()
+                            || ((b[i + 1] == '+' || b[i + 1] == '-')
+                                && i + 2 < n
+                                && b[i + 2].is_ascii_digit())))
+                {
+                    kind = TokKind::Float;
+                    i += 1;
+                    if b[i] == '+' || b[i] == '-' {
+                        i += 1;
+                    }
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (u64, f32, usize, …).
+            if i < n && is_ident_start(b[i]) {
+                let suf_start = i;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let suf: String = b[suf_start..i].iter().collect();
+                if suf.starts_with('f') {
+                    kind = TokKind::Float;
+                }
+            }
+            push(kind, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            i += 1;
+            loop {
+                if i >= n {
+                    return Err(LexError {
+                        line: start_line,
+                        message: "unterminated string".into(),
+                    });
+                }
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            // Recompute from the raw span: escape skips may have jumped
+            // over a newline (`\` line continuations).
+            line = start_line + count_nl(start, i.min(n), &b) as u32;
+            push(TokKind::Str, start, i, start_line, &mut toks);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(ch) if is_ident_start(ch) => {
+                    // 'a' is a char literal only when followed by a closing
+                    // quote right after one ident char ('static> is a
+                    // lifetime).
+                    b.get(i + 2) == Some(&'\'')
+                }
+                Some(_) => true, // '(' etc: '(' is not valid, but '1' is a char
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                loop {
+                    if i >= n {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated char literal".into(),
+                        });
+                    }
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                push(TokKind::Char, start, i, start_line, &mut toks);
+            } else {
+                i += 1;
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                push(TokKind::Lifetime, start, i, start_line, &mut toks);
+            }
+            continue;
+        }
+
+        // Operators: maximal munch over the multi-char table, then a single
+        // char.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pc: Vec<char> = p.chars().collect();
+            if pc.len() > 1 && i + pc.len() <= n && b[i..i + pc.len()] == pc[..] {
+                i += pc.len();
+                push(TokKind::Punct, start, i, start_line, &mut toks);
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        i += 1;
+        push(TokKind::Punct, start, i, start_line, &mut toks);
+    }
+
+    Ok(toks)
+}
+
+/// Whether `toks` tile `src` exactly: contiguous spans from 0 to
+/// `src.len()` with no gaps or overlaps. The lossless guarantee.
+pub fn tokens_tile(src: &str, toks: &[Tok]) -> bool {
+    let mut pos = 0usize;
+    for t in toks {
+        if t.start != pos || t.end < t.start {
+            return false;
+        }
+        pos = t.end;
+    }
+    pos == src.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn tiles_simple_source() {
+        let src = "fn main() { let x = 1 + 2; }\n";
+        let toks = lex(src).unwrap();
+        assert!(tokens_tile(src, &toks));
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokKind::Char, "'b'".into())));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ks = kinds("for i in 0..10 { a[i] += 1.5; }");
+        assert!(ks.contains(&(TokKind::Int, "0".into())));
+        assert!(ks.contains(&(TokKind::Punct, "..".into())));
+        assert!(ks.contains(&(TokKind::Float, "1.5".into())));
+        assert!(ks.contains(&(TokKind::Punct, "+=".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = r##"let a = r#"panic!("x")"#; let r#type = b"bytes";"##;
+        let toks = lex(src).unwrap();
+        assert!(tokens_tile(src, &toks));
+        let ks: Vec<_> = toks
+            .iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect();
+        assert!(ks.contains(&(TokKind::Str, r##"r#"panic!("x")"#"##)));
+        assert!(ks.contains(&(TokKind::Ident, "r#type")));
+        assert!(ks.contains(&(TokKind::Str, "b\"bytes\"")));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let src = "/* a /* b */ c */ fn g() {}\n// line\n";
+        let toks = lex(src).unwrap();
+        assert!(tokens_tile(src, &toks));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let src = "a\nb\n  c";
+        let toks = lex(src).unwrap();
+        let lines: Vec<(String, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text(src).into(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn number_suffixes_classify() {
+        let ks = kinds("let a = 1u64; let b = 2.5f32; let c = 0xff_u8; let d = 1e3;");
+        assert!(ks.contains(&(TokKind::Int, "1u64".into())));
+        assert!(ks.contains(&(TokKind::Float, "2.5f32".into())));
+        assert!(ks.contains(&(TokKind::Int, "0xff_u8".into())));
+        assert!(ks.contains(&(TokKind::Float, "1e3".into())));
+    }
+
+    #[test]
+    fn tuple_field_access_lexes() {
+        let ks = kinds("let x = pair.0; let y = pair.1.min(2);");
+        assert!(ks.contains(&(TokKind::Int, "0".into())));
+        assert!(ks.contains(&(TokKind::Punct, ".".into())));
+    }
+}

@@ -35,6 +35,14 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod analyze;
+mod arith;
+pub mod lex;
+mod locks;
+mod rules;
+mod taint;
+pub mod tree;
+
 /// One rule violation, printed as `file:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -63,30 +71,86 @@ impl fmt::Display for Diagnostic {
 
 /// CLI entry: returns the process exit code.
 pub fn run(mut args: impl Iterator<Item = String>) -> i32 {
+    // xtask sits directly under the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."));
     match args.next().as_deref() {
         Some("lint") => {
-            // xtask sits directly under the workspace root.
-            let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-                .parent()
-                .map(Path::to_path_buf)
-                .unwrap_or_else(|| PathBuf::from("."));
             let diags = lint_root(&root);
             for d in &diags {
-                eprintln!("{d}");
+                felip_obs::diag::line(&d.to_string());
             }
             if diags.is_empty() {
-                eprintln!("xtask lint: all rules clean");
+                felip_obs::diag::line("xtask lint: all rules clean");
                 0
             } else {
-                eprintln!("xtask lint: {} violation(s)", diags.len());
+                felip_obs::diag::error(&format!("xtask lint: {} violation(s)", diags.len()));
+                1
+            }
+        }
+        Some("analyze") => {
+            let mut json = false;
+            let mut dump_locks = false;
+            for a in args {
+                match a.as_str() {
+                    "--format" => {} // value follows
+                    "json" | "--format=json" => json = true,
+                    "--dump-locks" => dump_locks = true,
+                    other => {
+                        felip_obs::diag::error(&format!(
+                            "unknown analyze flag {other:?} \
+                             (expected `--format json` or `--dump-locks`)"
+                        ));
+                        return 2;
+                    }
+                }
+            }
+            let report = analyze::analyze_root(&root);
+            if dump_locks {
+                felip_obs::diag::line(report.locks.dump().trim_end());
+            }
+            if json {
+                // JSON goes to stdout — it is the machine product.
+                println!("{}", analyze::to_json(&report));
+            } else {
+                for f in &report.findings {
+                    felip_obs::diag::line(&f.to_string());
+                }
+                for f in &report.taint_ok {
+                    felip_obs::diag::line(&format!(
+                        "{}:{}: [taint-ok] waived: {}",
+                        f.file.display(),
+                        f.line,
+                        f.message
+                    ));
+                }
+            }
+            if report.findings.is_empty() {
+                if !json {
+                    felip_obs::diag::line(&format!(
+                        "xtask analyze: all passes clean ({} taint waiver(s) catalogued)",
+                        report.taint_ok.len()
+                    ));
+                }
+                0
+            } else {
+                if !json {
+                    felip_obs::diag::error(&format!(
+                        "xtask analyze: {} finding(s)",
+                        report.findings.len()
+                    ));
+                }
                 1
             }
         }
         other => {
-            eprintln!(
-                "usage: cargo run -p xtask -- lint\n  unknown subcommand {:?}",
+            felip_obs::diag::error(&format!(
+                "usage: cargo run -p xtask -- <lint|analyze> [--format json] [--dump-locks]\n  \
+                 unknown subcommand {:?}",
                 other.unwrap_or("<none>")
-            );
+            ));
             2
         }
     }
@@ -1109,7 +1173,7 @@ mod tests {
             .all(|d| d.file.starts_with("crates/server") || d.file.starts_with("crates/cluster")));
         assert!(
             sync.iter()
-                .any(|d| d.file == PathBuf::from("crates/cluster/src/bad_sync.rs") && d.line == 1),
+                .any(|d| d.file == Path::new("crates/cluster/src/bad_sync.rs") && d.line == 1),
             "{sync:?}"
         );
     }

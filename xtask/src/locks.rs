@@ -1,0 +1,500 @@
+//! The lock-order pass (DESIGN.md §18): build the static lock-acquisition
+//! graph over the `felip-sync` shim mutexes in `crates/server` and
+//! `crates/cluster`, and fail on cycles.
+//!
+//! A lock *class* is derived from the receiver chain of a `.lock()` call:
+//! the last field/variable ident before `.lock()`, lowercased, with one
+//! trailing `s` stripped (`shards` and `shard` are the same class — they
+//! guard the same kind of data). A `let g = x.lock()` holds the guard to
+//! the end of the enclosing block (or until `drop(g)`); a temporary
+//! `x.lock().f()` is held only for the statement. An edge A → B means
+//! "somewhere, B is acquired while A is held" — including transitively
+//! through calls, via per-function `acquires` summaries iterated to a
+//! fixpoint. The model checker (PR 8) explores single-test interleavings
+//! exhaustively; this pass complements it with whole-program coverage.
+//!
+//! Scope: non-test functions in `server` and `cluster` only — those are
+//! the crates on the felip-sync shims. (`felip::answer`'s matrix cache and
+//! the obs crate use `std::sync` directly and have their own trivially
+//! flat orders.) Same-class edges (`shards[i]` then `shards[j]`) are
+//! skipped: shard locks are only ever taken one at a time or in a fixed
+//! index order by construction, and a self-edge would flag every loop over
+//! shards.
+
+use std::collections::BTreeMap;
+
+use crate::analyze::Finding;
+use crate::lex::TokKind;
+use crate::tree::{SourceFile, Workspace};
+
+/// Per-function summary: every lock class the fn may acquire (directly or
+/// via calls), with one witness site each.
+type AcqSet = BTreeMap<String, (usize, u32)>;
+
+/// `held -> acquired` edges, each tagged with one witness site.
+pub type EdgeMap = BTreeMap<(String, String), (std::path::PathBuf, u32)>;
+
+#[derive(Debug, Default)]
+pub struct LockReport {
+    pub findings: Vec<Finding>,
+    /// `held → acquired` edges with one witness `file:line` each.
+    pub edges: EdgeMap,
+}
+
+impl LockReport {
+    /// Human-readable graph dump for `xtask analyze --dump-locks`.
+    pub fn dump(&self) -> String {
+        let mut out = String::from("lock-order graph (held -> acquired):\n");
+        if self.edges.is_empty() {
+            out.push_str("  (no nested acquisitions)\n");
+            return out;
+        }
+        for ((a, b), (p, l)) in &self.edges {
+            out.push_str(&format!("  {a} -> {b}    [{}:{}]\n", p.display(), l));
+        }
+        out
+    }
+}
+
+fn in_scope(ws: &Workspace, id: usize) -> bool {
+    let f = &ws.fns[id];
+    !f.is_test && matches!(f.crate_name.as_str(), "server" | "cluster")
+}
+
+pub fn run(ws: &Workspace) -> LockReport {
+    // Per-fn transitive acquire sets, to a fixpoint.
+    let mut acquires: Vec<AcqSet> = vec![AcqSet::new(); ws.fns.len()];
+    for _ in 0..20 {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            if !in_scope(ws, id) {
+                continue;
+            }
+            let mut set = acquires[id].clone();
+            collect_fn(ws, id, &acquires, &mut set, &mut None);
+            if set.len() != acquires[id].len() {
+                acquires[id] = set;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge collection: walk each fn again tracking the held set.
+    let mut report = LockReport::default();
+    for id in 0..ws.fns.len() {
+        if !in_scope(ws, id) {
+            continue;
+        }
+        let mut edges = Some(&mut report.edges);
+        let mut dummy = AcqSet::new();
+        collect_fn(ws, id, &acquires, &mut dummy, &mut edges);
+    }
+
+    // Cycle detection via DFS over the class graph.
+    let adj: BTreeMap<String, Vec<String>> = {
+        let mut m: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (a, b) in report.edges.keys() {
+            m.entry(a.clone()).or_default().push(b.clone());
+        }
+        m
+    };
+    let mut state: BTreeMap<String, u8> = BTreeMap::new(); // 1=open 2=done
+    let mut stack: Vec<String> = Vec::new();
+    let mut findings = Vec::new();
+    let nodes: Vec<String> = adj.keys().cloned().collect();
+    for n in nodes {
+        if state.get(&n).copied().unwrap_or(0) == 0 {
+            dfs(
+                &n,
+                &adj,
+                &mut state,
+                &mut stack,
+                &report.edges,
+                &mut findings,
+            );
+        }
+    }
+    report.findings.extend(findings);
+    report
+}
+
+fn dfs(
+    n: &str,
+    adj: &BTreeMap<String, Vec<String>>,
+    state: &mut BTreeMap<String, u8>,
+    stack: &mut Vec<String>,
+    edges: &EdgeMap,
+    findings: &mut Vec<Finding>,
+) {
+    state.insert(n.to_string(), 1);
+    stack.push(n.to_string());
+    if let Some(next) = adj.get(n) {
+        for m in next {
+            match state.get(m).copied().unwrap_or(0) {
+                0 => dfs(m, adj, state, stack, edges, findings),
+                1 => {
+                    // Cycle: slice the stack from m's position.
+                    let pos = stack.iter().position(|x| x == m).unwrap_or(0);
+                    let mut cyc: Vec<String> = stack[pos..].to_vec();
+                    cyc.push(m.clone());
+                    let (witness_file, witness_line) = edges
+                        .get(&(n.to_string(), m.clone()))
+                        .cloned()
+                        .unwrap_or_default();
+                    findings.push(Finding {
+                        file: witness_file,
+                        line: witness_line,
+                        rule: "lock-order",
+                        message: format!(
+                            "lock-acquisition cycle: {} — a thread holding one of these \
+                             while another acquires in the opposite order deadlocks",
+                            cyc.join(" -> ")
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    stack.pop();
+    state.insert(n.to_string(), 2);
+}
+
+/// Walks fn `id`'s body. Adds every acquired class to `set`; when `edges`
+/// is Some, records held→acquired pairs (direct holds × both direct and
+/// summary-transitive acquisitions of callees).
+fn collect_fn(
+    ws: &Workspace,
+    id: usize,
+    acquires: &[AcqSet],
+    set: &mut AcqSet,
+    edges: &mut Option<&mut EdgeMap>,
+) {
+    let fndef = &ws.fns[id];
+    let Some((open, close)) = fndef.body else {
+        return;
+    };
+    let f = &ws.files[fndef.file];
+    let mut held: Vec<(String, usize)> = Vec::new(); // (class, scope-close)
+    walk(
+        ws,
+        f,
+        fndef.file,
+        open + 1,
+        close,
+        acquires,
+        set,
+        edges,
+        &mut held,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    ws: &Workspace,
+    f: &SourceFile,
+    file_idx: usize,
+    a: usize,
+    b: usize,
+    acquires: &[AcqSet],
+    set: &mut AcqSet,
+    edges: &mut Option<&mut EdgeMap>,
+    held: &mut Vec<(String, usize)>,
+) {
+    let mut i = a;
+    while i < b {
+        // Drop guards whose scope ended.
+        held.retain(|(_, scope)| *scope >= i);
+        let t = f.txt(i);
+        if f.tok(i).kind == TokKind::Punct && t == "{" {
+            let close = f.close_of[i];
+            if close != usize::MAX && close <= b {
+                walk(ws, f, file_idx, i + 1, close, acquires, set, edges, held);
+                i = close + 1;
+                continue;
+            }
+        }
+        if f.tok(i).kind == TokKind::Ident {
+            // drop(g) — release the named guard early.
+            if t == "drop" && f.is_punct(i + 1, "(") {
+                let close = f.close_of[i + 1];
+                if close != usize::MAX && close == i + 3 && f.tok(i + 2).kind == TokKind::Ident {
+                    let var = f.txt(i + 2);
+                    // We track guards by class; map var → class via a
+                    // heuristic: drop the guard most recently bound. The
+                    // guard_binding map below records var→class.
+                    if let Some(pos) = held.iter().rposition(|(c, _)| {
+                        // var name often matches class (g vs. engine) — we
+                        // stored binding names alongside; see below.
+                        c.ends_with(&format!("#{var}")) || c == var
+                    }) {
+                        held.remove(pos);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // `X.lock()` — an acquisition.
+            if t == "lock" && i >= 1 && f.is_punct(i - 1, ".") && f.is_punct(i + 1, "(") {
+                if let Some(class) = receiver_class(f, i - 1) {
+                    let line = f.line(i);
+                    set.entry(class.clone()).or_insert((file_idx, line));
+                    if let Some(e) = edges.as_deref_mut() {
+                        for (h, _) in held.iter() {
+                            let h = h.split('#').next().unwrap_or(h).to_string();
+                            if h != class {
+                                e.entry((h, class.clone()))
+                                    .or_insert((f.path.clone(), line));
+                            }
+                        }
+                    }
+                    // Guard or temporary? Look back for `let name =` on
+                    // this statement, scanning from the statement start.
+                    if let Some((var, scope_close)) = guard_binding(f, i, b) {
+                        let tag = if var.is_empty() {
+                            class.clone()
+                        } else {
+                            format!("{class}#{var}")
+                        };
+                        held.push((tag, scope_close));
+                    }
+                    // Temporaries are instantaneous: nothing pushed.
+                }
+                i += 1;
+                continue;
+            }
+            // A call: record edges from held locks to everything the
+            // callee (transitively) acquires.
+            let is_call =
+                f.is_punct(i + 1, "(") && !matches!(t, "if" | "while" | "for" | "match" | "return");
+            if is_call {
+                if let Some(e) = edges.as_deref_mut() {
+                    if !held.is_empty() {
+                        for &cid in ws.fns_named(t) {
+                            if !matches!(ws.fns[cid].crate_name.as_str(), "server" | "cluster") {
+                                continue;
+                            }
+                            for (acq, (wf, wl)) in &acquires[cid] {
+                                for (h, _) in held.iter() {
+                                    let h = h.split('#').next().unwrap_or(h).to_string();
+                                    if h != *acq {
+                                        e.entry((h, acq.clone()))
+                                            .or_insert((ws.files[*wf].path.clone(), *wl));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Fold callee acquisitions into this fn's summary too
+                // (transitive closure for the fixpoint).
+                for &cid in ws.fns_named(t) {
+                    if !matches!(ws.fns[cid].crate_name.as_str(), "server" | "cluster") {
+                        continue;
+                    }
+                    for (acq, site) in acquires[cid].clone() {
+                        set.entry(acq).or_insert(site);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    held.retain(|(_, scope)| *scope >= b);
+}
+
+/// The lock class of the receiver chain ending at the `.` before `lock`:
+/// last ident before the dot, walking back over `)`/`]` groups and `.`
+/// chains (`self.ctx.dedup.lock()` → dedup; `shards[i].lock()` → shard).
+fn receiver_class(f: &SourceFile, dot: usize) -> Option<String> {
+    let mut k = dot; // index of the `.`
+    loop {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        match f.txt(k) {
+            ")" | "]" => {
+                // Walk back to the matching opener.
+                let target = k;
+                let mut j = k;
+                loop {
+                    if j == 0 {
+                        return None;
+                    }
+                    j -= 1;
+                    if f.close_of[j] == target {
+                        k = j;
+                        break;
+                    }
+                }
+                // Continue: the ident before the opener names the chain.
+            }
+            _ => {
+                if f.tok(k).kind == TokKind::Ident {
+                    let name = f.txt(k);
+                    if name == "self" {
+                        return None; // bare `self.lock()` — shouldn't occur
+                    }
+                    return Some(normalize(name));
+                }
+                return None;
+            }
+        }
+    }
+}
+
+/// Lowercase; strip one trailing 's' when len > 3 (shards→shard,
+/// nodes→node) so plural containers share a class with their elements.
+fn normalize(name: &str) -> String {
+    let mut s = name.to_ascii_lowercase();
+    if s.len() > 3 && s.ends_with('s') {
+        s.pop();
+    }
+    s
+}
+
+/// If the `.lock()` at `lock_ident` is bound by a `let`, return the bound
+/// variable name and the sig-index where the guard's scope ends (the
+/// enclosing block close, approximated by `b`). Returns None for
+/// temporaries (no `let` on the statement).
+fn guard_binding(f: &SourceFile, lock_ident: usize, block_end: usize) -> Option<(String, usize)> {
+    // Scan backwards to the statement start (`;`, `{`, or `}`), looking
+    // for `let <pat> =` with no intervening statement boundary.
+    let mut k = lock_ident;
+    let mut var = String::new();
+    while k > 0 {
+        k -= 1;
+        let t = f.txt(k);
+        if matches!(t, ";" | "{" | "}") {
+            return None;
+        }
+        if f.is_ident(k, "let") {
+            // First plain ident after `let` (skipping `mut`).
+            let mut j = k + 1;
+            while j < lock_ident {
+                if f.tok(j).kind == TokKind::Ident && !f.is_ident(j, "mut") {
+                    var = f.txt(j).to_string();
+                    break;
+                }
+                j += 1;
+            }
+            return Some((var, block_end));
+        }
+        // `if let Some(g) = x.lock()`-style: the `let` is still found by
+        // the backward scan above before hitting a boundary.
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Workspace;
+
+    #[test]
+    fn nested_guard_produces_edge_and_cycle_is_flagged() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/a.rs",
+            "fn ab(x: &M, y: &M) { let g = x.engine.lock(); y.dedup.lock().touch(); }\n\
+             fn ba(x: &M, y: &M) { let g = y.dedup.lock(); x.engine.lock().touch(); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(
+            rep.edges.contains_key(&("engine".into(), "dedup".into())),
+            "{:?}",
+            rep.edges
+        );
+        assert!(rep.edges.contains_key(&("dedup".into(), "engine".into())));
+        assert!(
+            rep.findings.iter().any(|f| f.rule == "lock-order"),
+            "cycle not flagged: {:?}",
+            rep.findings
+        );
+    }
+
+    #[test]
+    fn acyclic_nesting_is_clean() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/b.rs",
+            "fn ab(x: &M, y: &M) { let g = x.engine.lock(); y.dedup.lock().touch(); }\n\
+             fn also_ab(x: &M, y: &M) { let g = x.engine.lock(); y.dedup.lock().touch(); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.edges.len(), 1);
+    }
+
+    #[test]
+    fn transitive_acquisition_via_call_is_an_edge() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/c.rs",
+            "fn inner_acquire(y: &M) { let g = y.dedup.lock(); g.touch(); }\n\
+             fn outer(x: &M, y: &M) { let g = x.engine.lock(); inner_acquire(y); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(
+            rep.edges.contains_key(&("engine".into(), "dedup".into())),
+            "transitive edge missing: {:?}",
+            rep.edges
+        );
+    }
+
+    #[test]
+    fn temporary_lock_is_not_held() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/d.rs",
+            "fn seq(x: &M, y: &M) { x.engine.lock().touch(); y.dedup.lock().touch(); }\n\
+             fn rev(x: &M, y: &M) { y.dedup.lock().touch(); x.engine.lock().touch(); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(
+            rep.edges.is_empty(),
+            "temporaries created edges: {:?}",
+            rep.edges
+        );
+        assert!(rep.findings.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_guard_early() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/e.rs",
+            "fn ok(x: &M, y: &M) { let g = x.engine.lock(); g.touch(); drop(g); \
+             y.dedup.lock().touch(); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(
+            rep.edges.is_empty(),
+            "dropped guard still held: {:?}",
+            rep.edges
+        );
+    }
+
+    #[test]
+    fn plural_and_singular_share_a_class() {
+        let w = Workspace::from_sources(&[(
+            "crates/server/src/f.rs",
+            "fn loop_shards(v: &[M]) { for s in v { let g = shards[0].lock(); \
+             shard.lock().touch(); } }\n",
+        )]);
+        let rep = run(&w);
+        // Same class both ways: no self-edge, no finding.
+        assert!(rep.edges.is_empty(), "{:?}", rep.edges);
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let w = Workspace::from_sources(&[(
+            "crates/felip/src/g.rs",
+            "fn ab(x: &M, y: &M) { let g = x.engine.lock(); y.dedup.lock().touch(); }\n\
+             fn ba(x: &M, y: &M) { let g = y.dedup.lock(); x.engine.lock().touch(); }\n",
+        )]);
+        let rep = run(&w);
+        assert!(rep.findings.is_empty() && rep.edges.is_empty());
+    }
+}

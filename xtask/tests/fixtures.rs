@@ -1,0 +1,333 @@
+//! End-to-end fixture crates driven through `analyze_root` — the same
+//! entry point CI uses — one violating and one clean fixture per pass,
+//! plus the negative control showing the PR-5 string linter misses a
+//! taint flow the token-tree pass catches.
+//!
+//! Fixtures are written to per-test temp directories shaped like a real
+//! workspace (`crates/<name>/src/*.rs`); findings are filtered by rule
+//! because a bare fixture root legitimately trips the content-anchored
+//! rules (missing DESIGN.md, missing golden files).
+
+use std::fs;
+use std::path::PathBuf;
+
+use xtask::analyze::{analyze_root, to_json, Finding};
+
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xtask-fixture-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, src) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture path has a parent"))
+            .expect("mkdir fixture");
+        fs::write(path, src).expect("write fixture");
+    }
+    root
+}
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+const DATASET: (&str, &str) = (
+    "crates/common/src/dataset.rs",
+    "pub struct Dataset { flat: Vec<u32> }\n\
+     impl Dataset {\n\
+         pub fn row(&self, i: usize) -> &[u32] { &self.flat[i..i + 1] }\n\
+     }\n",
+);
+const WIRE: (&str, &str) = (
+    "crates/server/src/wire.rs",
+    "pub fn encode_reports(buf: &mut Vec<u8>, reports: &[u32]) { buf.push(reports.len() as u8); }\n",
+);
+const FO: (&str, &str) = (
+    "crates/fo/src/grr.rs",
+    "pub fn perturb(cell: u32, r: u64) -> u32 { cell ^ r as u32 }\n",
+);
+
+// ---------------------------------------------------------------- taint
+
+#[test]
+fn raw_report_to_wire_flow_is_rejected() {
+    let root = fixture(
+        "taint-bad",
+        &[
+            DATASET,
+            WIRE,
+            (
+                "crates/server/src/bad.rs",
+                "fn leak(d: &Dataset, buf: &mut Vec<u8>) {\n\
+                     let raw = d.row(0);\n\
+                     encode_reports(buf, raw);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let rep = analyze_root(&root);
+    let taint = by_rule(&rep.findings, "privacy-taint");
+    assert_eq!(taint.len(), 1, "{:?}", rep.findings);
+    assert_eq!(taint[0].line, 3);
+    assert!(
+        !taint[0].trace.is_empty(),
+        "taint finding must carry a flow trace"
+    );
+}
+
+/// Negative control: the same raw-report-to-wire fixture sails through the
+/// PR-5 string linter (it has no dataflow concept), while `analyze_root`
+/// rejects it — the token-tree pass is strictly stronger here.
+#[test]
+fn old_string_lint_misses_the_taint_flow() {
+    let root = fixture(
+        "taint-control",
+        &[
+            DATASET,
+            WIRE,
+            (
+                "crates/server/src/bad.rs",
+                "fn leak(d: &Dataset, buf: &mut Vec<u8>) {\n\
+                     let raw = d.row(0);\n\
+                     encode_reports(buf, raw);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let old = xtask::lint_root(&root);
+    assert!(
+        old.iter().all(|d| !d.file.ends_with("bad.rs")),
+        "string linter unexpectedly flagged the flow file: {old:?}"
+    );
+    let new = analyze_root(&root);
+    assert!(
+        by_rule(&new.findings, "privacy-taint")
+            .iter()
+            .any(|f| f.file.ends_with("bad.rs")),
+        "token-tree pass should flag what the string linter missed"
+    );
+}
+
+#[test]
+fn perturbed_flow_is_accepted() {
+    let root = fixture(
+        "taint-good",
+        &[
+            DATASET,
+            WIRE,
+            FO,
+            (
+                "crates/server/src/good.rs",
+                "fn ok(d: &Dataset, buf: &mut Vec<u8>) {\n\
+                     let raw = d.row(0);\n\
+                     let report = perturb(raw[0], 7);\n\
+                     let reports = vec![report];\n\
+                     encode_reports(buf, &reports);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let rep = analyze_root(&root);
+    assert!(
+        by_rule(&rep.findings, "privacy-taint").is_empty(),
+        "{:?}",
+        rep.findings
+    );
+}
+
+#[test]
+fn taint_ok_waiver_is_catalogued_not_failing() {
+    let root = fixture(
+        "taint-waived",
+        &[
+            DATASET,
+            WIRE,
+            (
+                "crates/server/src/waived.rs",
+                "fn waived(d: &Dataset, buf: &mut Vec<u8>) {\n\
+                     let raw = d.row(0);\n\
+                     // TAINT-OK: synthetic fixture data, never user input.\n\
+                     encode_reports(buf, raw);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let rep = analyze_root(&root);
+    assert!(
+        by_rule(&rep.findings, "privacy-taint").is_empty(),
+        "{:?}",
+        rep.findings
+    );
+    assert_eq!(rep.taint_ok.len(), 1, "waiver must land in the catalogue");
+}
+
+#[test]
+fn stale_taint_ok_is_rejected() {
+    let root = fixture(
+        "taint-stale",
+        &[(
+            "crates/server/src/stale.rs",
+            "// TAINT-OK: suppresses nothing.\nfn fine() {}\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "taint-ok-stale").len(), 1);
+}
+
+/// Catalogue defense: a sanitizer-named fn outside the allowed crates
+/// would silently bless un-perturbed flows — it is flagged at its
+/// definition instead.
+#[test]
+fn sanitizer_alias_outside_allowed_crates_is_rejected() {
+    let root = fixture(
+        "taint-alias",
+        &[(
+            "crates/server/src/alias.rs",
+            "pub fn perturb(x: u32) -> u32 { x }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "taint-catalogue").len(), 1);
+}
+
+// ----------------------------------------------------------------- locks
+
+#[test]
+fn lock_order_cycle_is_rejected() {
+    let root = fixture(
+        "locks-cycle",
+        &[(
+            "crates/server/src/locky.rs",
+            "impl S {\n\
+                 fn a(&self) { let g = self.base.lock(); let h = self.shard.lock(); h.n(); g.n(); }\n\
+                 fn b(&self) { let g = self.shard.lock(); let h = self.base.lock(); h.n(); g.n(); }\n\
+             }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert!(
+        !by_rule(&rep.findings, "lock-order").is_empty(),
+        "{:?}",
+        rep.findings
+    );
+}
+
+#[test]
+fn consistent_lock_order_is_accepted() {
+    let root = fixture(
+        "locks-clean",
+        &[(
+            "crates/server/src/locky.rs",
+            "impl S {\n\
+                 fn a(&self) { let g = self.base.lock(); let h = self.shard.lock(); h.n(); g.n(); }\n\
+                 fn b(&self) { let g = self.base.lock(); let h = self.shard.lock(); h.n(); g.n(); }\n\
+             }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert!(
+        by_rule(&rep.findings, "lock-order").is_empty(),
+        "{:?}",
+        rep.findings
+    );
+}
+
+// ----------------------------------------------------------------- arith
+
+#[test]
+fn bare_add_in_merge_path_is_rejected() {
+    let root = fixture(
+        "arith-bad",
+        &[(
+            "crates/felip/src/agg.rs",
+            "impl Agg { pub fn merge(&mut self, o: &Agg) { self.n += o.n; } }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "checked-arith").len(), 1);
+}
+
+#[test]
+fn checked_add_in_merge_path_is_accepted() {
+    let root = fixture(
+        "arith-good",
+        &[(
+            "crates/felip/src/agg.rs",
+            "impl Agg { pub fn merge(&mut self, o: &Agg) -> Option<()> { \
+             self.n = self.n.checked_add(o.n)?; Some(()) } }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert!(
+        by_rule(&rep.findings, "checked-arith").is_empty(),
+        "{:?}",
+        rep.findings
+    );
+}
+
+#[test]
+fn wrapping_add_without_justification_is_rejected() {
+    let root = fixture(
+        "arith-wrap",
+        &[(
+            "crates/fo/src/k.rs",
+            "fn accumulate(c: &mut [u64]) { c[0] = c[0].wrapping_add(1); }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "checked-arith").len(), 1);
+}
+
+// ------------------------------------------------------- token-rule ports
+
+#[test]
+fn unwrap_in_server_is_rejected() {
+    let root = fixture(
+        "rules-panic",
+        &[(
+            "crates/server/src/u.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "no-panic").len(), 1);
+}
+
+// ------------------------------------------------------- driver plumbing
+
+#[test]
+fn lex_failure_is_a_coverage_hole_finding() {
+    let root = fixture(
+        "lex-hole",
+        &[(
+            "crates/server/src/broken.rs",
+            "fn f() { let s = \"unterminated; }\n",
+        )],
+    );
+    let rep = analyze_root(&root);
+    assert_eq!(by_rule(&rep.findings, "lex").len(), 1);
+}
+
+#[test]
+fn json_output_carries_findings_and_traces() {
+    let root = fixture(
+        "json-out",
+        &[
+            DATASET,
+            WIRE,
+            (
+                "crates/server/src/bad.rs",
+                "fn leak(d: &Dataset, buf: &mut Vec<u8>) {\n\
+                     let raw = d.row(0);\n\
+                     encode_reports(buf, raw);\n\
+                 }\n",
+            ),
+        ],
+    );
+    let rep = analyze_root(&root);
+    let j = to_json(&rep);
+    assert!(j.starts_with("{\"t\":\"analyze\",\"version\":1,"), "{j}");
+    assert!(j.contains("\"rule\":\"privacy-taint\""), "{j}");
+    assert!(
+        j.contains("\"trace\":[\""),
+        "taint finding should carry a trace: {j}"
+    );
+}

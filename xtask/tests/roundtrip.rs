@@ -1,0 +1,75 @@
+//! Lexer round-trip over the real tree: every `.rs` file in the workspace
+//! (including xtask itself and integration tests) must tokenize without
+//! error, and the token spans must tile the source exactly — no gaps, no
+//! overlaps, no text the analyzer cannot see. A file the lexer mangles is
+//! a silent coverage hole for every analysis pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lex;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_file_tokenizes_and_tiles() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits under the workspace root");
+    let mut files = Vec::new();
+    for sub in ["crates", "xtask", "src"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    assert!(
+        files.len() > 40,
+        "expected the full workspace, found only {} .rs files",
+        files.len()
+    );
+
+    for path in &files {
+        let src =
+            fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let toks = match lex::lex(&src) {
+            Ok(t) => t,
+            Err(e) => panic!("{}:{}: lex error: {}", path.display(), e.line, e.message),
+        };
+        assert!(
+            lex::tokens_tile(&src, &toks),
+            "{}: token spans do not tile the source",
+            path.display()
+        );
+        // Line numbers must be monotone — the passes report by line, and a
+        // regression here would mislabel every finding in the file.
+        let mut last = 1;
+        for t in &toks {
+            assert!(
+                t.line >= last,
+                "{}: token line went backwards ({} -> {})",
+                path.display(),
+                last,
+                t.line
+            );
+            last = t.line;
+        }
+        // Every token's text is recoverable from its span.
+        for t in &toks {
+            assert!(t.end <= src.len() && src.is_char_boundary(t.start));
+        }
+    }
+}
